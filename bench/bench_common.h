@@ -1,0 +1,68 @@
+#ifndef ODE_BENCH_BENCH_COMMON_H_
+#define ODE_BENCH_BENCH_COMMON_H_
+
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "storage/env.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace ode {
+namespace bench {
+
+/// An in-memory database plus the env that backs it (the env must outlive
+/// the database).  Benchmarks run on MemEnv so they measure the algorithms,
+/// not the host's disk; EXPERIMENTS.md discusses the substitution.
+struct BenchDb {
+  std::unique_ptr<MemEnv> env;
+  std::unique_ptr<Database> db;
+
+  Database& operator*() { return *db; }
+  Database* operator->() { return db.get(); }
+};
+
+inline BenchDb OpenBenchDb(PayloadKind strategy = PayloadKind::kFull,
+                           uint32_t keyframe_interval = 16,
+                           size_t pool_pages = 4096) {
+  BenchDb handle;
+  handle.env = std::make_unique<MemEnv>();
+  DatabaseOptions options;
+  options.storage.env = handle.env.get();
+  options.storage.path = "/bench";
+  options.storage.buffer_pool_pages = pool_pages;
+  options.payload_strategy = strategy;
+  options.delta_keyframe_interval = keyframe_interval;
+  auto db = Database::Open(options);
+  ODE_CHECK(db.ok());
+  handle.db = std::move(*db);
+  return handle;
+}
+
+/// Registers a raw type and returns its id.
+inline uint32_t RawType(Database& db) {
+  auto type_id = db.RegisterType("bench.raw");
+  ODE_CHECK(type_id.ok());
+  return *type_id;
+}
+
+/// Deterministic payload of `size` bytes.
+inline std::string MakePayload(size_t size, uint64_t seed = 42) {
+  Random rng(seed);
+  return rng.NextBytes(size);
+}
+
+/// Mutates ~`edits` bytes of `payload` in place (models a small design
+/// change between versions).
+inline void SmallEdit(std::string* payload, Random* rng, int edits = 4) {
+  if (payload->empty()) return;
+  for (int i = 0; i < edits; ++i) {
+    (*payload)[rng->Uniform(payload->size())] ^= 0x5a;
+  }
+}
+
+}  // namespace bench
+}  // namespace ode
+
+#endif  // ODE_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,120 @@
+// TAB-F: delta-chain ablation.  Materialization cost grows with the chain
+// length between the read version and its nearest full keyframe; the
+// keyframe interval trades storage (more full copies) against read latency.
+// This is the quantitative side of the paper's delta-storage discussion
+// (§2, citing SCCS/RCS).
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/delta.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+/// Builds a chain of `length` versions with small edits between steps under
+/// the given keyframe interval; returns the newest version.
+VersionId BuildChain(Database& db, uint32_t type, int length,
+                     size_t payload_size) {
+  std::string payload = MakePayload(payload_size);
+  auto vid = db.PnewRaw(type, Slice(payload));
+  ODE_CHECK(vid.ok());
+  VersionId current = *vid;
+  Random rng(11);
+  for (int i = 1; i < length; ++i) {
+    auto next = db.NewVersionFrom(current);
+    ODE_CHECK(next.ok());
+    SmallEdit(&payload, &rng);
+    ODE_CHECK(db.UpdateVersion(*next, Slice(payload)).ok());
+    current = *next;
+  }
+  return current;
+}
+
+void MaterializeBenchmark(benchmark::State& state, uint32_t keyframe) {
+  const int chain = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb(PayloadKind::kDelta, keyframe);
+  const uint32_t type = RawType(*handle);
+  VersionId newest = BuildChain(*handle, type, chain, 16384);
+  for (auto _ : state) {
+    auto bytes = handle->ReadVersion(newest);
+    ODE_CHECK(bytes.ok());
+    benchmark::DoNotOptimize(bytes->data());
+  }
+  auto meta = handle->Meta(newest);
+  ODE_CHECK(meta.ok());
+  state.counters["chain_len"] = meta->delta_chain_len;
+  const auto& stats = handle->stats();
+  state.counters["stored_bytes"] = benchmark::Counter(static_cast<double>(
+      stats.full_bytes_written + stats.delta_bytes_written));
+}
+
+void BM_Materialize_Keyframe4(benchmark::State& state) {
+  MaterializeBenchmark(state, 4);
+}
+BENCHMARK(BM_Materialize_Keyframe4)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_Materialize_Keyframe16(benchmark::State& state) {
+  MaterializeBenchmark(state, 16);
+}
+BENCHMARK(BM_Materialize_Keyframe16)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_Materialize_Keyframe64(benchmark::State& state) {
+  MaterializeBenchmark(state, 64);
+}
+BENCHMARK(BM_Materialize_Keyframe64)->Arg(2)->Arg(16)->Arg(128);
+
+// Full-copy baseline: reads are chain-length independent.
+void BM_Materialize_FullCopy(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb(PayloadKind::kFull);
+  const uint32_t type = RawType(*handle);
+  VersionId newest = BuildChain(*handle, type, chain, 16384);
+  for (auto _ : state) {
+    auto bytes = handle->ReadVersion(newest);
+    ODE_CHECK(bytes.ok());
+    benchmark::DoNotOptimize(bytes->data());
+  }
+  const auto& stats = handle->stats();
+  state.counters["stored_bytes"] = benchmark::Counter(static_cast<double>(
+      stats.full_bytes_written + stats.delta_bytes_written));
+}
+BENCHMARK(BM_Materialize_FullCopy)->Arg(2)->Arg(16)->Arg(128);
+
+// The raw differ itself: encode cost vs payload size for a small edit.
+void BM_DeltaEncode(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::string base = MakePayload(size);
+  std::string target = base;
+  Random rng(5);
+  SmallEdit(&target, &rng);
+  for (auto _ : state) {
+    std::string encoded = delta::Encode(Slice(base), Slice(target));
+    benchmark::DoNotOptimize(encoded.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * size);
+}
+BENCHMARK(BM_DeltaEncode)->Arg(1024)->Arg(16384)->Arg(262144);
+
+void BM_DeltaApply(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  std::string base = MakePayload(size);
+  std::string target = base;
+  Random rng(6);
+  SmallEdit(&target, &rng);
+  const std::string encoded = delta::Encode(Slice(base), Slice(target));
+  for (auto _ : state) {
+    auto applied = delta::Apply(Slice(base), Slice(encoded));
+    ODE_CHECK(applied.ok());
+    benchmark::DoNotOptimize(applied->data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * size);
+}
+BENCHMARK(BM_DeltaApply)->Arg(1024)->Arg(16384)->Arg(262144);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

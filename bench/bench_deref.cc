@@ -1,0 +1,94 @@
+// TAB-B: dereference cost — generic (late-bound, always resolves to the
+// latest version) vs specific (pinned VersionPtr) vs raw payload read.
+// Late binding pays one extra header lookup per dereference; the paper's
+// design bets this is cheap.  The history-length sweep shows the latest
+// pointer keeps generic dereference O(1) in history size.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/version_ptr.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+struct Payload {
+  static constexpr char kTypeName[] = "bench.Payload";
+  std::string bytes;
+  void Serialize(BufferWriter& w) const { w.WriteString(Slice(bytes)); }
+  static StatusOr<Payload> Deserialize(BufferReader& r) {
+    Payload p;
+    ODE_RETURN_IF_ERROR(r.ReadString(&p.bytes));
+    return p;
+  }
+};
+
+/// Builds an object with `history` versions; returns a generic ref.
+Ref<Payload> BuildHistory(Database& db, int history, size_t payload_size) {
+  auto ref = pnew(db, Payload{MakePayload(payload_size)});
+  ODE_CHECK(ref.ok());
+  for (int i = 1; i < history; ++i) {
+    ODE_CHECK(newversion(*ref).ok());
+  }
+  return *ref;
+}
+
+void BM_Deref_Generic(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  Ref<Payload> ref =
+      BuildHistory(*handle, static_cast<int>(state.range(0)), 256);
+  for (auto _ : state) {
+    auto value = ref.Load();
+    ODE_CHECK(value.ok());
+    benchmark::DoNotOptimize(value->bytes.data());
+  }
+}
+BENCHMARK(BM_Deref_Generic)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Deref_Specific(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  Ref<Payload> ref =
+      BuildHistory(*handle, static_cast<int>(state.range(0)), 256);
+  auto pinned = ref.Pin();
+  ODE_CHECK(pinned.ok());
+  for (auto _ : state) {
+    auto value = pinned->Load();
+    ODE_CHECK(value.ok());
+    benchmark::DoNotOptimize(value->bytes.data());
+  }
+}
+BENCHMARK(BM_Deref_Specific)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+// The floor: reading the payload bytes by version id, no typed decode.
+void BM_Deref_RawRead(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  Ref<Payload> ref =
+      BuildHistory(*handle, static_cast<int>(state.range(0)), 256);
+  auto latest = handle->Latest(ref.oid());
+  ODE_CHECK(latest.ok());
+  for (auto _ : state) {
+    auto bytes = handle->ReadVersion(*latest);
+    ODE_CHECK(bytes.ok());
+    benchmark::DoNotOptimize(bytes->data());
+  }
+}
+BENCHMARK(BM_Deref_RawRead)->Arg(1)->Arg(256);
+
+// Cached VersionPtr dereference through operator-> (the O++ pointer idiom).
+void BM_Deref_CachedArrow(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  Ref<Payload> ref = BuildHistory(*handle, 16, 256);
+  auto pinned = ref.Pin();
+  ODE_CHECK(pinned.ok());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((*pinned)->bytes.size());
+  }
+}
+BENCHMARK(BM_Deref_CachedArrow);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

@@ -1,0 +1,64 @@
+// TAB-D addendum: the same commit path on the REAL filesystem, where every
+// commit pays an fsync.  In-memory numbers isolate the algorithms; these
+// show the durability floor a deployment actually sees.  (Plain binary —
+// wall-clock fsync measurements don't fit the google-benchmark loop well.)
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "core/database.h"
+#include "core/version_ptr.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+double MillisSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration_cast<std::chrono::duration<double, std::milli>>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+void MeasureCommits(int txns, int writes_per_txn) {
+  const std::string path = "/tmp/ode_bench_disk";
+  for (const char* name : {"/data.odb", "/wal.log"}) {
+    (void)Env::Posix()->DeleteFile(path + name);
+  }
+  DatabaseOptions options;
+  options.storage.path = path;
+  auto db = Database::Open(options);
+  ODE_CHECK(db.ok());
+  const uint32_t type = RawType(**db);
+  const std::string payload = MakePayload(256);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int t = 0; t < txns; ++t) {
+    ODE_CHECK((*db)->Begin().ok());
+    for (int w = 0; w < writes_per_txn; ++w) {
+      ODE_CHECK((*db)->PnewRaw(type, Slice(payload)).ok());
+    }
+    ODE_CHECK((*db)->Commit().ok());
+  }
+  const double total_ms = MillisSince(start);
+  std::printf(
+      "disk commits  txns=%-5d writes/txn=%-3d total=%9.2f ms  "
+      "%8.3f ms/commit  %8.0f writes/s\n",
+      txns, writes_per_txn, total_ms, total_ms / txns,
+      txns * writes_per_txn / (total_ms / 1000.0));
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+int main() {
+  std::printf(
+      "TAB-D addendum: durable commit cost on the real filesystem "
+      "(every commit fsyncs the WAL)\n\n");
+  ode::bench::MeasureCommits(200, 1);
+  ode::bench::MeasureCommits(200, 16);
+  ode::bench::MeasureCommits(50, 256);
+  return 0;
+}

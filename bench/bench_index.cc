@@ -1,0 +1,137 @@
+// TAB-J: secondary index vs cluster scan — the classic crossover.  A point
+// query through the index costs O(log N); the equivalent `suchthat`-style
+// Select scans (and decodes) every latest version.  Also measures the
+// index's maintenance tax on writes.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "core/index.h"
+#include "core/query.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+struct Part {
+  static constexpr char kTypeName[] = "bench.IndexedPart";
+  std::string name;
+  int64_t area = 0;
+  void Serialize(BufferWriter& w) const {
+    w.WriteString(Slice(name));
+    w.WriteI64(area);
+  }
+  static StatusOr<Part> Deserialize(BufferReader& r) {
+    Part p;
+    ODE_RETURN_IF_ERROR(r.ReadString(&p.name));
+    ODE_RETURN_IF_ERROR(r.ReadI64(&p.area));
+    return p;
+  }
+};
+
+std::unique_ptr<SecondaryIndex<Part>> OpenNameIndex(Database& db) {
+  auto index = SecondaryIndex<Part>::Open(
+      db, "part-by-name",
+      [](const Part& p) { return std::optional<std::string>(p.name); });
+  ODE_CHECK(index.ok());
+  return std::move(*index);
+}
+
+void Populate(Database& db, int objects) {
+  ODE_CHECK(db.Begin().ok());
+  for (int i = 0; i < objects; ++i) {
+    ODE_CHECK(pnew(db, Part{"part" + std::to_string(i), i}).ok());
+  }
+  ODE_CHECK(db.Commit().ok());
+}
+
+void BM_PointQuery_IndexLookup(benchmark::State& state) {
+  const int objects = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb();
+  auto index = OpenNameIndex(*handle.db);
+  Populate(*handle.db, objects);
+  Random rng(1);
+  for (auto _ : state) {
+    const std::string key = "part" + std::to_string(rng.Uniform(objects));
+    auto hits = index->Lookup(Slice(key));
+    ODE_CHECK(hits.ok());
+    ODE_CHECK(hits->size() == 1);
+  }
+}
+BENCHMARK(BM_PointQuery_IndexLookup)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_PointQuery_ClusterScan(benchmark::State& state) {
+  const int objects = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb();
+  Populate(*handle.db, objects);
+  Random rng(1);
+  for (auto _ : state) {
+    const std::string key = "part" + std::to_string(rng.Uniform(objects));
+    auto hits =
+        Select<Part>(*handle.db, [&](const Part& p) { return p.name == key; });
+    ODE_CHECK(hits.ok());
+    ODE_CHECK(hits->size() == 1);
+  }
+}
+BENCHMARK(BM_PointQuery_ClusterScan)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_RangeQuery_Index(benchmark::State& state) {
+  const int objects = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb();
+  auto index = SecondaryIndex<Part>::Open(
+      *handle.db, "part-by-area", [](const Part& p) {
+        return std::optional<std::string>(OrderedKeyFromInt(p.area));
+      });
+  ODE_CHECK(index.ok());
+  Populate(*handle.db, objects);
+  for (auto _ : state) {
+    // A 1% band of the key space.
+    auto hits = (*index)->Range(Slice(OrderedKeyFromInt(0)),
+                                Slice(OrderedKeyFromInt(objects / 100)));
+    ODE_CHECK(hits.ok());
+    benchmark::DoNotOptimize(hits->size());
+  }
+}
+BENCHMARK(BM_RangeQuery_Index)->Arg(1024)->Arg(16384);
+
+// The write-side tax: pnew with 0, 1, or 2 live indexes over the type.
+void WriteTaxBenchmark(benchmark::State& state, int indexes) {
+  BenchDb handle = OpenBenchDb();
+  std::vector<std::unique_ptr<SecondaryIndex<Part>>> live;
+  if (indexes >= 1) live.push_back(OpenNameIndex(*handle.db));
+  if (indexes >= 2) {
+    auto by_area = SecondaryIndex<Part>::Open(
+        *handle.db, "part-by-area", [](const Part& p) {
+          return std::optional<std::string>(OrderedKeyFromInt(p.area));
+        });
+    ODE_CHECK(by_area.ok());
+    live.push_back(std::move(*by_area));
+  }
+  int64_t i = 0;
+  for (auto _ : state) {
+    ODE_CHECK(pnew(*handle.db, Part{"p" + std::to_string(i), i}).ok());
+    ++i;
+  }
+  state.counters["indexes"] = indexes;
+}
+
+void BM_WriteTax_NoIndex(benchmark::State& state) {
+  WriteTaxBenchmark(state, 0);
+}
+BENCHMARK(BM_WriteTax_NoIndex);
+
+void BM_WriteTax_OneIndex(benchmark::State& state) {
+  WriteTaxBenchmark(state, 1);
+}
+BENCHMARK(BM_WriteTax_OneIndex);
+
+void BM_WriteTax_TwoIndexes(benchmark::State& state) {
+  WriteTaxBenchmark(state, 2);
+}
+BENCHMARK(BM_WriteTax_TwoIndexes);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// TAB-G: the percolation fan-out the paper warns about ("creating a new
+// version can lead to the automatic creation of a large number of versions
+// of other objects", §2 — the reason percolation is a policy, not a
+// primitive).  One user newversion triggers N (fan-out) or D (chain-depth)
+// automatic versions; the cost scales accordingly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "policy/percolation.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+// A component shared by `fanout` composite designs.
+void BM_Percolation_FanOut(benchmark::State& state) {
+  const int fanout = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  PercolationPolicy policy(*handle);
+  auto component = handle->PnewRaw(type, Slice("shared component"));
+  ODE_CHECK(component.ok());
+  for (int i = 0; i < fanout; ++i) {
+    auto dependent = handle->PnewRaw(type, Slice("design"));
+    ODE_CHECK(dependent.ok());
+    policy.Declare(component->oid, dependent->oid);
+  }
+  for (auto _ : state) {
+    auto vid = handle->NewVersionOf(component->oid);
+    ODE_CHECK(vid.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          (1 + fanout));
+  state.counters["versions_per_op"] = 1 + fanout;
+}
+BENCHMARK(BM_Percolation_FanOut)->Arg(0)->Arg(4)->Arg(32)->Arg(256);
+
+// A containment chain of depth D: leaf -> ... -> root composite.
+void BM_Percolation_ChainDepth(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  PercolationPolicy policy(*handle);
+  auto leaf = handle->PnewRaw(type, Slice("leaf"));
+  ODE_CHECK(leaf.ok());
+  ObjectId previous = leaf->oid;
+  for (int i = 0; i < depth; ++i) {
+    auto composite = handle->PnewRaw(type, Slice("composite"));
+    ODE_CHECK(composite.ok());
+    policy.Declare(previous, composite->oid);
+    previous = composite->oid;
+  }
+  for (auto _ : state) {
+    auto vid = handle->NewVersionOf(leaf->oid);
+    ODE_CHECK(vid.ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          (1 + depth));
+  state.counters["versions_per_op"] = 1 + depth;
+}
+BENCHMARK(BM_Percolation_ChainDepth)->Arg(0)->Arg(4)->Arg(32)->Arg(128);
+
+// The alternative the paper recommends: NO percolation — composites bind
+// dynamically and simply see new component versions.  Constant cost,
+// regardless of how many designs share the component.
+void BM_NoPercolation_DynamicBinding(benchmark::State& state) {
+  const int sharers = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  auto component = handle->PnewRaw(type, Slice("shared component"));
+  ODE_CHECK(component.ok());
+  for (int i = 0; i < sharers; ++i) {
+    auto dependent = handle->PnewRaw(type, Slice("design"));
+    ODE_CHECK(dependent.ok());
+    // Dependents hold generic references; nothing to declare.
+  }
+  for (auto _ : state) {
+    auto vid = handle->NewVersionOf(component->oid);
+    ODE_CHECK(vid.ok());
+  }
+  state.counters["versions_per_op"] = 1;
+}
+BENCHMARK(BM_NoPercolation_DynamicBinding)->Arg(0)->Arg(256);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

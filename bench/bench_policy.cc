@@ -1,0 +1,124 @@
+// TAB-E: configuration binding and context resolution.
+//   - static vs dynamic Resolve (dynamic pays the latest-version lookup)
+//   - ResolveAll over configurations of growing width
+//   - context-stack resolution vs stack depth
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "policy/configuration.h"
+#include "policy/context.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+void BM_Resolve_Static(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  auto part = handle->PnewRaw(type, Slice("part"));
+  ODE_CHECK(part.ok());
+  auto config = Configuration::Create(*handle, "c");
+  ODE_CHECK(config.ok());
+  ODE_CHECK(config->BindStatic("cpu", *part).ok());
+  for (auto _ : state) {
+    auto vid = config->Resolve("cpu");
+    ODE_CHECK(vid.ok());
+    benchmark::DoNotOptimize(vid->vnum);
+  }
+}
+BENCHMARK(BM_Resolve_Static);
+
+void BM_Resolve_Dynamic(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  auto part = handle->PnewRaw(type, Slice("part"));
+  ODE_CHECK(part.ok());
+  auto config = Configuration::Create(*handle, "c");
+  ODE_CHECK(config.ok());
+  ODE_CHECK(config->BindDynamic("cpu", part->oid).ok());
+  for (auto _ : state) {
+    auto vid = config->Resolve("cpu");
+    ODE_CHECK(vid.ok());
+    benchmark::DoNotOptimize(vid->vnum);
+  }
+}
+BENCHMARK(BM_Resolve_Dynamic);
+
+void BM_ResolveAll_Width(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  auto config = Configuration::Create(*handle, "wide");
+  ODE_CHECK(config.ok());
+  for (int i = 0; i < width; ++i) {
+    auto part = handle->PnewRaw(type, Slice("part"));
+    ODE_CHECK(part.ok());
+    // Half static, half dynamic — a realistic mixed configuration.
+    if (i % 2 == 0) {
+      ODE_CHECK(config->BindStatic("c" + std::to_string(i), *part).ok());
+    } else {
+      ODE_CHECK(config->BindDynamic("c" + std::to_string(i), part->oid).ok());
+    }
+  }
+  for (auto _ : state) {
+    auto all = config->ResolveAll();
+    ODE_CHECK(all.ok());
+    benchmark::DoNotOptimize(all->size());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * width);
+}
+BENCHMARK(BM_ResolveAll_Width)->Arg(4)->Arg(32)->Arg(256);
+
+void BM_ContextStackResolve(benchmark::State& state) {
+  const int depth = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  auto target = handle->PnewRaw(type, Slice("x"));
+  ODE_CHECK(target.ok());
+  ContextStack stack(handle.db.get());
+  // Only the BOTTOM context has a default for the target: worst case, the
+  // whole stack is searched.
+  for (int i = 0; i < depth; ++i) {
+    auto context = Context::Create(*handle, "ctx" + std::to_string(i));
+    ODE_CHECK(context.ok());
+    if (i == 0) ODE_CHECK(context->SetDefault(*target).ok());
+    stack.Push(*context);
+  }
+  for (auto _ : state) {
+    auto vid = stack.Resolve(target->oid);
+    ODE_CHECK(vid.ok());
+    benchmark::DoNotOptimize(vid->vnum);
+  }
+}
+BENCHMARK(BM_ContextStackResolve)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_Freeze(benchmark::State& state) {
+  const int width = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  std::vector<ObjectId> parts;
+  for (int i = 0; i < width; ++i) {
+    auto part = handle->PnewRaw(type, Slice("part"));
+    ODE_CHECK(part.ok());
+    parts.push_back(part->oid);
+  }
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto config = Configuration::Create(*handle, "release");
+    ODE_CHECK(config.ok());
+    for (int i = 0; i < width; ++i) {
+      ODE_CHECK(config->BindDynamic("c" + std::to_string(i), parts[i]).ok());
+    }
+    state.ResumeTiming();
+    ODE_CHECK(config->Freeze().ok());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * width);
+}
+BENCHMARK(BM_Freeze)->Arg(8)->Arg(64);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// TAB-C: relationship-traversal cost vs history size and shape.
+//   - Tprevious/Dprevious single steps (the navigation primitives)
+//   - full root walks on linear vs bushy derivation trees
+//   - Dnext (children listing), which scans the object's version range
+
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_common.h"
+#include "policy/history.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+/// Linear history: v1 <- v2 <- ... <- vN.
+VersionId BuildLinear(Database& db, uint32_t type, int depth) {
+  auto vid = db.PnewRaw(type, Slice("x"));
+  ODE_CHECK(vid.ok());
+  VersionId current = *vid;
+  for (int i = 1; i < depth; ++i) {
+    auto next = db.NewVersionFrom(current);
+    ODE_CHECK(next.ok());
+    current = *next;
+  }
+  return current;  // Deepest version.
+}
+
+/// Bushy tree: every version derives from the root (maximal alternatives).
+VersionId BuildBushy(Database& db, uint32_t type, int width) {
+  auto root = db.PnewRaw(type, Slice("x"));
+  ODE_CHECK(root.ok());
+  VersionId last = *root;
+  for (int i = 1; i < width; ++i) {
+    auto alt = db.NewVersionFrom(*root);
+    ODE_CHECK(alt.ok());
+    last = *alt;
+  }
+  return *root;
+}
+
+void BM_TpreviousStep(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  VersionId deepest =
+      BuildLinear(*handle, RawType(*handle), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto prev = handle->Tprevious(deepest);
+    ODE_CHECK(prev.ok());
+    benchmark::DoNotOptimize(prev->has_value());
+  }
+}
+BENCHMARK(BM_TpreviousStep)->Arg(4)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_DpreviousStep(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  VersionId deepest =
+      BuildLinear(*handle, RawType(*handle), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto prev = handle->Dprevious(deepest);
+    ODE_CHECK(prev.ok());
+    benchmark::DoNotOptimize(prev->has_value());
+  }
+}
+BENCHMARK(BM_DpreviousStep)->Arg(4)->Arg(64)->Arg(1024)->Arg(4096);
+
+void BM_WalkToRoot_Linear(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  const int depth = static_cast<int>(state.range(0));
+  VersionId deepest = BuildLinear(*handle, RawType(*handle), depth);
+  for (auto _ : state) {
+    auto path = history::PathToRoot(*handle, deepest);
+    ODE_CHECK(path.ok());
+    ODE_CHECK(static_cast<int>(path->size()) == depth);
+  }
+  state.counters["steps"] = depth;
+}
+BENCHMARK(BM_WalkToRoot_Linear)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Dnext_Bushy(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  const int width = static_cast<int>(state.range(0));
+  VersionId root = BuildBushy(*handle, RawType(*handle), width);
+  for (auto _ : state) {
+    auto children = handle->Dnext(root);
+    ODE_CHECK(children.ok());
+    ODE_CHECK(static_cast<int>(children->size()) == width - 1);
+  }
+}
+BENCHMARK(BM_Dnext_Bushy)->Arg(16)->Arg(256)->Arg(2048);
+
+void BM_VersionsOf(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  VersionId deepest =
+      BuildLinear(*handle, RawType(*handle), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto versions = handle->VersionsOf(deepest.oid);
+    ODE_CHECK(versions.ok());
+    benchmark::DoNotOptimize(versions->size());
+  }
+}
+BENCHMARK(BM_VersionsOf)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Leaves_Bushy(benchmark::State& state) {
+  BenchDb handle = OpenBenchDb();
+  VersionId root =
+      BuildBushy(*handle, RawType(*handle), static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto leaves = history::Leaves(*handle, root.oid);
+    ODE_CHECK(leaves.ok());
+    benchmark::DoNotOptimize(leaves->size());
+  }
+}
+BENCHMARK(BM_Leaves_Bushy)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

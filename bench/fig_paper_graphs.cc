@@ -1,0 +1,166 @@
+// FIG-1..FIG-6 regenerator: replays the paper's operation sequences and
+// prints the version-graph state each figure depicts (§4, §5 of "Object
+// Versioning in Ode").  The same states are asserted structurally in
+// tests/integration/paper_figures_test.cc.
+//
+// Usage: fig_paper_graphs [--fig=N]     (default: all figures)
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "core/version_ptr.h"
+#include "policy/configuration.h"
+#include "policy/history.h"
+
+namespace {
+
+using ode::bench::BenchDb;
+using ode::bench::OpenBenchDb;
+using ode::bench::RawType;
+
+void PrintGraph(ode::Database& db, ode::ObjectId oid) {
+  auto rendered = ode::history::RenderGraph(db, oid);
+  std::printf("%s", rendered.ok() ? rendered->c_str() : "render failed\n");
+}
+
+ode::VersionId MustPnew(ode::Database& db, uint32_t type,
+                        const std::string& payload) {
+  auto vid = db.PnewRaw(type, ode::Slice(payload));
+  ODE_CHECK(vid.ok());
+  return *vid;
+}
+
+ode::VersionId MustDerive(ode::Database& db, ode::VersionId base) {
+  auto vid = db.NewVersionFrom(base);
+  ODE_CHECK(vid.ok());
+  return *vid;
+}
+
+void Fig1() {
+  std::printf("--- FIG-1: p = pnew ...  (one object, one version) ---\n");
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  ode::VersionId v0 = MustPnew(*handle, type, "initial state");
+  PrintGraph(*handle, v0.oid);
+  std::printf("\n");
+}
+
+void Fig2() {
+  std::printf(
+      "--- FIG-2: newversion(p)  (v2 is a revision of v1; p now denotes v2) "
+      "---\n");
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  ode::VersionId v0 = MustPnew(*handle, type, "v0");
+  MustDerive(*handle, v0);
+  PrintGraph(*handle, v0.oid);
+  std::printf("\n");
+}
+
+void Fig3() {
+  std::printf(
+      "--- FIG-3: two newversion(vp0) calls  (v2, v3 are alternatives) "
+      "---\n");
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  ode::VersionId v0 = MustPnew(*handle, type, "v0");
+  MustDerive(*handle, v0);
+  MustDerive(*handle, v0);
+  PrintGraph(*handle, v0.oid);
+  std::printf("\n");
+}
+
+void Fig4() {
+  std::printf(
+      "--- FIG-4: newversion(vp1)  (v4,v2,v1 form a version history) ---\n");
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  ode::VersionId v0 = MustPnew(*handle, type, "v0");
+  ode::VersionId v1 = MustDerive(*handle, v0);
+  MustDerive(*handle, v0);
+  MustDerive(*handle, v1);
+  PrintGraph(*handle, v0.oid);
+  auto path = ode::history::PathToRoot(*handle, ode::VersionId{v0.oid, 4});
+  if (path.ok()) {
+    std::printf("version history of v4:");
+    for (ode::VersionId vid : *path) std::printf(" v%u", vid.vnum);
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void Fig5() {
+  std::printf(
+      "--- FIG-5: pdelete(vid)  (deletion splices both relationships) ---\n");
+  BenchDb handle = OpenBenchDb();
+  const uint32_t type = RawType(*handle);
+  ode::VersionId v0 = MustPnew(*handle, type, "v0");
+  ode::VersionId v1 = MustDerive(*handle, v0);
+  MustDerive(*handle, v0);
+  MustDerive(*handle, v1);
+  std::printf("before deleting v%u:\n", v1.vnum);
+  PrintGraph(*handle, v0.oid);
+  ODE_CHECK(handle->PdeleteVersion(v1).ok());
+  std::printf("after deleting v%u (its child re-parents to v%u):\n", v1.vnum,
+              v0.vnum);
+  PrintGraph(*handle, v0.oid);
+  std::printf("\n");
+}
+
+void Fig6() {
+  std::printf(
+      "--- FIG-6: the DMS ALU example (representations as configurations) "
+      "---\n");
+  BenchDb handle = OpenBenchDb();
+  ode::Database& db = *handle;
+  const uint32_t type = RawType(db);
+  ode::VersionId schematic = MustPnew(db, type, "schematic rev A");
+  ode::VersionId vectors = MustPnew(db, type, "vectors rev A");
+  ode::VersionId timing_cmds = MustPnew(db, type, "timing rev A");
+
+  auto timing_rep = ode::Configuration::Create(db, "alu.timing");
+  ODE_CHECK(timing_rep.ok());
+  ODE_CHECK(timing_rep->BindDynamic("schematic", schematic.oid).ok());
+  ODE_CHECK(timing_rep->BindDynamic("vectors", vectors.oid).ok());
+  ODE_CHECK(timing_rep->BindDynamic("timing", timing_cmds.oid).ok());
+  ODE_CHECK(timing_rep->Freeze().ok());  // Release 1.0.
+
+  // Evolution after the release: revision + alternative of the schematic.
+  ode::VersionId rev_b = MustDerive(db, schematic);
+  ODE_CHECK(db.UpdateVersion(rev_b, ode::Slice("schematic rev B")).ok());
+  ode::VersionId alt = MustDerive(db, schematic);
+  ODE_CHECK(db.UpdateVersion(alt, ode::Slice("schematic rev A'")).ok());
+
+  std::printf("schematic data object:\n");
+  PrintGraph(db, schematic.oid);
+  auto resolved = timing_rep->ResolveAll();
+  ODE_CHECK(resolved.ok());
+  std::printf("frozen timing representation still binds:");
+  for (const auto& [component, vid] : *resolved) {
+    std::printf(" %s=v%u", component.c_str(), vid.vnum);
+  }
+  std::printf("\nlatest schematic is v%u (\"%s\")\n",
+              db.Latest(schematic.oid)->vnum,
+              db.ReadLatest(schematic.oid)->c_str());
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int only = 0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--fig=", 6) == 0) only = std::atoi(argv[i] + 6);
+  }
+  std::printf("Reproducing the version-graph figures of "
+              "\"Object Versioning in Ode\" (ICDE 1991)\n\n");
+  if (only == 0 || only == 1) Fig1();
+  if (only == 0 || only == 2) Fig2();
+  if (only == 0 || only == 3) Fig3();
+  if (only == 0 || only == 4) Fig4();
+  if (only == 0 || only == 5) Fig5();
+  if (only == 0 || only == 6) Fig6();
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Historical databases on the temporal relationship (§2):
+//
+//   "Versions of an object should be ordered temporally according to their
+//    creation time, which is important for historical databases, such as
+//    those used in accounting, legal, and financial applications, that must
+//    access the past states of the database."
+//
+// An Account's balance history is kept by making every posting an explicit
+// new version.  Auditors replay past states with Tprevious / the temporal
+// chain; the current balance is just the latest version.
+//
+// Build & run:  ./build/examples/historical_ledger
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+
+#include "core/database.h"
+#include "core/version_ptr.h"
+
+namespace {
+
+struct Account {
+  static constexpr char kTypeName[] = "Account";
+  std::string holder;
+  int64_t balance_cents = 0;
+  std::string last_posting;
+  void Serialize(ode::BufferWriter& w) const {
+    w.WriteString(ode::Slice(holder));
+    w.WriteI64(balance_cents);
+    w.WriteString(ode::Slice(last_posting));
+  }
+  static ode::StatusOr<Account> Deserialize(ode::BufferReader& r) {
+    Account a;
+    ODE_RETURN_IF_ERROR(r.ReadString(&a.holder));
+    ODE_RETURN_IF_ERROR(r.ReadI64(&a.balance_cents));
+    ODE_RETURN_IF_ERROR(r.ReadString(&a.last_posting));
+    return a;
+  }
+};
+
+int Fail(const ode::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+// Posts a transaction: a new version whose state reflects the posting.
+// Grouping the newversion + store in one database transaction makes the
+// posting atomic.
+ode::Status Post(ode::Database& db, const ode::Ref<Account>& account,
+                 int64_t delta_cents, const std::string& description) {
+  ODE_RETURN_IF_ERROR(db.Begin());
+  auto posted = [&]() -> ode::Status {
+    auto current = account.Load();
+    if (!current.ok()) return current.status();
+    auto next = ode::newversion(account);
+    if (!next.ok()) return next.status();
+    Account updated = *current;
+    updated.balance_cents += delta_cents;
+    updated.last_posting = description;
+    return next->Store(updated);
+  }();
+  if (!posted.ok()) {
+    ode::Status abort_status = db.Abort();
+    if (!abort_status.ok()) return abort_status;
+    return posted;
+  }
+  return db.Commit();
+}
+
+}  // namespace
+
+int main() {
+  ode::DatabaseOptions options;
+  options.storage.path = "/tmp/ode_ledger";
+  auto db_or = ode::Database::Open(options);
+  if (!db_or.ok()) return Fail(db_or.status());
+  ode::Database& db = **db_or;
+
+  auto account =
+      ode::pnew(db, Account{"acme corp", 100000, "opening balance"});
+  if (!account.ok()) return Fail(account.status());
+
+  struct Posting {
+    int64_t delta;
+    const char* description;
+  };
+  const Posting postings[] = {
+      {-25000, "office rent"},
+      {+180000, "invoice #1042 paid"},
+      {-4999, "software license"},
+      {-60000, "payroll"},
+  };
+  for (const Posting& posting : postings) {
+    if (ode::Status s = Post(db, *account, posting.delta,
+                             posting.description);
+        !s.ok()) {
+      return Fail(s);
+    }
+  }
+
+  std::printf("current balance: $%.2f\n",
+              (*account)->balance_cents / 100.0);
+
+  // Audit: replay the full history along the temporal chain.
+  std::printf("\naudit trail (temporal order):\n");
+  auto versions = db.VersionsOf(account->oid());
+  if (!versions.ok()) return Fail(versions.status());
+  for (ode::VersionId vid : *versions) {
+    auto state = db.Get<Account>(vid);
+    if (!state.ok()) return Fail(state.status());
+    auto meta = db.Meta(vid);
+    if (!meta.ok()) return Fail(meta.status());
+    std::printf("  v%-3u ts=%-4" PRIu64 " $%10.2f  %s\n", vid.vnum,
+                meta->created_ts, state->balance_cents / 100.0,
+                state->last_posting.c_str());
+  }
+
+  // Point-in-time query: the balance two postings ago, via Tprevious.
+  auto latest = account->Pin();
+  if (!latest.ok()) return Fail(latest.status());
+  ode::VersionPtr<Account> cursor = *latest;
+  for (int back = 0; back < 2; ++back) {
+    auto prev = cursor.Tprevious();
+    if (!prev.ok()) return Fail(prev.status());
+    if (!prev->has_value()) break;
+    cursor = prev->value();
+  }
+  std::printf("\nbalance two postings ago (v%u): $%.2f\n", cursor.vid().vnum,
+              cursor->balance_cents / 100.0);
+
+  if (ode::Status s = ode::pdelete(*account); !s.ok()) return Fail(s);
+  std::printf("\ndone.\n");
+  return 0;
+}

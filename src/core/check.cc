@@ -1,0 +1,157 @@
+#include "core/check.h"
+
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace ode {
+
+namespace {
+
+std::string Describe(VersionId vid) {
+  std::ostringstream os;
+  os << vid;
+  return os.str();
+}
+
+}  // namespace
+
+StatusOr<CheckReport> CheckDatabase(Database& db) {
+  CheckReport report;
+  auto complain = [&report](const std::string& message) {
+    report.errors.push_back(message);
+  };
+
+  // Pass 1: every object and its versions.
+  std::map<uint64_t, uint32_t> object_types;  // oid -> type (for clusters).
+  Status iter_status = db.ForEachObject([&](ObjectId oid,
+                                            const ObjectHeader& header) {
+    ++report.objects_checked;
+    object_types[oid.value] = header.type_id;
+
+    std::set<VersionNum> live;
+    VersionNum max_vnum = 0;
+    std::map<VersionNum, VersionMeta> metas;
+    Status versions_status = db.ForEachVersion(
+        oid, [&](VersionId vid, const VersionMeta& meta) {
+          ++report.versions_checked;
+          live.insert(vid.vnum);
+          max_vnum = std::max(max_vnum, vid.vnum);
+          metas[vid.vnum] = meta;
+          if (meta.vnum != vid.vnum) {
+            complain("version key/meta vnum mismatch at " + Describe(vid));
+          }
+          return true;
+        });
+    if (!versions_status.ok()) {
+      complain("version scan failed for object " +
+               std::to_string(oid.value) + ": " + versions_status.ToString());
+      return true;
+    }
+
+    if (live.size() != header.version_count) {
+      complain("object " + std::to_string(oid.value) + ": header counts " +
+               std::to_string(header.version_count) + " versions, found " +
+               std::to_string(live.size()));
+    }
+    if (live.empty()) {
+      complain("object " + std::to_string(oid.value) + " has no versions");
+      return true;
+    }
+    if (live.count(header.latest) == 0) {
+      complain("object " + std::to_string(oid.value) + ": latest v" +
+               std::to_string(header.latest) + " does not exist");
+    } else if (header.latest != max_vnum) {
+      complain("object " + std::to_string(oid.value) + ": latest v" +
+               std::to_string(header.latest) +
+               " is not the temporally newest v" + std::to_string(max_vnum));
+    }
+    if (header.next_vnum <= max_vnum) {
+      complain("object " + std::to_string(oid.value) + ": next_vnum " +
+               std::to_string(header.next_vnum) + " <= max existing v" +
+               std::to_string(max_vnum));
+    }
+
+    for (const auto& [vnum, meta] : metas) {
+      const VersionId vid{oid, vnum};
+      if (meta.derived_from != kNoVersion) {
+        if (live.count(meta.derived_from) == 0) {
+          complain(Describe(vid) + ": derived_from v" +
+                   std::to_string(meta.derived_from) + " does not exist");
+        }
+      }
+      if (meta.kind == PayloadKind::kDelta) {
+        if (meta.delta_base == kNoVersion ||
+            live.count(meta.delta_base) == 0) {
+          complain(Describe(vid) + ": delta base v" +
+                   std::to_string(meta.delta_base) + " does not exist");
+        } else {
+          if (meta.delta_base >= vnum) {
+            complain(Describe(vid) + ": delta base v" +
+                     std::to_string(meta.delta_base) + " is not older");
+          }
+          const VersionMeta& base = metas[meta.delta_base];
+          if (meta.delta_chain_len != base.delta_chain_len + 1) {
+            complain(Describe(vid) + ": chain length " +
+                     std::to_string(meta.delta_chain_len) +
+                     " inconsistent with base chain " +
+                     std::to_string(base.delta_chain_len));
+          }
+        }
+      } else if (meta.delta_chain_len != 0) {
+        complain(Describe(vid) + ": full payload with nonzero chain length");
+      }
+      // Every payload must materialize to its recorded size.
+      auto bytes = db.ReadVersion(vid);
+      if (!bytes.ok()) {
+        complain(Describe(vid) +
+                 ": payload unreadable: " + bytes.status().ToString());
+      } else {
+        report.payload_bytes += bytes->size();
+        if (bytes->size() != meta.logical_size) {
+          complain(Describe(vid) + ": materialized " +
+                   std::to_string(bytes->size()) + " bytes, meta says " +
+                   std::to_string(meta.logical_size));
+        }
+      }
+    }
+    return true;
+  });
+  if (!iter_status.ok()) return iter_status;
+
+  // Pass 2: cluster membership is exactly the object set, per type.
+  std::set<uint64_t> seen_in_clusters;
+  Status type_status =
+      db.ForEachType([&](const std::string& name, uint32_t type_id) {
+        Status cluster_status =
+            db.ForEachInCluster(type_id, [&](ObjectId oid) {
+              auto it = object_types.find(oid.value);
+              if (it == object_types.end()) {
+                complain("cluster '" + name + "' lists missing object " +
+                         std::to_string(oid.value));
+              } else if (it->second != type_id) {
+                complain("cluster '" + name + "' lists object " +
+                         std::to_string(oid.value) + " of another type");
+              }
+              seen_in_clusters.insert(oid.value);
+              return true;
+            });
+        if (!cluster_status.ok()) {
+          complain("cluster scan failed for '" + name +
+                   "': " + cluster_status.ToString());
+        }
+        return true;
+      });
+  if (!type_status.ok()) return type_status;
+
+  for (const auto& [oid, type] : object_types) {
+    (void)type;
+    if (seen_in_clusters.count(oid) == 0) {
+      complain("object " + std::to_string(oid) + " missing from its cluster");
+    }
+  }
+
+  return report;
+}
+
+}  // namespace ode

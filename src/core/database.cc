@@ -1,0 +1,1035 @@
+#include "core/database.h"
+
+#include <algorithm>
+
+#include "core/delta.h"
+#include "storage/btree.h"
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace ode {
+
+namespace {
+
+/// Identity delta: COPY the whole base.  Lets newversion run without
+/// materializing the base payload (the "small changes have small impact"
+/// principle applied to version creation itself).
+std::string MakeIdentityDelta(uint64_t size) {
+  std::string out;
+  PutVarint64(&out, size);
+  if (size > 0) {
+    out.push_back(0);  // COPY tag.
+    PutVarint64(&out, 0);
+    PutVarint64(&out, size);
+  }
+  return out;
+}
+
+std::string EncodeTypeId(uint32_t id) {
+  std::string s;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    s.push_back(static_cast<char>((id >> shift) & 0xff));
+  }
+  return s;
+}
+
+Status DecodeTypeId(const Slice& bytes, uint32_t* id) {
+  if (bytes.size() != 4) return Status::Corruption("bad type id value");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | static_cast<uint8_t>(bytes[i]);
+  *id = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Database>> Database::Open(
+    const DatabaseOptions& options) {
+  auto db = std::unique_ptr<Database>(new Database());
+  db->options_ = options;
+  auto engine = StorageEngine::Open(options.storage);
+  if (!engine.ok()) return engine.status();
+  db->engine_ = std::move(*engine);
+  // Materialize the four catalog trees so their root slots are claimed
+  // deterministically.
+  Status s = db->RunInTxn([](Txn& txn) -> Status {
+    for (int slot : {kObjectsTreeSlot, kVersionsTreeSlot, kClustersTreeSlot,
+                     kNamesTreeSlot}) {
+      auto tree = BTree::Open(&txn, slot);
+      if (!tree.ok()) return tree.status();
+    }
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return db;
+}
+
+Database::~Database() {
+  if (txn_ != nullptr) {
+    Status s = Abort();
+    if (!s.ok()) { ODE_LOG_WARN << "abort on close failed: " << s; }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transactions
+// ---------------------------------------------------------------------------
+
+Status Database::RunInTxn(const std::function<Status(Txn&)>& body) {
+  // Nested calls (triggers, policies, grouped operations) join the
+  // in-flight transaction.
+  if (active_txn_ != nullptr) return body(*active_txn_);
+  return engine_->WithTxn([&](Txn& txn) {
+    active_txn_ = &txn;
+    Status s = body(txn);
+    active_txn_ = nullptr;
+    return s;
+  });
+}
+
+Status Database::Begin() {
+  if (txn_ != nullptr) {
+    return Status::FailedPrecondition("transaction already open");
+  }
+  auto txn = engine_->Begin();
+  if (!txn.ok()) return txn.status();
+  txn_ = *txn;
+  active_txn_ = *txn;
+  return Status::OK();
+}
+
+Status Database::Commit() {
+  if (txn_ == nullptr) return Status::FailedPrecondition("no open transaction");
+  Txn* txn = txn_;
+  txn_ = nullptr;
+  active_txn_ = nullptr;
+  return engine_->Commit(txn);
+}
+
+Status Database::Abort() {
+  if (txn_ == nullptr) return Status::FailedPrecondition("no open transaction");
+  Txn* txn = txn_;
+  txn_ = nullptr;
+  active_txn_ = nullptr;
+  // Type registrations made inside the aborted transaction are rolled back;
+  // drop the cache so stale ids cannot leak.
+  type_cache_.clear();
+  return engine_->Abort(txn);
+}
+
+Status Database::Checkpoint() { return engine_->Checkpoint(); }
+
+// ---------------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------------
+
+StatusOr<uint64_t> Database::NextTimestamp(Txn& txn) {
+  if (options_.clock != nullptr) return options_.clock->Now();
+  auto current = txn.GetCounter(kClockCounter);
+  if (!current.ok()) return current.status();
+  const uint64_t next = *current + 1;
+  ODE_RETURN_IF_ERROR(txn.SetCounter(kClockCounter, next));
+  return next;
+}
+
+StatusOr<ObjectId> Database::AllocateOid(Txn& txn) {
+  auto current = txn.GetCounter(kNextOidCounter);
+  if (!current.ok()) return current.status();
+  const uint64_t next = *current + 1;
+  ODE_RETURN_IF_ERROR(txn.SetCounter(kNextOidCounter, next));
+  return ObjectId{next};
+}
+
+Status Database::GetHeader(Txn& txn, ObjectId oid, ObjectHeader* out) {
+  auto tree = BTree::Open(&txn, kObjectsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  auto value = tree->Get(ObjectKey(oid));
+  if (!value.ok()) return value.status();
+  return ObjectHeader::Decode(Slice(*value), out);
+}
+
+Status Database::PutHeader(Txn& txn, ObjectId oid, const ObjectHeader& header) {
+  auto tree = BTree::Open(&txn, kObjectsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  return tree->Put(ObjectKey(oid), Slice(header.Encode()));
+}
+
+Status Database::GetMeta(Txn& txn, VersionId vid, VersionMeta* out) {
+  auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  auto value = tree->Get(VersionKey(vid));
+  if (!value.ok()) return value.status();
+  return VersionMeta::Decode(Slice(*value), out);
+}
+
+Status Database::PutMeta(Txn& txn, VersionId vid, const VersionMeta& meta) {
+  auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  return tree->Put(VersionKey(vid), Slice(meta.Encode()));
+}
+
+// ---------------------------------------------------------------------------
+// Payload store (full + delta strategies)
+// ---------------------------------------------------------------------------
+
+Status Database::Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
+                             std::string* out) {
+  ++stats_.materializations;
+  if (meta.kind == PayloadKind::kFull) {
+    auto bytes = engine_->heap().Read(&txn, meta.payload);
+    if (!bytes.ok()) return bytes.status();
+    *out = std::move(*bytes);
+    return Status::OK();
+  }
+  // Collect the delta chain down to the nearest full payload.
+  std::vector<VersionMeta> chain;
+  VersionMeta current = meta;
+  while (current.kind == PayloadKind::kDelta) {
+    chain.push_back(current);
+    if (chain.size() > 100000) {
+      return Status::Corruption("delta chain cycle");
+    }
+    VersionMeta base;
+    ODE_RETURN_IF_ERROR(
+        GetMeta(txn, VersionId{oid, current.delta_base}, &base));
+    current = base;
+  }
+  auto base_bytes = engine_->heap().Read(&txn, current.payload);
+  if (!base_bytes.ok()) return base_bytes.status();
+  std::string acc = std::move(*base_bytes);
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    auto delta_bytes = engine_->heap().Read(&txn, it->payload);
+    if (!delta_bytes.ok()) return delta_bytes.status();
+    auto applied = delta::Apply(Slice(acc), Slice(*delta_bytes));
+    if (!applied.ok()) return applied.status();
+    acc = std::move(*applied);
+    ++stats_.delta_applications;
+  }
+  *out = std::move(acc);
+  return Status::OK();
+}
+
+Status Database::StorePayload(Txn& txn, ObjectId oid, VersionMeta* meta,
+                              const Slice& payload) {
+  meta->logical_size = payload.size();
+  if (options_.payload_strategy == PayloadKind::kDelta &&
+      meta->derived_from != kNoVersion) {
+    VersionMeta base;
+    Status base_status =
+        GetMeta(txn, VersionId{oid, meta->derived_from}, &base);
+    if (base_status.ok() &&
+        base.delta_chain_len + 1 <= options_.delta_keyframe_interval) {
+      std::string base_bytes;
+      ODE_RETURN_IF_ERROR(Materialize(txn, oid, base, &base_bytes));
+      std::string encoded = delta::Encode(Slice(base_bytes), payload);
+      if (!payload.empty() &&
+          static_cast<double>(encoded.size()) <=
+              options_.delta_max_ratio * static_cast<double>(payload.size())) {
+        auto rid = engine_->heap().Insert(&txn, Slice(encoded));
+        if (!rid.ok()) return rid.status();
+        meta->payload = *rid;
+        meta->kind = PayloadKind::kDelta;
+        meta->delta_base = meta->derived_from;
+        meta->delta_chain_len = base.delta_chain_len + 1;
+        ++stats_.delta_payloads_written;
+        stats_.delta_bytes_written += encoded.size();
+        return Status::OK();
+      }
+    }
+  }
+  auto rid = engine_->heap().Insert(&txn, payload);
+  if (!rid.ok()) return rid.status();
+  meta->payload = *rid;
+  meta->kind = PayloadKind::kFull;
+  meta->delta_base = kNoVersion;
+  meta->delta_chain_len = 0;
+  ++stats_.full_payloads_written;
+  stats_.full_bytes_written += payload.size();
+  return Status::OK();
+}
+
+Status Database::StoreCopyOfBase(Txn& txn, ObjectId oid,
+                                 const VersionMeta& base, VersionMeta* meta) {
+  meta->logical_size = base.logical_size;
+  if (options_.payload_strategy == PayloadKind::kDelta &&
+      base.delta_chain_len + 1 <= options_.delta_keyframe_interval) {
+    const std::string encoded = MakeIdentityDelta(base.logical_size);
+    auto rid = engine_->heap().Insert(&txn, Slice(encoded));
+    if (!rid.ok()) return rid.status();
+    meta->payload = *rid;
+    meta->kind = PayloadKind::kDelta;
+    meta->delta_base = base.vnum;
+    meta->delta_chain_len = base.delta_chain_len + 1;
+    ++stats_.delta_payloads_written;
+    stats_.delta_bytes_written += encoded.size();
+    return Status::OK();
+  }
+  std::string bytes;
+  ODE_RETURN_IF_ERROR(Materialize(txn, oid, base, &bytes));
+  auto rid = engine_->heap().Insert(&txn, Slice(bytes));
+  if (!rid.ok()) return rid.status();
+  meta->payload = *rid;
+  meta->kind = PayloadKind::kFull;
+  meta->delta_base = kNoVersion;
+  meta->delta_chain_len = 0;
+  ++stats_.full_payloads_written;
+  stats_.full_bytes_written += bytes.size();
+  return Status::OK();
+}
+
+Status Database::RematerializeDeltaChildren(Txn& txn, VersionId vid) {
+  auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  const std::string prefix = VersionKeyPrefix(vid.oid);
+  // Collect first (mutating while iterating invalidates the cursor).
+  std::vector<VersionMeta> children;
+  {
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      VersionMeta meta;
+      ODE_RETURN_IF_ERROR(VersionMeta::Decode(Slice(it.value()), &meta));
+      if (meta.kind == PayloadKind::kDelta && meta.delta_base == vid.vnum) {
+        children.push_back(meta);
+      }
+    }
+    ODE_RETURN_IF_ERROR(it.status());
+  }
+  for (VersionMeta& child : children) {
+    std::string bytes;
+    ODE_RETURN_IF_ERROR(Materialize(txn, vid.oid, child, &bytes));
+    ODE_RETURN_IF_ERROR(engine_->heap().Delete(&txn, child.payload));
+    auto rid = engine_->heap().Insert(&txn, Slice(bytes));
+    if (!rid.ok()) return rid.status();
+    child.payload = *rid;
+    child.kind = PayloadKind::kFull;
+    child.delta_base = kNoVersion;
+    child.delta_chain_len = 0;
+    ++stats_.full_payloads_written;
+    stats_.full_bytes_written += bytes.size();
+    ODE_RETURN_IF_ERROR(PutMeta(txn, VersionId{vid.oid, child.vnum}, child));
+    // The child became a keyframe: its delta descendants now sit on a
+    // shorter chain; propagate the corrected lengths.
+    ODE_RETURN_IF_ERROR(
+        RecomputeChainLengths(txn, VersionId{vid.oid, child.vnum}, 0));
+  }
+  return Status::OK();
+}
+
+Status Database::RecomputeChainLengths(Txn& txn, VersionId base,
+                                       uint32_t base_chain) {
+  auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  const std::string prefix = VersionKeyPrefix(base.oid);
+  std::vector<VersionMeta> dependents;
+  {
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      VersionMeta m;
+      ODE_RETURN_IF_ERROR(VersionMeta::Decode(Slice(it.value()), &m));
+      if (m.kind == PayloadKind::kDelta && m.delta_base == base.vnum) {
+        dependents.push_back(m);
+      }
+    }
+    ODE_RETURN_IF_ERROR(it.status());
+  }
+  for (VersionMeta& m : dependents) {
+    if (m.delta_chain_len == base_chain + 1) continue;  // Already right.
+    m.delta_chain_len = base_chain + 1;
+    ODE_RETURN_IF_ERROR(PutMeta(txn, VersionId{base.oid, m.vnum}, m));
+    ODE_RETURN_IF_ERROR(RecomputeChainLengths(
+        txn, VersionId{base.oid, m.vnum}, m.delta_chain_len));
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Lifecycle operations
+// ---------------------------------------------------------------------------
+
+Status Database::DoPnew(Txn& txn, uint32_t type_id, const Slice& payload,
+                        VersionId* out) {
+  auto ts = NextTimestamp(txn);
+  if (!ts.ok()) return ts.status();
+  auto oid = AllocateOid(txn);
+  if (!oid.ok()) return oid.status();
+
+  ObjectHeader header;
+  header.type_id = type_id;
+  header.latest = kFirstVersion;
+  header.next_vnum = kFirstVersion + 1;
+  header.version_count = 1;
+  header.created_ts = *ts;
+
+  VersionMeta meta;
+  meta.vnum = kFirstVersion;
+  meta.derived_from = kNoVersion;
+  meta.created_ts = *ts;
+  ODE_RETURN_IF_ERROR(StorePayload(txn, *oid, &meta, payload));
+
+  ODE_RETURN_IF_ERROR(PutHeader(txn, *oid, header));
+  ODE_RETURN_IF_ERROR(PutMeta(txn, VersionId{*oid, kFirstVersion}, meta));
+  {
+    auto clusters = BTree::Open(&txn, kClustersTreeSlot);
+    if (!clusters.ok()) return clusters.status();
+    ODE_RETURN_IF_ERROR(clusters->Put(ClusterKey(type_id, *oid), Slice()));
+  }
+  *out = VersionId{*oid, kFirstVersion};
+  ++stats_.pnew_count;
+  FireTriggers(TriggerInfo{TriggerEvent::kPnew, *out, type_id, VersionId{}});
+  return Status::OK();
+}
+
+StatusOr<VersionId> Database::PnewRaw(uint32_t type_id, const Slice& payload) {
+  VersionId result;
+  Status s = RunInTxn([&](Txn& txn) {
+    return DoPnew(txn, type_id, payload, &result);
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+Status Database::DoNewVersion(Txn& txn, ObjectId oid,
+                              std::optional<VersionNum> base_vnum,
+                              VersionId* out) {
+  ObjectHeader header;
+  ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+  const VersionNum base = base_vnum.value_or(header.latest);
+  VersionMeta base_meta;
+  ODE_RETURN_IF_ERROR(GetMeta(txn, VersionId{oid, base}, &base_meta));
+
+  auto ts = NextTimestamp(txn);
+  if (!ts.ok()) return ts.status();
+
+  VersionMeta meta;
+  meta.vnum = header.next_vnum;
+  meta.derived_from = base;
+  meta.created_ts = *ts;
+  ODE_RETURN_IF_ERROR(StoreCopyOfBase(txn, oid, base_meta, &meta));
+
+  header.next_vnum += 1;
+  header.latest = meta.vnum;  // The new version is temporally newest.
+  header.version_count += 1;
+  ODE_RETURN_IF_ERROR(PutMeta(txn, VersionId{oid, meta.vnum}, meta));
+  ODE_RETURN_IF_ERROR(PutHeader(txn, oid, header));
+
+  *out = VersionId{oid, meta.vnum};
+  ++stats_.newversion_count;
+  FireTriggers(TriggerInfo{TriggerEvent::kNewVersion, *out, header.type_id,
+                           VersionId{oid, base}});
+  return Status::OK();
+}
+
+StatusOr<VersionId> Database::NewVersionOf(ObjectId oid) {
+  VersionId result;
+  Status s = RunInTxn([&](Txn& txn) {
+    return DoNewVersion(txn, oid, std::nullopt, &result);
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<VersionId> Database::NewDetachedVersion(ObjectId oid,
+                                                 const Slice& payload) {
+  VersionId result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    ObjectHeader header;
+    ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+    auto ts = NextTimestamp(txn);
+    if (!ts.ok()) return ts.status();
+    VersionMeta meta;
+    meta.vnum = header.next_vnum;
+    meta.derived_from = kNoVersion;
+    meta.created_ts = *ts;
+    ODE_RETURN_IF_ERROR(StorePayload(txn, oid, &meta, payload));
+    header.next_vnum += 1;
+    header.latest = meta.vnum;
+    header.version_count += 1;
+    ODE_RETURN_IF_ERROR(PutMeta(txn, VersionId{oid, meta.vnum}, meta));
+    ODE_RETURN_IF_ERROR(PutHeader(txn, oid, header));
+    result = VersionId{oid, meta.vnum};
+    ++stats_.newversion_count;
+    FireTriggers(TriggerInfo{TriggerEvent::kNewVersion, result,
+                             header.type_id, VersionId{}});
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<VersionId> Database::NewVersionFrom(VersionId vid) {
+  VersionId result;
+  Status s = RunInTxn([&](Txn& txn) {
+    return DoNewVersion(txn, vid.oid, vid.vnum, &result);
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+Status Database::DoUpdate(Txn& txn, VersionId vid, const Slice& payload) {
+  VersionMeta meta;
+  ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
+  ObjectHeader header;
+  ODE_RETURN_IF_ERROR(GetHeader(txn, vid.oid, &header));
+
+  // Versions whose stored delta is based on this one would see their
+  // materialized contents change; pin them down as full payloads first.
+  ODE_RETURN_IF_ERROR(RematerializeDeltaChildren(txn, vid));
+
+  const RecordId old_payload = meta.payload;
+  ODE_RETURN_IF_ERROR(StorePayload(txn, vid.oid, &meta, payload));
+  ODE_RETURN_IF_ERROR(engine_->heap().Delete(&txn, old_payload));
+  ODE_RETURN_IF_ERROR(PutMeta(txn, vid, meta));
+  ++stats_.update_count;
+  FireTriggers(
+      TriggerInfo{TriggerEvent::kUpdate, vid, header.type_id, VersionId{}});
+  return Status::OK();
+}
+
+Status Database::UpdateVersion(VersionId vid, const Slice& payload) {
+  return RunInTxn([&](Txn& txn) { return DoUpdate(txn, vid, payload); });
+}
+
+Status Database::UpdateLatest(ObjectId oid, const Slice& payload) {
+  return RunInTxn([&](Txn& txn) -> Status {
+    ObjectHeader header;
+    ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+    return DoUpdate(txn, VersionId{oid, header.latest}, payload);
+  });
+}
+
+StatusOr<std::string> Database::ReadVersion(VersionId vid) {
+  std::string result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    VersionMeta meta;
+    ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
+    return Materialize(txn, vid.oid, meta, &result);
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<std::string> Database::ReadLatest(ObjectId oid, VersionId* resolved) {
+  std::string result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    ObjectHeader header;
+    ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+    VersionMeta meta;
+    const VersionId vid{oid, header.latest};
+    ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
+    if (resolved != nullptr) *resolved = vid;
+    return Materialize(txn, oid, meta, &result);
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+Status Database::DoDeleteVersion(Txn& txn, VersionId vid) {
+  VersionMeta meta;
+  ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
+  ObjectHeader header;
+  ODE_RETURN_IF_ERROR(GetHeader(txn, vid.oid, &header));
+
+  // Delta children must stop depending on this payload.
+  ODE_RETURN_IF_ERROR(RematerializeDeltaChildren(txn, vid));
+
+  // Splice the derived-from tree: children of v are re-parented to v's own
+  // parent (§4.4: deleting a version preserves the derivation history of the
+  // survivors).
+  {
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = VersionKeyPrefix(vid.oid);
+    std::vector<VersionMeta> children;
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      VersionMeta m;
+      ODE_RETURN_IF_ERROR(VersionMeta::Decode(Slice(it.value()), &m));
+      if (m.derived_from == vid.vnum) children.push_back(m);
+    }
+    ODE_RETURN_IF_ERROR(it.status());
+    for (VersionMeta& child : children) {
+      child.derived_from = meta.derived_from;
+      ODE_RETURN_IF_ERROR(PutMeta(txn, VersionId{vid.oid, child.vnum}, child));
+    }
+  }
+
+  ODE_RETURN_IF_ERROR(engine_->heap().Delete(&txn, meta.payload));
+  {
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    ODE_RETURN_IF_ERROR(tree->Delete(VersionKey(vid)));
+  }
+
+  header.version_count -= 1;
+  ++stats_.delete_version_count;
+  if (header.version_count == 0) {
+    // Last version gone: the object itself disappears.
+    auto objects = BTree::Open(&txn, kObjectsTreeSlot);
+    if (!objects.ok()) return objects.status();
+    ODE_RETURN_IF_ERROR(objects->Delete(ObjectKey(vid.oid)));
+    auto clusters = BTree::Open(&txn, kClustersTreeSlot);
+    if (!clusters.ok()) return clusters.status();
+    ODE_RETURN_IF_ERROR(clusters->Delete(ClusterKey(header.type_id, vid.oid)));
+    ++stats_.delete_object_count;
+    FireTriggers(TriggerInfo{TriggerEvent::kDeleteVersion, vid, header.type_id,
+                             VersionId{}});
+    FireTriggers(TriggerInfo{TriggerEvent::kDeleteObject,
+                             VersionId{vid.oid, kNoVersion}, header.type_id,
+                             VersionId{}});
+    return Status::OK();
+  }
+
+  if (header.latest == vid.vnum) {
+    // Latest was deleted: the new latest is the largest remaining vnum
+    // (numeric order == temporal order).
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    auto it = tree->NewIterator();
+    const std::string prefix = VersionKeyPrefix(vid.oid);
+    it.SeekForPrev(VersionKey(VersionId{vid.oid, UINT32_MAX}));
+    if (!it.Valid() || !Slice(it.key()).starts_with(Slice(prefix))) {
+      return Status::Internal("no versions left despite nonzero count");
+    }
+    VersionId last;
+    ODE_RETURN_IF_ERROR(ParseVersionKey(Slice(it.key()), &last));
+    header.latest = last.vnum;
+  }
+  ODE_RETURN_IF_ERROR(PutHeader(txn, vid.oid, header));
+  FireTriggers(TriggerInfo{TriggerEvent::kDeleteVersion, vid, header.type_id,
+                           VersionId{}});
+  return Status::OK();
+}
+
+Status Database::PdeleteVersion(VersionId vid) {
+  return RunInTxn([&](Txn& txn) { return DoDeleteVersion(txn, vid); });
+}
+
+Status Database::DoDeleteObject(Txn& txn, ObjectId oid) {
+  ObjectHeader header;
+  ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+
+  // Collect all versions, then drop payloads and metadata.
+  std::vector<VersionMeta> metas;
+  {
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = VersionKeyPrefix(oid);
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      VersionMeta m;
+      ODE_RETURN_IF_ERROR(VersionMeta::Decode(Slice(it.value()), &m));
+      metas.push_back(m);
+    }
+    ODE_RETURN_IF_ERROR(it.status());
+  }
+  for (const VersionMeta& m : metas) {
+    ODE_RETURN_IF_ERROR(engine_->heap().Delete(&txn, m.payload));
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    ODE_RETURN_IF_ERROR(tree->Delete(VersionKey(VersionId{oid, m.vnum})));
+  }
+  {
+    auto objects = BTree::Open(&txn, kObjectsTreeSlot);
+    if (!objects.ok()) return objects.status();
+    ODE_RETURN_IF_ERROR(objects->Delete(ObjectKey(oid)));
+    auto clusters = BTree::Open(&txn, kClustersTreeSlot);
+    if (!clusters.ok()) return clusters.status();
+    ODE_RETURN_IF_ERROR(clusters->Delete(ClusterKey(header.type_id, oid)));
+  }
+  stats_.delete_version_count += metas.size();
+  ++stats_.delete_object_count;
+  FireTriggers(TriggerInfo{TriggerEvent::kDeleteObject,
+                           VersionId{oid, kNoVersion}, header.type_id,
+                           VersionId{}});
+  return Status::OK();
+}
+
+Status Database::PdeleteObject(ObjectId oid) {
+  return RunInTxn([&](Txn& txn) { return DoDeleteObject(txn, oid); });
+}
+
+// ---------------------------------------------------------------------------
+// Traversal
+// ---------------------------------------------------------------------------
+
+StatusOr<VersionId> Database::Latest(ObjectId oid) {
+  VersionId result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    ObjectHeader header;
+    ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+    result = VersionId{oid, header.latest};
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<std::optional<VersionId>> Database::Tprevious(VersionId vid) {
+  std::optional<VersionId> result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    // Confirm vid itself exists (traversing from a deleted version is an
+    // error, not an empty result).
+    VersionMeta self;
+    ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &self));
+    if (vid.vnum == 0) return Status::OK();
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    auto it = tree->NewIterator();
+    it.SeekForPrev(VersionKey(VersionId{vid.oid, vid.vnum - 1}));
+    const std::string prefix = VersionKeyPrefix(vid.oid);
+    if (it.Valid() && Slice(it.key()).starts_with(Slice(prefix))) {
+      VersionId prev;
+      ODE_RETURN_IF_ERROR(ParseVersionKey(Slice(it.key()), &prev));
+      result = prev;
+    }
+    return it.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<std::optional<VersionId>> Database::Tnext(VersionId vid) {
+  std::optional<VersionId> result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    VersionMeta self;
+    ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &self));
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    auto it = tree->NewIterator();
+    it.Seek(VersionKey(VersionId{vid.oid, vid.vnum + 1}));
+    const std::string prefix = VersionKeyPrefix(vid.oid);
+    if (it.Valid() && Slice(it.key()).starts_with(Slice(prefix))) {
+      VersionId next;
+      ODE_RETURN_IF_ERROR(ParseVersionKey(Slice(it.key()), &next));
+      result = next;
+    }
+    return it.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<std::optional<VersionId>> Database::Dprevious(VersionId vid) {
+  std::optional<VersionId> result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    VersionMeta meta;
+    ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
+    if (meta.derived_from != kNoVersion) {
+      result = VersionId{vid.oid, meta.derived_from};
+    }
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<std::vector<VersionId>> Database::Dnext(VersionId vid) {
+  std::vector<VersionId> result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    VersionMeta self;
+    ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &self));
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = VersionKeyPrefix(vid.oid);
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      VersionMeta m;
+      ODE_RETURN_IF_ERROR(VersionMeta::Decode(Slice(it.value()), &m));
+      if (m.derived_from == vid.vnum) {
+        result.push_back(VersionId{vid.oid, m.vnum});
+      }
+    }
+    return it.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<std::vector<VersionId>> Database::VersionsOf(ObjectId oid) {
+  std::vector<VersionId> result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    ObjectHeader header;
+    ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = VersionKeyPrefix(oid);
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      VersionId vid;
+      ODE_RETURN_IF_ERROR(ParseVersionKey(Slice(it.key()), &vid));
+      result.push_back(vid);
+    }
+    return it.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<bool> Database::ObjectExists(ObjectId oid) {
+  bool exists = false;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    ObjectHeader header;
+    Status gs = GetHeader(txn, oid, &header);
+    if (gs.ok()) {
+      exists = true;
+      return Status::OK();
+    }
+    if (gs.IsNotFound()) return Status::OK();
+    return gs;
+  });
+  if (!s.ok()) return s;
+  return exists;
+}
+
+StatusOr<bool> Database::VersionExists(VersionId vid) {
+  bool exists = false;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    VersionMeta meta;
+    Status gs = GetMeta(txn, vid, &meta);
+    if (gs.ok()) {
+      exists = true;
+      return Status::OK();
+    }
+    if (gs.IsNotFound()) return Status::OK();
+    return gs;
+  });
+  if (!s.ok()) return s;
+  return exists;
+}
+
+StatusOr<ObjectHeader> Database::Header(ObjectId oid) {
+  ObjectHeader header;
+  Status s =
+      RunInTxn([&](Txn& txn) { return GetHeader(txn, oid, &header); });
+  if (!s.ok()) return s;
+  return header;
+}
+
+StatusOr<VersionMeta> Database::Meta(VersionId vid) {
+  VersionMeta meta;
+  Status s = RunInTxn([&](Txn& txn) { return GetMeta(txn, vid, &meta); });
+  if (!s.ok()) return s;
+  return meta;
+}
+
+// ---------------------------------------------------------------------------
+// Types & clusters
+// ---------------------------------------------------------------------------
+
+StatusOr<uint32_t> Database::RegisterType(std::string_view name) {
+  auto cached = type_cache_.find(std::string(name));
+  if (cached != type_cache_.end()) return cached->second;
+  uint32_t result = 0;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kNamesTreeSlot);
+    if (!tree.ok()) return tree.status();
+    auto existing = tree->Get(Slice(name));
+    if (existing.ok()) return DecodeTypeId(Slice(*existing), &result);
+    if (!existing.status().IsNotFound()) return existing.status();
+    auto counter = txn.GetCounter(kNextTypeIdCounter);
+    if (!counter.ok()) return counter.status();
+    result = static_cast<uint32_t>(*counter) + 1;
+    ODE_RETURN_IF_ERROR(txn.SetCounter(kNextTypeIdCounter, result));
+    return tree->Put(Slice(name), Slice(EncodeTypeId(result)));
+  });
+  if (!s.ok()) return s;
+  type_cache_.emplace(std::string(name), result);
+  return result;
+}
+
+StatusOr<std::optional<uint32_t>> Database::LookupType(std::string_view name) {
+  std::optional<uint32_t> result;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kNamesTreeSlot);
+    if (!tree.ok()) return tree.status();
+    auto existing = tree->Get(Slice(name));
+    if (existing.ok()) {
+      uint32_t id = 0;
+      ODE_RETURN_IF_ERROR(DecodeTypeId(Slice(*existing), &id));
+      result = id;
+      return Status::OK();
+    }
+    if (existing.status().IsNotFound()) return Status::OK();
+    return existing.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+Status Database::ForEachInCluster(uint32_t type_id,
+                                  const std::function<bool(ObjectId)>& fn) {
+  return RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kClustersTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = ClusterKeyPrefix(type_id);
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      uint32_t parsed_type = 0;
+      ObjectId oid;
+      ODE_RETURN_IF_ERROR(ParseClusterKey(Slice(it.key()), &parsed_type, &oid));
+      if (!fn(oid)) break;
+    }
+    return it.status();
+  });
+}
+
+StatusOr<std::vector<ObjectId>> Database::ClusterScan(uint32_t type_id) {
+  std::vector<ObjectId> result;
+  Status s = ForEachInCluster(type_id, [&](ObjectId oid) {
+    result.push_back(oid);
+    return true;
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<uint64_t> Database::ClusterSize(uint32_t type_id) {
+  uint64_t count = 0;
+  Status s = ForEachInCluster(type_id, [&](ObjectId) {
+    ++count;
+    return true;
+  });
+  if (!s.ok()) return s;
+  return count;
+}
+
+// ---------------------------------------------------------------------------
+// Whole-database enumeration
+// ---------------------------------------------------------------------------
+
+Status Database::ForEachObject(
+    const std::function<bool(ObjectId, const ObjectHeader&)>& fn) {
+  return RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kObjectsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    auto it = tree->NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      ObjectId oid;
+      ODE_RETURN_IF_ERROR(ParseObjectKey(Slice(it.key()), &oid));
+      ObjectHeader header;
+      ODE_RETURN_IF_ERROR(ObjectHeader::Decode(Slice(it.value()), &header));
+      if (!fn(oid, header)) break;
+    }
+    return it.status();
+  });
+}
+
+Status Database::ForEachVersion(
+    ObjectId oid,
+    const std::function<bool(VersionId, const VersionMeta&)>& fn) {
+  return RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = VersionKeyPrefix(oid);
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      VersionId vid;
+      ODE_RETURN_IF_ERROR(ParseVersionKey(Slice(it.key()), &vid));
+      VersionMeta meta;
+      ODE_RETURN_IF_ERROR(VersionMeta::Decode(Slice(it.value()), &meta));
+      if (!fn(vid, meta)) break;
+    }
+    return it.status();
+  });
+}
+
+Status Database::ForEachType(
+    const std::function<bool(const std::string&, uint32_t)>& fn) {
+  return RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kNamesTreeSlot);
+    if (!tree.ok()) return tree.status();
+    auto it = tree->NewIterator();
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      uint32_t id = 0;
+      ODE_RETURN_IF_ERROR(DecodeTypeId(Slice(it.value()), &id));
+      if (!fn(it.key(), id)) break;
+    }
+    return it.status();
+  });
+}
+
+Status Database::Vacuum() {
+  return RunInTxn([&](Txn& txn) -> Status {
+    for (int slot : {kObjectsTreeSlot, kVersionsTreeSlot, kClustersTreeSlot,
+                     kNamesTreeSlot}) {
+      auto tree = BTree::Open(&txn, slot);
+      if (!tree.ok()) return tree.status();
+      ODE_RETURN_IF_ERROR(tree->Vacuum());
+    }
+    return Status::OK();
+  });
+}
+
+StatusOr<Database::StorageStats> Database::GatherStorageStats() {
+  StorageStats stats;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    auto page_count = txn.PageCount();
+    if (!page_count.ok()) return page_count.status();
+    stats.total_pages = *page_count;
+    for (PageId id = 1; id < *page_count; ++id) {
+      auto handle = txn.Fetch(id);
+      if (!handle.ok()) return handle.status();
+      switch (static_cast<PageType>(
+          static_cast<uint8_t>(handle->data()[0]))) {
+        case PageType::kFree:
+          ++stats.free_pages;
+          break;
+        case PageType::kHeap:
+          ++stats.heap_pages;
+          break;
+        case PageType::kOverflow:
+          ++stats.overflow_pages;
+          break;
+        case PageType::kBTreeLeaf:
+        case PageType::kBTreeInternal:
+          ++stats.btree_pages;
+          break;
+        case PageType::kSuper:
+          break;
+      }
+    }
+    auto heap_stats = engine_->heap().Stats(&txn);
+    if (!heap_stats.ok()) return heap_stats.status();
+    stats.live_records = heap_stats->live_records;
+    return Status::OK();
+  });
+  if (!s.ok()) return s;
+  stats.wal_bytes = engine_->wal_bytes();
+  return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Triggers
+// ---------------------------------------------------------------------------
+
+uint64_t Database::RegisterTrigger(TriggerEvent event, TriggerFn fn) {
+  const uint64_t handle = next_trigger_handle_++;
+  triggers_.push_back(TriggerEntry{handle, event, std::move(fn)});
+  return handle;
+}
+
+void Database::UnregisterTrigger(uint64_t handle) {
+  triggers_.erase(
+      std::remove_if(triggers_.begin(), triggers_.end(),
+                     [&](const TriggerEntry& e) { return e.handle == handle; }),
+      triggers_.end());
+}
+
+void Database::FireTriggers(const TriggerInfo& info) {
+  if (triggers_.empty()) return;
+  // Copy so triggers may (un)register triggers while firing.
+  std::vector<TriggerEntry> snapshot = triggers_;
+  for (const TriggerEntry& entry : snapshot) {
+    if (entry.event == info.event) entry.fn(*this, info);
+  }
+}
+
+}  // namespace ode

@@ -1,0 +1,376 @@
+#ifndef ODE_CORE_DATABASE_H_
+#define ODE_CORE_DATABASE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/ids.h"
+#include "core/meta.h"
+#include "storage/storage_engine.h"
+#include "util/clock.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Configuration of an Ode database.
+struct DatabaseOptions {
+  StorageOptions storage;
+
+  /// Physical strategy for version payloads:
+  ///  - kFull:  every version stores its complete payload (fast reads).
+  ///  - kDelta: a version derived from another stores only the difference
+  ///    along its derived-from edge (the SCCS/RCS-style storage §2 of the
+  ///    paper motivates); bounded by the keyframe knobs below.
+  PayloadKind payload_strategy = PayloadKind::kFull;
+
+  /// Maximum delta-chain length before a full copy is forced (keyframe).
+  uint32_t delta_keyframe_interval = 16;
+
+  /// If an encoded delta exceeds this fraction of the payload, store a full
+  /// copy instead.
+  double delta_max_ratio = 0.75;
+
+  /// Timestamp source for the temporal relationship.  nullptr uses the
+  /// database's crash-safe persisted logical clock; tests may inject a
+  /// LogicalClock for determinism.
+  Clock* clock = nullptr;
+};
+
+/// Events a trigger can watch.  The paper deliberately provides *no* built-in
+/// change-notification facility, pointing instead at O++ triggers (§1); this
+/// is that trigger primitive, on which src/policy builds notification,
+/// percolation, etc.
+enum class TriggerEvent : uint8_t {
+  kPnew = 0,
+  kNewVersion = 1,
+  kUpdate = 2,
+  kDeleteVersion = 3,
+  kDeleteObject = 4,
+};
+
+class Database;
+
+/// What happened, delivered to trigger functions.
+struct TriggerInfo {
+  TriggerEvent event;
+  /// The affected version.  For kDeleteObject, vnum is kNoVersion.
+  VersionId vid;
+  uint32_t type_id = 0;
+  /// For kNewVersion: the version the new one was derived from.
+  VersionId derived_from;
+};
+
+using TriggerFn = std::function<void(Database&, const TriggerInfo&)>;
+
+/// Session counters for the version store (not persisted).
+struct VersionStats {
+  uint64_t pnew_count = 0;
+  uint64_t newversion_count = 0;
+  uint64_t update_count = 0;
+  uint64_t delete_version_count = 0;
+  uint64_t delete_object_count = 0;
+  uint64_t materializations = 0;      ///< Payload reads.
+  uint64_t delta_applications = 0;    ///< Individual deltas applied.
+  uint64_t full_payloads_written = 0;
+  uint64_t delta_payloads_written = 0;
+  uint64_t full_bytes_written = 0;
+  uint64_t delta_bytes_written = 0;
+};
+
+/// The Ode object-versioning database: the paper's model (§3) and constructs
+/// (§4) as a C++ library API.
+///
+/// Model recap (all automatic, maintained by this class):
+///  - pnew creates a persistent object with one initial version; the object
+///    id is a *generic* reference that always denotes the latest version.
+///  - newversion derives a new version from a given version (or from the
+///    latest); the new version becomes the latest.  Versioning is orthogonal
+///    to type — any object can grow versions at any time, no declaration
+///    needed.
+///  - The temporal order (creation order) and the derived-from tree are both
+///    maintained by the system; Tprevious/Tnext walk the former,
+///    Dprevious/Dnext the latter.
+///  - pdelete of a version splices it out of both relationships (children
+///    are re-parented to the grandparent); pdelete of an object removes the
+///    object with all its versions (§4.4).
+///
+/// Untyped methods move raw payload bytes; the typed template layer (and
+/// Ref<T>/VersionPtr<T> in version_ptr.h) sits directly on top.
+///
+/// Transactions: every operation is atomic.  By default each call runs in
+/// its own transaction; Begin()/Commit()/Abort() group several calls.
+/// Single-writer, per the paper's scope.
+class Database {
+ public:
+  static StatusOr<std::unique_ptr<Database>> Open(
+      const DatabaseOptions& options);
+  ~Database();
+
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -- Object & version lifecycle (untyped) --------------------------------
+
+  /// Creates a persistent object of `type_id` whose initial version has
+  /// `payload`.  Returns the id of that initial version; its .oid is the
+  /// object id.
+  StatusOr<VersionId> PnewRaw(uint32_t type_id, const Slice& payload);
+
+  /// Creates a new version derived from the *latest* version of `oid`
+  /// (generic-reference form of newversion).
+  StatusOr<VersionId> NewVersionOf(ObjectId oid);
+
+  /// Creates a new version derived from the specific version `vid`.
+  StatusOr<VersionId> NewVersionFrom(VersionId vid);
+
+  /// Creates a new version of `oid` with NO derivation parent (a fresh
+  /// derivation root holding `payload`).  Not part of the paper's user
+  /// surface — but deletions can leave histories with several roots, and
+  /// restore tooling (policy/migrate.h) must be able to recreate them.
+  StatusOr<VersionId> NewDetachedVersion(ObjectId oid, const Slice& payload);
+
+  /// Replaces the payload of the latest version of `oid` (what assignment
+  /// through a generic pointer means in O++: updates do not create versions
+  /// — versions are explicit).
+  Status UpdateLatest(ObjectId oid, const Slice& payload);
+
+  /// Replaces the payload of the specific version `vid`.
+  Status UpdateVersion(VersionId vid, const Slice& payload);
+
+  /// Reads the latest version's payload; optionally reports which version
+  /// that was.
+  StatusOr<std::string> ReadLatest(ObjectId oid,
+                                   VersionId* resolved = nullptr);
+
+  /// Reads a specific version's payload.
+  StatusOr<std::string> ReadVersion(VersionId vid);
+
+  /// Deletes the object and ALL its versions (paper: pdelete on an object
+  /// id).
+  Status PdeleteObject(ObjectId oid);
+
+  /// Deletes one version (paper: pdelete on a version id), splicing the
+  /// temporal and derived-from relationships.  Deleting the last version
+  /// deletes the object.
+  Status PdeleteVersion(VersionId vid);
+
+  // -- Relationship traversal ----------------------------------------------
+
+  /// Latest (temporally newest) version of `oid`.
+  StatusOr<VersionId> Latest(ObjectId oid);
+
+  /// Temporal predecessor/successor of `vid` among live versions.
+  StatusOr<std::optional<VersionId>> Tprevious(VersionId vid);
+  StatusOr<std::optional<VersionId>> Tnext(VersionId vid);
+
+  /// The version `vid` was derived from (empty for a root version).
+  StatusOr<std::optional<VersionId>> Dprevious(VersionId vid);
+
+  /// Versions derived from `vid` (its alternatives/revisions), in creation
+  /// order.
+  StatusOr<std::vector<VersionId>> Dnext(VersionId vid);
+
+  /// Every live version of `oid` in temporal order.
+  StatusOr<std::vector<VersionId>> VersionsOf(ObjectId oid);
+
+  StatusOr<bool> ObjectExists(ObjectId oid);
+  StatusOr<bool> VersionExists(VersionId vid);
+  StatusOr<ObjectHeader> Header(ObjectId oid);
+  StatusOr<VersionMeta> Meta(VersionId vid);
+
+  // -- Types & clusters -----------------------------------------------------
+
+  /// Returns the persistent id of type `name`, creating it on first use.
+  StatusOr<uint32_t> RegisterType(std::string_view name);
+
+  /// Looks up a type id without creating it.
+  StatusOr<std::optional<uint32_t>> LookupType(std::string_view name);
+
+  /// Iterates the cluster (per-type extent) of `type_id`; `fn` returns false
+  /// to stop.  This is Ode's "for x in Cluster" query substrate.
+  Status ForEachInCluster(uint32_t type_id,
+                          const std::function<bool(ObjectId)>& fn);
+
+  StatusOr<std::vector<ObjectId>> ClusterScan(uint32_t type_id);
+  StatusOr<uint64_t> ClusterSize(uint32_t type_id);
+
+  // -- Whole-database enumeration (catalog scans) ---------------------------
+
+  /// Iterates every object (ascending oid); `fn` returns false to stop.
+  Status ForEachObject(
+      const std::function<bool(ObjectId, const ObjectHeader&)>& fn);
+
+  /// Iterates every version of `oid` in temporal order with its metadata.
+  Status ForEachVersion(
+      ObjectId oid,
+      const std::function<bool(VersionId, const VersionMeta&)>& fn);
+
+  /// Iterates every registered type (name -> id).
+  Status ForEachType(
+      const std::function<bool(const std::string&, uint32_t)>& fn);
+
+  /// Rebuilds the four catalog B+trees compactly, returning pages emptied
+  /// by past deletions to the allocator.  Call during quiet periods.
+  Status Vacuum();
+
+  /// Physical storage statistics (full scan of the page file).
+  struct StorageStats {
+    uint32_t total_pages = 0;      ///< Pages in the database file.
+    uint32_t free_pages = 0;       ///< On the allocator free list.
+    uint32_t heap_pages = 0;       ///< Slotted record pages.
+    uint32_t overflow_pages = 0;   ///< Large-record continuation pages.
+    uint32_t btree_pages = 0;      ///< Catalog tree nodes.
+    uint64_t live_records = 0;     ///< Records in the heap file.
+    uint64_t wal_bytes = 0;        ///< WAL since the last checkpoint.
+  };
+  StatusOr<StorageStats> GatherStorageStats();
+
+  // -- Triggers --------------------------------------------------------------
+
+  /// Registers `fn` to run synchronously (inside the mutating transaction)
+  /// after each `event`.  Returns a handle for UnregisterTrigger.
+  uint64_t RegisterTrigger(TriggerEvent event, TriggerFn fn);
+  void UnregisterTrigger(uint64_t handle);
+
+  // -- Transactions -----------------------------------------------------------
+
+  Status Begin();
+  Status Commit();
+  Status Abort();
+  bool InTransaction() const { return txn_ != nullptr; }
+
+  /// Flushes dirty pages and truncates the WAL.
+  Status Checkpoint();
+
+  // -- Typed layer -------------------------------------------------------------
+
+  /// Persistent type id of T (registered on first use, cached).
+  template <Persistable T>
+  StatusOr<uint32_t> TypeId() {
+    auto it = type_cache_.find(T::kTypeName);
+    if (it != type_cache_.end()) return it->second;
+    auto id = RegisterType(T::kTypeName);
+    if (!id.ok()) return id.status();
+    type_cache_.emplace(T::kTypeName, *id);
+    return *id;
+  }
+
+  /// pnew for a typed value.
+  template <Persistable T>
+  StatusOr<VersionId> Pnew(const T& value) {
+    auto type_id = TypeId<T>();
+    if (!type_id.ok()) return type_id.status();
+    return PnewRaw(*type_id, Slice(EncodeObject(value)));
+  }
+
+  /// Reads the latest version of `oid` as a T.
+  template <Persistable T>
+  StatusOr<T> GetLatest(ObjectId oid, VersionId* resolved = nullptr) {
+    auto bytes = ReadLatest(oid, resolved);
+    if (!bytes.ok()) return bytes.status();
+    return DecodeObject<T>(Slice(*bytes));
+  }
+
+  /// Reads the specific version `vid` as a T.
+  template <Persistable T>
+  StatusOr<T> Get(VersionId vid) {
+    auto bytes = ReadVersion(vid);
+    if (!bytes.ok()) return bytes.status();
+    return DecodeObject<T>(Slice(*bytes));
+  }
+
+  /// Writes `value` as the latest version's payload.
+  template <Persistable T>
+  Status PutLatest(ObjectId oid, const T& value) {
+    return UpdateLatest(oid, Slice(EncodeObject(value)));
+  }
+
+  /// Writes `value` as version `vid`'s payload.
+  template <Persistable T>
+  Status Put(VersionId vid, const T& value) {
+    return UpdateVersion(vid, Slice(EncodeObject(value)));
+  }
+
+  const VersionStats& stats() const { return stats_; }
+  StorageEngine& storage() { return *engine_; }
+  const DatabaseOptions& options() const { return options_; }
+
+ private:
+  friend class RawSecondaryIndex;  // Same-layer facility (core/index.h).
+
+  Database() = default;
+
+  /// Runs `body` in the open transaction if any, else in its own.
+  Status RunInTxn(const std::function<Status(Txn&)>& body);
+
+  StatusOr<uint64_t> NextTimestamp(Txn& txn);
+  StatusOr<ObjectId> AllocateOid(Txn& txn);
+
+  // Internal (in-transaction) implementations.
+  Status DoPnew(Txn& txn, uint32_t type_id, const Slice& payload,
+                VersionId* out);
+  Status DoNewVersion(Txn& txn, ObjectId oid,
+                      std::optional<VersionNum> base_vnum, VersionId* out);
+  Status DoUpdate(Txn& txn, VersionId vid, const Slice& payload);
+  Status DoDeleteVersion(Txn& txn, VersionId vid);
+  Status DoDeleteObject(Txn& txn, ObjectId oid);
+
+  Status GetHeader(Txn& txn, ObjectId oid, ObjectHeader* out);
+  Status PutHeader(Txn& txn, ObjectId oid, const ObjectHeader& header);
+  Status GetMeta(Txn& txn, VersionId vid, VersionMeta* out);
+  Status PutMeta(Txn& txn, VersionId vid, const VersionMeta& meta);
+
+  /// Reads the full payload of a version, applying delta chains.
+  Status Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
+                     std::string* out);
+
+  /// Stores `payload` for version `vnum` of `oid`, choosing full vs delta
+  /// per options (delta is computed against `derived_from` when eligible).
+  /// Fills payload/kind/delta_base/delta_chain_len/logical_size of `meta`.
+  Status StorePayload(Txn& txn, ObjectId oid, VersionMeta* meta,
+                      const Slice& payload);
+
+  /// Stores a payload identical to the base version's, without
+  /// materializing it when the delta strategy allows (the cheap-newversion
+  /// path).
+  Status StoreCopyOfBase(Txn& txn, ObjectId oid, const VersionMeta& base,
+                         VersionMeta* meta);
+
+  /// Converts every delta child of `vid` to a full payload (required before
+  /// the parent's payload changes or disappears).
+  Status RematerializeDeltaChildren(Txn& txn, VersionId vid);
+
+  /// Fixes delta_chain_len for all delta descendants of `base` after its
+  /// chain position changed (it became a keyframe).
+  Status RecomputeChainLengths(Txn& txn, VersionId base, uint32_t base_chain);
+
+  void FireTriggers(const TriggerInfo& info);
+
+  DatabaseOptions options_;
+  std::unique_ptr<StorageEngine> engine_;
+  Txn* txn_ = nullptr;         // User-opened transaction, if any.
+  Txn* active_txn_ = nullptr;  // Whatever transaction is in flight right now.
+  VersionStats stats_;
+
+  struct TriggerEntry {
+    uint64_t handle;
+    TriggerEvent event;
+    TriggerFn fn;
+  };
+  std::vector<TriggerEntry> triggers_;
+  uint64_t next_trigger_handle_ = 1;
+
+  std::unordered_map<std::string, uint32_t> type_cache_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_CORE_DATABASE_H_

@@ -1,0 +1,162 @@
+#include "core/delta.h"
+
+#include <algorithm>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "util/coding.h"
+
+namespace ode {
+namespace delta {
+
+namespace {
+
+constexpr uint8_t kCopyTag = 0;
+constexpr uint8_t kAddTag = 1;
+
+uint64_t HashBlock(const char* p) {
+  // FNV-1a over kBlockSize bytes.
+  uint64_t h = 14695981039346656037ull;
+  for (size_t i = 0; i < kBlockSize; ++i) {
+    h ^= static_cast<uint8_t>(p[i]);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void EmitAdd(std::string* out, const char* data, size_t len,
+             DeltaStats* stats) {
+  if (len == 0) return;
+  out->push_back(static_cast<char>(kAddTag));
+  PutVarint64(out, len);
+  out->append(data, len);
+  if (stats != nullptr) {
+    ++stats->add_ops;
+    stats->added_bytes += len;
+  }
+}
+
+void EmitCopy(std::string* out, size_t offset, size_t len, DeltaStats* stats) {
+  out->push_back(static_cast<char>(kCopyTag));
+  PutVarint64(out, offset);
+  PutVarint64(out, len);
+  if (stats != nullptr) {
+    ++stats->copy_ops;
+    stats->copied_bytes += len;
+  }
+}
+
+}  // namespace
+
+std::string EncodeWithStats(const Slice& base, const Slice& target,
+                            DeltaStats* stats) {
+  std::string out;
+  PutVarint64(&out, target.size());
+  if (target.empty()) return out;
+
+  // Index block-aligned positions of the base.
+  std::unordered_map<uint64_t, std::vector<size_t>> index;
+  if (base.size() >= kBlockSize) {
+    index.reserve(base.size() / kBlockSize * 2);
+    for (size_t pos = 0; pos + kBlockSize <= base.size(); pos += kBlockSize) {
+      index[HashBlock(base.data() + pos)].push_back(pos);
+    }
+  }
+
+  size_t t = 0;            // Scan position in target.
+  size_t pending = 0;      // Start of the unmatched literal run.
+  while (t + kBlockSize <= target.size()) {
+    size_t best_len = 0, best_t_start = 0, best_b_start = 0;
+    auto it = index.find(HashBlock(target.data() + t));
+    if (it != index.end()) {
+      for (size_t candidate : it->second) {
+        if (std::memcmp(base.data() + candidate, target.data() + t,
+                        kBlockSize) != 0) {
+          continue;  // Hash collision.
+        }
+        // Grow the match backward (into the pending literal run) and
+        // forward as far as bytes agree.
+        size_t t_start = t, b_start = candidate;
+        while (t_start > pending && b_start > 0 &&
+               base[b_start - 1] == target[t_start - 1]) {
+          --t_start;
+          --b_start;
+        }
+        size_t len = 0;
+        while (b_start + len < base.size() && t_start + len < target.size() &&
+               base[b_start + len] == target[t_start + len]) {
+          ++len;
+        }
+        if (len > best_len) {
+          best_len = len;
+          best_t_start = t_start;
+          best_b_start = b_start;
+        }
+      }
+    }
+    if (best_len >= kBlockSize) {
+      EmitAdd(&out, target.data() + pending, best_t_start - pending, stats);
+      EmitCopy(&out, best_b_start, best_len, stats);
+      t = best_t_start + best_len;
+      pending = t;
+    } else {
+      ++t;
+    }
+  }
+  EmitAdd(&out, target.data() + pending, target.size() - pending, stats);
+  return out;
+}
+
+std::string Encode(const Slice& base, const Slice& target) {
+  return EncodeWithStats(base, target, nullptr);
+}
+
+StatusOr<std::string> Apply(const Slice& base, const Slice& delta) {
+  Slice input = delta;
+  uint64_t target_len = 0;
+  if (!GetVarint64(&input, &target_len)) {
+    return Status::Corruption("delta missing target length");
+  }
+  std::string out;
+  // The length prefix is untrusted input: never let it drive allocation or
+  // output size beyond what the ops can legitimately produce.
+  out.reserve(static_cast<size_t>(
+      std::min<uint64_t>(target_len, base.size() + delta.size())));
+  while (!input.empty()) {
+    const uint8_t tag = static_cast<uint8_t>(input[0]);
+    input.remove_prefix(1);
+    if (tag == kCopyTag) {
+      uint64_t offset = 0, length = 0;
+      if (!GetVarint64(&input, &offset) || !GetVarint64(&input, &length)) {
+        return Status::Corruption("truncated COPY op");
+      }
+      if (offset > base.size() || length > base.size() - offset) {
+        return Status::Corruption("COPY out of base range");
+      }
+      if (out.size() + length > target_len) {
+        return Status::Corruption("delta output exceeds declared length");
+      }
+      out.append(base.data() + offset, length);
+    } else if (tag == kAddTag) {
+      uint64_t length = 0;
+      if (!GetVarint64(&input, &length) || length > input.size()) {
+        return Status::Corruption("truncated ADD op");
+      }
+      if (out.size() + length > target_len) {
+        return Status::Corruption("delta output exceeds declared length");
+      }
+      out.append(input.data(), length);
+      input.remove_prefix(length);
+    } else {
+      return Status::Corruption("unknown delta op tag");
+    }
+  }
+  if (out.size() != target_len) {
+    return Status::Corruption("delta produced wrong length");
+  }
+  return out;
+}
+
+}  // namespace delta
+}  // namespace ode

@@ -1,0 +1,61 @@
+#ifndef ODE_CORE_DELTA_H_
+#define ODE_CORE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Binary delta encoding between version payloads.
+///
+/// The paper (§2) observes that the derived-from relationship "can be used to
+/// store versions by storing their differences (called deltas [SCCS, RCS])".
+/// This module provides that storage strategy: a greedy block-matching
+/// differ (in the spirit of xdelta) that expresses `target` as a sequence of
+///
+///   COPY(offset, length)  — bytes taken from the base payload
+///   ADD(bytes)            — literal bytes
+///
+/// operations.  Encoding is O(|base| + |target|) expected time using a hash
+/// table over fixed-size base blocks; applying is a single linear pass.
+///
+/// Wire format:
+///   varint target_length
+///   ops: u8 tag (0 = COPY, 1 = ADD)
+///        COPY: varint offset, varint length
+///        ADD:  varint length, bytes
+namespace delta {
+
+/// Size of the blocks hashed on the base side.  Smaller blocks find more
+/// matches but cost more space/time; 16 is the classic sweet spot for
+/// record-sized payloads.
+inline constexpr size_t kBlockSize = 16;
+
+/// Computes a delta turning `base` into `target`.
+std::string Encode(const Slice& base, const Slice& target);
+
+/// Reconstructs the target from `base` + `delta`.  Fails with kCorruption on
+/// malformed input or out-of-range copies.
+StatusOr<std::string> Apply(const Slice& base, const Slice& delta);
+
+/// Size in bytes the encoded delta would occupy (= Encode(...).size(), but
+/// callers usually just encode once and measure).
+struct DeltaStats {
+  uint64_t copy_ops = 0;
+  uint64_t add_ops = 0;
+  uint64_t copied_bytes = 0;
+  uint64_t added_bytes = 0;
+};
+
+/// Like Encode, also reporting op statistics (for benchmarks/ablation).
+std::string EncodeWithStats(const Slice& base, const Slice& target,
+                            DeltaStats* stats);
+
+}  // namespace delta
+}  // namespace ode
+
+#endif  // ODE_CORE_DELTA_H_

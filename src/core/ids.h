@@ -1,0 +1,89 @@
+#ifndef ODE_CORE_IDS_H_
+#define ODE_CORE_IDS_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+
+namespace ode {
+
+/// Identity of a persistent object.
+///
+/// Per the paper (§4.1): "an object id ... logically refers to the latest
+/// version of the object", i.e., holding an ObjectId is a *generic*
+/// (late-bound) reference.  Object ids are allocated once by pnew and never
+/// reused.
+struct ObjectId {
+  uint64_t value = 0;
+
+  bool valid() const { return value != 0; }
+
+  friend bool operator==(const ObjectId& a, const ObjectId& b) {
+    return a.value == b.value;
+  }
+  friend bool operator!=(const ObjectId& a, const ObjectId& b) {
+    return a.value != b.value;
+  }
+  friend bool operator<(const ObjectId& a, const ObjectId& b) {
+    return a.value < b.value;
+  }
+};
+
+/// Number of a version within its object's history.  Version numbers are
+/// assigned in creation order and never reused, so numeric order IS the
+/// paper's temporal order.
+using VersionNum = uint32_t;
+
+/// Sentinel: "no version" (used for the derived-from link of a root version).
+inline constexpr VersionNum kNoVersion = 0;
+
+/// First version of every object.
+inline constexpr VersionNum kFirstVersion = 1;
+
+/// Identity of one specific, *early-bound* version of an object (the paper's
+/// "version id" / specific reference).
+struct VersionId {
+  ObjectId oid;
+  VersionNum vnum = kNoVersion;
+
+  bool valid() const { return oid.valid() && vnum != kNoVersion; }
+
+  friend bool operator==(const VersionId& a, const VersionId& b) {
+    return a.oid == b.oid && a.vnum == b.vnum;
+  }
+  friend bool operator!=(const VersionId& a, const VersionId& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const VersionId& a, const VersionId& b) {
+    if (a.oid != b.oid) return a.oid < b.oid;
+    return a.vnum < b.vnum;
+  }
+};
+
+inline std::ostream& operator<<(std::ostream& os, const ObjectId& oid) {
+  return os << "oid:" << oid.value;
+}
+
+inline std::ostream& operator<<(std::ostream& os, const VersionId& vid) {
+  return os << "vid:" << vid.oid.value << "." << vid.vnum;
+}
+
+}  // namespace ode
+
+namespace std {
+template <>
+struct hash<ode::ObjectId> {
+  size_t operator()(const ode::ObjectId& id) const noexcept {
+    return std::hash<uint64_t>()(id.value);
+  }
+};
+template <>
+struct hash<ode::VersionId> {
+  size_t operator()(const ode::VersionId& id) const noexcept {
+    return std::hash<uint64_t>()(id.oid.value * 1000003u + id.vnum);
+  }
+};
+}  // namespace std
+
+#endif  // ODE_CORE_IDS_H_

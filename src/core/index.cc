@@ -1,0 +1,283 @@
+#include "core/index.h"
+
+#include <set>
+
+#include "core/meta.h"
+#include "storage/btree.h"
+#include "util/logging.h"
+
+namespace ode {
+
+namespace {
+
+void AppendBE32(std::string* out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendBE64(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+uint64_t ReadBE64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+constexpr char kIndexNamePrefix[] = "ode.index:";
+
+}  // namespace
+
+std::string OrderedKeyFromInt(int64_t value) {
+  std::string key;
+  AppendBE64(&key, static_cast<uint64_t>(value) ^ (1ull << 63));
+  return key;
+}
+
+std::string RawSecondaryIndex::ForwardPrefix() const {
+  std::string key;
+  AppendBE32(&key, index_id_);
+  key.push_back('\x01');
+  return key;
+}
+
+std::string RawSecondaryIndex::ForwardKey(const Slice& user_key,
+                                          ObjectId oid) const {
+  std::string key = ForwardPrefix();
+  key.append(user_key.data(), user_key.size());
+  AppendBE64(&key, oid.value);
+  return key;
+}
+
+std::string RawSecondaryIndex::ReversePrefix() const {
+  std::string key;
+  AppendBE32(&key, index_id_);
+  key.push_back('\x00');
+  return key;
+}
+
+std::string RawSecondaryIndex::ReverseKey(ObjectId oid) const {
+  std::string key = ReversePrefix();
+  AppendBE64(&key, oid.value);
+  return key;
+}
+
+StatusOr<std::unique_ptr<RawSecondaryIndex>> RawSecondaryIndex::Open(
+    Database& db, const std::string& name, uint32_t type_id,
+    KeyExtractor extractor) {
+  // Register (or find) the index id under a reserved name-tree entry.
+  uint32_t index_id = 0;
+  Status reg = db.RunInTxn([&](Txn& txn) -> Status {
+    auto names = BTree::Open(&txn, kNamesTreeSlot);
+    if (!names.ok()) return names.status();
+    const std::string registry_key = std::string(kIndexNamePrefix) + name;
+    auto existing = names->Get(Slice(registry_key));
+    if (existing.ok()) {
+      if (existing->size() != 4) return Status::Corruption("bad index id");
+      uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) {
+        v = (v << 8) | static_cast<uint8_t>((*existing)[i]);
+      }
+      index_id = v;
+      return Status::OK();
+    }
+    if (!existing.status().IsNotFound()) return existing.status();
+    auto counter = txn.GetCounter(kNextIndexIdCounter);
+    if (!counter.ok()) return counter.status();
+    index_id = static_cast<uint32_t>(*counter) + 1;
+    ODE_RETURN_IF_ERROR(txn.SetCounter(kNextIndexIdCounter, index_id));
+    std::string encoded;
+    AppendBE32(&encoded, index_id);
+    return names->Put(Slice(registry_key), Slice(encoded));
+  });
+  if (!reg.ok()) return reg;
+
+  auto index = std::unique_ptr<RawSecondaryIndex>(
+      new RawSecondaryIndex(&db, index_id, type_id, std::move(extractor)));
+  ODE_RETURN_IF_ERROR(index->ReconcileAll());
+
+  RawSecondaryIndex* raw = index.get();
+  for (TriggerEvent event :
+       {TriggerEvent::kPnew, TriggerEvent::kNewVersion, TriggerEvent::kUpdate,
+        TriggerEvent::kDeleteVersion, TriggerEvent::kDeleteObject}) {
+    index->trigger_handles_.push_back(db.RegisterTrigger(
+        event,
+        [raw](Database&, const TriggerInfo& info) { raw->OnTrigger(info); }));
+  }
+  return index;
+}
+
+RawSecondaryIndex::~RawSecondaryIndex() {
+  for (uint64_t handle : trigger_handles_) {
+    db_->UnregisterTrigger(handle);
+  }
+}
+
+void RawSecondaryIndex::OnTrigger(const TriggerInfo& info) {
+  if (info.type_id != type_id_) return;
+  Status s = Reconcile(info.vid.oid);
+  if (!s.ok() && health_.ok()) {
+    health_ = s;
+    ODE_LOG_WARN << "secondary index " << index_id_ << " degraded: " << s;
+  }
+}
+
+Status RawSecondaryIndex::Reconcile(ObjectId oid) {
+  return db_->RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kIndexesTreeSlot);
+    if (!tree.ok()) return tree.status();
+
+    std::optional<std::string> old_key;
+    {
+      auto stored = tree->Get(Slice(ReverseKey(oid)));
+      if (stored.ok()) {
+        old_key = *stored;
+      } else if (!stored.status().IsNotFound()) {
+        return stored.status();
+      }
+    }
+
+    std::optional<std::string> new_key;
+    {
+      auto header = db_->Header(oid);
+      if (header.ok() && header->type_id == type_id_) {
+        auto payload = db_->ReadLatest(oid);
+        if (!payload.ok()) return payload.status();
+        new_key = extractor_(Slice(*payload));
+      } else if (!header.ok() && !header.status().IsNotFound()) {
+        return header.status();
+      }
+    }
+
+    if (old_key == new_key) return Status::OK();
+    if (old_key.has_value()) {
+      ODE_RETURN_IF_ERROR(tree->Delete(Slice(ForwardKey(*old_key, oid))));
+      ODE_RETURN_IF_ERROR(tree->Delete(Slice(ReverseKey(oid))));
+    }
+    if (new_key.has_value()) {
+      ODE_RETURN_IF_ERROR(tree->Put(Slice(ForwardKey(*new_key, oid)), Slice()));
+      ODE_RETURN_IF_ERROR(tree->Put(Slice(ReverseKey(oid)), Slice(*new_key)));
+    }
+    return Status::OK();
+  });
+}
+
+Status RawSecondaryIndex::ReconcileAll() {
+  return db_->RunInTxn([&](Txn& txn) -> Status {
+    std::set<uint64_t> candidates;
+    {
+      auto tree = BTree::Open(&txn, kIndexesTreeSlot);
+      if (!tree.ok()) return tree.status();
+      const std::string prefix = ReversePrefix();
+      auto it = tree->NewIterator();
+      for (it.Seek(prefix); it.Valid(); it.Next()) {
+        if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+        if (it.key().size() != prefix.size() + 8) {
+          return Status::Corruption("bad reverse index key");
+        }
+        candidates.insert(ReadBE64(it.key().data() + prefix.size()));
+      }
+      ODE_RETURN_IF_ERROR(it.status());
+    }
+    ODE_RETURN_IF_ERROR(db_->ForEachInCluster(type_id_, [&](ObjectId oid) {
+      candidates.insert(oid.value);
+      return true;
+    }));
+    for (uint64_t oid : candidates) {
+      ODE_RETURN_IF_ERROR(Reconcile(ObjectId{oid}));
+    }
+    return Status::OK();
+  });
+}
+
+StatusOr<std::vector<ObjectId>> RawSecondaryIndex::Lookup(const Slice& key) {
+  std::vector<ObjectId> result;
+  Status s = db_->RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kIndexesTreeSlot);
+    if (!tree.ok()) return tree.status();
+    std::string start = ForwardPrefix();
+    start.append(key.data(), key.size());
+    const size_t expected_size = start.size() + 8;
+    auto it = tree->NewIterator();
+    for (it.Seek(start); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(start))) break;
+      if (it.key().size() != expected_size) continue;  // Longer user key.
+      result.push_back(
+          ObjectId{ReadBE64(it.key().data() + start.size())});
+    }
+    return it.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<std::vector<ObjectId>> RawSecondaryIndex::Range(const Slice& lo,
+                                                         const Slice& hi) {
+  std::vector<ObjectId> result;
+  Status s = db_->RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kIndexesTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = ForwardPrefix();
+    std::string start = prefix;
+    start.append(lo.data(), lo.size());
+    auto it = tree->NewIterator();
+    for (it.Seek(start); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      if (it.key().size() < prefix.size() + 8) {
+        return Status::Corruption("bad forward index key");
+      }
+      const Slice user_key(it.key().data() + prefix.size(),
+                           it.key().size() - prefix.size() - 8);
+      if (user_key.compare(hi) > 0) break;
+      result.push_back(ObjectId{
+          ReadBE64(it.key().data() + it.key().size() - 8)});
+    }
+    return it.status();
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+Status RawSecondaryIndex::ForEach(
+    const std::function<bool(const Slice&, ObjectId)>& fn) {
+  return db_->RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kIndexesTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = ForwardPrefix();
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      if (it.key().size() < prefix.size() + 8) {
+        return Status::Corruption("bad forward index key");
+      }
+      const Slice user_key(it.key().data() + prefix.size(),
+                           it.key().size() - prefix.size() - 8);
+      const ObjectId oid{ReadBE64(it.key().data() + it.key().size() - 8)};
+      if (!fn(user_key, oid)) break;
+    }
+    return it.status();
+  });
+}
+
+StatusOr<uint64_t> RawSecondaryIndex::Count() {
+  uint64_t count = 0;
+  Status s = db_->RunInTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, kIndexesTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = ReversePrefix();
+    auto it = tree->NewIterator();
+    for (it.Seek(prefix); it.Valid(); it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      ++count;
+    }
+    return it.status();
+  });
+  if (!s.ok()) return s;
+  return count;
+}
+
+}  // namespace ode

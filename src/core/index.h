@@ -1,0 +1,165 @@
+#ifndef ODE_CORE_INDEX_H_
+#define ODE_CORE_INDEX_H_
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/database.h"
+#include "core/ids.h"
+#include "core/version_ptr.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Secondary indexes over the *latest versions* of a type's objects.
+///
+/// Clusters give Ode sequential associative access ("for x in T"); an index
+/// adds key-based access: a user-supplied extractor maps each object's
+/// latest payload to a byte-string key, and the index maintains
+/// key -> object-id entries through every mutation (pnew, newversion,
+/// update, deletion — via triggers, the same primitive the policy layer
+/// builds on).  Because only latest versions are indexed, the index is a
+/// view of "the current database", exactly like a generic reference.
+///
+/// Entries persist in the shared index tree (one B+tree, per-index id
+/// prefixes); the index is registered by name so reopening a database and
+/// re-Opening the index reconnects to the same persistent entries, then
+/// reconciles them with the current object set (catching changes made while
+/// no index instance was live).
+///
+/// The untyped RawSecondaryIndex extracts keys from raw payload bytes; the
+/// SecondaryIndex<T> wrapper below decodes to T first.
+class RawSecondaryIndex {
+ public:
+  /// Maps a latest-version payload to the index key.  Empty optional means
+  /// "do not index this object".
+  using KeyExtractor =
+      std::function<std::optional<std::string>(const Slice& payload)>;
+
+  /// Opens (or creates) index `name` over objects of `type_id`, backfills /
+  /// reconciles existing objects, and registers maintenance triggers.
+  /// `db` must outlive the returned object.
+  static StatusOr<std::unique_ptr<RawSecondaryIndex>> Open(
+      Database& db, const std::string& name, uint32_t type_id,
+      KeyExtractor extractor);
+
+  ~RawSecondaryIndex();
+
+  RawSecondaryIndex(const RawSecondaryIndex&) = delete;
+  RawSecondaryIndex& operator=(const RawSecondaryIndex&) = delete;
+
+  /// Objects whose current key equals `key` (ascending oid).
+  StatusOr<std::vector<ObjectId>> Lookup(const Slice& key);
+
+  /// Objects with lo <= key <= hi, in (key, oid) order.
+  StatusOr<std::vector<ObjectId>> Range(const Slice& lo, const Slice& hi);
+
+  /// Iterates (key, oid) pairs in order; `fn` returns false to stop.
+  Status ForEach(const std::function<bool(const Slice&, ObjectId)>& fn);
+
+  /// Number of indexed objects.
+  StatusOr<uint64_t> Count();
+
+  /// First error hit inside trigger-driven maintenance (triggers cannot
+  /// propagate Status).  OK when healthy; a degraded index should be
+  /// re-Opened (which reconciles).
+  const Status& health() const { return health_; }
+
+  uint32_t index_id() const { return index_id_; }
+
+ private:
+  RawSecondaryIndex(Database* db, uint32_t index_id, uint32_t type_id,
+                    KeyExtractor extractor)
+      : db_(db),
+        index_id_(index_id),
+        type_id_(type_id),
+        extractor_(std::move(extractor)) {}
+
+  /// Brings the stored entries for `oid` in line with its current latest
+  /// payload (or removes them if the object is gone).
+  Status Reconcile(ObjectId oid);
+  /// Full reconciliation: every stored entry + every live object.
+  Status ReconcileAll();
+  void OnTrigger(const TriggerInfo& info);
+
+  // Key layouts within the shared index tree (all big-endian prefixes):
+  //   forward: BE32(index_id) . 0x01 . user_key . BE64(oid)  -> ""
+  //   reverse: BE32(index_id) . 0x00 . BE64(oid)             -> user_key
+  std::string ForwardKey(const Slice& user_key, ObjectId oid) const;
+  std::string ForwardPrefix() const;
+  std::string ReverseKey(ObjectId oid) const;
+  std::string ReversePrefix() const;
+
+  Database* db_;
+  uint32_t index_id_;
+  uint32_t type_id_;
+  KeyExtractor extractor_;
+  std::vector<uint64_t> trigger_handles_;
+  Status health_;
+};
+
+/// Typed secondary index: extract keys from decoded T values.
+template <Persistable T>
+class SecondaryIndex {
+ public:
+  using KeyExtractor = std::function<std::optional<std::string>(const T&)>;
+
+  static StatusOr<std::unique_ptr<SecondaryIndex>> Open(
+      Database& db, const std::string& name, KeyExtractor extractor) {
+    auto type_id = db.TypeId<T>();
+    if (!type_id.ok()) return type_id.status();
+    auto raw = RawSecondaryIndex::Open(
+        db, name, *type_id,
+        [extractor =
+             std::move(extractor)](const Slice& payload)
+            -> std::optional<std::string> {
+          auto value = DecodeObject<T>(payload);
+          if (!value.ok()) return std::nullopt;
+          return extractor(*value);
+        });
+    if (!raw.ok()) return raw.status();
+    auto index = std::unique_ptr<SecondaryIndex>(new SecondaryIndex());
+    index->db_ = &db;
+    index->raw_ = std::move(*raw);
+    return index;
+  }
+
+  /// Typed lookups returning generic references.
+  StatusOr<std::vector<Ref<T>>> Lookup(const Slice& key) {
+    auto oids = raw_->Lookup(key);
+    if (!oids.ok()) return oids.status();
+    return Wrap(*oids);
+  }
+  StatusOr<std::vector<Ref<T>>> Range(const Slice& lo, const Slice& hi) {
+    auto oids = raw_->Range(lo, hi);
+    if (!oids.ok()) return oids.status();
+    return Wrap(*oids);
+  }
+  StatusOr<uint64_t> Count() { return raw_->Count(); }
+  const Status& health() const { return raw_->health(); }
+  RawSecondaryIndex& raw() { return *raw_; }
+
+ private:
+  SecondaryIndex() = default;
+  std::vector<Ref<T>> Wrap(const std::vector<ObjectId>& oids) {
+    std::vector<Ref<T>> refs;
+    refs.reserve(oids.size());
+    for (ObjectId oid : oids) refs.emplace_back(db_, oid);
+    return refs;
+  }
+
+  Database* db_ = nullptr;
+  std::unique_ptr<RawSecondaryIndex> raw_;
+};
+
+/// Encodes an int64 so the index's byte order equals numeric order (sign
+/// bit flipped, big-endian) — for numeric index keys.
+std::string OrderedKeyFromInt(int64_t value);
+
+}  // namespace ode
+
+#endif  // ODE_CORE_INDEX_H_

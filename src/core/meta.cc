@@ -1,0 +1,138 @@
+#include "core/meta.h"
+
+namespace ode {
+
+namespace {
+
+void AppendBE32(std::string* out, uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+void AppendBE64(std::string* out, uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out->push_back(static_cast<char>((v >> shift) & 0xff));
+  }
+}
+
+uint32_t ReadBE32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint64_t ReadBE64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+}  // namespace
+
+std::string ObjectHeader::Encode() const {
+  BufferWriter w;
+  w.WriteU32(type_id);
+  w.WriteU32(latest);
+  w.WriteU32(next_vnum);
+  w.WriteU32(version_count);
+  w.WriteU64(created_ts);
+  return w.Release();
+}
+
+Status ObjectHeader::Decode(const Slice& bytes, ObjectHeader* out) {
+  BufferReader r(bytes);
+  ODE_RETURN_IF_ERROR(r.ReadU32(&out->type_id));
+  ODE_RETURN_IF_ERROR(r.ReadU32(&out->latest));
+  ODE_RETURN_IF_ERROR(r.ReadU32(&out->next_vnum));
+  ODE_RETURN_IF_ERROR(r.ReadU32(&out->version_count));
+  ODE_RETURN_IF_ERROR(r.ReadU64(&out->created_ts));
+  return Status::OK();
+}
+
+std::string VersionMeta::Encode() const {
+  BufferWriter w;
+  w.WriteU32(vnum);
+  w.WriteU32(derived_from);
+  w.WriteU64(created_ts);
+  w.WriteU64(payload.Encode());
+  w.WriteU8(static_cast<uint8_t>(kind));
+  w.WriteU32(delta_base);
+  w.WriteU32(delta_chain_len);
+  w.WriteU64(logical_size);
+  return w.Release();
+}
+
+Status VersionMeta::Decode(const Slice& bytes, VersionMeta* out) {
+  BufferReader r(bytes);
+  ODE_RETURN_IF_ERROR(r.ReadU32(&out->vnum));
+  ODE_RETURN_IF_ERROR(r.ReadU32(&out->derived_from));
+  ODE_RETURN_IF_ERROR(r.ReadU64(&out->created_ts));
+  uint64_t rid = 0;
+  ODE_RETURN_IF_ERROR(r.ReadU64(&rid));
+  out->payload = RecordId::Decode(rid);
+  uint8_t kind = 0;
+  ODE_RETURN_IF_ERROR(r.ReadU8(&kind));
+  if (kind > static_cast<uint8_t>(PayloadKind::kDelta)) {
+    return Status::Corruption("bad payload kind");
+  }
+  out->kind = static_cast<PayloadKind>(kind);
+  ODE_RETURN_IF_ERROR(r.ReadU32(&out->delta_base));
+  ODE_RETURN_IF_ERROR(r.ReadU32(&out->delta_chain_len));
+  ODE_RETURN_IF_ERROR(r.ReadU64(&out->logical_size));
+  return Status::OK();
+}
+
+std::string ObjectKey(ObjectId oid) {
+  std::string key;
+  AppendBE64(&key, oid.value);
+  return key;
+}
+
+std::string VersionKey(VersionId vid) {
+  std::string key;
+  AppendBE64(&key, vid.oid.value);
+  AppendBE32(&key, vid.vnum);
+  return key;
+}
+
+std::string VersionKeyPrefix(ObjectId oid) {
+  std::string key;
+  AppendBE64(&key, oid.value);
+  return key;
+}
+
+std::string ClusterKey(uint32_t type_id, ObjectId oid) {
+  std::string key;
+  AppendBE32(&key, type_id);
+  AppendBE64(&key, oid.value);
+  return key;
+}
+
+std::string ClusterKeyPrefix(uint32_t type_id) {
+  std::string key;
+  AppendBE32(&key, type_id);
+  return key;
+}
+
+Status ParseVersionKey(const Slice& key, VersionId* vid) {
+  if (key.size() != 12) return Status::Corruption("bad version key size");
+  vid->oid.value = ReadBE64(key.data());
+  vid->vnum = ReadBE32(key.data() + 8);
+  return Status::OK();
+}
+
+Status ParseClusterKey(const Slice& key, uint32_t* type_id, ObjectId* oid) {
+  if (key.size() != 12) return Status::Corruption("bad cluster key size");
+  *type_id = ReadBE32(key.data());
+  oid->value = ReadBE64(key.data() + 4);
+  return Status::OK();
+}
+
+Status ParseObjectKey(const Slice& key, ObjectId* oid) {
+  if (key.size() != 8) return Status::Corruption("bad object key size");
+  oid->value = ReadBE64(key.data());
+  return Status::OK();
+}
+
+}  // namespace ode

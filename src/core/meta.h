@@ -1,0 +1,103 @@
+#ifndef ODE_CORE_META_H_
+#define ODE_CORE_META_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/ids.h"
+#include "storage/heap_file.h"
+#include "util/byte_buffer.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+
+// ---------------------------------------------------------------------------
+// Persistent layout of the versioning catalog
+// ---------------------------------------------------------------------------
+//
+// Four B+trees, addressed by superblock root slots:
+//   kObjectsTree:  key = BE64(oid)               -> ObjectHeader
+//   kVersionsTree: key = BE64(oid) . BE32(vnum)  -> VersionMeta
+//   kClustersTree: key = BE32(type) . BE64(oid)  -> "" (membership only)
+//   kNamesTree:    key = type name               -> BE32(type id)
+//
+// Big-endian keys make memcmp order equal numeric order, so:
+//  - all versions of an object are contiguous in kVersionsTree, in version-
+//    number order, which IS temporal order (version numbers are assigned in
+//    creation order and never reused) — Tprevious/Tnext are one-seek
+//    operations;
+//  - a cluster (Ode's per-type extent) is one contiguous key range.
+
+inline constexpr int kObjectsTreeSlot = 0;
+inline constexpr int kVersionsTreeSlot = 1;
+inline constexpr int kClustersTreeSlot = 2;
+inline constexpr int kNamesTreeSlot = 3;
+/// Secondary-index entries (see core/index.h): all indexes share one tree,
+/// with per-index id prefixes.
+inline constexpr int kIndexesTreeSlot = 4;
+
+/// Superblock counter indexes used by the core layer.
+inline constexpr int kNextOidCounter = 0;
+inline constexpr int kClockCounter = 1;
+inline constexpr int kNextTypeIdCounter = 2;
+inline constexpr int kNextIndexIdCounter = 3;
+
+/// How a version's payload is physically stored.
+enum class PayloadKind : uint8_t {
+  kFull = 0,   ///< The heap record holds the complete payload.
+  kDelta = 1,  ///< The heap record holds a delta against `delta_base`.
+};
+
+/// Per-object bookkeeping (one per persistent object).
+struct ObjectHeader {
+  uint32_t type_id = 0;
+  VersionNum latest = kNoVersion;     ///< Temporally newest live version.
+  VersionNum next_vnum = kFirstVersion;  ///< Next number to assign.
+  uint32_t version_count = 0;
+  uint64_t created_ts = 0;
+
+  std::string Encode() const;
+  static Status Decode(const Slice& bytes, ObjectHeader* out);
+};
+
+/// Per-version bookkeeping.
+struct VersionMeta {
+  VersionNum vnum = kNoVersion;
+  /// Version this one was derived from (the paper's derived-from edge);
+  /// kNoVersion for the root version.  Kept valid under deletion by
+  /// re-parenting children to their grandparent (§4.4).
+  VersionNum derived_from = kNoVersion;
+  uint64_t created_ts = 0;
+  RecordId payload;
+  PayloadKind kind = PayloadKind::kFull;
+  /// Base version of the delta (kDelta only).  Always an older version.
+  VersionNum delta_base = kNoVersion;
+  /// Number of delta applications needed to materialize (0 for kFull);
+  /// bounded by the keyframe interval.
+  uint32_t delta_chain_len = 0;
+  /// Size of the materialized payload in bytes.
+  uint64_t logical_size = 0;
+
+  std::string Encode() const;
+  static Status Decode(const Slice& bytes, VersionMeta* out);
+};
+
+// Key constructors (big-endian for memcmp == numeric order).
+std::string ObjectKey(ObjectId oid);
+std::string VersionKey(VersionId vid);
+/// Prefix covering every version of `oid` (for range scans).
+std::string VersionKeyPrefix(ObjectId oid);
+std::string ClusterKey(uint32_t type_id, ObjectId oid);
+std::string ClusterKeyPrefix(uint32_t type_id);
+
+/// Inverse of VersionKey: decodes (oid, vnum) from a versions-tree key.
+Status ParseVersionKey(const Slice& key, VersionId* vid);
+/// Inverse of ClusterKey.
+Status ParseClusterKey(const Slice& key, uint32_t* type_id, ObjectId* oid);
+/// Inverse of ObjectKey.
+Status ParseObjectKey(const Slice& key, ObjectId* oid);
+
+}  // namespace ode
+
+#endif  // ODE_CORE_META_H_

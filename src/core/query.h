@@ -1,0 +1,109 @@
+#ifndef ODE_CORE_QUERY_H_
+#define ODE_CORE_QUERY_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/database.h"
+#include "core/version_ptr.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+// Ode's associative access: queries are iterations over clusters (per-type
+// extents) with a selection predicate — the library form of O++'s
+//
+//     for (x in T suchthat (predicate)) ...
+//
+// (the oppc translator emits exactly these shapes for that syntax).
+
+/// Applies `fn` to the latest version of every object of type T, in oid
+/// order; `fn` returns false to stop.
+template <Persistable T>
+Status ForEachLatest(Database& db,
+                     const std::function<bool(const Ref<T>&, const T&)>& fn) {
+  auto type_id = db.TypeId<T>();
+  if (!type_id.ok()) return type_id.status();
+  Status inner = Status::OK();
+  Status scan = db.ForEachInCluster(*type_id, [&](ObjectId oid) {
+    Ref<T> ref(&db, oid);
+    auto value = ref.Load();
+    if (!value.ok()) {
+      inner = value.status();
+      return false;
+    }
+    return fn(ref, *value);
+  });
+  ODE_RETURN_IF_ERROR(scan);
+  return inner;
+}
+
+/// All objects of type T whose latest version satisfies `predicate`.
+template <Persistable T>
+StatusOr<std::vector<Ref<T>>> Select(
+    Database& db, const std::function<bool(const T&)>& predicate) {
+  std::vector<Ref<T>> result;
+  Status s = ForEachLatest<T>(db, [&](const Ref<T>& ref, const T& value) {
+    if (predicate(value)) result.push_back(ref);
+    return true;
+  });
+  if (!s.ok()) return s;
+  return result;
+}
+
+/// All *versions* (across an object's whole history) satisfying a predicate
+/// — temporal queries like "every state where balance < 0".
+template <Persistable T>
+StatusOr<std::vector<VersionPtr<T>>> SelectVersions(
+    Database& db, ObjectId oid, const std::function<bool(const T&)>& predicate) {
+  std::vector<VersionPtr<T>> result;
+  auto versions = db.VersionsOf(oid);
+  if (!versions.ok()) return versions.status();
+  for (VersionId vid : *versions) {
+    auto value = db.Get<T>(vid);
+    if (!value.ok()) return value.status();
+    if (predicate(*value)) result.push_back(VersionPtr<T>(&db, vid));
+  }
+  return result;
+}
+
+/// Every version of every object of type T satisfying `predicate` — the
+/// whole-extent temporal query ("all states of any account that were ever
+/// overdrawn").
+template <Persistable T>
+StatusOr<std::vector<VersionPtr<T>>> SelectAllVersions(
+    Database& db, const std::function<bool(const T&)>& predicate) {
+  auto type_id = db.TypeId<T>();
+  if (!type_id.ok()) return type_id.status();
+  std::vector<VersionPtr<T>> result;
+  Status inner = Status::OK();
+  Status scan = db.ForEachInCluster(*type_id, [&](ObjectId oid) {
+    auto versions = SelectVersions<T>(db, oid, predicate);
+    if (!versions.ok()) {
+      inner = versions.status();
+      return false;
+    }
+    result.insert(result.end(), versions->begin(), versions->end());
+    return true;
+  });
+  ODE_RETURN_IF_ERROR(scan);
+  if (!inner.ok()) return inner;
+  return result;
+}
+
+/// Count of objects of type T whose latest version satisfies `predicate`.
+template <Persistable T>
+StatusOr<uint64_t> CountWhere(Database& db,
+                              const std::function<bool(const T&)>& predicate) {
+  uint64_t count = 0;
+  Status s = ForEachLatest<T>(db, [&](const Ref<T>&, const T& value) {
+    if (predicate(value)) ++count;
+    return true;
+  });
+  if (!s.ok()) return s;
+  return count;
+}
+
+}  // namespace ode
+
+#endif  // ODE_CORE_QUERY_H_

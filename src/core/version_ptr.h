@@ -1,0 +1,280 @@
+#ifndef ODE_CORE_VERSION_PTR_H_
+#define ODE_CORE_VERSION_PTR_H_
+
+#include <cstdlib>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/codec.h"
+#include "core/database.h"
+#include "core/ids.h"
+#include "util/logging.h"
+
+namespace ode {
+
+// The paper's two reference kinds as C++ smart pointers (§4, §6):
+//
+//   Ref<T>        — a *generic* reference holding an object id.  Every
+//                   dereference late-binds to the object's latest version
+//                   (the address-book example of §2: you always see the
+//                   current address).
+//   VersionPtr<T> — a *specific* reference holding a version id, bound to
+//                   one immutable point in the history.
+//
+// "By overloading the definitions of the -> and * operators we were able to
+// define class VersionPtr in such a way that its objects could be
+// manipulated just like normal pointers." (§6)  That convenience surface is
+// preserved here: operator-> and operator* dereference the persistent store.
+// Because C++ operators cannot return a Status, a failed dereference (object
+// deleted, I/O error) CHECK-fails; the Status-returning Load() is the
+// checked alternative and the right choice in library code.
+
+template <Persistable T>
+class VersionPtr;
+
+/// Generic (late-bound) reference to a persistent object.
+template <Persistable T>
+class Ref {
+ public:
+  /// Null reference.
+  Ref() = default;
+
+  /// Binds to object `oid` in `db`.
+  Ref(Database* db, ObjectId oid) : db_(db), oid_(oid) {}
+
+  bool valid() const { return db_ != nullptr && oid_.valid(); }
+  ObjectId oid() const { return oid_; }
+  Database* db() const { return db_; }
+
+  /// Reads the latest version (checked).
+  StatusOr<T> Load() const {
+    if (!valid()) return Status::InvalidArgument("null Ref");
+    return db_->template GetLatest<T>(oid_);
+  }
+
+  /// Replaces the contents of the latest version (no new version is created;
+  /// versions are explicit via newversion, per the paper).
+  Status Store(const T& value) const {
+    if (!valid()) return Status::InvalidArgument("null Ref");
+    return db_->PutLatest(oid_, value);
+  }
+
+  /// Pins the current latest version into a specific reference.
+  StatusOr<VersionPtr<T>> Pin() const;
+
+  /// Dereference: loads the latest version.  The returned pointer stays
+  /// valid until the next dereference of this Ref.  CHECK-fails on error.
+  const T* operator->() const {
+    Reload();
+    return cache_.get();
+  }
+  const T& operator*() const {
+    Reload();
+    return *cache_;
+  }
+
+  friend bool operator==(const Ref& a, const Ref& b) {
+    return a.oid_ == b.oid_;
+  }
+  friend bool operator!=(const Ref& a, const Ref& b) { return !(a == b); }
+
+ private:
+  void Reload() const {
+    ODE_CHECK(valid());
+    auto loaded = Load();
+    ODE_CHECK(loaded.ok());
+    cache_ = std::make_shared<T>(std::move(*loaded));
+  }
+
+  Database* db_ = nullptr;
+  ObjectId oid_;
+  mutable std::shared_ptr<T> cache_;
+};
+
+/// Specific (early-bound) reference to one version of a persistent object.
+template <Persistable T>
+class VersionPtr {
+ public:
+  VersionPtr() = default;
+  VersionPtr(Database* db, VersionId vid) : db_(db), vid_(vid) {}
+
+  bool valid() const { return db_ != nullptr && vid_.valid(); }
+  VersionId vid() const { return vid_; }
+  ObjectId oid() const { return vid_.oid; }
+  Database* db() const { return db_; }
+
+  /// Reads this version (checked).
+  StatusOr<T> Load() const {
+    if (!valid()) return Status::InvalidArgument("null VersionPtr");
+    return db_->template Get<T>(vid_);
+  }
+
+  /// Replaces this version's contents.
+  Status Store(const T& value) const {
+    if (!valid()) return Status::InvalidArgument("null VersionPtr");
+    ODE_RETURN_IF_ERROR(db_->Put(vid_, value));
+    cache_.reset();  // Next dereference reloads.
+    return Status::OK();
+  }
+
+  /// Generic reference to the same object.
+  Ref<T> Generic() const { return Ref<T>(db_, vid_.oid); }
+
+  /// Dereference: loads (and caches — versions are updated only through
+  /// Store, which invalidates) this version's value.  CHECK-fails on error.
+  const T* operator->() const {
+    EnsureLoaded();
+    return cache_.get();
+  }
+  const T& operator*() const {
+    EnsureLoaded();
+    return *cache_;
+  }
+
+  /// Drops the cached value so the next dereference re-reads the store.
+  void Refresh() const { cache_.reset(); }
+
+  // -- Relationship traversal, paper names (§4.3) ---------------------------
+
+  /// The version this one was derived from.
+  StatusOr<std::optional<VersionPtr>> Dprevious() const {
+    auto prev = db_->Dprevious(vid_);
+    if (!prev.ok()) return prev.status();
+    return Wrap(*prev);
+  }
+  /// Versions derived from this one.
+  StatusOr<std::vector<VersionPtr>> Dnext() const {
+    auto next = db_->Dnext(vid_);
+    if (!next.ok()) return next.status();
+    std::vector<VersionPtr> out;
+    out.reserve(next->size());
+    for (VersionId vid : *next) out.push_back(VersionPtr(db_, vid));
+    return out;
+  }
+  /// Temporal predecessor.
+  StatusOr<std::optional<VersionPtr>> Tprevious() const {
+    auto prev = db_->Tprevious(vid_);
+    if (!prev.ok()) return prev.status();
+    return Wrap(*prev);
+  }
+  /// Temporal successor.
+  StatusOr<std::optional<VersionPtr>> Tnext() const {
+    auto next = db_->Tnext(vid_);
+    if (!next.ok()) return next.status();
+    return Wrap(*next);
+  }
+
+  friend bool operator==(const VersionPtr& a, const VersionPtr& b) {
+    return a.vid_ == b.vid_;
+  }
+  friend bool operator!=(const VersionPtr& a, const VersionPtr& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::optional<VersionPtr> Wrap(std::optional<VersionId> vid) const {
+    if (!vid.has_value()) return std::nullopt;
+    return VersionPtr(db_, *vid);
+  }
+
+  void EnsureLoaded() const {
+    ODE_CHECK(valid());
+    if (cache_ == nullptr) {
+      auto loaded = Load();
+      ODE_CHECK(loaded.ok());
+      cache_ = std::make_shared<T>(std::move(*loaded));
+    }
+  }
+
+  Database* db_ = nullptr;
+  VersionId vid_;
+  mutable std::shared_ptr<T> cache_;
+};
+
+template <Persistable T>
+StatusOr<VersionPtr<T>> Ref<T>::Pin() const {
+  if (!valid()) return Status::InvalidArgument("null Ref");
+  auto latest = db_->Latest(oid_);
+  if (!latest.ok()) return latest.status();
+  return VersionPtr<T>(db_, *latest);
+}
+
+// ---------------------------------------------------------------------------
+// The O++ operations under their paper names (§4)
+// ---------------------------------------------------------------------------
+
+/// pnew: creates a persistent object initialized to `value`; the result is a
+/// generic reference to it (O++: `pnew T(...)`).
+template <Persistable T>
+StatusOr<Ref<T>> pnew(Database& db, const T& value) {
+  auto vid = db.Pnew(value);
+  if (!vid.ok()) return vid.status();
+  return Ref<T>(&db, vid->oid);
+}
+
+/// newversion(generic ref): derives a new version from the latest version;
+/// the new version becomes the latest.
+template <Persistable T>
+StatusOr<VersionPtr<T>> newversion(const Ref<T>& ref) {
+  if (!ref.valid()) return Status::InvalidArgument("null Ref");
+  auto vid = ref.db()->NewVersionOf(ref.oid());
+  if (!vid.ok()) return vid.status();
+  return VersionPtr<T>(ref.db(), *vid);
+}
+
+/// newversion(specific ref): derives a new version from the pointed-to
+/// version (creating an alternative when that version already has derived
+/// versions).
+template <Persistable T>
+StatusOr<VersionPtr<T>> newversion(const VersionPtr<T>& vp) {
+  if (!vp.valid()) return Status::InvalidArgument("null VersionPtr");
+  auto vid = vp.db()->NewVersionFrom(vp.vid());
+  if (!vid.ok()) return vid.status();
+  return VersionPtr<T>(vp.db(), *vid);
+}
+
+/// pdelete(object id): deletes the object and all its versions.
+template <Persistable T>
+Status pdelete(const Ref<T>& ref) {
+  if (!ref.valid()) return Status::InvalidArgument("null Ref");
+  return ref.db()->PdeleteObject(ref.oid());
+}
+
+/// pdelete(version id): deletes the specified version only.
+template <Persistable T>
+Status pdelete(const VersionPtr<T>& vp) {
+  if (!vp.valid()) return Status::InvalidArgument("null VersionPtr");
+  return vp.db()->PdeleteVersion(vp.vid());
+}
+
+// ---------------------------------------------------------------------------
+// Persisting references inside object payloads
+// ---------------------------------------------------------------------------
+
+/// Serializes a generic reference field (stores the object id).
+template <Persistable T>
+void WriteRef(BufferWriter& w, const Ref<T>& ref) {
+  WriteObjectId(w, ref.oid());
+}
+
+/// Deserializes a generic reference field; rebind with `Ref(db, oid)` via the
+/// returned id.
+inline Status ReadRefId(BufferReader& r, ObjectId* oid) {
+  return ReadObjectId(r, oid);
+}
+
+/// Serializes a specific reference field (stores the version id).
+template <Persistable T>
+void WriteVersionPtr(BufferWriter& w, const VersionPtr<T>& vp) {
+  WriteVersionId(w, vp.vid());
+}
+
+/// Deserializes a specific reference field.
+inline Status ReadVersionPtrId(BufferReader& r, VersionId* vid) {
+  return ReadVersionId(r, vid);
+}
+
+}  // namespace ode
+
+#endif  // ODE_CORE_VERSION_PTR_H_

@@ -1,0 +1,93 @@
+#include "opp/lexer.h"
+
+#include <cctype>
+
+namespace ode {
+namespace opp {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+std::vector<Token> Lex(std::string_view source) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  size_t line = 1;
+  const size_t n = source.size();
+
+  auto push = [&](TokenKind kind, size_t start, size_t end) {
+    Token token;
+    token.kind = kind;
+    token.text = std::string(source.substr(start, end - start));
+    token.offset = start;
+    token.line = line;  // Line where the token STARTS.
+    for (char c : token.text) {
+      if (c == '\n') ++line;
+    }
+    tokens.push_back(std::move(token));
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && std::isspace(static_cast<unsigned char>(source[i]))) {
+        ++i;
+      }
+      push(TokenKind::kWhitespace, start, i);
+    } else if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      size_t start = i;
+      while (i < n && source[i] != '\n') ++i;
+      push(TokenKind::kComment, start, i);
+    } else if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) ++i;
+      i = (i + 1 < n) ? i + 2 : n;
+      push(TokenKind::kComment, start, i);
+    } else if (c == '"') {
+      size_t start = i++;
+      while (i < n && source[i] != '"') {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;  // Closing quote.
+      push(TokenKind::kString, start, i);
+    } else if (c == '\'') {
+      size_t start = i++;
+      while (i < n && source[i] != '\'') {
+        if (source[i] == '\\' && i + 1 < n) ++i;
+        ++i;
+      }
+      if (i < n) ++i;
+      push(TokenKind::kCharLit, start, i);
+    } else if (IsIdentStart(c)) {
+      size_t start = i;
+      while (i < n && IsIdentChar(source[i])) ++i;
+      push(TokenKind::kIdentifier, start, i);
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = i;
+      while (i < n && (IsIdentChar(source[i]) || source[i] == '.')) ++i;
+      push(TokenKind::kNumber, start, i);
+    } else {
+      push(TokenKind::kPunct, i, i + 1);
+      ++i;
+    }
+  }
+  Token end;
+  end.kind = TokenKind::kEnd;
+  end.offset = n;
+  end.line = line;
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace opp
+}  // namespace ode

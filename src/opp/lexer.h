@@ -1,0 +1,47 @@
+#ifndef ODE_OPP_LEXER_H_
+#define ODE_OPP_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ode {
+namespace opp {
+
+/// Kinds of lexical tokens.  The lexer is *whitespace- and
+/// comment-preserving*: the token stream concatenates back to the original
+/// source byte-for-byte, which lets the translator rewrite only the O++
+/// constructs and leave everything else untouched.
+enum class TokenKind {
+  kIdentifier,  ///< Identifiers and keywords (C++ and O++ alike).
+  kNumber,      ///< Integer/float literal (loose: enough to skip over).
+  kString,      ///< "..." including escapes.
+  kCharLit,     ///< '...'.
+  kComment,     ///< // ... or /* ... */.
+  kWhitespace,  ///< Spaces, tabs, newlines.
+  kPunct,       ///< Any other single character (operators split into chars).
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  size_t offset;  ///< Byte offset in the source (for diagnostics).
+  size_t line;    ///< 1-based line number.
+};
+
+/// Splits `source` into tokens.  Never fails: unterminated strings/comments
+/// lex as a single token to end-of-input (the C++ compiler downstream will
+/// complain with a better message).
+std::vector<Token> Lex(std::string_view source);
+
+/// True for tokens that carry no syntax (whitespace, comments).
+inline bool IsBlank(const Token& token) {
+  return token.kind == TokenKind::kWhitespace ||
+         token.kind == TokenKind::kComment;
+}
+
+}  // namespace opp
+}  // namespace ode
+
+#endif  // ODE_OPP_LEXER_H_

@@ -1,0 +1,81 @@
+// oppc: the miniature O++-to-C++ translator (paper §6).
+//
+// Usage:
+//   oppc [--db=EXPR] [--no-include] [input.opp [output.cc]]
+//
+// Reads O++ source (stdin when no input file), writes translated C++
+// (stdout when no output file).  See opp/translator.h for the recognized
+// constructs.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "opp/translator.h"
+
+namespace {
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "oppc: %s\n", message.c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ode::opp::TranslateOptions options;
+  std::string input_path, output_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--db=", 0) == 0) {
+      options.db_expr = arg.substr(5);
+    } else if (arg == "--no-include") {
+      options.add_include = false;
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: oppc [--db=EXPR] [--no-include] [in.opp [out.cc]]\n");
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Fail("unknown flag: " + arg);
+    } else if (input_path.empty()) {
+      input_path = arg;
+    } else if (output_path.empty()) {
+      output_path = arg;
+    } else {
+      return Fail("too many arguments");
+    }
+  }
+
+  std::string source;
+  if (input_path.empty()) {
+    std::ostringstream buffer;
+    buffer << std::cin.rdbuf();
+    source = buffer.str();
+  } else {
+    std::ifstream in(input_path);
+    if (!in) return Fail("cannot open " + input_path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    source = buffer.str();
+  }
+
+  ode::opp::TranslateStats stats;
+  auto translated = ode::opp::Translate(source, options, &stats);
+  if (!translated.ok()) return Fail(translated.status().ToString());
+
+  if (output_path.empty()) {
+    std::cout << *translated;
+  } else {
+    std::ofstream out(output_path);
+    if (!out) return Fail("cannot write " + output_path);
+    out << *translated;
+  }
+  std::fprintf(stderr,
+               "oppc: %d persistent decl(s), %d pnew, %d pdelete, "
+               "%d newversion, %d cluster loop(s)\n",
+               stats.persistent_decls, stats.pnew_exprs, stats.pdelete_stmts,
+               stats.newversion_calls, stats.cluster_loops);
+  return 0;
+}

@@ -1,0 +1,106 @@
+#ifndef ODE_OPP_RUNTIME_H_
+#define ODE_OPP_RUNTIME_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/version_ptr.h"
+#include "util/logging.h"
+
+namespace ode {
+namespace opp {
+
+/// Runtime support for oppc-translated programs.
+///
+/// O++ expressions have no Status channel, so these helpers adopt the
+/// translated program's contract: failures terminate with a diagnostic
+/// (exactly as a failed `new` would in the era's C++).  Library code should
+/// use the Status-returning API in core/ directly.
+
+/// `pnew T(args)` — creates a persistent object, returns a generic
+/// reference.
+template <Persistable T>
+Ref<T> Pnew(Database& db, const T& value) {
+  auto ref = pnew(db, value);
+  ODE_CHECK(ref.ok());
+  return *ref;
+}
+
+/// `newversion(generic ref)` — new version derived from the latest.
+template <Persistable T>
+VersionPtr<T> NewVersion(Database& db, const Ref<T>& ref) {
+  (void)db;  // The reference carries its database.
+  auto vp = newversion(ref);
+  ODE_CHECK(vp.ok());
+  return *vp;
+}
+
+/// `newversion(specific ref)` — new version derived from that version.
+template <Persistable T>
+VersionPtr<T> NewVersion(Database& db, const VersionPtr<T>& vp) {
+  (void)db;
+  auto result = newversion(vp);
+  ODE_CHECK(result.ok());
+  return *result;
+}
+
+/// `pdelete p` for an object (generic reference).
+template <Persistable T>
+void Pdelete(Database& db, const Ref<T>& ref) {
+  (void)db;
+  ODE_CHECK(pdelete(ref).ok());
+}
+
+/// `pdelete vp` for one version (specific reference).
+template <Persistable T>
+void Pdelete(Database& db, const VersionPtr<T>& vp) {
+  (void)db;
+  ODE_CHECK(pdelete(vp).ok());
+}
+
+/// `for (x in T)` — iteration over the cluster (extent) of type T.  The
+/// object set is snapshotted at loop entry, so the body may create or delete
+/// objects without invalidating the iteration.
+template <Persistable T>
+class ClusterRange {
+ public:
+  explicit ClusterRange(Database& db) : db_(&db) {
+    auto type_id = db.TypeId<T>();
+    ODE_CHECK(type_id.ok());
+    auto oids = db.ClusterScan(*type_id);
+    ODE_CHECK(oids.ok());
+    oids_ = std::move(*oids);
+  }
+
+  class iterator {
+   public:
+    iterator(Database* db, const std::vector<ObjectId>* oids, size_t index)
+        : db_(db), oids_(oids), index_(index) {}
+    Ref<T> operator*() const { return Ref<T>(db_, (*oids_)[index_]); }
+    iterator& operator++() {
+      ++index_;
+      return *this;
+    }
+    bool operator!=(const iterator& other) const {
+      return index_ != other.index_;
+    }
+
+   private:
+    Database* db_;
+    const std::vector<ObjectId>* oids_;
+    size_t index_;
+  };
+
+  iterator begin() const { return iterator(db_, &oids_, 0); }
+  iterator end() const { return iterator(db_, &oids_, oids_.size()); }
+  size_t size() const { return oids_.size(); }
+
+ private:
+  Database* db_;
+  std::vector<ObjectId> oids_;
+};
+
+}  // namespace opp
+}  // namespace ode
+
+#endif  // ODE_OPP_RUNTIME_H_

@@ -1,0 +1,267 @@
+#include "opp/translator.h"
+
+#include <vector>
+
+#include "opp/lexer.h"
+
+namespace ode {
+namespace opp {
+
+namespace {
+
+/// Cursor over the lexed token stream with blank-skipping lookahead.
+class TokenCursor {
+ public:
+  explicit TokenCursor(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  const Token& at(size_t i) const { return tokens_[i]; }
+  size_t size() const { return tokens_.size(); }
+
+  /// Index of the next non-blank token at or after `i` (may be kEnd).
+  size_t SkipBlanks(size_t i) const {
+    while (i < tokens_.size() && IsBlank(tokens_[i])) ++i;
+    return i < tokens_.size() ? i : tokens_.size() - 1;
+  }
+
+  bool IsIdent(size_t i, std::string_view text) const {
+    return tokens_[i].kind == TokenKind::kIdentifier &&
+           tokens_[i].text == text;
+  }
+  bool IsPunct(size_t i, char c) const {
+    return tokens_[i].kind == TokenKind::kPunct && tokens_[i].text.size() == 1 &&
+           tokens_[i].text[0] == c;
+  }
+
+ private:
+  std::vector<Token> tokens_;
+};
+
+/// Appends tokens [from, to) verbatim.
+void AppendRange(const TokenCursor& cursor, size_t from, size_t to,
+                 std::string* out) {
+  for (size_t i = from; i < to; ++i) out->append(cursor.at(i).text);
+}
+
+/// Finds the index just past the ')' matching the '(' at `open` (which must
+/// be a '(' token).  Returns false on unbalanced input.
+bool MatchParen(const TokenCursor& cursor, size_t open, size_t* past_close) {
+  int depth = 0;
+  for (size_t i = open; i < cursor.size(); ++i) {
+    if (cursor.IsPunct(i, '(')) ++depth;
+    if (cursor.IsPunct(i, ')')) {
+      --depth;
+      if (depth == 0) {
+        *past_close = i + 1;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<std::string> Translate(std::string_view source,
+                                const TranslateOptions& options,
+                                TranslateStats* stats) {
+  TokenCursor cursor(Lex(source));
+  std::string out;
+  out.reserve(source.size() + 256);
+  TranslateStats local_stats;
+  const std::string& db = options.db_expr;
+
+  if (options.add_include) {
+    out += "#include \"opp/runtime.h\"  // added by oppc\n";
+  }
+
+  size_t i = 0;
+  // Multi-declarator bookkeeping: inside `persistent T *a, *b;` the extra
+  // '*'s (those directly after a ',' at paren depth 0) must be dropped too.
+  bool in_persistent_decl = false;
+  int decl_paren_depth = 0;
+  char last_significant = '\0';
+
+  while (i < cursor.size() && cursor.at(i).kind != TokenKind::kEnd) {
+    const Token& token = cursor.at(i);
+
+    if (in_persistent_decl && token.kind == TokenKind::kPunct) {
+      const char c = token.text[0];
+      if (c == '(') ++decl_paren_depth;
+      if (c == ')') --decl_paren_depth;
+      if (c == ';' && decl_paren_depth == 0) in_persistent_decl = false;
+      if (c == '*' && decl_paren_depth == 0 && last_significant == ',') {
+        // Drop the '*' of the next declarator; keep exactly one separator.
+        const bool blank_before = i > 0 && IsBlank(cursor.at(i - 1));
+        ++i;
+        if (!blank_before && i < cursor.size() && !IsBlank(cursor.at(i))) {
+          out += " ";
+        }
+        continue;
+      }
+    }
+    if (!IsBlank(token) && !token.text.empty()) {
+      last_significant = token.text[0];
+    }
+
+    // persistent T * name  ->  ode::Ref<T> name
+    if (cursor.IsIdent(i, "persistent")) {
+      const size_t type_idx = cursor.SkipBlanks(i + 1);
+      if (cursor.at(type_idx).kind == TokenKind::kIdentifier) {
+        const size_t star_idx = cursor.SkipBlanks(type_idx + 1);
+        if (cursor.IsPunct(star_idx, '*')) {
+          out += "ode::Ref<" + cursor.at(type_idx).text + ">";
+          i = star_idx + 1;
+          // `persistent T *p` has no blank between '*' and the name; keep
+          // the output well-formed.
+          if (i < cursor.size() && !IsBlank(cursor.at(i))) out += " ";
+          ++local_stats.persistent_decls;
+          in_persistent_decl = true;
+          decl_paren_depth = 0;
+          continue;
+        }
+      }
+    }
+
+    // pnew T(args)  ->  ode::opp::Pnew<T>(db, T(args))
+    if (cursor.IsIdent(i, "pnew")) {
+      const size_t type_idx = cursor.SkipBlanks(i + 1);
+      if (cursor.at(type_idx).kind == TokenKind::kIdentifier) {
+        const std::string& type = cursor.at(type_idx).text;
+        const size_t paren_idx = cursor.SkipBlanks(type_idx + 1);
+        out += "ode::opp::Pnew<" + type + ">(" + db + ", " + type;
+        if (cursor.IsPunct(paren_idx, '(')) {
+          size_t past_close = 0;
+          if (!MatchParen(cursor, paren_idx, &past_close)) {
+            return Status::InvalidArgument(
+                "unbalanced parentheses after pnew at line " +
+                std::to_string(cursor.at(paren_idx).line));
+          }
+          AppendRange(cursor, paren_idx, past_close, &out);
+          i = past_close;
+        } else {
+          out += "()";
+          i = type_idx + 1;
+        }
+        out += ")";
+        ++local_stats.pnew_exprs;
+        continue;
+      }
+    }
+
+    // pdelete expr  ->  ode::opp::Pdelete(db, expr)
+    if (cursor.IsIdent(i, "pdelete")) {
+      // The operand extends to the next ';', ',', ')' or '}' at depth 0.
+      size_t j = cursor.SkipBlanks(i + 1);
+      size_t expr_end = j;
+      int depth = 0;
+      while (expr_end < cursor.size() &&
+             cursor.at(expr_end).kind != TokenKind::kEnd) {
+        if (cursor.IsPunct(expr_end, '(')) ++depth;
+        if (cursor.IsPunct(expr_end, ')')) {
+          if (depth == 0) break;
+          --depth;
+        }
+        if (depth == 0 && (cursor.IsPunct(expr_end, ';') ||
+                           cursor.IsPunct(expr_end, ',') ||
+                           cursor.IsPunct(expr_end, '}'))) {
+          break;
+        }
+        ++expr_end;
+      }
+      // Trim trailing blanks from the operand.
+      size_t trimmed_end = expr_end;
+      while (trimmed_end > j && IsBlank(cursor.at(trimmed_end - 1))) {
+        --trimmed_end;
+      }
+      if (trimmed_end == j) {
+        return Status::InvalidArgument("pdelete without operand at line " +
+                                       std::to_string(cursor.at(i).line));
+      }
+      out += "ode::opp::Pdelete(" + db + ", ";
+      AppendRange(cursor, j, trimmed_end, &out);
+      out += ")";
+      AppendRange(cursor, trimmed_end, expr_end, &out);  // Trailing blanks.
+      i = expr_end;
+      ++local_stats.pdelete_stmts;
+      continue;
+    }
+
+    // newversion(expr)  ->  ode::opp::NewVersion(db, expr)
+    if (cursor.IsIdent(i, "newversion")) {
+      const size_t paren_idx = cursor.SkipBlanks(i + 1);
+      if (cursor.IsPunct(paren_idx, '(')) {
+        out += "ode::opp::NewVersion(" + db + ", ";
+        size_t past_close = 0;
+        if (!MatchParen(cursor, paren_idx, &past_close)) {
+          return Status::InvalidArgument(
+              "unbalanced parentheses after newversion at line " +
+              std::to_string(cursor.at(i).line));
+        }
+        // Copy the contents WITHOUT the outer parens, then close.
+        AppendRange(cursor, paren_idx + 1, past_close - 1, &out);
+        out += ")";
+        i = past_close;
+        ++local_stats.newversion_calls;
+        continue;
+      }
+    }
+
+    // for (x in T)                     -> range-for over the cluster
+    // for (x in T suchthat (cond))     -> range-for + selection
+    if (cursor.IsIdent(i, "for")) {
+      const size_t open_idx = cursor.SkipBlanks(i + 1);
+      if (cursor.IsPunct(open_idx, '(')) {
+        const size_t var_idx = cursor.SkipBlanks(open_idx + 1);
+        const size_t in_idx = cursor.SkipBlanks(var_idx + 1);
+        const size_t type_idx = cursor.SkipBlanks(in_idx + 1);
+        const size_t after_type = cursor.SkipBlanks(type_idx + 1);
+        if (cursor.at(var_idx).kind == TokenKind::kIdentifier &&
+            cursor.IsIdent(in_idx, "in") &&
+            cursor.at(type_idx).kind == TokenKind::kIdentifier) {
+          const std::string& var = cursor.at(var_idx).text;
+          const std::string& type = cursor.at(type_idx).text;
+          const std::string range_for = "for (ode::Ref<" + type + "> " + var +
+                                        " : ode::opp::ClusterRange<" + type +
+                                        ">(" + db + "))";
+          if (cursor.IsPunct(after_type, ')')) {
+            out += range_for;
+            i = after_type + 1;
+            ++local_stats.cluster_loops;
+            continue;
+          }
+          if (cursor.IsIdent(after_type, "suchthat")) {
+            const size_t cond_open = cursor.SkipBlanks(after_type + 1);
+            size_t past_cond = 0;
+            if (!cursor.IsPunct(cond_open, '(') ||
+                !MatchParen(cursor, cond_open, &past_cond)) {
+              return Status::InvalidArgument(
+                  "malformed suchthat clause at line " +
+                  std::to_string(cursor.at(after_type).line));
+            }
+            const size_t close_idx = cursor.SkipBlanks(past_cond);
+            if (cursor.IsPunct(close_idx, ')')) {
+              // `for (...) if (!(cond)); else <body>` keeps the body —
+              // statement or block — attached to the selection.
+              out += range_for + " if (!";
+              AppendRange(cursor, cond_open, past_cond, &out);
+              out += "); else";
+              i = close_idx + 1;
+              ++local_stats.cluster_loops;
+              continue;
+            }
+          }
+        }
+      }
+    }
+
+    out += token.text;
+    ++i;
+  }
+
+  if (stats != nullptr) *stats = local_stats;
+  return out;
+}
+
+}  // namespace opp
+}  // namespace ode

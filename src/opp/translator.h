@@ -1,0 +1,55 @@
+#ifndef ODE_OPP_TRANSLATOR_H_
+#define ODE_OPP_TRANSLATOR_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/statusor.h"
+
+namespace ode {
+namespace opp {
+
+/// Options for the O++ -> C++ source translation.
+struct TranslateOptions {
+  /// C++ expression denoting the ode::Database& the translated constructs
+  /// operate on.
+  std::string db_expr = "db";
+  /// Prepend `#include "opp/runtime.h"` to the output.
+  bool add_include = true;
+};
+
+/// What the translator rewrote (for tests and tooling output).
+struct TranslateStats {
+  int persistent_decls = 0;
+  int pnew_exprs = 0;
+  int pdelete_stmts = 0;
+  int newversion_calls = 0;
+  int cluster_loops = 0;
+};
+
+/// Translates the O++ versioning/persistence constructs embedded in
+/// otherwise-ordinary C++ into calls on the Ode library — the miniature of
+/// the paper's §6 ("We are implementing an O++ compiler which translates
+/// O++ programs to C++").
+///
+/// Recognized constructs:
+///
+///   persistent T* p;            ->  ode::Ref<T> p;
+///   p = pnew T(args);           ->  p = ode::opp::Pnew<T>(db, T(args));
+///   pdelete p;                  ->  ode::opp::Pdelete(db, p);
+///   newversion(p)               ->  ode::opp::NewVersion(db, p)
+///   for (x in T) { ... }        ->  for (ode::Ref<T> x :
+///                                        ode::opp::ClusterRange<T>(db)) ...
+///   for (x in T suchthat (c))   ->  the same loop with the body guarded by
+///                                   the selection predicate `c`
+///
+/// Everything else — comments, strings, and all other C++ — passes through
+/// byte-for-byte.  The output compiles against opp/runtime.h.
+StatusOr<std::string> Translate(std::string_view source,
+                                const TranslateOptions& options = {},
+                                TranslateStats* stats = nullptr);
+
+}  // namespace opp
+}  // namespace ode
+
+#endif  // ODE_OPP_TRANSLATOR_H_

@@ -1,0 +1,161 @@
+#include "policy/checkout.h"
+
+#include "util/byte_buffer.h"
+
+namespace ode {
+
+constexpr char CheckoutManager::kTypeName[];
+
+std::string CheckoutManager::EncodePayload() const {
+  BufferWriter w;
+  w.WriteVarint64(entries_.size());
+  for (const auto& [key, entry] : entries_) {
+    w.WriteU64(key.first);
+    w.WriteU32(key.second);
+    w.WriteU8(static_cast<uint8_t>(entry.state));
+    w.WriteString(Slice(entry.owner));
+  }
+  return w.Release();
+}
+
+Status CheckoutManager::DecodePayload(const Slice& payload) {
+  entries_.clear();
+  BufferReader r(payload);
+  uint64_t count = 0;
+  ODE_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t oid = 0;
+    VersionNum vnum = kNoVersion;
+    uint8_t state = 0;
+    Entry entry;
+    ODE_RETURN_IF_ERROR(r.ReadU64(&oid));
+    ODE_RETURN_IF_ERROR(r.ReadU32(&vnum));
+    ODE_RETURN_IF_ERROR(r.ReadU8(&state));
+    if (state > static_cast<uint8_t>(VersionState::kReleased)) {
+      return Status::Corruption("bad checkout state");
+    }
+    entry.state = static_cast<VersionState>(state);
+    ODE_RETURN_IF_ERROR(r.ReadString(&entry.owner));
+    entries_[{oid, vnum}] = std::move(entry);
+  }
+  return Status::OK();
+}
+
+StatusOr<CheckoutManager> CheckoutManager::Open(Database& db) {
+  auto type_id = db.RegisterType(kTypeName);
+  if (!type_id.ok()) return type_id.status();
+  CheckoutManager manager(&db);
+  // The manager's state is the singleton object of its type cluster.
+  auto existing = db.ClusterScan(*type_id);
+  if (!existing.ok()) return existing.status();
+  if (existing->empty()) {
+    auto vid = db.PnewRaw(*type_id, Slice(manager.EncodePayload()));
+    if (!vid.ok()) return vid.status();
+    manager.state_oid_ = vid->oid;
+    return manager;
+  }
+  manager.state_oid_ = existing->front();
+  auto payload = db.ReadLatest(manager.state_oid_);
+  if (!payload.ok()) return payload.status();
+  ODE_RETURN_IF_ERROR(manager.DecodePayload(Slice(*payload)));
+  return manager;
+}
+
+Status CheckoutManager::Persist() {
+  return db_->UpdateLatest(state_oid_, Slice(EncodePayload()));
+}
+
+StatusOr<CheckoutManager::VersionState> CheckoutManager::StateOf(
+    VersionId vid) const {
+  auto exists = db_->VersionExists(vid);
+  if (!exists.ok()) return exists.status();
+  if (!*exists) return Status::NotFound("no such version");
+  auto it = entries_.find({vid.oid.value, vid.vnum});
+  if (it == entries_.end()) return VersionState::kReleased;
+  return it->second.state;
+}
+
+StatusOr<std::string> CheckoutManager::OwnerOf(VersionId vid) const {
+  auto it = entries_.find({vid.oid.value, vid.vnum});
+  if (it == entries_.end()) return Status::NotFound("version has no owner");
+  return it->second.owner;
+}
+
+StatusOr<VersionId> CheckoutManager::Checkout(VersionId base,
+                                              const std::string& user) {
+  auto state = StateOf(base);
+  if (!state.ok()) return state.status();
+  if (*state == VersionState::kTransient) {
+    return Status::FailedPrecondition(
+        "cannot check out another user's transient version");
+  }
+  auto vid = db_->NewVersionFrom(base);
+  if (!vid.ok()) return vid.status();
+  entries_[{vid->oid.value, vid->vnum}] =
+      Entry{VersionState::kTransient, user};
+  ODE_RETURN_IF_ERROR(Persist());
+  return *vid;
+}
+
+Status CheckoutManager::Write(VersionId vid, const std::string& user,
+                              const Slice& payload) {
+  auto it = entries_.find({vid.oid.value, vid.vnum});
+  if (it == entries_.end() || it->second.state == VersionState::kReleased) {
+    return Status::FailedPrecondition("released versions are immutable");
+  }
+  if (it->second.owner != user) {
+    return Status::FailedPrecondition("not the owner of this version");
+  }
+  return db_->UpdateVersion(vid, payload);
+}
+
+Status CheckoutManager::Checkin(VersionId vid, const std::string& user) {
+  auto it = entries_.find({vid.oid.value, vid.vnum});
+  if (it == entries_.end() || it->second.state != VersionState::kTransient) {
+    return Status::FailedPrecondition("version is not checked out");
+  }
+  if (it->second.owner != user) {
+    return Status::FailedPrecondition("not the owner of this checkout");
+  }
+  it->second.state = VersionState::kWorking;
+  return Persist();
+}
+
+Status CheckoutManager::Promote(VersionId vid) {
+  auto it = entries_.find({vid.oid.value, vid.vnum});
+  if (it == entries_.end()) {
+    return Status::FailedPrecondition("version is already released");
+  }
+  if (it->second.state != VersionState::kWorking) {
+    return Status::FailedPrecondition("only working versions can be promoted");
+  }
+  entries_.erase(it);  // Unlabeled == released.
+  return Persist();
+}
+
+Status CheckoutManager::DiscardCheckout(VersionId vid,
+                                        const std::string& user) {
+  auto it = entries_.find({vid.oid.value, vid.vnum});
+  if (it == entries_.end() || it->second.state != VersionState::kTransient) {
+    return Status::FailedPrecondition("version is not checked out");
+  }
+  if (it->second.owner != user) {
+    return Status::FailedPrecondition("not the owner of this checkout");
+  }
+  ODE_RETURN_IF_ERROR(db_->PdeleteVersion(vid));
+  entries_.erase(it);
+  return Persist();
+}
+
+std::vector<VersionId> CheckoutManager::CheckoutsOf(
+    const std::string& user) const {
+  std::vector<VersionId> result;
+  for (const auto& [key, entry] : entries_) {
+    if (entry.state == VersionState::kTransient && entry.owner == user) {
+      result.push_back(VersionId{ObjectId{key.first}, key.second});
+    }
+  }
+  return result;
+}
+
+}  // namespace ode

@@ -1,0 +1,82 @@
+#ifndef ODE_POLICY_CHECKOUT_H_
+#define ODE_POLICY_CHECKOUT_H_
+
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "core/ids.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// ORION-style checkout/checkin as a policy (§7 discusses the ORION model:
+/// transient, working, and released versions living in private, project, and
+/// public databases, moved by checkout, checkin, and promotion).  O++
+/// subsumes this with primitives; this class shows the construction:
+///
+///   - Checkout(base, user): derives a new version from `base` (newversion),
+///     marks it kTransient, owned by `user` — the private workspace copy.
+///   - Checkin(vid, user): kTransient -> kWorking (owner only).
+///   - Promote(vid): kWorking -> kReleased.  Released versions are immutable
+///     through this manager and cannot be checked back in.
+///
+/// Status labels live in a persistent "ode.CheckoutState" object, so the
+/// workflow state survives restarts.  Unlabeled versions are kReleased (a
+/// plain object is public by default).
+class CheckoutManager {
+ public:
+  enum class VersionState : uint8_t {
+    kTransient = 0,
+    kWorking = 1,
+    kReleased = 2,
+  };
+
+  /// Loads the manager's persistent state, creating it on first use.
+  static StatusOr<CheckoutManager> Open(Database& db);
+
+  /// Derives a private working copy of `base` for `user`.
+  StatusOr<VersionId> Checkout(VersionId base, const std::string& user);
+
+  /// Writes new contents into `user`'s checked-out version.
+  Status Write(VersionId vid, const std::string& user, const Slice& payload);
+
+  /// Moves `user`'s transient version into the project (working) level.
+  Status Checkin(VersionId vid, const std::string& user);
+
+  /// Releases a working version to the public level.
+  Status Promote(VersionId vid);
+
+  /// Abandons a transient checkout, deleting the version.
+  Status DiscardCheckout(VersionId vid, const std::string& user);
+
+  StatusOr<VersionState> StateOf(VersionId vid) const;
+  StatusOr<std::string> OwnerOf(VersionId vid) const;
+
+  /// All transient versions owned by `user`.
+  std::vector<VersionId> CheckoutsOf(const std::string& user) const;
+
+  static constexpr char kTypeName[] = "ode.CheckoutState";
+
+ private:
+  struct Entry {
+    VersionState state;
+    std::string owner;
+  };
+
+  explicit CheckoutManager(Database* db) : db_(db) {}
+
+  Status Persist();
+  std::string EncodePayload() const;
+  Status DecodePayload(const Slice& payload);
+
+  Database* db_;
+  ObjectId state_oid_;
+  std::map<std::pair<uint64_t, VersionNum>, Entry> entries_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_POLICY_CHECKOUT_H_

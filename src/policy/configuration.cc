@@ -1,0 +1,125 @@
+#include "policy/configuration.h"
+
+#include "util/byte_buffer.h"
+
+namespace ode {
+
+constexpr char Configuration::kTypeName[];
+
+std::string Configuration::EncodePayload() const {
+  BufferWriter w;
+  w.WriteString(Slice(name_));
+  w.WriteVarint64(bindings_.size());
+  for (const auto& [component, binding] : bindings_) {
+    w.WriteString(Slice(component));
+    w.WriteU8(static_cast<uint8_t>(binding.kind));
+    w.WriteU64(binding.oid.value);
+    w.WriteU32(binding.vnum);
+  }
+  return w.Release();
+}
+
+StatusOr<Configuration> Configuration::FromPayload(Database* db, ObjectId oid,
+                                                   const Slice& payload) {
+  Configuration config(db, oid);
+  BufferReader r(payload);
+  ODE_RETURN_IF_ERROR(r.ReadString(&config.name_));
+  uint64_t count = 0;
+  ODE_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string component;
+    ODE_RETURN_IF_ERROR(r.ReadString(&component));
+    uint8_t kind = 0;
+    Binding binding{};
+    ODE_RETURN_IF_ERROR(r.ReadU8(&kind));
+    if (kind > static_cast<uint8_t>(BindingKind::kDynamic)) {
+      return Status::Corruption("bad binding kind");
+    }
+    binding.kind = static_cast<BindingKind>(kind);
+    ODE_RETURN_IF_ERROR(r.ReadU64(&binding.oid.value));
+    ODE_RETURN_IF_ERROR(r.ReadU32(&binding.vnum));
+    config.bindings_.emplace(std::move(component), binding);
+  }
+  return config;
+}
+
+StatusOr<Configuration> Configuration::Create(Database& db, std::string name) {
+  auto type_id = db.RegisterType(kTypeName);
+  if (!type_id.ok()) return type_id.status();
+  Configuration config(&db, ObjectId{});
+  config.name_ = std::move(name);
+  auto vid = db.PnewRaw(*type_id, Slice(config.EncodePayload()));
+  if (!vid.ok()) return vid.status();
+  config.oid_ = vid->oid;
+  return config;
+}
+
+StatusOr<Configuration> Configuration::Load(Database& db, ObjectId oid) {
+  auto payload = db.ReadLatest(oid);
+  if (!payload.ok()) return payload.status();
+  return FromPayload(&db, oid, Slice(*payload));
+}
+
+Status Configuration::Persist() {
+  return db_->UpdateLatest(oid_, Slice(EncodePayload()));
+}
+
+Status Configuration::BindStatic(const std::string& component, VersionId vid) {
+  auto exists = db_->VersionExists(vid);
+  if (!exists.ok()) return exists.status();
+  if (!*exists) return Status::NotFound("no such version to bind");
+  bindings_[component] = Binding{BindingKind::kStatic, vid.oid, vid.vnum};
+  return Persist();
+}
+
+Status Configuration::BindDynamic(const std::string& component, ObjectId oid) {
+  auto exists = db_->ObjectExists(oid);
+  if (!exists.ok()) return exists.status();
+  if (!*exists) return Status::NotFound("no such object to bind");
+  bindings_[component] = Binding{BindingKind::kDynamic, oid, kNoVersion};
+  return Persist();
+}
+
+Status Configuration::Unbind(const std::string& component) {
+  if (bindings_.erase(component) == 0) {
+    return Status::NotFound("component not bound: " + component);
+  }
+  return Persist();
+}
+
+StatusOr<VersionId> Configuration::Resolve(const std::string& component) const {
+  auto it = bindings_.find(component);
+  if (it == bindings_.end()) {
+    return Status::NotFound("component not bound: " + component);
+  }
+  const Binding& binding = it->second;
+  if (binding.kind == BindingKind::kStatic) {
+    return VersionId{binding.oid, binding.vnum};
+  }
+  return db_->Latest(binding.oid);
+}
+
+StatusOr<std::map<std::string, VersionId>> Configuration::ResolveAll() const {
+  std::map<std::string, VersionId> resolved;
+  for (const auto& [component, binding] : bindings_) {
+    (void)binding;
+    auto vid = Resolve(component);
+    if (!vid.ok()) return vid.status();
+    resolved[component] = *vid;
+  }
+  return resolved;
+}
+
+Status Configuration::Freeze() {
+  for (auto& [component, binding] : bindings_) {
+    if (binding.kind == BindingKind::kDynamic) {
+      auto latest = db_->Latest(binding.oid);
+      if (!latest.ok()) return latest.status();
+      binding.kind = BindingKind::kStatic;
+      binding.vnum = latest->vnum;
+    }
+  }
+  return Persist();
+}
+
+}  // namespace ode

@@ -1,0 +1,84 @@
+#ifndef ODE_POLICY_CONFIGURATION_H_
+#define ODE_POLICY_CONFIGURATION_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/ids.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// A configuration: a named composition of specific versions of component
+/// objects (§5 of the paper, after Katz et al.).  Each named component is
+/// bound either
+///   - statically: to one pinned VersionId (early binding), or
+///   - dynamically: to an ObjectId, resolving to its latest version at each
+///     use (late binding).
+///
+/// Configurations are themselves persistent, versionable objects of type
+/// "ode.Configuration" — exactly the paper's point that configurations need
+/// no new primitive: they are ordinary objects holding version references.
+/// Mutators persist immediately (each is one transaction unless grouped).
+class Configuration {
+ public:
+  enum class BindingKind : uint8_t { kStatic = 0, kDynamic = 1 };
+
+  struct Binding {
+    BindingKind kind;
+    ObjectId oid;          // Always set.
+    VersionNum vnum = kNoVersion;  // kStatic only.
+  };
+
+  /// Creates a new, empty, persistent configuration.
+  static StatusOr<Configuration> Create(Database& db, std::string name);
+
+  /// Loads an existing configuration by object id.
+  static StatusOr<Configuration> Load(Database& db, ObjectId oid);
+
+  /// Pins `component` to the specific version `vid`.
+  Status BindStatic(const std::string& component, VersionId vid);
+
+  /// Binds `component` to whatever is the latest version of `oid` at
+  /// resolve time.
+  Status BindDynamic(const std::string& component, ObjectId oid);
+
+  /// Removes a component binding.
+  Status Unbind(const std::string& component);
+
+  /// Resolves one component to a concrete version.
+  StatusOr<VersionId> Resolve(const std::string& component) const;
+
+  /// Resolves every component.
+  StatusOr<std::map<std::string, VersionId>> ResolveAll() const;
+
+  /// Converts every dynamic binding into a static binding at its current
+  /// resolution — "releasing" the configuration.
+  Status Freeze();
+
+  const std::string& name() const { return name_; }
+  ObjectId oid() const { return oid_; }
+  const std::map<std::string, Binding>& bindings() const { return bindings_; }
+
+  /// The persistent type name configurations are stored under.
+  static constexpr char kTypeName[] = "ode.Configuration";
+
+ private:
+  Configuration(Database* db, ObjectId oid) : db_(db), oid_(oid) {}
+
+  Status Persist();
+  static StatusOr<Configuration> FromPayload(Database* db, ObjectId oid,
+                                             const Slice& payload);
+  std::string EncodePayload() const;
+
+  Database* db_;
+  ObjectId oid_;
+  std::string name_;
+  std::map<std::string, Binding> bindings_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_POLICY_CONFIGURATION_H_

@@ -1,0 +1,95 @@
+#include "policy/context.h"
+
+#include "util/byte_buffer.h"
+
+namespace ode {
+
+constexpr char Context::kTypeName[];
+
+std::string Context::EncodePayload() const {
+  BufferWriter w;
+  w.WriteString(Slice(name_));
+  w.WriteVarint64(defaults_.size());
+  for (const auto& [oid, vnum] : defaults_) {
+    w.WriteU64(oid);
+    w.WriteU32(vnum);
+  }
+  return w.Release();
+}
+
+StatusOr<Context> Context::Create(Database& db, std::string name) {
+  auto type_id = db.RegisterType(kTypeName);
+  if (!type_id.ok()) return type_id.status();
+  Context context(&db, ObjectId{});
+  context.name_ = std::move(name);
+  auto vid = db.PnewRaw(*type_id, Slice(context.EncodePayload()));
+  if (!vid.ok()) return vid.status();
+  context.oid_ = vid->oid;
+  return context;
+}
+
+StatusOr<Context> Context::Load(Database& db, ObjectId oid) {
+  auto payload = db.ReadLatest(oid);
+  if (!payload.ok()) return payload.status();
+  Context context(&db, oid);
+  BufferReader r{Slice(*payload)};
+  ODE_RETURN_IF_ERROR(r.ReadString(&context.name_));
+  uint64_t count = 0;
+  ODE_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t oid_value = 0;
+    VersionNum vnum = kNoVersion;
+    ODE_RETURN_IF_ERROR(r.ReadU64(&oid_value));
+    ODE_RETURN_IF_ERROR(r.ReadU32(&vnum));
+    context.defaults_[oid_value] = vnum;
+  }
+  return context;
+}
+
+Status Context::Persist() {
+  return db_->UpdateLatest(oid_, Slice(EncodePayload()));
+}
+
+Status Context::SetDefault(VersionId vid) {
+  auto exists = db_->VersionExists(vid);
+  if (!exists.ok()) return exists.status();
+  if (!*exists) return Status::NotFound("no such version");
+  defaults_[vid.oid.value] = vid.vnum;
+  return Persist();
+}
+
+Status Context::ClearDefault(ObjectId oid) {
+  if (defaults_.erase(oid.value) == 0) {
+    return Status::NotFound("no default for object");
+  }
+  return Persist();
+}
+
+std::optional<VersionNum> Context::DefaultFor(ObjectId oid) const {
+  auto it = defaults_.find(oid.value);
+  if (it == defaults_.end()) return std::nullopt;
+  return it->second;
+}
+
+StatusOr<VersionId> ContextStack::Resolve(ObjectId oid) const {
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    std::optional<VersionNum> vnum = it->DefaultFor(oid);
+    if (vnum.has_value()) {
+      const VersionId vid{oid, *vnum};
+      auto exists = db_->VersionExists(vid);
+      if (!exists.ok()) return exists.status();
+      if (*exists) return vid;
+      // A stale default (version since deleted) falls through to the next
+      // context.
+    }
+  }
+  return db_->Latest(oid);
+}
+
+StatusOr<std::string> ContextStack::Read(ObjectId oid) const {
+  auto vid = Resolve(oid);
+  if (!vid.ok()) return vid.status();
+  return db_->ReadVersion(*vid);
+}
+
+}  // namespace ode

@@ -1,0 +1,81 @@
+#ifndef ODE_POLICY_CONTEXT_H_
+#define ODE_POLICY_CONTEXT_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/ids.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// A context: a set of per-object *default versions* (§5, after
+/// Dittrich/Lorie and ORION).  Dereferencing an object id "in a context"
+/// yields the context's chosen version rather than the latest.
+///
+/// Contexts are persistent objects of type "ode.Context" so a team can share
+/// them; like Configuration they are a pure policy over the kernel.
+class Context {
+ public:
+  static StatusOr<Context> Create(Database& db, std::string name);
+  static StatusOr<Context> Load(Database& db, ObjectId oid);
+
+  /// Sets this context's default version for `vid.oid` to `vid.vnum`.
+  Status SetDefault(VersionId vid);
+
+  /// Removes the default for `oid`.
+  Status ClearDefault(ObjectId oid);
+
+  /// This context's default for `oid`, if any.
+  std::optional<VersionNum> DefaultFor(ObjectId oid) const;
+
+  const std::string& name() const { return name_; }
+  ObjectId oid() const { return oid_; }
+  size_t size() const { return defaults_.size(); }
+
+  static constexpr char kTypeName[] = "ode.Context";
+
+ private:
+  friend class ContextStack;
+  Context(Database* db, ObjectId oid) : db_(db), oid_(oid) {}
+
+  Status Persist();
+  std::string EncodePayload() const;
+
+  Database* db_;
+  ObjectId oid_;
+  std::string name_;
+  std::map<uint64_t, VersionNum> defaults_;  // oid value -> default vnum.
+};
+
+/// A stack of contexts searched top-down, falling back to the latest
+/// version — the standard "current context" discipline layered over
+/// generic references.
+class ContextStack {
+ public:
+  explicit ContextStack(Database* db) : db_(db) {}
+
+  void Push(Context context) { stack_.push_back(std::move(context)); }
+  void Pop() {
+    if (!stack_.empty()) stack_.pop_back();
+  }
+  size_t depth() const { return stack_.size(); }
+
+  /// Resolves `oid` through the context stack: the topmost context with a
+  /// default for it wins; with no default anywhere, the latest version.
+  StatusOr<VersionId> Resolve(ObjectId oid) const;
+
+  /// Resolve + read, the context-aware counterpart of ReadLatest.
+  StatusOr<std::string> Read(ObjectId oid) const;
+
+ private:
+  Database* db_;
+  std::vector<Context> stack_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_POLICY_CONTEXT_H_

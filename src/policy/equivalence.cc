@@ -1,0 +1,151 @@
+#include "policy/equivalence.h"
+
+#include <algorithm>
+#include <set>
+
+#include "util/byte_buffer.h"
+
+namespace ode {
+
+constexpr char Equivalences::kTypeName[];
+
+StatusOr<std::unique_ptr<Equivalences>> Equivalences::Open(Database& db) {
+  auto type_id = db.RegisterType(kTypeName);
+  if (!type_id.ok()) return type_id.status();
+  auto eq = std::unique_ptr<Equivalences>(new Equivalences(&db));
+  auto existing = db.ClusterScan(*type_id);
+  if (!existing.ok()) return existing.status();
+  if (existing->empty()) {
+    auto vid = db.PnewRaw(*type_id, Slice(eq->EncodePayload()));
+    if (!vid.ok()) return vid.status();
+    eq->state_oid_ = vid->oid;
+  } else {
+    eq->state_oid_ = existing->front();
+    auto payload = db.ReadLatest(eq->state_oid_);
+    if (!payload.ok()) return payload.status();
+    ODE_RETURN_IF_ERROR(eq->DecodePayload(Slice(*payload)));
+  }
+  return eq;
+}
+
+std::string Equivalences::EncodePayload() const {
+  BufferWriter w;
+  w.WriteVarint64(parent_.size());
+  for (const auto& [child, parent] : parent_) {
+    w.WriteU64(child);
+    w.WriteU64(parent);
+  }
+  return w.Release();
+}
+
+Status Equivalences::DecodePayload(const Slice& payload) {
+  parent_.clear();
+  BufferReader r(payload);
+  uint64_t count = 0;
+  ODE_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t child = 0, parent = 0;
+    ODE_RETURN_IF_ERROR(r.ReadU64(&child));
+    ODE_RETURN_IF_ERROR(r.ReadU64(&parent));
+    parent_[child] = parent;
+  }
+  return Status::OK();
+}
+
+Status Equivalences::Persist() {
+  return db_->UpdateLatest(state_oid_, Slice(EncodePayload()));
+}
+
+uint64_t Equivalences::Find(uint64_t oid) const {
+  uint64_t current = oid;
+  for (int guard = 0; guard < 1000000; ++guard) {
+    auto it = parent_.find(current);
+    if (it == parent_.end() || it->second == current) return current;
+    current = it->second;
+  }
+  return current;
+}
+
+Status Equivalences::Relate(ObjectId a, ObjectId b) {
+  for (ObjectId oid : {a, b}) {
+    auto exists = db_->ObjectExists(oid);
+    if (!exists.ok()) return exists.status();
+    if (!*exists) {
+      return Status::NotFound("no such object: " + std::to_string(oid.value));
+    }
+  }
+  const uint64_t root_a = Find(a.value);
+  const uint64_t root_b = Find(b.value);
+  if (root_a == root_b) return Status::OK();  // Already related.
+  // Deterministic union: larger root joins the smaller.
+  const uint64_t new_root = std::min(root_a, root_b);
+  const uint64_t other = std::max(root_a, root_b);
+  parent_[other] = new_root;
+  parent_.try_emplace(new_root, new_root);  // Mark membership.
+  return Persist();
+}
+
+Status Equivalences::Dissociate(ObjectId oid) {
+  if (parent_.find(oid.value) == parent_.end()) {
+    return Status::NotFound("object is not in any equivalence class");
+  }
+  // Group the surviving members by class (the removed object may have been
+  // the root, so group by old root first, then re-root each group).
+  std::map<uint64_t, std::vector<uint64_t>> groups;
+  for (const auto& [member, parent] : parent_) {
+    (void)parent;
+    if (member != oid.value) groups[Find(member)].push_back(member);
+  }
+  std::map<uint64_t, uint64_t> rebuilt;
+  for (const auto& [old_root, members] : groups) {
+    (void)old_root;
+    if (members.size() < 2) continue;  // Singletons drop out entirely.
+    const uint64_t new_root =
+        *std::min_element(members.begin(), members.end());
+    for (uint64_t member : members) rebuilt[member] = new_root;
+  }
+  parent_ = std::move(rebuilt);
+  return Persist();
+}
+
+bool Equivalences::Equivalent(ObjectId a, ObjectId b) const {
+  if (a == b) return true;
+  if (parent_.find(a.value) == parent_.end() ||
+      parent_.find(b.value) == parent_.end()) {
+    return false;
+  }
+  return Find(a.value) == Find(b.value);
+}
+
+std::vector<ObjectId> Equivalences::ClassOf(ObjectId oid) const {
+  std::vector<ObjectId> members;
+  if (parent_.find(oid.value) == parent_.end()) {
+    members.push_back(oid);
+    return members;
+  }
+  const uint64_t root = Find(oid.value);
+  for (const auto& [member, parent] : parent_) {
+    (void)parent;
+    if (Find(member) == root) members.push_back(ObjectId{member});
+  }
+  return members;
+}
+
+std::vector<ObjectId> Equivalences::ViewsOf(ObjectId oid) const {
+  std::vector<ObjectId> views;
+  for (ObjectId member : ClassOf(oid)) {
+    if (member != oid) views.push_back(member);
+  }
+  return views;
+}
+
+size_t Equivalences::class_count() const {
+  std::set<uint64_t> roots;
+  for (const auto& [member, parent] : parent_) {
+    (void)parent;
+    roots.insert(Find(member));
+  }
+  return roots.size();
+}
+
+}  // namespace ode

@@ -1,0 +1,67 @@
+#ifndef ODE_POLICY_EQUIVALENCE_H_
+#define ODE_POLICY_EQUIVALENCE_H_
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "core/database.h"
+#include "core/ids.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Equivalences: "different views of an object" — the third leg of the
+/// Katz framework (version histories, configurations, equivalences) the
+/// paper's §7 says "can easily be implemented by using the facilities
+/// provided in O++".  This is that implementation.
+///
+/// An equivalence class groups objects that represent the same design
+/// entity in different representations (e.g., the layout view, netlist
+/// view, and behavioral view of one adder).  Classes are disjoint
+/// (union-find semantics); state persists in a singleton
+/// "ode.Equivalences" object.
+class Equivalences {
+ public:
+  static StatusOr<std::unique_ptr<Equivalences>> Open(Database& db);
+
+  Equivalences(const Equivalences&) = delete;
+  Equivalences& operator=(const Equivalences&) = delete;
+
+  /// Declares `a` and `b` views of the same entity (merging their classes).
+  Status Relate(ObjectId a, ObjectId b);
+
+  /// Removes `oid` from its class (it becomes a singleton again).
+  Status Dissociate(ObjectId oid);
+
+  /// True if the two objects are views of the same entity.
+  bool Equivalent(ObjectId a, ObjectId b) const;
+
+  /// Every member of `oid`'s class, ascending, including `oid` itself.
+  std::vector<ObjectId> ClassOf(ObjectId oid) const;
+
+  /// The other views of `oid` (its class minus itself).
+  std::vector<ObjectId> ViewsOf(ObjectId oid) const;
+
+  /// Number of non-singleton classes.
+  size_t class_count() const;
+
+  static constexpr char kTypeName[] = "ode.Equivalences";
+
+ private:
+  explicit Equivalences(Database* db) : db_(db) {}
+
+  Status Persist();
+  std::string EncodePayload() const;
+  Status DecodePayload(const Slice& payload);
+  uint64_t Find(uint64_t oid) const;
+
+  Database* db_;
+  ObjectId state_oid_;
+  // Union-find parent map; absent key = singleton.  Stored flattened.
+  std::map<uint64_t, uint64_t> parent_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_POLICY_EQUIVALENCE_H_

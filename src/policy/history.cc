@@ -1,0 +1,245 @@
+#include "policy/history.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+namespace ode {
+namespace history {
+
+StatusOr<std::vector<VersionId>> PathToRoot(Database& db, VersionId vid) {
+  std::vector<VersionId> path;
+  VersionId current = vid;
+  while (true) {
+    path.push_back(current);
+    auto prev = db.Dprevious(current);
+    if (!prev.ok()) return prev.status();
+    if (!prev->has_value()) break;
+    current = prev->value();
+    if (path.size() > 1000000) {
+      return Status::Corruption("derivation cycle");
+    }
+  }
+  return path;
+}
+
+StatusOr<std::vector<VersionId>> Roots(Database& db, ObjectId oid) {
+  auto versions = db.VersionsOf(oid);
+  if (!versions.ok()) return versions.status();
+  std::vector<VersionId> roots;
+  for (VersionId vid : *versions) {
+    auto meta = db.Meta(vid);
+    if (!meta.ok()) return meta.status();
+    if (meta->derived_from == kNoVersion) roots.push_back(vid);
+  }
+  return roots;
+}
+
+StatusOr<std::vector<VersionId>> Leaves(Database& db, ObjectId oid) {
+  auto versions = db.VersionsOf(oid);
+  if (!versions.ok()) return versions.status();
+  // A version is a leaf iff nothing lists it as derived_from.
+  std::set<VersionNum> parents;
+  for (VersionId vid : *versions) {
+    auto meta = db.Meta(vid);
+    if (!meta.ok()) return meta.status();
+    if (meta->derived_from != kNoVersion) parents.insert(meta->derived_from);
+  }
+  std::vector<VersionId> leaves;
+  for (VersionId vid : *versions) {
+    if (parents.count(vid.vnum) == 0) leaves.push_back(vid);
+  }
+  return leaves;
+}
+
+StatusOr<std::vector<VersionId>> Alternatives(Database& db, VersionId vid) {
+  auto prev = db.Dprevious(vid);
+  if (!prev.ok()) return prev.status();
+  std::vector<VersionId> siblings;
+  if (!prev->has_value()) {
+    // Root version: its alternatives are the other roots.
+    auto roots = Roots(db, vid.oid);
+    if (!roots.ok()) return roots.status();
+    for (VersionId root : *roots) {
+      if (root != vid) siblings.push_back(root);
+    }
+    return siblings;
+  }
+  auto children = db.Dnext(prev->value());
+  if (!children.ok()) return children.status();
+  for (VersionId child : *children) {
+    if (child != vid) siblings.push_back(child);
+  }
+  return siblings;
+}
+
+StatusOr<std::optional<VersionId>> CommonAncestor(Database& db, VersionId a,
+                                                  VersionId b) {
+  if (a.oid != b.oid) {
+    return Status::InvalidArgument("versions belong to different objects");
+  }
+  auto path_a = PathToRoot(db, a);
+  if (!path_a.ok()) return path_a.status();
+  std::set<VersionNum> ancestors;
+  for (VersionId vid : *path_a) ancestors.insert(vid.vnum);
+  auto path_b = PathToRoot(db, b);
+  if (!path_b.ok()) return path_b.status();
+  for (VersionId vid : *path_b) {
+    if (ancestors.count(vid.vnum) > 0) return std::optional<VersionId>(vid);
+  }
+  return std::optional<VersionId>();
+}
+
+StatusOr<uint32_t> Depth(Database& db, VersionId vid) {
+  auto path = PathToRoot(db, vid);
+  if (!path.ok()) return path.status();
+  return static_cast<uint32_t>(path->size() - 1);
+}
+
+StatusOr<uint32_t> DeleteSubtree(Database& db, VersionId vid) {
+  // Collect the subtree bottom-up (children before parents) so each
+  // PdeleteVersion never needs to re-parent within the doomed set.
+  std::vector<VersionId> order;
+  std::vector<VersionId> stack = {vid};
+  while (!stack.empty()) {
+    VersionId current = stack.back();
+    stack.pop_back();
+    order.push_back(current);
+    auto children = db.Dnext(current);
+    if (!children.ok()) return children.status();
+    for (VersionId child : *children) stack.push_back(child);
+    if (order.size() > 1000000) return Status::Corruption("derivation cycle");
+  }
+  const bool own_txn = !db.InTransaction();
+  if (own_txn) ODE_RETURN_IF_ERROR(db.Begin());
+  Status s = Status::OK();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    s = db.PdeleteVersion(*it);
+    if (!s.ok()) break;
+  }
+  if (own_txn) {
+    if (s.ok()) {
+      ODE_RETURN_IF_ERROR(db.Commit());
+    } else {
+      Status abort_status = db.Abort();
+      if (!abort_status.ok()) return abort_status;
+    }
+  }
+  if (!s.ok()) return s;
+  return static_cast<uint32_t>(order.size());
+}
+
+StatusOr<std::optional<VersionId>> NthDprevious(Database& db, VersionId vid,
+                                                uint32_t n) {
+  VersionId current = vid;
+  for (uint32_t i = 0; i < n; ++i) {
+    auto prev = db.Dprevious(current);
+    if (!prev.ok()) return prev.status();
+    if (!prev->has_value()) return std::optional<VersionId>();
+    current = prev->value();
+  }
+  return std::optional<VersionId>(current);
+}
+
+StatusOr<std::optional<VersionId>> NthTprevious(Database& db, VersionId vid,
+                                                uint32_t n) {
+  VersionId current = vid;
+  for (uint32_t i = 0; i < n; ++i) {
+    auto prev = db.Tprevious(current);
+    if (!prev.ok()) return prev.status();
+    if (!prev->has_value()) return std::optional<VersionId>();
+    current = prev->value();
+  }
+  return std::optional<VersionId>(current);
+}
+
+StatusOr<VersionGraph> Collect(Database& db, ObjectId oid) {
+  VersionGraph graph;
+  auto versions = db.VersionsOf(oid);
+  if (!versions.ok()) return versions.status();
+  graph.temporal_order = *versions;
+  auto latest = db.Latest(oid);
+  if (!latest.ok()) return latest.status();
+  graph.latest = *latest;
+
+  std::map<VersionNum, std::vector<VersionNum>> children;
+  std::vector<VersionNum> roots;
+  for (VersionId vid : *versions) {
+    auto meta = db.Meta(vid);
+    if (!meta.ok()) return meta.status();
+    if (meta->derived_from == kNoVersion) {
+      roots.push_back(vid.vnum);
+    } else {
+      children[meta->derived_from].push_back(vid.vnum);
+    }
+  }
+  // Recursive tree build (iterative DFS to avoid recursion depth limits).
+  struct Builder {
+    const std::map<VersionNum, std::vector<VersionNum>>& children;
+    ObjectId oid;
+    GraphNode Build(VersionNum vnum) const {
+      GraphNode node;
+      node.vid = VersionId{oid, vnum};
+      auto it = children.find(vnum);
+      if (it != children.end()) {
+        for (VersionNum child : it->second) {
+          node.children.push_back(Build(child));
+        }
+      }
+      return node;
+    }
+  };
+  Builder builder{children, oid};
+  for (VersionNum root : roots) {
+    graph.forest.push_back(builder.Build(root));
+  }
+  return graph;
+}
+
+namespace {
+
+void RenderNode(const GraphNode& node, const std::string& prefix, bool last,
+                bool is_root, std::ostringstream& out) {
+  if (is_root) {
+    out << "  v" << node.vid.vnum << "\n";
+  } else {
+    out << prefix << (last ? "`- " : "+- ") << "v" << node.vid.vnum << "\n";
+  }
+  const std::string child_prefix =
+      is_root ? "  " : prefix + (last ? "   " : "|  ");
+  for (size_t i = 0; i < node.children.size(); ++i) {
+    RenderNode(node.children[i], child_prefix, i + 1 == node.children.size(),
+               false, out);
+  }
+}
+
+}  // namespace
+
+std::string Render(const VersionGraph& graph) {
+  std::ostringstream out;
+  out << "object " << (graph.temporal_order.empty()
+                           ? 0
+                           : graph.temporal_order.front().oid.value)
+      << " (latest: v" << graph.latest.vnum << ")\n";
+  out << "derived-from tree:\n";
+  for (const GraphNode& root : graph.forest) {
+    RenderNode(root, "", true, true, out);
+  }
+  out << "temporal chain: ";
+  for (size_t i = 0; i < graph.temporal_order.size(); ++i) {
+    if (i > 0) out << " -> ";
+    out << "v" << graph.temporal_order[i].vnum;
+  }
+  out << "\n";
+  return out.str();
+}
+
+StatusOr<std::string> RenderGraph(Database& db, ObjectId oid) {
+  auto graph = Collect(db, oid);
+  if (!graph.ok()) return graph.status();
+  return Render(*graph);
+}
+
+}  // namespace history
+}  // namespace ode

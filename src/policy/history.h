@@ -1,0 +1,91 @@
+#ifndef ODE_POLICY_HISTORY_H_
+#define ODE_POLICY_HISTORY_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/ids.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Analytics over the automatically maintained version relationships —
+/// the derived-from tree and the temporal chain (§4.3).  All functions are
+/// policies in the paper's sense: they are built purely on the traversal
+/// primitives, never on private state.
+namespace history {
+
+/// Versions from `vid` back to its derivation root (inclusive), i.e., the
+/// paper's "version history" (e.g., v3, v1, v0).
+StatusOr<std::vector<VersionId>> PathToRoot(Database& db, VersionId vid);
+
+/// Versions of `oid` with no derived versions — "each leaf of the tree
+/// represents the most up-to-date version of an alternative design".
+StatusOr<std::vector<VersionId>> Leaves(Database& db, ObjectId oid);
+
+/// Root versions of `oid`'s derivation forest (derived_from == none).
+StatusOr<std::vector<VersionId>> Roots(Database& db, ObjectId oid);
+
+/// Sibling versions derived from the same parent as `vid` (the paper's
+/// *alternatives*), excluding `vid` itself.
+StatusOr<std::vector<VersionId>> Alternatives(Database& db, VersionId vid);
+
+/// Nearest common derivation ancestor of `a` and `b` (same object), if any.
+StatusOr<std::optional<VersionId>> CommonAncestor(Database& db, VersionId a,
+                                                  VersionId b);
+
+/// Number of derived-from edges from `vid` up to its root.
+StatusOr<uint32_t> Depth(Database& db, VersionId vid);
+
+/// `n` derived-from steps back from `vid` ("the version three derivations
+/// ago") — the paper notes such history accessors are macro-expressible
+/// over the primitives (§5); these are the library form.  Empty when the
+/// history is shorter than `n`.
+StatusOr<std::optional<VersionId>> NthDprevious(Database& db, VersionId vid,
+                                                uint32_t n);
+
+/// `n` temporal steps back from `vid`.
+StatusOr<std::optional<VersionId>> NthTprevious(Database& db, VersionId vid,
+                                                uint32_t n);
+
+/// Deletes `vid` and every version transitively derived from it — pruning a
+/// whole line of development (alternative) from the design history.  The
+/// temporal chain of the survivors stays intact.  Returns the number of
+/// versions deleted.  Runs in one transaction.
+StatusOr<uint32_t> DeleteSubtree(Database& db, VersionId vid);
+
+/// One node of a rendered derivation tree.
+struct GraphNode {
+  VersionId vid;
+  std::vector<GraphNode> children;
+};
+
+/// The whole derivation forest of `oid` plus the temporal order, suitable
+/// for printing or structural assertions.
+struct VersionGraph {
+  std::vector<GraphNode> forest;          // Derived-from trees.
+  std::vector<VersionId> temporal_order;  // Creation order.
+  VersionId latest;
+};
+
+StatusOr<VersionGraph> Collect(Database& db, ObjectId oid);
+
+/// ASCII rendering of Collect()'s result, e.g.:
+///
+///   object 7 (latest: v3)
+///   derived-from tree:
+///     v1
+///     +- v2
+///     +- v3
+///   temporal chain: v1 -> v2 -> v3
+std::string Render(const VersionGraph& graph);
+
+/// Convenience: Collect + Render.
+StatusOr<std::string> RenderGraph(Database& db, ObjectId oid);
+
+}  // namespace history
+}  // namespace ode
+
+#endif  // ODE_POLICY_HISTORY_H_

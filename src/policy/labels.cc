@@ -1,0 +1,151 @@
+#include "policy/labels.h"
+
+#include "util/byte_buffer.h"
+#include "util/logging.h"
+
+namespace ode {
+
+constexpr char VersionLabels::kTypeName[];
+
+StatusOr<std::unique_ptr<VersionLabels>> VersionLabels::Open(Database& db) {
+  auto type_id = db.RegisterType(kTypeName);
+  if (!type_id.ok()) return type_id.status();
+  auto labels = std::unique_ptr<VersionLabels>(new VersionLabels(&db));
+  auto existing = db.ClusterScan(*type_id);
+  if (!existing.ok()) return existing.status();
+  if (existing->empty()) {
+    auto vid = db.PnewRaw(*type_id, Slice(labels->EncodePayload()));
+    if (!vid.ok()) return vid.status();
+    labels->state_oid_ = vid->oid;
+  } else {
+    labels->state_oid_ = existing->front();
+    auto payload = db.ReadLatest(labels->state_oid_);
+    if (!payload.ok()) return payload.status();
+    ODE_RETURN_IF_ERROR(labels->DecodePayload(Slice(*payload)));
+  }
+  VersionLabels* raw = labels.get();
+  labels->version_trigger_ = db.RegisterTrigger(
+      TriggerEvent::kDeleteVersion,
+      [raw](Database&, const TriggerInfo& info) { raw->OnDelete(info); });
+  labels->object_trigger_ = db.RegisterTrigger(
+      TriggerEvent::kDeleteObject,
+      [raw](Database&, const TriggerInfo& info) { raw->OnDelete(info); });
+  return labels;
+}
+
+VersionLabels::~VersionLabels() {
+  db_->UnregisterTrigger(version_trigger_);
+  db_->UnregisterTrigger(object_trigger_);
+}
+
+std::string VersionLabels::EncodePayload() const {
+  BufferWriter w;
+  w.WriteVarint64(labels_.size());
+  for (const auto& [key, tags] : labels_) {
+    w.WriteU64(key.first);
+    w.WriteU32(key.second);
+    w.WriteVarint64(tags.size());
+    for (const std::string& tag : tags) w.WriteString(Slice(tag));
+  }
+  return w.Release();
+}
+
+Status VersionLabels::DecodePayload(const Slice& payload) {
+  labels_.clear();
+  BufferReader r(payload);
+  uint64_t count = 0;
+  ODE_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t oid = 0;
+    VersionNum vnum = kNoVersion;
+    uint64_t tag_count = 0;
+    ODE_RETURN_IF_ERROR(r.ReadU64(&oid));
+    ODE_RETURN_IF_ERROR(r.ReadU32(&vnum));
+    ODE_RETURN_IF_ERROR(r.ReadVarint64(&tag_count));
+    std::set<std::string> tags;
+    for (uint64_t t = 0; t < tag_count; ++t) {
+      std::string tag;
+      ODE_RETURN_IF_ERROR(r.ReadString(&tag));
+      tags.insert(std::move(tag));
+    }
+    labels_[{oid, vnum}] = std::move(tags);
+  }
+  return Status::OK();
+}
+
+Status VersionLabels::Persist() {
+  return db_->UpdateLatest(state_oid_, Slice(EncodePayload()));
+}
+
+Status VersionLabels::Add(VersionId vid, const std::string& label) {
+  auto exists = db_->VersionExists(vid);
+  if (!exists.ok()) return exists.status();
+  if (!*exists) return Status::NotFound("no such version");
+  labels_[{vid.oid.value, vid.vnum}].insert(label);
+  return Persist();
+}
+
+Status VersionLabels::Remove(VersionId vid, const std::string& label) {
+  auto it = labels_.find({vid.oid.value, vid.vnum});
+  if (it == labels_.end() || it->second.erase(label) == 0) {
+    return Status::NotFound("label not present");
+  }
+  if (it->second.empty()) labels_.erase(it);
+  return Persist();
+}
+
+std::vector<std::string> VersionLabels::LabelsOf(VersionId vid) const {
+  auto it = labels_.find({vid.oid.value, vid.vnum});
+  if (it == labels_.end()) return {};
+  return std::vector<std::string>(it->second.begin(), it->second.end());
+}
+
+std::vector<VersionId> VersionLabels::VersionsWith(
+    const std::string& label) const {
+  std::vector<VersionId> result;
+  for (const auto& [key, tags] : labels_) {
+    if (tags.count(label) > 0) {
+      result.push_back(VersionId{ObjectId{key.first}, key.second});
+    }
+  }
+  return result;
+}
+
+std::vector<VersionId> VersionLabels::VersionsOfWith(
+    ObjectId oid, const std::string& label) const {
+  std::vector<VersionId> result;
+  auto it = labels_.lower_bound({oid.value, 0});
+  for (; it != labels_.end() && it->first.first == oid.value; ++it) {
+    if (it->second.count(label) > 0) {
+      result.push_back(VersionId{oid, it->first.second});
+    }
+  }
+  return result;
+}
+
+bool VersionLabels::Has(VersionId vid, const std::string& label) const {
+  auto it = labels_.find({vid.oid.value, vid.vnum});
+  return it != labels_.end() && it->second.count(label) > 0;
+}
+
+void VersionLabels::OnDelete(const TriggerInfo& info) {
+  bool changed = false;
+  if (info.event == TriggerEvent::kDeleteVersion) {
+    changed = labels_.erase({info.vid.oid.value, info.vid.vnum}) > 0;
+  } else {
+    // Whole object: drop every label of its versions.
+    auto it = labels_.lower_bound({info.vid.oid.value, 0});
+    while (it != labels_.end() && it->first.first == info.vid.oid.value) {
+      it = labels_.erase(it);
+      changed = true;
+    }
+  }
+  if (changed && info.vid.oid != state_oid_) {
+    Status s = Persist();
+    if (!s.ok()) {
+      ODE_LOG_WARN << "label cleanup persist failed: " << s;
+    }
+  }
+}
+
+}  // namespace ode

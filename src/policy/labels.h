@@ -1,0 +1,75 @@
+#ifndef ODE_POLICY_LABELS_H_
+#define ODE_POLICY_LABELS_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/database.h"
+#include "core/ids.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Version labels: free-form tags partitioning versions by property, after
+/// the "version environments" of Klahold et al. [24] which the paper cites
+/// as orderings/partitions implementable over its primitives ("valid",
+/// "invalid", "in-progress", "effective", ...).
+///
+/// Labels live in a persistent singleton object ("ode.VersionLabels").  A
+/// trigger keeps them consistent with deletions: labels of deleted versions
+/// disappear automatically — a concrete example of the paper's pattern of
+/// building bookkeeping policies on triggers.
+class VersionLabels {
+ public:
+  /// Loads (or creates) the label state and registers the cleanup triggers
+  /// (which hold the object's address — hence the unique_ptr).  `db` must
+  /// outlive the returned object.
+  static StatusOr<std::unique_ptr<VersionLabels>> Open(Database& db);
+  ~VersionLabels();
+
+  VersionLabels(const VersionLabels&) = delete;
+  VersionLabels& operator=(const VersionLabels&) = delete;
+
+  /// Tags `vid` with `label` (idempotent).
+  Status Add(VersionId vid, const std::string& label);
+
+  /// Removes one tag; kNotFound if not present.
+  Status Remove(VersionId vid, const std::string& label);
+
+  /// All labels of one version (sorted).
+  std::vector<std::string> LabelsOf(VersionId vid) const;
+
+  /// All versions carrying `label` (ascending by id).
+  std::vector<VersionId> VersionsWith(const std::string& label) const;
+
+  /// Versions of `oid` carrying `label` — e.g., "the valid versions of this
+  /// design".
+  std::vector<VersionId> VersionsOfWith(ObjectId oid,
+                                        const std::string& label) const;
+
+  bool Has(VersionId vid, const std::string& label) const;
+
+  static constexpr char kTypeName[] = "ode.VersionLabels";
+
+ private:
+  explicit VersionLabels(Database* db) : db_(db) {}
+
+  Status Persist();
+  std::string EncodePayload() const;
+  Status DecodePayload(const Slice& payload);
+  void OnDelete(const TriggerInfo& info);
+
+  Database* db_;
+  ObjectId state_oid_;
+  uint64_t version_trigger_ = 0;
+  uint64_t object_trigger_ = 0;
+  // (oid value, vnum) -> labels.
+  std::map<std::pair<uint64_t, VersionNum>, std::set<std::string>> labels_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_POLICY_LABELS_H_

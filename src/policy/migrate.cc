@@ -1,0 +1,155 @@
+#include "policy/migrate.h"
+
+#include <optional>
+#include <vector>
+
+#include "util/byte_buffer.h"
+
+namespace ode {
+namespace migrate {
+
+namespace {
+
+constexpr uint32_t kFormatVersion = 1;
+
+struct ExportedVersion {
+  VersionNum vnum;
+  VersionNum derived_from;
+  uint64_t created_ts;
+  std::string payload;
+};
+
+/// Reverse type lookup: id -> name (the names tree maps name -> id).
+StatusOr<std::string> TypeNameOf(Database& db, uint32_t type_id) {
+  std::optional<std::string> found;
+  ODE_RETURN_IF_ERROR(
+      db.ForEachType([&](const std::string& name, uint32_t id) {
+        if (id == type_id) {
+          found = name;
+          return false;
+        }
+        return true;
+      }));
+  if (!found.has_value()) {
+    return Status::NotFound("type id " + std::to_string(type_id) +
+                            " has no registered name");
+  }
+  return *found;
+}
+
+}  // namespace
+
+StatusOr<std::string> ExportObject(Database& db, ObjectId oid) {
+  auto header = db.Header(oid);
+  if (!header.ok()) return header.status();
+  auto type_name = TypeNameOf(db, header->type_id);
+  if (!type_name.ok()) return type_name.status();
+
+  std::vector<ExportedVersion> versions;
+  Status scan = db.ForEachVersion(
+      oid, [&](VersionId vid, const VersionMeta& meta) {
+        versions.push_back(ExportedVersion{vid.vnum, meta.derived_from,
+                                           meta.created_ts, std::string()});
+        return true;
+      });
+  ODE_RETURN_IF_ERROR(scan);
+  for (ExportedVersion& version : versions) {
+    auto payload = db.ReadVersion(VersionId{oid, version.vnum});
+    if (!payload.ok()) return payload.status();
+    version.payload = std::move(*payload);
+  }
+
+  BufferWriter w;
+  w.WriteU32(kFormatVersion);
+  w.WriteString(Slice(*type_name));
+  w.WriteVarint64(versions.size());
+  for (const ExportedVersion& version : versions) {
+    w.WriteU32(version.vnum);
+    w.WriteU32(version.derived_from);
+    w.WriteU64(version.created_ts);
+    w.WriteString(Slice(version.payload));
+  }
+  return w.Release();
+}
+
+StatusOr<ImportResult> ImportObject(Database& db, const Slice& exported) {
+  BufferReader r(exported);
+  uint32_t format = 0;
+  ODE_RETURN_IF_ERROR(r.ReadU32(&format));
+  if (format != kFormatVersion) {
+    return Status::NotSupported("unknown export format " +
+                                std::to_string(format));
+  }
+  std::string type_name;
+  ODE_RETURN_IF_ERROR(r.ReadString(&type_name));
+  uint64_t count = 0;
+  ODE_RETURN_IF_ERROR(r.ReadVarint64(&count));
+  if (count == 0) return Status::InvalidArgument("export holds no versions");
+  std::vector<ExportedVersion> versions;
+  versions.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ExportedVersion version;
+    ODE_RETURN_IF_ERROR(r.ReadU32(&version.vnum));
+    ODE_RETURN_IF_ERROR(r.ReadU32(&version.derived_from));
+    ODE_RETURN_IF_ERROR(r.ReadU64(&version.created_ts));
+    ODE_RETURN_IF_ERROR(r.ReadString(&version.payload));
+    versions.push_back(std::move(version));
+  }
+
+  auto type_id = db.RegisterType(type_name);
+  if (!type_id.ok()) return type_id.status();
+
+  const bool own_txn = !db.InTransaction();
+  if (own_txn) ODE_RETURN_IF_ERROR(db.Begin());
+  ImportResult result;
+  Status s = [&]() -> Status {
+    // First version establishes the object.
+    auto first = db.PnewRaw(*type_id, Slice(versions[0].payload));
+    if (!first.ok()) return first.status();
+    result.oid = first->oid;
+    result.vnum_map[versions[0].vnum] = first->vnum;
+    // Remaining versions in temporal order; the derivation parent always
+    // precedes its children temporally, so it is already mapped.
+    for (size_t i = 1; i < versions.size(); ++i) {
+      const ExportedVersion& version = versions[i];
+      StatusOr<VersionId> created = Status::Internal("unset");
+      if (version.derived_from == kNoVersion) {
+        created = db.NewDetachedVersion(result.oid, Slice(version.payload));
+      } else {
+        auto mapped = result.vnum_map.find(version.derived_from);
+        if (mapped == result.vnum_map.end()) {
+          return Status::Corruption(
+              "export references unexported parent v" +
+              std::to_string(version.derived_from));
+        }
+        created = db.NewVersionFrom(VersionId{result.oid, mapped->second});
+        if (created.ok()) {
+          ODE_RETURN_IF_ERROR(
+              db.UpdateVersion(*created, Slice(version.payload)));
+        }
+      }
+      if (!created.ok()) return created.status();
+      result.vnum_map[version.vnum] = created->vnum;
+    }
+    return Status::OK();
+  }();
+  if (own_txn) {
+    if (s.ok()) {
+      ODE_RETURN_IF_ERROR(db.Commit());
+    } else {
+      Status abort_status = db.Abort();
+      if (!abort_status.ok()) return abort_status;
+    }
+  }
+  if (!s.ok()) return s;
+  return result;
+}
+
+StatusOr<ImportResult> CopyObject(Database& src, ObjectId oid, Database& dst) {
+  auto exported = ExportObject(src, oid);
+  if (!exported.ok()) return exported.status();
+  return ImportObject(dst, Slice(*exported));
+}
+
+}  // namespace migrate
+}  // namespace ode

@@ -1,0 +1,45 @@
+#ifndef ODE_POLICY_MIGRATE_H_
+#define ODE_POLICY_MIGRATE_H_
+
+#include <map>
+#include <string>
+
+#include "core/database.h"
+#include "core/ids.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Object export/import: moving whole versioned objects between databases.
+///
+/// This is the mechanism under the ORION-style public/private *distributed*
+/// architecture the paper discusses in §7 — a private workspace database
+/// exchanging design objects with a project/public database.  Built purely
+/// on the public Database API.
+namespace migrate {
+
+/// Serialized form of one object: type name, plus every version in temporal
+/// order with its payload, derivation parent, and original numbering.
+/// Self-contained and database-independent.
+StatusOr<std::string> ExportObject(Database& db, ObjectId oid);
+
+/// Result of an import: the new object id and the old->new version-number
+/// mapping (imports renumber versions densely while preserving the temporal
+/// order and the derived-from topology; new timestamps are assigned in the
+/// original order).
+struct ImportResult {
+  ObjectId oid;
+  std::map<VersionNum, VersionNum> vnum_map;
+};
+
+/// Materializes an exported object as a NEW object of `db` (the type is
+/// registered there on demand).  Runs in one transaction.
+StatusOr<ImportResult> ImportObject(Database& db, const Slice& exported);
+
+/// Export + import in one step: copies `oid` from `src` into `dst`.
+StatusOr<ImportResult> CopyObject(Database& src, ObjectId oid, Database& dst);
+
+}  // namespace migrate
+}  // namespace ode
+
+#endif  // ODE_POLICY_MIGRATE_H_

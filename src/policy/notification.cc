@@ -1,0 +1,62 @@
+#include "policy/notification.h"
+
+namespace ode {
+
+ChangeNotifier::ChangeNotifier(Database& db) : db_(db) {
+  for (TriggerEvent event :
+       {TriggerEvent::kPnew, TriggerEvent::kNewVersion, TriggerEvent::kUpdate,
+        TriggerEvent::kDeleteVersion, TriggerEvent::kDeleteObject}) {
+    trigger_handles_.push_back(db_.RegisterTrigger(
+        event,
+        [this](Database&, const TriggerInfo& info) { Dispatch(info); }));
+  }
+}
+
+ChangeNotifier::~ChangeNotifier() {
+  for (uint64_t handle : trigger_handles_) {
+    db_.UnregisterTrigger(handle);
+  }
+}
+
+uint64_t ChangeNotifier::Subscribe(ObjectId oid, Callback callback) {
+  const uint64_t handle = next_handle_++;
+  object_subs_.emplace(oid.value, Subscriber{handle, std::move(callback)});
+  return handle;
+}
+
+uint64_t ChangeNotifier::SubscribeType(uint32_t type_id, Callback callback) {
+  const uint64_t handle = next_handle_++;
+  type_subs_.emplace(type_id, Subscriber{handle, std::move(callback)});
+  return handle;
+}
+
+void ChangeNotifier::Unsubscribe(uint64_t handle) {
+  for (auto it = object_subs_.begin(); it != object_subs_.end(); ++it) {
+    if (it->second.handle == handle) {
+      object_subs_.erase(it);
+      return;
+    }
+  }
+  for (auto it = type_subs_.begin(); it != type_subs_.end(); ++it) {
+    if (it->second.handle == handle) {
+      type_subs_.erase(it);
+      return;
+    }
+  }
+}
+
+void ChangeNotifier::Dispatch(const TriggerInfo& info) {
+  const Event event{info.event, info.vid, info.type_id, info.derived_from};
+  auto [obj_begin, obj_end] = object_subs_.equal_range(info.vid.oid.value);
+  for (auto it = obj_begin; it != obj_end; ++it) {
+    it->second.callback(event);
+    ++delivered_;
+  }
+  auto [type_begin, type_end] = type_subs_.equal_range(info.type_id);
+  for (auto it = type_begin; it != type_end; ++it) {
+    it->second.callback(event);
+    ++delivered_;
+  }
+}
+
+}  // namespace ode

@@ -1,0 +1,66 @@
+#include "policy/percolation.h"
+
+#include "util/logging.h"
+
+namespace ode {
+
+PercolationPolicy::PercolationPolicy(Database& db) : db_(db) {
+  trigger_handle_ = db_.RegisterTrigger(
+      TriggerEvent::kNewVersion,
+      [this](Database& d, const TriggerInfo& info) { OnNewVersion(d, info); });
+}
+
+PercolationPolicy::~PercolationPolicy() {
+  db_.UnregisterTrigger(trigger_handle_);
+}
+
+void PercolationPolicy::Declare(ObjectId component, ObjectId dependent) {
+  edges_.emplace(component.value, dependent.value);
+}
+
+void PercolationPolicy::Undeclare(ObjectId component, ObjectId dependent) {
+  auto [begin, end] = edges_.equal_range(component.value);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == dependent.value) {
+      edges_.erase(it);
+      return;
+    }
+  }
+}
+
+std::vector<ObjectId> PercolationPolicy::DependentsOf(
+    ObjectId component) const {
+  std::vector<ObjectId> dependents;
+  auto [begin, end] = edges_.equal_range(component.value);
+  for (auto it = begin; it != end; ++it) {
+    dependents.push_back(ObjectId{it->second});
+  }
+  return dependents;
+}
+
+void PercolationPolicy::OnNewVersion(Database& db, const TriggerInfo& info) {
+  // The trigger fires re-entrantly for the versions this policy itself
+  // creates; the wave bookkeeping caps each object at one new version per
+  // user-initiated wave (and breaks composite cycles).
+  const bool top_level = (wave_depth_ == 0);
+  if (top_level) {
+    wave_visited_.clear();
+    wave_visited_.insert(info.vid.oid.value);
+  }
+  ++wave_depth_;
+  auto [begin, end] = edges_.equal_range(info.vid.oid.value);
+  for (auto it = begin; it != end; ++it) {
+    const uint64_t dependent = it->second;
+    if (!wave_visited_.insert(dependent).second) continue;  // Already done.
+    auto vid = db.NewVersionOf(ObjectId{dependent});
+    if (vid.ok()) {
+      ++percolated_;
+    } else {
+      ODE_LOG_WARN << "percolation to oid " << dependent
+                   << " failed: " << vid.status();
+    }
+  }
+  --wave_depth_;
+}
+
+}  // namespace ode

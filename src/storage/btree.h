@@ -1,0 +1,138 @@
+#ifndef ODE_STORAGE_BTREE_H_
+#define ODE_STORAGE_BTREE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/page_io.h"
+#include "storage/page.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Persistent B+tree with variable-length byte-string keys and values,
+/// ordered by memcmp.
+///
+/// Properties:
+///  - One node per page.  Leaves are doubly linked for ordered scans in both
+///    directions; internal nodes hold (separator key, child) entries plus a
+///    leftmost child.
+///  - Put() inserts or replaces.  Nodes split when full; the root grows a
+///    level when it splits.
+///  - Delete() removes the entry.  Emptied nodes are left in place (no merge
+///    or page reclamation — the vacuum strategy of several production trees);
+///    iteration and lookup skip them.
+///  - The root page id is persisted in a superblock root slot, so the tree
+///    is found again after reopen and root changes are WAL-covered.
+///
+/// The encoded entry (key + value + varint headers) must fit kMaxCellBytes so
+/// a node always holds at least two entries; larger payloads belong in the
+/// heap file with the tree storing the record id.
+///
+/// All page access goes through the caller's PageIO (i.e., the current
+/// transaction), so tree mutations are atomic with everything else in the
+/// transaction.
+class BTree {
+ public:
+  /// Largest encoded cell (varint lengths + key + value).
+  static constexpr uint32_t kMaxCellBytes = 1800;
+
+  /// Opens the tree persisted in superblock root slot `root_slot`, creating
+  /// an empty tree (and claiming the slot) if the slot is 0.
+  static StatusOr<BTree> Open(PageIO* io, int root_slot);
+
+  /// Inserts `key` -> `value`, replacing any existing value.
+  Status Put(const Slice& key, const Slice& value);
+
+  /// Looks up `key`.
+  StatusOr<std::string> Get(const Slice& key);
+
+  /// Removes `key`; kNotFound if absent.
+  Status Delete(const Slice& key);
+
+  /// Number of live entries (full scan).
+  StatusOr<uint64_t> Count();
+
+  /// Number of pages the tree currently occupies (all nodes, including
+  /// emptied ones awaiting vacuum).
+  StatusOr<uint32_t> PageCountUsed();
+
+  /// Rebuilds the tree compactly: every entry is re-inserted into a fresh
+  /// tree and all old node pages (including leaves emptied by deletions)
+  /// are returned to the allocator.  Invalidates outstanding iterators.
+  Status Vacuum();
+
+  /// Height of the tree (1 = just a root leaf).
+  StatusOr<uint32_t> Height();
+
+  /// Forward/backward cursor.  Iterators are invalidated by any tree
+  /// mutation; keys and values are copied out, so reading them is safe
+  /// regardless.
+  class Iterator {
+   public:
+    bool Valid() const { return valid_; }
+    const std::string& key() const { return key_; }
+    const std::string& value() const { return value_; }
+    Status status() const { return status_; }
+
+    /// Positions at the first entry >= `target`.
+    void Seek(const Slice& target);
+    /// Positions at the last entry <= `target`.
+    void SeekForPrev(const Slice& target);
+    void SeekToFirst();
+    void SeekToLast();
+    void Next();
+    void Prev();
+
+   private:
+    friend class BTree;
+    Iterator(PageIO* io, PageId root) : io_(io), root_(root) {}
+
+    /// Loads entry `index` of leaf `leaf` into key_/value_.
+    void LoadCurrent();
+    /// Advances to the next non-empty leaf (direction +1/-1), or invalidates.
+    void StepLeaf(int direction);
+
+    PageIO* io_;
+    PageId root_;
+    PageId leaf_ = kInvalidPageId;
+    int index_ = 0;
+    bool valid_ = false;
+    std::string key_;
+    std::string value_;
+    Status status_;
+  };
+
+  Iterator NewIterator() { return Iterator(io_, root_); }
+
+  PageId root() const { return root_; }
+
+ private:
+  BTree(PageIO* io, int root_slot, PageId root)
+      : io_(io), root_slot_(root_slot), root_(root) {}
+
+  /// Descends to the leaf that should contain `key`; fills `path` with the
+  /// page ids from root to leaf (inclusive).
+  Status DescendToLeaf(const Slice& key, std::vector<PageId>* path);
+
+  /// Inserts (key, child) into the internal node at path[level], splitting
+  /// upward as needed.
+  Status InsertIntoInternal(std::vector<PageId>& path, int level,
+                            std::string key, PageId child);
+
+  /// Makes a new root holding separator `key` between `left` and `right`.
+  Status GrowRoot(PageId left, std::string key, PageId right);
+
+  Status SetRootAndPersist(PageId new_root);
+
+  PageIO* io_;
+  int root_slot_;
+  PageId root_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_BTREE_H_

@@ -1,0 +1,165 @@
+#include "storage/buffer_pool.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/logging.h"
+
+namespace ode {
+
+const char* PageHandle::data() const {
+  assert(valid());
+  return pool_->FrameData(id_);
+}
+
+char* PageHandle::mutable_data() {
+  assert(valid());
+  return pool_->FrameMutableData(id_);
+}
+
+void PageHandle::Release() {
+  if (pool_ != nullptr) {
+    pool_->Unpin(id_);
+    pool_ = nullptr;
+    id_ = kInvalidPageId;
+  }
+}
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
+    : disk_(disk), capacity_(capacity_pages) {
+  assert(capacity_ >= 1);
+}
+
+BufferPool::~BufferPool() = default;
+
+StatusOr<PageHandle> BufferPool::Fetch(PageId id) {
+  auto it = frames_.find(id);
+  if (it != frames_.end()) {
+    ++stats_.hits;
+    Frame& frame = it->second;
+    ++frame.pin_count;
+    TouchLru(&frame);
+    return PageHandle(this, id);
+  }
+  ++stats_.misses;
+  ODE_RETURN_IF_ERROR(EvictOneIfNeeded());
+  Frame frame;
+  frame.id = id;
+  frame.data = std::make_unique<char[]>(kPageSize);
+  ODE_RETURN_IF_ERROR(disk_->ReadPage(id, frame.data.get()));
+  frame.pin_count = 1;
+  auto [ins_it, inserted] = frames_.emplace(id, std::move(frame));
+  assert(inserted);
+  TouchLru(&ins_it->second);
+  return PageHandle(this, id);
+}
+
+const char* BufferPool::FrameData(PageId id) const {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  return it->second.data.get();
+}
+
+char* BufferPool::FrameMutableData(PageId id) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  Frame& frame = it->second;
+  if (!frame.epoch_dirty) {
+    if (pre_dirty_hook_) pre_dirty_hook_(id, frame.data.get(), frame.dirty);
+    frame.epoch_dirty = true;
+    epoch_dirty_list_.push_back(id);
+  }
+  frame.dirty = true;
+  return frame.data.get();
+}
+
+void BufferPool::Unpin(PageId id) {
+  auto it = frames_.find(id);
+  assert(it != frames_.end());
+  assert(it->second.pin_count > 0);
+  --it->second.pin_count;
+}
+
+void BufferPool::BeginEpoch() {
+  for (PageId id : epoch_dirty_list_) {
+    auto it = frames_.find(id);
+    if (it != frames_.end()) it->second.epoch_dirty = false;
+  }
+  epoch_dirty_list_.clear();
+  in_epoch_ = true;
+}
+
+Status BufferPool::RestorePage(PageId id, const char* image, bool dirty) {
+  auto it = frames_.find(id);
+  if (it == frames_.end()) {
+    return Status::Internal("RestorePage: page not resident");
+  }
+  std::memcpy(it->second.data.get(), image, kPageSize);
+  it->second.dirty = dirty;
+  it->second.epoch_dirty = false;
+  return Status::OK();
+}
+
+void BufferPool::CommitEpoch() {
+  for (PageId id : epoch_dirty_list_) {
+    auto it = frames_.find(id);
+    if (it != frames_.end()) it->second.epoch_dirty = false;
+  }
+  epoch_dirty_list_.clear();
+  in_epoch_ = false;
+}
+
+Status BufferPool::FlushAll() {
+  if (in_epoch_ && !epoch_dirty_list_.empty()) {
+    return Status::FailedPrecondition("FlushAll during an open transaction");
+  }
+  for (auto& [id, frame] : frames_) {
+    if (frame.dirty) {
+      ODE_RETURN_IF_ERROR(disk_->WritePage(id, frame.data.get()));
+      frame.dirty = false;
+      ++stats_.flushes;
+    }
+  }
+  return disk_->Sync();
+}
+
+void BufferPool::DropAllUnpinned() {
+  for (auto it = frames_.begin(); it != frames_.end();) {
+    if (it->second.pin_count == 0) {
+      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
+      it = frames_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+Status BufferPool::EvictOneIfNeeded() {
+  if (frames_.size() < capacity_) return Status::OK();
+  // Scan from least recently used; skip pinned or dirty frames (dirty pages
+  // are only written by FlushAll, never by eviction).
+  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
+    auto it = frames_.find(*rit);
+    assert(it != frames_.end());
+    Frame& frame = it->second;
+    if (frame.pin_count == 0 && !frame.dirty) {
+      lru_.erase(std::next(rit).base());
+      frames_.erase(it);
+      ++stats_.evictions;
+      return Status::OK();
+    }
+  }
+  // Everything pinned or dirty: grow beyond nominal capacity.
+  ODE_LOG_DEBUG << "buffer pool over capacity (" << frames_.size()
+                << " resident, capacity " << capacity_ << ")";
+  return Status::OK();
+}
+
+void BufferPool::TouchLru(Frame* frame) {
+  if (frame->in_lru) lru_.erase(frame->lru_pos);
+  lru_.push_front(frame->id);
+  frame->lru_pos = lru_.begin();
+  frame->in_lru = true;
+}
+
+}  // namespace ode

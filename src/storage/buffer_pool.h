@@ -1,0 +1,166 @@
+#ifndef ODE_STORAGE_BUFFER_POOL_H_
+#define ODE_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/disk_manager.h"
+#include "storage/page.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+class BufferPool;
+
+/// RAII pin on a cached page frame.
+///
+/// While a PageHandle is alive the frame cannot be evicted.  `data()` gives
+/// read access; `mutable_data()` additionally marks the page dirty, which (on
+/// the first modification within the current epoch, i.e., transaction) fires
+/// the pool's pre-dirty hook so the transaction layer can capture an undo
+/// image.
+class PageHandle {
+ public:
+  PageHandle() = default;
+  PageHandle(const PageHandle&) = delete;
+  PageHandle& operator=(const PageHandle&) = delete;
+  PageHandle(PageHandle&& other) noexcept { MoveFrom(other); }
+  PageHandle& operator=(PageHandle&& other) noexcept {
+    if (this != &other) {
+      Release();
+      MoveFrom(other);
+    }
+    return *this;
+  }
+  ~PageHandle() { Release(); }
+
+  bool valid() const { return pool_ != nullptr; }
+  PageId id() const { return id_; }
+  const char* data() const;
+  /// Returns writable page bytes, marking the page dirty.
+  char* mutable_data();
+
+  /// Drops the pin early.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageHandle(BufferPool* pool, PageId id) : pool_(pool), id_(id) {}
+  void MoveFrom(PageHandle& other) {
+    pool_ = other.pool_;
+    id_ = other.id_;
+    other.pool_ = nullptr;
+    other.id_ = kInvalidPageId;
+  }
+
+  BufferPool* pool_ = nullptr;
+  PageId id_ = kInvalidPageId;
+};
+
+/// Cache statistics (cumulative since construction).
+struct BufferPoolStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+};
+
+/// LRU page cache over a DiskManager.
+///
+/// Policy choices, driven by the WAL design (redo logging of page
+/// after-images, no-steal for uncommitted pages):
+///  - Dirty frames are NEVER written back by eviction; only FlushAll() (the
+///    checkpoint path) writes pages.  If every frame is pinned or dirty the
+///    pool grows past its nominal capacity rather than fail.
+///  - An "epoch" corresponds to one transaction.  The first time a frame is
+///    dirtied within an epoch the pre-dirty hook runs with the frame's
+///    current contents, letting the transaction capture an undo image for
+///    abort.
+///
+/// Single-threaded by design (the paper explicitly sets aside concurrency
+/// control).
+class BufferPool {
+ public:
+  /// Called with (page id, pre-modification bytes, was already dirty from an
+  /// earlier epoch) on the first modification of a page in this epoch.
+  using PreDirtyHook =
+      std::function<void(PageId, const char* data, bool was_dirty)>;
+
+  BufferPool(DiskManager* disk, size_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// Pins page `id`, reading it from disk on a miss.
+  StatusOr<PageHandle> Fetch(PageId id);
+
+  /// Begins a new dirty-tracking epoch (call at transaction start).
+  void BeginEpoch();
+
+  /// Pages first dirtied in the current epoch, in dirtying order.
+  const std::vector<PageId>& EpochDirtyPages() const {
+    return epoch_dirty_list_;
+  }
+
+  /// Overwrites the cached frame of `id` with `image` and sets its dirty flag
+  /// to `dirty` (transaction abort path).  The page must be resident.
+  Status RestorePage(PageId id, const char* image, bool dirty);
+
+  /// Marks every epoch-dirty page as plain-dirty (commit path: the epoch's
+  /// undo images are no longer needed, but pages still await a checkpoint
+  /// flush).
+  void CommitEpoch();
+
+  /// Writes all dirty frames to disk and clears their dirty flags.  Must not
+  /// be called mid-transaction (checked).
+  Status FlushAll();
+
+  /// Drops every unpinned frame (clean or dirty) without writing.  Used by
+  /// recovery tests to force re-reads from disk.
+  void DropAllUnpinned();
+
+  void set_pre_dirty_hook(PreDirtyHook hook) { pre_dirty_hook_ = std::move(hook); }
+
+  const BufferPoolStats& stats() const { return stats_; }
+  size_t resident_pages() const { return frames_.size(); }
+  size_t capacity() const { return capacity_; }
+  bool in_epoch() const { return in_epoch_; }
+
+ private:
+  friend class PageHandle;
+
+  struct Frame {
+    PageId id = kInvalidPageId;
+    std::unique_ptr<char[]> data;
+    int pin_count = 0;
+    bool dirty = false;        // Modified since last flush.
+    bool epoch_dirty = false;  // Modified in the current epoch.
+    std::list<PageId>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  const char* FrameData(PageId id) const;
+  char* FrameMutableData(PageId id);
+  void Unpin(PageId id);
+  Status EvictOneIfNeeded();
+  void TouchLru(Frame* frame);
+
+  DiskManager* disk_;
+  size_t capacity_;
+  std::unordered_map<PageId, Frame> frames_;
+  std::list<PageId> lru_;  // Front = most recently used.
+  std::vector<PageId> epoch_dirty_list_;
+  bool in_epoch_ = false;
+  PreDirtyHook pre_dirty_hook_;
+  BufferPoolStats stats_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_BUFFER_POOL_H_

@@ -1,0 +1,38 @@
+#include "storage/disk_manager.h"
+
+#include <cstring>
+
+namespace ode {
+
+StatusOr<std::unique_ptr<DiskManager>> DiskManager::Open(
+    Env* env, const std::string& path) {
+  auto file = env->OpenFile(path);
+  if (!file.ok()) return file.status();
+  return std::unique_ptr<DiskManager>(
+      new DiskManager(std::move(*file)));
+}
+
+Status DiskManager::ReadPage(PageId id, char* buf) {
+  std::string scratch;
+  Slice result;
+  ODE_RETURN_IF_ERROR(file_->Read(static_cast<uint64_t>(id) * kPageSize,
+                                  kPageSize, &scratch, &result));
+  std::memset(buf, 0, kPageSize);
+  std::memcpy(buf, result.data(), result.size());
+  return Status::OK();
+}
+
+Status DiskManager::WritePage(PageId id, const char* buf) {
+  return file_->Write(static_cast<uint64_t>(id) * kPageSize,
+                      Slice(buf, kPageSize));
+}
+
+Status DiskManager::Sync() { return file_->Sync(); }
+
+StatusOr<uint32_t> DiskManager::FilePageCount() {
+  auto size = file_->Size();
+  if (!size.ok()) return size.status();
+  return static_cast<uint32_t>((*size + kPageSize - 1) / kPageSize);
+}
+
+}  // namespace ode

@@ -1,0 +1,56 @@
+#ifndef ODE_STORAGE_DISK_MANAGER_H_
+#define ODE_STORAGE_DISK_MANAGER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "storage/env.h"
+#include "storage/page.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Page-granular access to the single database file.
+///
+/// DiskManager is deliberately dumb: it reads and writes whole pages and
+/// syncs the file.  All allocation state (free list, page count, root
+/// pointers) lives *inside* page 0 (the superblock) and is manipulated by
+/// higher layers through the BufferPool, so that it is covered by write-ahead
+/// logging exactly like every other page and therefore recovers correctly
+/// after a crash.
+///
+/// Reading a page past the current end of file yields zero bytes; the file
+/// grows lazily when such a page is first written.  This makes redo-based
+/// recovery (replaying page after-images, possibly beyond old EOF) trivially
+/// correct.
+class DiskManager {
+ public:
+  /// Opens (or creates) the database file at `path`.
+  static StatusOr<std::unique_ptr<DiskManager>> Open(Env* env,
+                                                     const std::string& path);
+
+  /// Reads page `id` into `buf` (exactly kPageSize bytes).  Pages beyond EOF
+  /// read as all zeroes.
+  Status ReadPage(PageId id, char* buf);
+
+  /// Writes `buf` (exactly kPageSize bytes) as page `id`, growing the file
+  /// if needed.
+  Status WritePage(PageId id, const char* buf);
+
+  /// Durably flushes the file.
+  Status Sync();
+
+  /// Number of whole pages currently materialized in the file.
+  StatusOr<uint32_t> FilePageCount();
+
+ private:
+  explicit DiskManager(std::unique_ptr<File> file) : file_(std::move(file)) {}
+
+  std::unique_ptr<File> file_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_DISK_MANAGER_H_

@@ -1,0 +1,429 @@
+#include "storage/env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <dirent.h>
+#include <map>
+#include <memory>
+#include <set>
+
+namespace ode {
+
+namespace {
+
+Status PosixError(const std::string& context, int err) {
+  return Status::IOError(context + ": " + std::strerror(err));
+}
+
+// ---------------------------------------------------------------------------
+// POSIX implementation
+// ---------------------------------------------------------------------------
+
+class PosixFile : public File {
+ public:
+  PosixFile(std::string path, int fd) : path_(std::move(path)), fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Read(uint64_t offset, size_t n, std::string* scratch,
+              Slice* result) override {
+    scratch->resize(n);
+    ssize_t r = ::pread(fd_, scratch->data(), n, static_cast<off_t>(offset));
+    if (r < 0) return PosixError("pread " + path_, errno);
+    *result = Slice(scratch->data(), static_cast<size_t>(r));
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    const char* p = data.data();
+    size_t left = data.size();
+    uint64_t off = offset;
+    while (left > 0) {
+      ssize_t w = ::pwrite(fd_, p, left, static_cast<off_t>(off));
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        return PosixError("pwrite " + path_, errno);
+      }
+      p += w;
+      left -= static_cast<size_t>(w);
+      off += static_cast<uint64_t>(w);
+    }
+    return Status::OK();
+  }
+
+  Status Append(const Slice& data) override {
+    auto size = Size();
+    if (!size.ok()) return size.status();
+    return Write(*size, data);
+  }
+
+  Status Sync() override {
+    if (::fsync(fd_) != 0) return PosixError("fsync " + path_, errno);
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return PosixError("ftruncate " + path_, errno);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return PosixError("fstat " + path_, errno);
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+ private:
+  std::string path_;
+  int fd_;
+};
+
+class PosixEnv : public Env {
+ public:
+  StatusOr<std::unique_ptr<File>> OpenFile(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) return PosixError("open " + path, errno);
+    return std::unique_ptr<File>(new PosixFile(path, fd));
+  }
+
+  bool FileExists(const std::string& path) override {
+    return ::access(path.c_str(), F_OK) == 0;
+  }
+
+  Status DeleteFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return PosixError("unlink " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return PosixError("rename " + from, errno);
+    }
+    return Status::OK();
+  }
+
+  Status CreateDir(const std::string& path) override {
+    if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+      return PosixError("mkdir " + path, errno);
+    }
+    return Status::OK();
+  }
+
+  StatusOr<std::vector<std::string>> ListDir(const std::string& path) override {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) return PosixError("opendir " + path, errno);
+    std::vector<std::string> names;
+    while (struct dirent* entry = ::readdir(dir)) {
+      std::string name = entry->d_name;
+      if (name != "." && name != "..") names.push_back(std::move(name));
+    }
+    ::closedir(dir);
+    return names;
+  }
+};
+
+}  // namespace
+
+Env* Env::Posix() {
+  static PosixEnv* env = new PosixEnv();  // Intentionally leaked singleton.
+  return env;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory implementation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct MemFileData {
+  std::string contents;
+};
+
+class MemFile : public File {
+ public:
+  explicit MemFile(std::shared_ptr<MemFileData> data)
+      : data_(std::move(data)) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* scratch,
+              Slice* result) override {
+    const std::string& c = data_->contents;
+    if (offset >= c.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = std::min<size_t>(n, c.size() - offset);
+    scratch->assign(c.data() + offset, avail);
+    *result = Slice(*scratch);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    std::string& c = data_->contents;
+    if (offset + data.size() > c.size()) c.resize(offset + data.size());
+    std::memcpy(c.data() + offset, data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Append(const Slice& data) override {
+    data_->contents.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override { return Status::OK(); }
+
+  Status Truncate(uint64_t size) override {
+    data_->contents.resize(size);
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() override {
+    return static_cast<uint64_t>(data_->contents.size());
+  }
+
+ private:
+  std::shared_ptr<MemFileData> data_;
+};
+
+}  // namespace
+
+struct MemEnv::Impl {
+  std::map<std::string, std::shared_ptr<MemFileData>> files;
+  std::set<std::string> dirs;
+};
+
+MemEnv::MemEnv() : impl_(new Impl()) {}
+MemEnv::~MemEnv() = default;
+
+StatusOr<std::unique_ptr<File>> MemEnv::OpenFile(const std::string& path) {
+  auto it = impl_->files.find(path);
+  if (it == impl_->files.end()) {
+    it = impl_->files.emplace(path, std::make_shared<MemFileData>()).first;
+  }
+  return std::unique_ptr<File>(new MemFile(it->second));
+}
+
+bool MemEnv::FileExists(const std::string& path) {
+  return impl_->files.count(path) > 0;
+}
+
+Status MemEnv::DeleteFile(const std::string& path) {
+  if (impl_->files.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status MemEnv::RenameFile(const std::string& from, const std::string& to) {
+  auto it = impl_->files.find(from);
+  if (it == impl_->files.end()) {
+    return Status::NotFound("no such file: " + from);
+  }
+  impl_->files[to] = it->second;
+  impl_->files.erase(it);
+  return Status::OK();
+}
+
+Status MemEnv::CreateDir(const std::string& path) {
+  impl_->dirs.insert(path);
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> MemEnv::ListDir(const std::string& path) {
+  std::vector<std::string> names;
+  std::string prefix = path;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (const auto& [name, data] : impl_->files) {
+    (void)data;
+    if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+      names.push_back(name.substr(prefix.size()));
+    }
+  }
+  return names;
+}
+
+// ---------------------------------------------------------------------------
+// Fault-injection implementation
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Per-file shadow state: `synced` is what survives a crash, `current` is
+/// what readers see now.
+struct FaultFileState {
+  std::string synced;
+  std::string current;
+  uint64_t generation = 0;  // Bumped on crash to invalidate open handles.
+};
+
+struct FaultState {
+  std::map<std::string, std::shared_ptr<FaultFileState>> files;
+  int syncs_until_failure = -1;  // < 0: disabled.
+  bool failing = false;
+  int sync_count = 0;
+};
+
+class FaultFile : public File {
+ public:
+  FaultFile(std::shared_ptr<FaultFileState> state, FaultState* global)
+      : state_(std::move(state)),
+        global_(global),
+        generation_(state_->generation) {}
+
+  Status Read(uint64_t offset, size_t n, std::string* scratch,
+              Slice* result) override {
+    ODE_RETURN_IF_ERROR(CheckAlive());
+    const std::string& c = state_->current;
+    if (offset >= c.size()) {
+      *result = Slice();
+      return Status::OK();
+    }
+    size_t avail = std::min<size_t>(n, c.size() - offset);
+    scratch->assign(c.data() + offset, avail);
+    *result = Slice(*scratch);
+    return Status::OK();
+  }
+
+  Status Write(uint64_t offset, const Slice& data) override {
+    ODE_RETURN_IF_ERROR(CheckAlive());
+    ODE_RETURN_IF_ERROR(CheckDisk());
+    std::string& c = state_->current;
+    if (offset + data.size() > c.size()) c.resize(offset + data.size());
+    std::memcpy(c.data() + offset, data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Append(const Slice& data) override {
+    ODE_RETURN_IF_ERROR(CheckAlive());
+    ODE_RETURN_IF_ERROR(CheckDisk());
+    state_->current.append(data.data(), data.size());
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    ODE_RETURN_IF_ERROR(CheckAlive());
+    if (global_->syncs_until_failure == 0) global_->failing = true;
+    ODE_RETURN_IF_ERROR(CheckDisk());
+    if (global_->syncs_until_failure > 0) --global_->syncs_until_failure;
+    state_->synced = state_->current;
+    ++global_->sync_count;
+    return Status::OK();
+  }
+
+  Status Truncate(uint64_t size) override {
+    ODE_RETURN_IF_ERROR(CheckAlive());
+    ODE_RETURN_IF_ERROR(CheckDisk());
+    state_->current.resize(size);
+    return Status::OK();
+  }
+
+  StatusOr<uint64_t> Size() override {
+    ODE_RETURN_IF_ERROR(CheckAlive());
+    return static_cast<uint64_t>(state_->current.size());
+  }
+
+ private:
+  Status CheckAlive() const {
+    if (generation_ != state_->generation) {
+      return Status::IOError("file handle invalidated by simulated crash");
+    }
+    return Status::OK();
+  }
+  Status CheckDisk() const {
+    if (global_->failing) return Status::IOError("simulated disk failure");
+    return Status::OK();
+  }
+
+  std::shared_ptr<FaultFileState> state_;
+  FaultState* global_;
+  uint64_t generation_;
+};
+
+}  // namespace
+
+struct FaultInjectionEnv::Impl {
+  Env* base;  // Unused beyond construction; fault env keeps its own store.
+  FaultState state;
+};
+
+FaultInjectionEnv::FaultInjectionEnv(Env* base) : impl_(new Impl()) {
+  impl_->base = base;
+}
+FaultInjectionEnv::~FaultInjectionEnv() = default;
+
+StatusOr<std::unique_ptr<File>> FaultInjectionEnv::OpenFile(
+    const std::string& path) {
+  auto it = impl_->state.files.find(path);
+  if (it == impl_->state.files.end()) {
+    it = impl_->state.files.emplace(path, std::make_shared<FaultFileState>())
+             .first;
+  }
+  return std::unique_ptr<File>(new FaultFile(it->second, &impl_->state));
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return impl_->state.files.count(path) > 0;
+}
+
+Status FaultInjectionEnv::DeleteFile(const std::string& path) {
+  if (impl_->state.files.erase(path) == 0) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  auto it = impl_->state.files.find(from);
+  if (it == impl_->state.files.end()) {
+    return Status::NotFound("no such file: " + from);
+  }
+  impl_->state.files[to] = it->second;
+  impl_->state.files.erase(it);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::CreateDir(const std::string&) { return Status::OK(); }
+
+StatusOr<std::vector<std::string>> FaultInjectionEnv::ListDir(
+    const std::string& path) {
+  std::vector<std::string> names;
+  std::string prefix = path;
+  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
+  for (const auto& [name, state] : impl_->state.files) {
+    (void)state;
+    if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
+      names.push_back(name.substr(prefix.size()));
+    }
+  }
+  return names;
+}
+
+void FaultInjectionEnv::CrashAndLoseUnsynced() {
+  for (auto& [name, state] : impl_->state.files) {
+    (void)name;
+    state->current = state->synced;
+    ++state->generation;
+  }
+  impl_->state.failing = false;
+  impl_->state.syncs_until_failure = -1;
+}
+
+void FaultInjectionEnv::FailAfterSyncs(int n) {
+  impl_->state.syncs_until_failure = n;
+  impl_->state.failing = (n == 0);
+}
+
+int FaultInjectionEnv::sync_count() const { return impl_->state.sync_count; }
+
+}  // namespace ode

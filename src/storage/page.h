@@ -1,0 +1,39 @@
+#ifndef ODE_STORAGE_PAGE_H_
+#define ODE_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace ode {
+
+/// Size of every page in the database file.  4 KiB matches common filesystem
+/// block sizes; all on-disk structures (heap, B+tree, superblock) are page
+/// granular.
+inline constexpr uint32_t kPageSize = 4096;
+
+/// Page number within the database file.  Page 0 is the superblock.
+using PageId = uint32_t;
+
+/// Sentinel for "no page".
+inline constexpr PageId kInvalidPageId = 0;
+
+/// Discriminates the on-disk layout of a page.  Stored in the first byte of
+/// every page so integrity checks and the heap free-space scan can classify
+/// pages without external metadata.
+enum class PageType : uint8_t {
+  kFree = 0,       ///< On the free list (or never classified).
+  kSuper = 1,      ///< Page 0: database header.
+  kHeap = 2,       ///< Slotted page holding record fragments.
+  kOverflow = 3,   ///< Continuation page of a large record.
+  kBTreeLeaf = 4,  ///< B+tree leaf node.
+  kBTreeInternal = 5,  ///< B+tree internal node.
+};
+
+/// Common 8-byte header at the start of every non-super page:
+///   byte 0    : PageType
+///   bytes 1-3 : reserved (zero)
+///   bytes 4-7 : page-type-specific (e.g., free-list next pointer)
+inline constexpr uint32_t kPageHeaderSize = 8;
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_PAGE_H_

@@ -1,0 +1,45 @@
+#ifndef ODE_STORAGE_PAGE_IO_H_
+#define ODE_STORAGE_PAGE_IO_H_
+
+#include <cstdint>
+
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// The capability surface data structures (heap file, B+tree) use to touch
+/// pages.  Implemented by StorageEngine's transaction object, so every page
+/// access automatically participates in dirty tracking, undo capture, and
+/// WAL logging.
+class PageIO {
+ public:
+  virtual ~PageIO() = default;
+
+  /// Pins a page.
+  virtual StatusOr<PageHandle> Fetch(PageId id) = 0;
+
+  /// Allocates a page (reusing the free list or growing the file).  The
+  /// page's in-memory contents are zeroed; the caller formats it.
+  virtual StatusOr<PageId> AllocatePage() = 0;
+
+  /// Returns a page to the free list.
+  virtual Status FreePage(PageId id) = 0;
+
+  /// Superblock root-slot accessors (kNumRoots slots).
+  virtual StatusOr<PageId> GetRoot(int slot) = 0;
+  virtual Status SetRoot(int slot, PageId id) = 0;
+
+  /// Superblock persistent counters (kNumCounters of them).
+  virtual StatusOr<uint64_t> GetCounter(int idx) = 0;
+  virtual Status SetCounter(int idx, uint64_t value) = 0;
+
+  /// Logical page count (from the superblock).
+  virtual StatusOr<uint32_t> PageCount() = 0;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_PAGE_IO_H_

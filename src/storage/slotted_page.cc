@@ -1,0 +1,187 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+#include <vector>
+
+namespace ode {
+
+uint16_t SlottedPage::ReadU16At(uint32_t off) const {
+  return static_cast<uint16_t>(static_cast<uint8_t>(data_[off])) |
+         (static_cast<uint16_t>(static_cast<uint8_t>(data_[off + 1])) << 8);
+}
+
+void SlottedPage::WriteU16At(uint32_t off, uint16_t v) {
+  data_[off] = static_cast<char>(v & 0xff);
+  data_[off + 1] = static_cast<char>((v >> 8) & 0xff);
+}
+
+void SlottedPage::Init() {
+  std::memset(data_, 0, kPageSize);
+  data_[0] = static_cast<char>(PageType::kHeap);
+  set_slot_count(0);
+  set_cell_start(static_cast<uint16_t>(kPageSize));
+  set_frag_bytes(0);
+}
+
+bool SlottedPage::IsHeapPage() const {
+  return static_cast<PageType>(static_cast<uint8_t>(data_[0])) ==
+         PageType::kHeap;
+}
+
+uint32_t SlottedPage::ContiguousFree() const {
+  const uint32_t dir_end = kSlotDirStart + 4u * slot_count();
+  const uint32_t start = cell_start();
+  return start > dir_end ? start - dir_end : 0;
+}
+
+uint32_t SlottedPage::FreeSpace() const {
+  // A new insert may also need a 4-byte slot entry (unless a free slot is
+  // reusable, but be conservative).
+  const uint32_t contiguous = ContiguousFree();
+  const uint32_t total = contiguous + frag_bytes();
+  return total > 4 ? total - 4 : 0;
+}
+
+uint16_t SlottedPage::LiveSlots() const {
+  uint16_t live = 0;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    if (SlotCellOffset(i) != 0) ++live;
+  }
+  return live;
+}
+
+uint16_t SlottedPage::SlotCount() const { return slot_count(); }
+
+void SlottedPage::Compact() {
+  // Collect live cells, rewrite them right-justified.
+  struct LiveCell {
+    uint16_t slot;
+    uint16_t length;
+    std::vector<char> bytes;
+  };
+  std::vector<LiveCell> cells;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    const uint16_t off = SlotCellOffset(i);
+    if (off == 0) continue;
+    const uint16_t len = SlotCellLength(i);
+    LiveCell cell;
+    cell.slot = i;
+    cell.length = len;
+    cell.bytes.assign(data_ + off, data_ + off + len);
+    cells.push_back(std::move(cell));
+  }
+  uint32_t write_pos = kPageSize;
+  for (const LiveCell& cell : cells) {
+    write_pos -= cell.length;
+    if (cell.length > 0) {
+      std::memcpy(data_ + write_pos, cell.bytes.data(), cell.length);
+    }
+    SetSlot(cell.slot, static_cast<uint16_t>(write_pos), cell.length);
+  }
+  set_cell_start(static_cast<uint16_t>(write_pos));
+  set_frag_bytes(0);
+}
+
+StatusOr<uint16_t> SlottedPage::Insert(const Slice& record) {
+  if (record.size() > kMaxCellSize) {
+    return Status::InvalidArgument("record too large for one page");
+  }
+  const uint16_t len = static_cast<uint16_t>(record.size());
+
+  // Find a reusable free slot, else plan to append one.
+  uint16_t slot = slot_count();
+  bool reuse = false;
+  for (uint16_t i = 0; i < slot_count(); ++i) {
+    if (SlotCellOffset(i) == 0) {
+      slot = i;
+      reuse = true;
+      break;
+    }
+  }
+  const uint32_t slot_cost = reuse ? 0 : 4;
+
+  if (ContiguousFree() < slot_cost + len) {
+    if (ContiguousFree() + frag_bytes() < slot_cost + len) {
+      return Status::OutOfRange("page full");
+    }
+    Compact();
+    if (ContiguousFree() < slot_cost + len) {
+      return Status::OutOfRange("page full after compaction");
+    }
+  }
+
+  if (!reuse) set_slot_count(static_cast<uint16_t>(slot_count() + 1));
+  const uint16_t new_start = static_cast<uint16_t>(cell_start() - len);
+  if (len > 0) std::memcpy(data_ + new_start, record.data(), len);
+  set_cell_start(new_start);
+  // Zero-length records still need a nonzero offset to read as live; point
+  // at the current cell start (no bytes are read for them).
+  SetSlot(slot, len > 0 ? new_start : static_cast<uint16_t>(kPageSize - 1),
+          len);
+  return slot;
+}
+
+StatusOr<Slice> SlottedPage::Get(uint16_t slot) const {
+  if (slot >= slot_count() || SlotCellOffset(slot) == 0) {
+    return Status::NotFound("no record in slot");
+  }
+  return Slice(data_ + SlotCellOffset(slot), SlotCellLength(slot));
+}
+
+Status SlottedPage::Delete(uint16_t slot) {
+  if (slot >= slot_count() || SlotCellOffset(slot) == 0) {
+    return Status::NotFound("no record in slot");
+  }
+  const uint16_t len = SlotCellLength(slot);
+  const uint16_t off = SlotCellOffset(slot);
+  // If this was the lowest cell, shrink the cell area directly.
+  if (off == cell_start() && len > 0) {
+    set_cell_start(static_cast<uint16_t>(cell_start() + len));
+  } else {
+    set_frag_bytes(static_cast<uint16_t>(frag_bytes() + len));
+  }
+  SetSlot(slot, 0, 0);
+  return Status::OK();
+}
+
+Status SlottedPage::Update(uint16_t slot, const Slice& record) {
+  if (slot >= slot_count() || SlotCellOffset(slot) == 0) {
+    return Status::NotFound("no record in slot");
+  }
+  if (record.size() > kMaxCellSize) {
+    return Status::OutOfRange("record too large for one page");
+  }
+  const uint16_t old_len = SlotCellLength(slot);
+  const uint16_t new_len = static_cast<uint16_t>(record.size());
+  if (new_len <= old_len) {
+    // Shrink in place; tail bytes become fragmentation.
+    const uint16_t off = SlotCellOffset(slot);
+    if (new_len > 0) std::memcpy(data_ + off, record.data(), new_len);
+    set_frag_bytes(static_cast<uint16_t>(frag_bytes() + (old_len - new_len)));
+    SetSlot(slot, off, new_len);
+    return Status::OK();
+  }
+  // Grow: free the old cell, then re-insert into the same slot.
+  const uint16_t off = SlotCellOffset(slot);
+  if (off == cell_start() && old_len > 0) {
+    set_cell_start(static_cast<uint16_t>(cell_start() + old_len));
+  } else {
+    set_frag_bytes(static_cast<uint16_t>(frag_bytes() + old_len));
+  }
+  SetSlot(slot, 0, 0);
+  if (ContiguousFree() < new_len) {
+    if (ContiguousFree() + frag_bytes() < new_len) {
+      // Restore is impossible (old cell already freed); report and let the
+      // caller relocate.  The slot stays free; caller re-inserts elsewhere.
+      return Status::OutOfRange("updated record does not fit on page");
+    }
+    Compact();
+  }
+  const uint16_t new_start = static_cast<uint16_t>(cell_start() - new_len);
+  std::memcpy(data_ + new_start, record.data(), new_len);
+  set_cell_start(new_start);
+  SetSlot(slot, new_start, new_len);
+  return Status::OK();
+}
+
+}  // namespace ode

@@ -1,0 +1,106 @@
+#ifndef ODE_STORAGE_SLOTTED_PAGE_H_
+#define ODE_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+
+#include "storage/page.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// View over one heap page laid out as a classic slotted page.
+///
+/// Layout:
+///   [0]      u8   page type (kHeap)
+///   [1..7]        reserved / type-specific
+///   [8..9]   u16  slot count
+///   [10..11] u16  cell area start (lowest used byte; cells grow downward)
+///   [12..13] u16  fragmented bytes (freed cell space reclaimable by compact)
+///   [14..]        slot directory: per slot { u16 cell offset, u16 length }
+///   ...cells...   grow from the page end toward the slot directory
+///
+/// A slot with offset 0 is free (no cell can legally start inside the
+/// header).  Record ids held by callers are (page, slot) pairs; slots are
+/// stable across compaction and are reused by later inserts.
+///
+/// SlottedPage does not own the buffer; it wraps page bytes pinned in the
+/// buffer pool.  Const-correctness mirrors the dirty protocol: mutating
+/// operations require construction from a mutable buffer.
+class SlottedPage {
+ public:
+  /// Largest record payload a single page can hold.
+  static constexpr uint32_t kMaxCellSize =
+      kPageSize - 14 /*header*/ - 4 /*one slot*/;
+
+  explicit SlottedPage(char* data) : data_(data) {}
+
+  /// Formats a fresh heap page.
+  void Init();
+
+  /// True if the buffer looks like an initialized heap page.
+  bool IsHeapPage() const;
+
+  /// Inserts `record`, returning its slot.  Fails with kOutOfRange if the
+  /// page cannot fit it even after compaction.
+  StatusOr<uint16_t> Insert(const Slice& record);
+
+  /// Returns the record in `slot` (aliases the page buffer).
+  StatusOr<Slice> Get(uint16_t slot) const;
+
+  /// Frees `slot`.  The slot number may be reused by later inserts.
+  Status Delete(uint16_t slot);
+
+  /// Replaces the record in `slot`.  Fails with kOutOfRange if the new value
+  /// cannot fit on this page (caller then relocates the record).
+  Status Update(uint16_t slot, const Slice& record);
+
+  /// Bytes a new insert could claim (including its slot-directory entry),
+  /// counting fragmented space reclaimable by compaction.
+  uint32_t FreeSpace() const;
+
+  /// Number of live (occupied) slots.
+  uint16_t LiveSlots() const;
+
+  /// Total slots in the directory (live + free).
+  uint16_t SlotCount() const;
+
+  /// Rewrites the cell area to squeeze out fragmentation.
+  void Compact();
+
+ private:
+  uint16_t ReadU16At(uint32_t off) const;
+  void WriteU16At(uint32_t off, uint16_t v);
+
+  uint16_t slot_count() const { return ReadU16At(8); }
+  uint16_t cell_start() const { return ReadU16At(10); }
+  uint16_t frag_bytes() const { return ReadU16At(12); }
+  void set_slot_count(uint16_t v) { WriteU16At(8, v); }
+  void set_cell_start(uint16_t v) { WriteU16At(10, v); }
+  void set_frag_bytes(uint16_t v) { WriteU16At(12, v); }
+
+  static constexpr uint32_t kSlotDirStart = 14;
+  uint32_t SlotEntryOffset(uint16_t slot) const {
+    return kSlotDirStart + 4u * slot;
+  }
+  uint16_t SlotCellOffset(uint16_t slot) const {
+    return ReadU16At(SlotEntryOffset(slot));
+  }
+  uint16_t SlotCellLength(uint16_t slot) const {
+    return ReadU16At(SlotEntryOffset(slot) + 2);
+  }
+  void SetSlot(uint16_t slot, uint16_t cell_offset, uint16_t length) {
+    WriteU16At(SlotEntryOffset(slot), cell_offset);
+    WriteU16At(SlotEntryOffset(slot) + 2, length);
+  }
+
+  /// Contiguous gap between the slot directory end and the cell area.
+  uint32_t ContiguousFree() const;
+
+  char* data_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,280 @@
+#include "storage/storage_engine.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "storage/superblock.h"
+#include "util/coding.h"
+#include "util/logging.h"
+
+namespace ode {
+
+// ---------------------------------------------------------------------------
+// Txn
+// ---------------------------------------------------------------------------
+
+StatusOr<PageHandle> Txn::Fetch(PageId id) {
+  if (!active_) return Status::FailedPrecondition("transaction not active");
+  return engine_->pool_->Fetch(id);
+}
+
+StatusOr<PageId> Txn::AllocatePage() {
+  if (!active_) return Status::FailedPrecondition("transaction not active");
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  SuperblockView sb(super->mutable_data());
+  PageId pid = sb.free_list_head();
+  if (pid != kInvalidPageId) {
+    // Pop the free list: the next pointer lives at bytes 4..7 of the free
+    // page's header.
+    auto page = Fetch(pid);
+    if (!page.ok()) return page.status();
+    const PageId next = DecodeFixed32(page->data() + 4);
+    sb.set_free_list_head(next);
+    std::memset(page->mutable_data(), 0, kPageSize);
+    return pid;
+  }
+  pid = sb.page_count();
+  sb.set_page_count(pid + 1);
+  auto page = Fetch(pid);
+  if (!page.ok()) return page.status();
+  // Beyond-EOF reads are zeroed already; dirty the frame so the page gets
+  // logged and eventually materialized even if the caller writes nothing.
+  std::memset(page->mutable_data(), 0, kPageSize);
+  return pid;
+}
+
+Status Txn::FreePage(PageId id) {
+  if (!active_) return Status::FailedPrecondition("transaction not active");
+  if (id == 0) return Status::InvalidArgument("cannot free the superblock");
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  SuperblockView sb(super->mutable_data());
+  auto page = Fetch(id);
+  if (!page.ok()) return page.status();
+  char* data = page->mutable_data();
+  std::memset(data, 0, kPageSize);
+  data[0] = static_cast<char>(PageType::kFree);
+  EncodeFixed32(data + 4, sb.free_list_head());
+  sb.set_free_list_head(id);
+  return Status::OK();
+}
+
+StatusOr<PageId> Txn::GetRoot(int slot) {
+  if (slot < 0 || slot >= SuperblockView::kNumRoots) {
+    return Status::InvalidArgument("root slot out of range");
+  }
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  return SuperblockView(const_cast<char*>(super->data())).root(slot);
+}
+
+Status Txn::SetRoot(int slot, PageId id) {
+  if (slot < 0 || slot >= SuperblockView::kNumRoots) {
+    return Status::InvalidArgument("root slot out of range");
+  }
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  SuperblockView(super->mutable_data()).set_root(slot, id);
+  return Status::OK();
+}
+
+StatusOr<uint64_t> Txn::GetCounter(int idx) {
+  if (idx < 0 || idx >= SuperblockView::kNumCounters) {
+    return Status::InvalidArgument("counter index out of range");
+  }
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  return SuperblockView(const_cast<char*>(super->data())).counter(idx);
+}
+
+Status Txn::SetCounter(int idx, uint64_t value) {
+  if (idx < 0 || idx >= SuperblockView::kNumCounters) {
+    return Status::InvalidArgument("counter index out of range");
+  }
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  SuperblockView(super->mutable_data()).set_counter(idx, value);
+  return Status::OK();
+}
+
+StatusOr<uint32_t> Txn::PageCount() {
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  return SuperblockView(const_cast<char*>(super->data())).page_count();
+}
+
+// ---------------------------------------------------------------------------
+// StorageEngine
+// ---------------------------------------------------------------------------
+
+StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
+    const StorageOptions& options) {
+  auto engine = std::unique_ptr<StorageEngine>(new StorageEngine());
+  engine->options_ = options;
+  Env* env = options.env != nullptr ? options.env : Env::Posix();
+  engine->options_.env = env;
+  ODE_RETURN_IF_ERROR(env->CreateDir(options.path));
+
+  {
+    auto disk = DiskManager::Open(env, options.path + "/data.odb");
+    if (!disk.ok()) return disk.status();
+    engine->disk_ = std::move(*disk);
+  }
+  {
+    auto wal = Wal::Open(env, options.path + "/wal.log");
+    if (!wal.ok()) return wal.status();
+    engine->wal_ = std::move(*wal);
+  }
+
+  // Redo recovery, then drop the now-applied log.
+  {
+    auto recovery = engine->wal_->Recover(engine->disk_.get());
+    if (!recovery.ok()) return recovery.status();
+    engine->recovery_ = *recovery;
+    ODE_RETURN_IF_ERROR(engine->wal_->Truncate());
+    engine->wal_bytes_at_truncate_ = engine->wal_->bytes_appended();
+  }
+
+  engine->pool_ = std::make_unique<BufferPool>(engine->disk_.get(),
+                                               options.buffer_pool_pages);
+  StorageEngine* raw = engine.get();
+  engine->pool_->set_pre_dirty_hook(
+      [raw](PageId id, const char* data, bool was_dirty) {
+        if (!raw->txn_open_) return;
+        auto& undo = raw->txn_.undo_;
+        if (undo.find(id) == undo.end()) {
+          undo.emplace(id,
+                       Txn::UndoImage{std::string(data, kPageSize), was_dirty});
+        }
+      });
+
+  ODE_RETURN_IF_ERROR(engine->InitSuperblockIfNeeded());
+  return engine;
+}
+
+Status StorageEngine::InitSuperblockIfNeeded() {
+  return WithTxn([](Txn& txn) -> Status {
+    auto super = txn.Fetch(0);
+    if (!super.ok()) return super.status();
+    SuperblockView view(const_cast<char*>(super->data()));
+    if (!view.IsValid()) {
+      SuperblockView(super->mutable_data()).Init();
+    }
+    return Status::OK();
+  });
+}
+
+StorageEngine::~StorageEngine() {
+  if (txn_open_) {
+    Status s = Abort(&txn_);
+    if (!s.ok()) { ODE_LOG_WARN << "abort on close failed: " << s; }
+  }
+  Status s = Checkpoint();
+  if (!s.ok()) { ODE_LOG_WARN << "checkpoint on close failed: " << s; }
+}
+
+StatusOr<Txn*> StorageEngine::Begin() {
+  if (txn_open_) {
+    return Status::FailedPrecondition("a transaction is already open");
+  }
+  txn_.engine_ = this;
+  txn_.id_ = next_txn_id_++;
+  txn_.active_ = true;
+  txn_.undo_.clear();
+  txn_open_ = true;
+  pool_->BeginEpoch();
+  return &txn_;
+}
+
+Status StorageEngine::Commit(Txn* txn) {
+  if (!txn_open_ || txn != &txn_ || !txn->active_) {
+    return Status::FailedPrecondition("no such open transaction");
+  }
+  const auto& dirtied = pool_->EpochDirtyPages();
+  if (!dirtied.empty()) {
+    // If any step of making the transaction durable fails, roll it back so
+    // the in-memory state matches what recovery would reconstruct (the
+    // commit record never became durable).
+    Status s = [&]() -> Status {
+      ODE_RETURN_IF_ERROR(wal_->AppendBegin(txn->id_));
+      for (PageId pid : dirtied) {
+        auto handle = pool_->Fetch(pid);
+        if (!handle.ok()) return handle.status();
+        ODE_RETURN_IF_ERROR(
+            wal_->AppendPageImage(txn->id_, pid, handle->data()));
+      }
+      ODE_RETURN_IF_ERROR(wal_->AppendCommit(txn->id_));
+      return wal_->Sync();
+    }();
+    if (!s.ok()) {
+      Status abort_status = Abort(txn);
+      if (!abort_status.ok()) {
+        ODE_LOG_ERROR << "abort after failed commit also failed: "
+                      << abort_status;
+      }
+      return s;
+    }
+  }
+  pool_->CommitEpoch();
+  txn->active_ = false;
+  txn_open_ = false;
+  ++commit_count_;
+
+  if (wal_bytes() > options_.checkpoint_wal_bytes) {
+    ODE_RETURN_IF_ERROR(Checkpoint());
+  }
+  return Status::OK();
+}
+
+Status StorageEngine::Abort(Txn* txn) {
+  if (!txn_open_ || txn != &txn_ || !txn->active_) {
+    return Status::FailedPrecondition("no such open transaction");
+  }
+  for (const auto& [pid, undo] : txn->undo_) {
+    ODE_RETURN_IF_ERROR(
+        pool_->RestorePage(pid, undo.image.data(), undo.was_dirty));
+  }
+  pool_->CommitEpoch();  // Clears epoch bookkeeping; pages already restored.
+  txn->active_ = false;
+  txn->undo_.clear();
+  txn_open_ = false;
+  heap_.InvalidateCache();
+  return Status::OK();
+}
+
+Status StorageEngine::WithTxn(const std::function<Status(Txn&)>& body) {
+  auto txn = Begin();
+  if (!txn.ok()) return txn.status();
+  Status s = body(**txn);
+  if (!s.ok()) {
+    Status abort_status = Abort(*txn);
+    if (!abort_status.ok()) {
+      ODE_LOG_ERROR << "abort failed after error: " << abort_status;
+      return abort_status;
+    }
+    return s;
+  }
+  return Commit(*txn);
+}
+
+Status StorageEngine::Checkpoint() {
+  if (txn_open_) {
+    return Status::FailedPrecondition("cannot checkpoint mid-transaction");
+  }
+  ODE_RETURN_IF_ERROR(pool_->FlushAll());
+  ODE_RETURN_IF_ERROR(wal_->Truncate());
+  wal_bytes_at_truncate_ = wal_->bytes_appended();
+  ++checkpoint_count_;
+  return Status::OK();
+}
+
+uint64_t StorageEngine::wal_bytes() const {
+  return wal_->bytes_appended() - wal_bytes_at_truncate_;
+}
+
+uint64_t StorageEngine::wal_total_bytes() const {
+  return wal_->bytes_appended();
+}
+
+}  // namespace ode

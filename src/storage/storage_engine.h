@@ -1,0 +1,141 @@
+#ifndef ODE_STORAGE_STORAGE_ENGINE_H_
+#define ODE_STORAGE_STORAGE_ENGINE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "storage/buffer_pool.h"
+#include "storage/disk_manager.h"
+#include "storage/env.h"
+#include "storage/heap_file.h"
+#include "storage/page_io.h"
+#include "storage/wal.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+class StorageEngine;
+
+/// Tuning and environment knobs for a storage engine instance.
+struct StorageOptions {
+  /// Filesystem to use; nullptr means Env::Posix().
+  Env* env = nullptr;
+  /// Directory holding data file and WAL (created if missing).
+  std::string path;
+  /// Buffer pool capacity in pages (nominal; grows if all frames are
+  /// pinned/dirty).
+  size_t buffer_pool_pages = 1024;
+  /// Automatic checkpoint once the WAL exceeds this many bytes.
+  uint64_t checkpoint_wal_bytes = 8ull << 20;
+};
+
+/// One open (single-writer) transaction.
+///
+/// Implements PageIO so data structures running inside the transaction
+/// automatically get: undo capture on first modification of each page
+/// (enabling abort), and full-page redo logging at commit (enabling crash
+/// recovery).  Page allocation and freeing manipulate the superblock through
+/// the same mechanism, so allocation state is transactional too.
+class Txn : public PageIO {
+ public:
+  StatusOr<PageHandle> Fetch(PageId id) override;
+  StatusOr<PageId> AllocatePage() override;
+  Status FreePage(PageId id) override;
+  StatusOr<PageId> GetRoot(int slot) override;
+  Status SetRoot(int slot, PageId id) override;
+  StatusOr<uint64_t> GetCounter(int idx) override;
+  Status SetCounter(int idx, uint64_t value) override;
+  StatusOr<uint32_t> PageCount() override;
+
+  uint64_t id() const { return id_; }
+
+ private:
+  friend class StorageEngine;
+  Txn() = default;
+
+  struct UndoImage {
+    std::string image;  // kPageSize bytes captured before first modification.
+    bool was_dirty;     // Dirty flag to restore on abort.
+  };
+
+  StorageEngine* engine_ = nullptr;
+  uint64_t id_ = 0;
+  bool active_ = false;
+  std::map<PageId, UndoImage> undo_;
+};
+
+/// The persistence substrate: a paged, WAL-protected, transactional store
+/// offering a heap file for records and B+trees (via BTree::Open on a Txn)
+/// for indexes — the role of the "persistence library for C++" [10] in the
+/// paper's implementation section.
+///
+/// Concurrency: strictly single-threaded, one transaction at a time, matching
+/// the paper's scope ("we do not discuss concurrency control in this paper").
+class StorageEngine {
+ public:
+  static StatusOr<std::unique_ptr<StorageEngine>> Open(
+      const StorageOptions& options);
+  ~StorageEngine();
+
+  StorageEngine(const StorageEngine&) = delete;
+  StorageEngine& operator=(const StorageEngine&) = delete;
+
+  /// Starts the (single) transaction.  Fails if one is already open.
+  StatusOr<Txn*> Begin();
+
+  /// Durably commits: logs after-images of every dirtied page, then the
+  /// commit record, then syncs the WAL.  May trigger an automatic
+  /// checkpoint.
+  Status Commit(Txn* txn);
+
+  /// Rolls back: restores every dirtied page from its undo image.
+  Status Abort(Txn* txn);
+
+  /// Runs `body` inside a transaction; commits on OK, aborts on error (and
+  /// returns the body's error).
+  Status WithTxn(const std::function<Status(Txn&)>& body);
+
+  /// Flushes all dirty pages to the data file and truncates the WAL.  Must
+  /// not be called with an open transaction.
+  Status Checkpoint();
+
+  /// Record storage shared by all higher layers.
+  HeapFile& heap() { return heap_; }
+
+  const BufferPoolStats& cache_stats() const { return pool_->stats(); }
+  const RecoveryStats& last_recovery() const { return recovery_; }
+  uint64_t wal_bytes() const;
+  /// Total WAL bytes ever appended this session (not reset by checkpoints).
+  uint64_t wal_total_bytes() const;
+  uint64_t commit_count() const { return commit_count_; }
+  uint64_t checkpoint_count() const { return checkpoint_count_; }
+  BufferPool& buffer_pool() { return *pool_; }
+
+ private:
+  friend class Txn;
+
+  StorageEngine() = default;
+
+  Status InitSuperblockIfNeeded();
+
+  StorageOptions options_;
+  std::unique_ptr<DiskManager> disk_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<BufferPool> pool_;
+  HeapFile heap_;
+  Txn txn_;
+  bool txn_open_ = false;
+  uint64_t next_txn_id_ = 1;
+  uint64_t wal_bytes_at_truncate_ = 0;
+  uint64_t commit_count_ = 0;
+  uint64_t checkpoint_count_ = 0;
+  RecoveryStats recovery_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_STORAGE_ENGINE_H_

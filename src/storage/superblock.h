@@ -1,0 +1,61 @@
+#ifndef ODE_STORAGE_SUPERBLOCK_H_
+#define ODE_STORAGE_SUPERBLOCK_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "storage/page.h"
+#include "util/coding.h"
+
+namespace ode {
+
+/// View over page 0, the database superblock.
+///
+/// The superblock is an ordinary page manipulated through the buffer pool so
+/// that every change to allocation state is WAL-logged and crash-safe.
+///
+/// Layout:
+///   [0]       u8   page type (kSuper)
+///   [1..7]         reserved
+///   [8..15]   u64  magic
+///   [16..19]  u32  logical page count (next never-used page id)
+///   [20..23]  u32  free-list head (0 = empty)
+///   [24..55]  u32  x 8 root slots (B+tree roots etc., owned by upper layers)
+///   [56..119] u64  x 8 general-purpose persistent counters
+class SuperblockView {
+ public:
+  static constexpr uint64_t kMagic = 0x4f44455644423931ull;  // "ODEVDB91"
+  static constexpr int kNumRoots = 8;
+  static constexpr int kNumCounters = 8;
+
+  explicit SuperblockView(char* data) : data_(data) {}
+
+  void Init() {
+    std::memset(data_, 0, kPageSize);
+    data_[0] = static_cast<char>(PageType::kSuper);
+    EncodeFixed64(data_ + 8, kMagic);
+    set_page_count(1);  // Page 0 itself.
+    set_free_list_head(kInvalidPageId);
+  }
+
+  bool IsValid() const { return DecodeFixed64(data_ + 8) == kMagic; }
+
+  uint32_t page_count() const { return DecodeFixed32(data_ + 16); }
+  void set_page_count(uint32_t v) { EncodeFixed32(data_ + 16, v); }
+
+  PageId free_list_head() const { return DecodeFixed32(data_ + 20); }
+  void set_free_list_head(PageId v) { EncodeFixed32(data_ + 20, v); }
+
+  PageId root(int slot) const { return DecodeFixed32(data_ + 24 + 4 * slot); }
+  void set_root(int slot, PageId v) { EncodeFixed32(data_ + 24 + 4 * slot, v); }
+
+  uint64_t counter(int i) const { return DecodeFixed64(data_ + 56 + 8 * i); }
+  void set_counter(int i, uint64_t v) { EncodeFixed64(data_ + 56 + 8 * i, v); }
+
+ private:
+  char* data_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_SUPERBLOCK_H_

@@ -1,0 +1,138 @@
+#ifndef ODE_UTIL_BYTE_BUFFER_H_
+#define ODE_UTIL_BYTE_BUFFER_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/coding.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+
+/// Append-only byte sink used to build serialized records.
+///
+/// Thin typed veneer over std::string + coding.h; exists so serialization
+/// code reads as intent ("writer.WriteU64(oid)") rather than mechanism.
+class BufferWriter {
+ public:
+  BufferWriter() = default;
+
+  void WriteU8(uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void WriteU16(uint16_t v) { PutFixed16(&buf_, v); }
+  void WriteU32(uint32_t v) { PutFixed32(&buf_, v); }
+  void WriteU64(uint64_t v) { PutFixed64(&buf_, v); }
+  void WriteVarint32(uint32_t v) { PutVarint32(&buf_, v); }
+  void WriteVarint64(uint64_t v) { PutVarint64(&buf_, v); }
+  void WriteI64(int64_t v) {
+    // ZigZag so small negative numbers stay small.
+    PutVarint64(&buf_, (static_cast<uint64_t>(v) << 1) ^
+                           static_cast<uint64_t>(v >> 63));
+  }
+  void WriteDouble(double v) {
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    PutFixed64(&buf_, bits);
+  }
+  void WriteBool(bool v) { WriteU8(v ? 1 : 0); }
+  void WriteString(const Slice& s) { PutLengthPrefixedSlice(&buf_, s); }
+  void WriteRaw(const Slice& s) { buf_.append(s.data(), s.size()); }
+
+  const std::string& data() const { return buf_; }
+  size_t size() const { return buf_.size(); }
+  Slice slice() const { return Slice(buf_); }
+  std::string Release() { return std::move(buf_); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Consuming reader over a byte range; every Read returns a Status so
+/// truncated or corrupt input surfaces as kCorruption, never as UB.
+class BufferReader {
+ public:
+  explicit BufferReader(Slice input) : input_(input) {}
+
+  Status ReadU8(uint8_t* v) {
+    if (input_.empty()) return Truncated("u8");
+    *v = static_cast<uint8_t>(input_[0]);
+    input_.remove_prefix(1);
+    return Status::OK();
+  }
+  Status ReadU16(uint16_t* v) {
+    if (input_.size() < 2) return Truncated("u16");
+    *v = DecodeFixed16(input_.data());
+    input_.remove_prefix(2);
+    return Status::OK();
+  }
+  Status ReadU32(uint32_t* v) {
+    if (!GetFixed32(&input_, v)) return Truncated("u32");
+    return Status::OK();
+  }
+  Status ReadU64(uint64_t* v) {
+    if (!GetFixed64(&input_, v)) return Truncated("u64");
+    return Status::OK();
+  }
+  Status ReadVarint32(uint32_t* v) {
+    if (!GetVarint32(&input_, v)) return Truncated("varint32");
+    return Status::OK();
+  }
+  Status ReadVarint64(uint64_t* v) {
+    if (!GetVarint64(&input_, v)) return Truncated("varint64");
+    return Status::OK();
+  }
+  Status ReadI64(int64_t* v) {
+    uint64_t zz = 0;
+    ODE_RETURN_IF_ERROR(ReadVarint64(&zz));
+    *v = static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+    return Status::OK();
+  }
+  Status ReadDouble(double* v) {
+    uint64_t bits = 0;
+    ODE_RETURN_IF_ERROR(ReadU64(&bits));
+    std::memcpy(v, &bits, sizeof(bits));
+    return Status::OK();
+  }
+  Status ReadBool(bool* v) {
+    uint8_t b = 0;
+    ODE_RETURN_IF_ERROR(ReadU8(&b));
+    *v = (b != 0);
+    return Status::OK();
+  }
+  /// Reads a length-prefixed byte string into an owned std::string.
+  Status ReadString(std::string* out) {
+    Slice s;
+    if (!GetLengthPrefixedSlice(&input_, &s)) return Truncated("string");
+    out->assign(s.data(), s.size());
+    return Status::OK();
+  }
+  /// Reads a length-prefixed byte string as a view into the input buffer.
+  Status ReadStringView(Slice* out) {
+    if (!GetLengthPrefixedSlice(&input_, out)) return Truncated("string");
+    return Status::OK();
+  }
+  /// Reads exactly `n` raw bytes as a view into the input buffer.
+  Status ReadRaw(size_t n, Slice* out) {
+    if (input_.size() < n) return Truncated("raw bytes");
+    *out = Slice(input_.data(), n);
+    input_.remove_prefix(n);
+    return Status::OK();
+  }
+
+  size_t remaining() const { return input_.size(); }
+  bool AtEnd() const { return input_.empty(); }
+  Slice rest() const { return input_; }
+
+ private:
+  static Status Truncated(const char* what) {
+    return Status::Corruption(std::string("truncated input reading ") + what);
+  }
+
+  Slice input_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_BYTE_BUFFER_H_

@@ -1,0 +1,16 @@
+#include "util/clock.h"
+
+#include <chrono>
+
+namespace ode {
+
+uint64_t WallClock::Now() {
+  const auto now = std::chrono::system_clock::now().time_since_epoch();
+  uint64_t us = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(now).count());
+  if (us <= last_) us = last_ + 1;
+  last_ = us;
+  return us;
+}
+
+}  // namespace ode

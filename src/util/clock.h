@@ -1,0 +1,47 @@
+#ifndef ODE_UTIL_CLOCK_H_
+#define ODE_UTIL_CLOCK_H_
+
+#include <cstdint>
+
+namespace ode {
+
+/// Source of version-creation timestamps.
+///
+/// The paper orders versions of an object temporally "according to their
+/// creation time".  The library only requires the timestamp source to be
+/// monotonically non-decreasing per database, so tests inject a
+/// LogicalClock for full determinism while production uses WallClock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Returns a timestamp >= every previously returned timestamp.
+  virtual uint64_t Now() = 0;
+};
+
+/// Deterministic counter clock: 1, 2, 3, ...
+class LogicalClock : public Clock {
+ public:
+  explicit LogicalClock(uint64_t start = 0) : next_(start) {}
+  uint64_t Now() override { return ++next_; }
+  /// Fast-forwards so the next tick is at least `t` (used after recovery so
+  /// restored timestamps stay monotone).
+  void AdvanceTo(uint64_t t) {
+    if (t > next_) next_ = t;
+  }
+
+ private:
+  uint64_t next_;
+};
+
+/// Microseconds since the Unix epoch, forced monotone.
+class WallClock : public Clock {
+ public:
+  uint64_t Now() override;
+
+ private:
+  uint64_t last_ = 0;
+};
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_CLOCK_H_

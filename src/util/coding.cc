@@ -1,0 +1,88 @@
+#include "util/coding.h"
+
+namespace ode {
+
+void PutVarint32(std::string* dst, uint32_t value) {
+  char buf[5];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<char>(value);
+  dst->append(buf, n);
+}
+
+void PutVarint64(std::string* dst, uint64_t value) {
+  char buf[10];
+  int n = 0;
+  while (value >= 0x80) {
+    buf[n++] = static_cast<char>(value | 0x80);
+    value >>= 7;
+  }
+  buf[n++] = static_cast<char>(value);
+  dst->append(buf, n);
+}
+
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value) {
+  PutVarint64(dst, value.size());
+  dst->append(value.data(), value.size());
+}
+
+bool GetVarint32(Slice* input, uint32_t* value) {
+  uint64_t v64 = 0;
+  if (!GetVarint64(input, &v64)) return false;
+  if (v64 > 0xffffffffull) return false;
+  *value = static_cast<uint32_t>(v64);
+  return true;
+}
+
+bool GetVarint64(Slice* input, uint64_t* value) {
+  uint64_t result = 0;
+  for (int shift = 0; shift <= 63 && !input->empty(); shift += 7) {
+    uint8_t byte = static_cast<uint8_t>((*input)[0]);
+    input->remove_prefix(1);
+    if (byte & 0x80) {
+      result |= (static_cast<uint64_t>(byte & 0x7f) << shift);
+    } else {
+      result |= (static_cast<uint64_t>(byte) << shift);
+      *value = result;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool GetLengthPrefixedSlice(Slice* input, Slice* result) {
+  uint64_t len = 0;
+  if (!GetVarint64(input, &len)) return false;
+  if (len > input->size()) return false;
+  *result = Slice(input->data(), static_cast<size_t>(len));
+  input->remove_prefix(static_cast<size_t>(len));
+  return true;
+}
+
+bool GetFixed32(Slice* input, uint32_t* value) {
+  if (input->size() < 4) return false;
+  *value = DecodeFixed32(input->data());
+  input->remove_prefix(4);
+  return true;
+}
+
+bool GetFixed64(Slice* input, uint64_t* value) {
+  if (input->size() < 8) return false;
+  *value = DecodeFixed64(input->data());
+  input->remove_prefix(8);
+  return true;
+}
+
+int VarintLength(uint64_t value) {
+  int len = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++len;
+  }
+  return len;
+}
+
+}  // namespace ode

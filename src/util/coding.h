@@ -1,0 +1,98 @@
+#ifndef ODE_UTIL_CODING_H_
+#define ODE_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "util/slice.h"
+
+namespace ode {
+
+// Little-endian fixed-width and LEB128-style varint encodings used by every
+// on-disk structure (pages, WAL records, serialized objects).  All encoders
+// append to a std::string; all decoders consume from a Slice and report
+// success/failure so corrupt input never crashes.
+
+inline void EncodeFixed16(char* dst, uint16_t value) {
+  dst[0] = static_cast<char>(value & 0xff);
+  dst[1] = static_cast<char>((value >> 8) & 0xff);
+}
+
+inline void EncodeFixed32(char* dst, uint32_t value) {
+  for (int i = 0; i < 4; ++i) {
+    dst[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+inline void EncodeFixed64(char* dst, uint64_t value) {
+  for (int i = 0; i < 8; ++i) {
+    dst[i] = static_cast<char>((value >> (8 * i)) & 0xff);
+  }
+}
+
+inline uint16_t DecodeFixed16(const char* src) {
+  return static_cast<uint16_t>(static_cast<uint8_t>(src[0])) |
+         (static_cast<uint16_t>(static_cast<uint8_t>(src[1])) << 8);
+}
+
+inline uint32_t DecodeFixed32(const char* src) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(src[i]);
+  }
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* src) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) {
+    v = (v << 8) | static_cast<uint8_t>(src[i]);
+  }
+  return v;
+}
+
+inline void PutFixed16(std::string* dst, uint16_t value) {
+  char buf[2];
+  EncodeFixed16(buf, value);
+  dst->append(buf, 2);
+}
+
+inline void PutFixed32(std::string* dst, uint32_t value) {
+  char buf[4];
+  EncodeFixed32(buf, value);
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t value) {
+  char buf[8];
+  EncodeFixed64(buf, value);
+  dst->append(buf, 8);
+}
+
+/// Appends `value` as a varint (1-10 bytes).
+void PutVarint32(std::string* dst, uint32_t value);
+void PutVarint64(std::string* dst, uint64_t value);
+
+/// Appends a varint length prefix followed by the bytes of `value`.
+void PutLengthPrefixedSlice(std::string* dst, const Slice& value);
+
+/// Consumes a varint from the front of `*input`.  Returns false on
+/// truncated/overlong input, leaving *input unspecified.
+bool GetVarint32(Slice* input, uint32_t* value);
+bool GetVarint64(Slice* input, uint64_t* value);
+
+/// Consumes a length-prefixed slice from the front of `*input`.  The
+/// resulting Slice aliases the input buffer.
+bool GetLengthPrefixedSlice(Slice* input, Slice* result);
+
+/// Consumes fixed-width integers; returns false on truncation.
+bool GetFixed32(Slice* input, uint32_t* value);
+bool GetFixed64(Slice* input, uint64_t* value);
+
+/// Number of bytes PutVarint64 would emit for `value`.
+int VarintLength(uint64_t value);
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_CODING_H_

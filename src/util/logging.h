@@ -1,0 +1,75 @@
+#ifndef ODE_UTIL_LOGGING_H_
+#define ODE_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace ode {
+
+/// Severity levels for the library logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Minimal leveled logger writing to stderr.  Level is a process-wide knob;
+/// the default (kWarn) keeps the library silent in normal operation, which
+/// matters because benchmarks run in-process.
+class Logger {
+ public:
+  static LogLevel level();
+  static void set_level(LogLevel level);
+  static void Write(LogLevel level, const char* file, int line,
+                    const std::string& message);
+};
+
+namespace logging_internal {
+
+/// Accumulates one log statement and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogMessage() { Logger::Write(level_, file_, line_, stream_.str()); }
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace logging_internal
+
+#define ODE_LOG(severity)                                           \
+  if (::ode::LogLevel::severity < ::ode::Logger::level()) {         \
+  } else                                                            \
+    ::ode::logging_internal::LogMessage(::ode::LogLevel::severity,  \
+                                        __FILE__, __LINE__)         \
+        .stream()
+
+#define ODE_LOG_DEBUG ODE_LOG(kDebug)
+#define ODE_LOG_INFO ODE_LOG(kInfo)
+#define ODE_LOG_WARN ODE_LOG(kWarn)
+#define ODE_LOG_ERROR ODE_LOG(kError)
+
+/// Terminates the process if `condition` is false.  Used only where an API
+/// cannot report a Status (e.g., the convenience operator-> of smart
+/// pointers); every such site also offers a Status-returning alternative.
+#define ODE_CHECK(condition)                                       \
+  do {                                                             \
+    if (!(condition)) {                                            \
+      ::ode::Logger::Write(::ode::LogLevel::kError, __FILE__,      \
+                           __LINE__, "CHECK failed: " #condition); \
+      ::std::abort();                                              \
+    }                                                              \
+  } while (0)
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_LOGGING_H_

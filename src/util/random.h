@@ -1,0 +1,81 @@
+#ifndef ODE_UTIL_RANDOM_H_
+#define ODE_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ode {
+
+/// Deterministic xorshift128+ PRNG for tests, workload generators, and
+/// benchmarks.  Not cryptographic; chosen for reproducibility (the same seed
+/// yields the same workload on every platform).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 to expand the seed into two nonzero state words.
+    s_[0] = SplitMix(&seed);
+    s_[1] = SplitMix(&seed);
+    if (s_[0] == 0 && s_[1] == 0) s_[0] = 1;
+  }
+
+  uint64_t Next() {
+    uint64_t x = s_[0];
+    const uint64_t y = s_[1];
+    s_[0] = y;
+    x ^= x << 23;
+    s_[1] = x ^ y ^ (x >> 17) ^ (y >> 26);
+    return s_[1] + y;
+  }
+
+  /// Uniform in [0, n).  n must be > 0.
+  uint64_t Uniform(uint64_t n) { return Next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t Range(uint64_t lo, uint64_t hi) {
+    return lo + Uniform(hi - lo + 1);
+  }
+
+  /// True with probability 1/n.
+  bool OneIn(uint64_t n) { return Uniform(n) == 0; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Random printable ASCII string of length `len`.
+  std::string NextString(size_t len) {
+    static constexpr char kAlphabet[] =
+        "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789";
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(kAlphabet[Uniform(sizeof(kAlphabet) - 1)]);
+    }
+    return out;
+  }
+
+  /// Random bytes (full 0..255 range) of length `len`.
+  std::string NextBytes(size_t len) {
+    std::string out;
+    out.reserve(len);
+    for (size_t i = 0; i < len; ++i) {
+      out.push_back(static_cast<char>(Next() & 0xff));
+    }
+    return out;
+  }
+
+ private:
+  static uint64_t SplitMix(uint64_t* state) {
+    uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t s_[2];
+};
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_RANDOM_H_

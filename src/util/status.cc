@@ -1,0 +1,43 @@
+#include "util/status.h"
+
+namespace ode {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kIOError:
+      return "io error";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kNotSupported:
+      return "not supported";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kOutOfRange:
+      return "out of range";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string result(StatusCodeName(code_));
+  if (!message_.empty()) {
+    result += ": ";
+    result += message_;
+  }
+  return result;
+}
+
+}  // namespace ode

@@ -1,0 +1,133 @@
+#ifndef ODE_UTIL_STATUS_H_
+#define ODE_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ode {
+
+/// Canonical error codes used across the Ode library.
+///
+/// Every fallible operation in the library reports its outcome through a
+/// Status (or StatusOr<T>); exceptions are never thrown across library
+/// boundaries.  Codes are deliberately coarse: the human-readable message
+/// carries the detail, the code carries the dispatchable category.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  kNotFound = 1,        ///< Object, version, key, or file does not exist.
+  kCorruption = 2,      ///< Persistent state failed an integrity check.
+  kInvalidArgument = 3, ///< Caller passed something semantically invalid.
+  kIOError = 4,         ///< The environment (filesystem) failed.
+  kAlreadyExists = 5,   ///< Unique key/name collision.
+  kNotSupported = 6,    ///< Operation not implemented for this configuration.
+  kFailedPrecondition = 7, ///< System state forbids the operation.
+  kAborted = 8,         ///< Transaction or operation was rolled back.
+  kOutOfRange = 9,      ///< Index or offset outside the valid domain.
+  kInternal = 10,       ///< Invariant violation inside the library.
+};
+
+/// Returns the canonical lowercase name of a code ("ok", "not found", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation: a code plus an optional detail message.
+///
+/// Status is cheap to copy in the OK case (no allocation) and cheap to move
+/// always.  Typical use:
+///
+///     Status s = db->Pnew(obj, &oid);
+///     if (!s.ok()) return s;   // propagate
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  // Factory helpers, one per category.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+  bool IsAborted() const { return code_ == StatusCode::kAborted; }
+  bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
+  bool IsInternal() const { return code_ == StatusCode::kInternal; }
+
+  /// "ok" or "<code name>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline bool operator==(const Status& a, const Status& b) {
+  return a.code() == b.code() && a.message() == b.message();
+}
+inline bool operator!=(const Status& a, const Status& b) { return !(a == b); }
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define ODE_RETURN_IF_ERROR(expr)                \
+  do {                                           \
+    ::ode::Status _ode_status = (expr);          \
+    if (!_ode_status.ok()) return _ode_status;   \
+  } while (0)
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_STATUS_H_

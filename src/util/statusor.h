@@ -1,0 +1,79 @@
+#ifndef ODE_UTIL_STATUSOR_H_
+#define ODE_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace ode {
+
+/// Holds either a value of type T or a non-OK Status explaining its absence.
+///
+/// StatusOr mirrors the familiar absl::StatusOr contract: it is constructible
+/// implicitly from either a T or a non-OK Status, `ok()` reports which state
+/// it is in, and `value()` asserts on misuse.  It is the return type of every
+/// fallible factory in the library.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from an error.  `status` must not be OK: an OK status carries
+  /// no value and would leave the StatusOr in a contradictory state.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!status_.ok() && "StatusOr(Status) requires a non-OK status");
+    if (status_.ok()) {
+      status_ = Status::Internal("OK status passed to StatusOr error ctor");
+    }
+  }
+
+  /// Constructs from a value; the resulting StatusOr is OK.
+  StatusOr(T value)  // NOLINT(runtime/explicit)
+      : status_(Status::OK()), value_(std::move(value)) {}
+
+  StatusOr(const StatusOr&) = default;
+  StatusOr& operator=(const StatusOr&) = default;
+  StatusOr(StatusOr&&) noexcept = default;
+  StatusOr& operator=(StatusOr&&) noexcept = default;
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if OK, otherwise `fallback`.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a StatusOr); on error returns its status, otherwise
+/// assigns the value into `lhs` (which must be an existing lvalue).
+#define ODE_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  do {                                                \
+    auto _ode_statusor = (rexpr);                     \
+    if (!_ode_statusor.ok()) return _ode_statusor.status(); \
+    lhs = std::move(_ode_statusor).value();           \
+  } while (0)
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_STATUSOR_H_

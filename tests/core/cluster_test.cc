@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+/// Tests of clusters — Ode's per-type extents, the substrate for
+/// "for x in Cluster" iteration.
+class ClusterTest : public DatabaseFixture {};
+
+TEST_F(ClusterTest, NewObjectsJoinTheirTypeCluster) {
+  auto widgets = db_->RegisterType("Widget");
+  auto gadgets = db_->RegisterType("Gadget");
+  ASSERT_TRUE(widgets.ok() && gadgets.ok());
+
+  std::vector<ObjectId> widget_oids;
+  for (int i = 0; i < 5; ++i) {
+    auto vid = db_->PnewRaw(*widgets, Slice("w" + std::to_string(i)));
+    ASSERT_TRUE(vid.ok());
+    widget_oids.push_back(vid->oid);
+  }
+  auto gadget = db_->PnewRaw(*gadgets, Slice("g"));
+  ASSERT_TRUE(gadget.ok());
+
+  auto scan = db_->ClusterScan(*widgets);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(*scan, widget_oids);
+  auto size = db_->ClusterSize(*gadgets);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 1u);
+}
+
+TEST_F(ClusterTest, EmptyClusterScansEmpty) {
+  auto type = db_->RegisterType("Lonely");
+  ASSERT_TRUE(type.ok());
+  auto scan = db_->ClusterScan(*type);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->empty());
+}
+
+TEST_F(ClusterTest, DeletedObjectsLeaveTheCluster) {
+  auto type = db_->RegisterType("T");
+  ASSERT_TRUE(type.ok());
+  auto a = db_->PnewRaw(*type, Slice("a"));
+  auto b = db_->PnewRaw(*type, Slice("b"));
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_OK(db_->PdeleteObject(a->oid));
+  auto scan = db_->ClusterScan(*type);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->size(), 1u);
+  EXPECT_EQ((*scan)[0], b->oid);
+}
+
+TEST_F(ClusterTest, DeletingLastVersionLeavesCluster) {
+  auto type = db_->RegisterType("T");
+  ASSERT_TRUE(type.ok());
+  auto a = db_->PnewRaw(*type, Slice("a"));
+  ASSERT_TRUE(a.ok());
+  ASSERT_OK(db_->PdeleteVersion(*a));  // Only version -> object gone.
+  auto size = db_->ClusterSize(*type);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+}
+
+TEST_F(ClusterTest, VersioningDoesNotDuplicateClusterEntries) {
+  auto type = db_->RegisterType("T");
+  ASSERT_TRUE(type.ok());
+  auto a = db_->PnewRaw(*type, Slice("a"));
+  ASSERT_TRUE(a.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(db_->NewVersionOf(a->oid).ok());
+  }
+  auto size = db_->ClusterSize(*type);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 1u);
+}
+
+TEST_F(ClusterTest, ForEachEarlyStop) {
+  auto type = db_->RegisterType("T");
+  ASSERT_TRUE(type.ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(db_->PnewRaw(*type, Slice("x")).ok());
+  }
+  int visited = 0;
+  ASSERT_OK(db_->ForEachInCluster(*type, [&](ObjectId) {
+    return ++visited < 4;
+  }));
+  EXPECT_EQ(visited, 4);
+}
+
+TEST_F(ClusterTest, AdjacentTypeIdsDoNotBleed) {
+  auto t1 = db_->RegisterType("T1");
+  auto t2 = db_->RegisterType("T2");
+  ASSERT_TRUE(t1.ok() && t2.ok());
+  ASSERT_EQ(*t2, *t1 + 1);
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(db_->PnewRaw(*t1, Slice("1")).ok());
+    ASSERT_TRUE(db_->PnewRaw(*t2, Slice("2")).ok());
+  }
+  auto s1 = db_->ClusterSize(*t1);
+  auto s2 = db_->ClusterSize(*t2);
+  ASSERT_TRUE(s1.ok() && s2.ok());
+  EXPECT_EQ(*s1, 3u);
+  EXPECT_EQ(*s2, 3u);
+}
+
+TEST_F(ClusterTest, LargeClusterScan) {
+  auto type = db_->RegisterType("Bulk");
+  ASSERT_TRUE(type.ok());
+  constexpr int kN = 1000;
+  ASSERT_OK(db_->Begin());
+  for (int i = 0; i < kN; ++i) {
+    ASSERT_TRUE(db_->PnewRaw(*type, Slice("x")).ok());
+  }
+  ASSERT_OK(db_->Commit());
+  auto size = db_->ClusterSize(*type);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, static_cast<uint64_t>(kN));
+  // Scan yields ascending oids (allocation order).
+  auto scan = db_->ClusterScan(*type);
+  ASSERT_TRUE(scan.ok());
+  for (size_t i = 1; i < scan->size(); ++i) {
+    EXPECT_LT((*scan)[i - 1].value, (*scan)[i].value);
+  }
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,65 @@
+#include "core/codec.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::Doc;
+
+// Compile-time contract checks on the Persistable concept.
+static_assert(Persistable<Doc>, "Doc satisfies the contract");
+static_assert(!Persistable<int>, "scalars are not persistable");
+static_assert(!Persistable<std::string>, "std types are not persistable");
+
+struct MissingName {
+  void Serialize(BufferWriter&) const {}
+  static StatusOr<MissingName> Deserialize(BufferReader&) {
+    return MissingName{};
+  }
+};
+static_assert(!Persistable<MissingName>, "kTypeName is required");
+
+struct MissingSerialize {
+  static constexpr char kTypeName[] = "X";
+  static StatusOr<MissingSerialize> Deserialize(BufferReader&) {
+    return MissingSerialize{};
+  }
+};
+static_assert(!Persistable<MissingSerialize>, "Serialize is required");
+
+TEST(CodecTest, EncodeDecodeRoundTrip) {
+  Doc doc{"codec payload", -99};
+  const std::string bytes = EncodeObject(doc);
+  auto decoded = DecodeObject<Doc>(Slice(bytes));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, doc);
+}
+
+TEST(CodecTest, DecodeRejectsTruncation) {
+  Doc doc{"will be cut short", 1};
+  const std::string bytes = EncodeObject(doc);
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto decoded = DecodeObject<Doc>(Slice(bytes.data(), cut));
+    EXPECT_FALSE(decoded.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(CodecTest, ReferenceIdsRoundTrip) {
+  BufferWriter w;
+  WriteObjectId(w, ObjectId{0xdeadbeefcafeull});
+  WriteVersionId(w, VersionId{ObjectId{7}, 42});
+  BufferReader r(w.slice());
+  ObjectId oid;
+  VersionId vid;
+  ASSERT_TRUE(ReadObjectId(r, &oid).ok());
+  ASSERT_TRUE(ReadVersionId(r, &vid).ok());
+  EXPECT_EQ(oid.value, 0xdeadbeefcafeull);
+  EXPECT_EQ(vid, (VersionId{ObjectId{7}, 42}));
+  EXPECT_TRUE(r.AtEnd());
+}
+
+}  // namespace
+}  // namespace ode

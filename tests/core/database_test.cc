@@ -1,0 +1,278 @@
+#include "core/database.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class DatabaseTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+TEST_F(DatabaseTest, PnewCreatesObjectWithInitialVersion) {
+  VersionId vid = MustPnew("first payload");
+  EXPECT_TRUE(vid.valid());
+  EXPECT_EQ(vid.vnum, kFirstVersion);
+  EXPECT_EQ(MustRead(vid), "first payload");
+  EXPECT_EQ(MustReadLatest(vid.oid), "first payload");
+}
+
+TEST_F(DatabaseTest, PnewAssignsDistinctOids) {
+  VersionId a = MustPnew("a");
+  VersionId b = MustPnew("b");
+  EXPECT_NE(a.oid, b.oid);
+}
+
+TEST_F(DatabaseTest, HeaderReflectsInitialState) {
+  VersionId vid = MustPnew("x");
+  auto header = db_->Header(vid.oid);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->type_id, type_id_);
+  EXPECT_EQ(header->latest, kFirstVersion);
+  EXPECT_EQ(header->version_count, 1u);
+}
+
+TEST_F(DatabaseTest, NewVersionCopiesState) {
+  VersionId v0 = MustPnew("original");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->vnum, v0.vnum + 1);
+  EXPECT_EQ(MustRead(*v1), "original");
+  EXPECT_EQ(MustRead(v0), "original");
+}
+
+TEST_F(DatabaseTest, NewVersionBecomesLatest) {
+  VersionId v0 = MustPnew("original");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  auto latest = db_->Latest(v0.oid);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, *v1);
+}
+
+TEST_F(DatabaseTest, UpdateLatestModifiesOnlyLatest) {
+  VersionId v0 = MustPnew("original");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->UpdateLatest(v0.oid, Slice("changed")));
+  EXPECT_EQ(MustRead(v0), "original");
+  EXPECT_EQ(MustRead(*v1), "changed");
+  EXPECT_EQ(MustReadLatest(v0.oid), "changed");
+}
+
+TEST_F(DatabaseTest, UpdateSpecificVersion) {
+  VersionId v0 = MustPnew("original");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->UpdateVersion(v0, Slice("old changed")));
+  EXPECT_EQ(MustRead(v0), "old changed");
+  EXPECT_EQ(MustRead(*v1), "original");
+}
+
+TEST_F(DatabaseTest, VersionOrthogonality) {
+  // Any object can grow versions at any time — no declaration, no
+  // transformation step (the paper's key property).  Simulate a long-lived
+  // unversioned object that suddenly becomes versioned.
+  VersionId v0 = MustPnew("plain object");
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_OK(db_->UpdateLatest(v0.oid, Slice("state " + std::to_string(i))));
+  }
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok()) << "versioning must not require preparation";
+  EXPECT_EQ(MustRead(*v1), "state 9");
+}
+
+TEST_F(DatabaseTest, NewVersionFromSpecificCreatesAlternative) {
+  VersionId v0 = MustPnew("base");
+  auto v1 = db_->NewVersionFrom(v0);
+  auto v2 = db_->NewVersionFrom(v0);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  ASSERT_OK(db_->UpdateVersion(*v1, Slice("alternative 1")));
+  ASSERT_OK(db_->UpdateVersion(*v2, Slice("alternative 2")));
+  EXPECT_EQ(MustRead(v0), "base");
+  EXPECT_EQ(MustRead(*v1), "alternative 1");
+  EXPECT_EQ(MustRead(*v2), "alternative 2");
+  // v2 was created last, so it is the latest.
+  auto latest = db_->Latest(v0.oid);
+  EXPECT_EQ(*latest, *v2);
+}
+
+TEST_F(DatabaseTest, PdeleteObjectRemovesEverything) {
+  VersionId v0 = MustPnew("x");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->PdeleteObject(v0.oid));
+  auto exists = db_->ObjectExists(v0.oid);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+  EXPECT_TRUE(db_->ReadVersion(v0).status().IsNotFound());
+  EXPECT_TRUE(db_->ReadVersion(*v1).status().IsNotFound());
+  EXPECT_TRUE(db_->ReadLatest(v0.oid).status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, PdeleteVersionRemovesJustThatVersion) {
+  VersionId v0 = MustPnew("v0");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->UpdateVersion(*v1, Slice("v1")));
+  ASSERT_OK(db_->PdeleteVersion(v0));
+  EXPECT_TRUE(db_->ReadVersion(v0).status().IsNotFound());
+  EXPECT_EQ(MustRead(*v1), "v1");
+  auto header = db_->Header(v0.oid);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version_count, 1u);
+}
+
+TEST_F(DatabaseTest, DeletingLatestPromotesTemporalPredecessor) {
+  VersionId v0 = MustPnew("v0");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->UpdateVersion(*v1, Slice("v1")));
+  ASSERT_OK(db_->PdeleteVersion(*v1));
+  auto latest = db_->Latest(v0.oid);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, v0);
+  EXPECT_EQ(MustReadLatest(v0.oid), "v0");
+}
+
+TEST_F(DatabaseTest, DeletingLastVersionDeletesObject) {
+  VersionId v0 = MustPnew("only");
+  ASSERT_OK(db_->PdeleteVersion(v0));
+  auto exists = db_->ObjectExists(v0.oid);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+}
+
+TEST_F(DatabaseTest, OperationsOnMissingObjectsFail) {
+  const ObjectId ghost{999999};
+  const VersionId ghost_vid{ghost, 1};
+  EXPECT_TRUE(db_->ReadLatest(ghost).status().IsNotFound());
+  EXPECT_TRUE(db_->ReadVersion(ghost_vid).status().IsNotFound());
+  EXPECT_TRUE(db_->NewVersionOf(ghost).status().IsNotFound());
+  EXPECT_TRUE(db_->NewVersionFrom(ghost_vid).status().IsNotFound());
+  EXPECT_TRUE(db_->UpdateLatest(ghost, Slice("x")).IsNotFound());
+  EXPECT_TRUE(db_->UpdateVersion(ghost_vid, Slice("x")).IsNotFound());
+  EXPECT_TRUE(db_->PdeleteObject(ghost).IsNotFound());
+  EXPECT_TRUE(db_->PdeleteVersion(ghost_vid).IsNotFound());
+}
+
+TEST_F(DatabaseTest, NewVersionFromDeletedVersionFails) {
+  VersionId v0 = MustPnew("v0");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->PdeleteVersion(v0));
+  EXPECT_TRUE(db_->NewVersionFrom(v0).status().IsNotFound());
+}
+
+TEST_F(DatabaseTest, VersionNumbersNeverReused) {
+  VersionId v0 = MustPnew("x");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->PdeleteVersion(*v1));
+  auto v2 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_GT(v2->vnum, v1->vnum);
+}
+
+TEST_F(DatabaseTest, TimestampsFollowCreationOrder) {
+  VersionId a0 = MustPnew("a");
+  VersionId b0 = MustPnew("b");
+  auto a1 = db_->NewVersionOf(a0.oid);
+  ASSERT_TRUE(a1.ok());
+  auto ma0 = db_->Meta(a0);
+  auto mb0 = db_->Meta(b0);
+  auto ma1 = db_->Meta(*a1);
+  ASSERT_TRUE(ma0.ok());
+  ASSERT_TRUE(mb0.ok());
+  ASSERT_TRUE(ma1.ok());
+  EXPECT_LT(ma0->created_ts, mb0->created_ts);
+  EXPECT_LT(mb0->created_ts, ma1->created_ts);
+}
+
+TEST_F(DatabaseTest, EmptyPayloadSupported) {
+  VersionId vid = MustPnew("");
+  EXPECT_EQ(MustRead(vid), "");
+  auto v1 = db_->NewVersionOf(vid.oid);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(MustRead(*v1), "");
+}
+
+TEST_F(DatabaseTest, LargePayloadSupported) {
+  Random rng(1);
+  const std::string big = rng.NextBytes(200000);
+  VersionId vid = MustPnew(big);
+  EXPECT_EQ(MustRead(vid), big);
+  auto v1 = db_->NewVersionOf(vid.oid);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(MustRead(*v1), big);
+}
+
+TEST_F(DatabaseTest, GroupedTransactionCommit) {
+  ASSERT_OK(db_->Begin());
+  VersionId a = MustPnew("a");
+  VersionId b = MustPnew("b");
+  ASSERT_OK(db_->Commit());
+  EXPECT_EQ(MustRead(a), "a");
+  EXPECT_EQ(MustRead(b), "b");
+}
+
+TEST_F(DatabaseTest, GroupedTransactionAbortRollsBackAll) {
+  VersionId keep = MustPnew("keep");
+  ASSERT_OK(db_->Begin());
+  VersionId a = MustPnew("a");
+  ASSERT_OK(db_->UpdateLatest(keep.oid, Slice("modified")));
+  ASSERT_OK(db_->Abort());
+  auto exists = db_->ObjectExists(a.oid);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+  EXPECT_EQ(MustReadLatest(keep.oid), "keep");
+}
+
+TEST_F(DatabaseTest, StatsTrackOperations) {
+  VersionId v0 = MustPnew("x");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->UpdateLatest(v0.oid, Slice("y")));
+  ASSERT_OK(db_->PdeleteVersion(v0));
+  ASSERT_OK(db_->PdeleteObject(v0.oid));
+  const VersionStats& stats = db_->stats();
+  EXPECT_EQ(stats.pnew_count, 1u);
+  EXPECT_EQ(stats.newversion_count, 1u);
+  EXPECT_EQ(stats.update_count, 1u);
+  EXPECT_GE(stats.delete_version_count, 2u);
+  EXPECT_EQ(stats.delete_object_count, 1u);
+}
+
+TEST_F(DatabaseTest, TypeRegistrationIsIdempotent) {
+  auto a = db_->RegisterType("Widget");
+  auto b = db_->RegisterType("Widget");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*a, *b);
+  auto c = db_->RegisterType("Gadget");
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(*a, *c);
+}
+
+TEST_F(DatabaseTest, LookupTypeDoesNotCreate) {
+  auto missing = db_->LookupType("NeverRegistered");
+  ASSERT_TRUE(missing.ok());
+  EXPECT_FALSE(missing->has_value());
+  ASSERT_TRUE(db_->RegisterType("Exists").ok());
+  auto found = db_->LookupType("Exists");
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->has_value());
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,169 @@
+#include "core/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/util.h"
+#include "util/coding.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+std::string RoundTrip(const std::string& base, const std::string& target) {
+  std::string encoded = delta::Encode(Slice(base), Slice(target));
+  auto applied = delta::Apply(Slice(base), Slice(encoded));
+  EXPECT_TRUE(applied.ok()) << applied.status();
+  return applied.ok() ? *applied : std::string();
+}
+
+TEST(DeltaTest, IdenticalPayloadRoundTrip) {
+  const std::string data(1000, 'a');
+  EXPECT_EQ(RoundTrip(data, data), data);
+}
+
+TEST(DeltaTest, IdenticalPayloadEncodesTiny) {
+  const std::string data(10000, 'x');
+  std::string encoded = delta::Encode(Slice(data), Slice(data));
+  EXPECT_LT(encoded.size(), 20u);
+}
+
+TEST(DeltaTest, EmptyTarget) {
+  EXPECT_EQ(RoundTrip("some base", ""), "");
+}
+
+TEST(DeltaTest, EmptyBase) {
+  EXPECT_EQ(RoundTrip("", "brand new content"), "brand new content");
+}
+
+TEST(DeltaTest, BothEmpty) { EXPECT_EQ(RoundTrip("", ""), ""); }
+
+TEST(DeltaTest, SmallEditInLargePayload) {
+  Random rng(1);
+  std::string base = rng.NextBytes(8192);
+  std::string target = base;
+  target[4000] = static_cast<char>(target[4000] ^ 0x55);
+  EXPECT_EQ(RoundTrip(base, target), target);
+  std::string encoded = delta::Encode(Slice(base), Slice(target));
+  // A one-byte edit should cost far less than the payload.
+  EXPECT_LT(encoded.size(), base.size() / 10);
+}
+
+TEST(DeltaTest, InsertionInMiddle) {
+  Random rng(2);
+  std::string base = rng.NextBytes(4096);
+  std::string target =
+      base.substr(0, 2000) + "INSERTED CHUNK" + base.substr(2000);
+  EXPECT_EQ(RoundTrip(base, target), target);
+  std::string encoded = delta::Encode(Slice(base), Slice(target));
+  EXPECT_LT(encoded.size(), 200u);
+}
+
+TEST(DeltaTest, DeletionInMiddle) {
+  Random rng(3);
+  std::string base = rng.NextBytes(4096);
+  std::string target = base.substr(0, 1000) + base.substr(3000);
+  EXPECT_EQ(RoundTrip(base, target), target);
+  std::string encoded = delta::Encode(Slice(base), Slice(target));
+  EXPECT_LT(encoded.size(), 200u);
+}
+
+TEST(DeltaTest, CompletelyDifferentContent) {
+  Random rng(4);
+  std::string base = rng.NextBytes(2048);
+  std::string target = rng.NextBytes(2048);
+  EXPECT_EQ(RoundTrip(base, target), target);
+}
+
+TEST(DeltaTest, TargetRepeatsBaseBlocks) {
+  Random rng(5);
+  std::string base = rng.NextBytes(1024);
+  std::string target = base + base + base;
+  EXPECT_EQ(RoundTrip(base, target), target);
+  std::string encoded = delta::Encode(Slice(base), Slice(target));
+  EXPECT_LT(encoded.size(), 100u);  // Three COPY ops.
+}
+
+TEST(DeltaTest, StatsCountOps) {
+  Random rng(6);
+  std::string base = rng.NextBytes(4096);
+  std::string target = base.substr(0, 2000) + "xyz" + base.substr(2000);
+  delta::DeltaStats stats;
+  std::string encoded = delta::EncodeWithStats(Slice(base), Slice(target),
+                                               &stats);
+  EXPECT_GE(stats.copy_ops, 1u);
+  EXPECT_GE(stats.add_ops, 1u);
+  EXPECT_EQ(stats.copied_bytes + stats.added_bytes, target.size());
+  auto applied = delta::Apply(Slice(base), Slice(encoded));
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(*applied, target);
+}
+
+TEST(DeltaTest, ApplyRejectsTruncatedDelta) {
+  std::string base = "base content here";
+  std::string encoded = delta::Encode(Slice(base), Slice(base));
+  for (size_t cut = 0; cut < encoded.size(); ++cut) {
+    auto applied = delta::Apply(Slice(base), Slice(encoded.data(), cut));
+    EXPECT_FALSE(applied.ok()) << "cut=" << cut;
+  }
+}
+
+TEST(DeltaTest, ApplyRejectsOutOfRangeCopy) {
+  // Hand-build a delta whose COPY reaches past the base.
+  std::string evil;
+  PutVarint64(&evil, 10);  // Target length.
+  evil.push_back(0);       // COPY.
+  PutVarint64(&evil, 5);   // Offset.
+  PutVarint64(&evil, 10);  // Length: 5+10 > base size 8.
+  auto applied = delta::Apply(Slice("12345678"), Slice(evil));
+  EXPECT_TRUE(applied.status().IsCorruption());
+}
+
+TEST(DeltaTest, ApplyRejectsUnknownTag) {
+  std::string evil;
+  PutVarint64(&evil, 1);
+  evil.push_back(7);  // No such op.
+  auto applied = delta::Apply(Slice("base"), Slice(evil));
+  EXPECT_TRUE(applied.status().IsCorruption());
+}
+
+TEST(DeltaTest, ApplyRejectsWrongLength) {
+  std::string evil;
+  PutVarint64(&evil, 100);  // Claims 100 bytes...
+  evil.push_back(1);        // ADD
+  PutVarint64(&evil, 3);
+  evil += "abc";            // ...but provides 3.
+  auto applied = delta::Apply(Slice(""), Slice(evil));
+  EXPECT_TRUE(applied.status().IsCorruption());
+}
+
+/// Property sweep: randomized mutations of random bases always round-trip.
+class DeltaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaPropertyTest, RandomMutationsRoundTrip) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 50; ++iter) {
+    std::string base = rng.NextBytes(rng.Range(0, 5000));
+    std::string target = base;
+    // Random sequence of splice mutations.
+    const int mutations = static_cast<int>(rng.Range(0, 5));
+    for (int m = 0; m < mutations; ++m) {
+      const size_t pos = target.empty() ? 0 : rng.Uniform(target.size());
+      const size_t del = target.empty()
+                             ? 0
+                             : rng.Uniform(std::min<size_t>(
+                                   100, target.size() - pos + 1));
+      target = target.substr(0, pos) + rng.NextBytes(rng.Range(0, 100)) +
+               target.substr(pos + del);
+    }
+    std::string encoded = delta::Encode(Slice(base), Slice(target));
+    auto applied = delta::Apply(Slice(base), Slice(encoded));
+    ASSERT_TRUE(applied.ok()) << applied.status();
+    ASSERT_EQ(*applied, target) << "iter=" << iter;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaPropertyTest,
+                         ::testing::Values(11, 22, 33, 44, 55));
+
+}  // namespace
+}  // namespace ode

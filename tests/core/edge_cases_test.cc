@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/database.h"
+#include "core/version_ptr.h"
+#include "tests/testing/db_fixture.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+using testing_internal::Doc;
+
+/// Edge-condition tests that cut across modules.
+class EdgeCasesTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+TEST_F(EdgeCasesTest, TinyBufferPoolStillCorrect) {
+  // A pool far smaller than the working set forces constant eviction and
+  // re-reads; correctness must not depend on residency.
+  db_.reset();
+  DatabaseOptions options = MakeOptions();
+  options.storage.buffer_pool_pages = 8;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(*db);
+  SetUpRawType();
+
+  Random rng(1);
+  std::vector<std::pair<VersionId, std::string>> data;
+  for (int i = 0; i < 100; ++i) {
+    std::string payload = rng.NextBytes(3000);  // ~1 page each.
+    data.emplace_back(MustPnew(payload), payload);
+  }
+  // Read them all back, twice (second pass hits a fully evicted cache).
+  for (int round = 0; round < 2; ++round) {
+    for (const auto& [vid, payload] : data) {
+      EXPECT_EQ(MustRead(vid), payload);
+    }
+  }
+  auto report = CheckDatabase(*db_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok());
+}
+
+TEST_F(EdgeCasesTest, PersistedClockSurvivesReopen) {
+  // Without an injected clock, timestamps come from the crash-safe
+  // persisted counter and must stay monotone across reopen.
+  db_.reset();
+  DatabaseOptions options = MakeOptions();
+  options.clock = nullptr;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+  SetUpRawType();
+  VersionId before = MustPnew("a");
+  auto meta_before = db_->Meta(before);
+  ASSERT_TRUE(meta_before.ok());
+  db_.reset();
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+  SetUpRawType();
+  VersionId after = MustPnew("b");
+  auto meta_after = db_->Meta(after);
+  ASSERT_TRUE(meta_after.ok());
+  EXPECT_GT(meta_after->created_ts, meta_before->created_ts);
+}
+
+TEST_F(EdgeCasesTest, ManyVersionsOfOneObject) {
+  VersionId v0 = MustPnew("start");
+  constexpr int kVersions = 2000;
+  ASSERT_OK(db_->Begin());
+  for (int i = 1; i < kVersions; ++i) {
+    ASSERT_TRUE(db_->NewVersionOf(v0.oid).ok());
+  }
+  ASSERT_OK(db_->Commit());
+  auto header = db_->Header(v0.oid);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version_count, static_cast<uint32_t>(kVersions));
+  auto versions = db_->VersionsOf(v0.oid);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), static_cast<size_t>(kVersions));
+}
+
+TEST_F(EdgeCasesTest, ManyObjectsSingleVersionEach) {
+  constexpr int kObjects = 3000;
+  ASSERT_OK(db_->Begin());
+  for (int i = 0; i < kObjects; ++i) {
+    MustPnew("payload");
+  }
+  ASSERT_OK(db_->Commit());
+  uint64_t count = 0;
+  ASSERT_OK(db_->ForEachObject([&](ObjectId, const ObjectHeader&) {
+    ++count;
+    return true;
+  }));
+  EXPECT_EQ(count, static_cast<uint64_t>(kObjects));
+}
+
+TEST_F(EdgeCasesTest, DeleteMiddleOfLongChainKeepsEndsReadable) {
+  db_.reset();
+  DatabaseOptions options = MakeOptions();
+  options.payload_strategy = PayloadKind::kDelta;
+  options.delta_keyframe_interval = 100;  // One long chain.
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(*db);
+  SetUpRawType();
+
+  Random rng(9);
+  std::string payload = rng.NextBytes(2000);
+  std::vector<VersionId> chain;
+  std::vector<std::string> states;
+  VersionId current = MustPnew(payload);
+  chain.push_back(current);
+  states.push_back(payload);
+  for (int i = 0; i < 20; ++i) {
+    auto next = db_->NewVersionFrom(current);
+    ASSERT_TRUE(next.ok());
+    payload[rng.Uniform(payload.size())] ^= 1;
+    ASSERT_OK(db_->UpdateVersion(*next, Slice(payload)));
+    chain.push_back(*next);
+    states.push_back(payload);
+    current = *next;
+  }
+  // Delete every other version in the middle.
+  for (size_t i = 2; i + 2 < chain.size(); i += 2) {
+    ASSERT_OK(db_->PdeleteVersion(chain[i]));
+  }
+  // Survivors still materialize their exact states.
+  for (size_t i = 0; i < chain.size(); ++i) {
+    if (i >= 2 && i + 2 < chain.size() && i % 2 == 0) continue;  // Deleted.
+    EXPECT_EQ(MustRead(chain[i]), states[i]) << "index " << i;
+  }
+  auto report = CheckDatabase(*db_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+}
+
+TEST_F(EdgeCasesTest, InterleavedObjectsShareNothing) {
+  // Operations on interleaved objects must not bleed into each other even
+  // with adjacent ids and interleaved version creation.
+  VersionId a = MustPnew("a0");
+  VersionId b = MustPnew("b0");
+  auto a1 = db_->NewVersionOf(a.oid);
+  auto b1 = db_->NewVersionOf(b.oid);
+  ASSERT_TRUE(a1.ok() && b1.ok());
+  ASSERT_OK(db_->UpdateVersion(*a1, Slice("a1")));
+  ASSERT_OK(db_->UpdateVersion(*b1, Slice("b1")));
+  ASSERT_OK(db_->PdeleteObject(a.oid));
+  EXPECT_EQ(MustRead(b), "b0");
+  EXPECT_EQ(MustRead(*b1), "b1");
+  auto versions = db_->VersionsOf(b.oid);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), 2u);
+}
+
+TEST_F(EdgeCasesTest, PayloadAtBTreeCellBoundaryGoesToHeap) {
+  // Payloads of every size route through the heap file, never the catalog
+  // trees; sizes around page boundaries must round-trip.
+  for (size_t size : {4000u, 4096u, 8192u, 100000u}) {
+    Random rng(size);
+    const std::string payload = rng.NextBytes(size);
+    VersionId vid = MustPnew(payload);
+    EXPECT_EQ(MustRead(vid).size(), size);
+  }
+}
+
+TEST_F(EdgeCasesTest, StorageStatsClassifyPages) {
+  Random rng(21);
+  VersionId small = MustPnew("tiny");
+  VersionId big = MustPnew(rng.NextBytes(50000));  // Overflow chains.
+  (void)small;
+  auto stats = db_->GatherStorageStats();
+  ASSERT_TRUE(stats.ok()) << stats.status();
+  EXPECT_GT(stats->total_pages, 10u);
+  EXPECT_GE(stats->heap_pages, 1u);
+  EXPECT_GT(stats->overflow_pages, 10u);
+  EXPECT_GE(stats->btree_pages, 4u);  // Four catalog trees.
+  EXPECT_EQ(stats->live_records, 2u);
+  // Deleting the big object frees its overflow pages onto the free list.
+  ASSERT_OK(db_->PdeleteObject(big.oid));
+  auto after = db_->GatherStorageStats();
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->overflow_pages, 0u);
+  EXPECT_GT(after->free_pages, 10u);
+  EXPECT_EQ(after->total_pages, stats->total_pages);  // File did not shrink.
+  EXPECT_EQ(after->live_records, 1u);
+}
+
+using EdgeCasesDeathTest = EdgeCasesTest;
+
+TEST_F(EdgeCasesDeathTest, DerefOfDeletedObjectChecks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto ref = pnew(*db_, Doc{"doomed", 1});
+  ASSERT_TRUE(ref.ok());
+  ASSERT_OK(pdelete(*ref));
+  // The unchecked convenience operator must CHECK-fail, not corrupt.
+  EXPECT_DEATH((void)(*ref)->text, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace ode

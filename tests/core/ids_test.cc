@@ -1,0 +1,64 @@
+#include "core/ids.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <unordered_set>
+
+namespace ode {
+namespace {
+
+TEST(IdsTest, DefaultIdsAreInvalid) {
+  EXPECT_FALSE(ObjectId{}.valid());
+  EXPECT_FALSE(VersionId{}.valid());
+  EXPECT_FALSE((VersionId{ObjectId{1}, kNoVersion}).valid());
+  EXPECT_FALSE((VersionId{ObjectId{}, 1}).valid());
+  EXPECT_TRUE((VersionId{ObjectId{1}, 1}).valid());
+}
+
+TEST(IdsTest, ObjectIdOrderingAndEquality) {
+  EXPECT_EQ(ObjectId{5}, ObjectId{5});
+  EXPECT_NE(ObjectId{5}, ObjectId{6});
+  EXPECT_LT(ObjectId{5}, ObjectId{6});
+}
+
+TEST(IdsTest, VersionIdOrdersByOidThenVnum) {
+  const VersionId a{ObjectId{1}, 9};
+  const VersionId b{ObjectId{2}, 1};
+  const VersionId c{ObjectId{2}, 2};
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_EQ(b, (VersionId{ObjectId{2}, 1}));
+}
+
+TEST(IdsTest, StreamFormat) {
+  std::ostringstream oid_stream;
+  oid_stream << ObjectId{42};
+  EXPECT_EQ(oid_stream.str(), "oid:42");
+  std::ostringstream vid_stream;
+  vid_stream << VersionId{ObjectId{42}, 7};
+  EXPECT_EQ(vid_stream.str(), "vid:42.7");
+}
+
+TEST(IdsTest, HashableInUnorderedContainers) {
+  std::unordered_set<ObjectId> oids;
+  oids.insert(ObjectId{1});
+  oids.insert(ObjectId{1});
+  oids.insert(ObjectId{2});
+  EXPECT_EQ(oids.size(), 2u);
+
+  std::unordered_set<VersionId> vids;
+  vids.insert(VersionId{ObjectId{1}, 1});
+  vids.insert(VersionId{ObjectId{1}, 2});
+  vids.insert(VersionId{ObjectId{1}, 1});
+  EXPECT_EQ(vids.size(), 2u);
+}
+
+TEST(IdsTest, SentinelConstants) {
+  EXPECT_EQ(kNoVersion, 0u);
+  EXPECT_EQ(kFirstVersion, 1u);
+  EXPECT_GT(kFirstVersion, kNoVersion);
+}
+
+}  // namespace
+}  // namespace ode

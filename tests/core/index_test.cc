@@ -1,0 +1,265 @@
+#include "core/index.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+using testing_internal::Doc;
+
+class IndexTest : public DatabaseFixture {
+ protected:
+  /// An index over Doc.text.
+  std::unique_ptr<SecondaryIndex<Doc>> OpenTextIndex() {
+    auto index = SecondaryIndex<Doc>::Open(
+        *db_, "doc-by-text",
+        [](const Doc& doc) { return std::optional<std::string>(doc.text); });
+    EXPECT_TRUE(index.ok()) << index.status();
+    return index.ok() ? std::move(*index) : nullptr;
+  }
+};
+
+TEST_F(IndexTest, LookupFindsByKey) {
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  auto a = pnew(*db_, Doc{"alpha", 1});
+  auto b = pnew(*db_, Doc{"beta", 2});
+  auto c = pnew(*db_, Doc{"alpha", 3});
+  ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+
+  auto hits = index->Lookup(Slice("alpha"));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 2u);
+  EXPECT_EQ((*hits)[0].oid(), a->oid());
+  EXPECT_EQ((*hits)[1].oid(), c->oid());
+  auto beta = index->Lookup(Slice("beta"));
+  ASSERT_TRUE(beta.ok());
+  EXPECT_EQ(beta->size(), 1u);
+  auto none = index->Lookup(Slice("gamma"));
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(IndexTest, PrefixKeysDoNotCollide) {
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  ASSERT_TRUE(pnew(*db_, Doc{"ab", 1}).ok());
+  ASSERT_TRUE(pnew(*db_, Doc{"abc", 2}).ok());
+  auto ab = index->Lookup(Slice("ab"));
+  ASSERT_TRUE(ab.ok());
+  EXPECT_EQ(ab->size(), 1u);
+  EXPECT_EQ((*ab)[0]->revision, 1);
+}
+
+TEST_F(IndexTest, UpdateMovesEntry) {
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  auto doc = pnew(*db_, Doc{"old-key", 1});
+  ASSERT_TRUE(doc.ok());
+  ASSERT_OK(doc->Store(Doc{"new-key", 1}));
+  auto old_hits = index->Lookup(Slice("old-key"));
+  auto new_hits = index->Lookup(Slice("new-key"));
+  ASSERT_TRUE(old_hits.ok() && new_hits.ok());
+  EXPECT_TRUE(old_hits->empty());
+  EXPECT_EQ(new_hits->size(), 1u);
+}
+
+TEST_F(IndexTest, IndexTracksLatestVersionOnly) {
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  auto doc = pnew(*db_, Doc{"v1-key", 1});
+  ASSERT_TRUE(doc.ok());
+  auto v2 = newversion(*doc);
+  ASSERT_TRUE(v2.ok());
+  ASSERT_OK(v2->Store(Doc{"v2-key", 2}));
+  // Only the latest key is indexed.
+  auto v1_hits = index->Lookup(Slice("v1-key"));
+  auto v2_hits = index->Lookup(Slice("v2-key"));
+  ASSERT_TRUE(v1_hits.ok() && v2_hits.ok());
+  EXPECT_TRUE(v1_hits->empty());
+  EXPECT_EQ(v2_hits->size(), 1u);
+  // Deleting the latest re-points the index at the promoted version.
+  ASSERT_OK(pdelete(*v2));
+  v1_hits = index->Lookup(Slice("v1-key"));
+  v2_hits = index->Lookup(Slice("v2-key"));
+  ASSERT_TRUE(v1_hits.ok() && v2_hits.ok());
+  EXPECT_EQ(v1_hits->size(), 1u);
+  EXPECT_TRUE(v2_hits->empty());
+}
+
+TEST_F(IndexTest, DeleteRemovesEntry) {
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  auto doc = pnew(*db_, Doc{"doomed", 1});
+  ASSERT_TRUE(doc.ok());
+  ASSERT_OK(pdelete(*doc));
+  auto hits = index->Lookup(Slice("doomed"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_TRUE(hits->empty());
+  auto count = index->Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST_F(IndexTest, RangeQueryOverNumericKeys) {
+  auto index = SecondaryIndex<Doc>::Open(
+      *db_, "doc-by-revision", [](const Doc& doc) {
+        return std::optional<std::string>(OrderedKeyFromInt(doc.revision));
+      });
+  ASSERT_TRUE(index.ok());
+  for (int64_t revision : {5, -3, 12, 0, 7, -8}) {
+    ASSERT_TRUE(pnew(*db_, Doc{"d", revision}).ok());
+  }
+  auto in_range = (*index)->Range(Slice(OrderedKeyFromInt(-3)),
+                                  Slice(OrderedKeyFromInt(7)));
+  ASSERT_TRUE(in_range.ok());
+  std::vector<int64_t> revisions;
+  for (const Ref<Doc>& ref : *in_range) {
+    revisions.push_back(ref->revision);
+  }
+  EXPECT_EQ(revisions, (std::vector<int64_t>{-3, 0, 5, 7}));
+}
+
+TEST_F(IndexTest, BackfillIndexesPreexistingObjects) {
+  // Objects created BEFORE the index opens are picked up by reconciliation.
+  auto a = pnew(*db_, Doc{"preexisting", 1});
+  ASSERT_TRUE(a.ok());
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  auto hits = index->Lookup(Slice("preexisting"));
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits->size(), 1u);
+}
+
+TEST_F(IndexTest, ReconcilesAfterOfflineChanges) {
+  ObjectId oid;
+  {
+    auto index = OpenTextIndex();
+    ASSERT_NE(index, nullptr);
+    auto doc = pnew(*db_, Doc{"before", 1});
+    ASSERT_TRUE(doc.ok());
+    oid = doc->oid();
+  }
+  // Index instance gone: changes happen unindexed.
+  ASSERT_OK(db_->PutLatest(oid, Doc{"after", 1}));
+  // Re-opening reconciles stored entries with reality.
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  auto before = index->Lookup(Slice("before"));
+  auto after = index->Lookup(Slice("after"));
+  ASSERT_TRUE(before.ok() && after.ok());
+  EXPECT_TRUE(before->empty());
+  EXPECT_EQ(after->size(), 1u);
+}
+
+TEST_F(IndexTest, EntriesPersistAcrossReopen) {
+  auto doc_oid = ObjectId{};
+  {
+    auto index = OpenTextIndex();
+    ASSERT_NE(index, nullptr);
+    auto doc = pnew(*db_, Doc{"durable", 1});
+    ASSERT_TRUE(doc.ok());
+    doc_oid = doc->oid();
+  }
+  ReopenDb();
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  auto hits = index->Lookup(Slice("durable"));
+  ASSERT_TRUE(hits.ok());
+  ASSERT_EQ(hits->size(), 1u);
+  EXPECT_EQ((*hits)[0].oid(), doc_oid);
+}
+
+TEST_F(IndexTest, SelectiveExtractorSkipsObjects) {
+  auto index = SecondaryIndex<Doc>::Open(
+      *db_, "only-positive", [](const Doc& doc) -> std::optional<std::string> {
+        if (doc.revision <= 0) return std::nullopt;
+        return doc.text;
+      });
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE(pnew(*db_, Doc{"yes", 5}).ok());
+  ASSERT_TRUE(pnew(*db_, Doc{"no", -5}).ok());
+  auto count = (*index)->Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 1u);
+}
+
+TEST_F(IndexTest, TwoIndexesOverOneTypeAreIndependent) {
+  auto by_text = OpenTextIndex();
+  auto by_revision = SecondaryIndex<Doc>::Open(
+      *db_, "doc-by-revision", [](const Doc& doc) {
+        return std::optional<std::string>(OrderedKeyFromInt(doc.revision));
+      });
+  ASSERT_NE(by_text, nullptr);
+  ASSERT_TRUE(by_revision.ok());
+  ASSERT_TRUE(pnew(*db_, Doc{"k", 9}).ok());
+  auto text_hits = by_text->Lookup(Slice("k"));
+  auto revision_hits = (*by_revision)->Lookup(Slice(OrderedKeyFromInt(9)));
+  ASSERT_TRUE(text_hits.ok() && revision_hits.ok());
+  EXPECT_EQ(text_hits->size(), 1u);
+  EXPECT_EQ(revision_hits->size(), 1u);
+  EXPECT_TRUE(by_text->health().ok());
+  EXPECT_TRUE((*by_revision)->health().ok());
+}
+
+TEST_F(IndexTest, OtherTypesDoNotTouchTheIndex) {
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  auto other_type = db_->RegisterType("unrelated");
+  ASSERT_TRUE(other_type.ok());
+  ASSERT_TRUE(db_->PnewRaw(*other_type, Slice("raw bytes")).ok());
+  auto count = index->Count();
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 0u);
+}
+
+TEST_F(IndexTest, RandomizedAgainstModel) {
+  auto index = OpenTextIndex();
+  ASSERT_NE(index, nullptr);
+  Random rng(2024);
+  std::map<uint64_t, std::string> model;  // oid -> current key.
+  std::vector<Ref<Doc>> refs;
+  const std::vector<std::string> keys = {"red", "green", "blue", "cyan"};
+  for (int op = 0; op < 300; ++op) {
+    const int action = static_cast<int>(rng.Uniform(10));
+    if (refs.empty() || action < 3) {
+      const std::string& key = keys[rng.Uniform(keys.size())];
+      auto ref = pnew(*db_, Doc{key, 0});
+      ASSERT_TRUE(ref.ok());
+      refs.push_back(*ref);
+      model[ref->oid().value] = key;
+    } else if (action < 7) {
+      Ref<Doc>& target = refs[rng.Uniform(refs.size())];
+      if (model.count(target.oid().value) == 0) continue;
+      const std::string& key = keys[rng.Uniform(keys.size())];
+      ASSERT_OK(target.Store(Doc{key, 0}));
+      model[target.oid().value] = key;
+    } else if (action < 9) {
+      Ref<Doc>& target = refs[rng.Uniform(refs.size())];
+      if (model.count(target.oid().value) == 0) continue;
+      ASSERT_TRUE(newversion(target).ok());  // Key unchanged (copy).
+    } else {
+      const size_t pick = rng.Uniform(refs.size());
+      if (model.count(refs[pick].oid().value) == 0) continue;
+      ASSERT_OK(pdelete(refs[pick]));
+      model.erase(refs[pick].oid().value);
+    }
+  }
+  ASSERT_TRUE(index->health().ok()) << index->health();
+  for (const std::string& key : keys) {
+    std::vector<ObjectId> expected;
+    for (const auto& [oid, current] : model) {
+      if (current == key) expected.push_back(ObjectId{oid});
+    }
+    auto hits = index->raw().Lookup(Slice(key));
+    ASSERT_TRUE(hits.ok());
+    EXPECT_EQ(*hits, expected) << "key=" << key;
+  }
+}
+
+}  // namespace
+}  // namespace ode

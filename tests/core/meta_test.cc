@@ -1,0 +1,122 @@
+#include "core/meta.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/util.h"
+
+namespace ode {
+namespace {
+
+TEST(MetaTest, ObjectHeaderRoundTrip) {
+  ObjectHeader header;
+  header.type_id = 7;
+  header.latest = 42;
+  header.next_vnum = 43;
+  header.version_count = 12;
+  header.created_ts = 0xabcdef0123456789ull;
+  std::string encoded = header.Encode();
+  ObjectHeader decoded;
+  ASSERT_OK(ObjectHeader::Decode(Slice(encoded), &decoded));
+  EXPECT_EQ(decoded.type_id, header.type_id);
+  EXPECT_EQ(decoded.latest, header.latest);
+  EXPECT_EQ(decoded.next_vnum, header.next_vnum);
+  EXPECT_EQ(decoded.version_count, header.version_count);
+  EXPECT_EQ(decoded.created_ts, header.created_ts);
+}
+
+TEST(MetaTest, ObjectHeaderRejectsTruncation) {
+  ObjectHeader header;
+  std::string encoded = header.Encode();
+  ObjectHeader decoded;
+  EXPECT_TRUE(ObjectHeader::Decode(Slice(encoded.data(), encoded.size() - 1),
+                                   &decoded)
+                  .IsCorruption());
+}
+
+TEST(MetaTest, VersionMetaRoundTrip) {
+  VersionMeta meta;
+  meta.vnum = 9;
+  meta.derived_from = 4;
+  meta.created_ts = 123456;
+  meta.payload = RecordId{77, 3};
+  meta.kind = PayloadKind::kDelta;
+  meta.delta_base = 4;
+  meta.delta_chain_len = 2;
+  meta.logical_size = 4096;
+  std::string encoded = meta.Encode();
+  VersionMeta decoded;
+  ASSERT_OK(VersionMeta::Decode(Slice(encoded), &decoded));
+  EXPECT_EQ(decoded.vnum, meta.vnum);
+  EXPECT_EQ(decoded.derived_from, meta.derived_from);
+  EXPECT_EQ(decoded.created_ts, meta.created_ts);
+  EXPECT_EQ(decoded.payload, meta.payload);
+  EXPECT_EQ(decoded.kind, meta.kind);
+  EXPECT_EQ(decoded.delta_base, meta.delta_base);
+  EXPECT_EQ(decoded.delta_chain_len, meta.delta_chain_len);
+  EXPECT_EQ(decoded.logical_size, meta.logical_size);
+}
+
+TEST(MetaTest, VersionMetaRejectsBadKind) {
+  VersionMeta meta;
+  std::string encoded = meta.Encode();
+  // The kind byte sits after vnum(4) + derived_from(4) + ts(8) + rid(8).
+  encoded[24] = 9;
+  VersionMeta decoded;
+  EXPECT_TRUE(VersionMeta::Decode(Slice(encoded), &decoded).IsCorruption());
+}
+
+TEST(MetaTest, VersionKeysSortByOidThenVnum) {
+  // Key order must equal (oid, vnum) numeric order for temporal scans.
+  EXPECT_LT(VersionKey({ObjectId{1}, 2}), VersionKey({ObjectId{1}, 10}));
+  EXPECT_LT(VersionKey({ObjectId{1}, 0xffffffff}), VersionKey({ObjectId{2}, 1}));
+  EXPECT_LT(VersionKey({ObjectId{255}, 1}), VersionKey({ObjectId{256}, 1}));
+}
+
+TEST(MetaTest, VersionKeyPrefixCoversAllVersions) {
+  const std::string prefix = VersionKeyPrefix(ObjectId{42});
+  EXPECT_TRUE(Slice(VersionKey({ObjectId{42}, 1})).starts_with(Slice(prefix)));
+  EXPECT_TRUE(
+      Slice(VersionKey({ObjectId{42}, 0xffffffff})).starts_with(Slice(prefix)));
+  EXPECT_FALSE(Slice(VersionKey({ObjectId{43}, 1})).starts_with(Slice(prefix)));
+}
+
+TEST(MetaTest, ParseVersionKeyRoundTrip) {
+  const VersionId vid{ObjectId{0x1122334455667788ull}, 0x99aabbcc};
+  VersionId parsed;
+  ASSERT_OK(ParseVersionKey(Slice(VersionKey(vid)), &parsed));
+  EXPECT_EQ(parsed, vid);
+}
+
+TEST(MetaTest, ParseVersionKeyRejectsWrongSize) {
+  VersionId parsed;
+  EXPECT_TRUE(ParseVersionKey(Slice("short"), &parsed).IsCorruption());
+}
+
+TEST(MetaTest, ClusterKeysGroupByType) {
+  EXPECT_LT(ClusterKey(1, ObjectId{999}), ClusterKey(2, ObjectId{1}));
+  const std::string prefix = ClusterKeyPrefix(7);
+  EXPECT_TRUE(Slice(ClusterKey(7, ObjectId{123})).starts_with(Slice(prefix)));
+  EXPECT_FALSE(Slice(ClusterKey(8, ObjectId{123})).starts_with(Slice(prefix)));
+}
+
+TEST(MetaTest, ParseClusterKeyRoundTrip) {
+  uint32_t type_id = 0;
+  ObjectId oid;
+  ASSERT_OK(ParseClusterKey(Slice(ClusterKey(55, ObjectId{66})), &type_id, &oid));
+  EXPECT_EQ(type_id, 55u);
+  EXPECT_EQ(oid.value, 66u);
+}
+
+TEST(MetaTest, ParseObjectKeyRoundTrip) {
+  ObjectId oid;
+  ASSERT_OK(ParseObjectKey(Slice(ObjectKey(ObjectId{1234567})), &oid));
+  EXPECT_EQ(oid.value, 1234567u);
+}
+
+TEST(MetaTest, ObjectKeysSortNumerically) {
+  EXPECT_LT(ObjectKey(ObjectId{255}), ObjectKey(ObjectId{256}));
+  EXPECT_LT(ObjectKey(ObjectId{1}), ObjectKey(ObjectId{0x100000000ull}));
+}
+
+}  // namespace
+}  // namespace ode

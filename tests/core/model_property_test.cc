@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/database.h"
+#include "tests/testing/db_fixture.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+/// In-memory reference model of the paper's versioning semantics.
+struct ModelVersion {
+  std::string payload;
+  VersionNum derived_from = kNoVersion;
+};
+
+struct ModelObject {
+  std::map<VersionNum, ModelVersion> versions;  // Keyed by vnum (temporal).
+  VersionNum next_vnum = kFirstVersion;
+
+  VersionNum latest() const { return versions.rbegin()->first; }
+};
+
+struct Model {
+  std::map<uint64_t, ModelObject> objects;  // Keyed by oid value.
+};
+
+struct SweepParam {
+  uint64_t seed;
+  int ops;
+  PayloadKind strategy;
+  uint32_t keyframe;
+};
+
+/// Differential test: a random operation stream applied both to the real
+/// database and to the reference model, with full-state comparison.
+class ModelPropertyTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ModelPropertyTest, DatabaseMatchesReferenceModel) {
+  const SweepParam param = GetParam();
+  MemEnv env;
+  LogicalClock clock;
+  DatabaseOptions options;
+  options.storage.env = &env;
+  options.storage.path = "/db";
+  options.clock = &clock;
+  options.payload_strategy = param.strategy;
+  options.delta_keyframe_interval = param.keyframe;
+  auto db_or = Database::Open(options);
+  ASSERT_TRUE(db_or.ok());
+  auto db = std::move(*db_or);
+  auto type = db->RegisterType("raw");
+  ASSERT_TRUE(type.ok());
+
+  Random rng(param.seed);
+  Model model;
+
+  auto random_oid = [&]() -> uint64_t {
+    auto it = model.objects.begin();
+    std::advance(it, rng.Uniform(model.objects.size()));
+    return it->first;
+  };
+  auto random_vnum = [&](const ModelObject& obj) -> VersionNum {
+    auto it = obj.versions.begin();
+    std::advance(it, rng.Uniform(obj.versions.size()));
+    return it->first;
+  };
+
+  for (int op = 0; op < param.ops; ++op) {
+    const int action = static_cast<int>(rng.Uniform(100));
+    if (model.objects.empty() || action < 15) {
+      // pnew
+      const std::string payload = rng.NextBytes(rng.Range(0, 600));
+      auto vid = db->PnewRaw(*type, Slice(payload));
+      ASSERT_TRUE(vid.ok()) << vid.status();
+      ModelObject obj;
+      obj.versions[kFirstVersion] = ModelVersion{payload, kNoVersion};
+      obj.next_vnum = kFirstVersion + 1;
+      ASSERT_EQ(model.objects.count(vid->oid.value), 0u);
+      model.objects[vid->oid.value] = std::move(obj);
+    } else if (action < 40) {
+      // newversion from a random existing version.
+      const uint64_t oid = random_oid();
+      ModelObject& obj = model.objects[oid];
+      const VersionNum base = random_vnum(obj);
+      auto vid = db->NewVersionFrom(VersionId{ObjectId{oid}, base});
+      ASSERT_TRUE(vid.ok()) << vid.status();
+      ASSERT_EQ(vid->vnum, obj.next_vnum);
+      obj.versions[vid->vnum] =
+          ModelVersion{obj.versions[base].payload, base};
+      obj.next_vnum = vid->vnum + 1;
+    } else if (action < 60) {
+      // update a random version (mutate a copy of its payload).
+      const uint64_t oid = random_oid();
+      ModelObject& obj = model.objects[oid];
+      const VersionNum target = random_vnum(obj);
+      std::string payload = obj.versions[target].payload;
+      if (payload.empty() || rng.OneIn(4)) {
+        payload = rng.NextBytes(rng.Range(0, 600));
+      } else {
+        payload[rng.Uniform(payload.size())] ^= 0x11;
+      }
+      ASSERT_OK(
+          db->UpdateVersion(VersionId{ObjectId{oid}, target}, Slice(payload)));
+      obj.versions[target].payload = payload;
+    } else if (action < 75) {
+      // pdelete a random version (with re-parenting in the model).
+      const uint64_t oid = random_oid();
+      ModelObject& obj = model.objects[oid];
+      const VersionNum target = random_vnum(obj);
+      ASSERT_OK(db->PdeleteVersion(VersionId{ObjectId{oid}, target}));
+      const VersionNum parent = obj.versions[target].derived_from;
+      obj.versions.erase(target);
+      for (auto& [vnum, version] : obj.versions) {
+        if (version.derived_from == target) version.derived_from = parent;
+      }
+      if (obj.versions.empty()) model.objects.erase(oid);
+    } else if (action < 80) {
+      // pdelete a whole object.
+      const uint64_t oid = random_oid();
+      ASSERT_OK(db->PdeleteObject(ObjectId{oid}));
+      model.objects.erase(oid);
+    } else if (action < 90) {
+      // Read a random version and compare.
+      const uint64_t oid = random_oid();
+      ModelObject& obj = model.objects[oid];
+      const VersionNum target = random_vnum(obj);
+      auto bytes = db->ReadVersion(VersionId{ObjectId{oid}, target});
+      ASSERT_TRUE(bytes.ok()) << bytes.status();
+      ASSERT_EQ(*bytes, obj.versions[target].payload);
+    } else {
+      // Read latest and compare.
+      const uint64_t oid = random_oid();
+      ModelObject& obj = model.objects[oid];
+      VersionId resolved;
+      auto bytes = db->ReadLatest(ObjectId{oid}, &resolved);
+      ASSERT_TRUE(bytes.ok()) << bytes.status();
+      ASSERT_EQ(resolved.vnum, obj.latest());
+      ASSERT_EQ(*bytes, obj.versions[obj.latest()].payload);
+    }
+  }
+
+  // Full-state comparison: every object, every version, every relationship.
+  auto cluster = db->ClusterScan(*type);
+  ASSERT_TRUE(cluster.ok());
+  ASSERT_EQ(cluster->size(), model.objects.size());
+  for (const auto& [oid_value, obj] : model.objects) {
+    const ObjectId oid{oid_value};
+    auto header = db->Header(oid);
+    ASSERT_TRUE(header.ok()) << header.status();
+    EXPECT_EQ(header->version_count, obj.versions.size());
+    EXPECT_EQ(header->latest, obj.latest());
+    auto versions = db->VersionsOf(oid);
+    ASSERT_TRUE(versions.ok());
+    ASSERT_EQ(versions->size(), obj.versions.size());
+    size_t idx = 0;
+    for (const auto& [vnum, version] : obj.versions) {
+      const VersionId vid{oid, vnum};
+      EXPECT_EQ((*versions)[idx++], vid);
+      auto bytes = db->ReadVersion(vid);
+      ASSERT_TRUE(bytes.ok()) << bytes.status();
+      EXPECT_EQ(*bytes, version.payload) << vid;
+      auto dprev = db->Dprevious(vid);
+      ASSERT_TRUE(dprev.ok());
+      if (version.derived_from == kNoVersion) {
+        EXPECT_FALSE(dprev->has_value()) << vid;
+      } else {
+        ASSERT_TRUE(dprev->has_value()) << vid;
+        EXPECT_EQ(dprev->value().vnum, version.derived_from) << vid;
+      }
+    }
+    // Temporal chain: Tprevious walks the sorted vnum sequence.
+    std::optional<VersionNum> prev;
+    for (const auto& [vnum, version] : obj.versions) {
+      auto tprev = db->Tprevious(VersionId{oid, vnum});
+      ASSERT_TRUE(tprev.ok());
+      if (!prev.has_value()) {
+        EXPECT_FALSE(tprev->has_value());
+      } else {
+        ASSERT_TRUE(tprev->has_value());
+        EXPECT_EQ(tprev->value().vnum, *prev);
+      }
+      prev = vnum;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelPropertyTest,
+    ::testing::Values(
+        SweepParam{101, 600, PayloadKind::kFull, 16},
+        SweepParam{102, 600, PayloadKind::kDelta, 16},
+        SweepParam{103, 600, PayloadKind::kDelta, 2},
+        SweepParam{104, 1200, PayloadKind::kFull, 16},
+        SweepParam{105, 1200, PayloadKind::kDelta, 4},
+        SweepParam{106, 300, PayloadKind::kDelta, 1}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_" +
+             (info.param.strategy == PayloadKind::kFull ? "full" : "delta") +
+             "_kf" + std::to_string(info.param.keyframe);
+    });
+
+}  // namespace
+}  // namespace ode

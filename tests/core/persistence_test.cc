@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/version_ptr.h"
+#include "tests/testing/db_fixture.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+using testing_internal::Doc;
+
+/// "Persistent objects ... continue to exist after the program that created
+/// them has terminated" — reopen tests.
+class PersistenceTest : public DatabaseFixture {};
+
+TEST_F(PersistenceTest, ObjectsSurviveReopen) {
+  auto ref = pnew(*db_, Doc{"persistent", 3});
+  ASSERT_TRUE(ref.ok());
+  const ObjectId oid = ref->oid();
+  ReopenDb();
+  Ref<Doc> again(db_.get(), oid);
+  auto doc = again.Load();
+  ASSERT_TRUE(doc.ok()) << doc.status();
+  EXPECT_EQ(doc->text, "persistent");
+  EXPECT_EQ(doc->revision, 3);
+}
+
+TEST_F(PersistenceTest, VersionGraphSurvivesReopen) {
+  SetUpRawType();
+  VersionId v0 = MustPnew("v0");
+  auto v1 = db_->NewVersionFrom(v0);
+  auto v2 = db_->NewVersionFrom(v0);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  ASSERT_OK(db_->UpdateVersion(*v1, Slice("v1 content")));
+  ReopenDb();
+  // Values, latest, and both relationships intact.
+  EXPECT_EQ(MustRead(*v1), "v1 content");
+  EXPECT_EQ(MustRead(v0), "v0");
+  auto latest = db_->Latest(v0.oid);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, *v2);
+  auto children = db_->Dnext(v0);
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), 2u);
+  auto tprev = db_->Tprevious(*v2);
+  ASSERT_TRUE(tprev.ok());
+  EXPECT_EQ(tprev->value(), *v1);
+}
+
+TEST_F(PersistenceTest, OidAllocationContinuesAfterReopen) {
+  SetUpRawType();
+  VersionId before = MustPnew("a");
+  ReopenDb();
+  SetUpRawType();
+  VersionId after = MustPnew("b");
+  EXPECT_GT(after.oid.value, before.oid.value);
+}
+
+TEST_F(PersistenceTest, TypeRegistryPersists) {
+  auto id1 = db_->RegisterType("Persistent Type");
+  ASSERT_TRUE(id1.ok());
+  ReopenDb();
+  auto id2 = db_->RegisterType("Persistent Type");
+  ASSERT_TRUE(id2.ok());
+  EXPECT_EQ(*id1, *id2);
+}
+
+TEST_F(PersistenceTest, ClustersPersist) {
+  auto type = db_->RegisterType("Durable");
+  ASSERT_TRUE(type.ok());
+  auto vid = db_->PnewRaw(*type, Slice("x"));
+  ASSERT_TRUE(vid.ok());
+  ReopenDb();
+  auto size = db_->ClusterSize(*type);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 1u);
+}
+
+TEST_F(PersistenceTest, DeltaChainsSurviveReopen) {
+  db_.reset();
+  DatabaseOptions options = MakeOptions();
+  options.payload_strategy = PayloadKind::kDelta;
+  options.delta_keyframe_interval = 8;
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+  SetUpRawType();
+  Random rng(5);
+  std::string content = rng.NextBytes(4000);
+  VersionId v0 = MustPnew(content);
+  VersionId current = v0;
+  std::vector<std::string> states = {content};
+  for (int i = 0; i < 6; ++i) {
+    auto next = db_->NewVersionFrom(current);
+    ASSERT_TRUE(next.ok());
+    content[rng.Uniform(content.size())] ^= 3;
+    ASSERT_OK(db_->UpdateVersion(*next, Slice(content)));
+    states.push_back(content);
+    current = *next;
+  }
+  db_.reset();
+  {
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+  }
+  for (size_t i = 0; i < states.size(); ++i) {
+    auto bytes =
+        db_->ReadVersion(VersionId{v0.oid, static_cast<VersionNum>(i + 1)});
+    ASSERT_TRUE(bytes.ok()) << bytes.status();
+    EXPECT_EQ(*bytes, states[i]) << "version " << i + 1;
+  }
+}
+
+/// Crash tests at the Database level: the versioning catalog must stay
+/// consistent across a crash (WAL recovery underneath).
+class DatabaseCrashTest : public ::testing::Test {
+ protected:
+  DatabaseCrashTest() : fault_env_(nullptr) {}
+
+  void Open() {
+    DatabaseOptions options;
+    options.storage.env = &fault_env_;
+    options.storage.path = "/db";
+    options.clock = &clock_;
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(*db);
+    auto type = db_->RegisterType("raw");
+    ASSERT_TRUE(type.ok());
+    type_id_ = *type;
+  }
+
+  void Crash() {
+    fault_env_.CrashAndLoseUnsynced();
+    db_.reset();
+  }
+
+  FaultInjectionEnv fault_env_;
+  LogicalClock clock_;
+  std::unique_ptr<Database> db_;
+  uint32_t type_id_ = 0;
+};
+
+TEST_F(DatabaseCrashTest, CommittedVersionsSurviveCrash) {
+  Open();
+  auto v0 = db_->PnewRaw(type_id_, Slice("survives"));
+  ASSERT_TRUE(v0.ok());
+  auto v1 = db_->NewVersionOf(v0->oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->UpdateVersion(*v1, Slice("also survives")));
+  Crash();
+  Open();
+  auto b0 = db_->ReadVersion(*v0);
+  auto b1 = db_->ReadVersion(*v1);
+  ASSERT_TRUE(b0.ok()) << b0.status();
+  ASSERT_TRUE(b1.ok()) << b1.status();
+  EXPECT_EQ(*b0, "survives");
+  EXPECT_EQ(*b1, "also survives");
+}
+
+TEST_F(DatabaseCrashTest, OpenTransactionVanishesOnCrash) {
+  Open();
+  auto keep = db_->PnewRaw(type_id_, Slice("keep"));
+  ASSERT_TRUE(keep.ok());
+  ASSERT_OK(db_->Begin());
+  auto doomed = db_->PnewRaw(type_id_, Slice("doomed"));
+  ASSERT_TRUE(doomed.ok());
+  ASSERT_OK(db_->UpdateLatest(keep->oid, Slice("modified")));
+  Crash();  // Before Commit().
+  Open();
+  auto kept = db_->ReadLatest(keep->oid);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(*kept, "keep");
+  auto exists = db_->ObjectExists(doomed->oid);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+}
+
+TEST_F(DatabaseCrashTest, GraphInvariantsHoldAfterCrash) {
+  Open();
+  auto v0 = db_->PnewRaw(type_id_, Slice("v0"));
+  ASSERT_TRUE(v0.ok());
+  auto v1 = db_->NewVersionFrom(*v0);
+  auto v2 = db_->NewVersionFrom(*v0);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  Crash();
+  Open();
+  auto header = db_->Header(v0->oid);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version_count, 3u);
+  EXPECT_EQ(header->latest, v2->vnum);
+  auto children = db_->Dnext(*v0);
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), 2u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,102 @@
+#include "core/query.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+using testing_internal::Doc;
+
+class QueryTest : public DatabaseFixture {
+ protected:
+  void Populate() {
+    for (int i = 0; i < 20; ++i) {
+      auto ref = pnew(*db_, Doc{"doc" + std::to_string(i), i});
+      ASSERT_TRUE(ref.ok());
+      refs_.push_back(*ref);
+    }
+  }
+  std::vector<Ref<Doc>> refs_;
+};
+
+TEST_F(QueryTest, SelectFiltersByPredicate) {
+  Populate();
+  auto high = Select<Doc>(*db_, [](const Doc& d) { return d.revision >= 15; });
+  ASSERT_TRUE(high.ok());
+  EXPECT_EQ(high->size(), 5u);
+  for (const Ref<Doc>& ref : *high) {
+    EXPECT_GE(ref->revision, 15);
+  }
+}
+
+TEST_F(QueryTest, SelectSeesLatestVersions) {
+  Populate();
+  // Bump doc3's revision through a new version; the query must see it.
+  auto vp = newversion(refs_[3]);
+  ASSERT_TRUE(vp.ok());
+  ASSERT_OK(vp->Store(Doc{"doc3", 100}));
+  auto found =
+      Select<Doc>(*db_, [](const Doc& d) { return d.revision == 100; });
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ((*found)[0].oid(), refs_[3].oid());
+}
+
+TEST_F(QueryTest, SelectEmptyResult) {
+  Populate();
+  auto none =
+      Select<Doc>(*db_, [](const Doc& d) { return d.revision > 9999; });
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->empty());
+}
+
+TEST_F(QueryTest, CountWhere) {
+  Populate();
+  auto count =
+      CountWhere<Doc>(*db_, [](const Doc& d) { return d.revision % 2 == 0; });
+  ASSERT_TRUE(count.ok());
+  EXPECT_EQ(*count, 10u);
+}
+
+TEST_F(QueryTest, ForEachLatestEarlyStop) {
+  Populate();
+  int visited = 0;
+  ASSERT_OK(ForEachLatest<Doc>(*db_, [&](const Ref<Doc>&, const Doc&) {
+    return ++visited < 7;
+  }));
+  EXPECT_EQ(visited, 7);
+}
+
+TEST_F(QueryTest, SelectVersionsQueriesHistory) {
+  auto account = pnew(*db_, Doc{"balance", 100});
+  ASSERT_TRUE(account.ok());
+  for (int64_t balance : {50, -20, 30, -5, 80}) {
+    auto vp = newversion(*account);
+    ASSERT_TRUE(vp.ok());
+    ASSERT_OK(vp->Store(Doc{"balance", balance}));
+  }
+  // "Every state where the balance was negative."
+  auto negative = SelectVersions<Doc>(
+      *db_, account->oid(), [](const Doc& d) { return d.revision < 0; });
+  ASSERT_TRUE(negative.ok());
+  ASSERT_EQ(negative->size(), 2u);
+  EXPECT_EQ((*negative)[0]->revision, -20);
+  EXPECT_EQ((*negative)[1]->revision, -5);
+}
+
+TEST_F(QueryTest, QueriesSkipOtherTypes) {
+  Populate();
+  // An object of a different type must not appear in Doc queries.
+  auto type = db_->RegisterType("other");
+  ASSERT_TRUE(type.ok());
+  ASSERT_TRUE(db_->PnewRaw(*type, Slice("raw")).ok());
+  auto all = Select<Doc>(*db_, [](const Doc&) { return true; });
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), 20u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+/// Tests of the automatically maintained temporal and derived-from
+/// relationships (§3, §4.3 of the paper), including the graph states of the
+/// paper's running example: v0; v1 derived from v0 (revision); v2 derived
+/// from v0 (alternative); v3 derived from v1 (version history v0-v1-v3).
+class TraversalTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+
+  /// Builds the paper's example graph and stores the four version ids.
+  void BuildPaperGraph() {
+    v0_ = MustPnew("v0");
+    auto v1 = db_->NewVersionFrom(v0_);
+    ASSERT_TRUE(v1.ok());
+    v1_ = *v1;
+    auto v2 = db_->NewVersionFrom(v0_);
+    ASSERT_TRUE(v2.ok());
+    v2_ = *v2;
+    auto v3 = db_->NewVersionFrom(v1_);
+    ASSERT_TRUE(v3.ok());
+    v3_ = *v3;
+  }
+
+  VersionId v0_, v1_, v2_, v3_;
+};
+
+TEST_F(TraversalTest, RootVersionHasNoDprevious) {
+  VersionId v0 = MustPnew("x");
+  auto prev = db_->Dprevious(v0);
+  ASSERT_TRUE(prev.ok());
+  EXPECT_FALSE(prev->has_value());
+}
+
+TEST_F(TraversalTest, DpreviousPointsToDerivationParent) {
+  BuildPaperGraph();
+  auto p1 = db_->Dprevious(v1_);
+  auto p2 = db_->Dprevious(v2_);
+  auto p3 = db_->Dprevious(v3_);
+  ASSERT_TRUE(p1.ok() && p2.ok() && p3.ok());
+  EXPECT_EQ(p1->value(), v0_);
+  EXPECT_EQ(p2->value(), v0_);  // Alternative: also derived from v0.
+  EXPECT_EQ(p3->value(), v1_);
+}
+
+TEST_F(TraversalTest, DnextListsAlternatives) {
+  BuildPaperGraph();
+  auto children = db_->Dnext(v0_);
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 2u);
+  EXPECT_EQ((*children)[0], v1_);
+  EXPECT_EQ((*children)[1], v2_);
+  auto v1_children = db_->Dnext(v1_);
+  ASSERT_TRUE(v1_children.ok());
+  ASSERT_EQ(v1_children->size(), 1u);
+  EXPECT_EQ((*v1_children)[0], v3_);
+  auto leaf_children = db_->Dnext(v3_);
+  ASSERT_TRUE(leaf_children.ok());
+  EXPECT_TRUE(leaf_children->empty());
+}
+
+TEST_F(TraversalTest, TemporalChainFollowsCreationOrder) {
+  BuildPaperGraph();
+  // Temporal chain: v0 -> v1 -> v2 -> v3 (creation order), regardless of
+  // the derivation tree shape.
+  auto t1 = db_->Tprevious(v1_);
+  auto t2 = db_->Tprevious(v2_);
+  auto t3 = db_->Tprevious(v3_);
+  ASSERT_TRUE(t1.ok() && t2.ok() && t3.ok());
+  EXPECT_EQ(t1->value(), v0_);
+  EXPECT_EQ(t2->value(), v1_);
+  EXPECT_EQ(t3->value(), v2_);
+  auto t0 = db_->Tprevious(v0_);
+  ASSERT_TRUE(t0.ok());
+  EXPECT_FALSE(t0->has_value());
+}
+
+TEST_F(TraversalTest, TnextMirrorsTprevious) {
+  BuildPaperGraph();
+  auto n0 = db_->Tnext(v0_);
+  auto n1 = db_->Tnext(v1_);
+  auto n3 = db_->Tnext(v3_);
+  ASSERT_TRUE(n0.ok() && n1.ok() && n3.ok());
+  EXPECT_EQ(n0->value(), v1_);
+  EXPECT_EQ(n1->value(), v2_);
+  EXPECT_FALSE(n3->has_value());
+}
+
+TEST_F(TraversalTest, VersionsOfListsTemporalOrder) {
+  BuildPaperGraph();
+  auto versions = db_->VersionsOf(v0_.oid);
+  ASSERT_TRUE(versions.ok());
+  ASSERT_EQ(versions->size(), 4u);
+  EXPECT_EQ((*versions)[0], v0_);
+  EXPECT_EQ((*versions)[1], v1_);
+  EXPECT_EQ((*versions)[2], v2_);
+  EXPECT_EQ((*versions)[3], v3_);
+}
+
+TEST_F(TraversalTest, DeleteSplicesDerivedFromTree) {
+  // §4.4: deleting v1 re-parents its child v3 to v0.
+  BuildPaperGraph();
+  ASSERT_OK(db_->PdeleteVersion(v1_));
+  auto p3 = db_->Dprevious(v3_);
+  ASSERT_TRUE(p3.ok());
+  EXPECT_EQ(p3->value(), v0_);
+  auto children = db_->Dnext(v0_);
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 2u);
+  EXPECT_EQ((*children)[0], v2_);
+  EXPECT_EQ((*children)[1], v3_);
+}
+
+TEST_F(TraversalTest, DeleteSplicesTemporalChain) {
+  BuildPaperGraph();
+  ASSERT_OK(db_->PdeleteVersion(v2_));
+  auto t3 = db_->Tprevious(v3_);
+  ASSERT_TRUE(t3.ok());
+  EXPECT_EQ(t3->value(), v1_);
+  auto n1 = db_->Tnext(v1_);
+  ASSERT_TRUE(n1.ok());
+  EXPECT_EQ(n1->value(), v3_);
+}
+
+TEST_F(TraversalTest, DeleteRootPromotesChildrenToRoots) {
+  BuildPaperGraph();
+  ASSERT_OK(db_->PdeleteVersion(v0_));
+  auto p1 = db_->Dprevious(v1_);
+  auto p2 = db_->Dprevious(v2_);
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_FALSE(p1->has_value());
+  EXPECT_FALSE(p2->has_value());
+}
+
+TEST_F(TraversalTest, TraversalFromDeletedVersionFails) {
+  BuildPaperGraph();
+  ASSERT_OK(db_->PdeleteVersion(v1_));
+  EXPECT_TRUE(db_->Tprevious(v1_).status().IsNotFound());
+  EXPECT_TRUE(db_->Tnext(v1_).status().IsNotFound());
+  EXPECT_TRUE(db_->Dprevious(v1_).status().IsNotFound());
+  EXPECT_TRUE(db_->Dnext(v1_).status().IsNotFound());
+}
+
+TEST_F(TraversalTest, LongLinearHistory) {
+  VersionId current = MustPnew("start");
+  const VersionId root = current;
+  constexpr int kDepth = 100;
+  for (int i = 0; i < kDepth; ++i) {
+    auto next = db_->NewVersionFrom(current);
+    ASSERT_TRUE(next.ok());
+    current = *next;
+  }
+  // Walk back along Dprevious to the root.
+  int steps = 0;
+  VersionId walk = current;
+  while (true) {
+    auto prev = db_->Dprevious(walk);
+    ASSERT_TRUE(prev.ok());
+    if (!prev->has_value()) break;
+    walk = prev->value();
+    ++steps;
+  }
+  EXPECT_EQ(steps, kDepth);
+  EXPECT_EQ(walk, root);
+}
+
+TEST_F(TraversalTest, WideAlternativeFanOut) {
+  VersionId root = MustPnew("root");
+  constexpr int kWidth = 50;
+  for (int i = 0; i < kWidth; ++i) {
+    ASSERT_TRUE(db_->NewVersionFrom(root).ok());
+  }
+  auto children = db_->Dnext(root);
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(children->size(), static_cast<size_t>(kWidth));
+}
+
+TEST_F(TraversalTest, TraversalsDoNotCrossObjects) {
+  // Two objects with adjacent oids: temporal traversal must stay within one
+  // object's history.
+  VersionId a = MustPnew("a");
+  VersionId b = MustPnew("b");
+  ASSERT_EQ(b.oid.value, a.oid.value + 1);
+  auto ta = db_->Tnext(a);
+  ASSERT_TRUE(ta.ok());
+  EXPECT_FALSE(ta->has_value());
+  auto tb = db_->Tprevious(b);
+  ASSERT_TRUE(tb.ok());
+  EXPECT_FALSE(tb->has_value());
+}
+
+}  // namespace
+}  // namespace ode

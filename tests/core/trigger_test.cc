@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/database.h"
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+/// Tests of the trigger primitive the paper points at for building change
+/// notification and other policies.
+class TriggerTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+TEST_F(TriggerTest, PnewTriggerFires) {
+  std::vector<TriggerInfo> events;
+  db_->RegisterTrigger(TriggerEvent::kPnew,
+                       [&](Database&, const TriggerInfo& info) {
+                         events.push_back(info);
+                       });
+  VersionId vid = MustPnew("x");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].event, TriggerEvent::kPnew);
+  EXPECT_EQ(events[0].vid, vid);
+  EXPECT_EQ(events[0].type_id, type_id_);
+}
+
+TEST_F(TriggerTest, NewVersionTriggerReportsDerivation) {
+  std::vector<TriggerInfo> events;
+  db_->RegisterTrigger(TriggerEvent::kNewVersion,
+                       [&](Database&, const TriggerInfo& info) {
+                         events.push_back(info);
+                       });
+  VersionId v0 = MustPnew("x");
+  auto v1 = db_->NewVersionFrom(v0);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].vid, *v1);
+  EXPECT_EQ(events[0].derived_from, v0);
+}
+
+TEST_F(TriggerTest, UpdateAndDeleteTriggersFire) {
+  int updates = 0, version_deletes = 0, object_deletes = 0;
+  db_->RegisterTrigger(TriggerEvent::kUpdate,
+                       [&](Database&, const TriggerInfo&) { ++updates; });
+  db_->RegisterTrigger(TriggerEvent::kDeleteVersion,
+                       [&](Database&, const TriggerInfo&) { ++version_deletes; });
+  db_->RegisterTrigger(TriggerEvent::kDeleteObject,
+                       [&](Database&, const TriggerInfo&) { ++object_deletes; });
+  VersionId v0 = MustPnew("x");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(db_->UpdateLatest(v0.oid, Slice("y")));
+  ASSERT_OK(db_->PdeleteVersion(v0));
+  ASSERT_OK(db_->PdeleteObject(v0.oid));
+  EXPECT_EQ(updates, 1);
+  EXPECT_EQ(version_deletes, 1);
+  EXPECT_EQ(object_deletes, 1);
+}
+
+TEST_F(TriggerTest, DeletingLastVersionFiresBothDeleteEvents) {
+  int version_deletes = 0, object_deletes = 0;
+  db_->RegisterTrigger(TriggerEvent::kDeleteVersion,
+                       [&](Database&, const TriggerInfo&) { ++version_deletes; });
+  db_->RegisterTrigger(TriggerEvent::kDeleteObject,
+                       [&](Database&, const TriggerInfo&) { ++object_deletes; });
+  VersionId v0 = MustPnew("only");
+  ASSERT_OK(db_->PdeleteVersion(v0));
+  EXPECT_EQ(version_deletes, 1);
+  EXPECT_EQ(object_deletes, 1);
+}
+
+TEST_F(TriggerTest, UnregisterStopsDelivery) {
+  int calls = 0;
+  uint64_t handle = db_->RegisterTrigger(
+      TriggerEvent::kPnew, [&](Database&, const TriggerInfo&) { ++calls; });
+  MustPnew("a");
+  db_->UnregisterTrigger(handle);
+  MustPnew("b");
+  EXPECT_EQ(calls, 1);
+}
+
+TEST_F(TriggerTest, TriggersOnlyFireForTheirEvent) {
+  int pnew_calls = 0;
+  db_->RegisterTrigger(TriggerEvent::kPnew,
+                       [&](Database&, const TriggerInfo&) { ++pnew_calls; });
+  VersionId v0 = MustPnew("x");
+  ASSERT_TRUE(db_->NewVersionOf(v0.oid).ok());
+  ASSERT_OK(db_->UpdateLatest(v0.oid, Slice("y")));
+  EXPECT_EQ(pnew_calls, 1);
+}
+
+TEST_F(TriggerTest, TriggerMayMutateDatabase) {
+  // A trigger performing follow-on writes joins the same transaction — this
+  // is how the policy layer implements percolation and notification logs.
+  ObjectId log_oid;
+  {
+    auto log = db_->PnewRaw(type_id_, Slice("log:"));
+    ASSERT_TRUE(log.ok());
+    log_oid = log->oid;
+  }
+  db_->RegisterTrigger(
+      TriggerEvent::kNewVersion, [&](Database& db, const TriggerInfo& info) {
+        auto current = db.ReadLatest(log_oid);
+        ASSERT_TRUE(current.ok());
+        std::string appended =
+            *current + " v" + std::to_string(info.vid.vnum);
+        ASSERT_TRUE(db.UpdateLatest(log_oid, Slice(appended)).ok());
+      });
+  VersionId target = MustPnew("target");
+  ASSERT_TRUE(db_->NewVersionOf(target.oid).ok());
+  ASSERT_TRUE(db_->NewVersionOf(target.oid).ok());
+  EXPECT_EQ(MustReadLatest(log_oid), "log: v2 v3");
+}
+
+TEST_F(TriggerTest, TriggerEffectsRollBackWithTransaction) {
+  int fired = 0;
+  db_->RegisterTrigger(TriggerEvent::kPnew,
+                       [&](Database&, const TriggerInfo&) { ++fired; });
+  ASSERT_OK(db_->Begin());
+  VersionId vid = MustPnew("doomed");
+  ASSERT_OK(db_->Abort());
+  EXPECT_EQ(fired, 1);  // The trigger ran...
+  auto exists = db_->ObjectExists(vid.oid);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);  // ...but the transaction (and its effects) rolled back.
+}
+
+TEST_F(TriggerTest, MultipleTriggersAllFire) {
+  int a = 0, b = 0;
+  db_->RegisterTrigger(TriggerEvent::kPnew,
+                       [&](Database&, const TriggerInfo&) { ++a; });
+  db_->RegisterTrigger(TriggerEvent::kPnew,
+                       [&](Database&, const TriggerInfo&) { ++b; });
+  MustPnew("x");
+  EXPECT_EQ(a, 1);
+  EXPECT_EQ(b, 1);
+}
+
+}  // namespace
+}  // namespace ode

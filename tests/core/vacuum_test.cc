@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/database.h"
+#include "storage/btree.h"
+#include "storage/storage_engine.h"
+#include "tests/testing/db_fixture.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+TEST(BTreeVacuumTest, ReclaimsEmptiedPages) {
+  MemEnv env;
+  StorageOptions options;
+  options.env = &env;
+  options.path = "/db";
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+
+  uint32_t pages_before_vacuum = 0, pages_after_vacuum = 0;
+  ASSERT_OK((*engine)->WithTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, 4);
+    if (!tree.ok()) return tree.status();
+    for (int i = 0; i < 5000; ++i) {
+      ODE_RETURN_IF_ERROR(
+          tree->Put(Slice("key" + std::to_string(i)), Slice("some value")));
+    }
+    // Delete everything: pages empty out but are not reclaimed.
+    for (int i = 0; i < 5000; ++i) {
+      ODE_RETURN_IF_ERROR(tree->Delete(Slice("key" + std::to_string(i))));
+    }
+    auto used = tree->PageCountUsed();
+    if (!used.ok()) return used.status();
+    pages_before_vacuum = *used;
+    ODE_RETURN_IF_ERROR(tree->Vacuum());
+    used = tree->PageCountUsed();
+    if (!used.ok()) return used.status();
+    pages_after_vacuum = *used;
+    return Status::OK();
+  }));
+  EXPECT_GT(pages_before_vacuum, 10u);
+  EXPECT_EQ(pages_after_vacuum, 1u);  // A single empty root leaf.
+}
+
+TEST(BTreeVacuumTest, PreservesAllEntries) {
+  MemEnv env;
+  StorageOptions options;
+  options.env = &env;
+  options.path = "/db";
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  Random rng(3);
+
+  std::map<std::string, std::string> model;
+  ASSERT_OK((*engine)->WithTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, 4);
+    if (!tree.ok()) return tree.status();
+    for (int i = 0; i < 3000; ++i) {
+      std::string key = rng.NextString(rng.Range(4, 20));
+      std::string value = rng.NextBytes(rng.Range(0, 100));
+      ODE_RETURN_IF_ERROR(tree->Put(Slice(key), Slice(value)));
+      model[key] = value;
+    }
+    // Delete a third.
+    int removed = 0;
+    for (auto it = model.begin(); it != model.end() && removed < 1000;) {
+      ODE_RETURN_IF_ERROR(tree->Delete(Slice(it->first)));
+      it = model.erase(it);
+      ++removed;
+    }
+    ODE_RETURN_IF_ERROR(tree->Vacuum());
+    // Everything left must be intact and ordered.
+    auto it = tree->NewIterator();
+    auto model_it = model.begin();
+    for (it.SeekToFirst(); it.Valid(); it.Next(), ++model_it) {
+      if (model_it == model.end()) {
+        return Status::Internal("extra key after vacuum: " + it.key());
+      }
+      EXPECT_EQ(it.key(), model_it->first);
+      EXPECT_EQ(it.value(), model_it->second);
+    }
+    EXPECT_EQ(model_it, model.end());
+    return it.status();
+  }));
+}
+
+TEST(BTreeVacuumTest, FreedPagesAreReusable) {
+  MemEnv env;
+  StorageOptions options;
+  options.env = &env;
+  options.path = "/db";
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  // Fill + clear + vacuum, then check the file does not grow when refilled
+  // (freed pages get recycled).
+  auto fill_and_clear = [&]() -> uint32_t {
+    uint32_t page_count = 0;
+    Status s = (*engine)->WithTxn([&](Txn& txn) -> Status {
+      auto tree = BTree::Open(&txn, 4);
+      if (!tree.ok()) return tree.status();
+      for (int i = 0; i < 2000; ++i) {
+        ODE_RETURN_IF_ERROR(
+            tree->Put(Slice("k" + std::to_string(i)), Slice("v")));
+      }
+      for (int i = 0; i < 2000; ++i) {
+        ODE_RETURN_IF_ERROR(tree->Delete(Slice("k" + std::to_string(i))));
+      }
+      ODE_RETURN_IF_ERROR(tree->Vacuum());
+      auto pc = txn.PageCount();
+      if (!pc.ok()) return pc.status();
+      page_count = *pc;
+      return Status::OK();
+    });
+    EXPECT_TRUE(s.ok()) << s;
+    return page_count;
+  };
+  const uint32_t first = fill_and_clear();
+  const uint32_t second = fill_and_clear();
+  EXPECT_EQ(first, second);
+}
+
+class DatabaseVacuumTest : public DatabaseFixture {};
+
+TEST_F(DatabaseVacuumTest, VacuumKeepsDatabaseConsistent) {
+  SetUpRawType();
+  // Create churn: many objects, delete most.
+  std::vector<ObjectId> survivors;
+  for (int i = 0; i < 200; ++i) {
+    VersionId vid = MustPnew("object " + std::to_string(i));
+    ASSERT_TRUE(db_->NewVersionOf(vid.oid).ok());
+    if (i % 10 == 0) {
+      survivors.push_back(vid.oid);
+    } else {
+      ASSERT_OK(db_->PdeleteObject(vid.oid));
+    }
+  }
+  ASSERT_OK(db_->Vacuum());
+  auto report = CheckDatabase(*db_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+  EXPECT_EQ(report->objects_checked, survivors.size());
+  for (ObjectId oid : survivors) {
+    auto bytes = db_->ReadLatest(oid);
+    EXPECT_TRUE(bytes.ok());
+  }
+}
+
+TEST_F(DatabaseVacuumTest, VacuumSurvivesReopen) {
+  SetUpRawType();
+  VersionId keep = MustPnew("keeper");
+  for (int i = 0; i < 50; ++i) {
+    VersionId vid = MustPnew("churn");
+    ASSERT_OK(db_->PdeleteObject(vid.oid));
+  }
+  ASSERT_OK(db_->Vacuum());
+  ReopenDb();
+  auto bytes = db_->ReadLatest(keep.oid);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_EQ(*bytes, "keeper");
+}
+
+}  // namespace
+}  // namespace ode

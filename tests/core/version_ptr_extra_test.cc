@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "core/version_ptr.h"
+#include "opp/runtime.h"
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+using testing_internal::Doc;
+
+/// Additional reference-semantics coverage: cache behaviour, equality,
+/// cross-reference updates, and the opp runtime on empty clusters.
+class VersionPtrExtraTest : public DatabaseFixture {};
+
+TEST_F(VersionPtrExtraTest, RefreshForcesReload) {
+  auto ref = pnew(*db_, Doc{"v1", 1});
+  ASSERT_TRUE(ref.ok());
+  auto vp = ref->Pin();
+  ASSERT_TRUE(vp.ok());
+  EXPECT_EQ((*vp)->text, "v1");  // Cache populated.
+  // Mutate the version BEHIND the pointer's cache (direct database call).
+  ASSERT_OK(db_->Put(vp->vid(), Doc{"mutated behind cache", 2}));
+  // The cache is stale by design (versions are normally immutable once
+  // superseded); Refresh() resynchronizes.
+  EXPECT_EQ((*vp)->text, "v1");
+  vp->Refresh();
+  EXPECT_EQ((*vp)->text, "mutated behind cache");
+}
+
+TEST_F(VersionPtrExtraTest, EqualityIsByIdentityNotContent) {
+  auto a = pnew(*db_, Doc{"same", 1});
+  auto b = pnew(*db_, Doc{"same", 1});
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_NE(*a, *b);  // Different objects, same content.
+  Ref<Doc> a_again(db_.get(), a->oid());
+  EXPECT_EQ(*a, a_again);
+  auto va = a->Pin();
+  auto vb = b->Pin();
+  ASSERT_TRUE(va.ok() && vb.ok());
+  EXPECT_NE(*va, *vb);
+  VersionPtr<Doc> va_again(db_.get(), va->vid());
+  EXPECT_EQ(*va, va_again);
+}
+
+TEST_F(VersionPtrExtraTest, TwoRefsToOneObjectSeeEachOthersWrites) {
+  auto first = pnew(*db_, Doc{"initial", 1});
+  ASSERT_TRUE(first.ok());
+  Ref<Doc> second(db_.get(), first->oid());
+  ASSERT_OK(first->Store(Doc{"written via first", 2}));
+  EXPECT_EQ(second->text, "written via first");
+  ASSERT_OK(second.Store(Doc{"written via second", 3}));
+  EXPECT_EQ((*first)->text, "written via second");
+}
+
+TEST_F(VersionPtrExtraTest, PinAfterManyVersionsGetsLatest) {
+  auto ref = pnew(*db_, Doc{"v1", 1});
+  ASSERT_TRUE(ref.ok());
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(newversion(*ref).ok());
+  }
+  auto pinned = ref->Pin();
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(pinned->vid().vnum, 6u);
+}
+
+TEST_F(VersionPtrExtraTest, EmptyClusterRangeIsEmpty) {
+  int visits = 0;
+  for (Ref<Doc> doc : opp::ClusterRange<Doc>(*db_)) {
+    (void)doc;
+    ++visits;
+  }
+  EXPECT_EQ(visits, 0);
+  EXPECT_EQ(opp::ClusterRange<Doc>(*db_).size(), 0u);
+}
+
+TEST_F(VersionPtrExtraTest, LoadReturnsIndependentCopies) {
+  auto ref = pnew(*db_, Doc{"original", 1});
+  ASSERT_TRUE(ref.ok());
+  auto copy1 = ref->Load();
+  ASSERT_TRUE(copy1.ok());
+  copy1->text = "locally mutated";  // Must not affect the store.
+  auto copy2 = ref->Load();
+  ASSERT_TRUE(copy2.ok());
+  EXPECT_EQ(copy2->text, "original");
+}
+
+}  // namespace
+}  // namespace ode

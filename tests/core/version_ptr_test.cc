@@ -1,0 +1,189 @@
+#include "core/version_ptr.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+using testing_internal::Doc;
+
+/// Tests of the paper-facing smart pointers: generic Ref<T> (late binding)
+/// and specific VersionPtr<T> (early binding), plus the pnew / newversion /
+/// pdelete free functions under their O++ names.
+class VersionPtrTest : public DatabaseFixture {};
+
+TEST_F(VersionPtrTest, PnewReturnsWorkingRef) {
+  auto ref = pnew(*db_, Doc{"hello", 1});
+  ASSERT_TRUE(ref.ok()) << ref.status();
+  auto doc = ref->Load();
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->text, "hello");
+  EXPECT_EQ(doc->revision, 1);
+}
+
+TEST_F(VersionPtrTest, ArrowOperatorReadsThrough) {
+  auto ref = pnew(*db_, Doc{"arrow", 7});
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ((*ref)->text, "arrow");
+  EXPECT_EQ((**ref).revision, 7);
+}
+
+TEST_F(VersionPtrTest, GenericRefTracksLatest) {
+  // The paper's address-book property: a generic reference always sees the
+  // latest version.
+  auto ref = pnew(*db_, Doc{"address v1", 1});
+  ASSERT_TRUE(ref.ok());
+  auto vp = newversion(*ref);
+  ASSERT_TRUE(vp.ok());
+  ASSERT_OK(vp->Store(Doc{"address v2", 2}));
+  EXPECT_EQ((*ref)->text, "address v2");
+}
+
+TEST_F(VersionPtrTest, VersionPtrStaysPinned) {
+  auto ref = pnew(*db_, Doc{"original", 1});
+  ASSERT_TRUE(ref.ok());
+  auto pinned = ref->Pin();
+  ASSERT_TRUE(pinned.ok());
+  auto vp = newversion(*ref);
+  ASSERT_TRUE(vp.ok());
+  ASSERT_OK(vp->Store(Doc{"changed", 2}));
+  // The pinned pointer still reads the old version.
+  EXPECT_EQ((*pinned)->text, "original");
+  EXPECT_EQ((*vp)->text, "changed");
+}
+
+TEST_F(VersionPtrTest, NewVersionFromSpecificPointer) {
+  auto ref = pnew(*db_, Doc{"base", 0});
+  ASSERT_TRUE(ref.ok());
+  auto v0 = ref->Pin();
+  ASSERT_TRUE(v0.ok());
+  auto v1 = newversion(*v0);
+  auto v2 = newversion(*v0);  // Alternative from the same base.
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_NE(v1->vid(), v2->vid());
+  auto p1 = v1->Dprevious();
+  auto p2 = v2->Dprevious();
+  ASSERT_TRUE(p1.ok() && p2.ok());
+  EXPECT_EQ(p1->value().vid(), v0->vid());
+  EXPECT_EQ(p2->value().vid(), v0->vid());
+}
+
+TEST_F(VersionPtrTest, TraversalWrappersMatchDatabase) {
+  auto ref = pnew(*db_, Doc{"t0", 0});
+  ASSERT_TRUE(ref.ok());
+  auto v0 = ref->Pin();
+  ASSERT_TRUE(v0.ok());
+  auto v1 = newversion(*v0);
+  ASSERT_TRUE(v1.ok());
+  auto tprev = v1->Tprevious();
+  ASSERT_TRUE(tprev.ok());
+  EXPECT_EQ(tprev->value().vid(), v0->vid());
+  auto tnext = v0->Tnext();
+  ASSERT_TRUE(tnext.ok());
+  EXPECT_EQ(tnext->value().vid(), v1->vid());
+  auto children = v0->Dnext();
+  ASSERT_TRUE(children.ok());
+  ASSERT_EQ(children->size(), 1u);
+  EXPECT_EQ((*children)[0].vid(), v1->vid());
+}
+
+TEST_F(VersionPtrTest, StoreThroughRefUpdatesLatestOnly) {
+  auto ref = pnew(*db_, Doc{"v1", 1});
+  ASSERT_TRUE(ref.ok());
+  auto pinned = ref->Pin();
+  ASSERT_TRUE(pinned.ok());
+  auto vp = newversion(*ref);
+  ASSERT_TRUE(vp.ok());
+  ASSERT_OK(ref->Store(Doc{"latest updated", 2}));
+  EXPECT_EQ((*pinned)->text, "v1");
+  EXPECT_EQ((*ref)->text, "latest updated");
+}
+
+TEST_F(VersionPtrTest, VersionPtrCacheInvalidatedByStore) {
+  auto ref = pnew(*db_, Doc{"a", 1});
+  ASSERT_TRUE(ref.ok());
+  auto vp = ref->Pin();
+  ASSERT_TRUE(vp.ok());
+  EXPECT_EQ((*vp)->text, "a");  // Populates the cache.
+  ASSERT_OK(vp->Store(Doc{"b", 2}));
+  EXPECT_EQ((*vp)->text, "b");  // Cache refreshed.
+}
+
+TEST_F(VersionPtrTest, PdeleteObjectThroughRef) {
+  auto ref = pnew(*db_, Doc{"bye", 0});
+  ASSERT_TRUE(ref.ok());
+  ASSERT_OK(pdelete(*ref));
+  EXPECT_TRUE(ref->Load().status().IsNotFound());
+}
+
+TEST_F(VersionPtrTest, PdeleteVersionThroughVersionPtr) {
+  auto ref = pnew(*db_, Doc{"v0", 0});
+  ASSERT_TRUE(ref.ok());
+  auto v0 = ref->Pin();
+  ASSERT_TRUE(v0.ok());
+  auto v1 = newversion(*ref);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(pdelete(*v0));
+  EXPECT_TRUE(v0->Load().status().IsNotFound());
+  EXPECT_TRUE(v1->Load().ok());
+}
+
+TEST_F(VersionPtrTest, NullPointersFailGracefully) {
+  Ref<Doc> null_ref;
+  VersionPtr<Doc> null_vp;
+  EXPECT_FALSE(null_ref.valid());
+  EXPECT_FALSE(null_vp.valid());
+  EXPECT_TRUE(null_ref.Load().status().IsInvalidArgument());
+  EXPECT_TRUE(null_vp.Load().status().IsInvalidArgument());
+  EXPECT_TRUE(newversion(null_ref).status().IsInvalidArgument());
+  EXPECT_TRUE(newversion(null_vp).status().IsInvalidArgument());
+  EXPECT_TRUE(pdelete(null_ref).IsInvalidArgument());
+  EXPECT_TRUE(pdelete(null_vp).IsInvalidArgument());
+}
+
+TEST_F(VersionPtrTest, GenericSpecificConversionRoundTrip) {
+  auto ref = pnew(*db_, Doc{"x", 0});
+  ASSERT_TRUE(ref.ok());
+  auto vp = ref->Pin();
+  ASSERT_TRUE(vp.ok());
+  Ref<Doc> back = vp->Generic();
+  EXPECT_EQ(back.oid(), ref->oid());
+  EXPECT_EQ(back, *ref);
+}
+
+// A "Team" object holds a generic reference to its lead Doc — the stored
+// form is the object id, so the reference stays late-bound on reload.
+struct Team {
+  static constexpr char kTypeName[] = "Team";
+  std::string name;
+  ObjectId lead;
+  void Serialize(BufferWriter& w) const {
+    w.WriteString(Slice(name));
+    WriteObjectId(w, lead);
+  }
+  static StatusOr<Team> Deserialize(BufferReader& r) {
+    Team t;
+    ODE_RETURN_IF_ERROR(r.ReadString(&t.name));
+    ODE_RETURN_IF_ERROR(ReadObjectId(r, &t.lead));
+    return t;
+  }
+};
+
+TEST_F(VersionPtrTest, RefsSerializeIntoPayloads) {
+  auto lead = pnew(*db_, Doc{"lead v1", 1});
+  ASSERT_TRUE(lead.ok());
+  auto team = pnew(*db_, Team{"core", lead->oid()});
+  ASSERT_TRUE(team.ok());
+  // Update the lead; the team's stored reference must see the new state.
+  ASSERT_OK(lead->Store(Doc{"lead v2", 2}));
+  auto loaded = team->Load();
+  ASSERT_TRUE(loaded.ok());
+  Ref<Doc> rebound(db_.get(), loaded->lead);
+  EXPECT_EQ(rebound->text, "lead v2");
+}
+
+}  // namespace
+}  // namespace ode

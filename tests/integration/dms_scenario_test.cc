@@ -1,0 +1,151 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "core/version_ptr.h"
+#include "policy/configuration.h"
+#include "policy/history.h"
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+// §5 of the paper: the DMS CAD design example.  An ALU chip has three
+// representations — schematic, fault, and timing — each a *configuration*
+// over shared data objects:
+//   schematic representation = { schematic data }
+//   fault representation     = { schematic data, test vectors }
+//   timing representation    = { schematic data, test vectors,
+//                                timing commands }
+// The test builds the initial design state, evolves it by adding versions,
+// and checks that configurations see exactly what the paper prescribes.
+
+struct DesignData {
+  static constexpr char kTypeName[] = "dms.DesignData";
+  std::string kind;
+  std::string content;
+  void Serialize(BufferWriter& w) const {
+    w.WriteString(Slice(kind));
+    w.WriteString(Slice(content));
+  }
+  static StatusOr<DesignData> Deserialize(BufferReader& r) {
+    DesignData d;
+    ODE_RETURN_IF_ERROR(r.ReadString(&d.kind));
+    ODE_RETURN_IF_ERROR(r.ReadString(&d.content));
+    return d;
+  }
+};
+
+class DmsScenarioTest : public DatabaseFixture {};
+
+TEST_F(DmsScenarioTest, AluDesignEvolution) {
+  // --- Initial design state ------------------------------------------------
+  auto schematic = pnew(*db_, DesignData{"schematic", "alu schematic rev A"});
+  auto vectors = pnew(*db_, DesignData{"vectors", "test vectors rev A"});
+  auto timing_cmds = pnew(*db_, DesignData{"timing", "timing commands rev A"});
+  ASSERT_TRUE(schematic.ok() && vectors.ok() && timing_cmds.ok());
+
+  // Three representations as configurations.  The working (in-progress)
+  // representations bind dynamically — designers always see the newest data;
+  // a frozen release will pin them statically.
+  auto schematic_rep = Configuration::Create(*db_, "alu.schematic");
+  auto fault_rep = Configuration::Create(*db_, "alu.fault");
+  auto timing_rep = Configuration::Create(*db_, "alu.timing");
+  ASSERT_TRUE(schematic_rep.ok() && fault_rep.ok() && timing_rep.ok());
+
+  ASSERT_OK(schematic_rep->BindDynamic("schematic", schematic->oid()));
+  ASSERT_OK(fault_rep->BindDynamic("schematic", schematic->oid()));
+  ASSERT_OK(fault_rep->BindDynamic("vectors", vectors->oid()));
+  ASSERT_OK(timing_rep->BindDynamic("schematic", schematic->oid()));
+  ASSERT_OK(timing_rep->BindDynamic("vectors", vectors->oid()));
+  ASSERT_OK(timing_rep->BindDynamic("timing", timing_cmds->oid()));
+
+  // The shared component resolves identically across representations —
+  // "the schematic data (same as the one in the schematic representation)".
+  {
+    auto a = schematic_rep->Resolve("schematic");
+    auto b = fault_rep->Resolve("schematic");
+    auto c = timing_rep->Resolve("schematic");
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    EXPECT_EQ(*a, *b);
+    EXPECT_EQ(*b, *c);
+  }
+
+  // --- Release 1.0: freeze the timing representation ------------------------
+  ASSERT_OK(timing_rep->Freeze());
+  auto frozen_schematic = timing_rep->Resolve("schematic");
+  ASSERT_TRUE(frozen_schematic.ok());
+
+  // --- Design evolution: derive a revision and an alternative ---------------
+  auto sch_v1 = schematic->Pin();
+  ASSERT_TRUE(sch_v1.ok());
+  auto sch_v2 = newversion(*schematic);  // Revision of the latest.
+  ASSERT_TRUE(sch_v2.ok());
+  ASSERT_OK(sch_v2->Store(DesignData{"schematic", "alu schematic rev B"}));
+  auto sch_v3 = newversion(*sch_v1);  // Alternative from rev A.
+  ASSERT_TRUE(sch_v3.ok());
+  ASSERT_OK(
+      sch_v3->Store(DesignData{"schematic", "alu schematic rev A-prime"}));
+
+  // Dynamic representations follow the newest version (v3, newest created).
+  {
+    auto now = fault_rep->Resolve("schematic");
+    ASSERT_TRUE(now.ok());
+    EXPECT_EQ(*now, sch_v3->vid());
+  }
+  // The frozen release still sees rev A.
+  {
+    auto frozen = timing_rep->Resolve("schematic");
+    ASSERT_TRUE(frozen.ok());
+    EXPECT_EQ(*frozen, *frozen_schematic);
+    auto data = db_->Get<DesignData>(*frozen);
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data->content, "alu schematic rev A");
+  }
+
+  // --- The derivation structure matches the design narrative ----------------
+  auto leaves = history::Leaves(*db_, schematic->oid());
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_EQ(leaves->size(), 2u);  // rev B and rev A-prime: two alternatives.
+  auto ancestor =
+      history::CommonAncestor(*db_, sch_v2->vid(), sch_v3->vid());
+  ASSERT_TRUE(ancestor.ok());
+  EXPECT_EQ(ancestor->value(), sch_v1->vid());
+
+  // --- Representations persist ----------------------------------------------
+  const ObjectId timing_oid = timing_rep->oid();
+  ReopenDb();
+  auto reloaded = Configuration::Load(*db_, timing_oid);
+  ASSERT_TRUE(reloaded.ok());
+  auto frozen = reloaded->Resolve("schematic");
+  ASSERT_TRUE(frozen.ok());
+  auto data = db_->Get<DesignData>(*frozen);
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->content, "alu schematic rev A");
+}
+
+TEST_F(DmsScenarioTest, ConfigurationOfConfigurations) {
+  // Representations can themselves be composed: the "ALU chip" binds its
+  // three representations, demonstrating complex objects over versions.
+  auto schematic = pnew(*db_, DesignData{"schematic", "s"});
+  ASSERT_TRUE(schematic.ok());
+  auto rep = Configuration::Create(*db_, "alu.schematic");
+  ASSERT_TRUE(rep.ok());
+  ASSERT_OK(rep->BindDynamic("schematic", schematic->oid()));
+
+  auto chip = Configuration::Create(*db_, "alu.chip");
+  ASSERT_TRUE(chip.ok());
+  ASSERT_OK(chip->BindDynamic("schematic-rep", rep->oid()));
+
+  auto resolved = chip->Resolve("schematic-rep");
+  ASSERT_TRUE(resolved.ok());
+  auto inner = Configuration::Load(*db_, resolved->oid);
+  ASSERT_TRUE(inner.ok());
+  auto leaf = inner->Resolve("schematic");
+  ASSERT_TRUE(leaf.ok());
+  EXPECT_EQ(leaf->oid, schematic->oid());
+}
+
+}  // namespace
+}  // namespace ode

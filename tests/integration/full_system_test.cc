@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "core/check.h"
+#include "core/index.h"
+#include "core/query.h"
+#include "core/version_ptr.h"
+#include "policy/configuration.h"
+#include "policy/history.h"
+#include "policy/labels.h"
+#include "policy/notification.h"
+#include "tests/testing/util.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+// Soak test: every subsystem live at once — delta payloads, a secondary
+// index, labels, a notifier, configurations — driven by a randomized
+// workload with periodic crashes, ending in a full consistency check and a
+// vacuum.  This is the "would a downstream user's app survive?" test.
+
+struct Module {
+  static constexpr char kTypeName[] = "soak.Module";
+  std::string name;
+  int64_t size = 0;
+  void Serialize(BufferWriter& w) const {
+    w.WriteString(Slice(name));
+    w.WriteI64(size);
+  }
+  static StatusOr<Module> Deserialize(BufferReader& r) {
+    Module m;
+    ODE_RETURN_IF_ERROR(r.ReadString(&m.name));
+    ODE_RETURN_IF_ERROR(r.ReadI64(&m.size));
+    return m;
+  }
+};
+
+class FullSystemTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FullSystemTest, SoakWithCrashes) {
+  FaultInjectionEnv fault_env(nullptr);
+  LogicalClock clock;
+  DatabaseOptions options;
+  options.storage.env = &fault_env;
+  options.storage.path = "/soak";
+  options.clock = &clock;
+  options.payload_strategy = PayloadKind::kDelta;
+  options.delta_keyframe_interval = 6;
+
+  Random rng(GetParam());
+  uint64_t notifications = 0;
+
+  std::unique_ptr<Database> db;
+  std::unique_ptr<SecondaryIndex<Module>> index;
+  std::unique_ptr<VersionLabels> labels;
+  std::unique_ptr<ChangeNotifier> notifier;
+
+  auto open_all = [&] {
+    auto db_or = Database::Open(options);
+    ASSERT_TRUE(db_or.ok()) << db_or.status();
+    db = std::move(*db_or);
+    auto index_or = SecondaryIndex<Module>::Open(
+        *db, "module-by-name",
+        [](const Module& m) { return std::optional<std::string>(m.name); });
+    ASSERT_TRUE(index_or.ok()) << index_or.status();
+    index = std::move(*index_or);
+    auto labels_or = VersionLabels::Open(*db);
+    ASSERT_TRUE(labels_or.ok()) << labels_or.status();
+    labels = std::move(*labels_or);
+    notifier = std::make_unique<ChangeNotifier>(*db);
+    auto type_id = db->TypeId<Module>();
+    ASSERT_TRUE(type_id.ok());
+    notifier->SubscribeType(*type_id, [&](const ChangeNotifier::Event&) {
+      ++notifications;
+    });
+  };
+  auto close_all = [&] {
+    notifier.reset();
+    labels.reset();
+    index.reset();
+    db.reset();
+  };
+
+  open_all();
+  std::vector<ObjectId> live;
+  int committed_ops = 0;
+
+  for (int op = 0; op < 400; ++op) {
+    const int action = static_cast<int>(rng.Uniform(100));
+    if (live.empty() || action < 20) {
+      auto ref = pnew(*db, Module{"mod" + std::to_string(rng.Uniform(50)),
+                                  static_cast<int64_t>(rng.Uniform(1000))});
+      ASSERT_TRUE(ref.ok());
+      live.push_back(ref->oid());
+      ++committed_ops;
+    } else if (action < 45) {
+      const ObjectId target = live[rng.Uniform(live.size())];
+      auto vid = db->NewVersionOf(target);
+      ASSERT_TRUE(vid.ok());
+      if (rng.OneIn(3)) {
+        ASSERT_TRUE(labels->Add(*vid, "reviewed").ok());
+      }
+      ++committed_ops;
+    } else if (action < 65) {
+      const ObjectId target = live[rng.Uniform(live.size())];
+      ASSERT_TRUE(
+          db->PutLatest(target,
+                        Module{"mod" + std::to_string(rng.Uniform(50)),
+                               static_cast<int64_t>(rng.Uniform(1000))})
+              .ok());
+      ++committed_ops;
+    } else if (action < 75) {
+      const size_t pick = rng.Uniform(live.size());
+      ASSERT_TRUE(db->PdeleteObject(live[pick]).ok());
+      live.erase(live.begin() + pick);
+      ++committed_ops;
+    } else if (action < 90) {
+      // Read paths: index lookup + history walk.
+      const ObjectId target = live[rng.Uniform(live.size())];
+      auto latest = db->Latest(target);
+      ASSERT_TRUE(latest.ok());
+      auto path = history::PathToRoot(*db, *latest);
+      ASSERT_TRUE(path.ok());
+      auto value = db->GetLatest<Module>(target);
+      ASSERT_TRUE(value.ok());
+      auto hits = index->Lookup(Slice(value->name));
+      ASSERT_TRUE(hits.ok());
+      bool found = false;
+      for (const Ref<Module>& hit : *hits) {
+        if (hit.oid() == target) found = true;
+      }
+      EXPECT_TRUE(found) << "index lost " << target.value;
+    } else if (action < 97) {
+      // Group a few writes in one transaction; abort half the time.
+      ASSERT_TRUE(db->Begin().ok());
+      const ObjectId target = live[rng.Uniform(live.size())];
+      ASSERT_TRUE(db->NewVersionOf(target).ok());
+      ASSERT_TRUE(db->PutLatest(target, Module{"txn-mod", 1}).ok());
+      if (rng.OneIn(2)) {
+        ASSERT_TRUE(db->Commit().ok());
+        committed_ops += 2;
+      } else {
+        ASSERT_TRUE(db->Abort().ok());
+        // Policies reload from persistent state after a rollback.
+        labels.reset();
+        auto labels_or = VersionLabels::Open(*db);
+        ASSERT_TRUE(labels_or.ok());
+        labels = std::move(*labels_or);
+      }
+    } else {
+      // Crash and recover everything.
+      fault_env.CrashAndLoseUnsynced();
+      close_all();
+      open_all();
+      // Rebuild the live list from the database itself.
+      live.clear();
+      ASSERT_TRUE(db->ForEachObject([&](ObjectId oid, const ObjectHeader& h) {
+        auto type_id = db->TypeId<Module>();
+        if (type_id.ok() && h.type_id == *type_id) live.push_back(oid);
+        return true;
+      }).ok());
+    }
+  }
+
+  // Final verification: structural consistency, index health, vacuum.
+  EXPECT_TRUE(index->health().ok()) << index->health();
+  auto report = CheckDatabase(*db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+  ASSERT_TRUE(db->Vacuum().ok());
+  report = CheckDatabase(*db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+  EXPECT_GT(notifications, 0u);
+  EXPECT_GT(committed_ops, 100);
+  close_all();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FullSystemTest,
+                         ::testing::Values(42, 4242, 424242));
+
+}  // namespace
+}  // namespace ode

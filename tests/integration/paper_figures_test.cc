@@ -1,0 +1,148 @@
+#include <gtest/gtest.h>
+
+#include "core/database.h"
+#include "policy/history.h"
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+/// Structural reproduction of the paper's running-example figures (§4):
+/// each test replays the exact operation sequence from the text and asserts
+/// the resulting version-graph state the corresponding figure depicts.
+/// bench/fig_paper_graphs prints the same states.
+class PaperFiguresTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+// FIG-1: "p = pnew ..." — one object, one version v0, p denotes it.
+TEST_F(PaperFiguresTest, Fig1_InitialObject) {
+  VersionId v0 = MustPnew("initial state");
+  auto graph = history::Collect(*db_, v0.oid);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->temporal_order.size(), 1u);
+  EXPECT_EQ(graph->latest, v0);
+  ASSERT_EQ(graph->forest.size(), 1u);
+  EXPECT_EQ(graph->forest[0].vid, v0);
+  EXPECT_TRUE(graph->forest[0].children.empty());
+}
+
+// FIG-2: newversion(p) — v1 derived from v0 (a *revision*); the generic
+// pointer p now denotes v1.
+TEST_F(PaperFiguresTest, Fig2_RevisionBecomesLatest) {
+  VersionId v0 = MustPnew("v0 state");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  auto graph = history::Collect(*db_, v0.oid);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->latest, *v1) << "p (the object id) must denote v1 now";
+  ASSERT_EQ(graph->forest.size(), 1u);
+  ASSERT_EQ(graph->forest[0].children.size(), 1u);
+  EXPECT_EQ(graph->forest[0].children[0].vid, *v1);
+  // Reading through the object id reads v1's (inherited) state.
+  EXPECT_EQ(MustReadLatest(v0.oid), "v0 state");
+}
+
+// FIG-3: a second newversion from v0 — v1 and v2 are *alternatives*, both
+// derived from v0.
+TEST_F(PaperFiguresTest, Fig3_AlternativesFromCommonBase) {
+  VersionId v0 = MustPnew("base design");
+  auto v1 = db_->NewVersionFrom(v0);
+  auto v2 = db_->NewVersionFrom(v0);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  auto children = db_->Dnext(v0);
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<VersionId>{*v1, *v2}));
+  // v2, created last, is the latest (temporal), even though both derive
+  // from v0.
+  auto latest = db_->Latest(v0.oid);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, *v2);
+  // The alternatives evolve independently.
+  ASSERT_OK(db_->UpdateVersion(*v1, Slice("alternative A")));
+  ASSERT_OK(db_->UpdateVersion(*v2, Slice("alternative B")));
+  EXPECT_EQ(MustRead(v0), "base design");
+  EXPECT_EQ(MustRead(*v1), "alternative A");
+  EXPECT_EQ(MustRead(*v2), "alternative B");
+}
+
+// FIG-4: newversion(vp1) — v3 derived from v1.  "v3, v1, and v0 constitute
+// a version history."
+TEST_F(PaperFiguresTest, Fig4_VersionHistory) {
+  VersionId v0 = MustPnew("v0");
+  auto v1 = db_->NewVersionFrom(v0);
+  auto v2 = db_->NewVersionFrom(v0);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  auto v3 = db_->NewVersionFrom(*v1);
+  ASSERT_TRUE(v3.ok());
+  auto path = history::PathToRoot(*db_, *v3);
+  ASSERT_TRUE(path.ok());
+  EXPECT_EQ(*path, (std::vector<VersionId>{*v3, *v1, v0}));
+  // Temporal chain covers all four in creation order.
+  auto graph = history::Collect(*db_, v0.oid);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->temporal_order,
+            (std::vector<VersionId>{v0, *v1, *v2, *v3}));
+  // Leaves are the up-to-date alternatives: v2 and v3.
+  auto leaves = history::Leaves(*db_, v0.oid);
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_EQ(*leaves, (std::vector<VersionId>{*v2, *v3}));
+}
+
+// FIG-5 (§4.4): pdelete of v1 splices both relationships: v3 re-parents to
+// v0; the temporal chain skips v1.
+TEST_F(PaperFiguresTest, Fig5_DeleteSplices) {
+  VersionId v0 = MustPnew("v0");
+  auto v1 = db_->NewVersionFrom(v0);
+  auto v2 = db_->NewVersionFrom(v0);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  auto v3 = db_->NewVersionFrom(*v1);
+  ASSERT_TRUE(v3.ok());
+  ASSERT_OK(db_->PdeleteVersion(*v1));
+
+  auto parent = db_->Dprevious(*v3);
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent->value(), v0);
+  auto children = db_->Dnext(v0);
+  ASSERT_TRUE(children.ok());
+  EXPECT_EQ(*children, (std::vector<VersionId>{*v2, *v3}));
+  auto tprev = db_->Tprevious(*v2);
+  ASSERT_TRUE(tprev.ok());
+  EXPECT_EQ(tprev->value(), v0);
+  auto graph = history::Collect(*db_, v0.oid);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->temporal_order, (std::vector<VersionId>{v0, *v2, *v3}));
+}
+
+// The rendered graph for the FIG-4 state, as printed by the figure
+// regenerator (keeps the ASCII rendering itself under test).
+TEST_F(PaperFiguresTest, Fig4_RenderedForm) {
+  VersionId v0 = MustPnew("v0");
+  auto v1 = db_->NewVersionFrom(v0);
+  ASSERT_TRUE(v1.ok());
+  auto v2 = db_->NewVersionFrom(v0);
+  ASSERT_TRUE(v2.ok());
+  auto v3 = db_->NewVersionFrom(*v1);
+  ASSERT_TRUE(v3.ok());
+  auto rendered = history::RenderGraph(*db_, v0.oid);
+  ASSERT_TRUE(rendered.ok());
+  const std::string expected =
+      "object " + std::to_string(v0.oid.value) +
+      " (latest: v4)\n"
+      "derived-from tree:\n"
+      "  v1\n"
+      "  +- v2\n"
+      "  |  `- v4\n"
+      "  `- v3\n"
+      "temporal chain: v1 -> v2 -> v3 -> v4\n";
+  EXPECT_EQ(*rendered, expected);
+}
+
+}  // namespace
+}  // namespace ode

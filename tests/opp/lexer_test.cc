@@ -1,0 +1,104 @@
+#include "opp/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace opp {
+namespace {
+
+std::string Reassemble(const std::vector<Token>& tokens) {
+  std::string out;
+  for (const Token& token : tokens) out += token.text;
+  return out;
+}
+
+TEST(LexerTest, RoundTripsArbitrarySource) {
+  const std::string source = R"(
+// a comment
+int main() {
+  persistent Part* p = pnew Part("cpu", 42);
+  /* block
+     comment */
+  const char* s = "a \"quoted\" string with pnew inside";
+  char c = '\'';
+  return 0;
+}
+)";
+  EXPECT_EQ(Reassemble(Lex(source)), source);
+}
+
+TEST(LexerTest, ClassifiesIdentifiers) {
+  auto tokens = Lex("pnew persistent _under x9");
+  ASSERT_GE(tokens.size(), 7u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdentifier);
+  EXPECT_EQ(tokens[0].text, "pnew");
+  EXPECT_EQ(tokens[2].text, "persistent");
+  EXPECT_EQ(tokens[4].text, "_under");
+  EXPECT_EQ(tokens[6].text, "x9");
+}
+
+TEST(LexerTest, StringsAreSingleTokens) {
+  auto tokens = Lex("\"hello world pdelete\"");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, "\"hello world pdelete\"");
+}
+
+TEST(LexerTest, EscapedQuotesInsideStrings) {
+  auto tokens = Lex(R"("a \" b" x)");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[0].text, R"("a \" b")");
+  EXPECT_EQ(tokens[2].text, "x");
+}
+
+TEST(LexerTest, LineCommentsEndAtNewline) {
+  auto tokens = Lex("a // comment pnew\nb");
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[2].text, "// comment pnew");
+  // Next non-blank token is b.
+  EXPECT_EQ(tokens[4].text, "b");
+}
+
+TEST(LexerTest, BlockCommentsSpanLines) {
+  auto tokens = Lex("/* one\ntwo */x");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kComment);
+  EXPECT_EQ(tokens[1].text, "x");
+}
+
+TEST(LexerTest, NumbersLexAsUnits) {
+  auto tokens = Lex("42 3.14 0xff");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[2].text, "3.14");
+  EXPECT_EQ(tokens[4].text, "0xff");
+}
+
+TEST(LexerTest, PunctuationIsSplitToSingleChars) {
+  auto tokens = Lex("->*");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kPunct);
+  EXPECT_EQ(tokens[0].text, "-");
+  EXPECT_EQ(tokens[1].text, ">");
+  EXPECT_EQ(tokens[2].text, "*");
+}
+
+TEST(LexerTest, TracksLineNumbers) {
+  auto tokens = Lex("a\nb\n\nc");
+  EXPECT_EQ(tokens[0].line, 1u);  // a
+  EXPECT_EQ(tokens[2].line, 2u);  // b
+  EXPECT_EQ(tokens[4].line, 4u);  // c
+}
+
+TEST(LexerTest, UnterminatedStringLexesToEnd) {
+  auto tokens = Lex("\"never closed");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kString);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kEnd);
+}
+
+TEST(LexerTest, EmptyInput) {
+  auto tokens = Lex("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kEnd);
+}
+
+}  // namespace
+}  // namespace opp
+}  // namespace ode

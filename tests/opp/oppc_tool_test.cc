@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+// End-to-end tests of the oppc BINARY (not just the Translate library):
+// run the tool over O++ source and inspect its output and exit codes.
+// OPPC_PATH is injected by CMake as the built binary's location.
+
+#ifndef OPPC_PATH
+#define OPPC_PATH "oppc"
+#endif
+
+namespace ode {
+namespace {
+
+struct ToolResult {
+  int exit_code;
+  std::string stdout_text;
+};
+
+ToolResult RunOppc(const std::string& args, const std::string& stdin_text) {
+  const std::string input_path = ::testing::TempDir() + "oppc_in.opp";
+  {
+    std::ofstream out(input_path);
+    out << stdin_text;
+  }
+  const std::string command =
+      std::string(OPPC_PATH) + " " + args + " " + input_path + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 4096> buffer;
+  size_t n = 0;
+  while ((n = fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    output.append(buffer.data(), n);
+  }
+  const int status = pclose(pipe);
+  return ToolResult{WEXITSTATUS(status), output};
+}
+
+TEST(OppcToolTest, TranslatesSimpleProgram) {
+  ToolResult result =
+      RunOppc("", "persistent Part* p = pnew Part(1);\n");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_NE(result.stdout_text.find("#include \"opp/runtime.h\""),
+            std::string::npos);
+  EXPECT_NE(result.stdout_text.find(
+                "ode::Ref<Part> p = ode::opp::Pnew<Part>(db, Part(1));"),
+            std::string::npos);
+}
+
+TEST(OppcToolTest, NoIncludeFlag) {
+  ToolResult result = RunOppc("--no-include", "int x;\n");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text, "int x;\n");
+}
+
+TEST(OppcToolTest, CustomDbFlag) {
+  ToolResult result =
+      RunOppc("--db=my_db --no-include", "pdelete p;\n");
+  EXPECT_EQ(result.exit_code, 0);
+  EXPECT_EQ(result.stdout_text, "ode::opp::Pdelete(my_db, p);\n");
+}
+
+TEST(OppcToolTest, FailsOnMalformedInput) {
+  ToolResult result = RunOppc("", "p = pnew Part(1, 2;\n");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+TEST(OppcToolTest, WritesOutputFile) {
+  const std::string input_path = ::testing::TempDir() + "oppc_in2.opp";
+  const std::string output_path = ::testing::TempDir() + "oppc_out2.cc";
+  {
+    std::ofstream out(input_path);
+    out << "newversion(p)\n";
+  }
+  const std::string command = std::string(OPPC_PATH) + " --no-include " +
+                              input_path + " " + output_path + " 2>/dev/null";
+  ASSERT_EQ(WEXITSTATUS(std::system(command.c_str())), 0);
+  std::ifstream in(output_path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), "ode::opp::NewVersion(db, p)\n");
+}
+
+TEST(OppcToolTest, UnknownFlagRejected) {
+  ToolResult result = RunOppc("--bogus", "int x;\n");
+  EXPECT_NE(result.exit_code, 0);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,186 @@
+#include "opp/translator.h"
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace opp {
+namespace {
+
+TranslateOptions NoInclude() {
+  TranslateOptions options;
+  options.add_include = false;
+  return options;
+}
+
+std::string MustTranslate(std::string_view source,
+                          TranslateStats* stats = nullptr) {
+  auto result = Translate(source, NoInclude(), stats);
+  EXPECT_TRUE(result.ok()) << result.status();
+  return result.ok() ? *result : std::string();
+}
+
+TEST(TranslatorTest, PersistentPointerDeclaration) {
+  EXPECT_EQ(MustTranslate("persistent Part* p;"), "ode::Ref<Part> p;");
+  EXPECT_EQ(MustTranslate("persistent Part *p;"), "ode::Ref<Part> p;");
+  EXPECT_EQ(MustTranslate("persistent Part  *  p ;"), "ode::Ref<Part>  p ;");
+}
+
+TEST(TranslatorTest, PersistentMultiDeclarator) {
+  EXPECT_EQ(MustTranslate("persistent Part *a, *b;"),
+            "ode::Ref<Part> a, b;");
+  EXPECT_EQ(MustTranslate("persistent Part* a, *b, *c;"),
+            "ode::Ref<Part> a, b, c;");
+}
+
+TEST(TranslatorTest, MultiDeclaratorWithInitializer) {
+  EXPECT_EQ(
+      MustTranslate("persistent Part *a = pnew Part(x*y), *b;"),
+      "ode::Ref<Part> a = ode::opp::Pnew<Part>(db, Part(x*y)), b;");
+}
+
+TEST(TranslatorTest, StarAfterCommaOutsideDeclUntouched) {
+  const std::string source = "f(a, *ptr);";
+  EXPECT_EQ(MustTranslate(source), source);
+}
+
+TEST(TranslatorTest, PnewWithArguments) {
+  TranslateStats stats;
+  EXPECT_EQ(MustTranslate("p = pnew Part(\"alu\", 4);", &stats),
+            "p = ode::opp::Pnew<Part>(db, Part(\"alu\", 4));");
+  EXPECT_EQ(stats.pnew_exprs, 1);
+}
+
+TEST(TranslatorTest, PnewWithoutArguments) {
+  EXPECT_EQ(MustTranslate("p = pnew Part;"),
+            "p = ode::opp::Pnew<Part>(db, Part());");
+}
+
+TEST(TranslatorTest, PnewWithNestedParens) {
+  EXPECT_EQ(MustTranslate("p = pnew Part(f(1, g(2)), 3);"),
+            "p = ode::opp::Pnew<Part>(db, Part(f(1, g(2)), 3));");
+}
+
+TEST(TranslatorTest, PdeleteStatement) {
+  EXPECT_EQ(MustTranslate("pdelete p;"), "ode::opp::Pdelete(db, p);");
+  EXPECT_EQ(MustTranslate("pdelete parts[i];"),
+            "ode::opp::Pdelete(db, parts[i]);");
+}
+
+TEST(TranslatorTest, PdeleteInsideCall) {
+  // Operand ends at the ',' or ')' of the surrounding call.
+  EXPECT_EQ(MustTranslate("log(pdelete p);"),
+            "log(ode::opp::Pdelete(db, p));");
+}
+
+TEST(TranslatorTest, NewVersionCall) {
+  TranslateStats stats;
+  EXPECT_EQ(MustTranslate("vp = newversion(p);", &stats),
+            "vp = ode::opp::NewVersion(db, p);");
+  EXPECT_EQ(stats.newversion_calls, 1);
+}
+
+TEST(TranslatorTest, NewVersionWithComplexArgument) {
+  EXPECT_EQ(MustTranslate("newversion(chips[i].schematic)"),
+            "ode::opp::NewVersion(db, chips[i].schematic)");
+}
+
+TEST(TranslatorTest, ClusterForLoop) {
+  TranslateStats stats;
+  EXPECT_EQ(MustTranslate("for (x in Part) { use(x); }", &stats),
+            "for (ode::Ref<Part> x : ode::opp::ClusterRange<Part>(db))"
+            " { use(x); }");
+  EXPECT_EQ(stats.cluster_loops, 1);
+}
+
+TEST(TranslatorTest, SuchthatLoopAddsSelection) {
+  TranslateStats stats;
+  EXPECT_EQ(
+      MustTranslate("for (x in Part suchthat (x->area > 10)) { use(x); }",
+                    &stats),
+      "for (ode::Ref<Part> x : ode::opp::ClusterRange<Part>(db))"
+      " if (!(x->area > 10)); else { use(x); }");
+  EXPECT_EQ(stats.cluster_loops, 1);
+}
+
+TEST(TranslatorTest, SuchthatWithStatementBody) {
+  EXPECT_EQ(MustTranslate("for (x in Part suchthat (ok(x))) use(x);"),
+            "for (ode::Ref<Part> x : ode::opp::ClusterRange<Part>(db))"
+            " if (!(ok(x))); else use(x);");
+}
+
+TEST(TranslatorTest, MalformedSuchthatRejected) {
+  auto result = Translate("for (x in Part suchthat x.ok)", NoInclude());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(TranslatorTest, OrdinaryForLoopUntouched) {
+  const std::string source = "for (int i = 0; i < n; ++i) f(i);";
+  EXPECT_EQ(MustTranslate(source), source);
+}
+
+TEST(TranslatorTest, KeywordsInStringsAndCommentsUntouched) {
+  const std::string source =
+      "// pnew Part in a comment\n"
+      "const char* s = \"pdelete p\";\n";
+  EXPECT_EQ(MustTranslate(source), source);
+}
+
+TEST(TranslatorTest, IdentifiersContainingKeywordsUntouched) {
+  const std::string source = "int pnewish = my_pdelete + newversion2;";
+  EXPECT_EQ(MustTranslate(source), source);
+}
+
+TEST(TranslatorTest, CustomDatabaseExpression) {
+  TranslateOptions options = NoInclude();
+  options.db_expr = "*design_db";
+  auto result = Translate("p = pnew Part(1);", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "p = ode::opp::Pnew<Part>(*design_db, Part(1));");
+}
+
+TEST(TranslatorTest, IncludePrepended) {
+  TranslateOptions options;  // add_include defaults to true.
+  auto result = Translate("int x;", options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, "#include \"opp/runtime.h\"  // added by oppc\nint x;");
+}
+
+TEST(TranslatorTest, UnbalancedPnewParensRejected) {
+  auto result = Translate("p = pnew Part(1, 2;", NoInclude());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(TranslatorTest, PdeleteWithoutOperandRejected) {
+  auto result = Translate("pdelete ;", NoInclude());
+  EXPECT_TRUE(result.status().IsInvalidArgument());
+}
+
+TEST(TranslatorTest, WholeProgramTranslation) {
+  const std::string source = R"(void evolve(ode::Database& db) {
+  persistent Chip* alu = pnew Chip("alu", 16);
+  VersionPtr<Chip> vp = newversion(alu);
+  for (c in Chip) {
+    inspect(c);
+  }
+  pdelete alu;
+})";
+  TranslateStats stats;
+  const std::string out = MustTranslate(source, &stats);
+  EXPECT_EQ(stats.persistent_decls, 1);
+  EXPECT_EQ(stats.pnew_exprs, 1);
+  EXPECT_EQ(stats.newversion_calls, 1);
+  EXPECT_EQ(stats.cluster_loops, 1);
+  EXPECT_EQ(stats.pdelete_stmts, 1);
+  EXPECT_NE(out.find("ode::Ref<Chip> alu = ode::opp::Pnew<Chip>(db, "
+                     "Chip(\"alu\", 16));"),
+            std::string::npos);
+  EXPECT_NE(out.find("ode::opp::NewVersion(db, alu)"), std::string::npos);
+  EXPECT_NE(out.find("for (ode::Ref<Chip> c : "
+                     "ode::opp::ClusterRange<Chip>(db))"),
+            std::string::npos);
+  EXPECT_NE(out.find("ode::opp::Pdelete(db, alu);"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace opp
+}  // namespace ode

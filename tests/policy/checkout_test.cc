@@ -1,0 +1,167 @@
+#include "policy/checkout.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+using VersionState = CheckoutManager::VersionState;
+
+class CheckoutTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+TEST_F(CheckoutTest, CheckoutCreatesTransientDerivedVersion) {
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok());
+  VersionId released = MustPnew("public design");
+  auto working = manager->Checkout(released, "alice");
+  ASSERT_TRUE(working.ok());
+  auto state = manager->StateOf(*working);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, VersionState::kTransient);
+  auto owner = manager->OwnerOf(*working);
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "alice");
+  // Derived from the released version.
+  auto parent = db_->Dprevious(*working);
+  ASSERT_TRUE(parent.ok());
+  EXPECT_EQ(parent->value(), released);
+}
+
+TEST_F(CheckoutTest, UnlabeledVersionsAreReleased) {
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok());
+  VersionId plain = MustPnew("x");
+  auto state = manager->StateOf(plain);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, VersionState::kReleased);
+  EXPECT_TRUE(manager->OwnerOf(plain).status().IsNotFound());
+}
+
+TEST_F(CheckoutTest, OnlyOwnerMayWriteAndCheckin) {
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok());
+  VersionId base = MustPnew("base");
+  auto working = manager->Checkout(base, "alice");
+  ASSERT_TRUE(working.ok());
+  EXPECT_TRUE(manager->Write(*working, "bob", Slice("hijack"))
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(manager->Checkin(*working, "bob").IsFailedPrecondition());
+  ASSERT_OK(manager->Write(*working, "alice", Slice("alice's work")));
+  ASSERT_OK(manager->Checkin(*working, "alice"));
+  auto state = manager->StateOf(*working);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, VersionState::kWorking);
+}
+
+TEST_F(CheckoutTest, ReleasedVersionsAreImmutableThroughManager) {
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok());
+  VersionId released = MustPnew("immutable");
+  EXPECT_TRUE(manager->Write(released, "alice", Slice("nope"))
+                  .IsFailedPrecondition());
+}
+
+TEST_F(CheckoutTest, FullLifecycle) {
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok());
+  VersionId v1 = MustPnew("design v1");
+  auto draft = manager->Checkout(v1, "alice");
+  ASSERT_TRUE(draft.ok());
+  ASSERT_OK(manager->Write(*draft, "alice", Slice("design v2 draft")));
+  ASSERT_OK(manager->Checkin(*draft, "alice"));
+  ASSERT_OK(manager->Promote(*draft));
+  auto state = manager->StateOf(*draft);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, VersionState::kReleased);
+  // Released: now immutable, and check-in again is an error.
+  EXPECT_TRUE(manager->Write(*draft, "alice", Slice("late edit"))
+                  .IsFailedPrecondition());
+  EXPECT_TRUE(manager->Checkin(*draft, "alice").IsFailedPrecondition());
+  EXPECT_EQ(MustRead(*draft), "design v2 draft");
+}
+
+TEST_F(CheckoutTest, PromoteRequiresWorkingState) {
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok());
+  VersionId base = MustPnew("base");
+  auto draft = manager->Checkout(base, "alice");
+  ASSERT_TRUE(draft.ok());
+  EXPECT_TRUE(manager->Promote(*draft).IsFailedPrecondition());  // Transient.
+  EXPECT_TRUE(manager->Promote(base).IsFailedPrecondition());    // Released.
+}
+
+TEST_F(CheckoutTest, CannotCheckoutAnothersTransient) {
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok());
+  VersionId base = MustPnew("base");
+  auto alice_draft = manager->Checkout(base, "alice");
+  ASSERT_TRUE(alice_draft.ok());
+  EXPECT_TRUE(
+      manager->Checkout(*alice_draft, "bob").status().IsFailedPrecondition());
+  // But bob can check out the released base in parallel (alternatives).
+  auto bob_draft = manager->Checkout(base, "bob");
+  ASSERT_TRUE(bob_draft.ok());
+  EXPECT_NE(*bob_draft, *alice_draft);
+}
+
+TEST_F(CheckoutTest, DiscardDeletesTransientVersion) {
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok());
+  VersionId base = MustPnew("base");
+  auto draft = manager->Checkout(base, "alice");
+  ASSERT_TRUE(draft.ok());
+  ASSERT_OK(manager->DiscardCheckout(*draft, "alice"));
+  auto exists = db_->VersionExists(*draft);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+  EXPECT_TRUE(manager->CheckoutsOf("alice").empty());
+}
+
+TEST_F(CheckoutTest, CheckoutsOfListsUserWork) {
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok());
+  VersionId a = MustPnew("a");
+  VersionId b = MustPnew("b");
+  auto draft_a = manager->Checkout(a, "alice");
+  auto draft_b = manager->Checkout(b, "alice");
+  auto draft_c = manager->Checkout(a, "bob");
+  ASSERT_TRUE(draft_a.ok() && draft_b.ok() && draft_c.ok());
+  auto alice_work = manager->CheckoutsOf("alice");
+  EXPECT_EQ(alice_work.size(), 2u);
+  auto bob_work = manager->CheckoutsOf("bob");
+  EXPECT_EQ(bob_work.size(), 1u);
+}
+
+TEST_F(CheckoutTest, StateSurvivesReopen) {
+  VersionId base;
+  VersionId draft;
+  {
+    auto manager = CheckoutManager::Open(*db_);
+    ASSERT_TRUE(manager.ok());
+    base = MustPnew("base");
+    auto checked_out = manager->Checkout(base, "alice");
+    ASSERT_TRUE(checked_out.ok());
+    draft = *checked_out;
+  }
+  ReopenDb();
+  auto manager = CheckoutManager::Open(*db_);
+  ASSERT_TRUE(manager.ok()) << manager.status();
+  auto state = manager->StateOf(draft);
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, VersionState::kTransient);
+  auto owner = manager->OwnerOf(draft);
+  ASSERT_TRUE(owner.ok());
+  EXPECT_EQ(*owner, "alice");
+}
+
+}  // namespace
+}  // namespace ode

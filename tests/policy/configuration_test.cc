@@ -1,0 +1,153 @@
+#include "policy/configuration.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class ConfigurationTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+TEST_F(ConfigurationTest, CreateAndResolveStatic) {
+  VersionId part = MustPnew("part v1");
+  auto config = Configuration::Create(*db_, "board");
+  ASSERT_TRUE(config.ok());
+  ASSERT_OK(config->BindStatic("cpu", part));
+  auto resolved = config->Resolve("cpu");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, part);
+}
+
+TEST_F(ConfigurationTest, StaticBindingIgnoresNewVersions) {
+  VersionId part = MustPnew("part v1");
+  auto config = Configuration::Create(*db_, "board");
+  ASSERT_TRUE(config.ok());
+  ASSERT_OK(config->BindStatic("cpu", part));
+  ASSERT_TRUE(db_->NewVersionOf(part.oid).ok());
+  auto resolved = config->Resolve("cpu");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, part);  // Still the pinned version.
+}
+
+TEST_F(ConfigurationTest, DynamicBindingTracksLatest) {
+  VersionId part = MustPnew("part v1");
+  auto config = Configuration::Create(*db_, "board");
+  ASSERT_TRUE(config.ok());
+  ASSERT_OK(config->BindDynamic("cpu", part.oid));
+  auto v2 = db_->NewVersionOf(part.oid);
+  ASSERT_TRUE(v2.ok());
+  auto resolved = config->Resolve("cpu");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, *v2);
+}
+
+TEST_F(ConfigurationTest, BindingMissingTargetsFails) {
+  auto config = Configuration::Create(*db_, "c");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(
+      config->BindStatic("x", VersionId{ObjectId{9999}, 1}).IsNotFound());
+  EXPECT_TRUE(config->BindDynamic("x", ObjectId{9999}).IsNotFound());
+}
+
+TEST_F(ConfigurationTest, ResolveUnboundComponentFails) {
+  auto config = Configuration::Create(*db_, "c");
+  ASSERT_TRUE(config.ok());
+  EXPECT_TRUE(config->Resolve("nope").status().IsNotFound());
+}
+
+TEST_F(ConfigurationTest, UnbindRemovesComponent) {
+  VersionId part = MustPnew("p");
+  auto config = Configuration::Create(*db_, "c");
+  ASSERT_TRUE(config.ok());
+  ASSERT_OK(config->BindStatic("x", part));
+  ASSERT_OK(config->Unbind("x"));
+  EXPECT_TRUE(config->Resolve("x").status().IsNotFound());
+  EXPECT_TRUE(config->Unbind("x").IsNotFound());
+}
+
+TEST_F(ConfigurationTest, ResolveAllMixedBindings) {
+  VersionId a = MustPnew("a");
+  VersionId b = MustPnew("b");
+  auto config = Configuration::Create(*db_, "c");
+  ASSERT_TRUE(config.ok());
+  ASSERT_OK(config->BindStatic("fixed", a));
+  ASSERT_OK(config->BindDynamic("moving", b.oid));
+  auto b2 = db_->NewVersionOf(b.oid);
+  ASSERT_TRUE(b2.ok());
+  auto all = config->ResolveAll();
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->at("fixed"), a);
+  EXPECT_EQ(all->at("moving"), *b2);
+}
+
+TEST_F(ConfigurationTest, FreezePinsDynamicBindings) {
+  VersionId part = MustPnew("p");
+  auto config = Configuration::Create(*db_, "release-1.0");
+  ASSERT_TRUE(config.ok());
+  ASSERT_OK(config->BindDynamic("cpu", part.oid));
+  auto v2 = db_->NewVersionOf(part.oid);
+  ASSERT_TRUE(v2.ok());
+  ASSERT_OK(config->Freeze());
+  // New versions after the freeze do not move the binding.
+  ASSERT_TRUE(db_->NewVersionOf(part.oid).ok());
+  auto resolved = config->Resolve("cpu");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, *v2);
+}
+
+TEST_F(ConfigurationTest, ConfigurationsArePersistent) {
+  VersionId part = MustPnew("p");
+  ObjectId config_oid;
+  {
+    auto config = Configuration::Create(*db_, "durable");
+    ASSERT_TRUE(config.ok());
+    ASSERT_OK(config->BindStatic("cpu", part));
+    config_oid = config->oid();
+  }
+  ReopenDb();
+  auto config = Configuration::Load(*db_, config_oid);
+  ASSERT_TRUE(config.ok()) << config.status();
+  EXPECT_EQ(config->name(), "durable");
+  auto resolved = config->Resolve("cpu");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, part);
+}
+
+TEST_F(ConfigurationTest, ConfigurationsAreThemselvesVersionable) {
+  // Version orthogonality applies to configurations too: snapshot a
+  // configuration by taking a new version of it.
+  VersionId part = MustPnew("p");
+  auto config = Configuration::Create(*db_, "c");
+  ASSERT_TRUE(config.ok());
+  ASSERT_OK(config->BindStatic("cpu", part));
+  auto snapshot = db_->NewVersionOf(config->oid());
+  ASSERT_TRUE(snapshot.ok());
+  auto versions = db_->VersionsOf(config->oid());
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), 2u);
+}
+
+TEST_F(ConfigurationTest, RebindReplacesExisting) {
+  VersionId a = MustPnew("a");
+  VersionId b = MustPnew("b");
+  auto config = Configuration::Create(*db_, "c");
+  ASSERT_TRUE(config.ok());
+  ASSERT_OK(config->BindStatic("slot", a));
+  ASSERT_OK(config->BindStatic("slot", b));
+  auto resolved = config->Resolve("slot");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, b);
+  EXPECT_EQ(config->bindings().size(), 1u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,150 @@
+#include "policy/context.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class ContextTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+TEST_F(ContextTest, DefaultVersionOverridesLatest) {
+  VersionId v1 = MustPnew("v1");
+  auto v2 = db_->NewVersionOf(v1.oid);
+  ASSERT_TRUE(v2.ok());
+  ASSERT_OK(db_->UpdateVersion(*v2, Slice("v2")));
+
+  auto context = Context::Create(*db_, "stable");
+  ASSERT_TRUE(context.ok());
+  ASSERT_OK(context->SetDefault(v1));
+
+  ContextStack stack(db_.get());
+  stack.Push(*context);
+  auto resolved = stack.Resolve(v1.oid);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, v1);
+  auto read = stack.Read(v1.oid);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, "v1");
+}
+
+TEST_F(ContextTest, FallsBackToLatestWithoutDefault) {
+  VersionId v1 = MustPnew("v1");
+  auto v2 = db_->NewVersionOf(v1.oid);
+  ASSERT_TRUE(v2.ok());
+  ContextStack stack(db_.get());
+  auto resolved = stack.Resolve(v1.oid);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, *v2);
+}
+
+TEST_F(ContextTest, TopOfStackWins) {
+  VersionId v1 = MustPnew("v1");
+  auto v2 = db_->NewVersionOf(v1.oid);
+  auto v3 = db_->NewVersionOf(v1.oid);
+  ASSERT_TRUE(v2.ok() && v3.ok());
+
+  auto base = Context::Create(*db_, "base");
+  auto overlay = Context::Create(*db_, "overlay");
+  ASSERT_TRUE(base.ok() && overlay.ok());
+  ASSERT_OK(base->SetDefault(v1));
+  ASSERT_OK(overlay->SetDefault(*v2));
+
+  ContextStack stack(db_.get());
+  stack.Push(*base);
+  stack.Push(*overlay);
+  auto resolved = stack.Resolve(v1.oid);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, *v2);
+  stack.Pop();
+  resolved = stack.Resolve(v1.oid);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, v1);
+}
+
+TEST_F(ContextTest, StaleDefaultFallsThrough) {
+  VersionId v1 = MustPnew("v1");
+  auto v2 = db_->NewVersionOf(v1.oid);
+  ASSERT_TRUE(v2.ok());
+  auto context = Context::Create(*db_, "c");
+  ASSERT_TRUE(context.ok());
+  ASSERT_OK(context->SetDefault(*v2));
+  ContextStack stack(db_.get());
+  stack.Push(*context);
+  ASSERT_OK(db_->PdeleteVersion(*v2));  // The default vanishes.
+  auto resolved = stack.Resolve(v1.oid);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, v1);  // Fell back to the (new) latest.
+}
+
+TEST_F(ContextTest, SetDefaultRequiresExistingVersion) {
+  auto context = Context::Create(*db_, "c");
+  ASSERT_TRUE(context.ok());
+  EXPECT_TRUE(
+      context->SetDefault(VersionId{ObjectId{777}, 1}).IsNotFound());
+}
+
+TEST_F(ContextTest, ClearDefault) {
+  VersionId v1 = MustPnew("v1");
+  auto v2 = db_->NewVersionOf(v1.oid);
+  ASSERT_TRUE(v2.ok());
+  auto context = Context::Create(*db_, "c");
+  ASSERT_TRUE(context.ok());
+  ASSERT_OK(context->SetDefault(v1));
+  ASSERT_OK(context->ClearDefault(v1.oid));
+  EXPECT_FALSE(context->DefaultFor(v1.oid).has_value());
+  EXPECT_TRUE(context->ClearDefault(v1.oid).IsNotFound());
+  ContextStack stack(db_.get());
+  stack.Push(*context);
+  auto resolved = stack.Resolve(v1.oid);
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(*resolved, *v2);
+}
+
+TEST_F(ContextTest, ContextsPersist) {
+  VersionId v1 = MustPnew("v1");
+  ASSERT_TRUE(db_->NewVersionOf(v1.oid).ok());
+  ObjectId context_oid;
+  {
+    auto context = Context::Create(*db_, "team-defaults");
+    ASSERT_TRUE(context.ok());
+    ASSERT_OK(context->SetDefault(v1));
+    context_oid = context->oid();
+  }
+  ReopenDb();
+  auto context = Context::Load(*db_, context_oid);
+  ASSERT_TRUE(context.ok()) << context.status();
+  EXPECT_EQ(context->name(), "team-defaults");
+  EXPECT_EQ(context->DefaultFor(v1.oid).value(), v1.vnum);
+}
+
+TEST_F(ContextTest, MultipleObjectsInOneContext) {
+  VersionId a1 = MustPnew("a1");
+  VersionId b1 = MustPnew("b1");
+  ASSERT_TRUE(db_->NewVersionOf(a1.oid).ok());
+  ASSERT_TRUE(db_->NewVersionOf(b1.oid).ok());
+  auto context = Context::Create(*db_, "c");
+  ASSERT_TRUE(context.ok());
+  ASSERT_OK(context->SetDefault(a1));
+  // Only `a` has a default; `b` resolves to latest.
+  ContextStack stack(db_.get());
+  stack.Push(*context);
+  auto ra = stack.Resolve(a1.oid);
+  auto rb = stack.Resolve(b1.oid);
+  ASSERT_TRUE(ra.ok() && rb.ok());
+  EXPECT_EQ(ra->vnum, a1.vnum);
+  EXPECT_EQ(rb->vnum, b1.vnum + 1);
+  EXPECT_EQ(context->size(), 1u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,132 @@
+#include "policy/equivalence.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class EquivalenceTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+    auto eq = Equivalences::Open(*db_);
+    ASSERT_TRUE(eq.ok()) << eq.status();
+    eq_ = std::move(*eq);
+  }
+
+  ObjectId NewObject(const std::string& payload) {
+    return MustPnew(payload).oid;
+  }
+
+  std::unique_ptr<Equivalences> eq_;
+};
+
+TEST_F(EquivalenceTest, UnrelatedObjectsAreNotEquivalent) {
+  ObjectId a = NewObject("layout view");
+  ObjectId b = NewObject("netlist view");
+  EXPECT_FALSE(eq_->Equivalent(a, b));
+  EXPECT_TRUE(eq_->Equivalent(a, a));  // Reflexive.
+  EXPECT_EQ(eq_->ClassOf(a), std::vector<ObjectId>{a});
+  EXPECT_TRUE(eq_->ViewsOf(a).empty());
+}
+
+TEST_F(EquivalenceTest, RelateMakesEquivalent) {
+  ObjectId layout = NewObject("layout");
+  ObjectId netlist = NewObject("netlist");
+  ASSERT_OK(eq_->Relate(layout, netlist));
+  EXPECT_TRUE(eq_->Equivalent(layout, netlist));
+  EXPECT_TRUE(eq_->Equivalent(netlist, layout));  // Symmetric.
+  EXPECT_EQ(eq_->ViewsOf(layout), std::vector<ObjectId>{netlist});
+}
+
+TEST_F(EquivalenceTest, TransitiveClosure) {
+  ObjectId a = NewObject("a");
+  ObjectId b = NewObject("b");
+  ObjectId c = NewObject("c");
+  ASSERT_OK(eq_->Relate(a, b));
+  ASSERT_OK(eq_->Relate(b, c));
+  EXPECT_TRUE(eq_->Equivalent(a, c));
+  EXPECT_EQ(eq_->ClassOf(b).size(), 3u);
+  EXPECT_EQ(eq_->class_count(), 1u);
+}
+
+TEST_F(EquivalenceTest, MergingTwoClasses) {
+  ObjectId a = NewObject("a");
+  ObjectId b = NewObject("b");
+  ObjectId c = NewObject("c");
+  ObjectId d = NewObject("d");
+  ASSERT_OK(eq_->Relate(a, b));
+  ASSERT_OK(eq_->Relate(c, d));
+  EXPECT_EQ(eq_->class_count(), 2u);
+  ASSERT_OK(eq_->Relate(b, c));
+  EXPECT_EQ(eq_->class_count(), 1u);
+  EXPECT_TRUE(eq_->Equivalent(a, d));
+}
+
+TEST_F(EquivalenceTest, RelateRequiresExistingObjects) {
+  ObjectId a = NewObject("a");
+  EXPECT_TRUE(eq_->Relate(a, ObjectId{99999}).IsNotFound());
+}
+
+TEST_F(EquivalenceTest, RelateIsIdempotent) {
+  ObjectId a = NewObject("a");
+  ObjectId b = NewObject("b");
+  ASSERT_OK(eq_->Relate(a, b));
+  ASSERT_OK(eq_->Relate(a, b));
+  ASSERT_OK(eq_->Relate(b, a));
+  EXPECT_EQ(eq_->ClassOf(a).size(), 2u);
+}
+
+TEST_F(EquivalenceTest, DissociateRemovesOneMember) {
+  ObjectId a = NewObject("a");
+  ObjectId b = NewObject("b");
+  ObjectId c = NewObject("c");
+  ASSERT_OK(eq_->Relate(a, b));
+  ASSERT_OK(eq_->Relate(b, c));
+  ASSERT_OK(eq_->Dissociate(b));
+  EXPECT_FALSE(eq_->Equivalent(a, b));
+  EXPECT_TRUE(eq_->Equivalent(a, c)) << "survivors stay related";
+  EXPECT_TRUE(eq_->Dissociate(b).IsNotFound());  // Already out.
+}
+
+TEST_F(EquivalenceTest, DissociateCollapsesPairToNothing) {
+  ObjectId a = NewObject("a");
+  ObjectId b = NewObject("b");
+  ASSERT_OK(eq_->Relate(a, b));
+  ASSERT_OK(eq_->Dissociate(a));
+  EXPECT_FALSE(eq_->Equivalent(a, b));
+  EXPECT_EQ(eq_->class_count(), 0u);
+}
+
+TEST_F(EquivalenceTest, StatePersistsAcrossReopen) {
+  ObjectId a = NewObject("a");
+  ObjectId b = NewObject("b");
+  ASSERT_OK(eq_->Relate(a, b));
+  eq_.reset();
+  ReopenDb();
+  auto eq = Equivalences::Open(*db_);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_TRUE((*eq)->Equivalent(a, b));
+}
+
+TEST_F(EquivalenceTest, EquivalentObjectsVersionIndependently) {
+  // Views are distinct objects with their own version graphs — equivalence
+  // relates identities, not histories.
+  ObjectId layout = NewObject("layout v1");
+  ObjectId netlist = NewObject("netlist v1");
+  ASSERT_OK(eq_->Relate(layout, netlist));
+  ASSERT_TRUE(db_->NewVersionOf(layout).ok());
+  auto layout_versions = db_->VersionsOf(layout);
+  auto netlist_versions = db_->VersionsOf(netlist);
+  ASSERT_TRUE(layout_versions.ok() && netlist_versions.ok());
+  EXPECT_EQ(layout_versions->size(), 2u);
+  EXPECT_EQ(netlist_versions->size(), 1u);
+}
+
+}  // namespace
+}  // namespace ode

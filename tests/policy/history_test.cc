@@ -1,0 +1,169 @@
+#include "policy/history.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class HistoryTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+
+  // Builds: v1 -> {v2, v3}; v2 -> {v4}; v3 -> {v5, v6}.
+  void BuildTree() {
+    v1_ = MustPnew("v1");
+    v2_ = *db_->NewVersionFrom(v1_);
+    v3_ = *db_->NewVersionFrom(v1_);
+    v4_ = *db_->NewVersionFrom(v2_);
+    v5_ = *db_->NewVersionFrom(v3_);
+    v6_ = *db_->NewVersionFrom(v3_);
+  }
+
+  VersionId v1_, v2_, v3_, v4_, v5_, v6_;
+};
+
+TEST_F(HistoryTest, PathToRootFollowsDerivation) {
+  BuildTree();
+  auto path = history::PathToRoot(*db_, v5_);
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 3u);
+  EXPECT_EQ((*path)[0], v5_);
+  EXPECT_EQ((*path)[1], v3_);
+  EXPECT_EQ((*path)[2], v1_);
+}
+
+TEST_F(HistoryTest, PathToRootOfRootIsItself) {
+  BuildTree();
+  auto path = history::PathToRoot(*db_, v1_);
+  ASSERT_TRUE(path.ok());
+  ASSERT_EQ(path->size(), 1u);
+  EXPECT_EQ((*path)[0], v1_);
+}
+
+TEST_F(HistoryTest, LeavesAreUpToDateAlternatives) {
+  BuildTree();
+  auto leaves = history::Leaves(*db_, v1_.oid);
+  ASSERT_TRUE(leaves.ok());
+  EXPECT_EQ(*leaves, (std::vector<VersionId>{v4_, v5_, v6_}));
+}
+
+TEST_F(HistoryTest, RootsFindsDerivationRoots) {
+  BuildTree();
+  auto roots = history::Roots(*db_, v1_.oid);
+  ASSERT_TRUE(roots.ok());
+  ASSERT_EQ(roots->size(), 1u);
+  EXPECT_EQ((*roots)[0], v1_);
+  // Deleting the root splits the forest into two roots.
+  ASSERT_OK(db_->PdeleteVersion(v1_));
+  roots = history::Roots(*db_, v1_.oid);
+  ASSERT_TRUE(roots.ok());
+  EXPECT_EQ(*roots, (std::vector<VersionId>{v2_, v3_}));
+}
+
+TEST_F(HistoryTest, AlternativesAreSiblings) {
+  BuildTree();
+  auto alts = history::Alternatives(*db_, v5_);
+  ASSERT_TRUE(alts.ok());
+  ASSERT_EQ(alts->size(), 1u);
+  EXPECT_EQ((*alts)[0], v6_);
+  auto v2_alts = history::Alternatives(*db_, v2_);
+  ASSERT_TRUE(v2_alts.ok());
+  ASSERT_EQ(v2_alts->size(), 1u);
+  EXPECT_EQ((*v2_alts)[0], v3_);
+}
+
+TEST_F(HistoryTest, CommonAncestor) {
+  BuildTree();
+  auto ancestor = history::CommonAncestor(*db_, v4_, v6_);
+  ASSERT_TRUE(ancestor.ok());
+  ASSERT_TRUE(ancestor->has_value());
+  EXPECT_EQ(ancestor->value(), v1_);
+  auto near = history::CommonAncestor(*db_, v5_, v6_);
+  ASSERT_TRUE(near.ok());
+  EXPECT_EQ(near->value(), v3_);
+  // A version is its own ancestor.
+  auto self = history::CommonAncestor(*db_, v3_, v5_);
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(self->value(), v3_);
+}
+
+TEST_F(HistoryTest, CommonAncestorAcrossObjectsRejected) {
+  VersionId a = MustPnew("a");
+  VersionId b = MustPnew("b");
+  EXPECT_TRUE(history::CommonAncestor(*db_, a, b).status().IsInvalidArgument());
+}
+
+TEST_F(HistoryTest, NoCommonAncestorAfterRootDeletion) {
+  BuildTree();
+  ASSERT_OK(db_->PdeleteVersion(v1_));  // v2 and v3 become separate roots.
+  auto ancestor = history::CommonAncestor(*db_, v4_, v5_);
+  ASSERT_TRUE(ancestor.ok());
+  EXPECT_FALSE(ancestor->has_value());
+}
+
+TEST_F(HistoryTest, DepthCountsEdges) {
+  BuildTree();
+  auto d1 = history::Depth(*db_, v1_);
+  auto d5 = history::Depth(*db_, v5_);
+  ASSERT_TRUE(d1.ok() && d5.ok());
+  EXPECT_EQ(*d1, 0u);
+  EXPECT_EQ(*d5, 2u);
+}
+
+TEST_F(HistoryTest, CollectBuildsFullGraph) {
+  BuildTree();
+  auto graph = history::Collect(*db_, v1_.oid);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->latest, v6_);
+  ASSERT_EQ(graph->forest.size(), 1u);
+  const auto& root = graph->forest[0];
+  EXPECT_EQ(root.vid, v1_);
+  ASSERT_EQ(root.children.size(), 2u);
+  EXPECT_EQ(root.children[0].vid, v2_);
+  EXPECT_EQ(root.children[1].vid, v3_);
+  EXPECT_EQ(root.children[1].children.size(), 2u);
+  EXPECT_EQ(graph->temporal_order.size(), 6u);
+}
+
+TEST_F(HistoryTest, NthDpreviousWalksDerivation) {
+  BuildTree();
+  auto two_back = history::NthDprevious(*db_, v4_, 2);
+  ASSERT_TRUE(two_back.ok());
+  EXPECT_EQ(two_back->value(), v1_);
+  auto zero = history::NthDprevious(*db_, v4_, 0);
+  ASSERT_TRUE(zero.ok());
+  EXPECT_EQ(zero->value(), v4_);
+  auto too_far = history::NthDprevious(*db_, v4_, 5);
+  ASSERT_TRUE(too_far.ok());
+  EXPECT_FALSE(too_far->has_value());
+}
+
+TEST_F(HistoryTest, NthTpreviousWalksTemporalChain) {
+  BuildTree();
+  auto three_back = history::NthTprevious(*db_, v6_, 3);
+  ASSERT_TRUE(three_back.ok());
+  EXPECT_EQ(three_back->value(), v3_);
+  auto too_far = history::NthTprevious(*db_, v6_, 6);
+  ASSERT_TRUE(too_far.ok());
+  EXPECT_FALSE(too_far->has_value());
+}
+
+TEST_F(HistoryTest, RenderShowsTreeAndChain) {
+  VersionId v0 = MustPnew("x");
+  ASSERT_TRUE(db_->NewVersionFrom(v0).ok());
+  auto rendered = history::RenderGraph(*db_, v0.oid);
+  ASSERT_TRUE(rendered.ok());
+  EXPECT_NE(rendered->find("derived-from tree:"), std::string::npos);
+  EXPECT_NE(rendered->find("temporal chain: v1 -> v2"), std::string::npos);
+  EXPECT_NE(rendered->find("latest: v2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ode

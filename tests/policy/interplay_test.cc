@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "policy/configuration.h"
+#include "policy/labels.h"
+#include "policy/notification.h"
+#include "policy/percolation.h"
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+/// Policies are independent layers over the same trigger/primitive surface;
+/// these tests run several at once and check they compose.
+class PolicyInterplayTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+TEST_F(PolicyInterplayTest, NotifierSeesPercolatedVersions) {
+  PercolationPolicy percolation(*db_);
+  ChangeNotifier notifier(*db_);
+
+  VersionId component = MustPnew("component");
+  VersionId composite = MustPnew("composite");
+  percolation.Declare(component.oid, composite.oid);
+
+  std::vector<VersionId> notified;
+  notifier.Subscribe(composite.oid, [&](const ChangeNotifier::Event& event) {
+    if (event.kind == TriggerEvent::kNewVersion) {
+      notified.push_back(event.vid);
+    }
+  });
+
+  // One user action -> a percolated version of the composite -> one
+  // notification for the composite's subscriber.
+  ASSERT_TRUE(db_->NewVersionOf(component.oid).ok());
+  ASSERT_EQ(notified.size(), 1u);
+  EXPECT_EQ(notified[0].oid, composite.oid);
+}
+
+TEST_F(PolicyInterplayTest, PercolatedVersionsCanCarryLabels) {
+  PercolationPolicy percolation(*db_);
+  auto labels_or = VersionLabels::Open(*db_);
+  ASSERT_TRUE(labels_or.ok());
+  VersionLabels& labels = **labels_or;
+
+  VersionId component = MustPnew("component");
+  VersionId composite = MustPnew("composite");
+  percolation.Declare(component.oid, composite.oid);
+
+  // A trigger labels every percolated version "auto".
+  db_->RegisterTrigger(
+      TriggerEvent::kNewVersion, [&](Database&, const TriggerInfo& info) {
+        if (info.vid.oid == composite.oid) {
+          ASSERT_TRUE(labels.Add(info.vid, "auto").ok());
+        }
+      });
+  ASSERT_TRUE(db_->NewVersionOf(component.oid).ok());
+  auto tagged = labels.VersionsOfWith(composite.oid, "auto");
+  ASSERT_EQ(tagged.size(), 1u);
+  EXPECT_EQ(tagged[0].vnum, 2u);
+}
+
+TEST_F(PolicyInterplayTest, ConfigurationTracksPercolatedComposites) {
+  // A dynamic configuration binding to a composite follows the versions the
+  // percolation policy creates — the two policies combine into "release
+  // configurations that advance when any part changes".
+  PercolationPolicy percolation(*db_);
+  VersionId part = MustPnew("part");
+  VersionId assembly = MustPnew("assembly");
+  percolation.Declare(part.oid, assembly.oid);
+
+  auto config = Configuration::Create(*db_, "product");
+  ASSERT_TRUE(config.ok());
+  ASSERT_OK(config->BindDynamic("assembly", assembly.oid));
+
+  ASSERT_TRUE(db_->NewVersionOf(part.oid).ok());  // Percolates to assembly.
+  auto resolved = config->Resolve("assembly");
+  ASSERT_TRUE(resolved.ok());
+  EXPECT_EQ(resolved->vnum, 2u);
+}
+
+TEST_F(PolicyInterplayTest, AbortRollsBackAcrossPolicies) {
+  // A grouped transaction that spans percolation and label writes aborts as
+  // one unit: nothing leaks.
+  PercolationPolicy percolation(*db_);
+  auto labels_or = VersionLabels::Open(*db_);
+  ASSERT_TRUE(labels_or.ok());
+  VersionLabels& labels = **labels_or;
+
+  VersionId component = MustPnew("component");
+  VersionId composite = MustPnew("composite");
+  percolation.Declare(component.oid, composite.oid);
+
+  ASSERT_OK(db_->Begin());
+  auto vid = db_->NewVersionOf(component.oid);
+  ASSERT_TRUE(vid.ok());
+  ASSERT_OK(labels.Add(*vid, "doomed"));
+  ASSERT_OK(db_->Abort());
+
+  // The database rolled back; the in-memory percolation counter keeps its
+  // session tally (documented), but no versions exist.
+  auto header = db_->Header(composite.oid);
+  ASSERT_TRUE(header.ok());
+  EXPECT_EQ(header->version_count, 1u);
+  auto component_header = db_->Header(component.oid);
+  ASSERT_TRUE(component_header.ok());
+  EXPECT_EQ(component_header->version_count, 1u);
+  // Label state object rolled back too; the in-memory map may briefly
+  // disagree until reloaded — reopen the policy to resync.
+  labels_or->reset();
+  auto fresh = VersionLabels::Open(*db_);
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE((*fresh)->VersionsWith("doomed").empty());
+}
+
+}  // namespace
+}  // namespace ode

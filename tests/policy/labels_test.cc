@@ -1,0 +1,121 @@
+#include "policy/labels.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class LabelsTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+    auto labels = VersionLabels::Open(*db_);
+    ASSERT_TRUE(labels.ok()) << labels.status();
+    labels_ = std::move(*labels);
+  }
+
+  std::unique_ptr<VersionLabels> labels_;
+};
+
+TEST_F(LabelsTest, AddAndQuery) {
+  VersionId v0 = MustPnew("x");
+  ASSERT_OK(labels_->Add(v0, "validated"));
+  EXPECT_TRUE(labels_->Has(v0, "validated"));
+  EXPECT_FALSE(labels_->Has(v0, "released"));
+  EXPECT_EQ(labels_->LabelsOf(v0), std::vector<std::string>{"validated"});
+}
+
+TEST_F(LabelsTest, AddIsIdempotent) {
+  VersionId v0 = MustPnew("x");
+  ASSERT_OK(labels_->Add(v0, "valid"));
+  ASSERT_OK(labels_->Add(v0, "valid"));
+  EXPECT_EQ(labels_->LabelsOf(v0).size(), 1u);
+}
+
+TEST_F(LabelsTest, AddToMissingVersionFails) {
+  EXPECT_TRUE(labels_->Add(VersionId{ObjectId{999}, 1}, "x").IsNotFound());
+}
+
+TEST_F(LabelsTest, RemoveLabel) {
+  VersionId v0 = MustPnew("x");
+  ASSERT_OK(labels_->Add(v0, "in-progress"));
+  ASSERT_OK(labels_->Remove(v0, "in-progress"));
+  EXPECT_FALSE(labels_->Has(v0, "in-progress"));
+  EXPECT_TRUE(labels_->Remove(v0, "in-progress").IsNotFound());
+}
+
+TEST_F(LabelsTest, VersionsWithPartitionsTheSet) {
+  VersionId a = MustPnew("a");
+  auto a2 = db_->NewVersionOf(a.oid);
+  VersionId b = MustPnew("b");
+  ASSERT_TRUE(a2.ok());
+  ASSERT_OK(labels_->Add(a, "valid"));
+  ASSERT_OK(labels_->Add(*a2, "in-progress"));
+  ASSERT_OK(labels_->Add(b, "valid"));
+  auto valid = labels_->VersionsWith("valid");
+  EXPECT_EQ(valid, (std::vector<VersionId>{a, b}));
+  auto wip = labels_->VersionsWith("in-progress");
+  EXPECT_EQ(wip, (std::vector<VersionId>{*a2}));
+}
+
+TEST_F(LabelsTest, VersionsOfWithScopesToObject) {
+  VersionId a = MustPnew("a");
+  auto a2 = db_->NewVersionOf(a.oid);
+  VersionId b = MustPnew("b");
+  ASSERT_TRUE(a2.ok());
+  ASSERT_OK(labels_->Add(a, "valid"));
+  ASSERT_OK(labels_->Add(*a2, "valid"));
+  ASSERT_OK(labels_->Add(b, "valid"));
+  auto a_valid = labels_->VersionsOfWith(a.oid, "valid");
+  EXPECT_EQ(a_valid, (std::vector<VersionId>{a, *a2}));
+}
+
+TEST_F(LabelsTest, DeletingVersionDropsItsLabels) {
+  VersionId v0 = MustPnew("x");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(labels_->Add(v0, "valid"));
+  ASSERT_OK(labels_->Add(*v1, "valid"));
+  ASSERT_OK(db_->PdeleteVersion(v0));
+  EXPECT_FALSE(labels_->Has(v0, "valid"));
+  EXPECT_TRUE(labels_->Has(*v1, "valid"));
+  EXPECT_EQ(labels_->VersionsWith("valid").size(), 1u);
+}
+
+TEST_F(LabelsTest, DeletingObjectDropsAllItsLabels) {
+  VersionId v0 = MustPnew("x");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_OK(labels_->Add(v0, "valid"));
+  ASSERT_OK(labels_->Add(*v1, "effective"));
+  ASSERT_OK(db_->PdeleteObject(v0.oid));
+  EXPECT_TRUE(labels_->VersionsWith("valid").empty());
+  EXPECT_TRUE(labels_->VersionsWith("effective").empty());
+}
+
+TEST_F(LabelsTest, LabelsPersistAcrossReopen) {
+  VersionId v0 = MustPnew("x");
+  ASSERT_OK(labels_->Add(v0, "released"));
+  labels_.reset();
+  ReopenDb();
+  auto labels = VersionLabels::Open(*db_);
+  ASSERT_TRUE(labels.ok());
+  EXPECT_TRUE((*labels)->Has(v0, "released"));
+}
+
+TEST_F(LabelsTest, MultipleLabelsPerVersion) {
+  VersionId v0 = MustPnew("x");
+  ASSERT_OK(labels_->Add(v0, "valid"));
+  ASSERT_OK(labels_->Add(v0, "effective"));
+  ASSERT_OK(labels_->Add(v0, "released"));
+  auto tags = labels_->LabelsOf(v0);
+  EXPECT_EQ(tags, (std::vector<std::string>{"effective", "released", "valid"}));
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,156 @@
+#include "policy/migrate.h"
+
+#include <gtest/gtest.h>
+
+#include "policy/history.h"
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class MigrateTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+
+  /// Opens a second, independent database over the same MemEnv.
+  std::unique_ptr<Database> OpenSecondDb() {
+    DatabaseOptions options;
+    options.storage.env = &env_;
+    options.storage.path = "/db2";
+    options.clock = &clock_;
+    auto db = Database::Open(options);
+    EXPECT_TRUE(db.ok()) << db.status();
+    return db.ok() ? std::move(*db) : nullptr;
+  }
+};
+
+TEST_F(MigrateTest, ExportImportRoundTripsSingleVersion) {
+  VersionId v0 = MustPnew("solo payload");
+  auto exported = migrate::ExportObject(*db_, v0.oid);
+  ASSERT_TRUE(exported.ok()) << exported.status();
+  auto dst = OpenSecondDb();
+  ASSERT_NE(dst, nullptr);
+  auto imported = migrate::ImportObject(*dst, Slice(*exported));
+  ASSERT_TRUE(imported.ok()) << imported.status();
+  auto payload = dst->ReadLatest(imported->oid);
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "solo payload");
+}
+
+TEST_F(MigrateTest, CopyPreservesGraphTopology) {
+  // Build: v1 -> {v2, v3}, v2 -> {v4}; then delete v2 so v4 re-parents and
+  // the copy must reproduce the SPLICED graph.
+  VersionId v1 = MustPnew("v1");
+  auto v2 = db_->NewVersionFrom(v1);
+  auto v3 = db_->NewVersionFrom(v1);
+  ASSERT_TRUE(v2.ok() && v3.ok());
+  auto v4 = db_->NewVersionFrom(*v2);
+  ASSERT_TRUE(v4.ok());
+  ASSERT_OK(db_->UpdateVersion(*v3, Slice("v3 payload")));
+  ASSERT_OK(db_->PdeleteVersion(*v2));
+
+  auto dst = OpenSecondDb();
+  ASSERT_NE(dst, nullptr);
+  auto copied = migrate::CopyObject(*db_, v1.oid, *dst);
+  ASSERT_TRUE(copied.ok()) << copied.status();
+
+  auto src_graph = history::Collect(*db_, v1.oid);
+  auto dst_graph = history::Collect(*dst, copied->oid);
+  ASSERT_TRUE(src_graph.ok() && dst_graph.ok());
+  ASSERT_EQ(dst_graph->temporal_order.size(),
+            src_graph->temporal_order.size());
+  // Structure: one root (v1) with two children (v3, v4 after splice).
+  ASSERT_EQ(dst_graph->forest.size(), 1u);
+  EXPECT_EQ(dst_graph->forest[0].children.size(), 2u);
+  // Payloads travel.
+  const VersionNum v3_new = copied->vnum_map.at(v3->vnum);
+  auto payload = dst->ReadVersion(VersionId{copied->oid, v3_new});
+  ASSERT_TRUE(payload.ok());
+  EXPECT_EQ(*payload, "v3 payload");
+}
+
+TEST_F(MigrateTest, MultiRootHistoriesSurviveCopy) {
+  // Delete the root of a two-root history; the import must recreate both
+  // roots (exercising NewDetachedVersion).
+  VersionId v1 = MustPnew("v1");
+  auto v2 = db_->NewVersionFrom(v1);
+  auto v3 = db_->NewVersionFrom(v1);
+  ASSERT_TRUE(v2.ok() && v3.ok());
+  ASSERT_OK(db_->PdeleteVersion(v1));  // v2 and v3 become roots.
+
+  auto dst = OpenSecondDb();
+  ASSERT_NE(dst, nullptr);
+  auto copied = migrate::CopyObject(*db_, v1.oid, *dst);
+  ASSERT_TRUE(copied.ok()) << copied.status();
+  auto roots = history::Roots(*dst, copied->oid);
+  ASSERT_TRUE(roots.ok());
+  EXPECT_EQ(roots->size(), 2u);
+}
+
+TEST_F(MigrateTest, ImportRegistersTypeInDestination) {
+  VersionId v0 = MustPnew("x");
+  auto dst = OpenSecondDb();
+  ASSERT_NE(dst, nullptr);
+  auto copied = migrate::CopyObject(*db_, v0.oid, *dst);
+  ASSERT_TRUE(copied.ok());
+  auto type = dst->LookupType("raw");
+  ASSERT_TRUE(type.ok());
+  ASSERT_TRUE(type->has_value());
+  auto cluster = dst->ClusterSize(**type);
+  ASSERT_TRUE(cluster.ok());
+  EXPECT_EQ(*cluster, 1u);
+}
+
+TEST_F(MigrateTest, CopyWithinSameDatabaseDuplicates) {
+  VersionId v0 = MustPnew("original");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  auto copied = migrate::CopyObject(*db_, v0.oid, *db_);
+  ASSERT_TRUE(copied.ok());
+  EXPECT_NE(copied->oid, v0.oid);
+  auto versions = db_->VersionsOf(copied->oid);
+  ASSERT_TRUE(versions.ok());
+  EXPECT_EQ(versions->size(), 2u);
+  // The copy is independent: updating it leaves the original alone.
+  ASSERT_OK(db_->UpdateLatest(copied->oid, Slice("copy changed")));
+  EXPECT_EQ(MustReadLatest(v0.oid), "original");
+}
+
+TEST_F(MigrateTest, ExportOfMissingObjectFails) {
+  EXPECT_TRUE(
+      migrate::ExportObject(*db_, ObjectId{424242}).status().IsNotFound());
+}
+
+TEST_F(MigrateTest, ImportRejectsGarbage) {
+  auto dst = OpenSecondDb();
+  ASSERT_NE(dst, nullptr);
+  EXPECT_FALSE(migrate::ImportObject(*dst, Slice("not an export")).ok());
+}
+
+TEST_F(MigrateTest, TimestampOrderPreserved) {
+  VersionId v1 = MustPnew("a");
+  auto v2 = db_->NewVersionOf(v1.oid);
+  auto v3 = db_->NewVersionOf(v1.oid);
+  ASSERT_TRUE(v2.ok() && v3.ok());
+  auto dst = OpenSecondDb();
+  ASSERT_NE(dst, nullptr);
+  auto copied = migrate::CopyObject(*db_, v1.oid, *dst);
+  ASSERT_TRUE(copied.ok());
+  auto versions = dst->VersionsOf(copied->oid);
+  ASSERT_TRUE(versions.ok());
+  uint64_t last_ts = 0;
+  for (VersionId vid : *versions) {
+    auto meta = dst->Meta(vid);
+    ASSERT_TRUE(meta.ok());
+    EXPECT_GT(meta->created_ts, last_ts);
+    last_ts = meta->created_ts;
+  }
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,105 @@
+#include "policy/notification.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class NotificationTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+TEST_F(NotificationTest, ObjectSubscriberSeesItsChanges) {
+  ChangeNotifier notifier(*db_);
+  VersionId target = MustPnew("watched");
+  VersionId other = MustPnew("unwatched");
+
+  std::vector<ChangeNotifier::Event> events;
+  notifier.Subscribe(target.oid, [&](const ChangeNotifier::Event& event) {
+    events.push_back(event);
+  });
+
+  ASSERT_TRUE(db_->NewVersionOf(target.oid).ok());
+  ASSERT_OK(db_->UpdateLatest(target.oid, Slice("changed")));
+  ASSERT_TRUE(db_->NewVersionOf(other.oid).ok());  // Not watched.
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].kind, TriggerEvent::kNewVersion);
+  EXPECT_EQ(events[0].derived_from, target);
+  EXPECT_EQ(events[1].kind, TriggerEvent::kUpdate);
+}
+
+TEST_F(NotificationTest, TypeSubscriberSeesAllObjectsOfType) {
+  ChangeNotifier notifier(*db_);
+  int count = 0;
+  notifier.SubscribeType(type_id_,
+                         [&](const ChangeNotifier::Event&) { ++count; });
+  VersionId a = MustPnew("a");  // kPnew fires.
+  ASSERT_TRUE(db_->NewVersionOf(a.oid).ok());
+  VersionId b = MustPnew("b");
+  ASSERT_OK(db_->PdeleteObject(b.oid));
+  EXPECT_EQ(count, 4);  // pnew, newversion, pnew, delete-object.
+}
+
+TEST_F(NotificationTest, UnsubscribeStopsDelivery) {
+  ChangeNotifier notifier(*db_);
+  VersionId target = MustPnew("x");
+  int count = 0;
+  uint64_t handle = notifier.Subscribe(
+      target.oid, [&](const ChangeNotifier::Event&) { ++count; });
+  ASSERT_TRUE(db_->NewVersionOf(target.oid).ok());
+  notifier.Unsubscribe(handle);
+  ASSERT_TRUE(db_->NewVersionOf(target.oid).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(NotificationTest, DeliveredCountAccumulates) {
+  ChangeNotifier notifier(*db_);
+  VersionId target = MustPnew("x");
+  notifier.Subscribe(target.oid, [](const ChangeNotifier::Event&) {});
+  notifier.SubscribeType(type_id_, [](const ChangeNotifier::Event&) {});
+  ASSERT_TRUE(db_->NewVersionOf(target.oid).ok());
+  EXPECT_EQ(notifier.delivered_count(), 2u);  // Both subscribers hit.
+  EXPECT_EQ(notifier.subscriber_count(), 2u);
+}
+
+TEST_F(NotificationTest, DestructionUnhooksTriggers) {
+  VersionId target = MustPnew("x");
+  int count = 0;
+  {
+    ChangeNotifier notifier(*db_);
+    notifier.Subscribe(target.oid,
+                       [&](const ChangeNotifier::Event&) { ++count; });
+    ASSERT_TRUE(db_->NewVersionOf(target.oid).ok());
+  }
+  // Notifier gone: further changes deliver nothing (and don't crash).
+  ASSERT_TRUE(db_->NewVersionOf(target.oid).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(NotificationTest, DeleteEventsReachObjectSubscribers) {
+  ChangeNotifier notifier(*db_);
+  VersionId v0 = MustPnew("x");
+  auto v1 = db_->NewVersionOf(v0.oid);
+  ASSERT_TRUE(v1.ok());
+  std::vector<TriggerEvent> kinds;
+  notifier.Subscribe(v0.oid, [&](const ChangeNotifier::Event& event) {
+    kinds.push_back(event.kind);
+  });
+  ASSERT_OK(db_->PdeleteVersion(*v1));
+  ASSERT_OK(db_->PdeleteObject(v0.oid));
+  ASSERT_EQ(kinds.size(), 2u);
+  EXPECT_EQ(kinds[0], TriggerEvent::kDeleteVersion);
+  EXPECT_EQ(kinds[1], TriggerEvent::kDeleteObject);
+}
+
+}  // namespace
+}  // namespace ode

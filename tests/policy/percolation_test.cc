@@ -1,0 +1,128 @@
+#include "policy/percolation.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class PercolationTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+
+  uint32_t VersionCount(ObjectId oid) {
+    auto header = db_->Header(oid);
+    EXPECT_TRUE(header.ok());
+    return header.ok() ? header->version_count : 0;
+  }
+};
+
+TEST_F(PercolationTest, NewComponentVersionPercolatesToDependent) {
+  PercolationPolicy policy(*db_);
+  VersionId component = MustPnew("component");
+  VersionId composite = MustPnew("composite");
+  policy.Declare(component.oid, composite.oid);
+
+  ASSERT_TRUE(db_->NewVersionOf(component.oid).ok());
+  EXPECT_EQ(VersionCount(component.oid), 2u);
+  EXPECT_EQ(VersionCount(composite.oid), 2u);
+  EXPECT_EQ(policy.percolated_versions(), 1u);
+}
+
+TEST_F(PercolationTest, TransitivePercolation) {
+  PercolationPolicy policy(*db_);
+  VersionId leaf = MustPnew("leaf");
+  VersionId middle = MustPnew("middle");
+  VersionId root = MustPnew("root");
+  policy.Declare(leaf.oid, middle.oid);
+  policy.Declare(middle.oid, root.oid);
+
+  ASSERT_TRUE(db_->NewVersionOf(leaf.oid).ok());
+  EXPECT_EQ(VersionCount(middle.oid), 2u);
+  EXPECT_EQ(VersionCount(root.oid), 2u);
+  EXPECT_EQ(policy.percolated_versions(), 2u);
+}
+
+TEST_F(PercolationTest, SharedDependentVersionedOncePerWave) {
+  // Diamond: two components in the same composite; a wave triggered by one
+  // component versions the composite once, not twice.
+  PercolationPolicy policy(*db_);
+  VersionId a = MustPnew("a");
+  VersionId b = MustPnew("b");
+  VersionId composite = MustPnew("composite");
+  VersionId super = MustPnew("super");
+  policy.Declare(a.oid, composite.oid);
+  policy.Declare(b.oid, composite.oid);
+  policy.Declare(composite.oid, super.oid);
+  policy.Declare(a.oid, super.oid);  // Diamond edge.
+
+  ASSERT_TRUE(db_->NewVersionOf(a.oid).ok());
+  EXPECT_EQ(VersionCount(composite.oid), 2u);
+  EXPECT_EQ(VersionCount(super.oid), 2u);
+  EXPECT_EQ(policy.percolated_versions(), 2u);
+}
+
+TEST_F(PercolationTest, CyclesTerminate) {
+  PercolationPolicy policy(*db_);
+  VersionId a = MustPnew("a");
+  VersionId b = MustPnew("b");
+  policy.Declare(a.oid, b.oid);
+  policy.Declare(b.oid, a.oid);  // Cycle.
+
+  ASSERT_TRUE(db_->NewVersionOf(a.oid).ok());
+  // a was versioned by the user; b percolated; a NOT re-versioned.
+  EXPECT_EQ(VersionCount(a.oid), 2u);
+  EXPECT_EQ(VersionCount(b.oid), 2u);
+  EXPECT_EQ(policy.percolated_versions(), 1u);
+}
+
+TEST_F(PercolationTest, SeparateWavesPercolateSeparately) {
+  PercolationPolicy policy(*db_);
+  VersionId component = MustPnew("c");
+  VersionId composite = MustPnew("d");
+  policy.Declare(component.oid, composite.oid);
+  ASSERT_TRUE(db_->NewVersionOf(component.oid).ok());
+  ASSERT_TRUE(db_->NewVersionOf(component.oid).ok());
+  EXPECT_EQ(VersionCount(composite.oid), 3u);
+  EXPECT_EQ(policy.percolated_versions(), 2u);
+}
+
+TEST_F(PercolationTest, UndeclareStopsPercolation) {
+  PercolationPolicy policy(*db_);
+  VersionId component = MustPnew("c");
+  VersionId composite = MustPnew("d");
+  policy.Declare(component.oid, composite.oid);
+  policy.Undeclare(component.oid, composite.oid);
+  ASSERT_TRUE(db_->NewVersionOf(component.oid).ok());
+  EXPECT_EQ(VersionCount(composite.oid), 1u);
+  EXPECT_EQ(policy.percolated_versions(), 0u);
+}
+
+TEST_F(PercolationTest, FanOutMatchesDependencyCount) {
+  // The paper's warning quantified: one newversion cascades into N.
+  PercolationPolicy policy(*db_);
+  VersionId component = MustPnew("shared-part");
+  constexpr int kDependents = 20;
+  std::vector<ObjectId> dependents;
+  for (int i = 0; i < kDependents; ++i) {
+    VersionId dep = MustPnew("design-" + std::to_string(i));
+    policy.Declare(component.oid, dep.oid);
+    dependents.push_back(dep.oid);
+  }
+  ASSERT_TRUE(db_->NewVersionOf(component.oid).ok());
+  EXPECT_EQ(policy.percolated_versions(), static_cast<uint64_t>(kDependents));
+  for (ObjectId dep : dependents) {
+    EXPECT_EQ(VersionCount(dep), 2u);
+  }
+  EXPECT_EQ(policy.DependentsOf(component.oid).size(),
+            static_cast<size_t>(kDependents));
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "core/check.h"
+#include "policy/checkout.h"
+#include "policy/labels.h"
+#include "tests/testing/db_fixture.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+using VersionState = CheckoutManager::VersionState;
+
+/// Randomized multi-user checkout workflow checked against an in-memory
+/// model of the ORION state machine (transient -> working -> released).
+class CheckoutPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CheckoutPropertyTest, WorkflowMatchesStateMachine) {
+  MemEnv env;
+  LogicalClock clock;
+  DatabaseOptions options;
+  options.storage.env = &env;
+  options.storage.path = "/db";
+  options.clock = &clock;
+  auto db_or = Database::Open(options);
+  ASSERT_TRUE(db_or.ok());
+  Database& db = **db_or;
+  auto type = db.RegisterType("raw");
+  ASSERT_TRUE(type.ok());
+  auto manager_or = CheckoutManager::Open(db);
+  ASSERT_TRUE(manager_or.ok());
+  CheckoutManager& manager = *manager_or;
+
+  Random rng(GetParam());
+  const std::vector<std::string> users = {"alice", "bob", "carol"};
+
+  struct ModelEntry {
+    VersionState state;
+    std::string owner;
+  };
+  std::map<VersionId, ModelEntry> model;  // Labeled versions only.
+  std::vector<VersionId> all_versions;
+
+  // Seed released versions.
+  for (int i = 0; i < 3; ++i) {
+    auto vid = db.PnewRaw(*type, Slice("design " + std::to_string(i)));
+    ASSERT_TRUE(vid.ok());
+    all_versions.push_back(*vid);
+  }
+
+  auto model_state = [&](VersionId vid) {
+    auto it = model.find(vid);
+    return it == model.end() ? VersionState::kReleased : it->second.state;
+  };
+
+  for (int op = 0; op < 300; ++op) {
+    const VersionId target =
+        all_versions[rng.Uniform(all_versions.size())];
+    const std::string& user = users[rng.Uniform(users.size())];
+    switch (rng.Uniform(4)) {
+      case 0: {  // Checkout.
+        auto result = manager.Checkout(target, user);
+        if (model_state(target) == VersionState::kTransient) {
+          EXPECT_FALSE(result.ok());
+        } else {
+          ASSERT_TRUE(result.ok()) << result.status();
+          model[*result] = ModelEntry{VersionState::kTransient, user};
+          all_versions.push_back(*result);
+        }
+        break;
+      }
+      case 1: {  // Write.
+        Status s = manager.Write(target, user, Slice("edit by " + user));
+        const auto it = model.find(target);
+        const bool allowed = it != model.end() &&
+                             it->second.state != VersionState::kReleased &&
+                             it->second.owner == user;
+        EXPECT_EQ(s.ok(), allowed) << s;
+        break;
+      }
+      case 2: {  // Checkin.
+        Status s = manager.Checkin(target, user);
+        const auto it = model.find(target);
+        const bool allowed = it != model.end() &&
+                             it->second.state == VersionState::kTransient &&
+                             it->second.owner == user;
+        EXPECT_EQ(s.ok(), allowed) << s;
+        if (allowed) it->second.state = VersionState::kWorking;
+        break;
+      }
+      case 3: {  // Promote.
+        Status s = manager.Promote(target);
+        const auto it = model.find(target);
+        const bool allowed =
+            it != model.end() && it->second.state == VersionState::kWorking;
+        EXPECT_EQ(s.ok(), allowed) << s;
+        if (allowed) model.erase(it);
+        break;
+      }
+    }
+  }
+
+  // Full-state comparison.
+  for (VersionId vid : all_versions) {
+    auto state = manager.StateOf(vid);
+    ASSERT_TRUE(state.ok());
+    EXPECT_EQ(*state, model_state(vid)) << vid;
+  }
+  // Per-user checkout listings match the model.
+  for (const std::string& user : users) {
+    std::set<VersionId> expected;
+    for (const auto& [vid, entry] : model) {
+      if (entry.state == VersionState::kTransient && entry.owner == user) {
+        expected.insert(vid);
+      }
+    }
+    auto actual_list = manager.CheckoutsOf(user);
+    std::set<VersionId> actual(actual_list.begin(), actual_list.end());
+    EXPECT_EQ(actual, expected) << user;
+  }
+  // And the database stayed structurally consistent (ignore the manager's
+  // own state object by checking everything).
+  auto report = CheckDatabase(db);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckoutPropertyTest,
+                         ::testing::Values(1001, 1002, 1003));
+
+/// Randomized labels vs a reference model, under interleaved deletion.
+TEST(LabelsPropertyTest, MatchesModelUnderChurn) {
+  MemEnv env;
+  LogicalClock clock;
+  DatabaseOptions options;
+  options.storage.env = &env;
+  options.storage.path = "/db";
+  options.clock = &clock;
+  auto db_or = Database::Open(options);
+  ASSERT_TRUE(db_or.ok());
+  Database& db = **db_or;
+  auto type = db.RegisterType("raw");
+  ASSERT_TRUE(type.ok());
+  auto labels_or = VersionLabels::Open(db);
+  ASSERT_TRUE(labels_or.ok());
+  VersionLabels& labels = **labels_or;
+
+  Random rng(555);
+  const std::vector<std::string> tag_pool = {"valid", "invalid", "wip"};
+  std::map<VersionId, std::set<std::string>> model;
+  std::vector<VersionId> live;
+
+  for (int op = 0; op < 400; ++op) {
+    const int action = static_cast<int>(rng.Uniform(10));
+    if (live.empty() || action < 3) {
+      auto vid = db.PnewRaw(*type, Slice("x"));
+      ASSERT_TRUE(vid.ok());
+      live.push_back(*vid);
+    } else if (action < 6) {
+      VersionId target = live[rng.Uniform(live.size())];
+      const std::string& tag = tag_pool[rng.Uniform(tag_pool.size())];
+      ASSERT_OK(labels.Add(target, tag));
+      model[target].insert(tag);
+    } else if (action < 8) {
+      VersionId target = live[rng.Uniform(live.size())];
+      const std::string& tag = tag_pool[rng.Uniform(tag_pool.size())];
+      Status s = labels.Remove(target, tag);
+      EXPECT_EQ(s.ok(), model[target].erase(tag) > 0);
+    } else {
+      const size_t idx = rng.Uniform(live.size());
+      VersionId target = live[idx];
+      ASSERT_OK(db.PdeleteVersion(target));
+      model.erase(target);
+      live.erase(live.begin() + idx);
+    }
+  }
+  for (VersionId vid : live) {
+    std::vector<std::string> expected(model[vid].begin(), model[vid].end());
+    EXPECT_EQ(labels.LabelsOf(vid), expected) << vid;
+  }
+}
+
+}  // namespace
+}  // namespace ode

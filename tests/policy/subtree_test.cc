@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "policy/history.h"
+#include "tests/testing/db_fixture.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class SubtreeTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+
+  // Builds: v1 -> {v2, v3}; v2 -> {v4, v5}; v3 -> {v6}.
+  void BuildTree() {
+    v1_ = MustPnew("v1");
+    v2_ = *db_->NewVersionFrom(v1_);
+    v3_ = *db_->NewVersionFrom(v1_);
+    v4_ = *db_->NewVersionFrom(v2_);
+    v5_ = *db_->NewVersionFrom(v2_);
+    v6_ = *db_->NewVersionFrom(v3_);
+  }
+
+  VersionId v1_, v2_, v3_, v4_, v5_, v6_;
+};
+
+TEST_F(SubtreeTest, DeletesVersionAndDescendants) {
+  BuildTree();
+  auto deleted = history::DeleteSubtree(*db_, v2_);
+  ASSERT_TRUE(deleted.ok()) << deleted.status();
+  EXPECT_EQ(*deleted, 3u);  // v2, v4, v5.
+  for (VersionId vid : {v2_, v4_, v5_}) {
+    auto exists = db_->VersionExists(vid);
+    ASSERT_TRUE(exists.ok());
+    EXPECT_FALSE(*exists);
+  }
+  for (VersionId vid : {v1_, v3_, v6_}) {
+    auto exists = db_->VersionExists(vid);
+    ASSERT_TRUE(exists.ok());
+    EXPECT_TRUE(*exists);
+  }
+  auto report = CheckDatabase(*db_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+}
+
+TEST_F(SubtreeTest, LeafSubtreeIsJustTheLeaf) {
+  BuildTree();
+  auto deleted = history::DeleteSubtree(*db_, v6_);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 1u);
+}
+
+TEST_F(SubtreeTest, RootSubtreeDeletesWholeObject) {
+  BuildTree();
+  auto deleted = history::DeleteSubtree(*db_, v1_);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(*deleted, 6u);
+  auto exists = db_->ObjectExists(v1_.oid);
+  ASSERT_TRUE(exists.ok());
+  EXPECT_FALSE(*exists);
+}
+
+TEST_F(SubtreeTest, LatestRecomputedAfterPrune) {
+  BuildTree();  // v6 is latest.
+  auto deleted = history::DeleteSubtree(*db_, v3_);  // Kills v3 and v6.
+  ASSERT_TRUE(deleted.ok());
+  auto latest = db_->Latest(v1_.oid);
+  ASSERT_TRUE(latest.ok());
+  EXPECT_EQ(*latest, v5_);  // Newest survivor.
+}
+
+TEST_F(SubtreeTest, MissingVersionFails) {
+  BuildTree();
+  EXPECT_FALSE(
+      history::DeleteSubtree(*db_, VersionId{v1_.oid, 999}).ok());
+}
+
+TEST_F(SubtreeTest, WorksWithDeltaPayloads) {
+  db_.reset();
+  DatabaseOptions options = MakeOptions();
+  options.payload_strategy = PayloadKind::kDelta;
+  auto db = Database::Open(options);
+  ASSERT_TRUE(db.ok());
+  db_ = std::move(*db);
+  SetUpRawType();
+  BuildTree();
+  auto deleted = history::DeleteSubtree(*db_, v2_);
+  ASSERT_TRUE(deleted.ok()) << deleted.status();
+  // Survivors still materialize.
+  EXPECT_EQ(MustRead(v6_), "v1");
+  auto report = CheckDatabase(*db_);
+  ASSERT_TRUE(report.ok());
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+}
+
+}  // namespace
+}  // namespace ode

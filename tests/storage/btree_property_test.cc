@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+
+#include "storage/btree.h"
+#include "storage/storage_engine.h"
+#include "tests/testing/util.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+/// Parameters for one randomized run: (seed, operation count, key space).
+struct PropertyParam {
+  uint64_t seed;
+  int ops;
+  int key_space;
+};
+
+/// Differential test: random Put/Delete/Get/scan sequences checked against a
+/// std::map reference model.
+class BTreePropertyTest : public ::testing::TestWithParam<PropertyParam> {};
+
+TEST_P(BTreePropertyTest, MatchesReferenceModel) {
+  const PropertyParam param = GetParam();
+  MemEnv env;
+  StorageOptions options;
+  options.env = &env;
+  options.path = "/db";
+  auto engine_or = StorageEngine::Open(options);
+  ASSERT_TRUE(engine_or.ok());
+  auto engine = std::move(*engine_or);
+
+  Random rng(param.seed);
+  std::map<std::string, std::string> model;
+
+  auto random_key = [&] {
+    return "k" + std::to_string(rng.Uniform(param.key_space));
+  };
+
+  for (int op = 0; op < param.ops; ++op) {
+    ASSERT_OK(engine->WithTxn([&](Txn& txn) -> Status {
+      auto tree = BTree::Open(&txn, 4);
+      if (!tree.ok()) return tree.status();
+      const int action = static_cast<int>(rng.Uniform(10));
+      if (action < 5) {  // 50% put
+        std::string key = random_key();
+        std::string value = rng.NextBytes(rng.Range(0, 200));
+        ODE_RETURN_IF_ERROR(tree->Put(Slice(key), Slice(value)));
+        model[key] = value;
+      } else if (action < 8) {  // 30% delete
+        std::string key = random_key();
+        Status s = tree->Delete(Slice(key));
+        if (model.count(key) > 0) {
+          EXPECT_TRUE(s.ok()) << s;
+          model.erase(key);
+        } else {
+          EXPECT_TRUE(s.IsNotFound());
+        }
+      } else {  // 20% point lookup
+        std::string key = random_key();
+        auto v = tree->Get(Slice(key));
+        if (model.count(key) > 0) {
+          EXPECT_TRUE(v.ok());
+          if (v.ok()) EXPECT_EQ(*v, model[key]);
+        } else {
+          EXPECT_TRUE(v.status().IsNotFound());
+        }
+      }
+      return Status::OK();
+    }));
+  }
+
+  // Final full-scan comparison: same entries, same order.
+  ASSERT_OK(engine->WithTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, 4);
+    if (!tree.ok()) return tree.status();
+    auto it = tree->NewIterator();
+    auto model_it = model.begin();
+    for (it.SeekToFirst(); it.Valid(); it.Next(), ++model_it) {
+      if (model_it == model.end()) {
+        ADD_FAILURE() << "tree has extra key " << it.key();
+        break;
+      }
+      EXPECT_EQ(it.key(), model_it->first);
+      EXPECT_EQ(it.value(), model_it->second);
+    }
+    EXPECT_EQ(model_it, model.end());
+    // And in reverse.
+    auto rit = model.rbegin();
+    for (it.SeekToLast(); it.Valid(); it.Prev(), ++rit) {
+      if (rit == model.rend()) {
+        ADD_FAILURE() << "reverse scan has extra key " << it.key();
+        break;
+      }
+      EXPECT_EQ(it.key(), rit->first);
+    }
+    return it.status();
+  }));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BTreePropertyTest,
+    ::testing::Values(PropertyParam{1, 1500, 100},     // Hot keys, churn.
+                      PropertyParam{2, 1500, 10000},   // Sparse keys.
+                      PropertyParam{3, 3000, 500},     // Mixed.
+                      PropertyParam{4, 800, 10},       // Tiny key space.
+                      PropertyParam{5, 2000, 2000}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_ops" +
+             std::to_string(info.param.ops) + "_keys" +
+             std::to_string(info.param.key_space);
+    });
+
+/// Seek/SeekForPrev consistency against the model on a static tree.
+TEST(BTreeSeekPropertyTest, SeekMatchesModelBounds) {
+  MemEnv env;
+  StorageOptions options;
+  options.env = &env;
+  options.path = "/db";
+  auto engine_or = StorageEngine::Open(options);
+  ASSERT_TRUE(engine_or.ok());
+  auto engine = std::move(*engine_or);
+
+  Random rng(99);
+  std::map<std::string, std::string> model;
+  ASSERT_OK(engine->WithTxn([&](Txn& txn) -> Status {
+    auto tree = BTree::Open(&txn, 4);
+    if (!tree.ok()) return tree.status();
+    for (int i = 0; i < 800; ++i) {
+      std::string key = rng.NextString(rng.Range(1, 12));
+      std::string value = std::to_string(i);
+      ODE_RETURN_IF_ERROR(tree->Put(Slice(key), Slice(value)));
+      model[key] = value;
+    }
+    for (int probe = 0; probe < 500; ++probe) {
+      std::string target = rng.NextString(rng.Range(1, 12));
+      auto it = tree->NewIterator();
+      it.Seek(Slice(target));
+      auto lb = model.lower_bound(target);
+      if (lb == model.end()) {
+        EXPECT_FALSE(it.Valid()) << "target=" << target;
+      } else {
+        if (!it.Valid()) return Status::Internal("invalid iterator at " + target);
+        EXPECT_EQ(it.key(), lb->first);
+      }
+      it.SeekForPrev(Slice(target));
+      auto ub = model.upper_bound(target);
+      if (ub == model.begin()) {
+        EXPECT_FALSE(it.Valid()) << "target=" << target;
+      } else {
+        --ub;
+        if (!it.Valid()) return Status::Internal("invalid iterator at " + target);
+        EXPECT_EQ(it.key(), ub->first);
+      }
+    }
+    return Status::OK();
+  }));
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,295 @@
+#include "storage/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "storage/storage_engine.h"
+#include "tests/testing/util.h"
+
+namespace ode {
+namespace {
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StorageOptions options;
+    options.env = &env_;
+    options.path = "/db";
+    auto engine = StorageEngine::Open(options);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::move(*engine);
+  }
+
+  void InTxn(const std::function<Status(BTree&)>& body) {
+    ASSERT_OK(engine_->WithTxn([&](Txn& txn) -> Status {
+      auto tree = BTree::Open(&txn, 4);
+      if (!tree.ok()) return tree.status();
+      return body(*tree);
+    }));
+  }
+
+  /// Key like "key-000042" so lexicographic order == numeric order.
+  static std::string Key(int i) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "key-%06d", i);
+    return buf;
+  }
+
+  MemEnv env_;
+  std::unique_ptr<StorageEngine> engine_;
+};
+
+TEST_F(BTreeTest, EmptyTreeGetFails) {
+  InTxn([](BTree& tree) -> Status {
+    EXPECT_TRUE(tree.Get(Slice("missing")).status().IsNotFound());
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, PutGetSingle) {
+  InTxn([](BTree& tree) -> Status {
+    ODE_RETURN_IF_ERROR(tree.Put(Slice("k"), Slice("v")));
+    auto v = tree.Get(Slice("k"));
+    EXPECT_TRUE(v.ok());
+    EXPECT_EQ(*v, "v");
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, PutReplacesExisting) {
+  InTxn([](BTree& tree) -> Status {
+    ODE_RETURN_IF_ERROR(tree.Put(Slice("k"), Slice("v1")));
+    ODE_RETURN_IF_ERROR(tree.Put(Slice("k"), Slice("v2")));
+    auto v = tree.Get(Slice("k"));
+    EXPECT_EQ(*v, "v2");
+    auto count = tree.Count();
+    EXPECT_EQ(*count, 1u);
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, ManyKeysForceSplits) {
+  constexpr int kN = 2000;
+  InTxn([&](BTree& tree) -> Status {
+    for (int i = 0; i < kN; ++i) {
+      ODE_RETURN_IF_ERROR(tree.Put(Slice(Key(i)), Slice("value-" + Key(i))));
+    }
+    auto height = tree.Height();
+    EXPECT_GT(*height, 1u);  // Must have split.
+    for (int i = 0; i < kN; ++i) {
+      auto v = tree.Get(Slice(Key(i)));
+      if (!v.ok()) return v.status();
+      EXPECT_EQ(*v, "value-" + Key(i));
+    }
+    auto count = tree.Count();
+    EXPECT_EQ(*count, static_cast<uint64_t>(kN));
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, ReverseInsertionOrder) {
+  InTxn([&](BTree& tree) -> Status {
+    for (int i = 999; i >= 0; --i) {
+      ODE_RETURN_IF_ERROR(tree.Put(Slice(Key(i)), Slice(Key(i))));
+    }
+    // Iteration yields sorted order regardless of insertion order.
+    auto it = tree.NewIterator();
+    int expected = 0;
+    for (it.SeekToFirst(); it.Valid(); it.Next()) {
+      EXPECT_EQ(it.key(), Key(expected++));
+    }
+    EXPECT_EQ(expected, 1000);
+    return it.status();
+  });
+}
+
+TEST_F(BTreeTest, DeleteRemovesKey) {
+  InTxn([&](BTree& tree) -> Status {
+    ODE_RETURN_IF_ERROR(tree.Put(Slice("a"), Slice("1")));
+    ODE_RETURN_IF_ERROR(tree.Put(Slice("b"), Slice("2")));
+    ODE_RETURN_IF_ERROR(tree.Delete(Slice("a")));
+    EXPECT_TRUE(tree.Get(Slice("a")).status().IsNotFound());
+    EXPECT_EQ(*tree.Get(Slice("b")), "2");
+    EXPECT_TRUE(tree.Delete(Slice("a")).IsNotFound());
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, DeleteEverythingThenReinsert) {
+  constexpr int kN = 500;
+  InTxn([&](BTree& tree) -> Status {
+    for (int i = 0; i < kN; ++i) {
+      ODE_RETURN_IF_ERROR(tree.Put(Slice(Key(i)), Slice("x")));
+    }
+    for (int i = 0; i < kN; ++i) {
+      ODE_RETURN_IF_ERROR(tree.Delete(Slice(Key(i))));
+    }
+    auto count = tree.Count();
+    EXPECT_EQ(*count, 0u);
+    for (int i = 0; i < kN; ++i) {
+      ODE_RETURN_IF_ERROR(tree.Put(Slice(Key(i)), Slice("y")));
+    }
+    auto count2 = tree.Count();
+    EXPECT_EQ(*count2, static_cast<uint64_t>(kN));
+    EXPECT_EQ(*tree.Get(Slice(Key(250))), "y");
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, SeekFindsFirstAtOrAfter) {
+  InTxn([&](BTree& tree) -> Status {
+    for (int i = 0; i < 100; i += 10) {
+      ODE_RETURN_IF_ERROR(tree.Put(Slice(Key(i)), Slice("v")));
+    }
+    auto it = tree.NewIterator();
+    it.Seek(Slice(Key(25)));
+    if (!it.Valid()) return Status::Internal("unexpected invalid iterator");
+    EXPECT_EQ(it.key(), Key(30));
+    it.Seek(Slice(Key(30)));
+    if (!it.Valid()) return Status::Internal("unexpected invalid iterator");
+    EXPECT_EQ(it.key(), Key(30));
+    it.Seek(Slice(Key(91)));
+    EXPECT_FALSE(it.Valid());
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, SeekForPrevFindsLastAtOrBefore) {
+  InTxn([&](BTree& tree) -> Status {
+    for (int i = 0; i < 100; i += 10) {
+      ODE_RETURN_IF_ERROR(tree.Put(Slice(Key(i)), Slice("v")));
+    }
+    auto it = tree.NewIterator();
+    it.SeekForPrev(Slice(Key(25)));
+    if (!it.Valid()) return Status::Internal("unexpected invalid iterator");
+    EXPECT_EQ(it.key(), Key(20));
+    it.SeekForPrev(Slice(Key(20)));
+    if (!it.Valid()) return Status::Internal("unexpected invalid iterator");
+    EXPECT_EQ(it.key(), Key(20));
+    it.SeekForPrev(Slice("key-000000"));
+    if (!it.Valid()) return Status::Internal("unexpected invalid iterator");
+    EXPECT_EQ(it.key(), Key(0));
+    it.SeekForPrev(Slice("a"));  // Before everything.
+    EXPECT_FALSE(it.Valid());
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, BidirectionalIteration) {
+  constexpr int kN = 300;
+  InTxn([&](BTree& tree) -> Status {
+    for (int i = 0; i < kN; ++i) {
+      ODE_RETURN_IF_ERROR(tree.Put(Slice(Key(i)), Slice("v")));
+    }
+    auto it = tree.NewIterator();
+    it.SeekToLast();
+    int expected = kN - 1;
+    for (; it.Valid(); it.Prev()) {
+      EXPECT_EQ(it.key(), Key(expected--));
+    }
+    EXPECT_EQ(expected, -1);
+    return it.status();
+  });
+}
+
+TEST_F(BTreeTest, IterationSkipsEmptiedLeaves) {
+  constexpr int kN = 1000;
+  InTxn([&](BTree& tree) -> Status {
+    for (int i = 0; i < kN; ++i) {
+      ODE_RETURN_IF_ERROR(tree.Put(Slice(Key(i)), Slice("v")));
+    }
+    // Delete a contiguous middle range, emptying interior leaves.
+    for (int i = 200; i < 800; ++i) {
+      ODE_RETURN_IF_ERROR(tree.Delete(Slice(Key(i))));
+    }
+    auto it = tree.NewIterator();
+    it.Seek(Slice(Key(199)));
+    if (!it.Valid()) return Status::Internal("unexpected invalid iterator");
+    EXPECT_EQ(it.key(), Key(199));
+    it.Next();
+    if (!it.Valid()) return Status::Internal("unexpected invalid iterator");
+    EXPECT_EQ(it.key(), Key(800));
+    // Backwards across the gap too.
+    it.SeekForPrev(Slice(Key(799)));
+    if (!it.Valid()) return Status::Internal("unexpected invalid iterator");
+    EXPECT_EQ(it.key(), Key(199));
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, LargeValuesNearCellLimit) {
+  InTxn([&](BTree& tree) -> Status {
+    const std::string big_value(BTree::kMaxCellBytes - 20, 'V');
+    for (int i = 0; i < 20; ++i) {
+      ODE_RETURN_IF_ERROR(tree.Put(Slice(Key(i)), Slice(big_value)));
+    }
+    auto v = tree.Get(Slice(Key(10)));
+    EXPECT_EQ(v->size(), big_value.size());
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, OversizedEntryRejected) {
+  InTxn([&](BTree& tree) -> Status {
+    const std::string huge(BTree::kMaxCellBytes + 1, 'x');
+    EXPECT_TRUE(tree.Put(Slice("k"), Slice(huge)).IsInvalidArgument());
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, EmptyKeyAndValueSupported) {
+  InTxn([](BTree& tree) -> Status {
+    ODE_RETURN_IF_ERROR(tree.Put(Slice(""), Slice("")));
+    auto v = tree.Get(Slice(""));
+    EXPECT_TRUE(v.ok());
+    EXPECT_TRUE(v->empty());
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, BinaryKeysOrderedBytewise) {
+  InTxn([](BTree& tree) -> Status {
+    const std::string k1("\x00\x01", 2);
+    const std::string k2("\x00\xff", 2);
+    const std::string k3("\x01\x00", 2);
+    ODE_RETURN_IF_ERROR(tree.Put(Slice(k3), Slice("3")));
+    ODE_RETURN_IF_ERROR(tree.Put(Slice(k1), Slice("1")));
+    ODE_RETURN_IF_ERROR(tree.Put(Slice(k2), Slice("2")));
+    auto it = tree.NewIterator();
+    it.SeekToFirst();
+    EXPECT_EQ(it.value(), "1");
+    it.Next();
+    EXPECT_EQ(it.value(), "2");
+    it.Next();
+    EXPECT_EQ(it.value(), "3");
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, PersistsAcrossTransactions) {
+  InTxn([](BTree& tree) { return tree.Put(Slice("durable"), Slice("yes")); });
+  InTxn([](BTree& tree) -> Status {
+    auto v = tree.Get(Slice("durable"));
+    EXPECT_EQ(*v, "yes");
+    return Status::OK();
+  });
+}
+
+TEST_F(BTreeTest, TwoTreesInDifferentSlotsAreIndependent) {
+  ASSERT_OK(engine_->WithTxn([](Txn& txn) -> Status {
+    auto t1 = BTree::Open(&txn, 4);
+    auto t2 = BTree::Open(&txn, 5);
+    if (!t1.ok()) return t1.status();
+    if (!t2.ok()) return t2.status();
+    ODE_RETURN_IF_ERROR(t1->Put(Slice("k"), Slice("tree1")));
+    ODE_RETURN_IF_ERROR(t2->Put(Slice("k"), Slice("tree2")));
+    EXPECT_EQ(*t1->Get(Slice("k")), "tree1");
+    EXPECT_EQ(*t2->Get(Slice("k")), "tree2");
+    return Status::OK();
+  }));
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,80 @@
+#include "storage/disk_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/env.h"
+#include "tests/testing/util.h"
+
+namespace ode {
+namespace {
+
+class DiskManagerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto disk = DiskManager::Open(&env_, "/data");
+    ASSERT_TRUE(disk.ok());
+    disk_ = std::move(*disk);
+  }
+  MemEnv env_;
+  std::unique_ptr<DiskManager> disk_;
+};
+
+TEST_F(DiskManagerTest, WriteReadRoundTrip) {
+  char out[kPageSize];
+  std::memset(out, 0x5c, sizeof(out));
+  ASSERT_OK(disk_->WritePage(3, out));
+  char in[kPageSize];
+  ASSERT_OK(disk_->ReadPage(3, in));
+  EXPECT_EQ(std::memcmp(in, out, kPageSize), 0);
+}
+
+TEST_F(DiskManagerTest, BeyondEofReadsZero) {
+  char in[kPageSize];
+  std::memset(in, 0xff, sizeof(in));
+  ASSERT_OK(disk_->ReadPage(100, in));
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(in[i], 0) << "offset " << i;
+  }
+}
+
+TEST_F(DiskManagerTest, WritingHighPageGrowsFile) {
+  ASSERT_OK_AND_ASSIGN(uint32_t before, disk_->FilePageCount());
+  EXPECT_EQ(before, 0u);
+  char page[kPageSize] = {};
+  ASSERT_OK(disk_->WritePage(9, page));
+  ASSERT_OK_AND_ASSIGN(uint32_t after, disk_->FilePageCount());
+  EXPECT_EQ(after, 10u);
+}
+
+TEST_F(DiskManagerTest, GapPagesReadAsZero) {
+  char page[kPageSize];
+  std::memset(page, 0x11, sizeof(page));
+  ASSERT_OK(disk_->WritePage(5, page));
+  // Pages 0..4 were never written: they must read as zero.
+  char in[kPageSize];
+  std::memset(in, 0x22, sizeof(in));
+  ASSERT_OK(disk_->ReadPage(2, in));
+  for (size_t i = 0; i < kPageSize; ++i) {
+    ASSERT_EQ(in[i], 0);
+  }
+}
+
+TEST_F(DiskManagerTest, OverwritePreservesNeighbors) {
+  char a[kPageSize], b[kPageSize], c[kPageSize];
+  std::memset(a, 'a', sizeof(a));
+  std::memset(b, 'b', sizeof(b));
+  std::memset(c, 'c', sizeof(c));
+  ASSERT_OK(disk_->WritePage(1, a));
+  ASSERT_OK(disk_->WritePage(2, b));
+  ASSERT_OK(disk_->WritePage(1, c));  // Overwrite page 1.
+  char in[kPageSize];
+  ASSERT_OK(disk_->ReadPage(2, in));
+  EXPECT_EQ(in[0], 'b');
+  ASSERT_OK(disk_->ReadPage(1, in));
+  EXPECT_EQ(in[0], 'c');
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,182 @@
+#include "storage/env.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "tests/testing/util.h"
+
+namespace ode {
+namespace {
+
+// MemEnv and PosixEnv share semantics; run the same suite over both.
+class EnvTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    if (std::string(GetParam()) == "mem") {
+      owned_ = std::make_unique<MemEnv>();
+      env_ = owned_.get();
+      base_ = "/testenv";
+    } else {
+      env_ = Env::Posix();
+      base_ = ::testing::TempDir() + "ode_env_test";
+      ASSERT_OK(env_->CreateDir(base_));
+    }
+  }
+
+  std::string Path(const std::string& name) { return base_ + "/" + name; }
+
+  std::unique_ptr<Env> owned_;
+  Env* env_ = nullptr;
+  std::string base_;
+};
+
+TEST_P(EnvTest, OpenCreatesFile) {
+  const std::string path = Path("a");
+  ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(path));
+  EXPECT_TRUE(env_->FileExists(path));
+  ASSERT_OK_AND_ASSIGN(uint64_t size, file->Size());
+  EXPECT_EQ(size, 0u);
+}
+
+TEST_P(EnvTest, WriteReadRoundTrip) {
+  ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(Path("b")));
+  ASSERT_OK(file->Write(0, Slice("hello world")));
+  std::string scratch;
+  Slice result;
+  ASSERT_OK(file->Read(0, 11, &scratch, &result));
+  EXPECT_EQ(result.ToString(), "hello world");
+  ASSERT_OK(file->Read(6, 5, &scratch, &result));
+  EXPECT_EQ(result.ToString(), "world");
+}
+
+TEST_P(EnvTest, ReadPastEofReturnsShort) {
+  ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(Path("c")));
+  ASSERT_OK(file->Write(0, Slice("abc")));
+  std::string scratch;
+  Slice result;
+  ASSERT_OK(file->Read(1, 100, &scratch, &result));
+  EXPECT_EQ(result.ToString(), "bc");
+  ASSERT_OK(file->Read(50, 10, &scratch, &result));
+  EXPECT_TRUE(result.empty());
+}
+
+TEST_P(EnvTest, WritePastEofGrowsFile) {
+  ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(Path("d")));
+  ASSERT_OK(file->Write(100, Slice("x")));
+  ASSERT_OK_AND_ASSIGN(uint64_t size, file->Size());
+  EXPECT_EQ(size, 101u);
+  // The gap reads as zero bytes.
+  std::string scratch;
+  Slice result;
+  ASSERT_OK(file->Read(50, 1, &scratch, &result));
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0], '\0');
+}
+
+TEST_P(EnvTest, AppendExtends) {
+  ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(Path("e")));
+  ASSERT_OK(file->Append(Slice("abc")));
+  ASSERT_OK(file->Append(Slice("def")));
+  std::string scratch;
+  Slice result;
+  ASSERT_OK(file->Read(0, 6, &scratch, &result));
+  EXPECT_EQ(result.ToString(), "abcdef");
+}
+
+TEST_P(EnvTest, TruncateShrinks) {
+  ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(Path("f")));
+  ASSERT_OK(file->Append(Slice("abcdef")));
+  ASSERT_OK(file->Truncate(2));
+  ASSERT_OK_AND_ASSIGN(uint64_t size, file->Size());
+  EXPECT_EQ(size, 2u);
+}
+
+TEST_P(EnvTest, DeleteRemovesFile) {
+  const std::string path = Path("g");
+  { ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(path)); }
+  ASSERT_OK(env_->DeleteFile(path));
+  EXPECT_FALSE(env_->FileExists(path));
+  EXPECT_TRUE(env_->DeleteFile(path).IsNotFound());
+}
+
+TEST_P(EnvTest, RenameMovesContents) {
+  const std::string from = Path("h1"), to = Path("h2");
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(from));
+    ASSERT_OK(file->Append(Slice("payload")));
+    ASSERT_OK(file->Sync());
+  }
+  ASSERT_OK(env_->RenameFile(from, to));
+  EXPECT_FALSE(env_->FileExists(from));
+  ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(to));
+  std::string scratch;
+  Slice result;
+  ASSERT_OK(file->Read(0, 7, &scratch, &result));
+  EXPECT_EQ(result.ToString(), "payload");
+}
+
+TEST_P(EnvTest, PersistsAcrossHandles) {
+  const std::string path = Path("i");
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(path));
+    ASSERT_OK(file->Write(0, Slice("persisted")));
+    ASSERT_OK(file->Sync());
+  }
+  ASSERT_OK_AND_ASSIGN(auto file, env_->OpenFile(path));
+  std::string scratch;
+  Slice result;
+  ASSERT_OK(file->Read(0, 9, &scratch, &result));
+  EXPECT_EQ(result.ToString(), "persisted");
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEnvs, EnvTest, ::testing::Values("mem", "posix"),
+                         [](const auto& info) { return info.param; });
+
+TEST(FaultInjectionEnvTest, UnsyncedWritesLostOnCrash) {
+  FaultInjectionEnv env(nullptr);
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+    ASSERT_OK(file->Append(Slice("synced")));
+    ASSERT_OK(file->Sync());
+    ASSERT_OK(file->Append(Slice("-lost")));
+  }
+  env.CrashAndLoseUnsynced();
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  ASSERT_OK_AND_ASSIGN(uint64_t size, file->Size());
+  EXPECT_EQ(size, 6u);
+}
+
+TEST(FaultInjectionEnvTest, CrashInvalidatesOpenHandles) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  ASSERT_OK(file->Append(Slice("x")));
+  env.CrashAndLoseUnsynced();
+  EXPECT_TRUE(file->Append(Slice("y")).IsIOError());
+  std::string scratch;
+  Slice result;
+  EXPECT_TRUE(file->Read(0, 1, &scratch, &result).IsIOError());
+}
+
+TEST(FaultInjectionEnvTest, FailAfterSyncs) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  env.FailAfterSyncs(1);
+  ASSERT_OK(file->Append(Slice("a")));
+  ASSERT_OK(file->Sync());  // First sync allowed.
+  ASSERT_OK(file->Append(Slice("b")));
+  EXPECT_TRUE(file->Sync().IsIOError());  // Second fails.
+  EXPECT_TRUE(file->Append(Slice("c")).IsIOError());
+}
+
+TEST(FaultInjectionEnvTest, SyncCountTracks) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  EXPECT_EQ(env.sync_count(), 0);
+  ASSERT_OK(file->Sync());
+  ASSERT_OK(file->Sync());
+  EXPECT_EQ(env.sync_count(), 2);
+}
+
+}  // namespace
+}  // namespace ode

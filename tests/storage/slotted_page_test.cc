@@ -1,0 +1,181 @@
+#include "storage/slotted_page.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "tests/testing/util.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+class SlottedPageTest : public ::testing::Test {
+ protected:
+  SlottedPageTest() : page_(buf_) { page_.Init(); }
+
+  char buf_[kPageSize];
+  SlottedPage page_;
+};
+
+TEST_F(SlottedPageTest, InitYieldsEmptyHeapPage) {
+  EXPECT_TRUE(page_.IsHeapPage());
+  EXPECT_EQ(page_.LiveSlots(), 0);
+  EXPECT_EQ(page_.SlotCount(), 0);
+  EXPECT_GT(page_.FreeSpace(), kPageSize - 100);
+}
+
+TEST_F(SlottedPageTest, InsertAndGet) {
+  ASSERT_OK_AND_ASSIGN(uint16_t slot, page_.Insert(Slice("record one")));
+  ASSERT_OK_AND_ASSIGN(Slice got, page_.Get(slot));
+  EXPECT_EQ(got.ToString(), "record one");
+  EXPECT_EQ(page_.LiveSlots(), 1);
+}
+
+TEST_F(SlottedPageTest, MultipleInsertsGetDistinctSlots) {
+  ASSERT_OK_AND_ASSIGN(uint16_t a, page_.Insert(Slice("aaa")));
+  ASSERT_OK_AND_ASSIGN(uint16_t b, page_.Insert(Slice("bbb")));
+  ASSERT_OK_AND_ASSIGN(uint16_t c, page_.Insert(Slice("ccc")));
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  ASSERT_OK_AND_ASSIGN(Slice gb, page_.Get(b));
+  EXPECT_EQ(gb.ToString(), "bbb");
+}
+
+TEST_F(SlottedPageTest, DeleteFreesSlotForReuse) {
+  ASSERT_OK_AND_ASSIGN(uint16_t a, page_.Insert(Slice("aaa")));
+  ASSERT_OK_AND_ASSIGN(uint16_t b, page_.Insert(Slice("bbb")));
+  (void)b;
+  ASSERT_OK(page_.Delete(a));
+  EXPECT_TRUE(page_.Get(a).status().IsNotFound());
+  EXPECT_EQ(page_.LiveSlots(), 1);
+  // The freed slot number is reused.
+  ASSERT_OK_AND_ASSIGN(uint16_t c, page_.Insert(Slice("ccc")));
+  EXPECT_EQ(c, a);
+}
+
+TEST_F(SlottedPageTest, DeleteInvalidSlotFails) {
+  EXPECT_TRUE(page_.Delete(0).IsNotFound());
+  ASSERT_OK_AND_ASSIGN(uint16_t a, page_.Insert(Slice("x")));
+  ASSERT_OK(page_.Delete(a));
+  EXPECT_TRUE(page_.Delete(a).IsNotFound());
+  EXPECT_TRUE(page_.Delete(99).IsNotFound());
+}
+
+TEST_F(SlottedPageTest, UpdateShrinkInPlace) {
+  ASSERT_OK_AND_ASSIGN(uint16_t slot, page_.Insert(Slice("long record")));
+  ASSERT_OK(page_.Update(slot, Slice("short")));
+  ASSERT_OK_AND_ASSIGN(Slice got, page_.Get(slot));
+  EXPECT_EQ(got.ToString(), "short");
+}
+
+TEST_F(SlottedPageTest, UpdateGrowRelocatesWithinPage) {
+  ASSERT_OK_AND_ASSIGN(uint16_t slot, page_.Insert(Slice("s")));
+  ASSERT_OK_AND_ASSIGN(uint16_t other, page_.Insert(Slice("other")));
+  std::string big(500, 'B');
+  ASSERT_OK(page_.Update(slot, Slice(big)));
+  ASSERT_OK_AND_ASSIGN(Slice got, page_.Get(slot));
+  EXPECT_EQ(got.ToString(), big);
+  ASSERT_OK_AND_ASSIGN(Slice got_other, page_.Get(other));
+  EXPECT_EQ(got_other.ToString(), "other");
+}
+
+TEST_F(SlottedPageTest, FillPageUntilFull) {
+  const std::string record(100, 'r');
+  int inserted = 0;
+  while (true) {
+    auto slot = page_.Insert(Slice(record));
+    if (!slot.ok()) {
+      EXPECT_TRUE(slot.status().IsOutOfRange());
+      break;
+    }
+    ++inserted;
+  }
+  // ~4KB page / 104 bytes per entry.
+  EXPECT_GT(inserted, 30);
+  EXPECT_EQ(page_.LiveSlots(), inserted);
+}
+
+TEST_F(SlottedPageTest, CompactReclaimsFragmentation) {
+  // Fill, delete every other record, then insert one that only fits after
+  // compaction.
+  std::vector<uint16_t> slots;
+  const std::string record(200, 'x');
+  while (true) {
+    auto slot = page_.Insert(Slice(record));
+    if (!slot.ok()) break;
+    slots.push_back(*slot);
+  }
+  for (size_t i = 0; i < slots.size(); i += 2) {
+    ASSERT_OK(page_.Delete(slots[i]));
+  }
+  // A 600-byte record cannot fit contiguously (frag holes are 200 bytes)
+  // but fits after compaction.
+  std::string big(600, 'y');
+  ASSERT_OK_AND_ASSIGN(uint16_t slot, page_.Insert(Slice(big)));
+  ASSERT_OK_AND_ASSIGN(Slice got, page_.Get(slot));
+  EXPECT_EQ(got.ToString(), big);
+  // Survivors intact.
+  for (size_t i = 1; i < slots.size(); i += 2) {
+    ASSERT_OK_AND_ASSIGN(Slice kept, page_.Get(slots[i]));
+    EXPECT_EQ(kept.ToString(), record);
+  }
+}
+
+TEST_F(SlottedPageTest, MaxCellSizeRecordFits) {
+  std::string max_record(SlottedPage::kMaxCellSize, 'm');
+  ASSERT_OK_AND_ASSIGN(uint16_t slot, page_.Insert(Slice(max_record)));
+  ASSERT_OK_AND_ASSIGN(Slice got, page_.Get(slot));
+  EXPECT_EQ(got.size(), max_record.size());
+}
+
+TEST_F(SlottedPageTest, OversizedRecordRejected) {
+  std::string too_big(SlottedPage::kMaxCellSize + 1, 'm');
+  EXPECT_TRUE(page_.Insert(Slice(too_big)).status().IsInvalidArgument());
+}
+
+TEST_F(SlottedPageTest, RandomizedAgainstReferenceModel) {
+  Random rng(424242);
+  std::map<uint16_t, std::string> model;
+  for (int op = 0; op < 5000; ++op) {
+    const int action = static_cast<int>(rng.Uniform(3));
+    if (action == 0) {  // Insert.
+      std::string payload = rng.NextBytes(rng.Range(0, 300));
+      auto slot = page_.Insert(Slice(payload));
+      if (slot.ok()) {
+        ASSERT_EQ(model.count(*slot), 0u);
+        model[*slot] = payload;
+      }
+    } else if (action == 1 && !model.empty()) {  // Delete.
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_OK(page_.Delete(it->first));
+      model.erase(it);
+    } else if (action == 2 && !model.empty()) {  // Update.
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      std::string payload = rng.NextBytes(rng.Range(0, 300));
+      Status s = page_.Update(it->first, Slice(payload));
+      if (s.ok()) {
+        it->second = payload;
+      } else {
+        // Update can fail when the page is too full; the record is then
+        // gone (documented contract) — mirror that in the model.
+        ASSERT_TRUE(s.IsOutOfRange());
+        model.erase(it);
+      }
+    }
+    // Periodically verify the full model.
+    if (op % 500 == 0) {
+      ASSERT_EQ(page_.LiveSlots(), model.size());
+      for (const auto& [slot, expected] : model) {
+        ASSERT_OK_AND_ASSIGN(Slice got, page_.Get(slot));
+        ASSERT_EQ(got.ToString(), expected);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ode

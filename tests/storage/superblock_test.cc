@@ -1,0 +1,126 @@
+#include "storage/superblock.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "storage/storage_engine.h"
+#include "tests/testing/util.h"
+
+namespace ode {
+namespace {
+
+TEST(SuperblockViewTest, InitSetsMagicAndDefaults) {
+  char page[kPageSize];
+  std::memset(page, 0xab, sizeof(page));
+  SuperblockView view(page);
+  EXPECT_FALSE(view.IsValid());
+  view.Init();
+  EXPECT_TRUE(view.IsValid());
+  EXPECT_EQ(view.page_count(), 1u);
+  EXPECT_EQ(view.free_list_head(), kInvalidPageId);
+  for (int i = 0; i < SuperblockView::kNumRoots; ++i) {
+    EXPECT_EQ(view.root(i), kInvalidPageId);
+  }
+  for (int i = 0; i < SuperblockView::kNumCounters; ++i) {
+    EXPECT_EQ(view.counter(i), 0u);
+  }
+}
+
+TEST(SuperblockViewTest, FieldsAreIndependent) {
+  char page[kPageSize];
+  SuperblockView view(page);
+  view.Init();
+  view.set_page_count(77);
+  view.set_free_list_head(5);
+  for (int i = 0; i < SuperblockView::kNumRoots; ++i) {
+    view.set_root(i, 100 + i);
+  }
+  for (int i = 0; i < SuperblockView::kNumCounters; ++i) {
+    view.set_counter(i, 1000 + i);
+  }
+  EXPECT_EQ(view.page_count(), 77u);
+  EXPECT_EQ(view.free_list_head(), 5u);
+  for (int i = 0; i < SuperblockView::kNumRoots; ++i) {
+    EXPECT_EQ(view.root(i), 100u + i);
+  }
+  for (int i = 0; i < SuperblockView::kNumCounters; ++i) {
+    EXPECT_EQ(view.counter(i), 1000u + i);
+  }
+  EXPECT_TRUE(view.IsValid());
+}
+
+TEST(SuperblockTest, CountersRollBackOnAbort) {
+  MemEnv env;
+  StorageOptions options;
+  options.env = &env;
+  options.path = "/db";
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  ASSERT_OK((*engine)->WithTxn(
+      [](Txn& txn) { return txn.SetCounter(3, 10); }));
+  {
+    auto txn = (*engine)->Begin();
+    ASSERT_TRUE(txn.ok());
+    ASSERT_OK((*txn)->SetCounter(3, 999));
+    ASSERT_OK((*txn)->SetRoot(7, 42));
+    ASSERT_OK((*engine)->Abort(*txn));
+  }
+  ASSERT_OK((*engine)->WithTxn([](Txn& txn) -> Status {
+    auto counter = txn.GetCounter(3);
+    if (!counter.ok()) return counter.status();
+    EXPECT_EQ(*counter, 10u);
+    auto root = txn.GetRoot(7);
+    if (!root.ok()) return root.status();
+    EXPECT_EQ(*root, kInvalidPageId);
+    return Status::OK();
+  }));
+}
+
+TEST(SuperblockTest, FreeListChainsMultiplePages) {
+  MemEnv env;
+  StorageOptions options;
+  options.env = &env;
+  options.path = "/db";
+  auto engine = StorageEngine::Open(options);
+  ASSERT_TRUE(engine.ok());
+  std::vector<PageId> allocated;
+  ASSERT_OK((*engine)->WithTxn([&](Txn& txn) -> Status {
+    for (int i = 0; i < 5; ++i) {
+      auto pid = txn.AllocatePage();
+      if (!pid.ok()) return pid.status();
+      allocated.push_back(*pid);
+    }
+    return Status::OK();
+  }));
+  ASSERT_OK((*engine)->WithTxn([&](Txn& txn) -> Status {
+    for (PageId pid : allocated) {
+      ODE_RETURN_IF_ERROR(txn.FreePage(pid));
+    }
+    return Status::OK();
+  }));
+  // All five freed pages come back (LIFO order) before the file grows.
+  ASSERT_OK((*engine)->WithTxn([&](Txn& txn) -> Status {
+    uint32_t page_count_before = 0;
+    {
+      auto pc = txn.PageCount();
+      if (!pc.ok()) return pc.status();
+      page_count_before = *pc;
+    }
+    std::set<PageId> reused;
+    for (int i = 0; i < 5; ++i) {
+      auto pid = txn.AllocatePage();
+      if (!pid.ok()) return pid.status();
+      reused.insert(*pid);
+    }
+    EXPECT_EQ(reused,
+              std::set<PageId>(allocated.begin(), allocated.end()));
+    auto pc = txn.PageCount();
+    if (!pc.ok()) return pc.status();
+    EXPECT_EQ(*pc, page_count_before);
+    return Status::OK();
+  }));
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,101 @@
+#ifndef ODE_TESTS_TESTING_DB_FIXTURE_H_
+#define ODE_TESTS_TESTING_DB_FIXTURE_H_
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "core/database.h"
+#include "core/version_ptr.h"
+#include "storage/env.h"
+#include "tests/testing/util.h"
+#include "util/clock.h"
+
+namespace ode {
+namespace testing_internal {
+
+/// A simple Persistable type used throughout the core tests.
+struct Doc {
+  static constexpr char kTypeName[] = "Doc";
+
+  std::string text;
+  int64_t revision = 0;
+
+  void Serialize(BufferWriter& w) const {
+    w.WriteString(Slice(text));
+    w.WriteI64(revision);
+  }
+  static StatusOr<Doc> Deserialize(BufferReader& r) {
+    Doc doc;
+    ODE_RETURN_IF_ERROR(r.ReadString(&doc.text));
+    ODE_RETURN_IF_ERROR(r.ReadI64(&doc.revision));
+    return doc;
+  }
+  friend bool operator==(const Doc& a, const Doc& b) {
+    return a.text == b.text && a.revision == b.revision;
+  }
+};
+
+/// Fixture opening an in-memory Ode database with a deterministic clock.
+class DatabaseFixture : public ::testing::Test {
+ protected:
+  void SetUp() override { OpenDb(); }
+
+  void OpenDb() {
+    DatabaseOptions options = MakeOptions();
+    auto db = Database::Open(options);
+    ASSERT_TRUE(db.ok()) << db.status();
+    db_ = std::move(*db);
+  }
+
+  /// Closes and reopens the database against the same in-memory files.
+  void ReopenDb() {
+    db_.reset();
+    OpenDb();
+  }
+
+  virtual DatabaseOptions MakeOptions() {
+    DatabaseOptions options;
+    options.storage.env = &env_;
+    options.storage.path = "/db";
+    options.clock = &clock_;
+    return options;
+  }
+
+  /// Creates an object with `payload` bytes; returns its initial VersionId.
+  VersionId MustPnew(const std::string& payload) {
+    auto vid = db_->PnewRaw(type_id_, Slice(payload));
+    EXPECT_TRUE(vid.ok()) << vid.status();
+    return vid.ok() ? *vid : VersionId{};
+  }
+
+  /// Registers the default raw type once.
+  void SetUpRawType() {
+    auto id = db_->RegisterType("raw");
+    ASSERT_TRUE(id.ok()) << id.status();
+    type_id_ = *id;
+  }
+
+  std::string MustRead(VersionId vid) {
+    auto bytes = db_->ReadVersion(vid);
+    EXPECT_TRUE(bytes.ok()) << bytes.status();
+    return bytes.ok() ? *bytes : std::string();
+  }
+
+  std::string MustReadLatest(ObjectId oid) {
+    auto bytes = db_->ReadLatest(oid);
+    EXPECT_TRUE(bytes.ok()) << bytes.status();
+    return bytes.ok() ? *bytes : std::string();
+  }
+
+  MemEnv env_;
+  LogicalClock clock_;
+  std::unique_ptr<Database> db_;
+  uint32_t type_id_ = 0;
+};
+
+}  // namespace testing_internal
+}  // namespace ode
+
+#endif  // ODE_TESTS_TESTING_DB_FIXTURE_H_

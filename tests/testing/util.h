@@ -1,0 +1,37 @@
+#ifndef ODE_TESTS_TESTING_UTIL_H_
+#define ODE_TESTS_TESTING_UTIL_H_
+
+#include <gtest/gtest.h>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+// Assertion helpers for Status/StatusOr-returning APIs.
+
+#define ASSERT_OK(expr)                                       \
+  do {                                                        \
+    const ::ode::Status _s = (expr);                          \
+    ASSERT_TRUE(_s.ok()) << "status: " << _s.ToString();      \
+  } while (0)
+
+#define EXPECT_OK(expr)                                       \
+  do {                                                        \
+    const ::ode::Status _s = (expr);                          \
+    EXPECT_TRUE(_s.ok()) << "status: " << _s.ToString();      \
+  } while (0)
+
+/// Evaluates a StatusOr expression, asserting success and assigning the
+/// value: ASSERT_OK_AND_ASSIGN(auto db, Database::Open(opts));
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)                           \
+  ASSERT_OK_AND_ASSIGN_IMPL(                                       \
+      ODE_TEST_CONCAT_(_statusor, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(var, lhs, rexpr)                 \
+  auto var = (rexpr);                                              \
+  ASSERT_TRUE(var.ok()) << "status: " << var.status().ToString();  \
+  lhs = std::move(var).value()
+
+#define ODE_TEST_CONCAT_(a, b) ODE_TEST_CONCAT_IMPL_(a, b)
+#define ODE_TEST_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ODE_TESTS_TESTING_UTIL_H_

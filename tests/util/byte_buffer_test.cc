@@ -1,0 +1,156 @@
+#include "util/byte_buffer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace ode {
+namespace {
+
+TEST(ByteBufferTest, ScalarRoundTrip) {
+  BufferWriter w;
+  w.WriteU8(0xab);
+  w.WriteU16(0x1234);
+  w.WriteU32(0xdeadbeef);
+  w.WriteU64(0x0123456789abcdefull);
+  w.WriteVarint32(300);
+  w.WriteVarint64(1ull << 40);
+  w.WriteBool(true);
+  w.WriteBool(false);
+
+  BufferReader r(w.slice());
+  uint8_t u8;
+  uint16_t u16;
+  uint32_t u32;
+  uint64_t u64;
+  uint32_t v32;
+  uint64_t v64;
+  bool b1, b2;
+  ASSERT_TRUE(r.ReadU8(&u8).ok());
+  ASSERT_TRUE(r.ReadU16(&u16).ok());
+  ASSERT_TRUE(r.ReadU32(&u32).ok());
+  ASSERT_TRUE(r.ReadU64(&u64).ok());
+  ASSERT_TRUE(r.ReadVarint32(&v32).ok());
+  ASSERT_TRUE(r.ReadVarint64(&v64).ok());
+  ASSERT_TRUE(r.ReadBool(&b1).ok());
+  ASSERT_TRUE(r.ReadBool(&b2).ok());
+  EXPECT_EQ(u8, 0xab);
+  EXPECT_EQ(u16, 0x1234);
+  EXPECT_EQ(u32, 0xdeadbeefu);
+  EXPECT_EQ(u64, 0x0123456789abcdefull);
+  EXPECT_EQ(v32, 300u);
+  EXPECT_EQ(v64, 1ull << 40);
+  EXPECT_TRUE(b1);
+  EXPECT_FALSE(b2);
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(ByteBufferTest, SignedZigZagRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{1}, int64_t{-1000000},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    BufferWriter w;
+    w.WriteI64(v);
+    BufferReader r(w.slice());
+    int64_t decoded = 0;
+    ASSERT_TRUE(r.ReadI64(&decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(ByteBufferTest, SmallNegativesEncodeSmall) {
+  BufferWriter w;
+  w.WriteI64(-2);
+  EXPECT_LE(w.size(), 1u);
+}
+
+TEST(ByteBufferTest, DoubleRoundTrip) {
+  for (double v : {0.0, -0.0, 3.141592653589793, -1e300, 1e-300,
+                   std::numeric_limits<double>::infinity()}) {
+    BufferWriter w;
+    w.WriteDouble(v);
+    BufferReader r(w.slice());
+    double decoded = 0;
+    ASSERT_TRUE(r.ReadDouble(&decoded).ok());
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(ByteBufferTest, NanRoundTripsAsNan) {
+  BufferWriter w;
+  w.WriteDouble(std::nan(""));
+  BufferReader r(w.slice());
+  double decoded = 0;
+  ASSERT_TRUE(r.ReadDouble(&decoded).ok());
+  EXPECT_TRUE(std::isnan(decoded));
+}
+
+TEST(ByteBufferTest, StringRoundTrip) {
+  BufferWriter w;
+  w.WriteString(Slice("hello"));
+  w.WriteString(Slice(""));
+  w.WriteString(Slice(std::string(10000, 'z')));
+  BufferReader r(w.slice());
+  std::string a, b, c;
+  ASSERT_TRUE(r.ReadString(&a).ok());
+  ASSERT_TRUE(r.ReadString(&b).ok());
+  ASSERT_TRUE(r.ReadString(&c).ok());
+  EXPECT_EQ(a, "hello");
+  EXPECT_EQ(b, "");
+  EXPECT_EQ(c.size(), 10000u);
+}
+
+TEST(ByteBufferTest, StringViewAliasesInput) {
+  BufferWriter w;
+  w.WriteString(Slice("aliased"));
+  const std::string& backing = w.data();
+  BufferReader r{Slice(backing)};
+  Slice view;
+  ASSERT_TRUE(r.ReadStringView(&view).ok());
+  EXPECT_GE(view.data(), backing.data());
+  EXPECT_LT(view.data(), backing.data() + backing.size());
+  EXPECT_EQ(view.ToString(), "aliased");
+}
+
+TEST(ByteBufferTest, RawBytes) {
+  BufferWriter w;
+  w.WriteRaw(Slice("abc"));
+  w.WriteRaw(Slice("def"));
+  BufferReader r(w.slice());
+  Slice first;
+  ASSERT_TRUE(r.ReadRaw(3, &first).ok());
+  EXPECT_EQ(first.ToString(), "abc");
+  EXPECT_EQ(r.rest().ToString(), "def");
+}
+
+TEST(ByteBufferTest, TruncationYieldsCorruption) {
+  BufferWriter w;
+  w.WriteU64(7);
+  BufferReader r(Slice(w.data().data(), 4));  // Half the u64.
+  uint64_t v = 0;
+  Status s = r.ReadU64(&v);
+  EXPECT_TRUE(s.IsCorruption());
+}
+
+TEST(ByteBufferTest, ReadPastEndOfStringFails) {
+  BufferWriter w;
+  w.WriteVarint64(100);  // Length prefix promising 100 bytes.
+  BufferReader r(w.slice());
+  std::string out;
+  EXPECT_TRUE(r.ReadString(&out).IsCorruption());
+}
+
+TEST(ByteBufferTest, ClearAndRelease) {
+  BufferWriter w;
+  w.WriteU32(1);
+  std::string released = w.Release();
+  EXPECT_EQ(released.size(), 4u);
+  w.WriteU8(9);
+  EXPECT_EQ(w.size(), 1u);
+  w.Clear();
+  EXPECT_EQ(w.size(), 0u);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,51 @@
+#include "util/clock.h"
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace {
+
+TEST(LogicalClockTest, CountsFromStart) {
+  LogicalClock clock;
+  EXPECT_EQ(clock.Now(), 1u);
+  EXPECT_EQ(clock.Now(), 2u);
+  EXPECT_EQ(clock.Now(), 3u);
+}
+
+TEST(LogicalClockTest, CustomStart) {
+  LogicalClock clock(100);
+  EXPECT_EQ(clock.Now(), 101u);
+}
+
+TEST(LogicalClockTest, AdvanceToSkipsForward) {
+  LogicalClock clock;
+  clock.AdvanceTo(50);
+  EXPECT_EQ(clock.Now(), 51u);
+}
+
+TEST(LogicalClockTest, AdvanceToNeverMovesBackward) {
+  LogicalClock clock(100);
+  clock.AdvanceTo(10);
+  EXPECT_EQ(clock.Now(), 101u);
+}
+
+TEST(WallClockTest, StrictlyMonotone) {
+  WallClock clock;
+  uint64_t last = 0;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t now = clock.Now();
+    EXPECT_GT(now, last);
+    last = now;
+  }
+}
+
+TEST(WallClockTest, RoughlyCurrentEpoch) {
+  WallClock clock;
+  // After 2020-01-01 and before 2100-01-01, in microseconds.
+  const uint64_t t = clock.Now();
+  EXPECT_GT(t, 1577836800ull * 1000000);
+  EXPECT_LT(t, 4102444800ull * 1000000);
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,154 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  for (uint32_t v : {0u, 1u, 255u, 256u, 4096u, 65535u}) {
+    char buf[2];
+    EncodeFixed16(buf, static_cast<uint16_t>(v));
+    EXPECT_EQ(DecodeFixed16(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  for (uint32_t v : {0u, 1u, 0xffu, 0x1234u, 0xdeadbeefu, 0xffffffffu}) {
+    char buf[4];
+    EncodeFixed32(buf, v);
+    EXPECT_EQ(DecodeFixed32(buf), v);
+  }
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  for (uint64_t v : {uint64_t{0}, uint64_t{1}, uint64_t{0xffffffff},
+                     uint64_t{0x123456789abcdef0},
+                     std::numeric_limits<uint64_t>::max()}) {
+    char buf[8];
+    EncodeFixed64(buf, v);
+    EXPECT_EQ(DecodeFixed64(buf), v);
+  }
+}
+
+TEST(CodingTest, FixedEncodingIsLittleEndian) {
+  char buf[4];
+  EncodeFixed32(buf, 0x01020304u);
+  EXPECT_EQ(static_cast<uint8_t>(buf[0]), 0x04);
+  EXPECT_EQ(static_cast<uint8_t>(buf[3]), 0x01);
+}
+
+TEST(CodingTest, Varint32RoundTrip) {
+  std::vector<uint32_t> values = {0, 1, 127, 128, 16383, 16384,
+                                  0xffffffffu};
+  for (uint32_t v : values) {
+    std::string buf;
+    PutVarint32(&buf, v);
+    Slice input(buf);
+    uint32_t decoded = 0;
+    ASSERT_TRUE(GetVarint32(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+    EXPECT_TRUE(input.empty());
+  }
+}
+
+TEST(CodingTest, Varint64RoundTrip) {
+  std::vector<uint64_t> values = {0, 1, 127, 128, (1ull << 35),
+                                  std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : values) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    Slice input(buf);
+    uint64_t decoded = 0;
+    ASSERT_TRUE(GetVarint64(&input, &decoded));
+    EXPECT_EQ(decoded, v);
+  }
+}
+
+TEST(CodingTest, VarintLengthMatchesEncoding) {
+  for (uint64_t v : {0ull, 127ull, 128ull, 16384ull, (1ull << 62)}) {
+    std::string buf;
+    PutVarint64(&buf, v);
+    EXPECT_EQ(VarintLength(v), static_cast<int>(buf.size()));
+  }
+}
+
+TEST(CodingTest, TruncatedVarintFails) {
+  std::string buf;
+  PutVarint64(&buf, 1ull << 40);
+  for (size_t cut = 0; cut + 1 < buf.size(); ++cut) {
+    Slice input(buf.data(), cut);
+    uint64_t v = 0;
+    EXPECT_FALSE(GetVarint64(&input, &v)) << "cut=" << cut;
+  }
+}
+
+TEST(CodingTest, Varint32RejectsOversizedValue) {
+  std::string buf;
+  PutVarint64(&buf, 0x100000000ull);  // > uint32 max.
+  Slice input(buf);
+  uint32_t v = 0;
+  EXPECT_FALSE(GetVarint32(&input, &v));
+}
+
+TEST(CodingTest, LengthPrefixedSliceRoundTrip) {
+  std::string buf;
+  PutLengthPrefixedSlice(&buf, Slice("hello"));
+  PutLengthPrefixedSlice(&buf, Slice(""));
+  PutLengthPrefixedSlice(&buf, Slice("world!"));
+  Slice input(buf);
+  Slice a, b, c;
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &a));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &b));
+  ASSERT_TRUE(GetLengthPrefixedSlice(&input, &c));
+  EXPECT_EQ(a.ToString(), "hello");
+  EXPECT_EQ(b.ToString(), "");
+  EXPECT_EQ(c.ToString(), "world!");
+  EXPECT_TRUE(input.empty());
+}
+
+TEST(CodingTest, LengthPrefixedSliceRejectsBadLength) {
+  std::string buf;
+  PutVarint64(&buf, 100);  // Claims 100 bytes but provides 3.
+  buf += "abc";
+  Slice input(buf);
+  Slice out;
+  EXPECT_FALSE(GetLengthPrefixedSlice(&input, &out));
+}
+
+TEST(CodingTest, GetFixedTruncationFails) {
+  std::string three(3, 'x');
+  Slice in32(three);
+  uint32_t v32 = 0;
+  EXPECT_FALSE(GetFixed32(&in32, &v32));
+  std::string seven(7, 'x');
+  Slice in64(seven);
+  uint64_t v64 = 0;
+  EXPECT_FALSE(GetFixed64(&in64, &v64));
+}
+
+TEST(CodingTest, RandomizedVarintRoundTrip) {
+  Random rng(20260708);
+  std::string buf;
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Next() >> (rng.Uniform(64));
+    values.push_back(v);
+    PutVarint64(&buf, v);
+  }
+  Slice input(buf);
+  for (uint64_t expected : values) {
+    uint64_t v = 0;
+    ASSERT_TRUE(GetVarint64(&input, &v));
+    EXPECT_EQ(v, expected);
+  }
+  EXPECT_TRUE(input.empty());
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,83 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ode {
+namespace {
+
+TEST(RandomTest, SameSeedSameSequence) {
+  Random a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RandomTest, DifferentSeedsDiffer) {
+  Random a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.Uniform(10), 10u);
+  }
+}
+
+TEST(RandomTest, RangeInclusive) {
+  Random rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Range(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // All four values hit in 1000 draws.
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(99);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RandomTest, OneInRoughFrequency) {
+  Random rng(123);
+  int hits = 0;
+  constexpr int kTrials = 10000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (rng.OneIn(10)) ++hits;
+  }
+  EXPECT_GT(hits, kTrials / 20);      // > 5%.
+  EXPECT_LT(hits, kTrials * 3 / 20);  // < 15%.
+}
+
+TEST(RandomTest, NextStringIsPrintableAndSized) {
+  Random rng(5);
+  std::string s = rng.NextString(64);
+  EXPECT_EQ(s.size(), 64u);
+  for (char c : s) {
+    EXPECT_TRUE(std::isalnum(static_cast<unsigned char>(c)));
+  }
+}
+
+TEST(RandomTest, NextBytesCoversFullRange) {
+  Random rng(6);
+  std::string s = rng.NextBytes(4096);
+  std::set<uint8_t> seen;
+  for (char c : s) seen.insert(static_cast<uint8_t>(c));
+  EXPECT_GT(seen.size(), 200u);  // Nearly all byte values appear.
+}
+
+}  // namespace
+}  // namespace ode

@@ -1,0 +1,77 @@
+#include "util/slice.h"
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace {
+
+TEST(SliceTest, DefaultIsEmpty) {
+  Slice s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.size(), 0u);
+}
+
+TEST(SliceTest, FromString) {
+  std::string str = "hello";
+  Slice s(str);
+  EXPECT_EQ(s.size(), 5u);
+  EXPECT_EQ(s.data(), str.data());
+  EXPECT_EQ(s.ToString(), "hello");
+}
+
+TEST(SliceTest, FromCString) {
+  Slice s("abc");
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(SliceTest, Indexing) {
+  Slice s("abc");
+  EXPECT_EQ(s[0], 'a');
+  EXPECT_EQ(s[2], 'c');
+}
+
+TEST(SliceTest, RemovePrefix) {
+  Slice s("abcdef");
+  s.remove_prefix(2);
+  EXPECT_EQ(s.ToString(), "cdef");
+  s.remove_prefix(4);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(SliceTest, CompareOrdersLexicographically) {
+  EXPECT_LT(Slice("abc").compare(Slice("abd")), 0);
+  EXPECT_GT(Slice("abd").compare(Slice("abc")), 0);
+  EXPECT_EQ(Slice("abc").compare(Slice("abc")), 0);
+  // Prefix sorts first.
+  EXPECT_LT(Slice("ab").compare(Slice("abc")), 0);
+  EXPECT_GT(Slice("abc").compare(Slice("ab")), 0);
+}
+
+TEST(SliceTest, CompareTreatsBytesUnsigned) {
+  const char high[] = {static_cast<char>(0xff)};
+  const char low[] = {0x01};
+  EXPECT_GT(Slice(high, 1).compare(Slice(low, 1)), 0);
+}
+
+TEST(SliceTest, Equality) {
+  EXPECT_EQ(Slice("x"), Slice("x"));
+  EXPECT_NE(Slice("x"), Slice("y"));
+  EXPECT_NE(Slice("x"), Slice("xx"));
+}
+
+TEST(SliceTest, StartsWith) {
+  EXPECT_TRUE(Slice("abcdef").starts_with(Slice("abc")));
+  EXPECT_TRUE(Slice("abc").starts_with(Slice("")));
+  EXPECT_FALSE(Slice("ab").starts_with(Slice("abc")));
+  EXPECT_FALSE(Slice("xbc").starts_with(Slice("ab")));
+}
+
+TEST(SliceTest, EmbeddedNulBytes) {
+  std::string data("a\0b", 3);
+  Slice s(data);
+  EXPECT_EQ(s.size(), 3u);
+  EXPECT_EQ(s.ToString(), data);
+}
+
+}  // namespace
+}  // namespace ode

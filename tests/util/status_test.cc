@@ -1,0 +1,115 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/statusor.h"
+
+namespace ode {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::Aborted("x").IsAborted());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_EQ(Status::NotFound("missing thing").message(), "missing thing");
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  EXPECT_EQ(Status::NotFound("no such key").ToString(),
+            "not found: no such key");
+  EXPECT_EQ(Status::IOError("").ToString(), "io error");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_NE(Status::NotFound("a"), Status::NotFound("b"));
+  EXPECT_NE(Status::NotFound("a"), Status::Corruption("a"));
+  EXPECT_EQ(Status::OK(), Status());
+}
+
+TEST(StatusTest, StreamOperator) {
+  std::ostringstream os;
+  os << Status::Aborted("rolled back");
+  EXPECT_EQ(os.str(), "aborted: rolled back");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto fails = []() -> Status { return Status::IOError("disk gone"); };
+  auto wrapper = [&]() -> Status {
+    ODE_RETURN_IF_ERROR(fails());
+    return Status::OK();
+  };
+  EXPECT_TRUE(wrapper().IsIOError());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesThroughOnOk) {
+  auto succeeds = []() -> Status { return Status::OK(); };
+  auto wrapper = [&]() -> Status {
+    ODE_RETURN_IF_ERROR(succeeds());
+    return Status::NotFound("reached end");
+  };
+  EXPECT_TRUE(wrapper().IsNotFound());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v = 42;
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(*v, 42);
+  EXPECT_EQ(v.value(), 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v = Status::NotFound("nope");
+  EXPECT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNotFound());
+  EXPECT_EQ(v.value_or(-1), -1);
+}
+
+TEST(StatusOrTest, ValueOrReturnsValueWhenOk) {
+  StatusOr<std::string> v = std::string("hello");
+  EXPECT_EQ(v.value_or("fallback"), "hello");
+}
+
+TEST(StatusOrTest, MoveOutValue) {
+  StatusOr<std::string> v = std::string(1000, 'x');
+  std::string taken = std::move(v).value();
+  EXPECT_EQ(taken.size(), 1000u);
+}
+
+TEST(StatusOrTest, ArrowOperator) {
+  StatusOr<std::string> v = std::string("abc");
+  EXPECT_EQ(v->size(), 3u);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto make = [](bool ok) -> StatusOr<int> {
+    if (ok) return 7;
+    return Status::Internal("boom");
+  };
+  auto use = [&](bool ok) -> Status {
+    int x = 0;
+    ODE_ASSIGN_OR_RETURN(x, make(ok));
+    return x == 7 ? Status::OK() : Status::Internal("wrong value");
+  };
+  EXPECT_TRUE(use(true).ok());
+  EXPECT_TRUE(use(false).IsInternal());
+}
+
+}  // namespace
+}  // namespace ode

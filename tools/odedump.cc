@@ -1,0 +1,163 @@
+// odedump: inspect an Ode database from the command line.
+//
+// Usage:
+//   odedump <db-path> [command]
+//
+// Commands:
+//   summary   (default) object/version/type counts and storage stats
+//   objects   every object with header fields
+//   graph     the version graph of every object (derived-from + temporal)
+//   types     the registered type table
+//   check     run the full consistency check (exit 1 on violations)
+//   vacuum    compact the catalog B+trees
+//   storage   physical page/record statistics
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/check.h"
+#include "core/database.h"
+#include "policy/history.h"
+
+namespace {
+
+int Fail(const ode::Status& status) {
+  std::fprintf(stderr, "odedump: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int Summary(ode::Database& db) {
+  uint64_t objects = 0, versions = 0, full = 0, deltas = 0;
+  uint64_t logical_bytes = 0;
+  ode::Status s = db.ForEachObject(
+      [&](ode::ObjectId oid, const ode::ObjectHeader& header) {
+        ++objects;
+        versions += header.version_count;
+        ode::Status vs = db.ForEachVersion(
+            oid, [&](ode::VersionId, const ode::VersionMeta& meta) {
+              if (meta.kind == ode::PayloadKind::kFull) {
+                ++full;
+              } else {
+                ++deltas;
+              }
+              logical_bytes += meta.logical_size;
+              return true;
+            });
+        if (!vs.ok()) std::fprintf(stderr, "warning: %s\n", vs.ToString().c_str());
+        return true;
+      });
+  if (!s.ok()) return Fail(s);
+  uint64_t types = 0;
+  s = db.ForEachType([&](const std::string&, uint32_t) {
+    ++types;
+    return true;
+  });
+  if (!s.ok()) return Fail(s);
+  std::printf("objects:        %" PRIu64 "\n", objects);
+  std::printf("versions:       %" PRIu64 "\n", versions);
+  std::printf("  full:         %" PRIu64 "\n", full);
+  std::printf("  delta:        %" PRIu64 "\n", deltas);
+  std::printf("logical bytes:  %" PRIu64 "\n", logical_bytes);
+  std::printf("types:          %" PRIu64 "\n", types);
+  return 0;
+}
+
+int Objects(ode::Database& db) {
+  ode::Status s = db.ForEachObject(
+      [&](ode::ObjectId oid, const ode::ObjectHeader& header) {
+        std::printf("object %-8" PRIu64 " type=%-4u versions=%-4u latest=v%-4u"
+                    " created_ts=%" PRIu64 "\n",
+                    oid.value, header.type_id, header.version_count,
+                    header.latest, header.created_ts);
+        return true;
+      });
+  return s.ok() ? 0 : Fail(s);
+}
+
+int Graph(ode::Database& db) {
+  ode::Status s =
+      db.ForEachObject([&](ode::ObjectId oid, const ode::ObjectHeader&) {
+        auto rendered = ode::history::RenderGraph(db, oid);
+        if (rendered.ok()) {
+          std::printf("%s\n", rendered->c_str());
+        } else {
+          std::fprintf(stderr, "object %" PRIu64 ": %s\n", oid.value,
+                       rendered.status().ToString().c_str());
+        }
+        return true;
+      });
+  return s.ok() ? 0 : Fail(s);
+}
+
+int Types(ode::Database& db) {
+  ode::Status s = db.ForEachType([&](const std::string& name, uint32_t id) {
+    std::printf("type %-4u %s\n", id, name.c_str());
+    return true;
+  });
+  return s.ok() ? 0 : Fail(s);
+}
+
+int Check(ode::Database& db) {
+  auto report = ode::CheckDatabase(db);
+  if (!report.ok()) return Fail(report.status());
+  std::printf("checked %" PRIu64 " objects, %" PRIu64 " versions, %" PRIu64
+              " payload bytes\n",
+              report->objects_checked, report->versions_checked,
+              report->payload_bytes);
+  if (report->errors.empty()) {
+    std::printf("database is consistent\n");
+    return 0;
+  }
+  for (const std::string& error : report->errors) {
+    std::printf("VIOLATION: %s\n", error.c_str());
+  }
+  return 1;
+}
+
+int Vacuum(ode::Database& db) {
+  if (ode::Status s = db.Vacuum(); !s.ok()) return Fail(s);
+  std::printf("vacuum complete\n");
+  return 0;
+}
+
+int Storage(ode::Database& db) {
+  auto stats = db.GatherStorageStats();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("total pages:    %u (%u KiB)\n", stats->total_pages,
+              stats->total_pages * 4);
+  std::printf("  free:         %u\n", stats->free_pages);
+  std::printf("  heap:         %u\n", stats->heap_pages);
+  std::printf("  overflow:     %u\n", stats->overflow_pages);
+  std::printf("  btree:        %u\n", stats->btree_pages);
+  std::printf("live records:   %" PRIu64 "\n", stats->live_records);
+  std::printf("wal bytes:      %" PRIu64 "\n", stats->wal_bytes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: odedump <db-path> "
+                 "[summary|objects|graph|types|check|vacuum]\n");
+    return 2;
+  }
+  ode::DatabaseOptions options;
+  options.storage.path = argv[1];
+  auto db = ode::Database::Open(options);
+  if (!db.ok()) return Fail(db.status());
+
+  const std::string command = argc >= 3 ? argv[2] : "summary";
+  if (command == "summary") return Summary(**db);
+  if (command == "objects") return Objects(**db);
+  if (command == "graph") return Graph(**db);
+  if (command == "types") return Types(**db);
+  if (command == "check") return Check(**db);
+  if (command == "vacuum") return Vacuum(**db);
+  if (command == "storage") return Storage(**db);
+  std::fprintf(stderr, "odedump: unknown command '%s'\n", command.c_str());
+  return 2;
+}
