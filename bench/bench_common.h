@@ -23,9 +23,16 @@ struct BenchDb {
   Database* operator->() { return db.get(); }
 };
 
+/// Read-path cache sizing for a benchmark database.  kWarm is the default
+/// production configuration; kCold disables both caches, reproducing the
+/// pre-cache read path (every dereference resolves through the catalog and
+/// re-applies delta chains).
+enum class CacheMode { kWarm, kCold };
+
 inline BenchDb OpenBenchDb(PayloadKind strategy = PayloadKind::kFull,
                            uint32_t keyframe_interval = 16,
-                           size_t pool_pages = 4096) {
+                           size_t pool_pages = 4096,
+                           CacheMode cache_mode = CacheMode::kWarm) {
   BenchDb handle;
   handle.env = std::make_unique<MemEnv>();
   DatabaseOptions options;
@@ -34,6 +41,10 @@ inline BenchDb OpenBenchDb(PayloadKind strategy = PayloadKind::kFull,
   options.storage.buffer_pool_pages = pool_pages;
   options.payload_strategy = strategy;
   options.delta_keyframe_interval = keyframe_interval;
+  if (cache_mode == CacheMode::kCold) {
+    options.payload_cache_bytes = 0;
+    options.latest_cache_entries = 0;
+  }
   auto db = Database::Open(options);
   ODE_CHECK(db.ok());
   handle.db = std::move(*db);
@@ -60,6 +71,16 @@ inline void SmallEdit(std::string* payload, Random* rng, int edits = 4) {
   for (int i = 0; i < edits; ++i) {
     (*payload)[rng->Uniform(payload->size())] ^= 0x5a;
   }
+}
+
+/// Records `ops_per_iteration` logical operations per iteration so every
+/// suite reports a comparable items_per_second in the JSON output
+/// (tools/run_bench.sh -> BENCH_*.json).  Templated on the state type so
+/// including this header does not require google-benchmark (some binaries
+/// in bench/ are plain executables).
+template <typename State>
+inline void ReportOps(State& state, int64_t ops_per_iteration = 1) {
+  state.SetItemsProcessed(state.iterations() * ops_per_iteration);
 }
 
 }  // namespace bench

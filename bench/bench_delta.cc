@@ -32,9 +32,10 @@ VersionId BuildChain(Database& db, uint32_t type, int length,
   return current;
 }
 
-void MaterializeBenchmark(benchmark::State& state, uint32_t keyframe) {
+void MaterializeBenchmark(benchmark::State& state, uint32_t keyframe,
+                          CacheMode cache_mode = CacheMode::kWarm) {
   const int chain = static_cast<int>(state.range(0));
-  BenchDb handle = OpenBenchDb(PayloadKind::kDelta, keyframe);
+  BenchDb handle = OpenBenchDb(PayloadKind::kDelta, keyframe, 4096, cache_mode);
   const uint32_t type = RawType(*handle);
   VersionId newest = BuildChain(*handle, type, chain, 16384);
   for (auto _ : state) {
@@ -42,12 +43,15 @@ void MaterializeBenchmark(benchmark::State& state, uint32_t keyframe) {
     ODE_CHECK(bytes.ok());
     benchmark::DoNotOptimize(bytes->data());
   }
+  ReportOps(state);
   auto meta = handle->Meta(newest);
   ODE_CHECK(meta.ok());
   state.counters["chain_len"] = meta->delta_chain_len;
   const auto& stats = handle->stats();
   state.counters["stored_bytes"] = benchmark::Counter(static_cast<double>(
       stats.full_bytes_written + stats.delta_bytes_written));
+  state.counters["payload_cache_hits"] =
+      static_cast<double>(stats.payload_cache_hits);
 }
 
 void BM_Materialize_Keyframe4(benchmark::State& state) {
@@ -65,6 +69,19 @@ void BM_Materialize_Keyframe64(benchmark::State& state) {
 }
 BENCHMARK(BM_Materialize_Keyframe64)->Arg(2)->Arg(16)->Arg(128);
 
+// Cold variants disable the payload cache, so every read re-applies the
+// delta chain from the nearest keyframe — the seed read path, and the
+// baseline for the caching layer's win.
+void BM_Materialize_Keyframe16_Cold(benchmark::State& state) {
+  MaterializeBenchmark(state, 16, CacheMode::kCold);
+}
+BENCHMARK(BM_Materialize_Keyframe16_Cold)->Arg(2)->Arg(16)->Arg(128);
+
+void BM_Materialize_Keyframe64_Cold(benchmark::State& state) {
+  MaterializeBenchmark(state, 64, CacheMode::kCold);
+}
+BENCHMARK(BM_Materialize_Keyframe64_Cold)->Arg(2)->Arg(16)->Arg(128);
+
 // Full-copy baseline: reads are chain-length independent.
 void BM_Materialize_FullCopy(benchmark::State& state) {
   const int chain = static_cast<int>(state.range(0));
@@ -76,6 +93,7 @@ void BM_Materialize_FullCopy(benchmark::State& state) {
     ODE_CHECK(bytes.ok());
     benchmark::DoNotOptimize(bytes->data());
   }
+  ReportOps(state);
   const auto& stats = handle->stats();
   state.counters["stored_bytes"] = benchmark::Counter(static_cast<double>(
       stats.full_bytes_written + stats.delta_bytes_written));
@@ -93,6 +111,7 @@ void BM_DeltaEncode(benchmark::State& state) {
     std::string encoded = delta::Encode(Slice(base), Slice(target));
     benchmark::DoNotOptimize(encoded.data());
   }
+  ReportOps(state);
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * size);
 }
 BENCHMARK(BM_DeltaEncode)->Arg(1024)->Arg(16384)->Arg(262144);
@@ -109,6 +128,7 @@ void BM_DeltaApply(benchmark::State& state) {
     ODE_CHECK(applied.ok());
     benchmark::DoNotOptimize(applied->data());
   }
+  ReportOps(state);
   state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * size);
 }
 BENCHMARK(BM_DeltaApply)->Arg(1024)->Arg(16384)->Arg(262144);

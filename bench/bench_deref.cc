@@ -3,6 +3,12 @@
 // Late binding pays one extra header lookup per dereference; the paper's
 // design bets this is cheap.  The history-length sweep shows the latest
 // pointer keeps generic dereference O(1) in history size.
+//
+// Warm vs cold: the default (warm) configuration runs with the read-path
+// caches on (payload cache + latest-pointer cache, core/payload_cache.h);
+// the _Cold variants disable them, reproducing the seed read path where
+// every dereference resolves headers through the catalog B+trees and
+// re-applies the whole delta chain.
 
 #include <benchmark/benchmark.h>
 
@@ -34,8 +40,9 @@ Ref<Payload> BuildHistory(Database& db, int history, size_t payload_size) {
   return *ref;
 }
 
-void BM_Deref_Generic(benchmark::State& state) {
-  BenchDb handle = OpenBenchDb();
+void DerefGeneric(benchmark::State& state, PayloadKind strategy,
+                  CacheMode cache_mode) {
+  BenchDb handle = OpenBenchDb(strategy, 16, 4096, cache_mode);
   Ref<Payload> ref =
       BuildHistory(*handle, static_cast<int>(state.range(0)), 256);
   for (auto _ : state) {
@@ -43,11 +50,37 @@ void BM_Deref_Generic(benchmark::State& state) {
     ODE_CHECK(value.ok());
     benchmark::DoNotOptimize(value->bytes.data());
   }
+  ReportOps(state);
+  state.counters["payload_cache_hits"] = static_cast<double>(
+      handle->stats().payload_cache_hits);
+  state.counters["latest_cache_hits"] = static_cast<double>(
+      handle->stats().latest_cache_hits);
+}
+
+void BM_Deref_Generic(benchmark::State& state) {
+  DerefGeneric(state, PayloadKind::kFull, CacheMode::kWarm);
 }
 BENCHMARK(BM_Deref_Generic)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
 
-void BM_Deref_Specific(benchmark::State& state) {
-  BenchDb handle = OpenBenchDb();
+void BM_Deref_Generic_Cold(benchmark::State& state) {
+  DerefGeneric(state, PayloadKind::kFull, CacheMode::kCold);
+}
+BENCHMARK(BM_Deref_Generic_Cold)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+// The acceptance row for the caching layer: generic dereference under the
+// delta strategy, where a cold read also pays the delta-chain walk.
+void BM_Deref_Generic_Delta(benchmark::State& state) {
+  DerefGeneric(state, PayloadKind::kDelta, CacheMode::kWarm);
+}
+BENCHMARK(BM_Deref_Generic_Delta)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Deref_Generic_Delta_Cold(benchmark::State& state) {
+  DerefGeneric(state, PayloadKind::kDelta, CacheMode::kCold);
+}
+BENCHMARK(BM_Deref_Generic_Delta_Cold)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void DerefSpecific(benchmark::State& state, CacheMode cache_mode) {
+  BenchDb handle = OpenBenchDb(PayloadKind::kFull, 16, 4096, cache_mode);
   Ref<Payload> ref =
       BuildHistory(*handle, static_cast<int>(state.range(0)), 256);
   auto pinned = ref.Pin();
@@ -57,8 +90,18 @@ void BM_Deref_Specific(benchmark::State& state) {
     ODE_CHECK(value.ok());
     benchmark::DoNotOptimize(value->bytes.data());
   }
+  ReportOps(state);
+}
+
+void BM_Deref_Specific(benchmark::State& state) {
+  DerefSpecific(state, CacheMode::kWarm);
 }
 BENCHMARK(BM_Deref_Specific)->Arg(1)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_Deref_Specific_Cold(benchmark::State& state) {
+  DerefSpecific(state, CacheMode::kCold);
+}
+BENCHMARK(BM_Deref_Specific_Cold)->Arg(1)->Arg(256)->Arg(4096);
 
 // The floor: reading the payload bytes by version id, no typed decode.
 void BM_Deref_RawRead(benchmark::State& state) {
@@ -72,6 +115,7 @@ void BM_Deref_RawRead(benchmark::State& state) {
     ODE_CHECK(bytes.ok());
     benchmark::DoNotOptimize(bytes->data());
   }
+  ReportOps(state);
 }
 BENCHMARK(BM_Deref_RawRead)->Arg(1)->Arg(256);
 
@@ -84,6 +128,7 @@ void BM_Deref_CachedArrow(benchmark::State& state) {
   for (auto _ : state) {
     benchmark::DoNotOptimize((*pinned)->bytes.size());
   }
+  ReportOps(state);
 }
 BENCHMARK(BM_Deref_CachedArrow);
 

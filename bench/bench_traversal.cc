@@ -47,6 +47,7 @@ void BM_TpreviousStep(benchmark::State& state) {
     ODE_CHECK(prev.ok());
     benchmark::DoNotOptimize(prev->has_value());
   }
+  ReportOps(state);
 }
 BENCHMARK(BM_TpreviousStep)->Arg(4)->Arg(64)->Arg(1024)->Arg(4096);
 
@@ -59,6 +60,7 @@ void BM_DpreviousStep(benchmark::State& state) {
     ODE_CHECK(prev.ok());
     benchmark::DoNotOptimize(prev->has_value());
   }
+  ReportOps(state);
 }
 BENCHMARK(BM_DpreviousStep)->Arg(4)->Arg(64)->Arg(1024)->Arg(4096);
 
@@ -71,6 +73,7 @@ void BM_WalkToRoot_Linear(benchmark::State& state) {
     ODE_CHECK(path.ok());
     ODE_CHECK(static_cast<int>(path->size()) == depth);
   }
+  ReportOps(state, depth);
   state.counters["steps"] = depth;
 }
 BENCHMARK(BM_WalkToRoot_Linear)->Arg(16)->Arg(256)->Arg(4096);
@@ -84,6 +87,7 @@ void BM_Dnext_Bushy(benchmark::State& state) {
     ODE_CHECK(children.ok());
     ODE_CHECK(static_cast<int>(children->size()) == width - 1);
   }
+  ReportOps(state);
 }
 BENCHMARK(BM_Dnext_Bushy)->Arg(16)->Arg(256)->Arg(2048);
 
@@ -96,6 +100,7 @@ void BM_VersionsOf(benchmark::State& state) {
     ODE_CHECK(versions.ok());
     benchmark::DoNotOptimize(versions->size());
   }
+  ReportOps(state);
 }
 BENCHMARK(BM_VersionsOf)->Arg(16)->Arg(256)->Arg(4096);
 
@@ -108,8 +113,38 @@ void BM_Leaves_Bushy(benchmark::State& state) {
     ODE_CHECK(leaves.ok());
     benchmark::DoNotOptimize(leaves->size());
   }
+  ReportOps(state);
 }
 BENCHMARK(BM_Leaves_Bushy)->Arg(16)->Arg(256);
+
+// History walk that also reads every payload along the path — the pattern
+// a design tool hits when diffing an object's whole lineage.  Warm runs
+// serve repeated payloads from the cache; cold re-materializes each one.
+void ReadAllVersions(benchmark::State& state, CacheMode cache_mode) {
+  BenchDb handle = OpenBenchDb(PayloadKind::kDelta, 16, 4096, cache_mode);
+  const int depth = static_cast<int>(state.range(0));
+  VersionId deepest = BuildLinear(*handle, RawType(*handle), depth);
+  auto versions = handle->VersionsOf(deepest.oid);
+  ODE_CHECK(versions.ok());
+  for (auto _ : state) {
+    for (const VersionId& vid : *versions) {
+      auto bytes = handle->ReadVersion(vid);
+      ODE_CHECK(bytes.ok());
+      benchmark::DoNotOptimize(bytes->data());
+    }
+  }
+  ReportOps(state, depth);
+}
+
+void BM_ReadAllVersions(benchmark::State& state) {
+  ReadAllVersions(state, CacheMode::kWarm);
+}
+BENCHMARK(BM_ReadAllVersions)->Arg(16)->Arg(256);
+
+void BM_ReadAllVersions_Cold(benchmark::State& state) {
+  ReadAllVersions(state, CacheMode::kCold);
+}
+BENCHMARK(BM_ReadAllVersions_Cold)->Arg(16)->Arg(256);
 
 }  // namespace
 }  // namespace bench

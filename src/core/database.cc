@@ -47,6 +47,10 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = options;
+  db->payload_cache_ =
+      std::make_unique<VersionPayloadCache>(options.payload_cache_bytes);
+  db->latest_cache_ =
+      std::make_unique<LatestVersionCache>(options.latest_cache_entries);
   auto engine = StorageEngine::Open(options.storage);
   if (!engine.ok()) return engine.status();
   db->engine_ = std::move(*engine);
@@ -79,12 +83,36 @@ Status Database::RunInTxn(const std::function<Status(Txn&)>& body) {
   // Nested calls (triggers, policies, grouped operations) join the
   // in-flight transaction.
   if (active_txn_ != nullptr) return body(*active_txn_);
-  return engine_->WithTxn([&](Txn& txn) {
+  BeginCacheEpoch();
+  Status s = engine_->WithTxn([&](Txn& txn) {
     active_txn_ = &txn;
-    Status s = body(txn);
+    Status body_status = body(txn);
     active_txn_ = nullptr;
-    return s;
+    return body_status;
   });
+  // Cache installs made inside the transaction may capture state that only
+  // existed inside it; keep them only once the engine committed.
+  if (s.ok()) {
+    CommitCacheEpoch();
+  } else {
+    AbortCacheEpoch();
+  }
+  return s;
+}
+
+void Database::BeginCacheEpoch() {
+  payload_cache_->BeginEpoch();
+  latest_cache_->BeginEpoch();
+}
+
+void Database::CommitCacheEpoch() {
+  payload_cache_->CommitEpoch();
+  latest_cache_->CommitEpoch();
+}
+
+void Database::AbortCacheEpoch() {
+  payload_cache_->AbortEpoch();
+  latest_cache_->AbortEpoch();
 }
 
 Status Database::Begin() {
@@ -95,6 +123,7 @@ Status Database::Begin() {
   if (!txn.ok()) return txn.status();
   txn_ = *txn;
   active_txn_ = *txn;
+  BeginCacheEpoch();
   return Status::OK();
 }
 
@@ -103,7 +132,16 @@ Status Database::Commit() {
   Txn* txn = txn_;
   txn_ = nullptr;
   active_txn_ = nullptr;
-  return engine_->Commit(txn);
+  Status s = engine_->Commit(txn);
+  if (s.ok()) {
+    CommitCacheEpoch();
+  } else {
+    // The engine's post-failure state is unknown; drop everything rather
+    // than risk serving bytes from a half-committed transaction.
+    payload_cache_->Clear();
+    latest_cache_->Clear();
+  }
+  return s;
 }
 
 Status Database::Abort() {
@@ -112,8 +150,10 @@ Status Database::Abort() {
   txn_ = nullptr;
   active_txn_ = nullptr;
   // Type registrations made inside the aborted transaction are rolled back;
-  // drop the cache so stale ids cannot leak.
+  // drop the cache so stale ids cannot leak.  Same for cache entries
+  // installed during the transaction.
   type_cache_.clear();
+  AbortCacheEpoch();
   return engine_->Abort(txn);
 }
 
@@ -173,17 +213,31 @@ Status Database::PutMeta(Txn& txn, VersionId vid, const VersionMeta& meta) {
 // ---------------------------------------------------------------------------
 
 Status Database::Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
-                             std::string* out) {
+                             std::string* out, bool probe_cache) {
+  const VersionId vid{oid, meta.vnum};
+  const bool use_cache = payload_cache_->enabled();
+  if (use_cache && probe_cache) {
+    if (payload_cache_->Lookup(vid, out)) {
+      ++stats_.payload_cache_hits;
+      return Status::OK();
+    }
+    ++stats_.payload_cache_misses;
+  }
   ++stats_.materializations;
   if (meta.kind == PayloadKind::kFull) {
     auto bytes = engine_->heap().Read(&txn, meta.payload);
     if (!bytes.ok()) return bytes.status();
     *out = std::move(*bytes);
+    if (use_cache) payload_cache_->Insert(vid, *out);
     return Status::OK();
   }
-  // Collect the delta chain down to the nearest full payload.
+  // Collect the delta chain down to the nearest full payload — or to the
+  // nearest cached ancestor, whichever comes first (a residency's chain is
+  // walked at most once).
   std::vector<VersionMeta> chain;
   VersionMeta current = meta;
+  std::string acc;
+  bool base_from_cache = false;
   while (current.kind == PayloadKind::kDelta) {
     chain.push_back(current);
     if (chain.size() > 100000) {
@@ -192,11 +246,22 @@ Status Database::Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
     VersionMeta base;
     ODE_RETURN_IF_ERROR(
         GetMeta(txn, VersionId{oid, current.delta_base}, &base));
+    if (use_cache &&
+        payload_cache_->Lookup(VersionId{oid, base.vnum}, &acc)) {
+      base_from_cache = true;
+      break;
+    }
     current = base;
   }
-  auto base_bytes = engine_->heap().Read(&txn, current.payload);
-  if (!base_bytes.ok()) return base_bytes.status();
-  std::string acc = std::move(*base_bytes);
+  if (!base_from_cache) {
+    auto base_bytes = engine_->heap().Read(&txn, current.payload);
+    if (!base_bytes.ok()) return base_bytes.status();
+    acc = std::move(*base_bytes);
+    if (use_cache && options_.cache_chain_intermediates &&
+        current.kind == PayloadKind::kFull) {
+      payload_cache_->Insert(VersionId{oid, current.vnum}, acc);
+    }
+  }
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
     auto delta_bytes = engine_->heap().Read(&txn, it->payload);
     if (!delta_bytes.ok()) return delta_bytes.status();
@@ -204,7 +269,12 @@ Status Database::Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
     if (!applied.ok()) return applied.status();
     acc = std::move(*applied);
     ++stats_.delta_applications;
+    if (use_cache && options_.cache_chain_intermediates &&
+        std::next(it) != chain.rend()) {
+      payload_cache_->Insert(VersionId{oid, it->vnum}, acc);
+    }
   }
+  if (use_cache) payload_cache_->Insert(vid, acc);
   *out = std::move(acc);
   return Status::OK();
 }
@@ -278,6 +348,9 @@ Status Database::StoreCopyOfBase(Txn& txn, ObjectId oid,
 }
 
 Status Database::RematerializeDeltaChildren(Txn& txn, VersionId vid) {
+  // Note for the payload cache: this conversion is byte-preserving (each
+  // child's materialized contents are unchanged, only its physical encoding
+  // flips to kFull), so cached child entries stay valid and are kept.
   auto tree = BTree::Open(&txn, kVersionsTreeSlot);
   if (!tree.ok()) return tree.status();
   const std::string prefix = VersionKeyPrefix(vid.oid);
@@ -376,6 +449,7 @@ Status Database::DoPnew(Txn& txn, uint32_t type_id, const Slice& payload,
     ODE_RETURN_IF_ERROR(clusters->Put(ClusterKey(type_id, *oid), Slice()));
   }
   *out = VersionId{*oid, kFirstVersion};
+  latest_cache_->Insert(*oid, kFirstVersion);
   ++stats_.pnew_count;
   FireTriggers(TriggerInfo{TriggerEvent::kPnew, *out, type_id, VersionId{}});
   return Status::OK();
@@ -415,6 +489,9 @@ Status Database::DoNewVersion(Txn& txn, ObjectId oid,
   ODE_RETURN_IF_ERROR(PutHeader(txn, oid, header));
 
   *out = VersionId{oid, meta.vnum};
+  // The new version is the new latest; keep the resolution cache exact
+  // (epoch-tagged, so an abort discards it) before triggers can re-read.
+  latest_cache_->Insert(oid, meta.vnum);
   ++stats_.newversion_count;
   FireTriggers(TriggerInfo{TriggerEvent::kNewVersion, *out, header.type_id,
                            VersionId{oid, base}});
@@ -449,6 +526,7 @@ StatusOr<VersionId> Database::NewDetachedVersion(ObjectId oid,
     ODE_RETURN_IF_ERROR(PutMeta(txn, VersionId{oid, meta.vnum}, meta));
     ODE_RETURN_IF_ERROR(PutHeader(txn, oid, header));
     result = VersionId{oid, meta.vnum};
+    latest_cache_->Insert(oid, meta.vnum);
     ++stats_.newversion_count;
     FireTriggers(TriggerInfo{TriggerEvent::kNewVersion, result,
                              header.type_id, VersionId{}});
@@ -481,6 +559,9 @@ Status Database::DoUpdate(Txn& txn, VersionId vid, const Slice& payload) {
   ODE_RETURN_IF_ERROR(StorePayload(txn, vid.oid, &meta, payload));
   ODE_RETURN_IF_ERROR(engine_->heap().Delete(&txn, old_payload));
   ODE_RETURN_IF_ERROR(PutMeta(txn, vid, meta));
+  // The cached materialization is stale now.  (Delta children keep their
+  // entries: they were pinned down as full payloads above, byte-identical.)
+  payload_cache_->Erase(vid);
   ++stats_.update_count;
   FireTriggers(
       TriggerInfo{TriggerEvent::kUpdate, vid, header.type_id, VersionId{}});
@@ -501,10 +582,21 @@ Status Database::UpdateLatest(ObjectId oid, const Slice& payload) {
 
 StatusOr<std::string> Database::ReadVersion(VersionId vid) {
   std::string result;
+  // Hot path: a resident payload needs no transaction and no catalog lookup.
+  // Safe even inside an open transaction: mutators invalidate immediately,
+  // so residency implies the entry reflects the current (possibly
+  // uncommitted-but-visible) state.
+  if (payload_cache_->enabled()) {
+    if (payload_cache_->Lookup(vid, &result)) {
+      ++stats_.payload_cache_hits;
+      return result;
+    }
+    ++stats_.payload_cache_misses;
+  }
   Status s = RunInTxn([&](Txn& txn) -> Status {
     VersionMeta meta;
     ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
-    return Materialize(txn, vid.oid, meta, &result);
+    return Materialize(txn, vid.oid, meta, &result, /*probe_cache=*/false);
   });
   if (!s.ok()) return s;
   return result;
@@ -512,11 +604,38 @@ StatusOr<std::string> Database::ReadVersion(VersionId vid) {
 
 StatusOr<std::string> Database::ReadLatest(ObjectId oid, VersionId* resolved) {
   std::string result;
+  // Hot path for the generic (late-bound) dereference: resolve oid -> latest
+  // through the resolution cache, then the payload through the payload cache;
+  // a double hit touches neither the catalog nor the heap.
+  std::optional<VersionNum> cached_latest;
+  if (latest_cache_->enabled()) {
+    VersionNum latest = kNoVersion;
+    if (latest_cache_->Lookup(oid, &latest)) {
+      ++stats_.latest_cache_hits;
+      cached_latest = latest;
+      const VersionId vid{oid, latest};
+      if (payload_cache_->enabled() &&
+          payload_cache_->Lookup(vid, &result)) {
+        ++stats_.payload_cache_hits;
+        if (resolved != nullptr) *resolved = vid;
+        return result;
+      }
+    } else {
+      ++stats_.latest_cache_misses;
+    }
+  }
   Status s = RunInTxn([&](Txn& txn) -> Status {
-    ObjectHeader header;
-    ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+    VersionNum latest = kNoVersion;
+    if (cached_latest.has_value()) {
+      latest = *cached_latest;
+    } else {
+      ObjectHeader header;
+      ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+      latest = header.latest;
+      latest_cache_->Insert(oid, latest);
+    }
     VersionMeta meta;
-    const VersionId vid{oid, header.latest};
+    const VersionId vid{oid, latest};
     ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
     if (resolved != nullptr) *resolved = vid;
     return Materialize(txn, oid, meta, &result);
@@ -562,6 +681,7 @@ Status Database::DoDeleteVersion(Txn& txn, VersionId vid) {
     if (!tree.ok()) return tree.status();
     ODE_RETURN_IF_ERROR(tree->Delete(VersionKey(vid)));
   }
+  payload_cache_->Erase(vid);
 
   header.version_count -= 1;
   ++stats_.delete_version_count;
@@ -573,6 +693,8 @@ Status Database::DoDeleteVersion(Txn& txn, VersionId vid) {
     auto clusters = BTree::Open(&txn, kClustersTreeSlot);
     if (!clusters.ok()) return clusters.status();
     ODE_RETURN_IF_ERROR(clusters->Delete(ClusterKey(header.type_id, vid.oid)));
+    payload_cache_->EraseObject(vid.oid);
+    latest_cache_->Erase(vid.oid);
     ++stats_.delete_object_count;
     FireTriggers(TriggerInfo{TriggerEvent::kDeleteVersion, vid, header.type_id,
                              VersionId{}});
@@ -598,6 +720,7 @@ Status Database::DoDeleteVersion(Txn& txn, VersionId vid) {
     header.latest = last.vnum;
   }
   ODE_RETURN_IF_ERROR(PutHeader(txn, vid.oid, header));
+  latest_cache_->Insert(vid.oid, header.latest);
   FireTriggers(TriggerInfo{TriggerEvent::kDeleteVersion, vid, header.type_id,
                            VersionId{}});
   return Status::OK();
@@ -640,6 +763,8 @@ Status Database::DoDeleteObject(Txn& txn, ObjectId oid) {
     if (!clusters.ok()) return clusters.status();
     ODE_RETURN_IF_ERROR(clusters->Delete(ClusterKey(header.type_id, oid)));
   }
+  payload_cache_->EraseObject(oid);
+  latest_cache_->Erase(oid);
   stats_.delete_version_count += metas.size();
   ++stats_.delete_object_count;
   FireTriggers(TriggerInfo{TriggerEvent::kDeleteObject,
@@ -657,11 +782,20 @@ Status Database::PdeleteObject(ObjectId oid) {
 // ---------------------------------------------------------------------------
 
 StatusOr<VersionId> Database::Latest(ObjectId oid) {
+  if (latest_cache_->enabled()) {
+    VersionNum latest = kNoVersion;
+    if (latest_cache_->Lookup(oid, &latest)) {
+      ++stats_.latest_cache_hits;
+      return VersionId{oid, latest};
+    }
+    ++stats_.latest_cache_misses;
+  }
   VersionId result;
   Status s = RunInTxn([&](Txn& txn) -> Status {
     ObjectHeader header;
     ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
     result = VersionId{oid, header.latest};
+    latest_cache_->Insert(oid, header.latest);
     return Status::OK();
   });
   if (!s.ok()) return s;
@@ -957,6 +1091,8 @@ Status Database::ForEachType(
 }
 
 Status Database::Vacuum() {
+  // No cache invalidation: vacuum rebuilds the catalog trees physically but
+  // every key/value — and every payload record — is logically unchanged.
   return RunInTxn([&](Txn& txn) -> Status {
     for (int slot : {kObjectsTreeSlot, kVersionsTreeSlot, kClustersTreeSlot,
                      kNamesTreeSlot}) {

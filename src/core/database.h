@@ -13,6 +13,7 @@
 #include "core/codec.h"
 #include "core/ids.h"
 #include "core/meta.h"
+#include "core/payload_cache.h"
 #include "storage/storage_engine.h"
 #include "util/clock.h"
 #include "util/status.h"
@@ -42,6 +43,20 @@ struct DatabaseOptions {
   /// database's crash-safe persisted logical clock; tests may inject a
   /// LogicalClock for determinism.
   Clock* clock = nullptr;
+
+  /// Byte budget for the materialized-payload cache (payload_cache.h): reads
+  /// of a resident version skip the catalog lookup AND the delta-chain walk.
+  /// 0 disables the cache.
+  uint64_t payload_cache_bytes = 32ull << 20;
+
+  /// While materializing a delta chain, also install the intermediate chain
+  /// nodes produced along the walk (one walk warms the whole chain).
+  bool cache_chain_intermediates = true;
+
+  /// Entry budget for the oid -> latest-version resolution cache, which lets
+  /// generic (late-bound) dereference skip the header B+tree lookup.
+  /// 0 disables the cache.
+  size_t latest_cache_entries = 1 << 16;
 };
 
 /// Events a trigger can watch.  The paper deliberately provides *no* built-in
@@ -83,6 +98,12 @@ struct VersionStats {
   uint64_t delta_payloads_written = 0;
   uint64_t full_bytes_written = 0;
   uint64_t delta_bytes_written = 0;
+  /// Read-path cache outcomes, counted once per payload-read request (the
+  /// caches' own stats additionally count chain-internal probes).
+  uint64_t payload_cache_hits = 0;
+  uint64_t payload_cache_misses = 0;
+  uint64_t latest_cache_hits = 0;
+  uint64_t latest_cache_misses = 0;
 };
 
 /// The Ode object-versioning database: the paper's model (§3) and constructs
@@ -303,6 +324,10 @@ class Database {
   StorageEngine& storage() { return *engine_; }
   const DatabaseOptions& options() const { return options_; }
 
+  /// Read-path caches (payload_cache.h); exposed for stats/tooling.
+  const VersionPayloadCache& payload_cache() const { return *payload_cache_; }
+  const LatestVersionCache& latest_cache() const { return *latest_cache_; }
+
  private:
   friend class RawSecondaryIndex;  // Same-layer facility (core/index.h).
 
@@ -328,9 +353,18 @@ class Database {
   Status GetMeta(Txn& txn, VersionId vid, VersionMeta* out);
   Status PutMeta(Txn& txn, VersionId vid, const VersionMeta& meta);
 
-  /// Reads the full payload of a version, applying delta chains.
+  /// Reads the full payload of a version, applying delta chains.  Consults
+  /// the payload cache first (unless the caller already probed it) and
+  /// installs what it materializes, including intermediate chain nodes when
+  /// options_.cache_chain_intermediates is set.
   Status Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
-                     std::string* out);
+                     std::string* out, bool probe_cache = true);
+
+  // Cache epoch plumbing: every transaction (user-opened or per-call) brackets
+  // cache installs so uncommitted state never survives an abort.
+  void BeginCacheEpoch();
+  void CommitCacheEpoch();
+  void AbortCacheEpoch();
 
   /// Stores `payload` for version `vnum` of `oid`, choosing full vs delta
   /// per options (delta is computed against `derived_from` when eligible).
@@ -359,6 +393,8 @@ class Database {
   Txn* txn_ = nullptr;         // User-opened transaction, if any.
   Txn* active_txn_ = nullptr;  // Whatever transaction is in flight right now.
   VersionStats stats_;
+  std::unique_ptr<VersionPayloadCache> payload_cache_;
+  std::unique_ptr<LatestVersionCache> latest_cache_;
 
   struct TriggerEntry {
     uint64_t handle;

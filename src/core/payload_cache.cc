@@ -1,0 +1,192 @@
+#include "core/payload_cache.h"
+
+namespace ode {
+
+// ---------------------------------------------------------------------------
+// VersionPayloadCache
+// ---------------------------------------------------------------------------
+
+bool VersionPayloadCache::Lookup(const VersionId& vid, std::string* out) {
+  if (!enabled()) return false;
+  auto it = map_.find(vid);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->payload;
+  ++stats_.hits;
+  return true;
+}
+
+void VersionPayloadCache::Insert(const VersionId& vid,
+                                 const std::string& payload) {
+  if (!enabled()) return;
+  const uint64_t charge = payload.size() + kEntryOverhead;
+  if (charge > byte_budget_) return;  // Would evict everything else.
+  auto it = map_.find(vid);
+  if (it != map_.end()) {
+    bytes_in_use_ -= Charge(*it->second);
+    it->second->payload = payload;
+    bytes_in_use_ += Charge(*it->second);
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (in_epoch_ && !it->second->uncommitted) {
+      it->second->uncommitted = true;
+      epoch_keys_.push_back(vid);
+    }
+  } else {
+    lru_.push_front(Entry{vid, payload, in_epoch_});
+    map_.emplace(vid, lru_.begin());
+    bytes_in_use_ += charge;
+    if (in_epoch_) epoch_keys_.push_back(vid);
+  }
+  EvictToBudget();
+}
+
+void VersionPayloadCache::RemoveEntry(EntryList::iterator it) {
+  bytes_in_use_ -= Charge(*it);
+  map_.erase(it->vid);
+  lru_.erase(it);
+}
+
+void VersionPayloadCache::Erase(const VersionId& vid) {
+  auto it = map_.find(vid);
+  if (it == map_.end()) return;
+  RemoveEntry(it->second);
+  ++stats_.invalidations;
+}
+
+void VersionPayloadCache::EraseObject(const ObjectId& oid) {
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    if (it->vid.oid == oid) {
+      RemoveEntry(it);
+      ++stats_.invalidations;
+    }
+    it = next;
+  }
+}
+
+void VersionPayloadCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  epoch_keys_.clear();
+  bytes_in_use_ = 0;
+}
+
+void VersionPayloadCache::EvictToBudget() {
+  while (bytes_in_use_ > byte_budget_ && !lru_.empty()) {
+    RemoveEntry(std::prev(lru_.end()));
+    ++stats_.evictions;
+  }
+}
+
+void VersionPayloadCache::BeginEpoch() {
+  in_epoch_ = true;
+  epoch_keys_.clear();
+}
+
+void VersionPayloadCache::CommitEpoch() {
+  for (const VersionId& vid : epoch_keys_) {
+    auto it = map_.find(vid);
+    if (it != map_.end()) it->second->uncommitted = false;
+  }
+  epoch_keys_.clear();
+  in_epoch_ = false;
+}
+
+void VersionPayloadCache::AbortEpoch() {
+  for (const VersionId& vid : epoch_keys_) {
+    auto it = map_.find(vid);
+    if (it != map_.end() && it->second->uncommitted) {
+      RemoveEntry(it->second);
+      ++stats_.epoch_discards;
+    }
+  }
+  epoch_keys_.clear();
+  in_epoch_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// LatestVersionCache
+// ---------------------------------------------------------------------------
+
+bool LatestVersionCache::Lookup(const ObjectId& oid, VersionNum* out) {
+  if (!enabled()) return false;
+  auto it = map_.find(oid);
+  if (it == map_.end()) {
+    ++stats_.misses;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);
+  *out = it->second->latest;
+  ++stats_.hits;
+  return true;
+}
+
+void LatestVersionCache::Insert(const ObjectId& oid, VersionNum latest) {
+  if (!enabled()) return;
+  auto it = map_.find(oid);
+  if (it != map_.end()) {
+    it->second->latest = latest;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    if (in_epoch_ && !it->second->uncommitted) {
+      it->second->uncommitted = true;
+      epoch_keys_.push_back(oid);
+    }
+  } else {
+    lru_.push_front(Entry{oid, latest, in_epoch_});
+    map_.emplace(oid, lru_.begin());
+    if (in_epoch_) epoch_keys_.push_back(oid);
+    while (map_.size() > max_entries_ && !lru_.empty()) {
+      RemoveEntry(std::prev(lru_.end()));
+      ++stats_.evictions;
+    }
+  }
+}
+
+void LatestVersionCache::RemoveEntry(EntryList::iterator it) {
+  map_.erase(it->oid);
+  lru_.erase(it);
+}
+
+void LatestVersionCache::Erase(const ObjectId& oid) {
+  auto it = map_.find(oid);
+  if (it == map_.end()) return;
+  RemoveEntry(it->second);
+  ++stats_.invalidations;
+}
+
+void LatestVersionCache::Clear() {
+  lru_.clear();
+  map_.clear();
+  epoch_keys_.clear();
+}
+
+void LatestVersionCache::BeginEpoch() {
+  in_epoch_ = true;
+  epoch_keys_.clear();
+}
+
+void LatestVersionCache::CommitEpoch() {
+  for (const ObjectId& oid : epoch_keys_) {
+    auto it = map_.find(oid);
+    if (it != map_.end()) it->second->uncommitted = false;
+  }
+  epoch_keys_.clear();
+  in_epoch_ = false;
+}
+
+void LatestVersionCache::AbortEpoch() {
+  for (const ObjectId& oid : epoch_keys_) {
+    auto it = map_.find(oid);
+    if (it != map_.end() && it->second->uncommitted) {
+      RemoveEntry(it->second);
+      ++stats_.epoch_discards;
+    }
+  }
+  epoch_keys_.clear();
+  in_epoch_ = false;
+}
+
+}  // namespace ode

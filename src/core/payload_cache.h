@@ -1,0 +1,167 @@
+#ifndef ODE_CORE_PAYLOAD_CACHE_H_
+#define ODE_CORE_PAYLOAD_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ids.h"
+
+namespace ode {
+
+// ---------------------------------------------------------------------------
+// Read-path caches above the storage engine
+// ---------------------------------------------------------------------------
+//
+// Versions are immutable by construction (updates rewrite a version's payload
+// explicitly; nothing changes behind the catalog's back), which makes fully
+// materialized payloads ideal cache fodder: a delta chain needs to be applied
+// at most once per cache residency.  Two caches exploit this:
+//
+//  - VersionPayloadCache: VersionId -> materialized payload bytes, bounded by
+//    a byte budget (LRU).  Consulted and populated by Database::Materialize.
+//  - LatestVersionCache: ObjectId -> latest VersionNum, bounded by an entry
+//    budget (LRU).  Lets a generic dereference skip the header B+tree lookup.
+//
+// Transactional coherence (single-writer, matching the engine):
+//  - Mutators invalidate affected entries IMMEDIATELY.  This is safe under
+//    both commit and abort: a missing entry only costs a re-materialization,
+//    which reads whatever state the engine currently exposes.
+//  - Entries installed while a transaction is open ("epoch") are tagged
+//    uncommitted, because they may capture in-transaction state.  CommitEpoch
+//    promotes them; AbortEpoch discards them.  Entries installed outside any
+//    epoch are committed immediately.
+//
+// VersionIds are never reused (oids and vnums are monotonic), so a stale key
+// can never be resurrected by an unrelated new version.
+
+/// Cumulative counters for one cache instance (session-local, not persisted).
+struct PayloadCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;       ///< Entries dropped by the budget.
+  uint64_t invalidations = 0;   ///< Entries dropped by Erase/EraseObject.
+  uint64_t epoch_discards = 0;  ///< Uncommitted entries dropped by AbortEpoch.
+};
+
+/// Byte-budgeted LRU of fully materialized version payloads.
+///
+/// A budget of 0 disables the cache entirely (every probe misses without
+/// touching the stats, every insert is a no-op).
+class VersionPayloadCache {
+ public:
+  /// Fixed per-entry accounting overhead (key, list node, map slot).
+  static constexpr uint64_t kEntryOverhead = 64;
+
+  explicit VersionPayloadCache(uint64_t byte_budget)
+      : byte_budget_(byte_budget) {}
+
+  VersionPayloadCache(const VersionPayloadCache&) = delete;
+  VersionPayloadCache& operator=(const VersionPayloadCache&) = delete;
+
+  bool enabled() const { return byte_budget_ > 0; }
+
+  /// Copies the cached payload into `*out` and refreshes LRU position.
+  /// Returns false (and leaves `*out` alone) on a miss.
+  bool Lookup(const VersionId& vid, std::string* out);
+
+  /// Installs (or refreshes) the payload for `vid`.  Entries larger than the
+  /// whole budget are not admitted.  Inside an epoch the entry is tagged
+  /// uncommitted.
+  void Insert(const VersionId& vid, const std::string& payload);
+
+  /// Drops the entry for `vid` if present.
+  void Erase(const VersionId& vid);
+
+  /// Drops every entry belonging to `oid` (object deletion).
+  void EraseObject(const ObjectId& oid);
+
+  /// Drops everything, including epoch bookkeeping.
+  void Clear();
+
+  // Epoch (transaction) protocol -- see file comment.
+  void BeginEpoch();
+  void CommitEpoch();
+  void AbortEpoch();
+
+  const PayloadCacheStats& stats() const { return stats_; }
+  uint64_t bytes_in_use() const { return bytes_in_use_; }
+  uint64_t byte_budget() const { return byte_budget_; }
+  size_t entries() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    VersionId vid;
+    std::string payload;
+    bool uncommitted = false;
+  };
+  using EntryList = std::list<Entry>;
+
+  static uint64_t Charge(const Entry& e) {
+    return e.payload.size() + kEntryOverhead;
+  }
+  void EvictToBudget();
+  void RemoveEntry(EntryList::iterator it);
+
+  uint64_t byte_budget_;
+  uint64_t bytes_in_use_ = 0;
+  EntryList lru_;  // Front = most recently used.
+  std::unordered_map<VersionId, EntryList::iterator> map_;
+  bool in_epoch_ = false;
+  std::vector<VersionId> epoch_keys_;
+  PayloadCacheStats stats_;
+};
+
+/// Entry-budgeted LRU mapping an object id to its latest live version number
+/// (the generic-reference resolution the paper's "object id denotes the
+/// latest version" semantics requires on every late-bound dereference).
+///
+/// Same epoch protocol as VersionPayloadCache.  Unlike the payload cache,
+/// mutators keep this one up to date precisely (the new latest is always in
+/// hand when it changes), so write-heavy workloads stay warm too.
+class LatestVersionCache {
+ public:
+  explicit LatestVersionCache(size_t max_entries)
+      : max_entries_(max_entries) {}
+
+  LatestVersionCache(const LatestVersionCache&) = delete;
+  LatestVersionCache& operator=(const LatestVersionCache&) = delete;
+
+  bool enabled() const { return max_entries_ > 0; }
+
+  bool Lookup(const ObjectId& oid, VersionNum* out);
+  void Insert(const ObjectId& oid, VersionNum latest);
+  void Erase(const ObjectId& oid);
+  void Clear();
+
+  void BeginEpoch();
+  void CommitEpoch();
+  void AbortEpoch();
+
+  const PayloadCacheStats& stats() const { return stats_; }
+  size_t entries() const { return map_.size(); }
+  size_t max_entries() const { return max_entries_; }
+
+ private:
+  struct Entry {
+    ObjectId oid;
+    VersionNum latest = kNoVersion;
+    bool uncommitted = false;
+  };
+  using EntryList = std::list<Entry>;
+
+  void RemoveEntry(EntryList::iterator it);
+
+  size_t max_entries_;
+  EntryList lru_;  // Front = most recently used.
+  std::unordered_map<ObjectId, EntryList::iterator> map_;
+  bool in_epoch_ = false;
+  std::vector<ObjectId> epoch_keys_;
+  PayloadCacheStats stats_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_CORE_PAYLOAD_CACHE_H_

@@ -10,7 +10,8 @@
 //   types     the registered type table
 //   check     run the full consistency check (exit 1 on violations)
 //   vacuum    compact the catalog B+trees
-//   storage   physical page/record statistics
+//   storage   physical page/record statistics + cache counters
+//   caches    read every version twice, report read-cache hit rates
 
 #include <cinttypes>
 #include <cstdio>
@@ -122,6 +123,39 @@ int Vacuum(ode::Database& db) {
   return 0;
 }
 
+double HitRate(uint64_t hits, uint64_t misses) {
+  const uint64_t total = hits + misses;
+  return total == 0 ? 0.0 : 100.0 * static_cast<double>(hits) /
+                                static_cast<double>(total);
+}
+
+/// Counters are cumulative for this process, so for the read caches they
+/// cover whatever command ran before the report (e.g. `summary` touches
+/// every version).  A freshly opened database reports mostly zeros.
+void PrintCacheStats(ode::Database& db) {
+  const ode::BufferPoolStats& pool = db.storage().cache_stats();
+  std::printf("buffer pool:    %" PRIu64 " hits, %" PRIu64
+              " misses (%.1f%% hit rate), %" PRIu64 " evictions\n",
+              pool.hits, pool.misses, HitRate(pool.hits, pool.misses),
+              pool.evictions);
+  const ode::VersionPayloadCache& payload = db.payload_cache();
+  const ode::PayloadCacheStats& ps = payload.stats();
+  std::printf("payload cache:  %" PRIu64 " hits, %" PRIu64
+              " misses (%.1f%% hit rate)\n",
+              ps.hits, ps.misses, HitRate(ps.hits, ps.misses));
+  std::printf("  entries:      %zu (%" PRIu64 " / %" PRIu64 " bytes)\n",
+              payload.entries(), payload.bytes_in_use(),
+              payload.byte_budget());
+  std::printf("  evictions:    %" PRIu64 "  invalidations: %" PRIu64
+              "  epoch discards: %" PRIu64 "\n",
+              ps.evictions, ps.invalidations, ps.epoch_discards);
+  const ode::PayloadCacheStats& ls = db.latest_cache().stats();
+  std::printf("latest cache:   %" PRIu64 " hits, %" PRIu64
+              " misses (%.1f%% hit rate), %zu entries\n",
+              ls.hits, ls.misses, HitRate(ls.hits, ls.misses),
+              db.latest_cache().entries());
+}
+
 int Storage(ode::Database& db) {
   auto stats = db.GatherStorageStats();
   if (!stats.ok()) return Fail(stats.status());
@@ -133,6 +167,34 @@ int Storage(ode::Database& db) {
   std::printf("  btree:        %u\n", stats->btree_pages);
   std::printf("live records:   %" PRIu64 "\n", stats->live_records);
   std::printf("wal bytes:      %" PRIu64 "\n", stats->wal_bytes);
+  PrintCacheStats(db);
+  return 0;
+}
+
+// Reads every version once, then again, and reports the cache counters —
+// the second pass should be served almost entirely from the payload cache.
+int Caches(ode::Database& db) {
+  for (int pass = 0; pass < 2; ++pass) {
+    ode::Status s =
+        db.ForEachObject([&](ode::ObjectId oid, const ode::ObjectHeader&) {
+          ode::Status vs = db.ForEachVersion(
+              oid, [&](ode::VersionId vid, const ode::VersionMeta&) {
+                auto bytes = db.ReadVersion(vid);
+                if (!bytes.ok()) {
+                  std::fprintf(stderr, "warning: v%u of object %" PRIu64
+                               ": %s\n", vid.vnum, vid.oid.value,
+                               bytes.status().ToString().c_str());
+                }
+                return true;
+              });
+          if (!vs.ok()) {
+            std::fprintf(stderr, "warning: %s\n", vs.ToString().c_str());
+          }
+          return true;
+        });
+    if (!s.ok()) return Fail(s);
+  }
+  PrintCacheStats(db);
   return 0;
 }
 
@@ -142,7 +204,7 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: odedump <db-path> "
-                 "[summary|objects|graph|types|check|vacuum]\n");
+                 "[summary|objects|graph|types|check|vacuum|storage|caches]\n");
     return 2;
   }
   ode::DatabaseOptions options;
@@ -158,6 +220,7 @@ int main(int argc, char** argv) {
   if (command == "check") return Check(**db);
   if (command == "vacuum") return Vacuum(**db);
   if (command == "storage") return Storage(**db);
+  if (command == "caches") return Caches(**db);
   std::fprintf(stderr, "odedump: unknown command '%s'\n", command.c_str());
   return 2;
 }

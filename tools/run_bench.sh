@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Runs the google-benchmark suites and writes machine-readable results to
+# BENCH_<suite>.json at the repo root.  Usage:
+#
+#   tools/run_bench.sh [build_dir] [out_dir]
+#
+# Defaults: build_dir=build, out_dir=<repo root>.  Pass extra filtering via
+# BENCH_ARGS, e.g. BENCH_ARGS='--benchmark_filter=Deref_Generic'.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "$0")/.." && pwd)"
+build_dir="${1:-$repo_root/build}"
+out_dir="${2:-$repo_root}"
+
+suites=(deref delta)
+
+for suite in "${suites[@]}"; do
+  bin="$build_dir/bench/bench_$suite"
+  if [[ ! -x "$bin" ]]; then
+    echo "error: $bin not found or not executable; build first:" >&2
+    echo "  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+  fi
+done
+
+for suite in "${suites[@]}"; do
+  bin="$build_dir/bench/bench_$suite"
+  out="$out_dir/BENCH_$suite.json"
+  echo "== bench_$suite -> $out"
+  # shellcheck disable=SC2086
+  "$bin" \
+    --benchmark_out="$out" \
+    --benchmark_out_format=json \
+    --benchmark_format=console \
+    ${BENCH_ARGS:-}
+done
+
+echo "done: ${suites[*]/#/BENCH_} written to $out_dir"
