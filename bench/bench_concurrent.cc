@@ -1,0 +1,242 @@
+// TAB-K: multi-reader scaling — the single-writer / multi-reader read path
+// under 1/2/4/8 concurrent reader threads.  The acceptance row is cache-warm
+// generic dereference: with the read caches lock-striped and the engine lock
+// taken shared, throughput should scale near-linearly with reader count
+// (>= 3x from 1 -> 4 threads).  Cold variants measure the shared-lock +
+// buffer-pool path (every read descends the catalog B+trees through the
+// sharded pool); the _WithWriter variants pit readers against a writer
+// committing exclusive transactions on a disjoint object set.
+//
+// google-benchmark's ->Threads(N) runs the benchmark body on N threads with
+// a start barrier, so per-thread items_per_second sums to the aggregate
+// throughput reported in BENCH_concurrent.json.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/version_ptr.h"
+
+namespace ode {
+namespace bench {
+namespace {
+
+struct Payload {
+  static constexpr char kTypeName[] = "bench.Payload";
+  std::string bytes;
+  void Serialize(BufferWriter& w) const { w.WriteString(Slice(bytes)); }
+  static StatusOr<Payload> Deserialize(BufferReader& r) {
+    Payload p;
+    ODE_RETURN_IF_ERROR(r.ReadString(&p.bytes));
+    return p;
+  }
+};
+
+constexpr int kReaderObjects = 64;
+constexpr int kWriterObjects = 8;
+constexpr int kHistory = 16;
+constexpr size_t kPayloadBytes = 256;
+
+/// Shared fixture for one multi-threaded benchmark run.  Thread 0 builds it
+/// before the start barrier; every thread then reads from the same database.
+struct SharedDb {
+  BenchDb handle;
+  std::vector<Ref<Payload>> reader_refs;    // Read-only during the run.
+  std::vector<VersionPtr<Payload>> pinned;  // Specific (pinned) references.
+  std::vector<ObjectId> writer_oids;        // Mutated by the writer thread.
+};
+
+SharedDb* g_shared = nullptr;
+
+void SetUpShared(PayloadKind strategy, CacheMode cache_mode) {
+  auto* shared = new SharedDb;
+  shared->handle = OpenBenchDb(strategy, kHistory, 4096, cache_mode);
+  Database& db = *shared->handle;
+  for (int i = 0; i < kReaderObjects; ++i) {
+    auto ref = pnew(db, Payload{MakePayload(kPayloadBytes, /*seed=*/i)});
+    ODE_CHECK(ref.ok());
+    for (int v = 1; v < kHistory; ++v) {
+      ODE_CHECK(newversion(*ref).ok());
+    }
+    shared->reader_refs.push_back(*ref);
+    auto pinned = ref->Pin();
+    ODE_CHECK(pinned.ok());
+    shared->pinned.push_back(*pinned);
+  }
+  for (int i = 0; i < kWriterObjects; ++i) {
+    auto ref = pnew(db, Payload{MakePayload(kPayloadBytes, /*seed=*/1000 + i)});
+    ODE_CHECK(ref.ok());
+    shared->writer_oids.push_back(ref->oid());
+  }
+  // Warm the caches (a no-op in cold mode) so the measured region starts
+  // from steady state.
+  for (const auto& ref : shared->reader_refs) {
+    ODE_CHECK(ref.Load().ok());
+  }
+  g_shared = shared;
+}
+
+void TearDownShared(benchmark::State& state) {
+  const VersionStats stats = g_shared->handle->stats();
+  state.counters["payload_cache_hits"] =
+      static_cast<double>(stats.payload_cache_hits);
+  state.counters["payload_cache_misses"] =
+      static_cast<double>(stats.payload_cache_misses);
+  state.counters["pool_shards"] = static_cast<double>(
+      g_shared->handle->storage().buffer_pool().shard_count());
+  delete g_shared;
+  g_shared = nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Read-only scaling
+// ---------------------------------------------------------------------------
+
+void ConcurrentDerefGeneric(benchmark::State& state, PayloadKind strategy,
+                            CacheMode cache_mode) {
+  if (state.thread_index() == 0) SetUpShared(strategy, cache_mode);
+  const int stride = state.thread_index() + 1;
+  int i = state.thread_index() * 7;
+  for (auto _ : state) {
+    const auto& ref =
+        g_shared->reader_refs[(i += stride) % kReaderObjects];
+    auto value = ref.Load();
+    ODE_CHECK(value.ok());
+    benchmark::DoNotOptimize(value->bytes.data());
+  }
+  ReportOps(state);
+  if (state.thread_index() == 0) TearDownShared(state);
+}
+
+void BM_Concurrent_DerefGeneric_Warm(benchmark::State& state) {
+  ConcurrentDerefGeneric(state, PayloadKind::kFull, CacheMode::kWarm);
+}
+BENCHMARK(BM_Concurrent_DerefGeneric_Warm)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+void BM_Concurrent_DerefGeneric_Cold(benchmark::State& state) {
+  ConcurrentDerefGeneric(state, PayloadKind::kFull, CacheMode::kCold);
+}
+BENCHMARK(BM_Concurrent_DerefGeneric_Cold)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+void BM_Concurrent_DerefGeneric_Delta_Warm(benchmark::State& state) {
+  ConcurrentDerefGeneric(state, PayloadKind::kDelta, CacheMode::kWarm);
+}
+BENCHMARK(BM_Concurrent_DerefGeneric_Delta_Warm)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+void BM_Concurrent_DerefGeneric_Delta_Cold(benchmark::State& state) {
+  ConcurrentDerefGeneric(state, PayloadKind::kDelta, CacheMode::kCold);
+}
+BENCHMARK(BM_Concurrent_DerefGeneric_Delta_Cold)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+void ConcurrentDerefSpecific(benchmark::State& state, CacheMode cache_mode) {
+  if (state.thread_index() == 0) {
+    SetUpShared(PayloadKind::kFull, cache_mode);
+  }
+  const int stride = state.thread_index() + 1;
+  int i = state.thread_index() * 7;
+  for (auto _ : state) {
+    const auto& pinned = g_shared->pinned[(i += stride) % kReaderObjects];
+    auto value = pinned.Load();
+    ODE_CHECK(value.ok());
+    benchmark::DoNotOptimize(value->bytes.data());
+  }
+  ReportOps(state);
+  if (state.thread_index() == 0) TearDownShared(state);
+}
+
+void BM_Concurrent_DerefSpecific_Warm(benchmark::State& state) {
+  ConcurrentDerefSpecific(state, CacheMode::kWarm);
+}
+BENCHMARK(BM_Concurrent_DerefSpecific_Warm)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+void BM_Concurrent_DerefSpecific_Cold(benchmark::State& state) {
+  ConcurrentDerefSpecific(state, CacheMode::kCold);
+}
+BENCHMARK(BM_Concurrent_DerefSpecific_Cold)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+// Traversals always go through the engine (shared lock + B+tree descent);
+// they measure the ReadTxn path even in warm mode.
+void BM_Concurrent_Traversal(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    SetUpShared(PayloadKind::kFull, CacheMode::kWarm);
+  }
+  const int stride = state.thread_index() + 1;
+  int i = state.thread_index() * 7;
+  // g_shared must only be touched inside the loop: the iteration barrier is
+  // what orders thread 0's SetUpShared before the other threads' reads.
+  for (auto _ : state) {
+    Database& db = *g_shared->handle;
+    const auto& ref = g_shared->reader_refs[(i += stride) % kReaderObjects];
+    auto versions = db.VersionsOf(ref.oid());
+    ODE_CHECK(versions.ok());
+    auto prev = db.Tprevious(versions->back());
+    ODE_CHECK(prev.ok());
+    benchmark::DoNotOptimize(prev->has_value());
+  }
+  ReportOps(state);
+  if (state.thread_index() == 0) TearDownShared(state);
+}
+BENCHMARK(BM_Concurrent_Traversal)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+// ---------------------------------------------------------------------------
+// Readers vs. one writer
+// ---------------------------------------------------------------------------
+
+// Thread 0 commits exclusive update transactions on a disjoint object set
+// while the remaining threads dereference; items_per_second counts reader
+// throughput only.  This measures how much writer lock hold time steals from
+// the parallel read path.
+void BM_Concurrent_DerefGeneric_WithWriter(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    SetUpShared(PayloadKind::kFull, CacheMode::kWarm);
+    Database& db = *g_shared->handle;
+    Random rng(7);
+    std::string payload = MakePayload(kPayloadBytes, /*seed=*/99);
+    int i = 0;
+    for (auto _ : state) {
+      SmallEdit(&payload, &rng);
+      ODE_CHECK(db.UpdateLatest(g_shared->writer_oids[i++ % kWriterObjects],
+                                Slice(payload))
+                    .ok());
+    }
+    state.SetItemsProcessed(0);
+    state.counters["writer_commits"] =
+        static_cast<double>(state.iterations());
+  } else {
+    const int stride = state.thread_index() + 1;
+    int i = state.thread_index() * 7;
+    for (auto _ : state) {
+      const auto& ref = g_shared->reader_refs[(i += stride) % kReaderObjects];
+      auto value = ref.Load();
+      ODE_CHECK(value.ok());
+      benchmark::DoNotOptimize(value->bytes.data());
+    }
+    ReportOps(state);
+  }
+  if (state.thread_index() == 0) TearDownShared(state);
+}
+BENCHMARK(BM_Concurrent_DerefGeneric_WithWriter)
+    ->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace bench
+}  // namespace ode
+
+BENCHMARK_MAIN();

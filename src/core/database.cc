@@ -47,10 +47,10 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = options;
-  db->payload_cache_ =
-      std::make_unique<VersionPayloadCache>(options.payload_cache_bytes);
-  db->latest_cache_ =
-      std::make_unique<LatestVersionCache>(options.latest_cache_entries);
+  db->payload_cache_ = std::make_unique<VersionPayloadCache>(
+      options.payload_cache_bytes, options.payload_cache_shards);
+  db->latest_cache_ = std::make_unique<LatestVersionCache>(
+      options.latest_cache_entries, options.latest_cache_shards);
   auto engine = StorageEngine::Open(options.storage);
   if (!engine.ok()) return engine.status();
   db->engine_ = std::move(*engine);
@@ -79,15 +79,27 @@ Database::~Database() {
 // Transactions
 // ---------------------------------------------------------------------------
 
+Txn* Database::CurrentThreadTxn() const {
+  Txn* txn = active_txn_.load(std::memory_order_acquire);
+  if (txn == nullptr) return nullptr;
+  if (active_txn_owner_.load(std::memory_order_relaxed) !=
+      std::this_thread::get_id()) {
+    return nullptr;  // Another thread's transaction; not ours to join.
+  }
+  return txn;
+}
+
 Status Database::RunInTxn(const std::function<Status(Txn&)>& body) {
   // Nested calls (triggers, policies, grouped operations) join the
   // in-flight transaction.
-  if (active_txn_ != nullptr) return body(*active_txn_);
+  if (Txn* open = CurrentThreadTxn(); open != nullptr) return body(*open);
   BeginCacheEpoch();
   Status s = engine_->WithTxn([&](Txn& txn) {
-    active_txn_ = &txn;
+    active_txn_owner_.store(std::this_thread::get_id(),
+                            std::memory_order_relaxed);
+    active_txn_.store(&txn, std::memory_order_release);
     Status body_status = body(txn);
-    active_txn_ = nullptr;
+    active_txn_.store(nullptr, std::memory_order_release);
     return body_status;
   });
   // Cache installs made inside the transaction may capture state that only
@@ -98,6 +110,14 @@ Status Database::RunInTxn(const std::function<Status(Txn&)>& body) {
     AbortCacheEpoch();
   }
   return s;
+}
+
+Status Database::RunInRead(const std::function<Status(PageIO&)>& body) {
+  // A transaction must read its own writes: if this thread has one open,
+  // run inside it (it already holds the exclusive lock).
+  if (Txn* open = CurrentThreadTxn(); open != nullptr) return body(*open);
+  return engine_->WithReadTxn(
+      [&](ReadTxn& txn) -> Status { return body(txn); });
 }
 
 void Database::BeginCacheEpoch() {
@@ -122,7 +142,9 @@ Status Database::Begin() {
   auto txn = engine_->Begin();
   if (!txn.ok()) return txn.status();
   txn_ = *txn;
-  active_txn_ = *txn;
+  active_txn_owner_.store(std::this_thread::get_id(),
+                          std::memory_order_relaxed);
+  active_txn_.store(*txn, std::memory_order_release);
   BeginCacheEpoch();
   return Status::OK();
 }
@@ -131,7 +153,7 @@ Status Database::Commit() {
   if (txn_ == nullptr) return Status::FailedPrecondition("no open transaction");
   Txn* txn = txn_;
   txn_ = nullptr;
-  active_txn_ = nullptr;
+  active_txn_.store(nullptr, std::memory_order_release);
   Status s = engine_->Commit(txn);
   if (s.ok()) {
     CommitCacheEpoch();
@@ -148,7 +170,7 @@ Status Database::Abort() {
   if (txn_ == nullptr) return Status::FailedPrecondition("no open transaction");
   Txn* txn = txn_;
   txn_ = nullptr;
-  active_txn_ = nullptr;
+  active_txn_.store(nullptr, std::memory_order_release);
   // Type registrations made inside the aborted transaction are rolled back;
   // drop the cache so stale ids cannot leak.  Same for cache entries
   // installed during the transaction.
@@ -180,8 +202,8 @@ StatusOr<ObjectId> Database::AllocateOid(Txn& txn) {
   return ObjectId{next};
 }
 
-Status Database::GetHeader(Txn& txn, ObjectId oid, ObjectHeader* out) {
-  auto tree = BTree::Open(&txn, kObjectsTreeSlot);
+Status Database::GetHeader(PageIO& io, ObjectId oid, ObjectHeader* out) {
+  auto tree = BTree::Open(&io, kObjectsTreeSlot);
   if (!tree.ok()) return tree.status();
   auto value = tree->Get(ObjectKey(oid));
   if (!value.ok()) return value.status();
@@ -194,8 +216,8 @@ Status Database::PutHeader(Txn& txn, ObjectId oid, const ObjectHeader& header) {
   return tree->Put(ObjectKey(oid), Slice(header.Encode()));
 }
 
-Status Database::GetMeta(Txn& txn, VersionId vid, VersionMeta* out) {
-  auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+Status Database::GetMeta(PageIO& io, VersionId vid, VersionMeta* out) {
+  auto tree = BTree::Open(&io, kVersionsTreeSlot);
   if (!tree.ok()) return tree.status();
   auto value = tree->Get(VersionKey(vid));
   if (!value.ok()) return value.status();
@@ -212,20 +234,18 @@ Status Database::PutMeta(Txn& txn, VersionId vid, const VersionMeta& meta) {
 // Payload store (full + delta strategies)
 // ---------------------------------------------------------------------------
 
-Status Database::Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
+Status Database::Materialize(PageIO& io, ObjectId oid, const VersionMeta& meta,
                              std::string* out, bool probe_cache) {
   const VersionId vid{oid, meta.vnum};
   const bool use_cache = payload_cache_->enabled();
   if (use_cache && probe_cache) {
     if (payload_cache_->Lookup(vid, out)) {
-      ++stats_.payload_cache_hits;
       return Status::OK();
     }
-    ++stats_.payload_cache_misses;
   }
-  ++stats_.materializations;
+  read_stats_.materializations.fetch_add(1, std::memory_order_relaxed);
   if (meta.kind == PayloadKind::kFull) {
-    auto bytes = engine_->heap().Read(&txn, meta.payload);
+    auto bytes = engine_->heap().Read(&io, meta.payload);
     if (!bytes.ok()) return bytes.status();
     *out = std::move(*bytes);
     if (use_cache) payload_cache_->Insert(vid, *out);
@@ -245,7 +265,7 @@ Status Database::Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
     }
     VersionMeta base;
     ODE_RETURN_IF_ERROR(
-        GetMeta(txn, VersionId{oid, current.delta_base}, &base));
+        GetMeta(io, VersionId{oid, current.delta_base}, &base));
     if (use_cache &&
         payload_cache_->Lookup(VersionId{oid, base.vnum}, &acc)) {
       base_from_cache = true;
@@ -254,7 +274,7 @@ Status Database::Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
     current = base;
   }
   if (!base_from_cache) {
-    auto base_bytes = engine_->heap().Read(&txn, current.payload);
+    auto base_bytes = engine_->heap().Read(&io, current.payload);
     if (!base_bytes.ok()) return base_bytes.status();
     acc = std::move(*base_bytes);
     if (use_cache && options_.cache_chain_intermediates &&
@@ -263,12 +283,12 @@ Status Database::Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
     }
   }
   for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
-    auto delta_bytes = engine_->heap().Read(&txn, it->payload);
+    auto delta_bytes = engine_->heap().Read(&io, it->payload);
     if (!delta_bytes.ok()) return delta_bytes.status();
     auto applied = delta::Apply(Slice(acc), Slice(*delta_bytes));
     if (!applied.ok()) return applied.status();
     acc = std::move(*applied);
-    ++stats_.delta_applications;
+    read_stats_.delta_applications.fetch_add(1, std::memory_order_relaxed);
     if (use_cache && options_.cache_chain_intermediates &&
         std::next(it) != chain.rend()) {
       payload_cache_->Insert(VersionId{oid, it->vnum}, acc);
@@ -588,15 +608,13 @@ StatusOr<std::string> Database::ReadVersion(VersionId vid) {
   // uncommitted-but-visible) state.
   if (payload_cache_->enabled()) {
     if (payload_cache_->Lookup(vid, &result)) {
-      ++stats_.payload_cache_hits;
       return result;
     }
-    ++stats_.payload_cache_misses;
   }
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& io) -> Status {
     VersionMeta meta;
-    ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
-    return Materialize(txn, vid.oid, meta, &result, /*probe_cache=*/false);
+    ODE_RETURN_IF_ERROR(GetMeta(io, vid, &meta));
+    return Materialize(io, vid.oid, meta, &result, /*probe_cache=*/false);
   });
   if (!s.ok()) return s;
   return result;
@@ -611,34 +629,30 @@ StatusOr<std::string> Database::ReadLatest(ObjectId oid, VersionId* resolved) {
   if (latest_cache_->enabled()) {
     VersionNum latest = kNoVersion;
     if (latest_cache_->Lookup(oid, &latest)) {
-      ++stats_.latest_cache_hits;
       cached_latest = latest;
       const VersionId vid{oid, latest};
       if (payload_cache_->enabled() &&
           payload_cache_->Lookup(vid, &result)) {
-        ++stats_.payload_cache_hits;
         if (resolved != nullptr) *resolved = vid;
         return result;
       }
-    } else {
-      ++stats_.latest_cache_misses;
     }
   }
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& io) -> Status {
     VersionNum latest = kNoVersion;
     if (cached_latest.has_value()) {
       latest = *cached_latest;
     } else {
       ObjectHeader header;
-      ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
+      ODE_RETURN_IF_ERROR(GetHeader(io, oid, &header));
       latest = header.latest;
       latest_cache_->Insert(oid, latest);
     }
     VersionMeta meta;
     const VersionId vid{oid, latest};
-    ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
+    ODE_RETURN_IF_ERROR(GetMeta(io, vid, &meta));
     if (resolved != nullptr) *resolved = vid;
-    return Materialize(txn, oid, meta, &result);
+    return Materialize(io, oid, meta, &result);
   });
   if (!s.ok()) return s;
   return result;
@@ -785,13 +799,11 @@ StatusOr<VersionId> Database::Latest(ObjectId oid) {
   if (latest_cache_->enabled()) {
     VersionNum latest = kNoVersion;
     if (latest_cache_->Lookup(oid, &latest)) {
-      ++stats_.latest_cache_hits;
       return VersionId{oid, latest};
     }
-    ++stats_.latest_cache_misses;
   }
   VersionId result;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     ObjectHeader header;
     ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
     result = VersionId{oid, header.latest};
@@ -804,7 +816,7 @@ StatusOr<VersionId> Database::Latest(ObjectId oid) {
 
 StatusOr<std::optional<VersionId>> Database::Tprevious(VersionId vid) {
   std::optional<VersionId> result;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     // Confirm vid itself exists (traversing from a deleted version is an
     // error, not an empty result).
     VersionMeta self;
@@ -828,7 +840,7 @@ StatusOr<std::optional<VersionId>> Database::Tprevious(VersionId vid) {
 
 StatusOr<std::optional<VersionId>> Database::Tnext(VersionId vid) {
   std::optional<VersionId> result;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     VersionMeta self;
     ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &self));
     auto tree = BTree::Open(&txn, kVersionsTreeSlot);
@@ -849,7 +861,7 @@ StatusOr<std::optional<VersionId>> Database::Tnext(VersionId vid) {
 
 StatusOr<std::optional<VersionId>> Database::Dprevious(VersionId vid) {
   std::optional<VersionId> result;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     VersionMeta meta;
     ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
     if (meta.derived_from != kNoVersion) {
@@ -863,7 +875,7 @@ StatusOr<std::optional<VersionId>> Database::Dprevious(VersionId vid) {
 
 StatusOr<std::vector<VersionId>> Database::Dnext(VersionId vid) {
   std::vector<VersionId> result;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     VersionMeta self;
     ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &self));
     auto tree = BTree::Open(&txn, kVersionsTreeSlot);
@@ -886,7 +898,7 @@ StatusOr<std::vector<VersionId>> Database::Dnext(VersionId vid) {
 
 StatusOr<std::vector<VersionId>> Database::VersionsOf(ObjectId oid) {
   std::vector<VersionId> result;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     ObjectHeader header;
     ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
     auto tree = BTree::Open(&txn, kVersionsTreeSlot);
@@ -907,7 +919,7 @@ StatusOr<std::vector<VersionId>> Database::VersionsOf(ObjectId oid) {
 
 StatusOr<bool> Database::ObjectExists(ObjectId oid) {
   bool exists = false;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     ObjectHeader header;
     Status gs = GetHeader(txn, oid, &header);
     if (gs.ok()) {
@@ -923,7 +935,7 @@ StatusOr<bool> Database::ObjectExists(ObjectId oid) {
 
 StatusOr<bool> Database::VersionExists(VersionId vid) {
   bool exists = false;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     VersionMeta meta;
     Status gs = GetMeta(txn, vid, &meta);
     if (gs.ok()) {
@@ -940,14 +952,14 @@ StatusOr<bool> Database::VersionExists(VersionId vid) {
 StatusOr<ObjectHeader> Database::Header(ObjectId oid) {
   ObjectHeader header;
   Status s =
-      RunInTxn([&](Txn& txn) { return GetHeader(txn, oid, &header); });
+      RunInRead([&](PageIO& txn) { return GetHeader(txn, oid, &header); });
   if (!s.ok()) return s;
   return header;
 }
 
 StatusOr<VersionMeta> Database::Meta(VersionId vid) {
   VersionMeta meta;
-  Status s = RunInTxn([&](Txn& txn) { return GetMeta(txn, vid, &meta); });
+  Status s = RunInRead([&](PageIO& txn) { return GetMeta(txn, vid, &meta); });
   if (!s.ok()) return s;
   return meta;
 }
@@ -979,7 +991,7 @@ StatusOr<uint32_t> Database::RegisterType(std::string_view name) {
 
 StatusOr<std::optional<uint32_t>> Database::LookupType(std::string_view name) {
   std::optional<uint32_t> result;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     auto tree = BTree::Open(&txn, kNamesTreeSlot);
     if (!tree.ok()) return tree.status();
     auto existing = tree->Get(Slice(name));
@@ -998,7 +1010,7 @@ StatusOr<std::optional<uint32_t>> Database::LookupType(std::string_view name) {
 
 Status Database::ForEachInCluster(uint32_t type_id,
                                   const std::function<bool(ObjectId)>& fn) {
-  return RunInTxn([&](Txn& txn) -> Status {
+  return RunInRead([&](PageIO& txn) -> Status {
     auto tree = BTree::Open(&txn, kClustersTreeSlot);
     if (!tree.ok()) return tree.status();
     const std::string prefix = ClusterKeyPrefix(type_id);
@@ -1040,7 +1052,7 @@ StatusOr<uint64_t> Database::ClusterSize(uint32_t type_id) {
 
 Status Database::ForEachObject(
     const std::function<bool(ObjectId, const ObjectHeader&)>& fn) {
-  return RunInTxn([&](Txn& txn) -> Status {
+  return RunInRead([&](PageIO& txn) -> Status {
     auto tree = BTree::Open(&txn, kObjectsTreeSlot);
     if (!tree.ok()) return tree.status();
     auto it = tree->NewIterator();
@@ -1058,7 +1070,7 @@ Status Database::ForEachObject(
 Status Database::ForEachVersion(
     ObjectId oid,
     const std::function<bool(VersionId, const VersionMeta&)>& fn) {
-  return RunInTxn([&](Txn& txn) -> Status {
+  return RunInRead([&](PageIO& txn) -> Status {
     auto tree = BTree::Open(&txn, kVersionsTreeSlot);
     if (!tree.ok()) return tree.status();
     const std::string prefix = VersionKeyPrefix(oid);
@@ -1077,7 +1089,7 @@ Status Database::ForEachVersion(
 
 Status Database::ForEachType(
     const std::function<bool(const std::string&, uint32_t)>& fn) {
-  return RunInTxn([&](Txn& txn) -> Status {
+  return RunInRead([&](PageIO& txn) -> Status {
     auto tree = BTree::Open(&txn, kNamesTreeSlot);
     if (!tree.ok()) return tree.status();
     auto it = tree->NewIterator();
@@ -1106,7 +1118,7 @@ Status Database::Vacuum() {
 
 StatusOr<Database::StorageStats> Database::GatherStorageStats() {
   StorageStats stats;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = RunInRead([&](PageIO& txn) -> Status {
     auto page_count = txn.PageCount();
     if (!page_count.ok()) return page_count.status();
     stats.total_pages = *page_count;
@@ -1140,6 +1152,31 @@ StatusOr<Database::StorageStats> Database::GatherStorageStats() {
   if (!s.ok()) return s;
   stats.wal_bytes = engine_->wal_bytes();
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Stats
+// ---------------------------------------------------------------------------
+
+VersionStats Database::stats() const {
+  // Write counters are plain fields (mutators are single-threaded);
+  // materialization counters live in atomics so reader threads can bump
+  // them without a lock; the cache hit/miss counters come straight from the
+  // caches' own per-shard counters (nothing extra on the cache-hit fast
+  // path).  The payload numbers therefore count every probe, including
+  // delta-chain ancestor probes inside Materialize.
+  VersionStats snapshot = stats_;
+  snapshot.materializations =
+      read_stats_.materializations.load(std::memory_order_relaxed);
+  snapshot.delta_applications =
+      read_stats_.delta_applications.load(std::memory_order_relaxed);
+  const PayloadCacheStats payload = payload_cache_->stats();
+  snapshot.payload_cache_hits = payload.hits;
+  snapshot.payload_cache_misses = payload.misses;
+  const PayloadCacheStats latest = latest_cache_->stats();
+  snapshot.latest_cache_hits = latest.hits;
+  snapshot.latest_cache_misses = latest.misses;
+  return snapshot;
 }
 
 // ---------------------------------------------------------------------------

@@ -1,12 +1,14 @@
 #ifndef ODE_CORE_DATABASE_H_
 #define ODE_CORE_DATABASE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
@@ -57,6 +59,11 @@ struct DatabaseOptions {
   /// generic (late-bound) dereference skip the header B+tree lookup.
   /// 0 disables the cache.
   size_t latest_cache_entries = 1 << 16;
+
+  /// Lock-stripe counts for the two read caches; 0 = auto (collapses to one
+  /// shard for small budgets, scales to 16 for the defaults).
+  size_t payload_cache_shards = 0;
+  size_t latest_cache_shards = 0;
 };
 
 /// Events a trigger can watch.  The paper deliberately provides *no* built-in
@@ -85,7 +92,9 @@ struct TriggerInfo {
 
 using TriggerFn = std::function<void(Database&, const TriggerInfo&)>;
 
-/// Session counters for the version store (not persisted).
+/// Session counters for the version store (not persisted).  Returned by
+/// value from Database::stats() as a coherent snapshot: the read-path fields
+/// are maintained as atomics internally because reads run concurrently.
 struct VersionStats {
   uint64_t pnew_count = 0;
   uint64_t newversion_count = 0;
@@ -128,7 +137,15 @@ struct VersionStats {
 ///
 /// Transactions: every operation is atomic.  By default each call runs in
 /// its own transaction; Begin()/Commit()/Abort() group several calls.
-/// Single-writer, per the paper's scope.
+///
+/// Concurrency: single-writer / multi-reader.  All mutators (and
+/// Begin/Commit/Abort, RegisterType, Vacuum, trigger registration) must stay
+/// on one thread at a time; the read-only surface (ReadLatest/ReadVersion,
+/// the traversals, the ForEach* scans, the typed getters) may be called from
+/// any number of threads in parallel.  Reads run under the storage engine's
+/// shared lock against committed state; a thread holding an open write
+/// transaction sees its own uncommitted writes (its reads join the
+/// transaction).
 class Database {
  public:
   static StatusOr<std::unique_ptr<Database>> Open(
@@ -320,7 +337,8 @@ class Database {
     return UpdateVersion(vid, Slice(EncodeObject(value)));
   }
 
-  const VersionStats& stats() const { return stats_; }
+  /// Coherent snapshot of the session counters.  Thread-safe.
+  VersionStats stats() const;
   StorageEngine& storage() { return *engine_; }
   const DatabaseOptions& options() const { return options_; }
 
@@ -336,6 +354,15 @@ class Database {
   /// Runs `body` in the open transaction if any, else in its own.
   Status RunInTxn(const std::function<Status(Txn&)>& body);
 
+  /// Runs read-only `body` under the engine's shared lock — in parallel with
+  /// other readers.  If THIS thread has a write transaction open, `body`
+  /// joins it instead (so a transaction reads its own writes); another
+  /// thread's open transaction just means waiting for the shared lock.
+  Status RunInRead(const std::function<Status(PageIO&)>& body);
+
+  /// The write transaction opened by the calling thread, if any.
+  Txn* CurrentThreadTxn() const;
+
   StatusOr<uint64_t> NextTimestamp(Txn& txn);
   StatusOr<ObjectId> AllocateOid(Txn& txn);
 
@@ -348,16 +375,17 @@ class Database {
   Status DoDeleteVersion(Txn& txn, VersionId vid);
   Status DoDeleteObject(Txn& txn, ObjectId oid);
 
-  Status GetHeader(Txn& txn, ObjectId oid, ObjectHeader* out);
+  Status GetHeader(PageIO& io, ObjectId oid, ObjectHeader* out);
   Status PutHeader(Txn& txn, ObjectId oid, const ObjectHeader& header);
-  Status GetMeta(Txn& txn, VersionId vid, VersionMeta* out);
+  Status GetMeta(PageIO& io, VersionId vid, VersionMeta* out);
   Status PutMeta(Txn& txn, VersionId vid, const VersionMeta& meta);
 
   /// Reads the full payload of a version, applying delta chains.  Consults
   /// the payload cache first (unless the caller already probed it) and
   /// installs what it materializes, including intermediate chain nodes when
-  /// options_.cache_chain_intermediates is set.
-  Status Materialize(Txn& txn, ObjectId oid, const VersionMeta& meta,
+  /// options_.cache_chain_intermediates is set.  Takes PageIO so it runs on
+  /// both the write path (Txn) and the shared read path (ReadTxn).
+  Status Materialize(PageIO& io, ObjectId oid, const VersionMeta& meta,
                      std::string* out, bool probe_cache = true);
 
   // Cache epoch plumbing: every transaction (user-opened or per-call) brackets
@@ -390,9 +418,26 @@ class Database {
 
   DatabaseOptions options_;
   std::unique_ptr<StorageEngine> engine_;
-  Txn* txn_ = nullptr;         // User-opened transaction, if any.
-  Txn* active_txn_ = nullptr;  // Whatever transaction is in flight right now.
+  Txn* txn_ = nullptr;  // User-opened transaction, if any (writer thread).
+  /// Whatever write transaction is in flight right now, plus the thread that
+  /// owns it.  Atomic because reader threads probe it (to decide whether to
+  /// join or take the shared lock): the owner id is stored before the
+  /// release-store of the pointer, so an acquire-load that sees the pointer
+  /// also sees the right owner.
+  std::atomic<Txn*> active_txn_{nullptr};
+  std::atomic<std::thread::id> active_txn_owner_{};
+  /// Write-path counters (single writer, plain fields); the read-path fields
+  /// of this copy stay zero — see read_stats_.
   VersionStats stats_;
+  /// Read-path counters, updated by concurrent readers.  Cache hit/miss
+  /// counts are NOT duplicated here: stats() reads them from the caches'
+  /// per-shard counters, keeping the cache-hit fast path free of atomic
+  /// read-modify-writes.
+  struct ReadStats {
+    std::atomic<uint64_t> materializations{0};
+    std::atomic<uint64_t> delta_applications{0};
+  };
+  mutable ReadStats read_stats_;
   std::unique_ptr<VersionPayloadCache> payload_cache_;
   std::unique_ptr<LatestVersionCache> latest_cache_;
 

@@ -2,20 +2,71 @@
 
 namespace ode {
 
+namespace {
+
+/// Largest power of two <= 16 keeping at least `min_per_shard` of `budget`
+/// in every shard.  An explicit request is rounded down to a power of two so
+/// shard selection can mask instead of divide.
+size_t PickShardCount(uint64_t budget, uint64_t min_per_shard,
+                      size_t requested) {
+  if (requested != 0) {
+    size_t p = 1;
+    while (p * 2 <= requested) p *= 2;
+    return p;
+  }
+  size_t shards = 1;
+  while (shards < 16 && budget / (shards * 2) >= min_per_shard) shards *= 2;
+  return shards;
+}
+
+}  // namespace
+
 // ---------------------------------------------------------------------------
 // VersionPayloadCache
 // ---------------------------------------------------------------------------
 
+/// One latch-partition: a slice of the key space with its own LRU, budget
+/// slice and epoch bookkeeping, all guarded by one mutex.
+struct VersionPayloadCache::Shard {
+  mutable std::mutex mu;
+  uint64_t bytes_in_use = 0;
+  EntryList lru;  // Front = most recently used.
+  std::unordered_map<VersionId, EntryList::iterator> map;
+  bool in_epoch = false;
+  std::vector<VersionId> epoch_keys;
+  PayloadCacheStats stats;  // Guarded by mu; summed by stats().
+};
+
+VersionPayloadCache::VersionPayloadCache(uint64_t byte_budget, size_t shards)
+    : byte_budget_(byte_budget) {
+  const size_t n = PickShardCount(byte_budget, 256u << 10, shards);
+  shard_budget_ = byte_budget_ / n;
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+VersionPayloadCache::~VersionPayloadCache() = default;
+
+VersionPayloadCache::Shard& VersionPayloadCache::ShardFor(
+    const VersionId& vid) {
+  // Shard counts are powers of two, so selection is a mask (an integer
+  // divide here is measurable on the cache-hit dereference path).
+  return *shards_[std::hash<VersionId>()(vid) & shard_mask_];
+}
+
 bool VersionPayloadCache::Lookup(const VersionId& vid, std::string* out) {
   if (!enabled()) return false;
-  auto it = map_.find(vid);
-  if (it == map_.end()) {
-    ++stats_.misses;
+  Shard& shard = ShardFor(vid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(vid);
+  if (it == shard.map.end()) {
+    ++shard.stats.misses;
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->payload;
-  ++stats_.hits;
+  ++shard.stats.hits;
   return true;
 }
 
@@ -23,170 +74,303 @@ void VersionPayloadCache::Insert(const VersionId& vid,
                                  const std::string& payload) {
   if (!enabled()) return;
   const uint64_t charge = payload.size() + kEntryOverhead;
-  if (charge > byte_budget_) return;  // Would evict everything else.
-  auto it = map_.find(vid);
-  if (it != map_.end()) {
-    bytes_in_use_ -= Charge(*it->second);
+  if (charge > shard_budget_) return;  // Would evict everything else.
+  Shard& shard = ShardFor(vid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(vid);
+  if (it != shard.map.end()) {
+    shard.bytes_in_use -= Charge(*it->second);
     it->second->payload = payload;
-    bytes_in_use_ += Charge(*it->second);
-    lru_.splice(lru_.begin(), lru_, it->second);
-    if (in_epoch_ && !it->second->uncommitted) {
+    shard.bytes_in_use += Charge(*it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (shard.in_epoch && !it->second->uncommitted) {
       it->second->uncommitted = true;
-      epoch_keys_.push_back(vid);
+      shard.epoch_keys.push_back(vid);
     }
   } else {
-    lru_.push_front(Entry{vid, payload, in_epoch_});
-    map_.emplace(vid, lru_.begin());
-    bytes_in_use_ += charge;
-    if (in_epoch_) epoch_keys_.push_back(vid);
+    shard.lru.push_front(Entry{vid, payload, shard.in_epoch});
+    shard.map.emplace(vid, shard.lru.begin());
+    shard.bytes_in_use += charge;
+    if (shard.in_epoch) shard.epoch_keys.push_back(vid);
   }
-  EvictToBudget();
+  EvictToBudget(shard);
 }
 
-void VersionPayloadCache::RemoveEntry(EntryList::iterator it) {
-  bytes_in_use_ -= Charge(*it);
-  map_.erase(it->vid);
-  lru_.erase(it);
+void VersionPayloadCache::RemoveEntry(Shard& shard, EntryList::iterator it) {
+  shard.bytes_in_use -= Charge(*it);
+  shard.map.erase(it->vid);
+  shard.lru.erase(it);
 }
 
 void VersionPayloadCache::Erase(const VersionId& vid) {
-  auto it = map_.find(vid);
-  if (it == map_.end()) return;
-  RemoveEntry(it->second);
-  ++stats_.invalidations;
+  Shard& shard = ShardFor(vid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(vid);
+  if (it == shard.map.end()) return;
+  RemoveEntry(shard, it->second);
+  ++shard.stats.invalidations;
 }
 
 void VersionPayloadCache::EraseObject(const ObjectId& oid) {
-  for (auto it = lru_.begin(); it != lru_.end();) {
-    auto next = std::next(it);
-    if (it->vid.oid == oid) {
-      RemoveEntry(it);
-      ++stats_.invalidations;
+  // An object's versions hash across shards; scan them all.
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      auto next = std::next(it);
+      if (it->vid.oid == oid) {
+        RemoveEntry(shard, it);
+        ++shard.stats.invalidations;
+      }
+      it = next;
     }
-    it = next;
   }
 }
 
 void VersionPayloadCache::Clear() {
-  lru_.clear();
-  map_.clear();
-  epoch_keys_.clear();
-  bytes_in_use_ = 0;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+    shard.epoch_keys.clear();
+    shard.bytes_in_use = 0;
+  }
 }
 
-void VersionPayloadCache::EvictToBudget() {
-  while (bytes_in_use_ > byte_budget_ && !lru_.empty()) {
-    RemoveEntry(std::prev(lru_.end()));
-    ++stats_.evictions;
+void VersionPayloadCache::EvictToBudget(Shard& shard) {
+  while (shard.bytes_in_use > shard_budget_ && !shard.lru.empty()) {
+    RemoveEntry(shard, std::prev(shard.lru.end()));
+    ++shard.stats.evictions;
   }
 }
 
 void VersionPayloadCache::BeginEpoch() {
-  in_epoch_ = true;
-  epoch_keys_.clear();
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.in_epoch = true;
+    shard.epoch_keys.clear();
+  }
 }
 
 void VersionPayloadCache::CommitEpoch() {
-  for (const VersionId& vid : epoch_keys_) {
-    auto it = map_.find(vid);
-    if (it != map_.end()) it->second->uncommitted = false;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const VersionId& vid : shard.epoch_keys) {
+      auto it = shard.map.find(vid);
+      if (it != shard.map.end()) it->second->uncommitted = false;
+    }
+    shard.epoch_keys.clear();
+    shard.in_epoch = false;
   }
-  epoch_keys_.clear();
-  in_epoch_ = false;
 }
 
 void VersionPayloadCache::AbortEpoch() {
-  for (const VersionId& vid : epoch_keys_) {
-    auto it = map_.find(vid);
-    if (it != map_.end() && it->second->uncommitted) {
-      RemoveEntry(it->second);
-      ++stats_.epoch_discards;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const VersionId& vid : shard.epoch_keys) {
+      auto it = shard.map.find(vid);
+      if (it != shard.map.end() && it->second->uncommitted) {
+        RemoveEntry(shard, it->second);
+        ++shard.stats.epoch_discards;
+      }
     }
+    shard.epoch_keys.clear();
+    shard.in_epoch = false;
   }
-  epoch_keys_.clear();
-  in_epoch_ = false;
+}
+
+PayloadCacheStats VersionPayloadCache::stats() const {
+  // Counters live per shard (bumped under that shard's mutex, so the hot
+  // path pays no atomic RMW); summing under each lock yields a snapshot at
+  // least as fresh as any operation that completed before this call.
+  PayloadCacheStats out;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    const PayloadCacheStats& s = shard_ptr->stats;
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.invalidations += s.invalidations;
+    out.epoch_discards += s.epoch_discards;
+  }
+  return out;
+}
+
+uint64_t VersionPayloadCache::bytes_in_use() const {
+  uint64_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    total += shard_ptr->bytes_in_use;
+  }
+  return total;
+}
+
+size_t VersionPayloadCache::entries() const {
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    total += shard_ptr->map.size();
+  }
+  return total;
 }
 
 // ---------------------------------------------------------------------------
 // LatestVersionCache
 // ---------------------------------------------------------------------------
 
+struct LatestVersionCache::Shard {
+  mutable std::mutex mu;
+  EntryList lru;  // Front = most recently used.
+  std::unordered_map<ObjectId, EntryList::iterator> map;
+  bool in_epoch = false;
+  std::vector<ObjectId> epoch_keys;
+  PayloadCacheStats stats;  // Guarded by mu; summed by stats().
+};
+
+LatestVersionCache::LatestVersionCache(size_t max_entries, size_t shards)
+    : max_entries_(max_entries) {
+  const size_t n = PickShardCount(max_entries, 4096, shards);
+  shard_max_entries_ = max_entries_ / n;
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) shards_.push_back(std::make_unique<Shard>());
+}
+
+LatestVersionCache::~LatestVersionCache() = default;
+
+LatestVersionCache::Shard& LatestVersionCache::ShardFor(const ObjectId& oid) {
+  // Mask, not modulo: shard counts are powers of two (see PickShardCount).
+  return *shards_[std::hash<ObjectId>()(oid) & shard_mask_];
+}
+
 bool LatestVersionCache::Lookup(const ObjectId& oid, VersionNum* out) {
   if (!enabled()) return false;
-  auto it = map_.find(oid);
-  if (it == map_.end()) {
-    ++stats_.misses;
+  Shard& shard = ShardFor(oid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(oid);
+  if (it == shard.map.end()) {
+    ++shard.stats.misses;
     return false;
   }
-  lru_.splice(lru_.begin(), lru_, it->second);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *out = it->second->latest;
-  ++stats_.hits;
+  ++shard.stats.hits;
   return true;
 }
 
 void LatestVersionCache::Insert(const ObjectId& oid, VersionNum latest) {
   if (!enabled()) return;
-  auto it = map_.find(oid);
-  if (it != map_.end()) {
+  Shard& shard = ShardFor(oid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(oid);
+  if (it != shard.map.end()) {
     it->second->latest = latest;
-    lru_.splice(lru_.begin(), lru_, it->second);
-    if (in_epoch_ && !it->second->uncommitted) {
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    if (shard.in_epoch && !it->second->uncommitted) {
       it->second->uncommitted = true;
-      epoch_keys_.push_back(oid);
+      shard.epoch_keys.push_back(oid);
     }
   } else {
-    lru_.push_front(Entry{oid, latest, in_epoch_});
-    map_.emplace(oid, lru_.begin());
-    if (in_epoch_) epoch_keys_.push_back(oid);
-    while (map_.size() > max_entries_ && !lru_.empty()) {
-      RemoveEntry(std::prev(lru_.end()));
-      ++stats_.evictions;
+    shard.lru.push_front(Entry{oid, latest, shard.in_epoch});
+    shard.map.emplace(oid, shard.lru.begin());
+    if (shard.in_epoch) shard.epoch_keys.push_back(oid);
+    while (shard.map.size() > shard_max_entries_ && !shard.lru.empty()) {
+      RemoveEntry(shard, std::prev(shard.lru.end()));
+      ++shard.stats.evictions;
     }
   }
 }
 
-void LatestVersionCache::RemoveEntry(EntryList::iterator it) {
-  map_.erase(it->oid);
-  lru_.erase(it);
+void LatestVersionCache::RemoveEntry(Shard& shard, EntryList::iterator it) {
+  shard.map.erase(it->oid);
+  shard.lru.erase(it);
 }
 
 void LatestVersionCache::Erase(const ObjectId& oid) {
-  auto it = map_.find(oid);
-  if (it == map_.end()) return;
-  RemoveEntry(it->second);
-  ++stats_.invalidations;
+  Shard& shard = ShardFor(oid);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(oid);
+  if (it == shard.map.end()) return;
+  RemoveEntry(shard, it->second);
+  ++shard.stats.invalidations;
 }
 
 void LatestVersionCache::Clear() {
-  lru_.clear();
-  map_.clear();
-  epoch_keys_.clear();
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.lru.clear();
+    shard.map.clear();
+    shard.epoch_keys.clear();
+  }
 }
 
 void LatestVersionCache::BeginEpoch() {
-  in_epoch_ = true;
-  epoch_keys_.clear();
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.in_epoch = true;
+    shard.epoch_keys.clear();
+  }
 }
 
 void LatestVersionCache::CommitEpoch() {
-  for (const ObjectId& oid : epoch_keys_) {
-    auto it = map_.find(oid);
-    if (it != map_.end()) it->second->uncommitted = false;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const ObjectId& oid : shard.epoch_keys) {
+      auto it = shard.map.find(oid);
+      if (it != shard.map.end()) it->second->uncommitted = false;
+    }
+    shard.epoch_keys.clear();
+    shard.in_epoch = false;
   }
-  epoch_keys_.clear();
-  in_epoch_ = false;
 }
 
 void LatestVersionCache::AbortEpoch() {
-  for (const ObjectId& oid : epoch_keys_) {
-    auto it = map_.find(oid);
-    if (it != map_.end() && it->second->uncommitted) {
-      RemoveEntry(it->second);
-      ++stats_.epoch_discards;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const ObjectId& oid : shard.epoch_keys) {
+      auto it = shard.map.find(oid);
+      if (it != shard.map.end() && it->second->uncommitted) {
+        RemoveEntry(shard, it->second);
+        ++shard.stats.epoch_discards;
+      }
     }
+    shard.epoch_keys.clear();
+    shard.in_epoch = false;
   }
-  epoch_keys_.clear();
-  in_epoch_ = false;
+}
+
+PayloadCacheStats LatestVersionCache::stats() const {
+  // Counters live per shard (bumped under that shard's mutex, so the hot
+  // path pays no atomic RMW); summing under each lock yields a snapshot at
+  // least as fresh as any operation that completed before this call.
+  PayloadCacheStats out;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    const PayloadCacheStats& s = shard_ptr->stats;
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.invalidations += s.invalidations;
+    out.epoch_discards += s.epoch_discards;
+  }
+  return out;
+}
+
+size_t LatestVersionCache::entries() const {
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    total += shard_ptr->map.size();
+  }
+  return total;
 }
 
 }  // namespace ode

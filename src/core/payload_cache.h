@@ -3,6 +3,8 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -36,8 +38,17 @@ namespace ode {
 //
 // VersionIds are never reused (oids and vnums are monotonic), so a stale key
 // can never be resurrected by an unrelated new version.
+//
+// Thread safety (single-writer / multi-reader): both caches are internally
+// lock-striped into shards, each with its own mutex, LRU list and slice of
+// the budget, so concurrent Lookup/Insert from reader threads only contend
+// when they hash to the same shard.  Counters are kept per shard under the
+// shard mutex (no atomic RMW on the hot path); stats() sums them into a
+// snapshot.  Small budgets collapse to a single shard, preserving the exact
+// global-LRU eviction order that unit tests rely on.
 
 /// Cumulative counters for one cache instance (session-local, not persisted).
+/// Returned by value as a snapshot summed from the cache's per-shard counters.
 struct PayloadCacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -46,7 +57,7 @@ struct PayloadCacheStats {
   uint64_t epoch_discards = 0;  ///< Uncommitted entries dropped by AbortEpoch.
 };
 
-/// Byte-budgeted LRU of fully materialized version payloads.
+/// Byte-budgeted, lock-striped LRU of fully materialized version payloads.
 ///
 /// A budget of 0 disables the cache entirely (every probe misses without
 /// touching the stats, every insert is a no-op).
@@ -55,8 +66,12 @@ class VersionPayloadCache {
   /// Fixed per-entry accounting overhead (key, list node, map slot).
   static constexpr uint64_t kEntryOverhead = 64;
 
-  explicit VersionPayloadCache(uint64_t byte_budget)
-      : byte_budget_(byte_budget) {}
+  /// `shards` = 0 picks automatically: the largest power of two <= 16 that
+  /// keeps at least 256 KiB of budget per shard (so tiny test budgets get
+  /// exactly one shard and classic LRU semantics).  Explicit counts are
+  /// rounded down to a power of two.
+  explicit VersionPayloadCache(uint64_t byte_budget, size_t shards = 0);
+  ~VersionPayloadCache();
 
   VersionPayloadCache(const VersionPayloadCache&) = delete;
   VersionPayloadCache& operator=(const VersionPayloadCache&) = delete;
@@ -64,12 +79,12 @@ class VersionPayloadCache {
   bool enabled() const { return byte_budget_ > 0; }
 
   /// Copies the cached payload into `*out` and refreshes LRU position.
-  /// Returns false (and leaves `*out` alone) on a miss.
+  /// Returns false (and leaves `*out` alone) on a miss.  Thread-safe.
   bool Lookup(const VersionId& vid, std::string* out);
 
-  /// Installs (or refreshes) the payload for `vid`.  Entries larger than the
-  /// whole budget are not admitted.  Inside an epoch the entry is tagged
-  /// uncommitted.
+  /// Installs (or refreshes) the payload for `vid`.  Entries larger than a
+  /// shard's budget are not admitted.  Inside an epoch the entry is tagged
+  /// uncommitted.  Thread-safe.
   void Insert(const VersionId& vid, const std::string& payload);
 
   /// Drops the entry for `vid` if present.
@@ -81,15 +96,17 @@ class VersionPayloadCache {
   /// Drops everything, including epoch bookkeeping.
   void Clear();
 
-  // Epoch (transaction) protocol -- see file comment.
+  // Epoch (transaction) protocol -- see file comment.  Writer-side.
   void BeginEpoch();
   void CommitEpoch();
   void AbortEpoch();
 
-  const PayloadCacheStats& stats() const { return stats_; }
-  uint64_t bytes_in_use() const { return bytes_in_use_; }
+  /// Coherent snapshot of the cumulative counters.  Thread-safe.
+  PayloadCacheStats stats() const;
+  uint64_t bytes_in_use() const;
   uint64_t byte_budget() const { return byte_budget_; }
-  size_t entries() const { return map_.size(); }
+  size_t entries() const;
+  size_t shard_count() const { return shards_.size(); }
 
  private:
   struct Entry {
@@ -99,32 +116,36 @@ class VersionPayloadCache {
   };
   using EntryList = std::list<Entry>;
 
+  struct Shard;
+
   static uint64_t Charge(const Entry& e) {
     return e.payload.size() + kEntryOverhead;
   }
-  void EvictToBudget();
-  void RemoveEntry(EntryList::iterator it);
+  Shard& ShardFor(const VersionId& vid);
+  void EvictToBudget(Shard& shard);
+  void RemoveEntry(Shard& shard, EntryList::iterator it);
 
   uint64_t byte_budget_;
-  uint64_t bytes_in_use_ = 0;
-  EntryList lru_;  // Front = most recently used.
-  std::unordered_map<VersionId, EntryList::iterator> map_;
-  bool in_epoch_ = false;
-  std::vector<VersionId> epoch_keys_;
-  PayloadCacheStats stats_;
+  uint64_t shard_budget_ = 0;  // byte_budget_ / shard count.
+  size_t shard_mask_ = 0;      // shard count - 1 (count is a power of two).
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
-/// Entry-budgeted LRU mapping an object id to its latest live version number
-/// (the generic-reference resolution the paper's "object id denotes the
-/// latest version" semantics requires on every late-bound dereference).
+/// Entry-budgeted, lock-striped LRU mapping an object id to its latest live
+/// version number (the generic-reference resolution the paper's "object id
+/// denotes the latest version" semantics requires on every late-bound
+/// dereference).
 ///
 /// Same epoch protocol as VersionPayloadCache.  Unlike the payload cache,
 /// mutators keep this one up to date precisely (the new latest is always in
 /// hand when it changes), so write-heavy workloads stay warm too.
 class LatestVersionCache {
  public:
-  explicit LatestVersionCache(size_t max_entries)
-      : max_entries_(max_entries) {}
+  /// `shards` = 0 picks automatically: the largest power of two <= 16 that
+  /// keeps at least 4096 entries per shard.  Explicit counts are rounded
+  /// down to a power of two.
+  explicit LatestVersionCache(size_t max_entries, size_t shards = 0);
+  ~LatestVersionCache();
 
   LatestVersionCache(const LatestVersionCache&) = delete;
   LatestVersionCache& operator=(const LatestVersionCache&) = delete;
@@ -140,9 +161,11 @@ class LatestVersionCache {
   void CommitEpoch();
   void AbortEpoch();
 
-  const PayloadCacheStats& stats() const { return stats_; }
-  size_t entries() const { return map_.size(); }
+  /// Coherent snapshot of the cumulative counters.  Thread-safe.
+  PayloadCacheStats stats() const;
+  size_t entries() const;
   size_t max_entries() const { return max_entries_; }
+  size_t shard_count() const { return shards_.size(); }
 
  private:
   struct Entry {
@@ -152,14 +175,15 @@ class LatestVersionCache {
   };
   using EntryList = std::list<Entry>;
 
-  void RemoveEntry(EntryList::iterator it);
+  struct Shard;
+
+  Shard& ShardFor(const ObjectId& oid);
+  void RemoveEntry(Shard& shard, EntryList::iterator it);
 
   size_t max_entries_;
-  EntryList lru_;  // Front = most recently used.
-  std::unordered_map<ObjectId, EntryList::iterator> map_;
-  bool in_epoch_ = false;
-  std::vector<ObjectId> epoch_keys_;
-  PayloadCacheStats stats_;
+  size_t shard_max_entries_ = 0;  // max_entries_ / shard count.
+  size_t shard_mask_ = 0;         // shard count - 1 (count is a power of two).
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace ode

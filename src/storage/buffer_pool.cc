@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <atomic>
+
 #include <cassert>
 #include <cstring>
 
@@ -7,91 +9,154 @@
 
 namespace ode {
 
+/// One cached page.  Frames live in a shard's unordered_map, whose elements
+/// have stable addresses, so PageHandle can hold a raw Frame* across its
+/// lifetime.  `pin_count` is atomic: handles release pins without taking the
+/// shard lock, and eviction (which does hold the lock) acquire-loads it.
+/// The dirty flags are only read/written under the shard lock.
+struct PageHandle::Frame {
+  PageId id = kInvalidPageId;
+  std::unique_ptr<char[]> data;
+  std::atomic<int> pin_count{0};
+  bool dirty = false;        // Modified since last flush.
+  bool epoch_dirty = false;  // Modified in the current epoch.
+  std::list<PageId>::iterator lru_pos;
+  bool in_lru = false;
+};
+
+/// One latch-partition of the pool: a slice of the frame table plus its own
+/// LRU list, guarded by a single mutex.
+struct BufferPool::Shard {
+  std::mutex mu;
+  std::unordered_map<PageId, Frame> frames;
+  std::list<PageId> lru;  // Front = most recently used.
+  size_t capacity = 0;    // Nominal frame budget for this shard.
+  BufferPoolStats stats;  // Guarded by mu; summed by BufferPool::stats().
+};
+
 const char* PageHandle::data() const {
   assert(valid());
-  return pool_->FrameData(id_);
+  return frame_->data.get();
 }
 
 char* PageHandle::mutable_data() {
   assert(valid());
-  return pool_->FrameMutableData(id_);
+  return pool_->FrameMutableData(frame_);
 }
 
 void PageHandle::Release() {
   if (pool_ != nullptr) {
-    pool_->Unpin(id_);
+    int prev = frame_->pin_count.fetch_sub(1, std::memory_order_release);
+    assert(prev > 0);
+    (void)prev;
     pool_ = nullptr;
+    frame_ = nullptr;
     id_ = kInvalidPageId;
   }
 }
 
-BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages)
+namespace {
+
+size_t PickShardCount(size_t capacity_pages, size_t requested) {
+  // Explicit requests are rounded down to a power of two so shard selection
+  // can mask instead of divide.
+  if (requested != 0) {
+    size_t p = 1;
+    while (p * 2 <= requested) p *= 2;
+    return p;
+  }
+  size_t shards = 1;
+  while (shards < 16 && capacity_pages / (shards * 2) >= 64) shards *= 2;
+  return shards;
+}
+
+}  // namespace
+
+BufferPool::BufferPool(DiskManager* disk, size_t capacity_pages, size_t shards)
     : disk_(disk), capacity_(capacity_pages) {
   assert(capacity_ >= 1);
+  const size_t n = PickShardCount(capacity_pages, shards);
+  shard_mask_ = n - 1;
+  shards_.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    auto shard = std::make_unique<Shard>();
+    // Distribute the budget; every shard gets at least one frame.
+    shard->capacity = (capacity_pages + n - 1) / n;
+    if (shard->capacity == 0) shard->capacity = 1;
+    shards_.push_back(std::move(shard));
+  }
 }
 
 BufferPool::~BufferPool() = default;
 
+BufferPool::Shard& BufferPool::ShardFor(PageId id) {
+  // Mask, not modulo: shard counts are powers of two, and consecutive page
+  // ids spread round-robin so no shard is stranded.
+  return *shards_[id & shard_mask_];
+}
+
 StatusOr<PageHandle> BufferPool::Fetch(PageId id) {
-  auto it = frames_.find(id);
-  if (it != frames_.end()) {
-    ++stats_.hits;
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it != shard.frames.end()) {
+    ++shard.stats.hits;
     Frame& frame = it->second;
-    ++frame.pin_count;
-    TouchLru(&frame);
-    return PageHandle(this, id);
+    frame.pin_count.fetch_add(1, std::memory_order_relaxed);
+    TouchLru(shard, &frame);
+    return PageHandle(this, &frame, id);
   }
-  ++stats_.misses;
-  ODE_RETURN_IF_ERROR(EvictOneIfNeeded());
-  Frame frame;
+  ++shard.stats.misses;
+  ODE_RETURN_IF_ERROR(EvictOneIfNeeded(shard));
+  // The disk read happens under the shard lock: concurrent fetches of the
+  // same page must not race, and fetches in other shards proceed unblocked.
+  auto [ins_it, inserted] = shard.frames.try_emplace(id);
+  assert(inserted);
+  (void)inserted;
+  Frame& frame = ins_it->second;
   frame.id = id;
   frame.data = std::make_unique<char[]>(kPageSize);
-  ODE_RETURN_IF_ERROR(disk_->ReadPage(id, frame.data.get()));
-  frame.pin_count = 1;
-  auto [ins_it, inserted] = frames_.emplace(id, std::move(frame));
-  assert(inserted);
-  TouchLru(&ins_it->second);
-  return PageHandle(this, id);
-}
-
-const char* BufferPool::FrameData(PageId id) const {
-  auto it = frames_.find(id);
-  assert(it != frames_.end());
-  return it->second.data.get();
-}
-
-char* BufferPool::FrameMutableData(PageId id) {
-  auto it = frames_.find(id);
-  assert(it != frames_.end());
-  Frame& frame = it->second;
-  if (!frame.epoch_dirty) {
-    if (pre_dirty_hook_) pre_dirty_hook_(id, frame.data.get(), frame.dirty);
-    frame.epoch_dirty = true;
-    epoch_dirty_list_.push_back(id);
+  if (Status s = disk_->ReadPage(id, frame.data.get()); !s.ok()) {
+    shard.frames.erase(ins_it);
+    return s;
   }
-  frame.dirty = true;
-  return frame.data.get();
+  frame.pin_count.store(1, std::memory_order_relaxed);
+  TouchLru(shard, &frame);
+  return PageHandle(this, &frame, id);
 }
 
-void BufferPool::Unpin(PageId id) {
-  auto it = frames_.find(id);
-  assert(it != frames_.end());
-  assert(it->second.pin_count > 0);
-  --it->second.pin_count;
+char* BufferPool::FrameMutableData(Frame* frame) {
+  // Writer-side only, but the dirty flags are shared with reader-side
+  // eviction, so flip them under the shard lock.
+  Shard& shard = ShardFor(frame->id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (!frame->epoch_dirty) {
+    if (pre_dirty_hook_) {
+      pre_dirty_hook_(frame->id, frame->data.get(), frame->dirty);
+    }
+    frame->epoch_dirty = true;
+    epoch_dirty_list_.push_back(frame->id);
+  }
+  frame->dirty = true;
+  return frame->data.get();
 }
 
 void BufferPool::BeginEpoch() {
   for (PageId id : epoch_dirty_list_) {
-    auto it = frames_.find(id);
-    if (it != frames_.end()) it->second.epoch_dirty = false;
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) it->second.epoch_dirty = false;
   }
   epoch_dirty_list_.clear();
   in_epoch_ = true;
 }
 
 Status BufferPool::RestorePage(PageId id, const char* image, bool dirty) {
-  auto it = frames_.find(id);
-  if (it == frames_.end()) {
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.frames.find(id);
+  if (it == shard.frames.end()) {
     return Status::Internal("RestorePage: page not resident");
   }
   std::memcpy(it->second.data.get(), image, kPageSize);
@@ -102,8 +167,10 @@ Status BufferPool::RestorePage(PageId id, const char* image, bool dirty) {
 
 void BufferPool::CommitEpoch() {
   for (PageId id : epoch_dirty_list_) {
-    auto it = frames_.find(id);
-    if (it != frames_.end()) it->second.epoch_dirty = false;
+    Shard& shard = ShardFor(id);
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.frames.find(id);
+    if (it != shard.frames.end()) it->second.epoch_dirty = false;
   }
   epoch_dirty_list_.clear();
   in_epoch_ = false;
@@ -113,52 +180,100 @@ Status BufferPool::FlushAll() {
   if (in_epoch_ && !epoch_dirty_list_.empty()) {
     return Status::FailedPrecondition("FlushAll during an open transaction");
   }
-  for (auto& [id, frame] : frames_) {
-    if (frame.dirty) {
-      ODE_RETURN_IF_ERROR(disk_->WritePage(id, frame.data.get()));
-      frame.dirty = false;
-      ++stats_.flushes;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [id, frame] : shard.frames) {
+      if (frame.dirty) {
+        ODE_RETURN_IF_ERROR(disk_->WritePage(id, frame.data.get()));
+        frame.dirty = false;
+        ++shard.stats.flushes;
+      }
     }
   }
   return disk_->Sync();
 }
 
 void BufferPool::DropAllUnpinned() {
-  for (auto it = frames_.begin(); it != frames_.end();) {
-    if (it->second.pin_count == 0) {
-      if (it->second.in_lru) lru_.erase(it->second.lru_pos);
-      it = frames_.erase(it);
-    } else {
-      ++it;
+  for (auto& shard_ptr : shards_) {
+    Shard& shard = *shard_ptr;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.frames.begin(); it != shard.frames.end();) {
+      if (it->second.pin_count.load(std::memory_order_acquire) == 0) {
+        if (it->second.in_lru) shard.lru.erase(it->second.lru_pos);
+        it = shard.frames.erase(it);
+      } else {
+        ++it;
+      }
     }
   }
 }
 
-Status BufferPool::EvictOneIfNeeded() {
-  if (frames_.size() < capacity_) return Status::OK();
-  // Scan from least recently used; skip pinned or dirty frames (dirty pages
-  // are only written by FlushAll, never by eviction).
-  for (auto rit = lru_.rbegin(); rit != lru_.rend(); ++rit) {
-    auto it = frames_.find(*rit);
-    assert(it != frames_.end());
-    Frame& frame = it->second;
-    if (frame.pin_count == 0 && !frame.dirty) {
-      lru_.erase(std::next(rit).base());
-      frames_.erase(it);
-      ++stats_.evictions;
-      return Status::OK();
+BufferPoolStats BufferPool::stats() const {
+  // Counters live per shard (bumped under that shard's mutex, so Fetch pays
+  // no atomic RMW for accounting); summing under each lock yields a snapshot
+  // covering every operation that completed before this call.
+  BufferPoolStats out;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    const BufferPoolStats& s = shard_ptr->stats;
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.flushes += s.flushes;
+  }
+  return out;
+}
+
+size_t BufferPool::resident_pages() const {
+  size_t total = 0;
+  for (const auto& shard_ptr : shards_) {
+    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    total += shard_ptr->frames.size();
+  }
+  return total;
+}
+
+Status BufferPool::EvictOneIfNeeded(Shard& shard) {
+  // Evicts until the shard is back under capacity.  Single-threaded the loop
+  // runs at most once per fetch (the shard never overgrows), preserving the
+  // classic LRU eviction counts; after a concurrent pin storm forced the
+  // shard past capacity, the next fetch drains the whole overage here.
+  while (shard.frames.size() >= shard.capacity) {
+    // Scan from least recently used; skip pinned or dirty frames (dirty
+    // pages are only written by FlushAll, never by eviction).  The acquire
+    // load of pin_count pairs with the release fetch_sub in
+    // PageHandle::Release, so a frame observed unpinned is truly done being
+    // read.
+    bool evicted = false;
+    for (auto rit = shard.lru.rbegin(); rit != shard.lru.rend(); ++rit) {
+      auto it = shard.frames.find(*rit);
+      assert(it != shard.frames.end());
+      Frame& frame = it->second;
+      if (frame.pin_count.load(std::memory_order_acquire) == 0 &&
+          !frame.dirty) {
+        shard.lru.erase(std::next(rit).base());
+        shard.frames.erase(it);
+        ++shard.stats.evictions;
+        evicted = true;
+        break;
+      }
+    }
+    if (!evicted) {
+      // Everything pinned or dirty: grow beyond nominal capacity.
+      ODE_LOG_DEBUG << "buffer pool shard over capacity ("
+                    << shard.frames.size() << " resident, shard capacity "
+                    << shard.capacity << ")";
+      break;
     }
   }
-  // Everything pinned or dirty: grow beyond nominal capacity.
-  ODE_LOG_DEBUG << "buffer pool over capacity (" << frames_.size()
-                << " resident, capacity " << capacity_ << ")";
   return Status::OK();
 }
 
-void BufferPool::TouchLru(Frame* frame) {
-  if (frame->in_lru) lru_.erase(frame->lru_pos);
-  lru_.push_front(frame->id);
-  frame->lru_pos = lru_.begin();
+void BufferPool::TouchLru(Shard& shard, Frame* frame) {
+  if (frame->in_lru) shard.lru.erase(frame->lru_pos);
+  shard.lru.push_front(frame->id);
+  frame->lru_pos = shard.lru.begin();
   frame->in_lru = true;
 }
 

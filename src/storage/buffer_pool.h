@@ -5,6 +5,7 @@
 #include <functional>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -24,6 +25,11 @@ class BufferPool;
 /// the first modification within the current epoch, i.e., transaction) fires
 /// the pool's pre-dirty hook so the transaction layer can capture an undo
 /// image.
+///
+/// The handle caches the frame pointer, so `data()` and `Release()` are
+/// lock-free: unordered_map guarantees element address stability and a pinned
+/// frame is never evicted, so the pointer stays valid for the handle's
+/// lifetime.
 class PageHandle {
  public:
   PageHandle() = default;
@@ -42,7 +48,7 @@ class PageHandle {
   bool valid() const { return pool_ != nullptr; }
   PageId id() const { return id_; }
   const char* data() const;
-  /// Returns writable page bytes, marking the page dirty.
+  /// Returns writable page bytes, marking the page dirty.  Writer-side only.
   char* mutable_data();
 
   /// Drops the pin early.
@@ -50,19 +56,25 @@ class PageHandle {
 
  private:
   friend class BufferPool;
-  PageHandle(BufferPool* pool, PageId id) : pool_(pool), id_(id) {}
+  struct Frame;
+  PageHandle(BufferPool* pool, Frame* frame, PageId id)
+      : pool_(pool), frame_(frame), id_(id) {}
   void MoveFrom(PageHandle& other) {
     pool_ = other.pool_;
+    frame_ = other.frame_;
     id_ = other.id_;
     other.pool_ = nullptr;
+    other.frame_ = nullptr;
     other.id_ = kInvalidPageId;
   }
 
   BufferPool* pool_ = nullptr;
+  Frame* frame_ = nullptr;
   PageId id_ = kInvalidPageId;
 };
 
-/// Cache statistics (cumulative since construction).
+/// Cache statistics (cumulative since construction).  Returned by value as a
+/// coherent snapshot of the pool's per-shard counters.
 struct BufferPoolStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -70,7 +82,7 @@ struct BufferPoolStats {
   uint64_t flushes = 0;
 };
 
-/// LRU page cache over a DiskManager.
+/// Sharded LRU page cache over a DiskManager.
 ///
 /// Policy choices, driven by the WAL design (redo logging of page
 /// after-images, no-steal for uncommitted pages):
@@ -82,8 +94,18 @@ struct BufferPoolStats {
 ///    current contents, letting the transaction capture an undo image for
 ///    abort.
 ///
-/// Single-threaded by design (the paper explicitly sets aside concurrency
-/// control).
+/// Concurrency contract (single-writer / multi-reader):
+///  - Fetch(), data(), Release() and stats() may be called from any number
+///    of reader threads concurrently.  The frame table and LRU are
+///    partitioned into shards, each guarded by its own mutex, so concurrent
+///    fetches of pages in different shards never contend.  Pin counts are
+///    atomic, making handle release lock-free.
+///  - Everything that mutates page contents or epoch state (mutable_data,
+///    BeginEpoch/CommitEpoch, RestorePage, FlushAll, DropAllUnpinned,
+///    set_pre_dirty_hook) is writer-side: the caller (StorageEngine) must
+///    ensure no reader runs concurrently, which it does with an engine-level
+///    shared_mutex.  Shard locks are still taken where those paths touch
+///    shard structures so reader-vs-writer metadata access stays ordered.
 class BufferPool {
  public:
   /// Called with (page id, pre-modification bytes, was already dirty from an
@@ -91,13 +113,18 @@ class BufferPool {
   using PreDirtyHook =
       std::function<void(PageId, const char* data, bool was_dirty)>;
 
-  BufferPool(DiskManager* disk, size_t capacity_pages);
+  /// `shards` = 0 picks automatically: the largest power of two <= 16 that
+  /// keeps at least 64 pages per shard.  Small pools therefore collapse to a
+  /// single shard and behave exactly like the classic single-structure LRU
+  /// (same eviction order and counts), which exact-count tests rely on.
+  /// Explicit counts are rounded down to a power of two.
+  BufferPool(DiskManager* disk, size_t capacity_pages, size_t shards = 0);
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// Pins page `id`, reading it from disk on a miss.
+  /// Pins page `id`, reading it from disk on a miss.  Thread-safe.
   StatusOr<PageHandle> Fetch(PageId id);
 
   /// Begins a new dirty-tracking epoch (call at transaction start).
@@ -127,38 +154,34 @@ class BufferPool {
 
   void set_pre_dirty_hook(PreDirtyHook hook) { pre_dirty_hook_ = std::move(hook); }
 
-  const BufferPoolStats& stats() const { return stats_; }
-  size_t resident_pages() const { return frames_.size(); }
+  /// Coherent snapshot of the cumulative counters.  Thread-safe.
+  BufferPoolStats stats() const;
+  /// Total resident frames across all shards.  Thread-safe.
+  size_t resident_pages() const;
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
   bool in_epoch() const { return in_epoch_; }
 
  private:
   friend class PageHandle;
+  using Frame = PageHandle::Frame;
 
-  struct Frame {
-    PageId id = kInvalidPageId;
-    std::unique_ptr<char[]> data;
-    int pin_count = 0;
-    bool dirty = false;        // Modified since last flush.
-    bool epoch_dirty = false;  // Modified in the current epoch.
-    std::list<PageId>::iterator lru_pos;
-    bool in_lru = false;
-  };
+  struct Shard;
 
-  const char* FrameData(PageId id) const;
-  char* FrameMutableData(PageId id);
-  void Unpin(PageId id);
-  Status EvictOneIfNeeded();
-  void TouchLru(Frame* frame);
+  Shard& ShardFor(PageId id);
+  char* FrameMutableData(Frame* frame);
+  Status EvictOneIfNeeded(Shard& shard);
+  void TouchLru(Shard& shard, Frame* frame);
 
   DiskManager* disk_;
   size_t capacity_;
-  std::unordered_map<PageId, Frame> frames_;
-  std::list<PageId> lru_;  // Front = most recently used.
+  size_t shard_mask_ = 0;  // shard count - 1 (count is a power of two).
+  std::vector<std::unique_ptr<Shard>> shards_;
+  // Writer-side epoch state: only touched between BeginEpoch/CommitEpoch
+  // while the engine holds its exclusive lock.
   std::vector<PageId> epoch_dirty_list_;
   bool in_epoch_ = false;
   PreDirtyHook pre_dirty_hook_;
-  BufferPoolStats stats_;
 };
 
 }  // namespace ode

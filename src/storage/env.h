@@ -62,9 +62,12 @@ class Env {
 };
 
 /// Fully in-memory Env for unit tests and benchmarks: identical semantics to
-/// the POSIX Env, no disk I/O.  Not thread-safe (the library is
-/// single-writer, matching the paper's explicit exclusion of concurrency
-/// control).
+/// the POSIX Env, no disk I/O.  Concurrency contract matches the library's
+/// single-writer / multi-reader model: concurrent Read/Size on a file are
+/// safe (they touch the backing string read-only), but any write (Write,
+/// Append, Truncate) and any Env-level mutation (OpenFile, DeleteFile, ...)
+/// must be externally excluded from all other accesses — which the storage
+/// engine's writer lock guarantees.
 class MemEnv : public Env {
  public:
   MemEnv();

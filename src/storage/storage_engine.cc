@@ -2,12 +2,30 @@
 
 #include <cassert>
 #include <cstring>
+#include <vector>
 
 #include "storage/superblock.h"
 #include "util/coding.h"
 #include "util/logging.h"
 
 namespace ode {
+
+namespace {
+
+/// Engines this thread currently holds a shared (reader) lock on.  Nested
+/// WithReadTxn calls on the same engine (e.g. ReadVersion inside a
+/// ForEachObject callback) reuse the outer lock: recursively acquiring a
+/// std::shared_mutex on one thread is undefined behavior.
+thread_local std::vector<const StorageEngine*> tls_read_locked_engines;
+
+bool ThisThreadHoldsReadLock(const StorageEngine* engine) {
+  for (const StorageEngine* held : tls_read_locked_engines) {
+    if (held == engine) return true;
+  }
+  return false;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------------------
 // Txn
@@ -66,7 +84,7 @@ StatusOr<PageId> Txn::GetRoot(int slot) {
   }
   auto super = Fetch(0);
   if (!super.ok()) return super.status();
-  return SuperblockView(const_cast<char*>(super->data())).root(slot);
+  return ConstSuperblockView(super->data()).root(slot);
 }
 
 Status Txn::SetRoot(int slot, PageId id) {
@@ -85,7 +103,7 @@ StatusOr<uint64_t> Txn::GetCounter(int idx) {
   }
   auto super = Fetch(0);
   if (!super.ok()) return super.status();
-  return SuperblockView(const_cast<char*>(super->data())).counter(idx);
+  return ConstSuperblockView(super->data()).counter(idx);
 }
 
 Status Txn::SetCounter(int idx, uint64_t value) {
@@ -101,7 +119,55 @@ Status Txn::SetCounter(int idx, uint64_t value) {
 StatusOr<uint32_t> Txn::PageCount() {
   auto super = Fetch(0);
   if (!super.ok()) return super.status();
-  return SuperblockView(const_cast<char*>(super->data())).page_count();
+  return ConstSuperblockView(super->data()).page_count();
+}
+
+// ---------------------------------------------------------------------------
+// ReadTxn
+// ---------------------------------------------------------------------------
+
+StatusOr<PageHandle> ReadTxn::Fetch(PageId id) {
+  return engine_->pool_->Fetch(id);
+}
+
+StatusOr<PageId> ReadTxn::AllocatePage() {
+  return Status::FailedPrecondition("read-only transaction");
+}
+
+Status ReadTxn::FreePage(PageId) {
+  return Status::FailedPrecondition("read-only transaction");
+}
+
+StatusOr<PageId> ReadTxn::GetRoot(int slot) {
+  if (slot < 0 || slot >= SuperblockView::kNumRoots) {
+    return Status::InvalidArgument("root slot out of range");
+  }
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  return ConstSuperblockView(super->data()).root(slot);
+}
+
+Status ReadTxn::SetRoot(int, PageId) {
+  return Status::FailedPrecondition("read-only transaction");
+}
+
+StatusOr<uint64_t> ReadTxn::GetCounter(int idx) {
+  if (idx < 0 || idx >= SuperblockView::kNumCounters) {
+    return Status::InvalidArgument("counter index out of range");
+  }
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  return ConstSuperblockView(super->data()).counter(idx);
+}
+
+Status ReadTxn::SetCounter(int, uint64_t) {
+  return Status::FailedPrecondition("read-only transaction");
+}
+
+StatusOr<uint32_t> ReadTxn::PageCount() {
+  auto super = Fetch(0);
+  if (!super.ok()) return super.status();
+  return ConstSuperblockView(super->data()).page_count();
 }
 
 // ---------------------------------------------------------------------------
@@ -137,7 +203,8 @@ StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
   }
 
   engine->pool_ = std::make_unique<BufferPool>(engine->disk_.get(),
-                                               options.buffer_pool_pages);
+                                               options.buffer_pool_pages,
+                                               options.buffer_pool_shards);
   StorageEngine* raw = engine.get();
   engine->pool_->set_pre_dirty_hook(
       [raw](PageId id, const char* data, bool was_dirty) {
@@ -157,8 +224,7 @@ Status StorageEngine::InitSuperblockIfNeeded() {
   return WithTxn([](Txn& txn) -> Status {
     auto super = txn.Fetch(0);
     if (!super.ok()) return super.status();
-    SuperblockView view(const_cast<char*>(super->data()));
-    if (!view.IsValid()) {
+    if (!ConstSuperblockView(super->data()).IsValid()) {
       SuperblockView(super->mutable_data()).Init();
     }
     return Status::OK();
@@ -175,9 +241,12 @@ StorageEngine::~StorageEngine() {
 }
 
 StatusOr<Txn*> StorageEngine::Begin() {
+  // txn_open_ is writer-thread state: with a single writer this read cannot
+  // race another Begin, and readers never touch it.
   if (txn_open_) {
     return Status::FailedPrecondition("a transaction is already open");
   }
+  rw_mutex_.lock();  // Held until Commit/Abort closes the transaction.
   txn_.engine_ = this;
   txn_.id_ = next_txn_id_++;
   txn_.active_ = true;
@@ -208,6 +277,7 @@ Status StorageEngine::Commit(Txn* txn) {
       return wal_->Sync();
     }();
     if (!s.ok()) {
+      // Abort closes the transaction and releases the exclusive lock.
       Status abort_status = Abort(txn);
       if (!abort_status.ok()) {
         ODE_LOG_ERROR << "abort after failed commit also failed: "
@@ -220,7 +290,10 @@ Status StorageEngine::Commit(Txn* txn) {
   txn->active_ = false;
   txn_open_ = false;
   ++commit_count_;
+  rw_mutex_.unlock();
 
+  // The auto-checkpoint runs outside the transaction's exclusive section;
+  // Checkpoint re-acquires the lock itself.
   if (wal_bytes() > options_.checkpoint_wal_bytes) {
     ODE_RETURN_IF_ERROR(Checkpoint());
   }
@@ -231,16 +304,18 @@ Status StorageEngine::Abort(Txn* txn) {
   if (!txn_open_ || txn != &txn_ || !txn->active_) {
     return Status::FailedPrecondition("no such open transaction");
   }
+  Status restore_status = Status::OK();
   for (const auto& [pid, undo] : txn->undo_) {
-    ODE_RETURN_IF_ERROR(
-        pool_->RestorePage(pid, undo.image.data(), undo.was_dirty));
+    Status s = pool_->RestorePage(pid, undo.image.data(), undo.was_dirty);
+    if (!s.ok() && restore_status.ok()) restore_status = s;
   }
   pool_->CommitEpoch();  // Clears epoch bookkeeping; pages already restored.
   txn->active_ = false;
   txn->undo_.clear();
   txn_open_ = false;
   heap_.InvalidateCache();
-  return Status::OK();
+  rw_mutex_.unlock();
+  return restore_status;
 }
 
 Status StorageEngine::WithTxn(const std::function<Status(Txn&)>& body) {
@@ -258,10 +333,25 @@ Status StorageEngine::WithTxn(const std::function<Status(Txn&)>& body) {
   return Commit(*txn);
 }
 
+Status StorageEngine::WithReadTxn(const std::function<Status(ReadTxn&)>& body) {
+  ReadTxn txn(this);
+  if (ThisThreadHoldsReadLock(this)) {
+    // Nested read on the same thread: the outer call's shared lock already
+    // protects us.
+    return body(txn);
+  }
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  tls_read_locked_engines.push_back(this);
+  Status s = body(txn);
+  tls_read_locked_engines.pop_back();
+  return s;
+}
+
 Status StorageEngine::Checkpoint() {
   if (txn_open_) {
     return Status::FailedPrecondition("cannot checkpoint mid-transaction");
   }
+  std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   ODE_RETURN_IF_ERROR(pool_->FlushAll());
   ODE_RETURN_IF_ERROR(wal_->Truncate());
   wal_bytes_at_truncate_ = wal_->bytes_appended();

@@ -5,6 +5,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <shared_mutex>
 #include <string>
 
 #include "storage/buffer_pool.h"
@@ -29,6 +30,8 @@ struct StorageOptions {
   /// Buffer pool capacity in pages (nominal; grows if all frames are
   /// pinned/dirty).
   size_t buffer_pool_pages = 1024;
+  /// Buffer pool latch shards; 0 = auto (collapses to 1 for small pools).
+  size_t buffer_pool_shards = 0;
   /// Automatic checkpoint once the WAL exceeds this many bytes.
   uint64_t checkpoint_wal_bytes = 8ull << 20;
 };
@@ -68,13 +71,49 @@ class Txn : public PageIO {
   std::map<PageId, UndoImage> undo_;
 };
 
+/// A lightweight read-only transaction: no undo map, no WAL interaction.
+///
+/// Implements PageIO so the same data structures (HeapFile reads, BTree
+/// lookups) run unchanged on the read path; the mutating PageIO methods fail
+/// with FailedPrecondition.  Superblock accessors use the const read view,
+/// so a ReadTxn can never dirty a page.
+///
+/// ReadTxns are created by StorageEngine::WithReadTxn, which holds the
+/// engine's shared lock for the duration: any number of ReadTxns run in
+/// parallel, all excluded from the (single) write transaction.
+class ReadTxn : public PageIO {
+ public:
+  StatusOr<PageHandle> Fetch(PageId id) override;
+  StatusOr<PageId> AllocatePage() override;
+  Status FreePage(PageId id) override;
+  StatusOr<PageId> GetRoot(int slot) override;
+  Status SetRoot(int slot, PageId id) override;
+  StatusOr<uint64_t> GetCounter(int idx) override;
+  Status SetCounter(int idx, uint64_t value) override;
+  StatusOr<uint32_t> PageCount() override;
+
+ private:
+  friend class StorageEngine;
+  explicit ReadTxn(StorageEngine* engine) : engine_(engine) {}
+
+  StorageEngine* engine_;
+};
+
 /// The persistence substrate: a paged, WAL-protected, transactional store
 /// offering a heap file for records and B+trees (via BTree::Open on a Txn)
 /// for indexes — the role of the "persistence library for C++" [10] in the
 /// paper's implementation section.
 ///
-/// Concurrency: strictly single-threaded, one transaction at a time, matching
-/// the paper's scope ("we do not discuss concurrency control in this paper").
+/// Concurrency: single-writer / multi-reader.  Write transactions
+/// (Begin/Commit/Abort, WithTxn) hold an engine-level exclusive lock, so at
+/// most one runs at a time and must stay on one thread from Begin to
+/// Commit/Abort.  Read-only work runs through WithReadTxn under the shared
+/// side of the same lock, from any number of threads in parallel.  Because
+/// the pool is no-steal (dirty pages are never flushed mid-transaction) and
+/// the exclusive lock covers the whole write transaction, a shared-lock
+/// reader always observes a consistent committed state.  (The paper sets
+/// aside concurrency control; this is the minimal model that lets reads
+/// scale with cores.)
 class StorageEngine {
  public:
   static StatusOr<std::unique_ptr<StorageEngine>> Open(
@@ -84,29 +123,38 @@ class StorageEngine {
   StorageEngine(const StorageEngine&) = delete;
   StorageEngine& operator=(const StorageEngine&) = delete;
 
-  /// Starts the (single) transaction.  Fails if one is already open.
+  /// Starts the (single) write transaction, taking the exclusive lock.
+  /// Fails if one is already open.
   StatusOr<Txn*> Begin();
 
   /// Durably commits: logs after-images of every dirtied page, then the
-  /// commit record, then syncs the WAL.  May trigger an automatic
-  /// checkpoint.
+  /// commit record, then syncs the WAL.  Releases the exclusive lock; may
+  /// trigger an automatic checkpoint.
   Status Commit(Txn* txn);
 
-  /// Rolls back: restores every dirtied page from its undo image.
+  /// Rolls back: restores every dirtied page from its undo image.  Releases
+  /// the exclusive lock.
   Status Abort(Txn* txn);
 
-  /// Runs `body` inside a transaction; commits on OK, aborts on error (and
-  /// returns the body's error).
+  /// Runs `body` inside a write transaction; commits on OK, aborts on error
+  /// (and returns the body's error).
   Status WithTxn(const std::function<Status(Txn&)>& body);
 
+  /// Runs `body` under the shared (reader) side of the engine lock.  Safe to
+  /// call from any thread, including re-entrantly from inside another
+  /// WithReadTxn on the same thread (the nested call reuses the outer shared
+  /// lock instead of re-acquiring, which std::shared_mutex forbids).
+  Status WithReadTxn(const std::function<Status(ReadTxn&)>& body);
+
   /// Flushes all dirty pages to the data file and truncates the WAL.  Must
-  /// not be called with an open transaction.
+  /// not be called with an open transaction.  Takes the exclusive lock.
   Status Checkpoint();
 
   /// Record storage shared by all higher layers.
   HeapFile& heap() { return heap_; }
 
-  const BufferPoolStats& cache_stats() const { return pool_->stats(); }
+  /// Snapshot of the buffer pool counters.  Thread-safe.
+  BufferPoolStats cache_stats() const { return pool_->stats(); }
   const RecoveryStats& last_recovery() const { return recovery_; }
   uint64_t wal_bytes() const;
   /// Total WAL bytes ever appended this session (not reset by checkpoints).
@@ -117,6 +165,7 @@ class StorageEngine {
 
  private:
   friend class Txn;
+  friend class ReadTxn;
 
   StorageEngine() = default;
 
@@ -134,6 +183,9 @@ class StorageEngine {
   uint64_t commit_count_ = 0;
   uint64_t checkpoint_count_ = 0;
   RecoveryStats recovery_;
+  /// Writers exclusive, readers shared.  Held across the whole write
+  /// transaction (Begin to Commit/Abort) and the whole of WithReadTxn.
+  std::shared_mutex rw_mutex_;
 };
 
 }  // namespace ode

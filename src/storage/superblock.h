@@ -9,7 +9,7 @@
 
 namespace ode {
 
-/// View over page 0, the database superblock.
+/// Read-only view over page 0, the database superblock.
 ///
 /// The superblock is an ordinary page manipulated through the buffer pool so
 /// that every change to allocation state is WAL-logged and crash-safe.
@@ -22,13 +22,33 @@ namespace ode {
 ///   [20..23]  u32  free-list head (0 = empty)
 ///   [24..55]  u32  x 8 root slots (B+tree roots etc., owned by upper layers)
 ///   [56..119] u64  x 8 general-purpose persistent counters
-class SuperblockView {
+///
+/// Read-only accessors take a `const char*`, so the shared (multi-reader)
+/// page path never needs a writable view — and never marks the page dirty.
+class ConstSuperblockView {
  public:
   static constexpr uint64_t kMagic = 0x4f44455644423931ull;  // "ODEVDB91"
   static constexpr int kNumRoots = 8;
   static constexpr int kNumCounters = 8;
 
-  explicit SuperblockView(char* data) : data_(data) {}
+  explicit ConstSuperblockView(const char* data) : cdata_(data) {}
+
+  bool IsValid() const { return DecodeFixed64(cdata_ + 8) == kMagic; }
+
+  uint32_t page_count() const { return DecodeFixed32(cdata_ + 16); }
+  PageId free_list_head() const { return DecodeFixed32(cdata_ + 20); }
+  PageId root(int slot) const { return DecodeFixed32(cdata_ + 24 + 4 * slot); }
+  uint64_t counter(int i) const { return DecodeFixed64(cdata_ + 56 + 8 * i); }
+
+ private:
+  const char* cdata_;
+};
+
+/// Writable superblock view (construct from `mutable_data()` only; taking
+/// one marks the page dirty through the buffer pool's usual machinery).
+class SuperblockView : public ConstSuperblockView {
+ public:
+  explicit SuperblockView(char* data) : ConstSuperblockView(data), data_(data) {}
 
   void Init() {
     std::memset(data_, 0, kPageSize);
@@ -38,18 +58,9 @@ class SuperblockView {
     set_free_list_head(kInvalidPageId);
   }
 
-  bool IsValid() const { return DecodeFixed64(data_ + 8) == kMagic; }
-
-  uint32_t page_count() const { return DecodeFixed32(data_ + 16); }
   void set_page_count(uint32_t v) { EncodeFixed32(data_ + 16, v); }
-
-  PageId free_list_head() const { return DecodeFixed32(data_ + 20); }
   void set_free_list_head(PageId v) { EncodeFixed32(data_ + 20, v); }
-
-  PageId root(int slot) const { return DecodeFixed32(data_ + 24 + 4 * slot); }
   void set_root(int slot, PageId v) { EncodeFixed32(data_ + 24 + 4 * slot, v); }
-
-  uint64_t counter(int i) const { return DecodeFixed64(data_ + 56 + 8 * i); }
   void set_counter(int i, uint64_t v) { EncodeFixed64(data_ + 56 + 8 * i, v); }
 
  private:

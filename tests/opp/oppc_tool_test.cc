@@ -1,4 +1,5 @@
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <array>
 #include <cstdio>
@@ -23,7 +24,11 @@ struct ToolResult {
 };
 
 ToolResult RunOppc(const std::string& args, const std::string& stdin_text) {
-  const std::string input_path = ::testing::TempDir() + "oppc_in.opp";
+  // Keyed by pid: parallel ctest runs each test in its own process, and a
+  // shared fixed name lets one test clobber the input mid-read of another's
+  // oppc subprocess.
+  const std::string input_path = ::testing::TempDir() + "oppc_in." +
+                                 std::to_string(getpid()) + ".opp";
   {
     std::ofstream out(input_path);
     out << stdin_text;
@@ -72,8 +77,10 @@ TEST(OppcToolTest, FailsOnMalformedInput) {
 }
 
 TEST(OppcToolTest, WritesOutputFile) {
-  const std::string input_path = ::testing::TempDir() + "oppc_in2.opp";
-  const std::string output_path = ::testing::TempDir() + "oppc_out2.cc";
+  const std::string input_path = ::testing::TempDir() + "oppc_in2." +
+                                 std::to_string(getpid()) + ".opp";
+  const std::string output_path = ::testing::TempDir() + "oppc_out2." +
+                                  std::to_string(getpid()) + ".cc";
   {
     std::ofstream out(input_path);
     out << "newversion(p)\n";

@@ -131,29 +131,32 @@ double HitRate(uint64_t hits, uint64_t misses) {
 
 /// Counters are cumulative for this process, so for the read caches they
 /// cover whatever command ran before the report (e.g. `summary` touches
-/// every version).  A freshly opened database reports mostly zeros.
+/// every version).  A freshly opened database reports mostly zeros.  Each
+/// stats() call below returns a coherent snapshot of the component's atomic
+/// counters (pool and caches are lock-striped; the shard counts are shown).
 void PrintCacheStats(ode::Database& db) {
-  const ode::BufferPoolStats& pool = db.storage().cache_stats();
+  const ode::BufferPoolStats pool = db.storage().cache_stats();
   std::printf("buffer pool:    %" PRIu64 " hits, %" PRIu64
-              " misses (%.1f%% hit rate), %" PRIu64 " evictions\n",
+              " misses (%.1f%% hit rate), %" PRIu64 " evictions, %zu shards\n",
               pool.hits, pool.misses, HitRate(pool.hits, pool.misses),
-              pool.evictions);
+              pool.evictions, db.storage().buffer_pool().shard_count());
   const ode::VersionPayloadCache& payload = db.payload_cache();
-  const ode::PayloadCacheStats& ps = payload.stats();
+  const ode::PayloadCacheStats ps = payload.stats();
   std::printf("payload cache:  %" PRIu64 " hits, %" PRIu64
-              " misses (%.1f%% hit rate)\n",
-              ps.hits, ps.misses, HitRate(ps.hits, ps.misses));
+              " misses (%.1f%% hit rate), %zu shards\n",
+              ps.hits, ps.misses, HitRate(ps.hits, ps.misses),
+              payload.shard_count());
   std::printf("  entries:      %zu (%" PRIu64 " / %" PRIu64 " bytes)\n",
               payload.entries(), payload.bytes_in_use(),
               payload.byte_budget());
   std::printf("  evictions:    %" PRIu64 "  invalidations: %" PRIu64
               "  epoch discards: %" PRIu64 "\n",
               ps.evictions, ps.invalidations, ps.epoch_discards);
-  const ode::PayloadCacheStats& ls = db.latest_cache().stats();
+  const ode::PayloadCacheStats ls = db.latest_cache().stats();
   std::printf("latest cache:   %" PRIu64 " hits, %" PRIu64
-              " misses (%.1f%% hit rate), %zu entries\n",
+              " misses (%.1f%% hit rate), %zu entries, %zu shards\n",
               ls.hits, ls.misses, HitRate(ls.hits, ls.misses),
-              db.latest_cache().entries());
+              db.latest_cache().entries(), db.latest_cache().shard_count());
 }
 
 int Storage(ode::Database& db) {

@@ -12,7 +12,9 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_dir="${2:-$repo_root}"
 
-suites=(deref delta)
+# Every suite listed here must have been built: a missing binary aborts the
+# whole run (non-zero exit) rather than silently writing a partial result set.
+suites=(deref delta concurrent)
 
 for suite in "${suites[@]}"; do
   bin="$build_dir/bench/bench_$suite"
