@@ -1,12 +1,15 @@
 #ifndef ODE_BENCH_BENCH_COMMON_H_
 #define ODE_BENCH_BENCH_COMMON_H_
 
+#include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "core/database.h"
 #include "storage/env.h"
 #include "util/logging.h"
+#include "util/metrics.h"
 #include "util/random.h"
 
 namespace ode {
@@ -83,7 +86,69 @@ inline void ReportOps(State& state, int64_t ops_per_iteration = 1) {
   state.SetItemsProcessed(state.iterations() * ops_per_iteration);
 }
 
+/// Per-operation latency distribution for a benchmark loop: the caller
+/// times each operation (Start/Stop or Record) and the destructor-free
+/// Report() exports p50/p90/p99/max as benchmark counters, which
+/// tools/run_bench.sh carries into BENCH_*.json.  Mean throughput alone
+/// hides tail effects (a checkpoint stall, a cache-miss burst); the
+/// percentile counters make them visible per suite run.
+class LatencyRecorder {
+ public:
+  void Record(uint64_t nanos) { hist_.Record(nanos); }
+
+  HistogramSnapshot Snapshot() const { return hist_.Snapshot(); }
+
+  /// Copies the distribution into `state.counters` (p50/p90/p99/max, in
+  /// nanoseconds).  Call once after the benchmark loop.
+  template <typename State>
+  void Report(State& state) const {
+    const HistogramSnapshot snap = hist_.Snapshot();
+    state.counters["lat_p50_ns"] = snap.p50;
+    state.counters["lat_p90_ns"] = snap.p90;
+    state.counters["lat_p99_ns"] = snap.p99;
+    state.counters["lat_max_ns"] = static_cast<double>(snap.max);
+  }
+
+ private:
+  Histogram hist_;
+};
+
+// The context helpers need google-benchmark itself; they are compiled only
+// for translation units that already included <benchmark/benchmark.h>
+// (which the suites do before this header), keeping bench_common.h usable
+// from the plain executables in bench/.
+#ifdef BENCHMARK_BENCHMARK_H_
+
+/// Adds run-provenance keys to the benchmark JSON "context" object:
+/// hardware_concurrency (how parallel the host is — interprets the
+/// _Concurrent suites) and git_sha (which commit produced the numbers;
+/// tools/run_bench.sh exports ODE_GIT_SHA).  Must run before
+/// benchmark::Initialize.
+inline void AddStandardContext() {
+  benchmark::AddCustomContext(
+      "hardware_concurrency",
+      std::to_string(std::thread::hardware_concurrency()));
+  const char* sha = std::getenv("ODE_GIT_SHA");
+  benchmark::AddCustomContext("git_sha", sha != nullptr ? sha : "unknown");
+}
+
+#endif  // BENCHMARK_BENCHMARK_H_
+
 }  // namespace bench
 }  // namespace ode
+
+/// Drop-in replacement for BENCHMARK_MAIN() that stamps the standard
+/// context keys into the JSON output first.
+#define ODE_BENCH_MAIN()                                      \
+  int main(int argc, char** argv) {                           \
+    ode::bench::AddStandardContext();                         \
+    benchmark::Initialize(&argc, argv);                       \
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
+      return 1;                                               \
+    }                                                         \
+    benchmark::RunSpecifiedBenchmarks();                      \
+    benchmark::Shutdown();                                    \
+    return 0;                                                 \
+  }
 
 #endif  // ODE_BENCH_BENCH_COMMON_H_

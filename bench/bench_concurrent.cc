@@ -194,6 +194,39 @@ BENCHMARK(BM_Concurrent_Traversal)
     ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
     ->UseRealTime();
 
+// Percentile view of the warm parallel read path.  Each thread keeps its
+// own recorder; the counters average across threads (a sum of percentiles
+// means nothing), so BENCH_concurrent.json shows what a typical reader
+// experienced — including tail inflation from time-slicing on few cores.
+void BM_Concurrent_DerefGeneric_Pct(benchmark::State& state) {
+  if (state.thread_index() == 0) {
+    SetUpShared(PayloadKind::kFull, CacheMode::kWarm);
+  }
+  const int stride = state.thread_index() + 1;
+  int i = state.thread_index() * 7;
+  LatencyRecorder recorder;
+  for (auto _ : state) {
+    const auto& ref = g_shared->reader_refs[(i += stride) % kReaderObjects];
+    const uint64_t t0 = Histogram::NowNanos();
+    auto value = ref.Load();
+    recorder.Record(Histogram::NowNanos() - t0);
+    ODE_CHECK(value.ok());
+    benchmark::DoNotOptimize(value->bytes.data());
+  }
+  ReportOps(state);
+  const HistogramSnapshot snap = recorder.Snapshot();
+  using benchmark::Counter;
+  state.counters["lat_p50_ns"] = Counter(snap.p50, Counter::kAvgThreads);
+  state.counters["lat_p90_ns"] = Counter(snap.p90, Counter::kAvgThreads);
+  state.counters["lat_p99_ns"] = Counter(snap.p99, Counter::kAvgThreads);
+  state.counters["lat_max_ns"] =
+      Counter(static_cast<double>(snap.max), Counter::kAvgThreads);
+  if (state.thread_index() == 0) TearDownShared(state);
+}
+BENCHMARK(BM_Concurrent_DerefGeneric_Pct)
+    ->Threads(1)->Threads(4)
+    ->UseRealTime();
+
 // ---------------------------------------------------------------------------
 // Readers vs. one writer
 // ---------------------------------------------------------------------------
@@ -239,4 +272,4 @@ BENCHMARK(BM_Concurrent_DerefGeneric_WithWriter)
 }  // namespace bench
 }  // namespace ode
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN()

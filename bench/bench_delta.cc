@@ -82,6 +82,28 @@ void BM_Materialize_Keyframe64_Cold(benchmark::State& state) {
 }
 BENCHMARK(BM_Materialize_Keyframe64_Cold)->Arg(2)->Arg(16)->Arg(128);
 
+// Percentile view of cold materialization (the read path with real tail
+// behaviour: chain walks + page misses).  Exports lat_p50/p90/p99/max_ns
+// counters into BENCH_delta.json.
+void BM_Materialize_Pct(benchmark::State& state) {
+  const int chain = static_cast<int>(state.range(0));
+  BenchDb handle =
+      OpenBenchDb(PayloadKind::kDelta, 16, 4096, CacheMode::kCold);
+  const uint32_t type = RawType(*handle);
+  VersionId newest = BuildChain(*handle, type, chain, 16384);
+  LatencyRecorder recorder;
+  for (auto _ : state) {
+    const uint64_t t0 = Histogram::NowNanos();
+    auto bytes = handle->ReadVersion(newest);
+    recorder.Record(Histogram::NowNanos() - t0);
+    ODE_CHECK(bytes.ok());
+    benchmark::DoNotOptimize(bytes->data());
+  }
+  ReportOps(state);
+  recorder.Report(state);
+}
+BENCHMARK(BM_Materialize_Pct)->Arg(16)->Arg(128);
+
 // Full-copy baseline: reads are chain-length independent.
 void BM_Materialize_FullCopy(benchmark::State& state) {
   const int chain = static_cast<int>(state.range(0));
@@ -137,4 +159,4 @@ BENCHMARK(BM_DeltaApply)->Arg(1024)->Arg(16384)->Arg(262144);
 }  // namespace bench
 }  // namespace ode
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN()

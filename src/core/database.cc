@@ -43,15 +43,51 @@ Status DecodeTypeId(const Slice& bytes, uint32_t* id) {
 
 }  // namespace
 
+void Database::CoreMetrics::Attach(MetricsRegistry* registry) {
+  pnew = registry->GetCounter("core.pnew");
+  newversion = registry->GetCounter("core.newversion");
+  update = registry->GetCounter("core.update");
+  delete_version = registry->GetCounter("core.delete_version");
+  delete_object = registry->GetCounter("core.delete_object");
+  materializations = registry->GetCounter("core.materializations");
+  delta_applications = registry->GetCounter("core.delta_applications");
+  full_payloads_written = registry->GetCounter("core.full_payloads_written");
+  delta_payloads_written = registry->GetCounter("core.delta_payloads_written");
+  full_bytes_written = registry->GetCounter("core.full_bytes_written");
+  delta_bytes_written = registry->GetCounter("core.delta_bytes_written");
+  deref_latest_ns = registry->GetHistogram("core.deref_latest_ns");
+  deref_version_ns = registry->GetHistogram("core.deref_version_ns");
+  materialize_ns = registry->GetHistogram("core.materialize_ns");
+  payload_cache_hits = registry->GetCounter("payload_cache.hits");
+  payload_cache_misses = registry->GetCounter("payload_cache.misses");
+  latest_cache_hits = registry->GetCounter("latest_cache.hits");
+  latest_cache_misses = registry->GetCounter("latest_cache.misses");
+}
+
 StatusOr<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = options;
+  if (options.metrics != nullptr) {
+    db->registry_ = options.metrics;
+  } else {
+    db->owned_registry_ = std::make_unique<MetricsRegistry>();
+    db->registry_ = db->owned_registry_.get();
+  }
+  db->metrics_.Attach(db->registry_);
+  db->deref_sampler_ = Sampler(options.metrics_sample_every);
+  db->tracer_ = std::make_unique<Tracer>(options.trace_buffer_events);
+  db->tracer_->set_sample_every(options.trace_sample_every);
   db->payload_cache_ = std::make_unique<VersionPayloadCache>(
       options.payload_cache_bytes, options.payload_cache_shards);
   db->latest_cache_ = std::make_unique<LatestVersionCache>(
       options.latest_cache_entries, options.latest_cache_shards);
-  auto engine = StorageEngine::Open(options.storage);
+  // The storage engine records into the same registry and tracer unless the
+  // caller explicitly routed it elsewhere.
+  StorageOptions storage = options.storage;
+  if (storage.metrics == nullptr) storage.metrics = db->registry_;
+  if (storage.tracer == nullptr) storage.tracer = db->tracer_.get();
+  auto engine = StorageEngine::Open(storage);
   if (!engine.ok()) return engine.status();
   db->engine_ = std::move(*engine);
   // Materialize the four catalog trees so their root slots are claimed
@@ -243,7 +279,9 @@ Status Database::Materialize(PageIO& io, ObjectId oid, const VersionMeta& meta,
       return Status::OK();
     }
   }
-  read_stats_.materializations.fetch_add(1, std::memory_order_relaxed);
+  TraceSpan span(tracer_.get(), "core.materialize", "core");
+  ScopedLatency timer(metrics_.materialize_ns);
+  metrics_.materializations->Increment();
   if (meta.kind == PayloadKind::kFull) {
     auto bytes = engine_->heap().Read(&io, meta.payload);
     if (!bytes.ok()) return bytes.status();
@@ -288,7 +326,7 @@ Status Database::Materialize(PageIO& io, ObjectId oid, const VersionMeta& meta,
     auto applied = delta::Apply(Slice(acc), Slice(*delta_bytes));
     if (!applied.ok()) return applied.status();
     acc = std::move(*applied);
-    read_stats_.delta_applications.fetch_add(1, std::memory_order_relaxed);
+    metrics_.delta_applications->Increment();
     if (use_cache && options_.cache_chain_intermediates &&
         std::next(it) != chain.rend()) {
       payload_cache_->Insert(VersionId{oid, it->vnum}, acc);
@@ -321,8 +359,8 @@ Status Database::StorePayload(Txn& txn, ObjectId oid, VersionMeta* meta,
         meta->kind = PayloadKind::kDelta;
         meta->delta_base = meta->derived_from;
         meta->delta_chain_len = base.delta_chain_len + 1;
-        ++stats_.delta_payloads_written;
-        stats_.delta_bytes_written += encoded.size();
+        metrics_.delta_payloads_written->Increment();
+        metrics_.delta_bytes_written->Add(encoded.size());
         return Status::OK();
       }
     }
@@ -333,8 +371,8 @@ Status Database::StorePayload(Txn& txn, ObjectId oid, VersionMeta* meta,
   meta->kind = PayloadKind::kFull;
   meta->delta_base = kNoVersion;
   meta->delta_chain_len = 0;
-  ++stats_.full_payloads_written;
-  stats_.full_bytes_written += payload.size();
+  metrics_.full_payloads_written->Increment();
+  metrics_.full_bytes_written->Add(payload.size());
   return Status::OK();
 }
 
@@ -350,8 +388,8 @@ Status Database::StoreCopyOfBase(Txn& txn, ObjectId oid,
     meta->kind = PayloadKind::kDelta;
     meta->delta_base = base.vnum;
     meta->delta_chain_len = base.delta_chain_len + 1;
-    ++stats_.delta_payloads_written;
-    stats_.delta_bytes_written += encoded.size();
+    metrics_.delta_payloads_written->Increment();
+    metrics_.delta_bytes_written->Add(encoded.size());
     return Status::OK();
   }
   std::string bytes;
@@ -362,8 +400,8 @@ Status Database::StoreCopyOfBase(Txn& txn, ObjectId oid,
   meta->kind = PayloadKind::kFull;
   meta->delta_base = kNoVersion;
   meta->delta_chain_len = 0;
-  ++stats_.full_payloads_written;
-  stats_.full_bytes_written += bytes.size();
+  metrics_.full_payloads_written->Increment();
+  metrics_.full_bytes_written->Add(bytes.size());
   return Status::OK();
 }
 
@@ -398,8 +436,8 @@ Status Database::RematerializeDeltaChildren(Txn& txn, VersionId vid) {
     child.kind = PayloadKind::kFull;
     child.delta_base = kNoVersion;
     child.delta_chain_len = 0;
-    ++stats_.full_payloads_written;
-    stats_.full_bytes_written += bytes.size();
+    metrics_.full_payloads_written->Increment();
+    metrics_.full_bytes_written->Add(bytes.size());
     ODE_RETURN_IF_ERROR(PutMeta(txn, VersionId{vid.oid, child.vnum}, child));
     // The child became a keyframe: its delta descendants now sit on a
     // shorter chain; propagate the corrected lengths.
@@ -443,6 +481,7 @@ Status Database::RecomputeChainLengths(Txn& txn, VersionId base,
 
 Status Database::DoPnew(Txn& txn, uint32_t type_id, const Slice& payload,
                         VersionId* out) {
+  TraceSpan span(tracer_.get(), "core.pnew", "core");
   auto ts = NextTimestamp(txn);
   if (!ts.ok()) return ts.status();
   auto oid = AllocateOid(txn);
@@ -470,7 +509,7 @@ Status Database::DoPnew(Txn& txn, uint32_t type_id, const Slice& payload,
   }
   *out = VersionId{*oid, kFirstVersion};
   latest_cache_->Insert(*oid, kFirstVersion);
-  ++stats_.pnew_count;
+  metrics_.pnew->Increment();
   FireTriggers(TriggerInfo{TriggerEvent::kPnew, *out, type_id, VersionId{}});
   return Status::OK();
 }
@@ -487,6 +526,7 @@ StatusOr<VersionId> Database::PnewRaw(uint32_t type_id, const Slice& payload) {
 Status Database::DoNewVersion(Txn& txn, ObjectId oid,
                               std::optional<VersionNum> base_vnum,
                               VersionId* out) {
+  TraceSpan span(tracer_.get(), "core.newversion", "core");
   ObjectHeader header;
   ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
   const VersionNum base = base_vnum.value_or(header.latest);
@@ -512,7 +552,7 @@ Status Database::DoNewVersion(Txn& txn, ObjectId oid,
   // The new version is the new latest; keep the resolution cache exact
   // (epoch-tagged, so an abort discards it) before triggers can re-read.
   latest_cache_->Insert(oid, meta.vnum);
-  ++stats_.newversion_count;
+  metrics_.newversion->Increment();
   FireTriggers(TriggerInfo{TriggerEvent::kNewVersion, *out, header.type_id,
                            VersionId{oid, base}});
   return Status::OK();
@@ -547,7 +587,7 @@ StatusOr<VersionId> Database::NewDetachedVersion(ObjectId oid,
     ODE_RETURN_IF_ERROR(PutHeader(txn, oid, header));
     result = VersionId{oid, meta.vnum};
     latest_cache_->Insert(oid, meta.vnum);
-    ++stats_.newversion_count;
+    metrics_.newversion->Increment();
     FireTriggers(TriggerInfo{TriggerEvent::kNewVersion, result,
                              header.type_id, VersionId{}});
     return Status::OK();
@@ -566,6 +606,7 @@ StatusOr<VersionId> Database::NewVersionFrom(VersionId vid) {
 }
 
 Status Database::DoUpdate(Txn& txn, VersionId vid, const Slice& payload) {
+  TraceSpan span(tracer_.get(), "core.update", "core");
   VersionMeta meta;
   ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
   ObjectHeader header;
@@ -582,7 +623,7 @@ Status Database::DoUpdate(Txn& txn, VersionId vid, const Slice& payload) {
   // The cached materialization is stale now.  (Delta children keep their
   // entries: they were pinned down as full payloads above, byte-identical.)
   payload_cache_->Erase(vid);
-  ++stats_.update_count;
+  metrics_.update->Increment();
   FireTriggers(
       TriggerInfo{TriggerEvent::kUpdate, vid, header.type_id, VersionId{}});
   return Status::OK();
@@ -602,6 +643,15 @@ Status Database::UpdateLatest(ObjectId oid, const Slice& payload) {
 
 StatusOr<std::string> Database::ReadVersion(VersionId vid) {
   std::string result;
+  // Overhead budget: the warm cache-hit path below pays one thread-local
+  // sampler tick and two register-value tests; the clock reads and the
+  // tracer load happen only on the sampled 1-in-N iterations.  Deref trace
+  // spans therefore ride the metrics sampler's decision (odedump trace
+  // opens with both knobs at 1).
+  const bool sampled = deref_sampler_.Tick();
+  ScopedLatency timer(sampled ? metrics_.deref_version_ns : nullptr);
+  TraceSpan span(sampled ? tracer_.get() : nullptr, "core.deref_version",
+                 "core");
   // Hot path: a resident payload needs no transaction and no catalog lookup.
   // Safe even inside an open transaction: mutators invalidate immediately,
   // so residency implies the entry reflects the current (possibly
@@ -622,6 +672,11 @@ StatusOr<std::string> Database::ReadVersion(VersionId vid) {
 
 StatusOr<std::string> Database::ReadLatest(ObjectId oid, VersionId* resolved) {
   std::string result;
+  // Sampled latency + trace span; see ReadVersion for the overhead budget.
+  const bool sampled = deref_sampler_.Tick();
+  ScopedLatency timer(sampled ? metrics_.deref_latest_ns : nullptr);
+  TraceSpan span(sampled ? tracer_.get() : nullptr, "core.deref_latest",
+                 "core");
   // Hot path for the generic (late-bound) dereference: resolve oid -> latest
   // through the resolution cache, then the payload through the payload cache;
   // a double hit touches neither the catalog nor the heap.
@@ -659,6 +714,7 @@ StatusOr<std::string> Database::ReadLatest(ObjectId oid, VersionId* resolved) {
 }
 
 Status Database::DoDeleteVersion(Txn& txn, VersionId vid) {
+  TraceSpan span(tracer_.get(), "core.delete_version", "core");
   VersionMeta meta;
   ODE_RETURN_IF_ERROR(GetMeta(txn, vid, &meta));
   ObjectHeader header;
@@ -698,7 +754,7 @@ Status Database::DoDeleteVersion(Txn& txn, VersionId vid) {
   payload_cache_->Erase(vid);
 
   header.version_count -= 1;
-  ++stats_.delete_version_count;
+  metrics_.delete_version->Increment();
   if (header.version_count == 0) {
     // Last version gone: the object itself disappears.
     auto objects = BTree::Open(&txn, kObjectsTreeSlot);
@@ -709,7 +765,7 @@ Status Database::DoDeleteVersion(Txn& txn, VersionId vid) {
     ODE_RETURN_IF_ERROR(clusters->Delete(ClusterKey(header.type_id, vid.oid)));
     payload_cache_->EraseObject(vid.oid);
     latest_cache_->Erase(vid.oid);
-    ++stats_.delete_object_count;
+    metrics_.delete_object->Increment();
     FireTriggers(TriggerInfo{TriggerEvent::kDeleteVersion, vid, header.type_id,
                              VersionId{}});
     FireTriggers(TriggerInfo{TriggerEvent::kDeleteObject,
@@ -745,6 +801,7 @@ Status Database::PdeleteVersion(VersionId vid) {
 }
 
 Status Database::DoDeleteObject(Txn& txn, ObjectId oid) {
+  TraceSpan span(tracer_.get(), "core.delete_object", "core");
   ObjectHeader header;
   ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
 
@@ -779,8 +836,8 @@ Status Database::DoDeleteObject(Txn& txn, ObjectId oid) {
   }
   payload_cache_->EraseObject(oid);
   latest_cache_->Erase(oid);
-  stats_.delete_version_count += metas.size();
-  ++stats_.delete_object_count;
+  metrics_.delete_version->Add(metas.size());
+  metrics_.delete_object->Increment();
   FireTriggers(TriggerInfo{TriggerEvent::kDeleteObject,
                            VersionId{oid, kNoVersion}, header.type_id,
                            VersionId{}});
@@ -1159,24 +1216,57 @@ StatusOr<Database::StorageStats> Database::GatherStorageStats() {
 // ---------------------------------------------------------------------------
 
 VersionStats Database::stats() const {
-  // Write counters are plain fields (mutators are single-threaded);
-  // materialization counters live in atomics so reader threads can bump
-  // them without a lock; the cache hit/miss counters come straight from the
-  // caches' own per-shard counters (nothing extra on the cache-hit fast
-  // path).  The payload numbers therefore count every probe, including
-  // delta-chain ancestor probes inside Materialize.
-  VersionStats snapshot = stats_;
-  snapshot.materializations =
-      read_stats_.materializations.load(std::memory_order_relaxed);
-  snapshot.delta_applications =
-      read_stats_.delta_applications.load(std::memory_order_relaxed);
+  // Compatibility view over the registry's instruments.  The cache hit/miss
+  // counters come straight from the caches' own per-shard counters (nothing
+  // extra on the cache-hit fast path).  The payload numbers therefore count
+  // every probe, including delta-chain ancestor probes inside Materialize.
+  VersionStats snapshot;
+  snapshot.pnew_count = metrics_.pnew->value();
+  snapshot.newversion_count = metrics_.newversion->value();
+  snapshot.update_count = metrics_.update->value();
+  snapshot.delete_version_count = metrics_.delete_version->value();
+  snapshot.delete_object_count = metrics_.delete_object->value();
+  snapshot.materializations = metrics_.materializations->value();
+  snapshot.delta_applications = metrics_.delta_applications->value();
+  snapshot.full_payloads_written = metrics_.full_payloads_written->value();
+  snapshot.delta_payloads_written = metrics_.delta_payloads_written->value();
+  snapshot.full_bytes_written = metrics_.full_bytes_written->value();
+  snapshot.delta_bytes_written = metrics_.delta_bytes_written->value();
   const PayloadCacheStats payload = payload_cache_->stats();
   snapshot.payload_cache_hits = payload.hits;
   snapshot.payload_cache_misses = payload.misses;
   const PayloadCacheStats latest = latest_cache_->stats();
   snapshot.latest_cache_hits = latest.hits;
   snapshot.latest_cache_misses = latest.misses;
+  const StorageMetrics* storage = engine_->metrics();
+  snapshot.wal_appends = storage->wal_appends->value();
+  snapshot.wal_fsyncs = storage->wal_fsyncs->value();
+  snapshot.buffer_pool_evictions = engine_->cache_stats().evictions;
+  snapshot.txn_commits = storage->txn_commits->value();
+  snapshot.txn_aborts = storage->txn_aborts->value();
   return snapshot;
+}
+
+void Database::RefreshMetricMirrors() const {
+  const PayloadCacheStats payload = payload_cache_->stats();
+  metrics_.payload_cache_hits->Set(payload.hits);
+  metrics_.payload_cache_misses->Set(payload.misses);
+  const PayloadCacheStats latest = latest_cache_->stats();
+  metrics_.latest_cache_hits->Set(latest.hits);
+  metrics_.latest_cache_misses->Set(latest.misses);
+  const BufferPoolStats pool = engine_->cache_stats();
+  StorageMetrics* storage = engine_->metrics();
+  storage->pool_hits->Set(pool.hits);
+  storage->pool_misses->Set(pool.misses);
+  storage->pool_evictions->Set(pool.evictions);
+  storage->pool_flushes->Set(pool.flushes);
+  storage->pool_resident_pages->Set(
+      static_cast<int64_t>(engine_->buffer_pool().resident_pages()));
+}
+
+MetricsRegistry::Snapshot Database::MetricsSnapshot() const {
+  RefreshMetricMirrors();
+  return registry_->SnapshotAll();
 }
 
 // ---------------------------------------------------------------------------

@@ -18,8 +18,10 @@
 #include "core/payload_cache.h"
 #include "storage/storage_engine.h"
 #include "util/clock.h"
+#include "util/metrics.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/trace.h"
 
 namespace ode {
 
@@ -64,6 +66,26 @@ struct DatabaseOptions {
   /// shard for small budgets, scales to 16 for the defaults).
   size_t payload_cache_shards = 0;
   size_t latest_cache_shards = 0;
+
+  /// Registry every instrument of this database (and its storage engine)
+  /// records into.  nullptr means the database owns a PRIVATE registry —
+  /// the default, because several databases commonly coexist in one process
+  /// and their counters must not bleed into each other.  Pass
+  /// &MetricsRegistry::Default() to aggregate process-wide instead.
+  MetricsRegistry* metrics = nullptr;
+
+  /// Record one in N warm-dereference latencies into the core.deref_*_ns
+  /// histograms (power of two; 0 disables them).  Sampling keeps the warm
+  /// cache-hit path free of clock reads: the unsampled iteration costs one
+  /// thread-local countdown tick.
+  uint32_t metrics_sample_every = 64;
+
+  /// Per-thread trace ring-buffer capacity, in events.
+  size_t trace_buffer_events = 8192;
+
+  /// Record one in N trace spans (0 = tracing off, 1 = every span).  Can be
+  /// changed at run time via Database::tracer().set_sample_every().
+  uint32_t trace_sample_every = 0;
 };
 
 /// Events a trigger can watch.  The paper deliberately provides *no* built-in
@@ -93,8 +115,10 @@ struct TriggerInfo {
 using TriggerFn = std::function<void(Database&, const TriggerInfo&)>;
 
 /// Session counters for the version store (not persisted).  Returned by
-/// value from Database::stats() as a coherent snapshot: the read-path fields
-/// are maintained as atomics internally because reads run concurrently.
+/// value from Database::stats() as a coherent snapshot.  This is a
+/// compatibility view assembled from the database's MetricsRegistry (see
+/// Database::MetricsSnapshot() for the full instrument set, including
+/// latency histograms).
 struct VersionStats {
   uint64_t pnew_count = 0;
   uint64_t newversion_count = 0;
@@ -113,6 +137,12 @@ struct VersionStats {
   uint64_t payload_cache_misses = 0;
   uint64_t latest_cache_hits = 0;
   uint64_t latest_cache_misses = 0;
+  /// Storage-layer counters (from the engine's instruments).
+  uint64_t wal_appends = 0;
+  uint64_t wal_fsyncs = 0;
+  uint64_t buffer_pool_evictions = 0;
+  uint64_t txn_commits = 0;  ///< Engine commits, incl. internal bootstrap.
+  uint64_t txn_aborts = 0;
 };
 
 /// The Ode object-versioning database: the paper's model (§3) and constructs
@@ -339,6 +369,20 @@ class Database {
 
   /// Coherent snapshot of the session counters.  Thread-safe.
   VersionStats stats() const;
+
+  /// The registry all this database's instruments live in (the one from
+  /// DatabaseOptions::metrics, or the database-private default).
+  MetricsRegistry& metrics_registry() const { return *registry_; }
+
+  /// Snapshot of every instrument, with the cache and buffer-pool counters
+  /// (which are maintained per-shard for hot-path cheapness) mirrored into
+  /// the registry first.  Thread-safe.
+  MetricsRegistry::Snapshot MetricsSnapshot() const;
+
+  /// The database's event tracer (always present; records nothing until
+  /// sampling is enabled via options or set_sample_every).
+  Tracer& tracer() const { return *tracer_; }
+
   StorageEngine& storage() { return *engine_; }
   const DatabaseOptions& options() const { return options_; }
 
@@ -416,7 +460,47 @@ class Database {
 
   void FireTriggers(const TriggerInfo& info);
 
+  /// Pre-resolved core-layer instruments (looked up once at Open; recording
+  /// through the pointers is lock-free).  Cache hit/miss counts are NOT
+  /// recorded here on the hot path: stats()/MetricsSnapshot() read them from
+  /// the caches' per-shard counters and mirror them into the mirror
+  /// instruments, keeping the cache-hit fast path free of extra atomics.
+  struct CoreMetrics {
+    Counter* pnew = nullptr;
+    Counter* newversion = nullptr;
+    Counter* update = nullptr;
+    Counter* delete_version = nullptr;
+    Counter* delete_object = nullptr;
+    Counter* materializations = nullptr;
+    Counter* delta_applications = nullptr;
+    Counter* full_payloads_written = nullptr;
+    Counter* delta_payloads_written = nullptr;
+    Counter* full_bytes_written = nullptr;
+    Counter* delta_bytes_written = nullptr;
+    Histogram* deref_latest_ns = nullptr;   ///< Sampled generic dereference.
+    Histogram* deref_version_ns = nullptr;  ///< Sampled specific dereference.
+    Histogram* materialize_ns = nullptr;
+    // Snapshot-time mirrors of the caches' per-shard counters.
+    Counter* payload_cache_hits = nullptr;
+    Counter* payload_cache_misses = nullptr;
+    Counter* latest_cache_hits = nullptr;
+    Counter* latest_cache_misses = nullptr;
+    void Attach(MetricsRegistry* registry);
+  };
+
+  /// Mirrors cache/buffer-pool counters into the registry (before a
+  /// snapshot).
+  void RefreshMetricMirrors() const;
+
   DatabaseOptions options_;
+  // Declared before engine_: ~StorageEngine runs a final checkpoint that
+  // records into these, so they must outlive it.
+  /// Fallback registry when DatabaseOptions::metrics is null.
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  MetricsRegistry* registry_ = nullptr;
+  CoreMetrics metrics_;
+  std::unique_ptr<Tracer> tracer_;
+  Sampler deref_sampler_{64};
   std::unique_ptr<StorageEngine> engine_;
   Txn* txn_ = nullptr;  // User-opened transaction, if any (writer thread).
   /// Whatever write transaction is in flight right now, plus the thread that
@@ -426,18 +510,6 @@ class Database {
   /// also sees the right owner.
   std::atomic<Txn*> active_txn_{nullptr};
   std::atomic<std::thread::id> active_txn_owner_{};
-  /// Write-path counters (single writer, plain fields); the read-path fields
-  /// of this copy stay zero — see read_stats_.
-  VersionStats stats_;
-  /// Read-path counters, updated by concurrent readers.  Cache hit/miss
-  /// counts are NOT duplicated here: stats() reads them from the caches'
-  /// per-shard counters, keeping the cache-hit fast path free of atomic
-  /// read-modify-writes.
-  struct ReadStats {
-    std::atomic<uint64_t> materializations{0};
-    std::atomic<uint64_t> delta_applications{0};
-  };
-  mutable ReadStats read_stats_;
   std::unique_ptr<VersionPayloadCache> payload_cache_;
   std::unique_ptr<LatestVersionCache> latest_cache_;
 

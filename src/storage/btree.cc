@@ -4,6 +4,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "storage/storage_metrics.h"
 #include "util/coding.h"
 
 namespace ode {
@@ -225,6 +226,10 @@ StatusOr<BTree> BTree::Open(PageIO* io, int root_slot) {
 }
 
 Status BTree::DescendToLeaf(const Slice& key, std::vector<PageId>* path) {
+  StorageMetrics* metrics = io_->metrics();
+  ScopedLatency timer(metrics != nullptr ? metrics->btree_descend_ns
+                                         : nullptr);
+  if (metrics != nullptr) metrics->btree_descents->Increment();
   path->clear();
   PageId current = root_;
   for (int depth = 0; depth < 64; ++depth) {

@@ -5,6 +5,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "storage/storage_metrics.h"
 #include "util/logging.h"
 
 namespace ode {
@@ -116,10 +117,15 @@ StatusOr<PageHandle> BufferPool::Fetch(PageId id) {
   Frame& frame = ins_it->second;
   frame.id = id;
   frame.data = std::make_unique<char[]>(kPageSize);
-  if (Status s = disk_->ReadPage(id, frame.data.get()); !s.ok()) {
-    shard.frames.erase(ins_it);
-    return s;
+  {
+    ScopedLatency timer(metrics_ != nullptr ? metrics_->page_read_ns
+                                            : nullptr);
+    if (Status s = disk_->ReadPage(id, frame.data.get()); !s.ok()) {
+      shard.frames.erase(ins_it);
+      return s;
+    }
   }
+  if (metrics_ != nullptr) metrics_->page_reads->Increment();
   frame.pin_count.store(1, std::memory_order_relaxed);
   TouchLru(shard, &frame);
   return PageHandle(this, &frame, id);
@@ -185,7 +191,12 @@ Status BufferPool::FlushAll() {
     std::lock_guard<std::mutex> lock(shard.mu);
     for (auto& [id, frame] : shard.frames) {
       if (frame.dirty) {
-        ODE_RETURN_IF_ERROR(disk_->WritePage(id, frame.data.get()));
+        {
+          ScopedLatency timer(metrics_ != nullptr ? metrics_->page_write_ns
+                                                  : nullptr);
+          ODE_RETURN_IF_ERROR(disk_->WritePage(id, frame.data.get()));
+        }
+        if (metrics_ != nullptr) metrics_->page_writes->Increment();
         frame.dirty = false;
         ++shard.stats.flushes;
       }

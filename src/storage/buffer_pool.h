@@ -17,6 +17,7 @@
 namespace ode {
 
 class BufferPool;
+struct StorageMetrics;
 
 /// RAII pin on a cached page frame.
 ///
@@ -154,6 +155,12 @@ class BufferPool {
 
   void set_pre_dirty_hook(PreDirtyHook hook) { pre_dirty_hook_ = std::move(hook); }
 
+  /// Attaches the owning engine's instrument bundle: disk reads on misses
+  /// and checkpoint writes get counted and timed.  The hit/miss/eviction
+  /// counters stay per-shard (see stats()) and are mirrored into the
+  /// registry only at snapshot time, keeping Fetch free of extra atomics.
+  void set_metrics(StorageMetrics* metrics) { metrics_ = metrics; }
+
   /// Coherent snapshot of the cumulative counters.  Thread-safe.
   BufferPoolStats stats() const;
   /// Total resident frames across all shards.  Thread-safe.
@@ -182,6 +189,7 @@ class BufferPool {
   std::vector<PageId> epoch_dirty_list_;
   bool in_epoch_ = false;
   PreDirtyHook pre_dirty_hook_;
+  StorageMetrics* metrics_ = nullptr;
 };
 
 }  // namespace ode

@@ -10,6 +10,8 @@
 
 namespace ode {
 
+struct StorageMetrics;
+
 /// The capability surface data structures (heap file, B+tree) use to touch
 /// pages.  Implemented by StorageEngine's transaction object, so every page
 /// access automatically participates in dirty tracking, undo capture, and
@@ -17,6 +19,11 @@ namespace ode {
 class PageIO {
  public:
   virtual ~PageIO() = default;
+
+  /// The storage layer's instrument bundle, letting data structures (BTree)
+  /// time their own operations.  nullptr when the backing store records no
+  /// metrics (the default for ad-hoc PageIO implementations in tests).
+  virtual StorageMetrics* metrics() { return nullptr; }
 
   /// Pins a page.
   virtual StatusOr<PageHandle> Fetch(PageId id) = 0;

@@ -122,6 +122,11 @@ StatusOr<uint32_t> Txn::PageCount() {
   return ConstSuperblockView(super->data()).page_count();
 }
 
+StorageMetrics* Txn::metrics() {
+  // engine_ is null until the first Begin binds this Txn to its engine.
+  return engine_ != nullptr ? &engine_->metrics_ : nullptr;
+}
+
 // ---------------------------------------------------------------------------
 // ReadTxn
 // ---------------------------------------------------------------------------
@@ -170,6 +175,8 @@ StatusOr<uint32_t> ReadTxn::PageCount() {
   return ConstSuperblockView(super->data()).page_count();
 }
 
+StorageMetrics* ReadTxn::metrics() { return &engine_->metrics_; }
+
 // ---------------------------------------------------------------------------
 // StorageEngine
 // ---------------------------------------------------------------------------
@@ -182,6 +189,15 @@ StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
   engine->options_.env = env;
   ODE_RETURN_IF_ERROR(env->CreateDir(options.path));
 
+  // Resolve instruments first so everything below (including recovery and
+  // the superblock bootstrap transaction) records into them.
+  MetricsRegistry* registry = options.metrics;
+  if (registry == nullptr) {
+    engine->owned_registry_ = std::make_unique<MetricsRegistry>();
+    registry = engine->owned_registry_.get();
+  }
+  engine->metrics_.Attach(registry, options.tracer);
+
   {
     auto disk = DiskManager::Open(env, options.path + "/data.odb");
     if (!disk.ok()) return disk.status();
@@ -191,6 +207,7 @@ StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     auto wal = Wal::Open(env, options.path + "/wal.log");
     if (!wal.ok()) return wal.status();
     engine->wal_ = std::move(*wal);
+    engine->wal_->set_metrics(&engine->metrics_);
   }
 
   // Redo recovery, then drop the now-applied log.
@@ -205,6 +222,7 @@ StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
   engine->pool_ = std::make_unique<BufferPool>(engine->disk_.get(),
                                                options.buffer_pool_pages,
                                                options.buffer_pool_shards);
+  engine->pool_->set_metrics(&engine->metrics_);
   StorageEngine* raw = engine.get();
   engine->pool_->set_pre_dirty_hook(
       [raw](PageId id, const char* data, bool was_dirty) {
@@ -253,6 +271,7 @@ StatusOr<Txn*> StorageEngine::Begin() {
   txn_.undo_.clear();
   txn_open_ = true;
   pool_->BeginEpoch();
+  metrics_.txn_begins->Increment();
   return &txn_;
 }
 
@@ -260,37 +279,44 @@ Status StorageEngine::Commit(Txn* txn) {
   if (!txn_open_ || txn != &txn_ || !txn->active_) {
     return Status::FailedPrecondition("no such open transaction");
   }
-  const auto& dirtied = pool_->EpochDirtyPages();
-  if (!dirtied.empty()) {
-    // If any step of making the transaction durable fails, roll it back so
-    // the in-memory state matches what recovery would reconstruct (the
-    // commit record never became durable).
-    Status s = [&]() -> Status {
-      ODE_RETURN_IF_ERROR(wal_->AppendBegin(txn->id_));
-      for (PageId pid : dirtied) {
-        auto handle = pool_->Fetch(pid);
-        if (!handle.ok()) return handle.status();
-        ODE_RETURN_IF_ERROR(
-            wal_->AppendPageImage(txn->id_, pid, handle->data()));
+  {
+    // The timing scope ends before the auto-checkpoint below, so
+    // txn.commit_ns measures only the durable-commit path.
+    TraceSpan span(metrics_.tracer, "txn.commit", "storage");
+    ScopedLatency timer(metrics_.txn_commit_ns);
+    const auto& dirtied = pool_->EpochDirtyPages();
+    if (!dirtied.empty()) {
+      // If any step of making the transaction durable fails, roll it back so
+      // the in-memory state matches what recovery would reconstruct (the
+      // commit record never became durable).
+      Status s = [&]() -> Status {
+        ODE_RETURN_IF_ERROR(wal_->AppendBegin(txn->id_));
+        for (PageId pid : dirtied) {
+          auto handle = pool_->Fetch(pid);
+          if (!handle.ok()) return handle.status();
+          ODE_RETURN_IF_ERROR(
+              wal_->AppendPageImage(txn->id_, pid, handle->data()));
+        }
+        ODE_RETURN_IF_ERROR(wal_->AppendCommit(txn->id_));
+        return wal_->Sync();
+      }();
+      if (!s.ok()) {
+        // Abort closes the transaction and releases the exclusive lock.
+        Status abort_status = Abort(txn);
+        if (!abort_status.ok()) {
+          ODE_LOG_ERROR << "abort after failed commit also failed: "
+                        << abort_status;
+        }
+        return s;
       }
-      ODE_RETURN_IF_ERROR(wal_->AppendCommit(txn->id_));
-      return wal_->Sync();
-    }();
-    if (!s.ok()) {
-      // Abort closes the transaction and releases the exclusive lock.
-      Status abort_status = Abort(txn);
-      if (!abort_status.ok()) {
-        ODE_LOG_ERROR << "abort after failed commit also failed: "
-                      << abort_status;
-      }
-      return s;
     }
+    pool_->CommitEpoch();
+    txn->active_ = false;
+    txn_open_ = false;
+    ++commit_count_;
+    metrics_.txn_commits->Increment();
+    rw_mutex_.unlock();
   }
-  pool_->CommitEpoch();
-  txn->active_ = false;
-  txn_open_ = false;
-  ++commit_count_;
-  rw_mutex_.unlock();
 
   // The auto-checkpoint runs outside the transaction's exclusive section;
   // Checkpoint re-acquires the lock itself.
@@ -314,6 +340,7 @@ Status StorageEngine::Abort(Txn* txn) {
   txn->undo_.clear();
   txn_open_ = false;
   heap_.InvalidateCache();
+  metrics_.txn_aborts->Increment();
   rw_mutex_.unlock();
   return restore_status;
 }
@@ -340,7 +367,15 @@ Status StorageEngine::WithReadTxn(const std::function<Status(ReadTxn&)>& body) {
     // protects us.
     return body(txn);
   }
-  std::shared_lock<std::shared_mutex> lock(rw_mutex_);
+  // Only a *contended* acquisition pays for clock reads and a histogram
+  // record; the uncontended fast path costs just the try_lock.  The
+  // histogram's count is therefore "number of contended acquisitions".
+  std::shared_lock<std::shared_mutex> lock(rw_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    const uint64_t t0 = Histogram::NowNanos();
+    lock.lock();
+    metrics_.read_lock_wait_ns->Record(Histogram::NowNanos() - t0);
+  }
   tls_read_locked_engines.push_back(this);
   Status s = body(txn);
   tls_read_locked_engines.pop_back();
@@ -351,11 +386,14 @@ Status StorageEngine::Checkpoint() {
   if (txn_open_) {
     return Status::FailedPrecondition("cannot checkpoint mid-transaction");
   }
+  TraceSpan span(metrics_.tracer, "storage.checkpoint", "storage");
+  ScopedLatency timer(metrics_.checkpoint_ns);
   std::unique_lock<std::shared_mutex> lock(rw_mutex_);
   ODE_RETURN_IF_ERROR(pool_->FlushAll());
   ODE_RETURN_IF_ERROR(wal_->Truncate());
   wal_bytes_at_truncate_ = wal_->bytes_appended();
   ++checkpoint_count_;
+  metrics_.checkpoints->Increment();
   return Status::OK();
 }
 

@@ -13,6 +13,7 @@
 #include "storage/env.h"
 #include "storage/heap_file.h"
 #include "storage/page_io.h"
+#include "storage/storage_metrics.h"
 #include "storage/wal.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -34,6 +35,13 @@ struct StorageOptions {
   size_t buffer_pool_shards = 0;
   /// Automatic checkpoint once the WAL exceeds this many bytes.
   uint64_t checkpoint_wal_bytes = 8ull << 20;
+  /// Registry the engine records its instruments into; nullptr means the
+  /// engine owns a private registry (instruments always exist either way,
+  /// so hot paths never null-check individual counters).
+  MetricsRegistry* metrics = nullptr;
+  /// Event tracer for storage spans (commit, fsync, checkpoint); nullptr
+  /// disables span recording entirely.
+  Tracer* tracer = nullptr;
 };
 
 /// One open (single-writer) transaction.
@@ -53,6 +61,7 @@ class Txn : public PageIO {
   StatusOr<uint64_t> GetCounter(int idx) override;
   Status SetCounter(int idx, uint64_t value) override;
   StatusOr<uint32_t> PageCount() override;
+  StorageMetrics* metrics() override;
 
   uint64_t id() const { return id_; }
 
@@ -91,6 +100,7 @@ class ReadTxn : public PageIO {
   StatusOr<uint64_t> GetCounter(int idx) override;
   Status SetCounter(int idx, uint64_t value) override;
   StatusOr<uint32_t> PageCount() override;
+  StorageMetrics* metrics() override;
 
  private:
   friend class StorageEngine;
@@ -163,6 +173,10 @@ class StorageEngine {
   uint64_t checkpoint_count() const { return checkpoint_count_; }
   BufferPool& buffer_pool() { return *pool_; }
 
+  /// The engine's resolved instrument bundle (always valid — backed by
+  /// StorageOptions::metrics or an engine-private registry).
+  StorageMetrics* metrics() { return &metrics_; }
+
  private:
   friend class Txn;
   friend class ReadTxn;
@@ -172,6 +186,9 @@ class StorageEngine {
   Status InitSuperblockIfNeeded();
 
   StorageOptions options_;
+  /// Fallback registry when StorageOptions::metrics is null.
+  std::unique_ptr<MetricsRegistry> owned_registry_;
+  StorageMetrics metrics_;
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> pool_;

@@ -1,0 +1,87 @@
+#ifndef ODE_STORAGE_STORAGE_METRICS_H_
+#define ODE_STORAGE_STORAGE_METRICS_H_
+
+#include "util/metrics.h"
+#include "util/trace.h"
+
+namespace ode {
+
+/// Pre-resolved instrument handles for the storage layer, looked up once at
+/// engine open so hot paths never touch the registry's name table.  One
+/// instance per StorageEngine; shared (by pointer) with the WAL, the buffer
+/// pool and — through PageIO::metrics() — the B+tree.
+///
+/// Naming convention: `<component>.<event>` counters, `<...>_ns` histograms
+/// recording nanoseconds.
+struct StorageMetrics {
+  // Data-file page I/O (buffer-pool miss reads, checkpoint writes).
+  Counter* page_reads = nullptr;
+  Histogram* page_read_ns = nullptr;
+  Counter* page_writes = nullptr;
+  Histogram* page_write_ns = nullptr;
+
+  // Write-ahead log.
+  Counter* wal_appends = nullptr;
+  Counter* wal_append_bytes = nullptr;
+  Histogram* wal_append_ns = nullptr;
+  Counter* wal_fsyncs = nullptr;
+  Histogram* wal_fsync_ns = nullptr;
+
+  // Transactions (engine level).
+  Counter* txn_begins = nullptr;
+  Counter* txn_commits = nullptr;
+  Counter* txn_aborts = nullptr;
+  Histogram* txn_commit_ns = nullptr;
+  /// Shared-lock acquisition wait in WithReadTxn (lock contention signal).
+  Histogram* read_lock_wait_ns = nullptr;
+
+  // Catalog B+tree.
+  Counter* btree_descents = nullptr;
+  Histogram* btree_descend_ns = nullptr;
+
+  // Checkpoints.
+  Counter* checkpoints = nullptr;
+  Histogram* checkpoint_ns = nullptr;
+
+  // Buffer-pool mirrors, refreshed at snapshot time from the pool's
+  // per-shard counters (nothing extra on the Fetch hot path).
+  Counter* pool_hits = nullptr;
+  Counter* pool_misses = nullptr;
+  Counter* pool_evictions = nullptr;
+  Counter* pool_flushes = nullptr;
+  Gauge* pool_resident_pages = nullptr;
+
+  /// Event tracer for this engine's spans; may be null (tracing not set up).
+  Tracer* tracer = nullptr;
+
+  void Attach(MetricsRegistry* registry, Tracer* trace) {
+    page_reads = registry->GetCounter("storage.page_reads");
+    page_read_ns = registry->GetHistogram("storage.page_read_ns");
+    page_writes = registry->GetCounter("storage.page_writes");
+    page_write_ns = registry->GetHistogram("storage.page_write_ns");
+    wal_appends = registry->GetCounter("wal.appends");
+    wal_append_bytes = registry->GetCounter("wal.append_bytes");
+    wal_append_ns = registry->GetHistogram("wal.append_ns");
+    wal_fsyncs = registry->GetCounter("wal.fsyncs");
+    wal_fsync_ns = registry->GetHistogram("wal.fsync_ns");
+    txn_begins = registry->GetCounter("txn.begins");
+    txn_commits = registry->GetCounter("txn.commits");
+    txn_aborts = registry->GetCounter("txn.aborts");
+    txn_commit_ns = registry->GetHistogram("txn.commit_ns");
+    read_lock_wait_ns = registry->GetHistogram("txn.read_lock_wait_ns");
+    btree_descents = registry->GetCounter("btree.descents");
+    btree_descend_ns = registry->GetHistogram("btree.descend_ns");
+    checkpoints = registry->GetCounter("storage.checkpoints");
+    checkpoint_ns = registry->GetHistogram("storage.checkpoint_ns");
+    pool_hits = registry->GetCounter("bufferpool.hits");
+    pool_misses = registry->GetCounter("bufferpool.misses");
+    pool_evictions = registry->GetCounter("bufferpool.evictions");
+    pool_flushes = registry->GetCounter("bufferpool.flushes");
+    pool_resident_pages = registry->GetGauge("bufferpool.resident_pages");
+    tracer = trace;
+  }
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_STORAGE_METRICS_H_

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <set>
 
+#include "storage/storage_metrics.h"
 #include "util/byte_buffer.h"
 #include "util/coding.h"
 #include "util/crc32c.h"
@@ -23,8 +24,16 @@ Status Wal::AppendRecord(const std::string& payload) {
   PutFixed32(&framed,
              crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
   framed.append(payload);
-  ODE_RETURN_IF_ERROR(file_->Append(Slice(framed)));
+  {
+    ScopedLatency timer(metrics_ != nullptr ? metrics_->wal_append_ns
+                                            : nullptr);
+    ODE_RETURN_IF_ERROR(file_->Append(Slice(framed)));
+  }
   bytes_appended_ += framed.size();
+  if (metrics_ != nullptr) {
+    metrics_->wal_appends->Increment();
+    metrics_->wal_append_bytes->Add(framed.size());
+  }
   return Status::OK();
 }
 
@@ -60,8 +69,12 @@ Status Wal::AppendCommit(uint64_t txn_id) {
 }
 
 Status Wal::Sync() {
+  TraceSpan span(metrics_ != nullptr ? metrics_->tracer : nullptr, "wal.fsync",
+                 "storage");
+  ScopedLatency timer(metrics_ != nullptr ? metrics_->wal_fsync_ns : nullptr);
   ODE_RETURN_IF_ERROR(file_->Sync());
   ++sync_count_;
+  if (metrics_ != nullptr) metrics_->wal_fsyncs->Increment();
   return Status::OK();
 }
 

@@ -14,6 +14,8 @@
 
 namespace ode {
 
+struct StorageMetrics;
+
 /// Kinds of write-ahead-log records.
 enum class WalRecordType : uint8_t {
   kBegin = 1,      ///< Transaction started.
@@ -75,6 +77,10 @@ class Wal {
   uint64_t bytes_appended() const { return bytes_appended_; }
   uint64_t sync_count() const { return sync_count_; }
 
+  /// Attaches the owning engine's instrument bundle (appends, bytes, fsyncs
+  /// and their latencies record into it).  Null = no metrics.
+  void set_metrics(StorageMetrics* metrics) { metrics_ = metrics; }
+
  private:
   explicit Wal(std::unique_ptr<File> file) : file_(std::move(file)) {}
 
@@ -86,6 +92,7 @@ class Wal {
   std::unique_ptr<File> file_;
   uint64_t bytes_appended_ = 0;
   uint64_t sync_count_ = 0;
+  StorageMetrics* metrics_ = nullptr;
 };
 
 }  // namespace ode

@@ -1,0 +1,155 @@
+#include "util/metrics.h"
+
+#include <algorithm>
+#include <bit>
+
+namespace ode {
+
+// ---------------------------------------------------------------------------
+// Histogram
+// ---------------------------------------------------------------------------
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  // Octaves 0..kSubShift are too narrow to hold kSubBuckets distinct
+  // integers; those values (1 .. 2*kSubBuckets-1) map to exact buckets so
+  // every bucket index is reachable and bounds round-trip exactly.
+  if (value <= kLinearBuckets) return static_cast<int>(value);
+  const int octave = std::bit_width(value) - 1;  // floor(log2(value))
+  if (octave >= kOctaves) return kNumBuckets - 1;  // Overflow bucket.
+  // Position within the octave, in sub-buckets of width 2^(octave-kSubShift).
+  const uint64_t offset = value - (uint64_t{1} << octave);
+  const int sub = static_cast<int>(offset >> (octave - kSubShift));
+  return 1 + kLinearBuckets + (octave - kSubShift - 1) * kSubBuckets + sub;
+}
+
+uint64_t Histogram::BucketLowerBound(int b) {
+  if (b <= 0) return 0;
+  if (b >= kNumBuckets - 1) return uint64_t{1} << kOctaves;
+  if (b <= kLinearBuckets) return static_cast<uint64_t>(b);
+  const int rel = b - 1 - kLinearBuckets;
+  const int octave = kSubShift + 1 + rel / kSubBuckets;
+  const int sub = rel % kSubBuckets;
+  return (uint64_t{1} << octave) +
+         (static_cast<uint64_t>(sub) << (octave - kSubShift));
+}
+
+uint64_t Histogram::BucketUpperBound(int b) {
+  if (b >= kNumBuckets - 1) return UINT64_MAX;
+  return BucketLowerBound(b + 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t cur = min_.load(std::memory_order_relaxed);
+  while (value < cur &&
+         !min_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+  cur = max_.load(std::memory_order_relaxed);
+  while (value > cur &&
+         !max_.compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+HistogramSnapshot Histogram::Snapshot() const {
+  HistogramSnapshot snap;
+  // Copy the buckets once so percentile math runs over a stable view.
+  std::array<uint64_t, kNumBuckets> counts;
+  uint64_t total = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += counts[i];
+  }
+  snap.count = total;
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  if (total == 0) return snap;
+  snap.min = min_.load(std::memory_order_relaxed);
+  snap.max = max_.load(std::memory_order_relaxed);
+
+  // Percentile by cumulative walk with linear interpolation inside the
+  // bucket, clamped to the observed min/max so tails don't overshoot.
+  auto percentile = [&](double q) -> double {
+    const double rank = q * static_cast<double>(total);
+    uint64_t cum = 0;
+    for (int i = 0; i < kNumBuckets; ++i) {
+      if (counts[i] == 0) continue;
+      if (static_cast<double>(cum + counts[i]) >= rank) {
+        const double frac =
+            (rank - static_cast<double>(cum)) / static_cast<double>(counts[i]);
+        const double lo = static_cast<double>(BucketLowerBound(i));
+        const double hi = static_cast<double>(
+            std::min(BucketUpperBound(i), snap.max + 1));
+        double v = lo + frac * (hi - lo);
+        v = std::max(v, static_cast<double>(snap.min));
+        v = std::min(v, static_cast<double>(snap.max));
+        return v;
+      }
+      cum += counts[i];
+    }
+    return static_cast<double>(snap.max);
+  };
+  snap.p50 = percentile(0.50);
+  snap.p90 = percentile(0.90);
+  snap.p99 = percentile(0.99);
+  return snap;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsRegistry
+// ---------------------------------------------------------------------------
+
+MetricsRegistry& MetricsRegistry::Default() {
+  static MetricsRegistry* instance = new MetricsRegistry();
+  return *instance;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_.emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::SnapshotAll() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms.emplace_back(name, h->Snapshot());
+  }
+  return snap;
+}
+
+}  // namespace ode

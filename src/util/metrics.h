@@ -1,0 +1,213 @@
+#ifndef ODE_UTIL_METRICS_H_
+#define ODE_UTIL_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ode {
+
+// ---------------------------------------------------------------------------
+// Metrics substrate
+// ---------------------------------------------------------------------------
+//
+// A MetricsRegistry is a name -> instrument table holding three instrument
+// kinds, all safe to record into from any number of threads without locks:
+//
+//  - Counter:   monotonically increasing u64 (relaxed atomic add).
+//  - Gauge:     point-in-time i64 (relaxed atomic store).
+//  - Histogram: log-bucketed latency/size distribution with lock-free
+//               recording and p50/p90/p99/max snapshots.
+//
+// Lookup by name takes the registry mutex (it is the registration slow
+// path); callers resolve instruments ONCE and keep the returned pointer,
+// which stays valid for the registry's lifetime.  Recording through a held
+// pointer never locks.
+//
+// `MetricsRegistry::Default()` is the process-wide registry.  A Database
+// normally owns a private registry instead (DatabaseOptions::metrics),
+// because several databases commonly coexist in one process (every test
+// fixture) and their counters must not bleed into each other;
+// Database::stats() is a compatibility view over that per-database registry.
+
+/// Monotonic counter.  All methods are thread-safe and lock-free.
+class Counter {
+ public:
+  void Add(uint64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  /// Overwrites the value.  Only for snapshot-time mirroring of counters
+  /// that are maintained elsewhere (e.g. per-shard cache counters).
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Point-in-time signed value.  Thread-safe and lock-free.
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Coherent-enough summary of one histogram (counts are read relaxed, so a
+/// snapshot taken during concurrent recording may be mid-update by a few
+/// events; totals are exact once recording quiesces).
+struct HistogramSnapshot {
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t min = 0;  ///< 0 when count == 0.
+  uint64_t max = 0;
+  double p50 = 0;
+  double p90 = 0;
+  double p99 = 0;
+  double mean() const {
+    return count == 0 ? 0.0 : static_cast<double>(sum) / count;
+  }
+};
+
+/// Log-linear bucketed histogram of unsigned values (we record nanoseconds,
+/// but the math is unit-agnostic).
+///
+/// Buckets: one zero bucket; exact buckets for 1 .. 2*kSubBuckets-1 (octaves
+/// this narrow cannot be subdivided, so each integer gets its own bucket);
+/// then kSubBuckets buckets per power of two ("octave") up to 2^kOctaves;
+/// then one overflow bucket.  Every bucket is reachable and
+/// BucketLowerBound(BucketFor(v)) <= v < BucketUpperBound(BucketFor(v))
+/// holds for all v — relative bucket width <= 1/kSubBuckets, i.e. quantile
+/// error <= 25% with kSubBuckets = 4, plenty for latency work.  Recording
+/// is one relaxed fetch_add on the bucket plus count/sum adds and min/max
+/// CAS loops: no locks, safe from any thread.
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 4;   // Per octave; power of two.
+  static constexpr int kSubShift = 2;     // log2(kSubBuckets).
+  static constexpr int kOctaves = 40;     // 2^40 ns ~ 18 minutes.
+  // Values 1 .. 2*kSubBuckets-1 each get an exact bucket.
+  static constexpr int kLinearBuckets = 2 * kSubBuckets - 1;
+  // [0] zero | kLinearBuckets exact | log-linear octaves | [last] overflow.
+  static constexpr int kNumBuckets =
+      1 + kLinearBuckets + (kOctaves - kSubShift - 1) * kSubBuckets + 1;
+
+  /// Bucket index for `value` (total order, 0 .. kNumBuckets-1).
+  static int BucketFor(uint64_t value);
+  /// Smallest value that lands in bucket `b`.
+  static uint64_t BucketLowerBound(int b);
+  /// One past the largest value in bucket `b` (i.e. lower bound of b+1);
+  /// saturates for the overflow bucket.
+  static uint64_t BucketUpperBound(int b);
+
+  void Record(uint64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Convenience: nanoseconds on the monotonic clock, for Record() timing.
+  static uint64_t NowNanos() {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// RAII latency recorder: records elapsed nanoseconds into `hist` on scope
+/// exit.  A null histogram makes the whole object a no-op (the sampled-out
+/// case), costing only one branch.
+class ScopedLatency {
+ public:
+  explicit ScopedLatency(Histogram* hist)
+      : hist_(hist), start_(hist != nullptr ? Histogram::NowNanos() : 0) {}
+  ScopedLatency(const ScopedLatency&) = delete;
+  ScopedLatency& operator=(const ScopedLatency&) = delete;
+  ~ScopedLatency() {
+    if (hist_ != nullptr) hist_->Record(Histogram::NowNanos() - start_);
+  }
+
+ private:
+  Histogram* hist_;
+  uint64_t start_;
+};
+
+/// Cheap run-time sampling for hot paths: true on every Nth call per thread
+/// (N rounded down to a power of two; 0 disables, 1 samples everything).
+/// The countdown is thread-local, so the unsampled fast path is one TLS
+/// load + mask + branch — no shared cache line, no clock read.
+class Sampler {
+ public:
+  explicit Sampler(uint32_t every) {
+    if (every == 0) {
+      mask_ = UINT32_MAX;
+      enabled_ = false;
+    } else {
+      uint32_t p = 1;
+      while (p * 2 <= every) p *= 2;
+      mask_ = p - 1;
+      enabled_ = true;
+    }
+  }
+  bool enabled() const { return enabled_; }
+  bool Tick() const {
+    if (!enabled_) return false;
+    thread_local uint32_t n = 0;
+    return (n++ & mask_) == 0;
+  }
+
+ private:
+  uint32_t mask_;
+  bool enabled_;
+};
+
+/// Name -> instrument table.  GetX() registers on first use and returns a
+/// pointer that stays valid for the registry's lifetime; recording through
+/// the pointer is lock-free.  The three instrument kinds have independent
+/// namespaces, but sharing a name across kinds is a bug by convention.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry, for code not attached to any database.
+  static MetricsRegistry& Default();
+
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Everything in the registry, sorted by name within each kind.
+  struct Snapshot {
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<std::pair<std::string, int64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  };
+  Snapshot SnapshotAll() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_METRICS_H_

@@ -1,0 +1,199 @@
+#include "util/trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+
+namespace ode {
+
+namespace {
+
+/// Tracer ids are globally unique and never reused, so the thread-local
+/// buffer map below can key on them safely even after a Tracer at the same
+/// address is destroyed and another constructed.
+std::atomic<uint64_t> g_next_tracer_id{1};
+
+struct TlsEntry {
+  uint64_t tracer_id;
+  std::shared_ptr<void> buffer;  // Actually Tracer::ThreadBuffer.
+};
+
+/// Per-thread map of tracer id -> this thread's ring buffer.  Tiny (one
+/// entry per tracer the thread ever recorded into), scanned linearly.
+thread_local std::vector<TlsEntry> tls_buffers;
+
+}  // namespace
+
+Tracer::Tracer(size_t buffer_events)
+    : buffer_events_(std::max<size_t>(buffer_events, 8)),
+      id_(g_next_tracer_id.fetch_add(1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() = default;
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  for (const TlsEntry& e : tls_buffers) {
+    if (e.tracer_id == id_) {
+      return static_cast<ThreadBuffer*>(e.buffer.get());
+    }
+  }
+  auto buffer = std::make_shared<ThreadBuffer>();
+  buffer->ring.resize(buffer_events_);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffer->tid = next_tid_++;
+    buffers_.push_back(buffer);
+  }
+  tls_buffers.push_back(TlsEntry{id_, buffer});
+  return buffer.get();
+}
+
+bool Tracer::BeginSample() {
+  const uint32_t every = sample_every_.load(std::memory_order_relaxed);
+  if (every == 0) return false;
+  ThreadBuffer* buf = BufferForThisThread();
+  // sample_countdown is only touched by the owning thread.
+  if (buf->sample_countdown == 0) {
+    buf->sample_countdown = every - 1;
+    return true;
+  }
+  --buf->sample_countdown;
+  return false;
+}
+
+void Tracer::Record(const char* name, const char* category, uint64_t start_ns,
+                    uint64_t end_ns) {
+  ThreadBuffer* buf = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buf->mu);  // Uncontended except vs drain.
+  TraceEvent& slot = buf->ring[buf->next % buf->ring.size()];
+  slot.name = name;
+  slot.category = category;
+  slot.start_ns = start_ns;
+  slot.duration_ns = end_ns >= start_ns ? end_ns - start_ns : 0;
+  slot.tid = buf->tid;
+  ++buf->next;
+  const uint64_t live = buf->next - buf->drained_mark;
+  if (live > buf->ring.size()) {
+    ++buf->dropped;
+    buf->drained_mark = buf->next - buf->ring.size();
+  }
+}
+
+void Tracer::Drain(std::vector<TraceEvent>* out) {
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers = buffers_;
+  }
+  for (const auto& buf : buffers) {
+    std::lock_guard<std::mutex> lock(buf->mu);
+    const uint64_t live = buf->next - buf->drained_mark;
+    const uint64_t start = buf->next - live;
+    for (uint64_t i = start; i < buf->next; ++i) {
+      out->push_back(buf->ring[i % buf->ring.size()]);
+    }
+    buf->drained_mark = buf->next;
+  }
+  // Chrome sorts for display anyway, but a time-ordered file is nicer to
+  // eyeball and makes the output deterministic for tests.
+  std::stable_sort(out->begin(), out->end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.start_ns < b.start_ns;
+                   });
+}
+
+uint64_t Tracer::dropped_events() const {
+  uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+size_t Tracer::pending_events() const {
+  size_t total = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += static_cast<size_t>(buf->next - buf->drained_mark);
+  }
+  return total;
+}
+
+namespace {
+
+/// Escapes for a JSON string body (names are C identifiers in practice, but
+/// the format must stay valid for any input).
+void AppendJsonEscaped(std::string* out, const char* s) {
+  for (; s != nullptr && *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      default:
+        if (c < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+          out->append(hex);
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::ToChromeJson(const std::vector<TraceEvent>& events) {
+  // Complete events ("ph":"X") with ts/dur in microseconds; Chrome accepts
+  // fractional microseconds, which preserves our nanosecond resolution.
+  std::string out;
+  out.reserve(events.size() * 96 + 64);
+  out.append("{\"traceEvents\":[");
+  bool first = true;
+  char num[64];
+  for (const TraceEvent& e : events) {
+    if (!first) out.push_back(',');
+    first = false;
+    out.append("{\"name\":\"");
+    AppendJsonEscaped(&out, e.name);
+    out.append("\",\"cat\":\"");
+    AppendJsonEscaped(&out, e.category != nullptr ? e.category : "ode");
+    out.append("\",\"ph\":\"X\",\"pid\":1,\"tid\":");
+    std::snprintf(num, sizeof(num), "%" PRIu32, e.tid);
+    out.append(num);
+    out.append(",\"ts\":");
+    std::snprintf(num, sizeof(num), "%.3f",
+                  static_cast<double>(e.start_ns) / 1000.0);
+    out.append(num);
+    out.append(",\"dur\":");
+    std::snprintf(num, sizeof(num), "%.3f",
+                  static_cast<double>(e.duration_ns) / 1000.0);
+    out.append(num);
+    out.append("}");
+  }
+  out.append("],\"displayTimeUnit\":\"ms\"}");
+  return out;
+}
+
+std::string Tracer::DrainToChromeJson() {
+  std::vector<TraceEvent> events;
+  Drain(&events);
+  return ToChromeJson(events);
+}
+
+}  // namespace ode

@@ -1,0 +1,147 @@
+#ifndef ODE_UTIL_TRACE_H_
+#define ODE_UTIL_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/metrics.h"
+
+namespace ode {
+
+// ---------------------------------------------------------------------------
+// Trace-event instrumentation
+// ---------------------------------------------------------------------------
+//
+// A Tracer collects timed spans into per-thread ring buffers and drains them
+// to Chrome `trace_event` JSON (load the file at chrome://tracing or
+// https://ui.perfetto.dev).  Design constraints, in order:
+//
+//  1. A *disabled* tracer must cost nearly nothing on hot paths: a
+//     TraceSpan against a tracer with sampling off is one relaxed load and
+//     a branch.  Compiling with -DODE_TRACE_DISABLED removes even that.
+//  2. Recording never takes a shared lock: each thread owns a ring buffer
+//     (guarded by its own mutex, contended only by a concurrent drain).
+//     When the ring wraps, the oldest events are overwritten and counted in
+//     dropped_events() — tracing never blocks the traced operation.
+//  3. Run-time sampling (`set_sample_every`): record one in N spans,
+//     countdown kept thread-local.  0 disables, 1 records everything.
+//
+// Span names/categories must be string literals (or otherwise outlive the
+// tracer): the ring stores the pointers, not copies.
+
+/// One completed span.
+struct TraceEvent {
+  const char* name = nullptr;
+  const char* category = nullptr;
+  uint64_t start_ns = 0;     ///< Monotonic clock, see Histogram::NowNanos().
+  uint64_t duration_ns = 0;
+  uint32_t tid = 0;          ///< Tracer-assigned dense thread index.
+};
+
+class Tracer {
+ public:
+  /// `buffer_events` is the per-thread ring capacity (min 8).
+  explicit Tracer(size_t buffer_events = 8192);
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Record one in `n` spans (0 = tracing off, 1 = everything).
+  void set_sample_every(uint32_t n) {
+    sample_every_.store(n, std::memory_order_relaxed);
+  }
+  uint32_t sample_every() const {
+    return sample_every_.load(std::memory_order_relaxed);
+  }
+  bool enabled() const { return sample_every() != 0; }
+
+  /// Sampling decision for the calling thread; also lazily registers the
+  /// thread's ring buffer.  Called by TraceSpan; callers wanting manual
+  /// spans may use it with Record().
+  bool BeginSample();
+
+  /// Appends a completed span to the calling thread's ring.
+  void Record(const char* name, const char* category, uint64_t start_ns,
+              uint64_t end_ns);
+
+  /// Moves every thread's buffered events (oldest first per thread) into
+  /// `*out` and clears the rings.  Safe concurrently with recording.
+  void Drain(std::vector<TraceEvent>* out);
+
+  /// Drains and renders the Chrome trace_event JSON object
+  /// (`{"traceEvents":[...]}`; `ts`/`dur` in microseconds).
+  std::string DrainToChromeJson();
+
+  /// Renders already-drained events; exposed so tools can merge drains.
+  static std::string ToChromeJson(const std::vector<TraceEvent>& events);
+
+  /// Events overwritten because a ring wrapped before a drain.
+  uint64_t dropped_events() const;
+
+  /// Buffered (not yet drained) events across all threads.
+  size_t pending_events() const;
+
+ private:
+  struct ThreadBuffer {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> ring;  // Fixed capacity, wraps.
+    uint64_t next = 0;             // Total events ever written.
+    uint64_t drained_mark = 0;     // `next` value at the last drain.
+    uint64_t dropped = 0;
+    uint32_t tid = 0;
+    uint32_t sample_countdown = 0;  // Owner-thread only.
+  };
+
+  ThreadBuffer* BufferForThisThread();
+
+  const size_t buffer_events_;
+  const uint64_t id_;  // Distinguishes tracers across create/destroy cycles.
+  std::atomic<uint32_t> sample_every_{0};
+  mutable std::mutex mu_;  // Guards buffers_ (registration + drain).
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+  uint32_t next_tid_ = 0;
+};
+
+/// RAII span: records [construction, destruction) into `tracer` when the
+/// sampling decision says so.  Null tracer or sampling off = no-op.
+class TraceSpan {
+ public:
+#ifdef ODE_TRACE_DISABLED
+  TraceSpan(Tracer*, const char*, const char*) {}
+  ~TraceSpan() = default;
+#else
+  TraceSpan(Tracer* tracer, const char* name, const char* category)
+      : tracer_(nullptr) {
+    if (tracer != nullptr && tracer->enabled() && tracer->BeginSample()) {
+      tracer_ = tracer;
+      name_ = name;
+      category_ = category;
+      start_ns_ = Histogram::NowNanos();
+    }
+  }
+  ~TraceSpan() {
+    if (tracer_ != nullptr) {
+      tracer_->Record(name_, category_, start_ns_, Histogram::NowNanos());
+    }
+  }
+#endif
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+ private:
+#ifndef ODE_TRACE_DISABLED
+  Tracer* tracer_;
+  const char* name_ = nullptr;
+  const char* category_ = nullptr;
+  uint64_t start_ns_ = 0;
+#endif
+};
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_TRACE_H_

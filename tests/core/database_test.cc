@@ -1,5 +1,8 @@
 #include "core/database.h"
 
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "tests/testing/db_fixture.h"
@@ -218,16 +221,27 @@ TEST_F(DatabaseTest, LargePayloadSupported) {
 }
 
 TEST_F(DatabaseTest, GroupedTransactionCommit) {
+  // Database::Open commits bootstrap transactions of its own, so the
+  // storage-level counters are asserted as deltas.
+  const VersionStats before = db_->stats();
   ASSERT_OK(db_->Begin());
   VersionId a = MustPnew("a");
   VersionId b = MustPnew("b");
   ASSERT_OK(db_->Commit());
   EXPECT_EQ(MustRead(a), "a");
   EXPECT_EQ(MustRead(b), "b");
+  const VersionStats after = db_->stats();
+  // One explicit commit, no aborts; the group's mutations hit the WAL and
+  // its commit forced (at least) one fsync.
+  EXPECT_EQ(after.txn_commits, before.txn_commits + 1);
+  EXPECT_EQ(after.txn_aborts, before.txn_aborts);
+  EXPECT_GT(after.wal_appends, before.wal_appends);
+  EXPECT_GE(after.wal_fsyncs, before.wal_fsyncs + 1);
 }
 
 TEST_F(DatabaseTest, GroupedTransactionAbortRollsBackAll) {
   VersionId keep = MustPnew("keep");
+  const VersionStats before = db_->stats();
   ASSERT_OK(db_->Begin());
   VersionId a = MustPnew("a");
   ASSERT_OK(db_->UpdateLatest(keep.oid, Slice("modified")));
@@ -236,6 +250,9 @@ TEST_F(DatabaseTest, GroupedTransactionAbortRollsBackAll) {
   ASSERT_TRUE(exists.ok());
   EXPECT_FALSE(*exists);
   EXPECT_EQ(MustReadLatest(keep.oid), "keep");
+  const VersionStats after = db_->stats();
+  EXPECT_EQ(after.txn_aborts, before.txn_aborts + 1);
+  EXPECT_EQ(after.txn_commits, before.txn_commits);
 }
 
 TEST_F(DatabaseTest, StatsTrackOperations) {
@@ -251,6 +268,73 @@ TEST_F(DatabaseTest, StatsTrackOperations) {
   EXPECT_EQ(stats.update_count, 1u);
   EXPECT_GE(stats.delete_version_count, 2u);
   EXPECT_EQ(stats.delete_object_count, 1u);
+  // The storage-level view: every autocommitted operation above ran its own
+  // transaction, and nothing here aborted.
+  EXPECT_GE(stats.txn_commits, 5u);
+  EXPECT_EQ(stats.txn_aborts, 0u);
+  EXPECT_GT(stats.wal_appends, 0u);
+  EXPECT_GT(stats.wal_fsyncs, 0u);
+}
+
+// A pool far smaller than the data forces evictions once pages are clean
+// again; read caches are off so reads actually touch pages.
+class SmallPoolDatabaseTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+  DatabaseOptions MakeOptions() override {
+    DatabaseOptions options = DatabaseFixture::MakeOptions();
+    options.storage.buffer_pool_pages = 8;
+    options.payload_cache_bytes = 0;
+    options.latest_cache_entries = 0;
+    options.metrics_sample_every = 1;  // Time every dereference.
+    return options;
+  }
+};
+
+TEST_F(SmallPoolDatabaseTest, StatsExposeBufferPoolEvictions) {
+  std::vector<ObjectId> oids;
+  for (int i = 0; i < 64; ++i) {
+    oids.push_back(MustPnew(std::string(1024, 'a' + (i % 26))).oid);
+  }
+  // A fresh pool, then a scan over ~16 heap pages through 8 frames: the
+  // misses past capacity must evict.
+  ReopenDb();
+  for (ObjectId oid : oids) MustReadLatest(oid);
+  const VersionStats stats = db_->stats();
+  EXPECT_GT(stats.buffer_pool_evictions, 0u);
+}
+
+TEST_F(SmallPoolDatabaseTest, MetricsSnapshotCoversTheStack) {
+  const ObjectId oid = MustPnew("payload").oid;
+  for (int i = 0; i < 10; ++i) MustReadLatest(oid);
+  const MetricsRegistry::Snapshot snap = db_->MetricsSnapshot();
+
+  auto counter = [&](const std::string& name) -> uint64_t {
+    for (const auto& [n, v] : snap.counters) {
+      if (n == name) return v;
+    }
+    ADD_FAILURE() << "counter not in snapshot: " << name;
+    return 0;
+  };
+  EXPECT_EQ(counter("core.pnew"), 1u);
+  EXPECT_GT(counter("txn.commits"), 0u);
+  EXPECT_GT(counter("wal.appends"), 0u);
+  EXPECT_GT(counter("bufferpool.misses"), 0u);
+
+  // With metrics_sample_every = 1 every ReadLatest lands in the histogram.
+  bool found = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "core.deref_latest_ns") {
+      found = true;
+      EXPECT_GE(h.count, 10u);
+      EXPECT_GT(h.max, 0u);
+      EXPECT_LE(h.p50, static_cast<double>(h.max));
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST_F(DatabaseTest, TypeRegistrationIsIdempotent) {

@@ -1,0 +1,346 @@
+// Tests for the trace-event tracer: span capture, sampling, ring-buffer
+// wraparound accounting, Chrome JSON rendering (validated with a minimal
+// JSON parser), and (under TSan via the *Concurrent* tests) drain racing
+// against recording.
+
+#include "util/trace.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace ode {
+namespace {
+
+// --- Minimal JSON validator ----------------------------------------------
+//
+// Just enough of RFC 8259 to prove DrainToChromeJson() emits well-formed
+// JSON (objects, arrays, strings with escapes, numbers, literals).  Parses
+// the whole input; any syntax error fails.
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    return pos_ == s_.size();
+  }
+
+ private:
+  bool Value() {
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return Object();
+      case '[': return Array();
+      case '"': return String();
+      case 't': return Literal("true");
+      case 'f': return Literal("false");
+      case 'n': return Literal("null");
+      default: return Number();
+    }
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (Peek() == '}') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (Peek() != ':') return false;
+      ++pos_;
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (Peek() == ']') { ++pos_; return true; }
+    while (true) {
+      SkipWs();
+      if (!Value()) return false;
+      SkipWs();
+      if (Peek() == ',') { ++pos_; continue; }
+      if (Peek() == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool String() {
+    if (Peek() != '"') return false;
+    ++pos_;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // Unescaped.
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char e = s_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(
+                    static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(e) == std::string::npos) {
+          return false;
+        }
+      }
+      ++pos_;
+    }
+    return false;  // Unterminated.
+  }
+
+  bool Number() {
+    const size_t start = pos_;
+    if (Peek() == '-') ++pos_;
+    if (!DigitRun()) return false;
+    if (Peek() == '.') {
+      ++pos_;
+      if (!DigitRun()) return false;
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      ++pos_;
+      if (Peek() == '+' || Peek() == '-') ++pos_;
+      if (!DigitRun()) return false;
+    }
+    return pos_ > start;
+  }
+
+  bool DigitRun() {
+    const size_t start = pos_;
+    while (pos_ < s_.size() &&
+           std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  bool Literal(const char* word) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= s_.size() || s_[pos_] != *p) return false;
+    }
+    return true;
+  }
+
+  char Peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+  void SkipWs() {
+    while (pos_ < s_.size() &&
+           std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  const std::string& s_;
+  size_t pos_ = 0;
+};
+
+TEST(JsonParserSelfTest, AcceptsAndRejects) {
+  EXPECT_TRUE(JsonParser(R"({"a":[1,2.5,-3e4],"b":"x\n","c":null})").Valid());
+  EXPECT_FALSE(JsonParser(R"({"a":1)").Valid());
+  EXPECT_FALSE(JsonParser(R"({"a":01x})").Valid());
+  EXPECT_FALSE(JsonParser("{\"a\":\"unterminated}").Valid());
+}
+
+// --- Span capture ---------------------------------------------------------
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer(64);
+  ASSERT_FALSE(tracer.enabled());
+  { TraceSpan span(&tracer, "op", "test"); }
+  { TraceSpan span(nullptr, "op", "test"); }  // Null tracer: also a no-op.
+  EXPECT_EQ(tracer.pending_events(), 0u);
+  std::vector<TraceEvent> events;
+  tracer.Drain(&events);
+  EXPECT_TRUE(events.empty());
+}
+
+TEST(TracerTest, SpanFieldsRoundTrip) {
+  Tracer tracer(64);
+  tracer.set_sample_every(1);
+  { TraceSpan span(&tracer, "deref", "core"); }
+  std::vector<TraceEvent> events;
+  tracer.Drain(&events);
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_STREQ(events[0].name, "deref");
+  EXPECT_STREQ(events[0].category, "core");
+  EXPECT_GT(events[0].start_ns, 0u);
+
+  // Drain cleared the ring (Drain appends to its output, so reset ours).
+  events.clear();
+  tracer.Drain(&events);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+TEST(TracerTest, SpansAreSortedByStartTime) {
+  Tracer tracer(64);
+  tracer.set_sample_every(1);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span(&tracer, "op", "test");
+  }
+  std::vector<TraceEvent> events;
+  tracer.Drain(&events);
+  ASSERT_EQ(events.size(), 10u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+}
+
+TEST(TracerTest, SamplingKeepsOneInN) {
+  Tracer tracer(1024);
+  tracer.set_sample_every(4);
+  // Run on a fresh thread: the sampling countdown is per-thread state that
+  // starts at 0 (record) for a newly registered thread.
+  std::thread([&tracer] {
+    for (int i = 0; i < 400; ++i) {
+      TraceSpan span(&tracer, "op", "test");
+    }
+  }).join();
+  std::vector<TraceEvent> events;
+  tracer.Drain(&events);
+  EXPECT_EQ(events.size(), 100u);
+}
+
+// --- Ring wraparound ------------------------------------------------------
+
+TEST(TracerTest, RingWrapsAndCountsDrops) {
+  Tracer tracer(8);  // Minimum ring size.
+  tracer.set_sample_every(1);
+  for (int i = 0; i < 20; ++i) {
+    TraceSpan span(&tracer, "op", "test");
+  }
+  EXPECT_EQ(tracer.pending_events(), 8u);
+  EXPECT_EQ(tracer.dropped_events(), 12u);
+  std::vector<TraceEvent> events;
+  tracer.Drain(&events);
+  ASSERT_EQ(events.size(), 8u);
+  // The survivors are the newest 8, oldest first.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LE(events[i - 1].start_ns, events[i].start_ns);
+  }
+  // Drops are cumulative; draining does not reset the counter.
+  EXPECT_EQ(tracer.dropped_events(), 12u);
+}
+
+// --- Chrome JSON ----------------------------------------------------------
+
+TEST(TracerTest, ChromeJsonIsValidAndComplete) {
+  Tracer tracer(256);
+  tracer.set_sample_every(1);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(&tracer, "core.deref_latest", "core");
+  }
+  const std::string json = tracer.DrainToChromeJson();
+  EXPECT_TRUE(JsonParser(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"core.deref_latest\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  // 5 events -> 5 complete-event records.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = json.find("\"ph\":\"X\"", pos)) !=
+                       std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 5u);
+}
+
+TEST(TracerTest, ChromeJsonEscapesNames) {
+  std::vector<TraceEvent> events(1);
+  events[0].name = "quote\"back\\slash\tctrl";
+  events[0].category = "test";
+  events[0].start_ns = 1000;
+  events[0].duration_ns = 500;
+  const std::string json = Tracer::ToChromeJson(events);
+  EXPECT_TRUE(JsonParser(json).Valid()) << json;
+  EXPECT_NE(json.find(R"(quote\"back\\slash\tctrl)"), std::string::npos);
+}
+
+TEST(TracerTest, EmptyDrainStillValidJson) {
+  Tracer tracer(64);
+  const std::string json = tracer.DrainToChromeJson();
+  EXPECT_TRUE(JsonParser(json).Valid()) << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+}
+
+// --- Concurrency (names contain "Concurrent" so the TSan CI job picks
+// them up via `ctest -R Concurrent`) -------------------------------------
+
+TEST(TracerConcurrentTest, ThreadsGetDistinctTids) {
+  Tracer tracer(256);
+  tracer.set_sample_every(1);
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tracer] {
+      for (int i = 0; i < 10; ++i) {
+        TraceSpan span(&tracer, "op", "test");
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  std::vector<TraceEvent> events;
+  tracer.Drain(&events);
+  ASSERT_EQ(events.size(), size_t{kThreads} * 10);
+  std::vector<uint32_t> tids;
+  for (const TraceEvent& e : events) tids.push_back(e.tid);
+  std::sort(tids.begin(), tids.end());
+  tids.erase(std::unique(tids.begin(), tids.end()), tids.end());
+  EXPECT_EQ(tids.size(), size_t{kThreads});
+}
+
+TEST(TracerConcurrentTest, DrainWhileRecordingLosesNothingUnwrapped) {
+  // Ring large enough never to wrap; every recorded event must surface in
+  // exactly one drain.
+  Tracer tracer(1 << 16);
+  tracer.set_sample_every(1);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5'000;
+  std::atomic<int> done{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        TraceSpan span(&tracer, "op", "test");
+      }
+      done.fetch_add(1);
+    });
+  }
+  size_t total = 0;
+  std::vector<TraceEvent> events;
+  while (done.load() < kThreads) {
+    events.clear();
+    tracer.Drain(&events);
+    total += events.size();
+  }
+  for (auto& th : threads) th.join();
+  events.clear();
+  tracer.Drain(&events);
+  total += events.size();
+  EXPECT_EQ(total, size_t{kThreads} * kPerThread);
+  EXPECT_EQ(tracer.dropped_events(), 0u);
+}
+
+}  // namespace
+}  // namespace ode

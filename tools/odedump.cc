@@ -12,6 +12,9 @@
 //   vacuum    compact the catalog B+trees
 //   storage   physical page/record statistics + cache counters
 //   caches    read every version twice, report read-cache hit rates
+//   stats     read every version once, dump the full metrics registry
+//   trace     read every version once, emit Chrome trace_event JSON
+//             (--out <file> writes to a file instead of stdout)
 
 #include <cinttypes>
 #include <cstdio>
@@ -21,6 +24,8 @@
 #include "core/check.h"
 #include "core/database.h"
 #include "policy/history.h"
+#include "util/metrics.h"
+#include "util/trace.h"
 
 namespace {
 
@@ -174,30 +179,82 @@ int Storage(ode::Database& db) {
   return 0;
 }
 
+// Dereferences every version of every object once, so the metrics and trace
+// commands have representative read traffic to report on.
+ode::Status ReadPass(ode::Database& db) {
+  return db.ForEachObject([&](ode::ObjectId oid, const ode::ObjectHeader&) {
+    ode::Status vs = db.ForEachVersion(
+        oid, [&](ode::VersionId vid, const ode::VersionMeta&) {
+          auto bytes = db.ReadVersion(vid);
+          if (!bytes.ok()) {
+            std::fprintf(stderr, "warning: v%u of object %" PRIu64 ": %s\n",
+                         vid.vnum, vid.oid.value,
+                         bytes.status().ToString().c_str());
+          }
+          return true;
+        });
+    if (!vs.ok()) {
+      std::fprintf(stderr, "warning: %s\n", vs.ToString().c_str());
+    }
+    return true;
+  });
+}
+
 // Reads every version once, then again, and reports the cache counters —
 // the second pass should be served almost entirely from the payload cache.
 int Caches(ode::Database& db) {
   for (int pass = 0; pass < 2; ++pass) {
-    ode::Status s =
-        db.ForEachObject([&](ode::ObjectId oid, const ode::ObjectHeader&) {
-          ode::Status vs = db.ForEachVersion(
-              oid, [&](ode::VersionId vid, const ode::VersionMeta&) {
-                auto bytes = db.ReadVersion(vid);
-                if (!bytes.ok()) {
-                  std::fprintf(stderr, "warning: v%u of object %" PRIu64
-                               ": %s\n", vid.vnum, vid.oid.value,
-                               bytes.status().ToString().c_str());
-                }
-                return true;
-              });
-          if (!vs.ok()) {
-            std::fprintf(stderr, "warning: %s\n", vs.ToString().c_str());
-          }
-          return true;
-        });
-    if (!s.ok()) return Fail(s);
+    if (ode::Status s = ReadPass(db); !s.ok()) return Fail(s);
   }
   PrintCacheStats(db);
+  return 0;
+}
+
+// Runs one read pass, then renders the whole metrics registry: counters,
+// gauges, and histogram percentiles, sorted by name.
+int Stats(ode::Database& db) {
+  if (ode::Status s = ReadPass(db); !s.ok()) return Fail(s);
+  const ode::MetricsRegistry::Snapshot snap = db.MetricsSnapshot();
+  std::printf("--- counters ---\n");
+  for (const auto& [name, value] : snap.counters) {
+    std::printf("%-32s %12" PRIu64 "\n", name.c_str(), value);
+  }
+  std::printf("--- gauges ---\n");
+  for (const auto& [name, value] : snap.gauges) {
+    std::printf("%-32s %12" PRId64 "\n", name.c_str(), value);
+  }
+  std::printf("--- histograms (ns) ---\n");
+  std::printf("%-32s %10s %10s %10s %10s %10s\n", "name", "count", "p50",
+              "p90", "p99", "max");
+  for (const auto& [name, h] : snap.histograms) {
+    std::printf("%-32s %10" PRIu64 " %10.0f %10.0f %10.0f %10" PRIu64 "\n",
+                name.c_str(), h.count, h.p50, h.p90, h.p99, h.max);
+  }
+  return 0;
+}
+
+// Runs one read pass with trace sampling forced on (main() opened the
+// database with trace_sample_every = 1), then drains every thread's ring
+// buffer into Chrome trace_event JSON (load via chrome://tracing or
+// https://ui.perfetto.dev).
+int Trace(ode::Database& db, const std::string& out_path) {
+  if (ode::Status s = ReadPass(db); !s.ok()) return Fail(s);
+  const std::string json = db.tracer().DrainToChromeJson();
+  if (out_path.empty()) {
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "odedump: cannot open %s for writing\n",
+                 out_path.c_str());
+    return 1;
+  }
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %zu bytes of trace JSON to %s\n",
+               json.size() + 1, out_path.c_str());
   return 0;
 }
 
@@ -207,15 +264,40 @@ int main(int argc, char** argv) {
   if (argc < 2) {
     std::fprintf(stderr,
                  "usage: odedump <db-path> "
-                 "[summary|objects|graph|types|check|vacuum|storage|caches]\n");
+                 "[summary|objects|graph|types|check|vacuum|storage|caches"
+                 "|stats|trace [--out <file>]]\n");
     return 2;
   }
+  // Parse the command (and its flags) before opening: the trace command
+  // needs every event sampled, which is an open-time option.
+  const std::string command = argc >= 3 ? argv[2] : "summary";
+  std::string trace_out;
+  for (int i = 3; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else {
+      std::fprintf(stderr, "odedump: unknown flag '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+
   ode::DatabaseOptions options;
   options.storage.path = argv[1];
+  if (command == "stats") {
+    // Sample every dereference so the latency histograms reflect the whole
+    // read pass, not 1-in-64 of it.
+    options.metrics_sample_every = 1;
+  }
+  if (command == "trace") {
+    options.trace_sample_every = 1;
+    options.trace_buffer_events = 1 << 16;
+    // Dereference spans ride the metrics sampler's decision (see
+    // Database::ReadLatest), so sample every call here too.
+    options.metrics_sample_every = 1;
+  }
   auto db = ode::Database::Open(options);
   if (!db.ok()) return Fail(db.status());
 
-  const std::string command = argc >= 3 ? argv[2] : "summary";
   if (command == "summary") return Summary(**db);
   if (command == "objects") return Objects(**db);
   if (command == "graph") return Graph(**db);
@@ -224,6 +306,8 @@ int main(int argc, char** argv) {
   if (command == "vacuum") return Vacuum(**db);
   if (command == "storage") return Storage(**db);
   if (command == "caches") return Caches(**db);
+  if (command == "stats") return Stats(**db);
+  if (command == "trace") return Trace(**db, trace_out);
   std::fprintf(stderr, "odedump: unknown command '%s'\n", command.c_str());
   return 2;
 }

@@ -12,6 +12,10 @@ repo_root="$(cd "$(dirname "$0")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
 out_dir="${2:-$repo_root}"
 
+# Stamped into each suite's JSON "context" block (bench_common.h
+# AddStandardContext) so results stay attributable to a commit.
+export ODE_GIT_SHA="${ODE_GIT_SHA:-$(git -C "$repo_root" rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+
 # Every suite listed here must have been built: a missing binary aborts the
 # whole run (non-zero exit) rather than silently writing a partial result set.
 suites=(deref delta concurrent)
