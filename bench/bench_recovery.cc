@@ -8,6 +8,7 @@
 
 #include "bench/bench_common.h"
 #include "storage/btree.h"
+#include "storage/fault_env.h"
 #include "storage/storage_engine.h"
 
 namespace ode {

@@ -1,0 +1,188 @@
+#include "core/cursor.h"
+
+#include <limits>
+#include <utility>
+
+#include "core/database.h"
+#include "storage/btree.h"
+#include "util/slice.h"
+
+namespace ode {
+
+// Each Refill runs one shared-lock batch fetch: seek to `seek_key`, collect
+// up to batch_size_ entries, and remember whether the tree may hold more.  A
+// short batch proves the scan is exhausted, so the common small-database
+// case pays exactly one lock acquisition.
+
+ObjectCursor::ObjectCursor(Database& db, size_t batch_size)
+    : CursorBase(db, batch_size) {
+  Refill(ObjectKey(ObjectId{0}));
+}
+
+void ObjectCursor::Next() {
+  if (!Valid()) return;
+  const ObjectId last = entry().first;
+  ++pos_;
+  if (pos_ >= batch_.size() && !exhausted_) {
+    if (last.value == std::numeric_limits<uint64_t>::max()) {
+      exhausted_ = true;
+      return;
+    }
+    Refill(ObjectKey(ObjectId{last.value + 1}));
+  }
+}
+
+void ObjectCursor::Refill(const std::string& seek_key) {
+  batch_.clear();
+  pos_ = 0;
+  status_ = db_->RunInRead([&](PageIO& txn) -> Status {
+    auto tree = BTree::Open(&txn, kObjectsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    auto it = tree->NewIterator();
+    for (it.Seek(seek_key); it.Valid() && batch_.size() < batch_size_;
+         it.Next()) {
+      ObjectId oid;
+      ODE_RETURN_IF_ERROR(ParseObjectKey(Slice(it.key()), &oid));
+      ObjectHeader header;
+      ODE_RETURN_IF_ERROR(ObjectHeader::Decode(Slice(it.value()), &header));
+      batch_.emplace_back(oid, std::move(header));
+    }
+    ODE_RETURN_IF_ERROR(it.status());
+    if (batch_.size() < batch_size_) exhausted_ = true;
+    return Status::OK();
+  });
+  if (!status_.ok()) {
+    batch_.clear();
+    exhausted_ = true;
+  }
+}
+
+VersionCursor::VersionCursor(Database& db, ObjectId oid, size_t batch_size)
+    : CursorBase(db, batch_size), oid_(oid) {
+  Refill(VersionKeyPrefix(oid_));
+}
+
+void VersionCursor::Next() {
+  if (!Valid()) return;
+  const VersionNum last = entry().first.vnum;
+  ++pos_;
+  if (pos_ >= batch_.size() && !exhausted_) {
+    if (last == std::numeric_limits<VersionNum>::max()) {
+      exhausted_ = true;
+      return;
+    }
+    Refill(VersionKey(VersionId{oid_, last + 1}));
+  }
+}
+
+void VersionCursor::Refill(const std::string& seek_key) {
+  batch_.clear();
+  pos_ = 0;
+  status_ = db_->RunInRead([&](PageIO& txn) -> Status {
+    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = VersionKeyPrefix(oid_);
+    auto it = tree->NewIterator();
+    for (it.Seek(seek_key); it.Valid() && batch_.size() < batch_size_;
+         it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      VersionId vid;
+      ODE_RETURN_IF_ERROR(ParseVersionKey(Slice(it.key()), &vid));
+      VersionMeta meta;
+      ODE_RETURN_IF_ERROR(VersionMeta::Decode(Slice(it.value()), &meta));
+      batch_.emplace_back(vid, std::move(meta));
+    }
+    ODE_RETURN_IF_ERROR(it.status());
+    if (batch_.size() < batch_size_) exhausted_ = true;
+    return Status::OK();
+  });
+  if (!status_.ok()) {
+    batch_.clear();
+    exhausted_ = true;
+  }
+}
+
+TypeCursor::TypeCursor(Database& db, size_t batch_size)
+    : CursorBase(db, batch_size) {
+  Refill("");
+}
+
+void TypeCursor::Next() {
+  if (!Valid()) return;
+  // name + '\0' is the smallest key strictly greater than name.
+  std::string resume = entry().first;
+  ++pos_;
+  if (pos_ >= batch_.size() && !exhausted_) {
+    resume.push_back('\0');
+    Refill(resume);
+  }
+}
+
+void TypeCursor::Refill(const std::string& seek_key) {
+  batch_.clear();
+  pos_ = 0;
+  status_ = db_->RunInRead([&](PageIO& txn) -> Status {
+    auto tree = BTree::Open(&txn, kNamesTreeSlot);
+    if (!tree.ok()) return tree.status();
+    auto it = tree->NewIterator();
+    for (it.Seek(seek_key); it.Valid() && batch_.size() < batch_size_;
+         it.Next()) {
+      uint32_t id = 0;
+      ODE_RETURN_IF_ERROR(DecodeTypeId(Slice(it.value()), &id));
+      batch_.emplace_back(it.key(), id);
+    }
+    ODE_RETURN_IF_ERROR(it.status());
+    if (batch_.size() < batch_size_) exhausted_ = true;
+    return Status::OK();
+  });
+  if (!status_.ok()) {
+    batch_.clear();
+    exhausted_ = true;
+  }
+}
+
+ClusterCursor::ClusterCursor(Database& db, uint32_t type_id, size_t batch_size)
+    : CursorBase(db, batch_size), type_id_(type_id) {
+  Refill(ClusterKeyPrefix(type_id_));
+}
+
+void ClusterCursor::Next() {
+  if (!Valid()) return;
+  const ObjectId last = entry();
+  ++pos_;
+  if (pos_ >= batch_.size() && !exhausted_) {
+    if (last.value == std::numeric_limits<uint64_t>::max()) {
+      exhausted_ = true;
+      return;
+    }
+    Refill(ClusterKey(type_id_, ObjectId{last.value + 1}));
+  }
+}
+
+void ClusterCursor::Refill(const std::string& seek_key) {
+  batch_.clear();
+  pos_ = 0;
+  status_ = db_->RunInRead([&](PageIO& txn) -> Status {
+    auto tree = BTree::Open(&txn, kClustersTreeSlot);
+    if (!tree.ok()) return tree.status();
+    const std::string prefix = ClusterKeyPrefix(type_id_);
+    auto it = tree->NewIterator();
+    for (it.Seek(seek_key); it.Valid() && batch_.size() < batch_size_;
+         it.Next()) {
+      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
+      uint32_t parsed_type = 0;
+      ObjectId oid;
+      ODE_RETURN_IF_ERROR(ParseClusterKey(Slice(it.key()), &parsed_type, &oid));
+      batch_.push_back(oid);
+    }
+    ODE_RETURN_IF_ERROR(it.status());
+    if (batch_.size() < batch_size_) exhausted_ = true;
+    return Status::OK();
+  });
+  if (!status_.ok()) {
+    batch_.clear();
+    exhausted_ = true;
+  }
+}
+
+}  // namespace ode

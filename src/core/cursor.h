@@ -1,0 +1,137 @@
+#ifndef ODE_CORE_CURSOR_H_
+#define ODE_CORE_CURSOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "core/meta.h"
+#include "util/status.h"
+
+namespace ode {
+
+class Database;
+
+/// First-class streaming iterators over the catalog — the Status-first
+/// replacement for the callback `ForEach*` scans on Database.
+///
+/// Usage (all four cursors share this shape):
+///
+///     for (ObjectCursor c(db); c.Valid(); c.Next()) {
+///       use(c.oid(), c.header());
+///     }
+///     ODE_RETURN_IF_ERROR(c.status());   // Distinguishes "done" from error.
+///
+/// A cursor is positioned on its first entry at construction; `Valid()` is
+/// false once the scan is exhausted OR an error occurred — check `status()`
+/// to tell the two apart.  Accessors may only be called while `Valid()`.
+///
+/// Consistency: entries are fetched in batches, each batch under one shared
+/// (reader) acquisition of the engine lock, resuming at the successor of the
+/// last returned key.  Within a batch the view is a consistent committed
+/// snapshot (or the calling thread's own open transaction); across batches a
+/// concurrent writer may be reflected, but keys are returned in strictly
+/// ascending order and each at most once.  User code between Next() calls
+/// runs OUTSIDE the lock, so a cursor loop may freely call back into the
+/// Database (including mutators, subject to the single-writer rule).
+///
+/// Cursors are single-threaded objects; the Database must outlive them.
+
+namespace internal {
+
+/// Shared batching machinery: derived cursors supply one tree-scan callback
+/// that fills the next batch.  Not part of the public API.
+template <typename Entry>
+class CursorBase {
+ public:
+  bool Valid() const { return pos_ < batch_.size(); }
+  const Status& status() const { return status_; }
+
+ protected:
+  static constexpr size_t kDefaultBatchSize = 1024;
+
+  CursorBase(Database& db, size_t batch_size)
+      : db_(&db), batch_size_(batch_size ? batch_size : 1) {}
+
+  const Entry& entry() const { return batch_[pos_]; }
+
+  Database* db_;
+  size_t batch_size_;
+  std::vector<Entry> batch_;
+  size_t pos_ = 0;
+  bool exhausted_ = false;  ///< The tree has no entries past the last batch.
+  Status status_;
+};
+
+}  // namespace internal
+
+/// Iterates every object in ascending oid order with its header.
+class ObjectCursor
+    : public internal::CursorBase<std::pair<ObjectId, ObjectHeader>> {
+ public:
+  explicit ObjectCursor(Database& db, size_t batch_size = kDefaultBatchSize);
+
+  void Next();
+
+  ObjectId oid() const { return entry().first; }
+  const ObjectHeader& header() const { return entry().second; }
+
+ private:
+  void Refill(const std::string& seek_key);
+};
+
+/// Iterates every live version of one object in temporal (vnum) order with
+/// its metadata.
+class VersionCursor
+    : public internal::CursorBase<std::pair<VersionId, VersionMeta>> {
+ public:
+  VersionCursor(Database& db, ObjectId oid,
+                size_t batch_size = kDefaultBatchSize);
+
+  void Next();
+
+  VersionId vid() const { return entry().first; }
+  const VersionMeta& meta() const { return entry().second; }
+
+ private:
+  void Refill(const std::string& seek_key);
+
+  ObjectId oid_;
+};
+
+/// Iterates every registered type (name -> id) in name order.
+class TypeCursor
+    : public internal::CursorBase<std::pair<std::string, uint32_t>> {
+ public:
+  explicit TypeCursor(Database& db, size_t batch_size = kDefaultBatchSize);
+
+  void Next();
+
+  const std::string& name() const { return entry().first; }
+  uint32_t id() const { return entry().second; }
+
+ private:
+  void Refill(const std::string& seek_key);
+};
+
+/// Iterates the cluster (per-type extent) of one type in ascending oid
+/// order — the cursor form of Ode's "for x in Cluster" query substrate.
+class ClusterCursor : public internal::CursorBase<ObjectId> {
+ public:
+  ClusterCursor(Database& db, uint32_t type_id,
+                size_t batch_size = kDefaultBatchSize);
+
+  void Next();
+
+  ObjectId oid() const { return entry(); }
+
+ private:
+  void Refill(const std::string& seek_key);
+
+  uint32_t type_id_;
+};
+
+}  // namespace ode
+
+#endif  // ODE_CORE_CURSOR_H_

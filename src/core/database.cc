@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/cursor.h"
 #include "core/delta.h"
 #include "storage/btree.h"
 #include "util/coding.h"
@@ -23,22 +24,6 @@ std::string MakeIdentityDelta(uint64_t size) {
     PutVarint64(&out, size);
   }
   return out;
-}
-
-std::string EncodeTypeId(uint32_t id) {
-  std::string s;
-  for (int shift = 24; shift >= 0; shift -= 8) {
-    s.push_back(static_cast<char>((id >> shift) & 0xff));
-  }
-  return s;
-}
-
-Status DecodeTypeId(const Slice& bytes, uint32_t* id) {
-  if (bytes.size() != 4) return Status::Corruption("bad type id value");
-  uint32_t v = 0;
-  for (int i = 0; i < 4; ++i) v = (v << 8) | static_cast<uint8_t>(bytes[i]);
-  *id = v;
-  return Status::OK();
 }
 
 }  // namespace
@@ -64,8 +49,53 @@ void Database::CoreMetrics::Attach(MetricsRegistry* registry) {
   latest_cache_misses = registry->GetCounter("latest_cache.misses");
 }
 
+namespace {
+
+bool IsZeroOrPowerOfTwo(size_t v) { return (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Status DatabaseOptions::Validate() const {
+  if (storage.buffer_pool_pages < 1) {
+    return Status::InvalidArgument(
+        "storage.buffer_pool_pages must be >= 1");
+  }
+  if (!IsZeroOrPowerOfTwo(storage.buffer_pool_shards)) {
+    return Status::InvalidArgument(
+        "storage.buffer_pool_shards must be 0 (auto) or a power of two");
+  }
+  if (delta_keyframe_interval < 1) {
+    return Status::InvalidArgument("delta_keyframe_interval must be >= 1");
+  }
+  // Written so NaN (every comparison false) is rejected too.
+  if (!(delta_max_ratio > 0.0 && delta_max_ratio <= 1.0)) {
+    return Status::InvalidArgument("delta_max_ratio must be in (0, 1]");
+  }
+  if (!IsZeroOrPowerOfTwo(payload_cache_shards)) {
+    return Status::InvalidArgument(
+        "payload_cache_shards must be 0 (auto) or a power of two");
+  }
+  if (!IsZeroOrPowerOfTwo(latest_cache_shards)) {
+    return Status::InvalidArgument(
+        "latest_cache_shards must be 0 (auto) or a power of two");
+  }
+  if (!IsZeroOrPowerOfTwo(metrics_sample_every)) {
+    return Status::InvalidArgument(
+        "metrics_sample_every must be 0 (off) or a power of two");
+  }
+  if (trace_buffer_events < 1) {
+    return Status::InvalidArgument("trace_buffer_events must be >= 1");
+  }
+  if (!IsZeroOrPowerOfTwo(trace_sample_every)) {
+    return Status::InvalidArgument(
+        "trace_sample_every must be 0 (off) or a power of two");
+  }
+  return Status::OK();
+}
+
 StatusOr<std::unique_ptr<Database>> Database::Open(
     const DatabaseOptions& options) {
+  ODE_RETURN_IF_ERROR(options.Validate());
   auto db = std::unique_ptr<Database>(new Database());
   db->options_ = options;
   if (options.metrics != nullptr) {
@@ -1067,20 +1097,11 @@ StatusOr<std::optional<uint32_t>> Database::LookupType(std::string_view name) {
 
 Status Database::ForEachInCluster(uint32_t type_id,
                                   const std::function<bool(ObjectId)>& fn) {
-  return RunInRead([&](PageIO& txn) -> Status {
-    auto tree = BTree::Open(&txn, kClustersTreeSlot);
-    if (!tree.ok()) return tree.status();
-    const std::string prefix = ClusterKeyPrefix(type_id);
-    auto it = tree->NewIterator();
-    for (it.Seek(prefix); it.Valid(); it.Next()) {
-      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
-      uint32_t parsed_type = 0;
-      ObjectId oid;
-      ODE_RETURN_IF_ERROR(ParseClusterKey(Slice(it.key()), &parsed_type, &oid));
-      if (!fn(oid)) break;
-    }
-    return it.status();
-  });
+  ClusterCursor c(*this, type_id);
+  for (; c.Valid(); c.Next()) {
+    if (!fn(c.oid())) break;
+  }
+  return c.status();
 }
 
 StatusOr<std::vector<ObjectId>> Database::ClusterScan(uint32_t type_id) {
@@ -1109,54 +1130,30 @@ StatusOr<uint64_t> Database::ClusterSize(uint32_t type_id) {
 
 Status Database::ForEachObject(
     const std::function<bool(ObjectId, const ObjectHeader&)>& fn) {
-  return RunInRead([&](PageIO& txn) -> Status {
-    auto tree = BTree::Open(&txn, kObjectsTreeSlot);
-    if (!tree.ok()) return tree.status();
-    auto it = tree->NewIterator();
-    for (it.SeekToFirst(); it.Valid(); it.Next()) {
-      ObjectId oid;
-      ODE_RETURN_IF_ERROR(ParseObjectKey(Slice(it.key()), &oid));
-      ObjectHeader header;
-      ODE_RETURN_IF_ERROR(ObjectHeader::Decode(Slice(it.value()), &header));
-      if (!fn(oid, header)) break;
-    }
-    return it.status();
-  });
+  ObjectCursor c(*this);
+  for (; c.Valid(); c.Next()) {
+    if (!fn(c.oid(), c.header())) break;
+  }
+  return c.status();
 }
 
 Status Database::ForEachVersion(
     ObjectId oid,
     const std::function<bool(VersionId, const VersionMeta&)>& fn) {
-  return RunInRead([&](PageIO& txn) -> Status {
-    auto tree = BTree::Open(&txn, kVersionsTreeSlot);
-    if (!tree.ok()) return tree.status();
-    const std::string prefix = VersionKeyPrefix(oid);
-    auto it = tree->NewIterator();
-    for (it.Seek(prefix); it.Valid(); it.Next()) {
-      if (!Slice(it.key()).starts_with(Slice(prefix))) break;
-      VersionId vid;
-      ODE_RETURN_IF_ERROR(ParseVersionKey(Slice(it.key()), &vid));
-      VersionMeta meta;
-      ODE_RETURN_IF_ERROR(VersionMeta::Decode(Slice(it.value()), &meta));
-      if (!fn(vid, meta)) break;
-    }
-    return it.status();
-  });
+  VersionCursor c(*this, oid);
+  for (; c.Valid(); c.Next()) {
+    if (!fn(c.vid(), c.meta())) break;
+  }
+  return c.status();
 }
 
 Status Database::ForEachType(
     const std::function<bool(const std::string&, uint32_t)>& fn) {
-  return RunInRead([&](PageIO& txn) -> Status {
-    auto tree = BTree::Open(&txn, kNamesTreeSlot);
-    if (!tree.ok()) return tree.status();
-    auto it = tree->NewIterator();
-    for (it.SeekToFirst(); it.Valid(); it.Next()) {
-      uint32_t id = 0;
-      ODE_RETURN_IF_ERROR(DecodeTypeId(Slice(it.value()), &id));
-      if (!fn(it.key(), id)) break;
-    }
-    return it.status();
-  });
+  TypeCursor c(*this);
+  for (; c.Valid(); c.Next()) {
+    if (!fn(c.name(), c.id())) break;
+  }
+  return c.status();
 }
 
 Status Database::Vacuum() {

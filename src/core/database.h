@@ -26,7 +26,14 @@
 namespace ode {
 
 /// Configuration of an Ode database.
+///
+/// Every knob documents its legal range; Validate() checks them all and
+/// Database::Open refuses out-of-range values with InvalidArgument instead
+/// of silently clamping, so a typo'd configuration fails loudly at open
+/// time rather than running with surprise behavior.
 struct DatabaseOptions {
+  /// Storage-engine knobs.  Legal ranges enforced by Validate():
+  /// buffer_pool_pages >= 1; buffer_pool_shards 0 (auto) or a power of two.
   StorageOptions storage;
 
   /// Physical strategy for version payloads:
@@ -37,10 +44,11 @@ struct DatabaseOptions {
   PayloadKind payload_strategy = PayloadKind::kFull;
 
   /// Maximum delta-chain length before a full copy is forced (keyframe).
+  /// Legal range: >= 1 (1 means every version is a keyframe).
   uint32_t delta_keyframe_interval = 16;
 
   /// If an encoded delta exceeds this fraction of the payload, store a full
-  /// copy instead.
+  /// copy instead.  Legal range: (0, 1] (NaN rejected).
   double delta_max_ratio = 0.75;
 
   /// Timestamp source for the temporal relationship.  nullptr uses the
@@ -63,7 +71,8 @@ struct DatabaseOptions {
   size_t latest_cache_entries = 1 << 16;
 
   /// Lock-stripe counts for the two read caches; 0 = auto (collapses to one
-  /// shard for small budgets, scales to 16 for the defaults).
+  /// shard for small budgets, scales to 16 for the defaults).  Legal values:
+  /// 0 or a power of two (stripe selection is a mask).
   size_t payload_cache_shards = 0;
   size_t latest_cache_shards = 0;
 
@@ -75,17 +84,23 @@ struct DatabaseOptions {
   MetricsRegistry* metrics = nullptr;
 
   /// Record one in N warm-dereference latencies into the core.deref_*_ns
-  /// histograms (power of two; 0 disables them).  Sampling keeps the warm
-  /// cache-hit path free of clock reads: the unsampled iteration costs one
-  /// thread-local countdown tick.
+  /// histograms.  Legal values: 0 (disabled) or a power of two (the sampler
+  /// is a mask).  Sampling keeps the warm cache-hit path free of clock
+  /// reads: the unsampled iteration costs one thread-local countdown tick.
   uint32_t metrics_sample_every = 64;
 
-  /// Per-thread trace ring-buffer capacity, in events.
+  /// Per-thread trace ring-buffer capacity, in events.  Legal range: >= 1.
   size_t trace_buffer_events = 8192;
 
-  /// Record one in N trace spans (0 = tracing off, 1 = every span).  Can be
-  /// changed at run time via Database::tracer().set_sample_every().
+  /// Record one in N trace spans.  Legal values: 0 (tracing off) or a power
+  /// of two (1 = every span).  Can be changed at run time via
+  /// Database::tracer().set_sample_every().
   uint32_t trace_sample_every = 0;
+
+  /// Checks every knob against its documented legal range.  Returns the
+  /// first violation as InvalidArgument (naming the field), or OK.
+  /// Database::Open calls this before touching storage.
+  Status Validate() const;
 };
 
 /// Events a trigger can watch.  The paper deliberately provides *no* built-in
@@ -262,8 +277,9 @@ class Database {
   /// Looks up a type id without creating it.
   StatusOr<std::optional<uint32_t>> LookupType(std::string_view name);
 
-  /// Iterates the cluster (per-type extent) of `type_id`; `fn` returns false
-  /// to stop.  This is Ode's "for x in Cluster" query substrate.
+  /// DEPRECATED: prefer ClusterCursor (core/cursor.h).  Iterates the cluster
+  /// (per-type extent) of `type_id`; `fn` returns false to stop.  Thin
+  /// wrapper over ClusterCursor, kept so existing callers compile.
   Status ForEachInCluster(uint32_t type_id,
                           const std::function<bool(ObjectId)>& fn);
 
@@ -271,17 +287,26 @@ class Database {
   StatusOr<uint64_t> ClusterSize(uint32_t type_id);
 
   // -- Whole-database enumeration (catalog scans) ---------------------------
+  //
+  // The first-class scan API is the cursor family in core/cursor.h
+  // (ObjectCursor/VersionCursor/TypeCursor/ClusterCursor): Status-first
+  // Next()/Valid()/status() iterators that don't hold the engine lock across
+  // user code.  The ForEach* callback forms below are DEPRECATED thin
+  // wrappers over those cursors, kept so existing callers compile.
 
-  /// Iterates every object (ascending oid); `fn` returns false to stop.
+  /// DEPRECATED: prefer ObjectCursor (core/cursor.h).  Iterates every object
+  /// (ascending oid); `fn` returns false to stop.
   Status ForEachObject(
       const std::function<bool(ObjectId, const ObjectHeader&)>& fn);
 
-  /// Iterates every version of `oid` in temporal order with its metadata.
+  /// DEPRECATED: prefer VersionCursor (core/cursor.h).  Iterates every
+  /// version of `oid` in temporal order with its metadata.
   Status ForEachVersion(
       ObjectId oid,
       const std::function<bool(VersionId, const VersionMeta&)>& fn);
 
-  /// Iterates every registered type (name -> id).
+  /// DEPRECATED: prefer TypeCursor (core/cursor.h).  Iterates every
+  /// registered type (name -> id).
   Status ForEachType(
       const std::function<bool(const std::string&, uint32_t)>& fn);
 
@@ -392,6 +417,11 @@ class Database {
 
  private:
   friend class RawSecondaryIndex;  // Same-layer facility (core/index.h).
+  // The catalog cursors (core/cursor.h) batch through RunInRead.
+  friend class ObjectCursor;
+  friend class VersionCursor;
+  friend class TypeCursor;
+  friend class ClusterCursor;
 
   Database() = default;
 

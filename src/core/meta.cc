@@ -135,4 +135,20 @@ Status ParseObjectKey(const Slice& key, ObjectId* oid) {
   return Status::OK();
 }
 
+std::string EncodeTypeId(uint32_t id) {
+  std::string s;
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    s.push_back(static_cast<char>((id >> shift) & 0xff));
+  }
+  return s;
+}
+
+Status DecodeTypeId(const Slice& bytes, uint32_t* id) {
+  if (bytes.size() != 4) return Status::Corruption("bad type id value");
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | static_cast<uint8_t>(bytes[i]);
+  *id = v;
+  return Status::OK();
+}
+
 }  // namespace ode

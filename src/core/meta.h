@@ -98,6 +98,10 @@ Status ParseClusterKey(const Slice& key, uint32_t* type_id, ObjectId* oid);
 /// Inverse of ObjectKey.
 Status ParseObjectKey(const Slice& key, ObjectId* oid);
 
+/// Names-tree value codec: BE32 type id.
+std::string EncodeTypeId(uint32_t id);
+Status DecodeTypeId(const Slice& bytes, uint32_t* id);
+
 }  // namespace ode
 
 #endif  // ODE_CORE_META_H_

@@ -252,178 +252,4 @@ StatusOr<std::vector<std::string>> MemEnv::ListDir(const std::string& path) {
   return names;
 }
 
-// ---------------------------------------------------------------------------
-// Fault-injection implementation
-// ---------------------------------------------------------------------------
-
-namespace {
-
-/// Per-file shadow state: `synced` is what survives a crash, `current` is
-/// what readers see now.
-struct FaultFileState {
-  std::string synced;
-  std::string current;
-  uint64_t generation = 0;  // Bumped on crash to invalidate open handles.
-};
-
-struct FaultState {
-  std::map<std::string, std::shared_ptr<FaultFileState>> files;
-  int syncs_until_failure = -1;  // < 0: disabled.
-  bool failing = false;
-  int sync_count = 0;
-};
-
-class FaultFile : public File {
- public:
-  FaultFile(std::shared_ptr<FaultFileState> state, FaultState* global)
-      : state_(std::move(state)),
-        global_(global),
-        generation_(state_->generation) {}
-
-  Status Read(uint64_t offset, size_t n, std::string* scratch,
-              Slice* result) override {
-    ODE_RETURN_IF_ERROR(CheckAlive());
-    const std::string& c = state_->current;
-    if (offset >= c.size()) {
-      *result = Slice();
-      return Status::OK();
-    }
-    size_t avail = std::min<size_t>(n, c.size() - offset);
-    scratch->assign(c.data() + offset, avail);
-    *result = Slice(*scratch);
-    return Status::OK();
-  }
-
-  Status Write(uint64_t offset, const Slice& data) override {
-    ODE_RETURN_IF_ERROR(CheckAlive());
-    ODE_RETURN_IF_ERROR(CheckDisk());
-    std::string& c = state_->current;
-    if (offset + data.size() > c.size()) c.resize(offset + data.size());
-    std::memcpy(c.data() + offset, data.data(), data.size());
-    return Status::OK();
-  }
-
-  Status Append(const Slice& data) override {
-    ODE_RETURN_IF_ERROR(CheckAlive());
-    ODE_RETURN_IF_ERROR(CheckDisk());
-    state_->current.append(data.data(), data.size());
-    return Status::OK();
-  }
-
-  Status Sync() override {
-    ODE_RETURN_IF_ERROR(CheckAlive());
-    if (global_->syncs_until_failure == 0) global_->failing = true;
-    ODE_RETURN_IF_ERROR(CheckDisk());
-    if (global_->syncs_until_failure > 0) --global_->syncs_until_failure;
-    state_->synced = state_->current;
-    ++global_->sync_count;
-    return Status::OK();
-  }
-
-  Status Truncate(uint64_t size) override {
-    ODE_RETURN_IF_ERROR(CheckAlive());
-    ODE_RETURN_IF_ERROR(CheckDisk());
-    state_->current.resize(size);
-    return Status::OK();
-  }
-
-  StatusOr<uint64_t> Size() override {
-    ODE_RETURN_IF_ERROR(CheckAlive());
-    return static_cast<uint64_t>(state_->current.size());
-  }
-
- private:
-  Status CheckAlive() const {
-    if (generation_ != state_->generation) {
-      return Status::IOError("file handle invalidated by simulated crash");
-    }
-    return Status::OK();
-  }
-  Status CheckDisk() const {
-    if (global_->failing) return Status::IOError("simulated disk failure");
-    return Status::OK();
-  }
-
-  std::shared_ptr<FaultFileState> state_;
-  FaultState* global_;
-  uint64_t generation_;
-};
-
-}  // namespace
-
-struct FaultInjectionEnv::Impl {
-  Env* base;  // Unused beyond construction; fault env keeps its own store.
-  FaultState state;
-};
-
-FaultInjectionEnv::FaultInjectionEnv(Env* base) : impl_(new Impl()) {
-  impl_->base = base;
-}
-FaultInjectionEnv::~FaultInjectionEnv() = default;
-
-StatusOr<std::unique_ptr<File>> FaultInjectionEnv::OpenFile(
-    const std::string& path) {
-  auto it = impl_->state.files.find(path);
-  if (it == impl_->state.files.end()) {
-    it = impl_->state.files.emplace(path, std::make_shared<FaultFileState>())
-             .first;
-  }
-  return std::unique_ptr<File>(new FaultFile(it->second, &impl_->state));
-}
-
-bool FaultInjectionEnv::FileExists(const std::string& path) {
-  return impl_->state.files.count(path) > 0;
-}
-
-Status FaultInjectionEnv::DeleteFile(const std::string& path) {
-  if (impl_->state.files.erase(path) == 0) {
-    return Status::NotFound("no such file: " + path);
-  }
-  return Status::OK();
-}
-
-Status FaultInjectionEnv::RenameFile(const std::string& from,
-                                     const std::string& to) {
-  auto it = impl_->state.files.find(from);
-  if (it == impl_->state.files.end()) {
-    return Status::NotFound("no such file: " + from);
-  }
-  impl_->state.files[to] = it->second;
-  impl_->state.files.erase(it);
-  return Status::OK();
-}
-
-Status FaultInjectionEnv::CreateDir(const std::string&) { return Status::OK(); }
-
-StatusOr<std::vector<std::string>> FaultInjectionEnv::ListDir(
-    const std::string& path) {
-  std::vector<std::string> names;
-  std::string prefix = path;
-  if (!prefix.empty() && prefix.back() != '/') prefix += '/';
-  for (const auto& [name, state] : impl_->state.files) {
-    (void)state;
-    if (name.size() > prefix.size() && name.compare(0, prefix.size(), prefix) == 0) {
-      names.push_back(name.substr(prefix.size()));
-    }
-  }
-  return names;
-}
-
-void FaultInjectionEnv::CrashAndLoseUnsynced() {
-  for (auto& [name, state] : impl_->state.files) {
-    (void)name;
-    state->current = state->synced;
-    ++state->generation;
-  }
-  impl_->state.failing = false;
-  impl_->state.syncs_until_failure = -1;
-}
-
-void FaultInjectionEnv::FailAfterSyncs(int n) {
-  impl_->state.syncs_until_failure = n;
-  impl_->state.failing = (n == 0);
-}
-
-int FaultInjectionEnv::sync_count() const { return impl_->state.sync_count; }
-
 }  // namespace ode

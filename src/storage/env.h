@@ -85,38 +85,7 @@ class MemEnv : public Env {
   std::unique_ptr<Impl> impl_;
 };
 
-/// Env wrapper that models a crash: writes since the last Sync() on each file
-/// can be dropped by calling CrashAndLoseUnsynced().  Used by the recovery
-/// tests to prove that committed transactions survive and uncommitted ones
-/// vanish.
-class FaultInjectionEnv : public Env {
- public:
-  /// `base` must outlive this wrapper.
-  explicit FaultInjectionEnv(Env* base);
-  ~FaultInjectionEnv() override;
-
-  StatusOr<std::unique_ptr<File>> OpenFile(const std::string& path) override;
-  bool FileExists(const std::string& path) override;
-  Status DeleteFile(const std::string& path) override;
-  Status RenameFile(const std::string& from, const std::string& to) override;
-  Status CreateDir(const std::string& path) override;
-  StatusOr<std::vector<std::string>> ListDir(const std::string& path) override;
-
-  /// Reverts every file to its state at that file's last Sync().  Open
-  /// handles become invalid (further use returns kIOError) until reopened.
-  void CrashAndLoseUnsynced();
-
-  /// After `n` more successful Sync() calls, every subsequent write/sync
-  /// fails with kIOError (models a dying disk).  n < 0 disables.
-  void FailAfterSyncs(int n);
-
-  /// Total Sync() calls observed (for asserting WAL discipline in tests).
-  int sync_count() const;
-
- private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
-};
+// The crash / fault-injection Env wrapper lives in storage/fault_env.h.
 
 }  // namespace ode
 

@@ -254,6 +254,12 @@ StorageEngine::~StorageEngine() {
     Status s = Abort(&txn_);
     if (!s.ok()) { ODE_LOG_WARN << "abort on close failed: " << s; }
   }
+  if (poisoned()) {
+    // Flushing pages that may disagree with the durable WAL would persist a
+    // rolled-back transaction; leave the files for recovery instead.
+    ODE_LOG_WARN << "closing poisoned engine without checkpoint: " << poison_;
+    return;
+  }
   Status s = Checkpoint();
   if (!s.ok()) { ODE_LOG_WARN << "checkpoint on close failed: " << s; }
 }
@@ -264,6 +270,7 @@ StatusOr<Txn*> StorageEngine::Begin() {
   if (txn_open_) {
     return Status::FailedPrecondition("a transaction is already open");
   }
+  if (poisoned()) return poison_;
   rw_mutex_.lock();  // Held until Commit/Abort closes the transaction.
   txn_.engine_ = this;
   txn_.id_ = next_txn_id_++;
@@ -301,6 +308,14 @@ Status StorageEngine::Commit(Txn* txn) {
         return wal_->Sync();
       }();
       if (!s.ok()) {
+        // The WAL may now hold unsynced records of this failed transaction
+        // (possibly including its commit record).  A later successful Sync
+        // would make them durable and recovery would resurrect the
+        // rolled-back transaction, so refuse all further writes: the caller
+        // must discard this engine and re-open (recovery discards the
+        // uncommitted / unsynced WAL tail).
+        poison_ = Status::FailedPrecondition(
+            "engine poisoned by failed durable commit: " + s.ToString());
         // Abort closes the transaction and releases the exclusive lock.
         Status abort_status = Abort(txn);
         if (!abort_status.ok()) {
@@ -319,9 +334,14 @@ Status StorageEngine::Commit(Txn* txn) {
   }
 
   // The auto-checkpoint runs outside the transaction's exclusive section;
-  // Checkpoint re-acquires the lock itself.
+  // Checkpoint re-acquires the lock itself.  Its failure must NOT fail this
+  // Commit: the transaction is already durable (the WAL sync above
+  // succeeded), so reporting an error here would tell the caller a committed
+  // transaction didn't happen.  Checkpointing retries on a later commit, and
+  // recovery replays the un-truncated WAL either way.
   if (wal_bytes() > options_.checkpoint_wal_bytes) {
-    ODE_RETURN_IF_ERROR(Checkpoint());
+    Status s = Checkpoint();
+    if (!s.ok()) { ODE_LOG_WARN << "auto-checkpoint failed: " << s; }
   }
   return Status::OK();
 }
@@ -341,6 +361,13 @@ Status StorageEngine::Abort(Txn* txn) {
   txn_open_ = false;
   heap_.InvalidateCache();
   metrics_.txn_aborts->Increment();
+  if (!restore_status.ok() && poison_.ok()) {
+    // Some pages still carry the aborted transaction's changes; writing on
+    // top of them would corrupt committed state.
+    poison_ = Status::FailedPrecondition(
+        "engine poisoned by failed abort restore: " +
+        restore_status.ToString());
+  }
   rw_mutex_.unlock();
   return restore_status;
 }
@@ -386,6 +413,7 @@ Status StorageEngine::Checkpoint() {
   if (txn_open_) {
     return Status::FailedPrecondition("cannot checkpoint mid-transaction");
   }
+  if (poisoned()) return poison_;
   TraceSpan span(metrics_.tracer, "storage.checkpoint", "storage");
   ScopedLatency timer(metrics_.checkpoint_ns);
   std::unique_lock<std::shared_mutex> lock(rw_mutex_);

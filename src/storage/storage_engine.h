@@ -177,6 +177,18 @@ class StorageEngine {
   /// StorageOptions::metrics or an engine-private registry).
   StorageMetrics* metrics() { return &metrics_; }
 
+  /// True once a durability failure has poisoned the engine (see
+  /// poison_status()).  Reads stay allowed; Begin/Commit/Checkpoint refuse.
+  bool poisoned() const { return !poison_.ok(); }
+
+  /// Why the engine is poisoned (OK when healthy).  The engine poisons
+  /// itself when a failed durable-commit leaves unsynced transaction records
+  /// in the WAL — a later successful Sync would make the rolled-back
+  /// transaction durable and resurrect it at recovery — or when an abort
+  /// cannot restore all undo images.  The only safe continuation is to
+  /// discard this engine and re-open (recovery ignores uncommitted tails).
+  const Status& poison_status() const { return poison_; }
+
  private:
   friend class Txn;
   friend class ReadTxn;
@@ -199,6 +211,7 @@ class StorageEngine {
   uint64_t wal_bytes_at_truncate_ = 0;
   uint64_t commit_count_ = 0;
   uint64_t checkpoint_count_ = 0;
+  Status poison_;  ///< Non-OK after an unrecoverable durability failure.
   RecoveryStats recovery_;
   /// Writers exclusive, readers shared.  Held across the whole write
   /// transaction (Begin to Commit/Abort) and the whole of WithReadTxn.

@@ -1,4 +1,5 @@
 #include "core/check.h"
+#include "storage/fault_env.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,173 @@
+#include "core/cursor.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/database.h"
+#include "tests/testing/db_fixture.h"
+#include "tests/testing/util.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+class CursorTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+};
+
+TEST_F(CursorTest, EmptyDatabaseIsImmediatelyInvalid) {
+  ObjectCursor objs(*db_);
+  EXPECT_FALSE(objs.Valid());
+  EXPECT_OK(objs.status());
+
+  VersionCursor vers(*db_, ObjectId{42});
+  EXPECT_FALSE(vers.Valid());
+  EXPECT_OK(vers.status());
+
+  ClusterCursor cluster(*db_, /*type_id=*/9999);
+  EXPECT_FALSE(cluster.Valid());
+  EXPECT_OK(cluster.status());
+}
+
+TEST_F(CursorTest, ObjectCursorMatchesForEachObject) {
+  std::vector<ObjectId> created;
+  for (int i = 0; i < 7; ++i) {
+    created.push_back(MustPnew("payload " + std::to_string(i)).oid);
+  }
+
+  std::vector<std::pair<ObjectId, uint32_t>> via_foreach;
+  ASSERT_OK(db_->ForEachObject([&](ObjectId oid, const ObjectHeader& h) {
+    via_foreach.emplace_back(oid, h.version_count);
+    return true;
+  }));
+
+  std::vector<std::pair<ObjectId, uint32_t>> via_cursor;
+  ObjectCursor c(*db_);
+  for (; c.Valid(); c.Next()) {
+    via_cursor.emplace_back(c.oid(), c.header().version_count);
+  }
+  ASSERT_OK(c.status());
+
+  EXPECT_EQ(via_cursor, via_foreach);
+  ASSERT_EQ(via_cursor.size(), created.size());
+  for (size_t i = 0; i < created.size(); ++i) {
+    EXPECT_EQ(via_cursor[i].first, created[i]);  // Ascending oid order.
+  }
+}
+
+TEST_F(CursorTest, SmallBatchesResumeWithoutSkippingOrRepeating) {
+  for (int i = 0; i < 9; ++i) MustPnew("p" + std::to_string(i));
+
+  // batch_size 2 forces five refills; each entry must appear exactly once.
+  std::vector<uint64_t> seen;
+  for (ObjectCursor c(*db_, /*batch_size=*/2); c.Valid(); c.Next()) {
+    seen.push_back(c.oid().value);
+  }
+  ASSERT_EQ(seen.size(), 9u);
+  for (size_t i = 1; i < seen.size(); ++i) EXPECT_LT(seen[i - 1], seen[i]);
+}
+
+TEST_F(CursorTest, VersionCursorWalksTemporalOrderWithMeta) {
+  VersionId v1 = MustPnew("base");
+  ASSERT_OK_AND_ASSIGN(VersionId v2, db_->NewVersionOf(v1.oid));
+  ASSERT_OK(db_->UpdateVersion(v2, Slice("second")));
+  ASSERT_OK_AND_ASSIGN(VersionId v3, db_->NewVersionFrom(v1));
+
+  std::vector<VersionNum> order;
+  VersionCursor c(*db_, v1.oid, /*batch_size=*/1);
+  for (; c.Valid(); c.Next()) {
+    EXPECT_EQ(c.vid().oid, v1.oid);
+    EXPECT_EQ(c.vid().vnum, c.meta().vnum);
+    order.push_back(c.vid().vnum);
+  }
+  ASSERT_OK(c.status());
+  EXPECT_EQ(order, (std::vector<VersionNum>{v1.vnum, v2.vnum, v3.vnum}));
+
+  // The cursor is scoped to one object: a neighbor's versions never leak in.
+  VersionId other = MustPnew("other object");
+  VersionCursor scoped(*db_, v1.oid);
+  size_t count = 0;
+  for (; scoped.Valid(); scoped.Next()) {
+    EXPECT_NE(scoped.vid().oid, other.oid);
+    ++count;
+  }
+  ASSERT_OK(scoped.status());
+  EXPECT_EQ(count, 3u);
+}
+
+TEST_F(CursorTest, TypeCursorListsEveryRegisteredType) {
+  ASSERT_OK_AND_ASSIGN(uint32_t doc_id, db_->RegisterType("doc"));
+  ASSERT_OK_AND_ASSIGN(uint32_t img_id, db_->RegisterType("image"));
+
+  std::vector<std::pair<std::string, uint32_t>> types;
+  TypeCursor c(*db_, /*batch_size=*/1);
+  for (; c.Valid(); c.Next()) types.emplace_back(c.name(), c.id());
+  ASSERT_OK(c.status());
+
+  // Name order: doc < image < raw (registered by the fixture).
+  ASSERT_EQ(types.size(), 3u);
+  EXPECT_EQ(types[0], (std::pair<std::string, uint32_t>{"doc", doc_id}));
+  EXPECT_EQ(types[1], (std::pair<std::string, uint32_t>{"image", img_id}));
+  EXPECT_EQ(types[2], (std::pair<std::string, uint32_t>{"raw", type_id_}));
+}
+
+TEST_F(CursorTest, ClusterCursorIsScopedToOneType) {
+  ASSERT_OK_AND_ASSIGN(uint32_t doc_id, db_->RegisterType("doc"));
+  VersionId raw1 = MustPnew("raw one");
+  ASSERT_OK_AND_ASSIGN(VersionId doc1, db_->PnewRaw(doc_id, Slice("doc one")));
+  VersionId raw2 = MustPnew("raw two");
+
+  std::vector<ObjectId> raws;
+  ClusterCursor c(*db_, type_id_, /*batch_size=*/1);
+  for (; c.Valid(); c.Next()) raws.push_back(c.oid());
+  ASSERT_OK(c.status());
+  EXPECT_EQ(raws, (std::vector<ObjectId>{raw1.oid, raw2.oid}));
+
+  std::vector<ObjectId> docs;
+  for (ClusterCursor d(*db_, doc_id); d.Valid(); d.Next()) {
+    docs.push_back(d.oid());
+  }
+  EXPECT_EQ(docs, (std::vector<ObjectId>{doc1.oid}));
+}
+
+TEST_F(CursorTest, MutationBetweenBatchesIsSafe) {
+  std::vector<ObjectId> oids;
+  for (int i = 0; i < 6; ++i) {
+    oids.push_back(MustPnew("m" + std::to_string(i)).oid);
+  }
+
+  // With batch_size 1 every Next() refills; deleting an upcoming object
+  // mid-scan must neither crash nor return it.
+  std::vector<uint64_t> seen;
+  ObjectCursor c(*db_, /*batch_size=*/1);
+  for (; c.Valid(); c.Next()) {
+    seen.push_back(c.oid().value);
+    if (seen.size() == 2) ASSERT_OK(db_->PdeleteObject(oids[3]));
+  }
+  ASSERT_OK(c.status());
+  std::vector<uint64_t> expected;
+  for (const ObjectId& oid : oids) {
+    if (oid != oids[3]) expected.push_back(oid.value);
+  }
+  EXPECT_EQ(seen, expected);
+}
+
+TEST_F(CursorTest, ForEachWrappersHonorEarlyStop) {
+  for (int i = 0; i < 5; ++i) MustPnew("e" + std::to_string(i));
+  int visits = 0;
+  ASSERT_OK(db_->ForEachObject([&](ObjectId, const ObjectHeader&) {
+    return ++visits < 2;
+  }));
+  EXPECT_EQ(visits, 2);
+}
+
+}  // namespace
+}  // namespace ode

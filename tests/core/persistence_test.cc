@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/database.h"
+#include "storage/fault_env.h"
 #include "core/version_ptr.h"
 #include "tests/testing/db_fixture.h"
 #include "util/random.h"

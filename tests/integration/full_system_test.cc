@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/check.h"
+#include "storage/fault_env.h"
 #include "core/index.h"
 #include "core/query.h"
 #include "core/version_ptr.h"

@@ -2,6 +2,7 @@
 
 #include "storage/btree.h"
 #include "storage/env.h"
+#include "storage/fault_env.h"
 #include "storage/storage_engine.h"
 #include "tests/testing/util.h"
 

@@ -1,4 +1,5 @@
 #include "storage/env.h"
+#include "storage/fault_env.h"
 
 #include <gtest/gtest.h>
 

@@ -1,0 +1,294 @@
+#include "storage/fault_env.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "tests/testing/util.h"
+#include "util/slice.h"
+
+namespace ode {
+namespace {
+
+std::string ReadAll(Env& env, const std::string& path) {
+  auto file = env.OpenFile(path);
+  EXPECT_OK(file.status());
+  auto size = (*file)->Size();
+  EXPECT_OK(size.status());
+  std::string scratch;
+  Slice result;
+  EXPECT_OK((*file)->Read(0, *size, &scratch, &result));
+  return std::string(result.data(), result.size());
+}
+
+// ---------------------------------------------------------------------------
+// Accounting
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnvCountsTest, CountsEveryOperationKind) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  ASSERT_OK(file->Append(Slice("abcd")));
+  ASSERT_OK(file->Write(0, Slice("AB")));
+  ASSERT_OK(file->Sync());
+  ASSERT_OK(file->Truncate(2));
+  std::string scratch;
+  Slice result;
+  ASSERT_OK(file->Read(0, 2, &scratch, &result));
+  ASSERT_OK(env.RenameFile("/f", "/g"));
+  ASSERT_OK(env.DeleteFile("/g"));
+
+  const IoCounts counts = env.counts();
+  EXPECT_EQ(counts.of(FaultOp::kOpen), 1u);
+  EXPECT_EQ(counts.of(FaultOp::kAppend), 1u);
+  EXPECT_EQ(counts.of(FaultOp::kWrite), 1u);
+  EXPECT_EQ(counts.of(FaultOp::kSync), 1u);
+  EXPECT_EQ(counts.of(FaultOp::kTruncate), 1u);
+  EXPECT_EQ(counts.of(FaultOp::kRead), 1u);
+  EXPECT_EQ(counts.of(FaultOp::kRename), 1u);
+  EXPECT_EQ(counts.of(FaultOp::kDelete), 1u);
+  EXPECT_EQ(counts.bytes_written, 6u);  // 4 appended + 2 overwritten.
+  EXPECT_EQ(counts.bytes_read, 2u);
+  EXPECT_EQ(counts.mutating(), 6u);  // Everything except Read and Open.
+  EXPECT_EQ(env.mutating_op_count(), counts.mutating());
+}
+
+TEST(FaultEnvCountsTest, MutatingExcludesReadAndOpen) {
+  IoCounts counts;
+  counts.ops[static_cast<int>(FaultOp::kRead)] = 7;
+  counts.ops[static_cast<int>(FaultOp::kOpen)] = 3;
+  counts.ops[static_cast<int>(FaultOp::kWrite)] = 2;
+  counts.ops[static_cast<int>(FaultOp::kSync)] = 1;
+  EXPECT_EQ(counts.mutating(), 3u);
+}
+
+TEST(FaultEnvCountsTest, FailedOperationsStillCounted) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  env.FailNth(FaultOp::kAppend, 0, Status::IOError("boom"));
+  EXPECT_TRUE(file->Append(Slice("x")).IsIOError());
+  EXPECT_EQ(env.counts().of(FaultOp::kAppend), 1u);
+}
+
+TEST(FaultEnvCountsTest, ResetCountsZeroes) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  ASSERT_OK(file->Append(Slice("x")));
+  ASSERT_OK(file->Sync());
+  EXPECT_GT(env.mutating_op_count(), 0u);
+  EXPECT_EQ(env.sync_count(), 1);
+  env.ResetCounts();
+  EXPECT_EQ(env.mutating_op_count(), 0u);
+  EXPECT_EQ(env.sync_count(), 0);
+  EXPECT_EQ(env.counts().bytes_written, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// FailNth error injection
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnvFailNthTest, FailsExactlyTheNthOperation) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  env.FailNth(FaultOp::kAppend, 2, Status::IOError("third append dies"),
+              /*sticky=*/false);
+  ASSERT_OK(file->Append(Slice("a")));
+  ASSERT_OK(file->Append(Slice("b")));
+  Status s = file->Append(Slice("c"));
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "third append dies");
+  // Non-sticky: later operations succeed again.
+  ASSERT_OK(file->Append(Slice("d")));
+  EXPECT_EQ(ReadAll(env, "/f"), "abd");
+}
+
+TEST(FaultEnvFailNthTest, ConfigurableErrorCode) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  env.FailNth(FaultOp::kSync, 0, Status::Corruption("bad sector"),
+              /*sticky=*/false);
+  Status s = file->Sync();
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(s.message(), "bad sector");
+}
+
+TEST(FaultEnvFailNthTest, StickyModelsDyingDisk) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  env.FailNth(FaultOp::kWrite, 0, Status::IOError("dead"));
+  EXPECT_TRUE(file->Write(0, Slice("x")).IsIOError());
+  // Every subsequent mutating op fails too, with the same error...
+  EXPECT_TRUE(file->Append(Slice("y")).IsIOError());
+  EXPECT_TRUE(file->Sync().IsIOError());
+  EXPECT_TRUE(env.DeleteFile("/f").IsIOError());
+  // ...but reads still work (the platters are dead, the cache is not).
+  std::string scratch;
+  Slice result;
+  EXPECT_OK(file->Read(0, 1, &scratch, &result));
+  // ClearFaults heals the disk.
+  env.ClearFaults();
+  EXPECT_OK(file->Append(Slice("z")));
+}
+
+TEST(FaultEnvFailNthTest, TargetsOnlyTheNamedKind) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  env.FailNth(FaultOp::kSync, 0, Status::IOError("sync dies"),
+              /*sticky=*/false);
+  ASSERT_OK(file->Append(Slice("a")));  // Appends unaffected.
+  ASSERT_OK(file->Write(0, Slice("A")));
+  EXPECT_TRUE(file->Sync().IsIOError());
+}
+
+TEST(FaultEnvFailNthTest, RenameAndDeleteInjectable) {
+  FaultInjectionEnv env(nullptr);
+  { ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f")); }
+  env.FailNth(FaultOp::kRename, 0, Status::IOError("no rename"),
+              /*sticky=*/false);
+  EXPECT_TRUE(env.RenameFile("/f", "/g").IsIOError());
+  EXPECT_TRUE(env.FileExists("/f"));
+  env.FailNth(FaultOp::kDelete, 0, Status::IOError("no delete"),
+              /*sticky=*/false);
+  EXPECT_TRUE(env.DeleteFile("/f").IsIOError());
+  EXPECT_TRUE(env.FileExists("/f"));
+}
+
+// ---------------------------------------------------------------------------
+// Crash simulation & tear modes
+// ---------------------------------------------------------------------------
+
+// Writes one synced prefix and one unsynced tail, crashes with `tear`, and
+// returns the surviving content.
+std::string CrashWith(CrashTear tear) {
+  FaultInjectionEnv env(nullptr);
+  {
+    auto file = env.OpenFile("/f");
+    EXPECT_OK(file.status());
+    EXPECT_OK((*file)->Append(Slice("SYNCED.")));
+    EXPECT_OK((*file)->Sync());
+    EXPECT_OK((*file)->Append(Slice("unsynced")));
+  }
+  env.Crash(tear);
+  return ReadAll(env, "/f");
+}
+
+TEST(FaultEnvCrashTest, LoseAllDropsUnsyncedTail) {
+  EXPECT_EQ(CrashWith(CrashTear::kLoseAll), "SYNCED.");
+}
+
+TEST(FaultEnvCrashTest, KeepAllRetainsUnsyncedTail) {
+  EXPECT_EQ(CrashWith(CrashTear::kKeepAll), "SYNCED.unsynced");
+}
+
+TEST(FaultEnvCrashTest, TearHalfKeepsHalfTheTail) {
+  EXPECT_EQ(CrashWith(CrashTear::kTearHalf), "SYNCED.unsy");
+}
+
+TEST(FaultEnvCrashTest, TornByteDropsLastByte) {
+  EXPECT_EQ(CrashWith(CrashTear::kTornByte), "SYNCED.unsynce");
+}
+
+TEST(FaultEnvCrashTest, CorruptLastFlipsLastBit) {
+  std::string survived = CrashWith(CrashTear::kCorruptLast);
+  ASSERT_EQ(survived.size(), 15u);
+  EXPECT_EQ(survived.substr(0, 14), "SYNCED.unsynce");
+  EXPECT_EQ(survived[14], 'd' ^ 0x01);
+}
+
+TEST(FaultEnvCrashTest, TearAppliesToMidFileOverwrites) {
+  FaultInjectionEnv env(nullptr);
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+    ASSERT_OK(file->Append(Slice("0123456789")));
+    ASSERT_OK(file->Sync());
+    // Overwrite in the middle of the file: the unsynced region runs from
+    // the first modified byte (offset 2) to current EOF.
+    ASSERT_OK(file->Write(2, Slice("abcd")));
+  }
+  env.Crash(CrashTear::kTearHalf);
+  // Half of the 8-byte unsynced region [2, 10) is overlaid on the synced
+  // image; the synced bytes beyond it survive untouched.
+  EXPECT_EQ(ReadAll(env, "/f"), "01abcd6789");
+}
+
+TEST(FaultEnvCrashTest, UnsyncedTruncateRevertsOnTear) {
+  FaultInjectionEnv env(nullptr);
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+    ASSERT_OK(file->Append(Slice("0123456789")));
+    ASSERT_OK(file->Sync());
+    ASSERT_OK(file->Truncate(4));
+  }
+  env.Crash(CrashTear::kTearHalf);
+  EXPECT_EQ(ReadAll(env, "/f"), "0123456789");
+}
+
+TEST(FaultEnvCrashTest, CrashClearsPendingFaults) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  env.FailAfterSyncs(0);
+  EXPECT_TRUE(file->Append(Slice("x")).IsIOError());
+  env.CrashAndLoseUnsynced();  // Reboot: the disk is healthy again.
+  ASSERT_OK_AND_ASSIGN(auto fresh, env.OpenFile("/f"));
+  EXPECT_OK(fresh->Append(Slice("y")));
+  EXPECT_OK(fresh->Sync());
+}
+
+// ---------------------------------------------------------------------------
+// Scheduled crashes
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnvScheduleTest, CrashFiresInsteadOfNthMutatingOp) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  ASSERT_OK(file->Append(Slice("a")));
+  ASSERT_OK(file->Sync());
+  env.ScheduleCrash(1, CrashTear::kLoseAll);
+  ASSERT_OK(file->Append(Slice("b")));      // Op 0: runs.
+  EXPECT_FALSE(env.crash_fired());
+  EXPECT_TRUE(file->Append(Slice("c")).IsIOError());  // Op 1: crash instead.
+  EXPECT_TRUE(env.crash_fired());
+  // The op that triggered the crash did NOT execute, and 'b' was unsynced.
+  EXPECT_EQ(ReadAll(env, "/f"), "a");
+}
+
+TEST(FaultEnvScheduleTest, ReadsDoNotAdvanceTheCrashClock) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  ASSERT_OK(file->Append(Slice("abc")));
+  env.ScheduleCrash(0, CrashTear::kKeepAll);
+  std::string scratch;
+  Slice result;
+  ASSERT_OK(file->Read(0, 3, &scratch, &result));  // Reads never crash.
+  EXPECT_FALSE(env.crash_fired());
+  EXPECT_TRUE(file->Sync().IsIOError());
+  EXPECT_TRUE(env.crash_fired());
+}
+
+TEST(FaultEnvScheduleTest, SchedulePastWorkloadNeverFires) {
+  FaultInjectionEnv env(nullptr);
+  ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+  env.ScheduleCrash(100, CrashTear::kLoseAll);
+  ASSERT_OK(file->Append(Slice("a")));
+  ASSERT_OK(file->Sync());
+  EXPECT_FALSE(env.crash_fired());
+}
+
+// ---------------------------------------------------------------------------
+// Legacy surface (the API recovery_test/checkpoint_crash_test predate)
+// ---------------------------------------------------------------------------
+
+TEST(FaultEnvLegacyTest, CrashAndLoseUnsyncedEqualsLoseAllTear) {
+  FaultInjectionEnv env(nullptr);
+  {
+    ASSERT_OK_AND_ASSIGN(auto file, env.OpenFile("/f"));
+    ASSERT_OK(file->Append(Slice("keep")));
+    ASSERT_OK(file->Sync());
+    ASSERT_OK(file->Append(Slice("-lost")));
+  }
+  env.CrashAndLoseUnsynced();
+  EXPECT_EQ(ReadAll(env, "/f"), "keep");
+}
+
+}  // namespace
+}  // namespace ode

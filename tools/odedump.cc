@@ -9,6 +9,9 @@
 //   graph     the version graph of every object (derived-from + temporal)
 //   types     the registered type table
 //   check     run the full consistency check (exit 1 on violations)
+//   verify    recovery-time verification of a closed database: report what
+//             WAL recovery did, then cross-check headers, version metadata,
+//             and the temporal/derived-from chains (exit 1 on violations)
 //   vacuum    compact the catalog B+trees
 //   storage   physical page/record statistics + cache counters
 //   caches    read every version twice, report read-cache hit rates
@@ -19,15 +22,25 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
 
 #include "core/check.h"
+#include "core/cursor.h"
 #include "core/database.h"
 #include "policy/history.h"
+#include "storage/env.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
 namespace {
+
+constexpr char kUsage[] =
+    "usage: odedump <db-path> "
+    "[summary|objects|graph|types|check|verify|vacuum|storage|caches"
+    "|stats|trace [--out <file>]]\n"
+    "<db-path> must be an existing Ode database directory (containing "
+    "data.odb)\n";
 
 int Fail(const ode::Status& status) {
   std::fprintf(stderr, "odedump: %s\n", status.ToString().c_str());
@@ -120,6 +133,135 @@ int Check(ode::Database& db) {
     std::printf("VIOLATION: %s\n", error.c_str());
   }
   return 1;
+}
+
+// Recovery-time verification of a (previously closed) database.  Opening
+// already ran WAL recovery; report what it did, then cross-check the catalog
+// through the cursor API: every header against its version entries, every
+// version's metadata against the temporal (Tprevious/Tnext) and derived-from
+// (Dprevious/Dnext) traversals, and finally the full fsck (CheckDatabase,
+// which additionally materializes every payload and checks clusters).
+int Verify(ode::Database& db) {
+  const ode::RecoveryStats& rec = db.storage().last_recovery();
+  std::printf("recovery: %" PRIu64 " committed txns replayed, %" PRIu64
+              " uncommitted discarded, %" PRIu64 " pages, %" PRIu64
+              " records scanned%s\n",
+              rec.committed_txns, rec.discarded_txns, rec.pages_replayed,
+              rec.records_scanned,
+              rec.tail_truncated ? ", torn WAL tail truncated" : "");
+
+  uint64_t violations = 0;
+  const auto violation = [&](const std::string& what) {
+    std::printf("VIOLATION: %s\n", what.c_str());
+    ++violations;
+  };
+
+  uint64_t objects = 0, versions = 0;
+  ode::ObjectCursor objs(db);
+  for (; objs.Valid(); objs.Next()) {
+    const ode::ObjectId oid = objs.oid();
+    const ode::ObjectHeader& header = objs.header();
+    ++objects;
+    const std::string label = "object " + std::to_string(oid.value);
+
+    // Header vs. the generic-reference resolution path.
+    auto latest = db.Latest(oid);
+    if (!latest.ok()) {
+      violation(label + ": Latest() failed: " + latest.status().ToString());
+    } else if (latest->vnum != header.latest) {
+      violation(label + ": header.latest v" + std::to_string(header.latest) +
+                " but Latest() resolves v" + std::to_string(latest->vnum));
+    }
+
+    // Walk the version entries, re-deriving the temporal chain.
+    uint64_t count = 0;
+    std::optional<ode::VersionId> prev;
+    ode::VersionCursor vers(db, oid);
+    for (; vers.Valid(); vers.Next()) {
+      const ode::VersionId vid = vers.vid();
+      const ode::VersionMeta& meta = vers.meta();
+      ++versions;
+      ++count;
+      const std::string vlabel =
+          label + " v" + std::to_string(vid.vnum);
+      if (meta.vnum != vid.vnum) {
+        violation(vlabel + ": key/meta vnum mismatch (meta says v" +
+                  std::to_string(meta.vnum) + ")");
+      }
+      // Temporal chain: Tprevious must name the preceding live entry, and
+      // the edge must invert (Tnext of the predecessor is this version).
+      auto tprev = db.Tprevious(vid);
+      if (!tprev.ok()) {
+        violation(vlabel + ": Tprevious failed: " + tprev.status().ToString());
+      } else if (*tprev != prev) {
+        violation(vlabel + ": broken Tprevious link");
+      } else if (prev.has_value()) {
+        auto tnext = db.Tnext(*prev);
+        if (!tnext.ok() || !tnext->has_value() || !(**tnext == vid)) {
+          violation(vlabel + ": broken Tnext link from v" +
+                    std::to_string(prev->vnum));
+        }
+      }
+      // Derived-from tree: Dprevious must mirror the metadata, and this
+      // version must appear among its parent's Dnext children.
+      auto dprev = db.Dprevious(vid);
+      if (!dprev.ok()) {
+        violation(vlabel + ": Dprevious failed: " + dprev.status().ToString());
+      } else {
+        const ode::VersionNum want = meta.derived_from;
+        if (want == ode::kNoVersion) {
+          if (dprev->has_value()) violation(vlabel + ": spurious Dprevious");
+        } else if (!dprev->has_value() || (*dprev)->vnum != want) {
+          violation(vlabel + ": broken Dprevious link (expected v" +
+                    std::to_string(want) + ")");
+        } else {
+          auto children = db.Dnext(**dprev);
+          bool found = false;
+          if (children.ok()) {
+            for (const ode::VersionId& child : *children) {
+              if (child == vid) { found = true; break; }
+            }
+          }
+          if (!found) {
+            violation(vlabel + ": missing from Dnext of v" +
+                      std::to_string(want));
+          }
+        }
+      }
+      prev = vid;
+    }
+    if (!vers.status().ok()) return Fail(vers.status());
+    if (count != header.version_count) {
+      violation(label + ": header.version_count " +
+                std::to_string(header.version_count) + " but " +
+                std::to_string(count) + " version entries");
+    }
+    if (!prev.has_value()) {
+      violation(label + ": no version entries at all");
+    } else if (prev->vnum != header.latest) {
+      violation(label + ": temporally last entry v" +
+                std::to_string(prev->vnum) + " != header.latest v" +
+                std::to_string(header.latest));
+    }
+  }
+  if (!objs.status().ok()) return Fail(objs.status());
+  std::printf("chains:   %" PRIu64 " objects, %" PRIu64
+              " versions cross-checked\n",
+              objects, versions);
+
+  // The payload/cluster half of the story: materialize everything.
+  auto report = ode::CheckDatabase(db);
+  if (!report.ok()) return Fail(report.status());
+  for (const std::string& error : report->errors) violation(error);
+  std::printf("payloads: %" PRIu64 " bytes materialized\n",
+              report->payload_bytes);
+
+  if (violations > 0) {
+    std::printf("verify FAILED: %" PRIu64 " violations\n", violations);
+    return 1;
+  }
+  std::printf("verify OK\n");
+  return 0;
 }
 
 int Vacuum(ode::Database& db) {
@@ -262,27 +404,44 @@ int Trace(ode::Database& db, const std::string& out_path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr,
-                 "usage: odedump <db-path> "
-                 "[summary|objects|graph|types|check|vacuum|storage|caches"
-                 "|stats|trace [--out <file>]]\n");
+    std::fputs(kUsage, stderr);
     return 2;
   }
-  // Parse the command (and its flags) before opening: the trace command
-  // needs every event sampled, which is an open-time option.
+  // Validate the command (and its flags) before opening anything: opening
+  // would CREATE a database at a mistyped path, and the trace command needs
+  // every event sampled, which is an open-time option.
   const std::string command = argc >= 3 ? argv[2] : "summary";
+  const bool known_command =
+      command == "summary" || command == "objects" || command == "graph" ||
+      command == "types" || command == "check" || command == "verify" ||
+      command == "vacuum" || command == "storage" || command == "caches" ||
+      command == "stats" || command == "trace";
+  if (!known_command) {
+    std::fprintf(stderr, "odedump: unknown command '%s'\n", command.c_str());
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
   std::string trace_out;
   for (int i = 3; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+    if (command == "trace" && std::strcmp(argv[i], "--out") == 0 &&
+        i + 1 < argc) {
       trace_out = argv[++i];
     } else {
       std::fprintf(stderr, "odedump: unknown flag '%s'\n", argv[i]);
+      std::fputs(kUsage, stderr);
       return 2;
     }
   }
+  const std::string path = argv[1];
+  if (!ode::Env::Posix()->FileExists(path + "/data.odb")) {
+    std::fprintf(stderr, "odedump: no Ode database at '%s' (missing %s)\n",
+                 path.c_str(), (path + "/data.odb").c_str());
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
 
   ode::DatabaseOptions options;
-  options.storage.path = argv[1];
+  options.storage.path = path;
   if (command == "stats") {
     // Sample every dereference so the latency histograms reflect the whole
     // read pass, not 1-in-64 of it.
@@ -303,11 +462,10 @@ int main(int argc, char** argv) {
   if (command == "graph") return Graph(**db);
   if (command == "types") return Types(**db);
   if (command == "check") return Check(**db);
+  if (command == "verify") return Verify(**db);
   if (command == "vacuum") return Vacuum(**db);
   if (command == "storage") return Storage(**db);
   if (command == "caches") return Caches(**db);
   if (command == "stats") return Stats(**db);
-  if (command == "trace") return Trace(**db, trace_out);
-  std::fprintf(stderr, "odedump: unknown command '%s'\n", command.c_str());
-  return 2;
+  return Trace(**db, trace_out);
 }
