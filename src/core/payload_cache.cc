@@ -25,18 +25,6 @@ size_t PickShardCount(uint64_t budget, uint64_t min_per_shard,
 // VersionPayloadCache
 // ---------------------------------------------------------------------------
 
-/// One latch-partition: a slice of the key space with its own LRU, budget
-/// slice and epoch bookkeeping, all guarded by one mutex.
-struct VersionPayloadCache::Shard {
-  mutable std::mutex mu;
-  uint64_t bytes_in_use = 0;
-  EntryList lru;  // Front = most recently used.
-  std::unordered_map<VersionId, EntryList::iterator> map;
-  bool in_epoch = false;
-  std::vector<VersionId> epoch_keys;
-  PayloadCacheStats stats;  // Guarded by mu; summed by stats().
-};
-
 VersionPayloadCache::VersionPayloadCache(uint64_t byte_budget, size_t shards)
     : byte_budget_(byte_budget) {
   const size_t n = PickShardCount(byte_budget, 256u << 10, shards);
@@ -58,7 +46,7 @@ VersionPayloadCache::Shard& VersionPayloadCache::ShardFor(
 bool VersionPayloadCache::Lookup(const VersionId& vid, std::string* out) {
   if (!enabled()) return false;
   Shard& shard = ShardFor(vid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(vid);
   if (it == shard.map.end()) {
     ++shard.stats.misses;
@@ -76,7 +64,7 @@ void VersionPayloadCache::Insert(const VersionId& vid,
   const uint64_t charge = payload.size() + kEntryOverhead;
   if (charge > shard_budget_) return;  // Would evict everything else.
   Shard& shard = ShardFor(vid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(vid);
   if (it != shard.map.end()) {
     shard.bytes_in_use -= Charge(*it->second);
@@ -104,7 +92,7 @@ void VersionPayloadCache::RemoveEntry(Shard& shard, EntryList::iterator it) {
 
 void VersionPayloadCache::Erase(const VersionId& vid) {
   Shard& shard = ShardFor(vid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(vid);
   if (it == shard.map.end()) return;
   RemoveEntry(shard, it->second);
@@ -115,7 +103,7 @@ void VersionPayloadCache::EraseObject(const ObjectId& oid) {
   // An object's versions hash across shards; scan them all.
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto it = shard.lru.begin(); it != shard.lru.end();) {
       auto next = std::next(it);
       if (it->vid.oid == oid) {
@@ -130,7 +118,7 @@ void VersionPayloadCache::EraseObject(const ObjectId& oid) {
 void VersionPayloadCache::Clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.map.clear();
     shard.epoch_keys.clear();
@@ -148,7 +136,7 @@ void VersionPayloadCache::EvictToBudget(Shard& shard) {
 void VersionPayloadCache::BeginEpoch() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.in_epoch = true;
     shard.epoch_keys.clear();
   }
@@ -157,7 +145,7 @@ void VersionPayloadCache::BeginEpoch() {
 void VersionPayloadCache::CommitEpoch() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const VersionId& vid : shard.epoch_keys) {
       auto it = shard.map.find(vid);
       if (it != shard.map.end()) it->second->uncommitted = false;
@@ -170,7 +158,7 @@ void VersionPayloadCache::CommitEpoch() {
 void VersionPayloadCache::AbortEpoch() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const VersionId& vid : shard.epoch_keys) {
       auto it = shard.map.find(vid);
       if (it != shard.map.end() && it->second->uncommitted) {
@@ -189,7 +177,7 @@ PayloadCacheStats VersionPayloadCache::stats() const {
   // least as fresh as any operation that completed before this call.
   PayloadCacheStats out;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    MutexLock lock(shard_ptr->mu);
     const PayloadCacheStats& s = shard_ptr->stats;
     out.hits += s.hits;
     out.misses += s.misses;
@@ -203,7 +191,7 @@ PayloadCacheStats VersionPayloadCache::stats() const {
 uint64_t VersionPayloadCache::bytes_in_use() const {
   uint64_t total = 0;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    MutexLock lock(shard_ptr->mu);
     total += shard_ptr->bytes_in_use;
   }
   return total;
@@ -212,7 +200,7 @@ uint64_t VersionPayloadCache::bytes_in_use() const {
 size_t VersionPayloadCache::entries() const {
   size_t total = 0;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    MutexLock lock(shard_ptr->mu);
     total += shard_ptr->map.size();
   }
   return total;
@@ -221,15 +209,6 @@ size_t VersionPayloadCache::entries() const {
 // ---------------------------------------------------------------------------
 // LatestVersionCache
 // ---------------------------------------------------------------------------
-
-struct LatestVersionCache::Shard {
-  mutable std::mutex mu;
-  EntryList lru;  // Front = most recently used.
-  std::unordered_map<ObjectId, EntryList::iterator> map;
-  bool in_epoch = false;
-  std::vector<ObjectId> epoch_keys;
-  PayloadCacheStats stats;  // Guarded by mu; summed by stats().
-};
 
 LatestVersionCache::LatestVersionCache(size_t max_entries, size_t shards)
     : max_entries_(max_entries) {
@@ -250,7 +229,7 @@ LatestVersionCache::Shard& LatestVersionCache::ShardFor(const ObjectId& oid) {
 bool LatestVersionCache::Lookup(const ObjectId& oid, VersionNum* out) {
   if (!enabled()) return false;
   Shard& shard = ShardFor(oid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(oid);
   if (it == shard.map.end()) {
     ++shard.stats.misses;
@@ -265,7 +244,7 @@ bool LatestVersionCache::Lookup(const ObjectId& oid, VersionNum* out) {
 void LatestVersionCache::Insert(const ObjectId& oid, VersionNum latest) {
   if (!enabled()) return;
   Shard& shard = ShardFor(oid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(oid);
   if (it != shard.map.end()) {
     it->second->latest = latest;
@@ -292,7 +271,7 @@ void LatestVersionCache::RemoveEntry(Shard& shard, EntryList::iterator it) {
 
 void LatestVersionCache::Erase(const ObjectId& oid) {
   Shard& shard = ShardFor(oid);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.map.find(oid);
   if (it == shard.map.end()) return;
   RemoveEntry(shard, it->second);
@@ -302,7 +281,7 @@ void LatestVersionCache::Erase(const ObjectId& oid) {
 void LatestVersionCache::Clear() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.lru.clear();
     shard.map.clear();
     shard.epoch_keys.clear();
@@ -312,7 +291,7 @@ void LatestVersionCache::Clear() {
 void LatestVersionCache::BeginEpoch() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.in_epoch = true;
     shard.epoch_keys.clear();
   }
@@ -321,7 +300,7 @@ void LatestVersionCache::BeginEpoch() {
 void LatestVersionCache::CommitEpoch() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const ObjectId& oid : shard.epoch_keys) {
       auto it = shard.map.find(oid);
       if (it != shard.map.end()) it->second->uncommitted = false;
@@ -334,7 +313,7 @@ void LatestVersionCache::CommitEpoch() {
 void LatestVersionCache::AbortEpoch() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (const ObjectId& oid : shard.epoch_keys) {
       auto it = shard.map.find(oid);
       if (it != shard.map.end() && it->second->uncommitted) {
@@ -353,7 +332,7 @@ PayloadCacheStats LatestVersionCache::stats() const {
   // least as fresh as any operation that completed before this call.
   PayloadCacheStats out;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    MutexLock lock(shard_ptr->mu);
     const PayloadCacheStats& s = shard_ptr->stats;
     out.hits += s.hits;
     out.misses += s.misses;
@@ -367,7 +346,7 @@ PayloadCacheStats LatestVersionCache::stats() const {
 size_t LatestVersionCache::entries() const {
   size_t total = 0;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    MutexLock lock(shard_ptr->mu);
     total += shard_ptr->map.size();
   }
   return total;

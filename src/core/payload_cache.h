@@ -4,12 +4,13 @@
 #include <cstdint>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "core/ids.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ode {
 
@@ -116,14 +117,25 @@ class VersionPayloadCache {
   };
   using EntryList = std::list<Entry>;
 
-  struct Shard;
+  /// One latch-partition: a slice of the key space with its own LRU, budget
+  /// slice and epoch bookkeeping, all guarded by one mutex.
+  struct Shard {
+    Mutex mu;
+    uint64_t bytes_in_use ODE_GUARDED_BY(mu) = 0;
+    EntryList lru ODE_GUARDED_BY(mu);  // Front = most recently used.
+    std::unordered_map<VersionId, EntryList::iterator> map ODE_GUARDED_BY(mu);
+    bool in_epoch ODE_GUARDED_BY(mu) = false;
+    std::vector<VersionId> epoch_keys ODE_GUARDED_BY(mu);
+    PayloadCacheStats stats ODE_GUARDED_BY(mu);  // Summed by stats().
+  };
 
   static uint64_t Charge(const Entry& e) {
     return e.payload.size() + kEntryOverhead;
   }
   Shard& ShardFor(const VersionId& vid);
-  void EvictToBudget(Shard& shard);
-  void RemoveEntry(Shard& shard, EntryList::iterator it);
+  void EvictToBudget(Shard& shard) ODE_REQUIRES(shard.mu);
+  void RemoveEntry(Shard& shard, EntryList::iterator it)
+      ODE_REQUIRES(shard.mu);
 
   uint64_t byte_budget_;
   uint64_t shard_budget_ = 0;  // byte_budget_ / shard count.
@@ -175,10 +187,19 @@ class LatestVersionCache {
   };
   using EntryList = std::list<Entry>;
 
-  struct Shard;
+  /// One latch-partition; see VersionPayloadCache::Shard.
+  struct Shard {
+    Mutex mu;
+    EntryList lru ODE_GUARDED_BY(mu);  // Front = most recently used.
+    std::unordered_map<ObjectId, EntryList::iterator> map ODE_GUARDED_BY(mu);
+    bool in_epoch ODE_GUARDED_BY(mu) = false;
+    std::vector<ObjectId> epoch_keys ODE_GUARDED_BY(mu);
+    PayloadCacheStats stats ODE_GUARDED_BY(mu);  // Summed by stats().
+  };
 
   Shard& ShardFor(const ObjectId& oid);
-  void RemoveEntry(Shard& shard, EntryList::iterator it);
+  void RemoveEntry(Shard& shard, EntryList::iterator it)
+      ODE_REQUIRES(shard.mu);
 
   size_t max_entries_;
   size_t shard_max_entries_ = 0;  // max_entries_ / shard count.

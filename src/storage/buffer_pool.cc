@@ -1,7 +1,5 @@
 #include "storage/buffer_pool.h"
 
-#include <atomic>
-
 #include <cassert>
 #include <cstring>
 
@@ -9,31 +7,6 @@
 #include "util/logging.h"
 
 namespace ode {
-
-/// One cached page.  Frames live in a shard's unordered_map, whose elements
-/// have stable addresses, so PageHandle can hold a raw Frame* across its
-/// lifetime.  `pin_count` is atomic: handles release pins without taking the
-/// shard lock, and eviction (which does hold the lock) acquire-loads it.
-/// The dirty flags are only read/written under the shard lock.
-struct PageHandle::Frame {
-  PageId id = kInvalidPageId;
-  std::unique_ptr<char[]> data;
-  std::atomic<int> pin_count{0};
-  bool dirty = false;        // Modified since last flush.
-  bool epoch_dirty = false;  // Modified in the current epoch.
-  std::list<PageId>::iterator lru_pos;
-  bool in_lru = false;
-};
-
-/// One latch-partition of the pool: a slice of the frame table plus its own
-/// LRU list, guarded by a single mutex.
-struct BufferPool::Shard {
-  std::mutex mu;
-  std::unordered_map<PageId, Frame> frames;
-  std::list<PageId> lru;  // Front = most recently used.
-  size_t capacity = 0;    // Nominal frame budget for this shard.
-  BufferPoolStats stats;  // Guarded by mu; summed by BufferPool::stats().
-};
 
 const char* PageHandle::data() const {
   assert(valid());
@@ -98,7 +71,7 @@ BufferPool::Shard& BufferPool::ShardFor(PageId id) {
 
 StatusOr<PageHandle> BufferPool::Fetch(PageId id) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.frames.find(id);
   if (it != shard.frames.end()) {
     ++shard.stats.hits;
@@ -135,7 +108,7 @@ char* BufferPool::FrameMutableData(Frame* frame) {
   // Writer-side only, but the dirty flags are shared with reader-side
   // eviction, so flip them under the shard lock.
   Shard& shard = ShardFor(frame->id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (!frame->epoch_dirty) {
     if (pre_dirty_hook_) {
       pre_dirty_hook_(frame->id, frame->data.get(), frame->dirty);
@@ -150,7 +123,7 @@ char* BufferPool::FrameMutableData(Frame* frame) {
 void BufferPool::BeginEpoch() {
   for (PageId id : epoch_dirty_list_) {
     Shard& shard = ShardFor(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.frames.find(id);
     if (it != shard.frames.end()) it->second.epoch_dirty = false;
   }
@@ -160,7 +133,7 @@ void BufferPool::BeginEpoch() {
 
 Status BufferPool::RestorePage(PageId id, const char* image, bool dirty) {
   Shard& shard = ShardFor(id);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.frames.find(id);
   if (it == shard.frames.end()) {
     return Status::Internal("RestorePage: page not resident");
@@ -174,7 +147,7 @@ Status BufferPool::RestorePage(PageId id, const char* image, bool dirty) {
 void BufferPool::CommitEpoch() {
   for (PageId id : epoch_dirty_list_) {
     Shard& shard = ShardFor(id);
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     auto it = shard.frames.find(id);
     if (it != shard.frames.end()) it->second.epoch_dirty = false;
   }
@@ -188,7 +161,7 @@ Status BufferPool::FlushAll() {
   }
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto& [id, frame] : shard.frames) {
       if (frame.dirty) {
         {
@@ -208,7 +181,7 @@ Status BufferPool::FlushAll() {
 void BufferPool::DropAllUnpinned() {
   for (auto& shard_ptr : shards_) {
     Shard& shard = *shard_ptr;
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     for (auto it = shard.frames.begin(); it != shard.frames.end();) {
       if (it->second.pin_count.load(std::memory_order_acquire) == 0) {
         if (it->second.in_lru) shard.lru.erase(it->second.lru_pos);
@@ -226,7 +199,7 @@ BufferPoolStats BufferPool::stats() const {
   // covering every operation that completed before this call.
   BufferPoolStats out;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    MutexLock lock(shard_ptr->mu);
     const BufferPoolStats& s = shard_ptr->stats;
     out.hits += s.hits;
     out.misses += s.misses;
@@ -239,7 +212,7 @@ BufferPoolStats BufferPool::stats() const {
 size_t BufferPool::resident_pages() const {
   size_t total = 0;
   for (const auto& shard_ptr : shards_) {
-    std::lock_guard<std::mutex> lock(shard_ptr->mu);
+    MutexLock lock(shard_ptr->mu);
     total += shard_ptr->frames.size();
   }
   return total;

@@ -1,18 +1,20 @@
 #ifndef ODE_STORAGE_BUFFER_POOL_H_
 #define ODE_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "storage/disk_manager.h"
 #include "storage/page.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace ode {
 
@@ -74,6 +76,24 @@ class PageHandle {
   PageId id_ = kInvalidPageId;
 };
 
+/// One cached page.  Frames live in a shard's unordered_map, whose elements
+/// have stable addresses, so PageHandle can hold a raw Frame* across its
+/// lifetime.  `pin_count` is atomic: handles release pins without taking the
+/// shard lock, and eviction (which does hold the lock) acquire-loads it.
+/// The dirty/LRU fields are only read or written under the owning shard's
+/// mutex — a guard relationship that spans objects, which the static
+/// analysis cannot express (ODE_GUARDED_BY can only name a field of the
+/// same class), so it is enforced by review plus the TSan Concurrent suite.
+struct PageHandle::Frame {
+  PageId id = kInvalidPageId;
+  std::unique_ptr<char[]> data;
+  std::atomic<int> pin_count{0};
+  bool dirty = false;        // Modified since last flush.
+  bool epoch_dirty = false;  // Modified in the current epoch.
+  std::list<PageId>::iterator lru_pos;
+  bool in_lru = false;
+};
+
 /// Cache statistics (cumulative since construction).  Returned by value as a
 /// coherent snapshot of the pool's per-shard counters.
 struct BufferPoolStats {
@@ -98,14 +118,15 @@ struct BufferPoolStats {
 /// Concurrency contract (single-writer / multi-reader):
 ///  - Fetch(), data(), Release() and stats() may be called from any number
 ///    of reader threads concurrently.  The frame table and LRU are
-///    partitioned into shards, each guarded by its own mutex, so concurrent
+///    partitioned into shards, each guarded by its own mutex (annotated
+///    below, so `clang -Wthread-safety` proves every access), so concurrent
 ///    fetches of pages in different shards never contend.  Pin counts are
 ///    atomic, making handle release lock-free.
 ///  - Everything that mutates page contents or epoch state (mutable_data,
 ///    BeginEpoch/CommitEpoch, RestorePage, FlushAll, DropAllUnpinned,
 ///    set_pre_dirty_hook) is writer-side: the caller (StorageEngine) must
 ///    ensure no reader runs concurrently, which it does with an engine-level
-///    shared_mutex.  Shard locks are still taken where those paths touch
+///    shared mutex.  Shard locks are still taken where those paths touch
 ///    shard structures so reader-vs-writer metadata access stays ordered.
 class BufferPool {
  public:
@@ -173,12 +194,20 @@ class BufferPool {
   friend class PageHandle;
   using Frame = PageHandle::Frame;
 
-  struct Shard;
+  /// One latch-partition of the pool: a slice of the frame table plus its
+  /// own LRU list, guarded by a single mutex.
+  struct Shard {
+    Mutex mu;
+    std::unordered_map<PageId, Frame> frames ODE_GUARDED_BY(mu);
+    std::list<PageId> lru ODE_GUARDED_BY(mu);  // Front = most recently used.
+    size_t capacity = 0;  // Nominal frame budget; immutable after init.
+    BufferPoolStats stats ODE_GUARDED_BY(mu);
+  };
 
   Shard& ShardFor(PageId id);
   char* FrameMutableData(Frame* frame);
-  Status EvictOneIfNeeded(Shard& shard);
-  void TouchLru(Shard& shard, Frame* frame);
+  Status EvictOneIfNeeded(Shard& shard) ODE_REQUIRES(shard.mu);
+  void TouchLru(Shard& shard, Frame* frame) ODE_REQUIRES(shard.mu);
 
   DiskManager* disk_;
   size_t capacity_;

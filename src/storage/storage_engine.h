@@ -1,11 +1,11 @@
 #ifndef ODE_STORAGE_STORAGE_ENGINE_H_
 #define ODE_STORAGE_STORAGE_ENGINE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 
 #include "storage/buffer_pool.h"
@@ -15,8 +15,10 @@
 #include "storage/page_io.h"
 #include "storage/storage_metrics.h"
 #include "storage/wal.h"
+#include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
+#include "util/thread_annotations.h"
 
 namespace ode {
 
@@ -169,8 +171,12 @@ class StorageEngine {
   uint64_t wal_bytes() const;
   /// Total WAL bytes ever appended this session (not reset by checkpoints).
   uint64_t wal_total_bytes() const;
-  uint64_t commit_count() const { return commit_count_; }
-  uint64_t checkpoint_count() const { return checkpoint_count_; }
+  uint64_t commit_count() const {
+    return commit_count_.load(std::memory_order_relaxed);
+  }
+  uint64_t checkpoint_count() const {
+    return checkpoint_count_.load(std::memory_order_relaxed);
+  }
   BufferPool& buffer_pool() { return *pool_; }
 
   /// The engine's resolved instrument bundle (always valid — backed by
@@ -205,17 +211,34 @@ class StorageEngine {
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> pool_;
   HeapFile heap_;
+  // --- Writer-thread state ------------------------------------------------
+  // txn_, txn_open_, next_txn_id_, poison_ and recovery_ are only touched by
+  // the (single) writer thread: Begin reads txn_open_ *before* taking the
+  // exclusive lock (taking it first would deadlock a double-Begin), so these
+  // fields cannot carry ODE_GUARDED_BY(rw_mutex_) — the discipline is the
+  // single-writer contract, enforced by the TSan Concurrent suite.
   Txn txn_;
   bool txn_open_ = false;
   uint64_t next_txn_id_ = 1;
-  uint64_t wal_bytes_at_truncate_ = 0;
-  uint64_t commit_count_ = 0;
-  uint64_t checkpoint_count_ = 0;
   Status poison_;  ///< Non-OK after an unrecoverable durability failure.
   RecoveryStats recovery_;
+  // --- Monitoring counters ------------------------------------------------
+  // Written by the writer thread (under the exclusive lock), but read by
+  // *any* thread through the public accessors (stats paths run concurrently
+  // with a committing writer), so they must be atomic.
+  std::atomic<uint64_t> wal_bytes_at_truncate_{0};
+  std::atomic<uint64_t> commit_count_{0};
+  std::atomic<uint64_t> checkpoint_count_{0};
   /// Writers exclusive, readers shared.  Held across the whole write
-  /// transaction (Begin to Commit/Abort) and the whole of WithReadTxn.
-  std::shared_mutex rw_mutex_;
+  /// transaction (Begin to Commit/Abort) and the whole of WithReadTxn —
+  /// a lock lifetime that spans function boundaries, which is why Begin/
+  /// Commit/Abort opt out of the static analysis (see the .cc).  For the
+  /// same reason no field can carry ODE_GUARDED_BY(rw_mutex_): the fields
+  /// it protects (the entire on-disk/buffered state reachable through
+  /// disk_/wal_/pool_/heap_) are touched by functions that receive the
+  /// lock from their caller rather than taking it themselves.
+  // ode_lint: allow(mutex-guard): lock lifetime spans Begin..Commit.
+  SharedMutex rw_mutex_;
 };
 
 }  // namespace ode

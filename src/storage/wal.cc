@@ -29,7 +29,7 @@ Status Wal::AppendRecord(const std::string& payload) {
                                             : nullptr);
     ODE_RETURN_IF_ERROR(file_->Append(Slice(framed)));
   }
-  bytes_appended_ += framed.size();
+  bytes_appended_.fetch_add(framed.size(), std::memory_order_relaxed);
   if (metrics_ != nullptr) {
     metrics_->wal_appends->Increment();
     metrics_->wal_append_bytes->Add(framed.size());
@@ -73,7 +73,7 @@ Status Wal::Sync() {
                  "storage");
   ScopedLatency timer(metrics_ != nullptr ? metrics_->wal_fsync_ns : nullptr);
   ODE_RETURN_IF_ERROR(file_->Sync());
-  ++sync_count_;
+  sync_count_.fetch_add(1, std::memory_order_relaxed);
   if (metrics_ != nullptr) metrics_->wal_fsyncs->Increment();
   return Status::OK();
 }

@@ -1,6 +1,7 @@
 #ifndef ODE_STORAGE_WAL_H_
 #define ODE_STORAGE_WAL_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -74,8 +75,12 @@ class Wal {
   /// Decodes every well-formed record (stops at a torn tail).  For tests.
   StatusOr<std::vector<WalRecord>> ReadAll();
 
-  uint64_t bytes_appended() const { return bytes_appended_; }
-  uint64_t sync_count() const { return sync_count_; }
+  uint64_t bytes_appended() const {
+    return bytes_appended_.load(std::memory_order_relaxed);
+  }
+  uint64_t sync_count() const {
+    return sync_count_.load(std::memory_order_relaxed);
+  }
 
   /// Attaches the owning engine's instrument bundle (appends, bytes, fsyncs
   /// and their latencies record into it).  Null = no metrics.
@@ -90,8 +95,11 @@ class Wal {
   Status Scan(std::vector<WalRecord>* records, bool* tail_truncated);
 
   std::unique_ptr<File> file_;
-  uint64_t bytes_appended_ = 0;
-  uint64_t sync_count_ = 0;
+  // Written only by the engine's writer thread, but read by any thread via
+  // the monitoring accessors above (Database::stats() runs concurrently
+  // with a committing writer), so both must be atomic.
+  std::atomic<uint64_t> bytes_appended_{0};
+  std::atomic<uint64_t> sync_count_{0};
   StorageMetrics* metrics_ = nullptr;
 };
 

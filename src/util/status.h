@@ -39,7 +39,13 @@ std::string_view StatusCodeName(StatusCode code);
 ///
 ///     Status s = db->Pnew(obj, &oid);
 ///     if (!s.ok()) return s;   // propagate
-class Status {
+///
+/// The class is [[nodiscard]]: silently dropping a Status is a compile-time
+/// warning (an error under -DODE_WERROR=ON and in CI), because an ignored
+/// error from Commit/Sync is exactly how corruption sneaks past the crash
+/// matrix.  Where dropping really is the right call, say so explicitly with
+/// `.IgnoreError()` and a comment explaining why.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -106,6 +112,13 @@ class Status {
 
   /// "ok" or "<code name>: <message>".
   std::string ToString() const;
+
+  /// Explicitly discards this status.  The only sanctioned way to drop a
+  /// Status on the floor: it defeats [[nodiscard]] visibly and greppably.
+  /// Every call site should carry a comment saying why ignoring is safe
+  /// (e.g. best-effort cleanup where the primary error is already being
+  /// propagated).
+  void IgnoreError() const {}
 
  private:
   StatusCode code_;

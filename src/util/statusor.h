@@ -15,8 +15,11 @@ namespace ode {
 /// implicitly from either a T or a non-OK Status, `ok()` reports which state
 /// it is in, and `value()` asserts on misuse.  It is the return type of every
 /// fallible factory in the library.
+///
+/// Like Status, StatusOr is [[nodiscard]]: a dropped StatusOr is a dropped
+/// error.  Use `.IgnoreError()` (with a comment) for intentional discards.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from an error.  `status` must not be OK: an OK status carries
   /// no value and would leave the StatusOr in a contradictory state.
@@ -59,6 +62,10 @@ class StatusOr {
 
   /// Returns the value if OK, otherwise `fallback`.
   T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+  /// Explicitly discards the result (and any error).  See
+  /// Status::IgnoreError for the usage rules.
+  void IgnoreError() const {}
 
  private:
   Status status_;

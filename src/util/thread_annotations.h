@@ -1,0 +1,102 @@
+#ifndef ODE_UTIL_THREAD_ANNOTATIONS_H_
+#define ODE_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis annotations (no-ops elsewhere).
+//
+// These macros let the locking discipline that DESIGN.md describes in prose
+// be stated in the type system and checked by `clang -Wthread-safety`:
+// which mutex guards which field, which methods require a lock to be held,
+// and which functions acquire or release one.  GCC builds see empty macros,
+// so the annotations cost nothing outside the analysis.
+//
+// Vocabulary (mirrors the standard capability-analysis macro set):
+//
+//   ODE_CAPABILITY("mutex")       - on a class: instances are lockable.
+//   ODE_SCOPED_CAPABILITY         - on a class: RAII lock guard.
+//   ODE_GUARDED_BY(mu)            - on a field: reads and writes require mu.
+//   ODE_PT_GUARDED_BY(mu)         - on a pointer field: the pointee requires
+//                                   mu (the pointer itself does not).
+//   ODE_REQUIRES(mu)              - on a function: caller must hold mu
+//                                   exclusively.
+//   ODE_REQUIRES_SHARED(mu)       - caller must hold mu at least shared.
+//   ODE_ACQUIRE(mu)/ODE_RELEASE(mu)           - function locks/unlocks mu.
+//   ODE_ACQUIRE_SHARED/ODE_RELEASE_SHARED     - shared (reader) flavor.
+//   ODE_RELEASE_GENERIC(mu)       - releases mu whichever mode it was held
+//                                   in (scoped-guard destructors).
+//   ODE_TRY_ACQUIRE(bool, mu)     - try-lock; first arg is the return value
+//                                   that means "acquired".
+//   ODE_EXCLUDES(mu)              - caller must NOT hold mu (deadlock guard).
+//   ODE_ASSERT_CAPABILITY(mu)     - runtime assertion that mu is held.
+//   ODE_NO_THREAD_SAFETY_ANALYSIS - opt a function out.  Reserved for lock
+//                                   lifetimes the analysis cannot express
+//                                   (see StorageEngine::Begin, whose
+//                                   exclusive lock outlives the call); every
+//                                   use carries a comment saying why.
+//
+// The project lint (tools/ode_lint) enforces the companion rule that every
+// class declaring a mutex member annotates at least one field with
+// ODE_GUARDED_BY, so new locking code cannot silently skip the analysis.
+
+#if defined(__clang__) && (!defined(SWIG))
+#define ODE_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define ODE_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+#define ODE_CAPABILITY(x) ODE_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define ODE_SCOPED_CAPABILITY ODE_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define ODE_GUARDED_BY(x) ODE_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define ODE_PT_GUARDED_BY(x) ODE_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define ODE_ACQUIRED_BEFORE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define ODE_ACQUIRED_AFTER(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define ODE_REQUIRES(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define ODE_REQUIRES_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(requires_shared_capability(__VA_ARGS__))
+
+#define ODE_ACQUIRE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define ODE_ACQUIRE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(acquire_shared_capability(__VA_ARGS__))
+
+#define ODE_RELEASE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define ODE_RELEASE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(release_shared_capability(__VA_ARGS__))
+
+#define ODE_RELEASE_GENERIC(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(release_generic_capability(__VA_ARGS__))
+
+#define ODE_TRY_ACQUIRE(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define ODE_TRY_ACQUIRE_SHARED(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_shared_capability(__VA_ARGS__))
+
+#define ODE_EXCLUDES(...) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define ODE_ASSERT_CAPABILITY(x) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define ODE_ASSERT_SHARED_CAPABILITY(x) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(assert_shared_capability(x))
+
+#define ODE_RETURN_CAPABILITY(x) \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define ODE_NO_THREAD_SAFETY_ANALYSIS \
+  ODE_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // ODE_UTIL_THREAD_ANNOTATIONS_H_

@@ -37,9 +37,14 @@ Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
     }
   }
   auto buffer = std::make_shared<ThreadBuffer>();
-  buffer->ring.resize(buffer_events_);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    // Pre-publication, so the lock is uncontended; taken anyway because the
+    // ring is a guarded field and this keeps the capability analysis exact.
+    MutexLock buf_lock(buffer->mu);
+    buffer->ring.resize(buffer_events_);
+  }
+  {
+    MutexLock lock(mu_);
     buffer->tid = next_tid_++;
     buffers_.push_back(buffer);
   }
@@ -63,7 +68,7 @@ bool Tracer::BeginSample() {
 void Tracer::Record(const char* name, const char* category, uint64_t start_ns,
                     uint64_t end_ns) {
   ThreadBuffer* buf = BufferForThisThread();
-  std::lock_guard<std::mutex> lock(buf->mu);  // Uncontended except vs drain.
+  MutexLock lock(buf->mu);  // Uncontended except vs drain.
   TraceEvent& slot = buf->ring[buf->next % buf->ring.size()];
   slot.name = name;
   slot.category = category;
@@ -81,11 +86,11 @@ void Tracer::Record(const char* name, const char* category, uint64_t start_ns,
 void Tracer::Drain(std::vector<TraceEvent>* out) {
   std::vector<std::shared_ptr<ThreadBuffer>> buffers;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     buffers = buffers_;
   }
   for (const auto& buf : buffers) {
-    std::lock_guard<std::mutex> lock(buf->mu);
+    MutexLock lock(buf->mu);
     const uint64_t live = buf->next - buf->drained_mark;
     const uint64_t start = buf->next - live;
     for (uint64_t i = start; i < buf->next; ++i) {
@@ -103,9 +108,9 @@ void Tracer::Drain(std::vector<TraceEvent>* out) {
 
 uint64_t Tracer::dropped_events() const {
   uint64_t total = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     total += buf->dropped;
   }
   return total;
@@ -113,9 +118,9 @@ uint64_t Tracer::dropped_events() const {
 
 size_t Tracer::pending_events() const {
   size_t total = 0;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& buf : buffers_) {
-    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    MutexLock buf_lock(buf->mu);
     total += static_cast<size_t>(buf->next - buf->drained_mark);
   }
   return total;

@@ -4,11 +4,12 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace ode {
 
@@ -88,13 +89,15 @@ class Tracer {
 
  private:
   struct ThreadBuffer {
-    mutable std::mutex mu;
-    std::vector<TraceEvent> ring;  // Fixed capacity, wraps.
-    uint64_t next = 0;             // Total events ever written.
-    uint64_t drained_mark = 0;     // `next` value at the last drain.
-    uint64_t dropped = 0;
-    uint32_t tid = 0;
-    uint32_t sample_countdown = 0;  // Owner-thread only.
+    Mutex mu;
+    // Ring contents and cursors are shared between the owning thread
+    // (Record) and any thread draining, hence guarded.
+    std::vector<TraceEvent> ring ODE_GUARDED_BY(mu);  // Fixed cap, wraps.
+    uint64_t next ODE_GUARDED_BY(mu) = 0;     // Total events ever written.
+    uint64_t drained_mark ODE_GUARDED_BY(mu) = 0;  // `next` at last drain.
+    uint64_t dropped ODE_GUARDED_BY(mu) = 0;
+    uint32_t tid = 0;  // Immutable once the buffer is published.
+    uint32_t sample_countdown = 0;  // Owner-thread only; never drained.
   };
 
   ThreadBuffer* BufferForThisThread();
@@ -102,9 +105,9 @@ class Tracer {
   const size_t buffer_events_;
   const uint64_t id_;  // Distinguishes tracers across create/destroy cycles.
   std::atomic<uint32_t> sample_every_{0};
-  mutable std::mutex mu_;  // Guards buffers_ (registration + drain).
-  std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
-  uint32_t next_tid_ = 0;
+  mutable Mutex mu_;  // Guards buffers_ (registration + drain).
+  std::vector<std::shared_ptr<ThreadBuffer>> buffers_ ODE_GUARDED_BY(mu_);
+  uint32_t next_tid_ ODE_GUARDED_BY(mu_) = 0;
 };
 
 /// RAII span: records [construction, destruction) into `tracer` when the

@@ -1,0 +1,39 @@
+// Control snippet for the negative-compilation suite: uses the same headers
+// and shapes as the must-fail snippets but commits no violation.  If this
+// fails to compile, the harness flags the suite as broken rather than
+// reporting a false "violation rejected".
+
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    ode::MutexLock lock(mu_);
+    ++value_;
+  }
+
+  int value() {
+    ode::MutexLock lock(mu_);
+    return value_;
+  }
+
+ private:
+  ode::Mutex mu_;
+  int value_ ODE_GUARDED_BY(mu_) = 0;
+};
+
+ode::Status DoWork() { return ode::Status::OK(); }
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  ode::Status s = DoWork();
+  if (!s.ok()) return 1;
+  return c.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,18 @@
+// MUST NOT COMPILE under -Werror (any compiler): ode::Status is
+// [[nodiscard]], and this snippet drops one on the floor.  The
+// compile_fail_test.cmake harness asserts that the compiler rejects it —
+// proving the nodiscard gate actually fires, not just that it is written
+// down in status.h.
+
+#include "util/status.h"
+
+namespace {
+
+ode::Status DoWork() { return ode::Status::IOError("disk on fire"); }
+
+}  // namespace
+
+int main() {
+  DoWork();  // Violation: result silently discarded.
+  return 0;
+}

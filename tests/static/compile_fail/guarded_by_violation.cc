@@ -1,0 +1,34 @@
+// MUST NOT COMPILE under clang -Wthread-safety -Werror: reads and writes an
+// ODE_GUARDED_BY field without holding its mutex.  The compile_fail harness
+// asserts clang rejects it — proving the capability annotations in
+// util/mutex.h and util/thread_annotations.h form a working gate, not
+// decoration.  (GCC ignores the attributes; the harness skips this snippet
+// for non-clang compilers.)
+
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Counter {
+ public:
+  void Bump() {
+    ++value_;  // Violation: mu_ not held.
+  }
+
+  int value() const {
+    return value_;  // Violation: mu_ not held.
+  }
+
+ private:
+  mutable ode::Mutex mu_;
+  int value_ ODE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Counter c;
+  c.Bump();
+  return c.value() == 1 ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+# Negative-compilation suite: proves the static gates actually reject what
+# they claim to reject.
+#
+# Run as a ctest script:
+#   cmake -DCXX=<compiler> -DCXX_ID=<CMAKE_CXX_COMPILER_ID>
+#         -DREPO=<source-root> -DWORK=<scratch-dir>
+#         -P tests/static/compile_fail_test.cmake
+#
+# Three snippets under tests/static/compile_fail/:
+#   control_ok.cc           must COMPILE  (suite sanity check)
+#   discarded_status.cc     must FAIL     (-Werror=unused-result; any compiler
+#                                          — [[nodiscard]] on Status)
+#   guarded_by_violation.cc must FAIL     (-Wthread-safety -Werror; clang
+#                                          only — GCC ignores the capability
+#                                          attributes, so it is skipped there)
+#
+# The snippets are excluded from the normal build and from ode_lint
+# (tests/static/ is outside its scan set) because violating the rules is
+# their entire job.
+
+if(NOT DEFINED CXX OR NOT DEFINED CXX_ID OR NOT DEFINED REPO OR NOT DEFINED WORK)
+  message(FATAL_ERROR "compile_fail_test.cmake needs -DCXX -DCXX_ID -DREPO -DWORK")
+endif()
+
+file(MAKE_DIRECTORY "${WORK}")
+
+set(BASE_FLAGS -std=c++20 -fsyntax-only "-I${REPO}/src")
+
+# try_compile-style helper: compiles SRC with FLAGS, stores TRUE/FALSE into
+# OUT_VAR and the compiler's stderr into ${OUT_VAR}_LOG.
+function(ode_try_compile OUT_VAR SRC)
+  execute_process(
+    COMMAND ${CXX} ${BASE_FLAGS} ${ARGN} "${REPO}/tests/static/compile_fail/${SRC}"
+    WORKING_DIRECTORY "${WORK}"
+    RESULT_VARIABLE rc
+    OUTPUT_VARIABLE out
+    ERROR_VARIABLE err)
+  if(rc EQUAL 0)
+    set(${OUT_VAR} TRUE PARENT_SCOPE)
+  else()
+    set(${OUT_VAR} FALSE PARENT_SCOPE)
+  endif()
+  set(${OUT_VAR}_LOG "${out}${err}" PARENT_SCOPE)
+endfunction()
+
+set(failures 0)
+
+# 1. Control: must compile, with every gate flag the must-fail cases use, so
+#    a failure below is attributable to the violation and not the flags.
+set(CONTROL_FLAGS -Wall -Wextra -Werror)
+if(CXX_ID MATCHES "Clang")
+  list(APPEND CONTROL_FLAGS -Wthread-safety)
+endif()
+ode_try_compile(control_ok control_ok.cc ${CONTROL_FLAGS})
+if(control_ok)
+  message(STATUS "PASS control_ok.cc compiles clean")
+else()
+  message(STATUS "FAIL control_ok.cc should compile but did not:\n${control_ok_LOG}")
+  math(EXPR failures "${failures}+1")
+endif()
+
+# 2. Discarded Status: must be rejected by -Werror=unused-result on every
+#    supported compiler ([[nodiscard]] is standard C++17).
+ode_try_compile(discard discarded_status.cc -Werror=unused-result)
+if(discard)
+  message(STATUS "FAIL discarded_status.cc compiled; [[nodiscard]] gate is dead")
+  math(EXPR failures "${failures}+1")
+else()
+  message(STATUS "PASS discarded_status.cc rejected (discarded Status)")
+endif()
+
+# 3. GUARDED_BY violation: clang-only (thread-safety analysis).
+if(CXX_ID MATCHES "Clang")
+  ode_try_compile(guarded guarded_by_violation.cc -Wthread-safety -Werror)
+  if(guarded)
+    message(STATUS "FAIL guarded_by_violation.cc compiled; thread-safety gate is dead")
+    math(EXPR failures "${failures}+1")
+  else()
+    message(STATUS "PASS guarded_by_violation.cc rejected (unlocked guarded field)")
+  endif()
+else()
+  # Still require it to be *valid* C++ here, so the snippet cannot rot into
+  # something clang rejects for an unrelated reason.
+  ode_try_compile(guarded_plain guarded_by_violation.cc)
+  if(guarded_plain)
+    message(STATUS "SKIP guarded_by_violation.cc: ${CXX_ID} has no thread-safety analysis (compiles as plain C++, as expected)")
+  else()
+    message(STATUS "FAIL guarded_by_violation.cc does not even parse:\n${guarded_plain_LOG}")
+    math(EXPR failures "${failures}+1")
+  endif()
+endif()
+
+if(failures GREATER 0)
+  message(FATAL_ERROR "compile_fail suite: ${failures} case(s) failed")
+endif()
+message(STATUS "compile_fail suite: all cases behaved as specified")

@@ -63,7 +63,9 @@ TEST_P(BTreePropertyTest, MatchesReferenceModel) {
         auto v = tree->Get(Slice(key));
         if (model.count(key) > 0) {
           EXPECT_TRUE(v.ok());
-          if (v.ok()) EXPECT_EQ(*v, model[key]);
+          if (v.ok()) {
+            EXPECT_EQ(*v, model[key]);
+          }
         } else {
           EXPECT_TRUE(v.status().IsNotFound());
         }

@@ -15,7 +15,7 @@ class SlottedPageTest : public ::testing::Test {
  protected:
   SlottedPageTest() : page_(buf_) { page_.Init(); }
 
-  char buf_[kPageSize];
+  char buf_[kPageSize] = {};
   SlottedPage page_;
 };
 

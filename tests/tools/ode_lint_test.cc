@@ -1,0 +1,363 @@
+// Unit tests for the ode_lint rules library: one fire and one no-fire case
+// (at minimum) per rule, plus the comment/string stripper the rules sit on.
+
+#include "tools/lint/lint_rules.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ode {
+namespace lint {
+namespace {
+
+std::vector<Issue> RunRule(const std::string& path, const std::string& content,
+                           const std::string& rule) {
+  std::vector<Issue> out;
+  for (Issue& issue : LintSource(path, content)) {
+    if (issue.rule == rule) out.push_back(std::move(issue));
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// StripCommentsAndStrings
+// ---------------------------------------------------------------------------
+
+TEST(StripTest, RemovesLineAndBlockComments) {
+  const std::string in = "int a; // fsync(fd)\nint b; /* open(p) */ int c;\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("fsync"), std::string::npos);
+  EXPECT_EQ(out.find("open"), std::string::npos);
+  EXPECT_NE(out.find("int a;"), std::string::npos);
+  EXPECT_NE(out.find("int c;"), std::string::npos);
+}
+
+TEST(StripTest, PreservesLineStructure) {
+  const std::string in = "a /* one\ntwo\nthree */ b\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(StripTest, EmptiesStringLiteralsButKeepsQuotes) {
+  const std::string in = "call(\"fsync( inside \\\" quoted\");\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("fsync"), std::string::npos);
+  EXPECT_NE(out.find("call(\"\")"), std::string::npos);
+}
+
+TEST(StripTest, HandlesRawStrings) {
+  const std::string in = "auto s = R\"x(fsync(fd) \" // not a comment)x\"; f();\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_EQ(out.find("fsync"), std::string::npos);
+  EXPECT_NE(out.find("f();"), std::string::npos);
+}
+
+TEST(StripTest, CharLiteralQuoteDoesNotOpenString) {
+  const std::string in = "char c = '\"'; fsync(fd);\n";
+  const std::string out = StripCommentsAndStrings(in);
+  EXPECT_NE(out.find("fsync"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ShouldScan
+// ---------------------------------------------------------------------------
+
+TEST(ShouldScanTest, Basics) {
+  EXPECT_TRUE(ShouldScan("src/core/database.cc"));
+  EXPECT_TRUE(ShouldScan("tools/odedump.cc"));
+  EXPECT_TRUE(ShouldScan("tests/core/database_test.cc"));
+  EXPECT_TRUE(ShouldScan("bench/bench_common.h"));
+  EXPECT_FALSE(ShouldScan("tests/static/compile_fail/discarded_status.cc"));
+  EXPECT_FALSE(ShouldScan("src/core/notes.md"));
+  EXPECT_FALSE(ShouldScan("build/foo.cc"));
+}
+
+// ---------------------------------------------------------------------------
+// raw-io
+// ---------------------------------------------------------------------------
+
+TEST(RawIoTest, FiresOnRawFsyncInSrc) {
+  auto issues = RunRule("src/core/foo.cc", "void F(int fd) { fsync(fd); }\n",
+                        "raw-io");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 1);
+  EXPECT_NE(issues[0].message.find("fsync"), std::string::npos);
+}
+
+TEST(RawIoTest, FiresOnRenameAndOpen) {
+  const std::string code =
+      "void F() {\n  rename(\"a\", \"b\");\n  int fd = open(\"p\", 0);\n}\n";
+  auto issues = RunRule("tools/mytool.cc", code, "raw-io");
+  ASSERT_EQ(issues.size(), 2u);
+  EXPECT_EQ(issues[0].line, 2);
+  EXPECT_EQ(issues[1].line, 3);
+}
+
+TEST(RawIoTest, AllowedInEnvImplementation) {
+  EXPECT_TRUE(RunRule("src/storage/env.cc",
+                      "void F(int fd) { fsync(fd); }\n", "raw-io")
+                  .empty());
+  EXPECT_TRUE(RunRule("src/storage/fault_env.cc",
+                      "void F(int fd) { fdatasync(fd); }\n", "raw-io")
+                  .empty());
+}
+
+TEST(RawIoTest, TestsMayDoRawIo) {
+  EXPECT_TRUE(RunRule("tests/storage/env_test.cc",
+                      "void F(int fd) { fsync(fd); }\n", "raw-io")
+                  .empty());
+}
+
+TEST(RawIoTest, IgnoresSuffixMatchesCommentsAndStrings) {
+  const std::string code =
+      "void F(Env* env) {\n"
+      "  env->MyOpen();        // open( in comment\n"
+      "  reopen(env);\n"
+      "  Log(\"fsync(fd)\");\n"
+      "}\n";
+  EXPECT_TRUE(RunRule("src/core/foo.cc", code, "raw-io").empty());
+}
+
+// ---------------------------------------------------------------------------
+// todo-date
+// ---------------------------------------------------------------------------
+
+TEST(TodoDateTest, FiresOnBareTodo) {
+  auto issues =
+      RunRule("src/core/foo.cc", "// TODO: make this faster\n", "todo-date");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 1);
+}
+
+TEST(TodoDateTest, AcceptsDatedForms) {
+  EXPECT_TRUE(RunRule("src/core/foo.cc",
+                      "// TODO(2026-08-07: make this faster)\n", "todo-date")
+                  .empty());
+  EXPECT_TRUE(RunRule("src/core/foo.cc",
+                      "// TODO(alice, 2026-08-07: revisit)\n", "todo-date")
+                  .empty());
+}
+
+TEST(TodoDateTest, FiresOnUsernameOnlyTodo) {
+  auto issues = RunRule("src/core/foo.cc", "// TODO(alice): revisit\n",
+                        "todo-date");
+  EXPECT_EQ(issues.size(), 1u);
+}
+
+TEST(TodoDateTest, IgnoresWordsContainingTodo) {
+  EXPECT_TRUE(
+      RunRule("src/core/foo.cc", "int mastodon_count;\n", "todo-date").empty());
+}
+
+TEST(TodoDateTest, IgnoresTodoInsideStringLiteral) {
+  EXPECT_TRUE(RunRule("src/core/foo.cc",
+                      "const char* kMsg = \"TODO: not an intention\";\n",
+                      "todo-date")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// Suppression marker
+// ---------------------------------------------------------------------------
+
+TEST(SuppressionTest, AllowMarkerOnPrecedingLineSilencesIssue) {
+  const std::string code =
+      "class Engine {\n"
+      "  // ode_lint: allow(mutex-guard): lock lifetime spans functions.\n"
+      "  ode::SharedMutex rw_mutex_;\n"
+      "};\n";
+  EXPECT_TRUE(RunRule("src/storage/e.h", code, "mutex-guard").empty());
+}
+
+TEST(SuppressionTest, AllowMarkerOnSameLineSilencesIssue) {
+  const std::string code =
+      "void F(int fd) { fsync(fd); }  // ode_lint: allow(raw-io): test rig\n";
+  EXPECT_TRUE(RunRule("src/core/foo.cc", code, "raw-io").empty());
+}
+
+TEST(SuppressionTest, MarkerForOtherRuleDoesNotSilence) {
+  const std::string code =
+      "void F(int fd) { fsync(fd); }  // ode_lint: allow(todo-date)\n";
+  EXPECT_EQ(RunRule("src/core/foo.cc", code, "raw-io").size(), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// mutex-guard / raw-mutex
+// ---------------------------------------------------------------------------
+
+TEST(MutexGuardTest, FiresOnUnguardedMutexClass) {
+  const std::string code =
+      "class Cache {\n"
+      " private:\n"
+      "  ode::Mutex mu_;\n"
+      "  int count_ = 0;\n"
+      "};\n";
+  auto issues = RunRule("src/core/cache.h", code, "mutex-guard");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 3);
+}
+
+TEST(MutexGuardTest, SatisfiedByGuardedBy) {
+  const std::string code =
+      "class Cache {\n"
+      " private:\n"
+      "  ode::Mutex mu_;\n"
+      "  int count_ ODE_GUARDED_BY(mu_) = 0;\n"
+      "};\n";
+  EXPECT_TRUE(RunRule("src/core/cache.h", code, "mutex-guard").empty());
+}
+
+TEST(MutexGuardTest, SatisfiedByPtGuardedBy) {
+  const std::string code =
+      "class Cache {\n"
+      "  Mutex mu_;\n"
+      "  int* p_ ODE_PT_GUARDED_BY(mu_);\n"
+      "};\n";
+  EXPECT_TRUE(RunRule("src/core/cache.h", code, "mutex-guard").empty());
+}
+
+TEST(MutexGuardTest, NestedStructNeedsItsOwnGuard) {
+  // The outer class's guarded field must not satisfy the inner struct.
+  const std::string code =
+      "class Pool {\n"
+      "  struct Shard {\n"
+      "    Mutex mu;\n"
+      "    int frames;\n"
+      "  };\n"
+      "  Mutex big_mu_;\n"
+      "  int total_ ODE_GUARDED_BY(big_mu_);\n"
+      "};\n";
+  auto issues = RunRule("src/core/pool.h", code, "mutex-guard");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 3);
+}
+
+TEST(MutexGuardTest, IgnoresLocalsAndParamsAndReferences) {
+  const std::string code =
+      "void F() {\n"
+      "  ode::Mutex mu;\n"  // Local, not a class member.
+      "}\n"
+      "class Wrapper {\n"
+      "  ode::Mutex& mu_;\n"  // Reference to someone else's lock.
+      "  int x_;\n"
+      "};\n";
+  EXPECT_TRUE(RunRule("src/core/w.h", code, "mutex-guard").empty());
+}
+
+TEST(RawMutexTest, FlagsStdMutexMemberInSrc) {
+  const std::string code =
+      "class C {\n"
+      "  std::mutex mu_;\n"
+      "  int x_ ODE_GUARDED_BY(mu_);\n"
+      "};\n";
+  auto issues = RunRule("src/core/c.h", code, "raw-mutex");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 2);
+}
+
+TEST(RawMutexTest, OdeMutexInSrcAndStdMutexInTestsAreFine) {
+  EXPECT_TRUE(RunRule("src/core/c.h",
+                      "class C {\n  ode::Mutex mu_;\n  int x_ "
+                      "ODE_GUARDED_BY(mu_);\n};\n",
+                      "raw-mutex")
+                  .empty());
+  EXPECT_TRUE(RunRule("tests/core/c_test.cc",
+                      "class C {\n  std::mutex mu_;\n  int x_ "
+                      "ODE_GUARDED_BY(mu_);\n};\n",
+                      "raw-mutex")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// foreach-caller
+// ---------------------------------------------------------------------------
+
+TEST(ForEachTest, FiresOnNewCaller) {
+  auto issues = RunRule("src/core/newfile.cc",
+                        "void F(Database* db) { db->ForEachObject(cb); }\n",
+                        "foreach-caller");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("cursor"), std::string::npos);
+}
+
+TEST(ForEachTest, GrandfatheredAndDeclarationSitesPass) {
+  const std::string code = "void F(Database* db) { db->ForEachVersion(cb); }\n";
+  EXPECT_TRUE(RunRule("src/core/database.h", code, "foreach-caller").empty());
+  EXPECT_TRUE(RunRule("src/core/check.cc", code, "foreach-caller").empty());
+  EXPECT_TRUE(
+      RunRule("tests/core/cursor_test.cc", code, "foreach-caller").empty());
+}
+
+TEST(ForEachTest, IgnoresUnrelatedForEachNames) {
+  EXPECT_TRUE(RunRule("src/core/newfile.cc",
+                      "void F() { ForEachShard(cb); }\n", "foreach-caller")
+                  .empty());
+}
+
+// ---------------------------------------------------------------------------
+// include-guard
+// ---------------------------------------------------------------------------
+
+TEST(IncludeGuardTest, AcceptsCanonicalGuard) {
+  const std::string code =
+      "#ifndef ODE_CORE_FOO_H_\n"
+      "#define ODE_CORE_FOO_H_\n"
+      "#endif  // ODE_CORE_FOO_H_\n";
+  EXPECT_TRUE(RunRule("src/core/foo.h", code, "include-guard").empty());
+}
+
+TEST(IncludeGuardTest, SrcPrefixIsStrippedButTestsPrefixIsNot) {
+  EXPECT_TRUE(RunRule("tests/testing/db_fixture.h",
+                      "#ifndef ODE_TESTS_TESTING_DB_FIXTURE_H_\n"
+                      "#define ODE_TESTS_TESTING_DB_FIXTURE_H_\n"
+                      "#endif\n",
+                      "include-guard")
+                  .empty());
+}
+
+TEST(IncludeGuardTest, FiresOnWrongGuard) {
+  auto issues = RunRule("src/core/foo.h",
+                        "#ifndef FOO_H\n#define FOO_H\n#endif\n",
+                        "include-guard");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_NE(issues[0].message.find("ODE_CORE_FOO_H_"), std::string::npos);
+}
+
+TEST(IncludeGuardTest, FiresOnPragmaOnce) {
+  auto issues =
+      RunRule("src/core/foo.h", "#pragma once\n", "include-guard");
+  ASSERT_EQ(issues.size(), 1u);
+}
+
+TEST(IncludeGuardTest, FiresOnMissingDefine) {
+  auto issues = RunRule("src/core/foo.h",
+                        "#ifndef ODE_CORE_FOO_H_\nint x;\n#endif\n",
+                        "include-guard");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 2);
+}
+
+TEST(IncludeGuardTest, FiresOnMissingGuardEntirely) {
+  auto issues = RunRule("src/core/foo.h", "int x;\n", "include-guard");
+  ASSERT_EQ(issues.size(), 1u);
+}
+
+TEST(IncludeGuardTest, DoesNotApplyToSourceFiles) {
+  EXPECT_TRUE(RunRule("src/core/foo.cc", "int x;\n", "include-guard").empty());
+}
+
+// ---------------------------------------------------------------------------
+// Output formatting
+// ---------------------------------------------------------------------------
+
+TEST(FormatTest, FileLineRuleMessage) {
+  Issue issue{"src/a.cc", 12, "raw-io", "boom"};
+  EXPECT_EQ(FormatIssue(issue), "src/a.cc:12: [raw-io] boom");
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace ode

@@ -305,7 +305,9 @@ TEST(MetricsConcurrentTest, SnapshotDuringRecordingIsSane) {
     const HistogramSnapshot s = h->Snapshot();
     // Mid-recording snapshots may be a few events stale but never absurd.
     EXPECT_LE(s.p50, static_cast<double>(s.max) + 1e-9);
-    if (s.count > 0) EXPECT_GE(s.max, s.min);
+    if (s.count > 0) {
+      EXPECT_GE(s.max, s.min);
+    }
   }
   stop.store(true, std::memory_order_relaxed);
   writer.join();

@@ -1,0 +1,488 @@
+#include "tools/lint/lint_rules.h"
+
+#include <algorithm>
+#include <cctype>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace ode {
+namespace lint {
+
+namespace {
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// raw-io
+// ---------------------------------------------------------------------------
+
+/// Files allowed to speak to the filesystem directly: the Env implementations
+/// themselves (everything else must route through ode::Env so fault
+/// injection and the crash matrix see every I/O).
+const std::set<std::string> kRawIoAllowed = {
+    "src/storage/env.h",
+    "src/storage/env.cc",
+    "src/storage/fault_env.h",
+    "src/storage/fault_env.cc",
+};
+
+void CheckRawIo(const std::string& path,
+                const std::vector<std::string>& stripped_lines,
+                std::vector<Issue>* issues) {
+  // Production code only; tests may poke at artifact files directly.
+  if (!StartsWith(path, "src/") && !StartsWith(path, "tools/")) return;
+  if (kRawIoAllowed.count(path) > 0) return;
+  static const std::regex kCall(
+      R"((^|[^A-Za-z0-9_])(open|fopen|fsync|fdatasync|rename|unlink|ftruncate|pread|pwrite)\s*\()");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(stripped_lines[i], m, kCall)) {
+      issues->push_back(Issue{
+          path, static_cast<int>(i + 1), "raw-io",
+          "raw filesystem call '" + m[2].str() +
+              "' outside storage/env*; route it through ode::Env so fault "
+              "injection and the crash matrix cover it"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// todo-date
+// ---------------------------------------------------------------------------
+
+// Runs on comment-preserving, string-stripped text: to-do markers live in
+// comments, but a string literal that merely mentions one (test fixtures,
+// the lint messages themselves) is not an intention that can go stale.
+void CheckTodoDate(const std::string& path,
+                   const std::vector<std::string>& raw_lines,
+                   std::vector<Issue>* issues) {
+  static const std::regex kTodo(R"(\bTODO\b)");
+  static const std::regex kDatedTodo(
+      R"(\bTODO\((\w[\w.-]*,\s*)?\d{4}-\d{2}-\d{2})");
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    if (std::regex_search(raw_lines[i], kTodo) &&
+        !std::regex_search(raw_lines[i], kDatedTodo)) {
+      issues->push_back(Issue{
+          path, static_cast<int>(i + 1), "todo-date",
+          "TODO without a date; write TODO(YYYY-MM-DD: ...) or "
+          "TODO(name, YYYY-MM-DD: ...) so it can go stale visibly"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// mutex-guard (+ raw-mutex)
+// ---------------------------------------------------------------------------
+
+struct BraceFrame {
+  bool is_class = false;
+  bool has_guard = false;
+  std::vector<std::pair<int, std::string>> mutex_members;  // line, type.
+};
+
+bool LooksLikeClassPreamble(const std::string& preamble) {
+  static const std::regex kClass(R"(\b(class|struct)\b)");
+  static const std::regex kEnum(R"(\benum\b)");
+  return std::regex_search(preamble, kClass) &&
+         !std::regex_search(preamble, kEnum);
+}
+
+void CheckMutexMembers(const std::string& path, const std::string& stripped,
+                       std::vector<Issue>* issues) {
+  if (path == "src/util/mutex.h") return;  // The annotated wrappers.
+  static const std::regex kMutexMember(
+      R"(^\s*(mutable\s+)?((std::)?(mutex|shared_mutex|recursive_mutex)|(ode::)?(Mutex|SharedMutex))\s+[A-Za-z_]\w*\s*$)");
+  static const std::regex kStdMutex(
+      R"(^\s*(mutable\s+)?(std::)?(mutex|shared_mutex|recursive_mutex)\b)");
+
+  std::vector<BraceFrame> stack;
+  std::string statement;  // Text since the last ; { or } at this nesting.
+  std::string preamble;   // Same, but kept for brace-open classification.
+  int line = 1;
+  for (char c : stripped) {
+    if (c == '\n') {
+      ++line;
+      statement.push_back(' ');
+      preamble.push_back(' ');
+      continue;
+    }
+    if (c == '{') {
+      BraceFrame frame;
+      frame.is_class = LooksLikeClassPreamble(preamble);
+      stack.push_back(frame);
+      statement.clear();
+      preamble.clear();
+      continue;
+    }
+    if (c == '}') {
+      if (!stack.empty()) {
+        BraceFrame frame = stack.back();
+        stack.pop_back();
+        if (frame.is_class && !frame.mutex_members.empty() &&
+            !frame.has_guard) {
+          for (const auto& [mline, mtype] : frame.mutex_members) {
+            issues->push_back(Issue{
+                path, mline, "mutex-guard",
+                "class declares a " + mtype +
+                    " member but annotates no field with ODE_GUARDED_BY; "
+                    "state what the lock protects so clang -Wthread-safety "
+                    "can check it"});
+          }
+        }
+      }
+      statement.clear();
+      preamble.clear();
+      continue;
+    }
+    if (c == ';') {
+      if (!stack.empty() && stack.back().is_class) {
+        if (statement.find("ODE_GUARDED_BY") != std::string::npos ||
+            statement.find("ODE_PT_GUARDED_BY") != std::string::npos) {
+          stack.back().has_guard = true;
+        }
+        // Access-specifier labels don't end in ';', so "private: Mutex mu_"
+        // arrives as one statement; peel the labels off before matching.
+        static const std::regex kLabel(R"(^\s*(public|private|protected)\s*:)");
+        std::smatch lm;
+        while (std::regex_search(statement, lm, kLabel)) {
+          statement = lm.suffix().str();
+        }
+        std::smatch m;
+        if (std::regex_match(statement, m, kMutexMember)) {
+          std::string type = m[2].str();
+          stack.back().mutex_members.emplace_back(line, type);
+          if (StartsWith(path, "src/") &&
+              std::regex_search(statement, kStdMutex)) {
+            issues->push_back(Issue{
+                path, line, "raw-mutex",
+                "raw " + type +
+                    " member in src/; use ode::Mutex / ode::SharedMutex "
+                    "(util/mutex.h) so the capability annotations apply"});
+          }
+        }
+      }
+      statement.clear();
+      preamble.clear();
+      continue;
+    }
+    statement.push_back(c);
+    preamble.push_back(c);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// foreach-caller
+// ---------------------------------------------------------------------------
+
+/// Call sites that predate the cursor API (PR 4).  Do not add to this list:
+/// new code iterates with ObjectCursor/VersionCursor/TypeCursor/
+/// ClusterCursor (core/cursor.h).
+const std::set<std::string> kForEachGrandfathered = {
+    "src/core/check.cc",
+    "src/core/index.cc",
+    "src/core/query.h",
+    "src/policy/migrate.cc",
+    "tests/core/cluster_test.cc",
+    "tests/core/cursor_test.cc",  // Deliberately compares cursor vs ForEach.
+    "tests/core/edge_cases_test.cc",
+    "tests/integration/full_system_test.cc",
+    "tools/odedump.cc",
+};
+
+void CheckForEachCallers(const std::string& path,
+                         const std::vector<std::string>& stripped_lines,
+                         std::vector<Issue>* issues) {
+  // The declarations and deprecated wrapper bodies live here.
+  if (path == "src/core/database.h" || path == "src/core/database.cc") return;
+  if (kForEachGrandfathered.count(path) > 0) return;
+  static const std::regex kForEach(
+      R"(\bForEach(Object|Version|Type|InCluster)\s*\()");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    std::smatch m;
+    if (std::regex_search(stripped_lines[i], m, kForEach)) {
+      issues->push_back(Issue{
+          path, static_cast<int>(i + 1), "foreach-caller",
+          "new call to deprecated Database::ForEach" + m[1].str() +
+              "; use the cursor API (core/cursor.h) instead"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// include-guard
+// ---------------------------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& path) {
+  std::string rel = StartsWith(path, "src/") ? path.substr(4) : path;
+  std::string guard = "ODE_";
+  for (char c : rel) {
+    if (c == '/' || c == '.') {
+      guard.push_back('_');
+    } else {
+      guard.push_back(
+          static_cast<char>(std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+void CheckIncludeGuard(const std::string& path,
+                       const std::vector<std::string>& raw_lines,
+                       std::vector<Issue>* issues) {
+  if (!EndsWith(path, ".h")) return;
+  const std::string expected = ExpectedGuard(path);
+  static const std::regex kIfndef(R"(^\s*#\s*ifndef\s+(\w+)\s*$)");
+  static const std::regex kDefine(R"(^\s*#\s*define\s+(\w+)\s*$)");
+  static const std::regex kPragmaOnce(R"(^\s*#\s*pragma\s+once\b)");
+  for (size_t i = 0; i < raw_lines.size(); ++i) {
+    if (std::regex_search(raw_lines[i], kPragmaOnce)) {
+      issues->push_back(Issue{path, static_cast<int>(i + 1), "include-guard",
+                              "#pragma once; use the canonical guard " +
+                                  expected + " like the rest of the tree"});
+      return;
+    }
+    std::smatch m;
+    if (std::regex_match(raw_lines[i], m, kIfndef)) {
+      if (m[1].str() != expected) {
+        issues->push_back(Issue{path, static_cast<int>(i + 1),
+                                "include-guard",
+                                "guard '" + m[1].str() +
+                                    "' does not match the canonical '" +
+                                    expected + "'"});
+        return;
+      }
+      // The very next line must #define the same token.
+      std::smatch d;
+      if (i + 1 >= raw_lines.size() ||
+          !std::regex_match(raw_lines[i + 1], d, kDefine) ||
+          d[1].str() != expected) {
+        issues->push_back(Issue{path, static_cast<int>(i + 2),
+                                "include-guard",
+                                "#ifndef " + expected +
+                                    " is not followed by the matching "
+                                    "#define"});
+      }
+      return;
+    }
+  }
+  issues->push_back(Issue{path, 1, "include-guard",
+                          "header has no include guard; expected #ifndef " +
+                              expected});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Shared machinery
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Shared lexer for both public views.  `keep_comments` emits comment text
+/// verbatim (used by todo-date, which wants comments but not strings);
+/// string/char literal bodies are always dropped (quotes kept), and line
+/// structure is always preserved.
+std::string StripImpl(const std::string& content, bool keep_comments) {
+  std::string out;
+  out.reserve(content.size());
+  enum class State {
+    kCode,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString
+  };
+  State state = State::kCode;
+  std::string raw_delim;  // For R"delim( ... )delim".
+  size_t i = 0;
+  const size_t n = content.size();
+  while (i < n) {
+    const char c = content[i];
+    const char next = i + 1 < n ? content[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          if (keep_comments) out.append("//");
+          state = State::kLineComment;
+          i += 2;
+        } else if (c == '/' && next == '*') {
+          if (keep_comments) out.append("/*");
+          state = State::kBlockComment;
+          i += 2;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || !(std::isalnum(static_cast<unsigned char>(
+                                    content[i - 1])) ||
+                                content[i - 1] == '_'))) {
+          // Raw string literal: R"delim( ... )delim".
+          size_t j = i + 2;
+          raw_delim.clear();
+          while (j < n && content[j] != '(') raw_delim.push_back(content[j++]);
+          out.append("\"\"");
+          i = j + 1;
+          state = State::kRawString;
+        } else if (c == '"') {
+          out.push_back('"');
+          state = State::kString;
+          ++i;
+        } else if (c == '\'') {
+          out.push_back('\'');
+          state = State::kChar;
+          ++i;
+        } else {
+          out.push_back(c);
+          ++i;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          out.push_back('\n');
+          state = State::kCode;
+        } else if (keep_comments) {
+          out.push_back(c);
+        }
+        ++i;
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          if (keep_comments) out.append("*/");
+          state = State::kCode;
+          i += 2;
+        } else {
+          if (c == '\n') {
+            out.push_back('\n');
+          } else if (keep_comments) {
+            out.push_back(c);
+          }
+          ++i;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          i += 2;
+        } else if (c == '"') {
+          out.push_back('"');
+          state = State::kCode;
+          ++i;
+        } else {
+          if (c == '\n') out.push_back('\n');  // Unterminated; keep lines.
+          ++i;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          i += 2;
+        } else if (c == '\'') {
+          out.push_back('\'');
+          state = State::kCode;
+          ++i;
+        } else {
+          ++i;
+        }
+        break;
+      case State::kRawString: {
+        const std::string close = ")" + raw_delim + "\"";
+        if (content.compare(i, close.size(), close) == 0) {
+          state = State::kCode;
+          i += close.size();
+        } else {
+          if (c == '\n') out.push_back('\n');
+          ++i;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& content) {
+  return StripImpl(content, /*keep_comments=*/false);
+}
+
+bool ShouldScan(const std::string& path) {
+  if (!(EndsWith(path, ".h") || EndsWith(path, ".cc"))) return false;
+  // The negative-compilation snippets violate rules on purpose.
+  if (StartsWith(path, "tests/static/")) return false;
+  return StartsWith(path, "src/") || StartsWith(path, "tools/") ||
+         StartsWith(path, "tests/") || StartsWith(path, "bench/") ||
+         StartsWith(path, "examples/");
+}
+
+std::vector<Issue> LintSource(const std::string& path,
+                              const std::string& content) {
+  std::vector<Issue> issues;
+  const std::vector<std::string> raw_lines = SplitLines(content);
+  const std::string stripped = StripCommentsAndStrings(content);
+  const std::vector<std::string> stripped_lines = SplitLines(stripped);
+  // Comments kept, string bodies dropped: a to-do marker in a comment is
+  // live, the same word inside a string literal is data.
+  const std::vector<std::string> comment_lines =
+      SplitLines(StripImpl(content, /*keep_comments=*/true));
+
+  CheckRawIo(path, stripped_lines, &issues);
+  CheckTodoDate(path, comment_lines, &issues);
+  CheckMutexMembers(path, stripped, &issues);
+  CheckForEachCallers(path, stripped_lines, &issues);
+  CheckIncludeGuard(path, raw_lines, &issues);
+
+  // Per-site suppression: `// ode_lint: allow(<rule>)` on the flagged line
+  // or the line above keeps the issue out of the report.  Grep for the
+  // marker to audit every exemption in the tree.
+  issues.erase(std::remove_if(issues.begin(), issues.end(),
+                              [&](const Issue& issue) {
+                                const std::string marker =
+                                    "ode_lint: allow(" + issue.rule + ")";
+                                for (int l : {issue.line - 1, issue.line - 2}) {
+                                  if (l >= 0 &&
+                                      l < static_cast<int>(raw_lines.size()) &&
+                                      raw_lines[l].find(marker) !=
+                                          std::string::npos) {
+                                    return true;
+                                  }
+                                }
+                                return false;
+                              }),
+               issues.end());
+
+  std::sort(issues.begin(), issues.end(), [](const Issue& a, const Issue& b) {
+    return a.line != b.line ? a.line < b.line : a.rule < b.rule;
+  });
+  return issues;
+}
+
+std::string FormatIssue(const Issue& issue) {
+  std::ostringstream os;
+  os << issue.file << ":" << issue.line << ": [" << issue.rule << "] "
+     << issue.message;
+  return os.str();
+}
+
+}  // namespace lint
+}  // namespace ode

@@ -1,0 +1,75 @@
+#ifndef ODE_TOOLS_LINT_LINT_RULES_H_
+#define ODE_TOOLS_LINT_LINT_RULES_H_
+
+#include <string>
+#include <vector>
+
+namespace ode {
+namespace lint {
+
+// ode_lint: project-invariant checks that clang-tidy cannot express.
+//
+// Each rule encodes a repo rule that has bitten (or would bite) at runtime:
+//
+//  raw-io         Filesystem syscalls (open/fsync/fdatasync/rename/unlink/
+//                 ftruncate/pread/pwrite/fopen) outside storage/env*.cc and
+//                 storage/fault_env*.cc.  Everything must go through
+//                 ode::Env, or the fault-injection and crash-matrix
+//                 machinery silently loses coverage of that I/O.
+//  todo-date      A TODO must carry an ISO date — `TODO(2026-08-07: ...)` or
+//                 `TODO(name, 2026-08-07: ...)` — so stale intentions are
+//                 identifiable instead of immortal.
+//  mutex-guard    A class declaring a mutex member (std::mutex,
+//                 std::shared_mutex, ode::Mutex, ode::SharedMutex) must
+//                 annotate at least one field with ODE_GUARDED_BY /
+//                 ODE_PT_GUARDED_BY in the same class body.  A lock that
+//                 guards nothing it can name is an unstated invariant the
+//                 thread-safety analysis cannot check.  Raw std:: mutex
+//                 types are additionally flagged in src/ (use the annotated
+//                 wrappers from util/mutex.h).
+//  foreach-caller The callback scans Database::ForEach{Object,Version,Type,
+//                 InCluster} are deprecated in favor of cursors
+//                 (core/cursor.h).  Callers that predate the cursors are
+//                 grandfathered by file; new call sites are rejected.
+//  include-guard  Headers under src/ must open with the canonical
+//                 `#ifndef ODE_<PATH>_H_` / `#define` pair (no #pragma
+//                 once), so guards never collide.
+//
+// The checker is intentionally lexical (comments and string literals are
+// stripped first): it runs in milliseconds over the whole tree, has no
+// compiler dependency, and the rules are chosen so a lexical match IS the
+// violation.
+//
+// Suppression: a comment `ode_lint: allow(<rule>)` on the flagged line or
+// the line directly above silences that one issue.  Every suppression is
+// greppable, and should carry a reason (see src/storage/storage_engine.h
+// for the canonical example: a lock whose lifetime spans functions cannot
+// name what it guards in a way the capability analysis accepts).
+
+/// One rule violation.
+struct Issue {
+  std::string file;  ///< Repo-relative path, forward slashes.
+  int line = 0;      ///< 1-based.
+  std::string rule;
+  std::string message;
+};
+
+/// Lints one file.  `path` must be repo-relative with forward slashes
+/// (rules are path-sensitive); `content` is the raw file text.
+std::vector<Issue> LintSource(const std::string& path,
+                              const std::string& content);
+
+/// Strips // and /* */ comments and the bodies of string/char literals
+/// (keeping the quotes), preserving line structure.  Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& content);
+
+/// True if `path` (repo-relative) should be scanned at all.
+bool ShouldScan(const std::string& path);
+
+/// Renders "file:line: [rule] message".
+std::string FormatIssue(const Issue& issue);
+
+}  // namespace lint
+}  // namespace ode
+
+#endif  // ODE_TOOLS_LINT_LINT_RULES_H_

@@ -1,0 +1,93 @@
+// ode_lint: lexical project-invariant checker.  See tools/lint/lint_rules.h
+// for the rule catalogue.  Exit status 0 = clean, 1 = violations, 2 = usage
+// or I/O error.
+//
+// Usage:  ode_lint [--root <repo-root>]
+//
+// Scans src/, tools/, tests/, bench/, and examples/ under the root for .h
+// and .cc files and prints one "file:line: [rule] message" per violation.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "tools/lint/lint_rules.h"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  *out = ss.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = fs::current_path();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: ode_lint [--root <repo-root>]\n";
+      return 0;
+    } else {
+      std::cerr << "ode_lint: unknown argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  std::error_code ec;
+  root = fs::canonical(root, ec);
+  if (ec) {
+    std::cerr << "ode_lint: cannot resolve root: " << ec.message() << "\n";
+    return 2;
+  }
+
+  std::vector<std::string> rel_paths;
+  for (const char* top : {"src", "tools", "tests", "bench", "examples"}) {
+    const fs::path dir = root / top;
+    if (!fs::is_directory(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (!entry.is_regular_file()) continue;
+      std::string rel = fs::relative(entry.path(), root).generic_string();
+      if (ode::lint::ShouldScan(rel)) rel_paths.push_back(std::move(rel));
+    }
+  }
+  std::sort(rel_paths.begin(), rel_paths.end());
+
+  size_t files_scanned = 0;
+  size_t violations = 0;
+  for (const std::string& rel : rel_paths) {
+    std::string content;
+    if (!ReadFile(root / rel, &content)) {
+      std::cerr << "ode_lint: cannot read " << rel << "\n";
+      return 2;
+    }
+    ++files_scanned;
+    for (const ode::lint::Issue& issue :
+         ode::lint::LintSource(rel, content)) {
+      std::cout << ode::lint::FormatIssue(issue) << "\n";
+      ++violations;
+    }
+  }
+
+  if (violations > 0) {
+    std::cerr << "ode_lint: " << violations << " violation(s) in "
+              << files_scanned << " file(s) scanned\n";
+    return 1;
+  }
+  std::cerr << "ode_lint: clean (" << files_scanned << " files scanned)\n";
+  return 0;
+}

@@ -22,6 +22,7 @@
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 
@@ -386,15 +387,19 @@ int Trace(ode::Database& db, const std::string& out_path) {
     std::printf("%s\n", json.c_str());
     return 0;
   }
-  std::FILE* f = std::fopen(out_path.c_str(), "w");
-  if (f == nullptr) {
+  std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+  if (!out) {
     std::fprintf(stderr, "odedump: cannot open %s for writing\n",
                  out_path.c_str());
     return 1;
   }
-  std::fwrite(json.data(), 1, json.size(), f);
-  std::fputc('\n', f);
-  std::fclose(f);
+  out.write(json.data(), static_cast<std::streamsize>(json.size()));
+  out.put('\n');
+  out.close();
+  if (!out) {
+    std::fprintf(stderr, "odedump: short write to %s\n", out_path.c_str());
+    return 1;
+  }
   std::fprintf(stderr, "wrote %zu bytes of trace JSON to %s\n",
                json.size() + 1, out_path.c_str());
   return 0;
