@@ -268,6 +268,123 @@ BENCHMARK(BM_Concurrent_DerefGeneric_WithWriter)
     ->Threads(2)->Threads(4)->Threads(8)
     ->UseRealTime();
 
+// ---------------------------------------------------------------------------
+// Writer scaling (striped latches + group commit)
+// ---------------------------------------------------------------------------
+//
+// Every thread is a WRITER committing update transactions to its own object:
+// the stripe latches never collide, so the runs measure how well the apply
+// latch + group-commit queue turn concurrent commits into shared fsyncs.
+// items_per_second and the explicit commits_per_second counter both report
+// aggregate commit throughput; commits_per_fsync (from the metrics
+// registry) reports the batching factor the run achieved.
+//
+// Same 1-CPU caveat as the reader rows: on a single hardware thread the
+// scaling numbers mostly show time-slicing, not parallelism — and MemEnv's
+// cheap Sync() understates how much a real disk gains from fsync
+// amortization.  Treat cross-thread-count ratios as lower bounds.
+
+struct WriterScalingDb {
+  BenchDb handle;
+  std::vector<ObjectId> oids;  // One per writer thread: disjoint stripes.
+};
+
+WriterScalingDb* g_writer_db = nullptr;
+
+void SetUpWriterScaling(CommitMode mode, size_t max_batch, int threads) {
+  auto* shared = new WriterScalingDb;
+  shared->handle.env = std::make_unique<MemEnv>();
+  DatabaseOptions options;
+  options.storage.env = shared->handle.env.get();
+  options.storage.path = "/bench";
+  options.storage.buffer_pool_pages = 4096;
+  options.storage.commit_mode = mode;
+  options.storage.group_commit_max_batch = max_batch;
+  Database* db = nullptr;
+  {
+    auto opened = Database::Open(options);
+    ODE_CHECK(opened.ok());
+    shared->handle.db = std::move(*opened);
+    db = shared->handle.db.get();
+  }
+  const uint32_t type_id = RawType(*db);
+  for (int t = 0; t < threads; ++t) {
+    auto vid = db->PnewRaw(type_id, Slice(MakePayload(kPayloadBytes,
+                                                      /*seed=*/500 + t)));
+    ODE_CHECK(vid.ok());
+    shared->oids.push_back(vid->oid);
+  }
+  g_writer_db = shared;
+}
+
+void TearDownWriterScaling(benchmark::State& state) {
+  Database& db = *g_writer_db->handle;
+  // Async runs: the measured region acked commits that are not durable yet;
+  // fence them so every run pays for its whole workload.
+  ODE_CHECK(db.WaitForDurable().ok());
+  const VersionStats stats = db.stats();
+  state.counters["commits_per_fsync"] =
+      stats.group_commit_fsyncs == 0
+          ? 0.0
+          : static_cast<double>(stats.group_commit_commits) /
+                static_cast<double>(stats.group_commit_fsyncs);
+  state.counters["gc_batches"] =
+      static_cast<double>(stats.group_commit_batches);
+  delete g_writer_db;
+  g_writer_db = nullptr;
+}
+
+void WriterScaling(benchmark::State& state, CommitMode mode,
+                   size_t max_batch) {
+  if (state.thread_index() == 0) {
+    SetUpWriterScaling(mode, max_batch, state.threads());
+  }
+  Random rng(static_cast<uint64_t>(state.thread_index()) + 11);
+  std::string payload =
+      MakePayload(kPayloadBytes, /*seed=*/77 + state.thread_index());
+  // g_writer_db is only touched inside the loop: the iteration barrier
+  // orders thread 0's setup before the other threads' first commit.
+  for (auto _ : state) {
+    SmallEdit(&payload, &rng);
+    Database& db = *g_writer_db->handle;
+    ODE_CHECK(db.UpdateLatest(g_writer_db->oids[state.thread_index()],
+                              Slice(payload))
+                  .ok());
+  }
+  ReportOps(state);
+  using benchmark::Counter;
+  state.counters["commits_per_second"] =
+      Counter(static_cast<double>(state.iterations()), Counter::kIsRate);
+  if (state.thread_index() == 0) TearDownWriterScaling(state);
+}
+
+void BM_Concurrent_WriterScaling_Sync(benchmark::State& state) {
+  WriterScaling(state, CommitMode::kSync, /*max_batch=*/64);
+}
+BENCHMARK(BM_Concurrent_WriterScaling_Sync)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+void BM_Concurrent_WriterScaling_Async(benchmark::State& state) {
+  WriterScaling(state, CommitMode::kAsync, /*max_batch=*/64);
+}
+BENCHMARK(BM_Concurrent_WriterScaling_Async)
+    ->Threads(1)->Threads(2)->Threads(4)->Threads(8)
+    ->UseRealTime();
+
+// Batch-size sweep at a fixed writer count: how much does capping the
+// leader's batch cost?  max_batch=1 degenerates to one fsync per commit
+// (the old single-writer discipline) and anchors the comparison.
+void BM_Concurrent_WriterScaling_BatchSweep(benchmark::State& state) {
+  WriterScaling(state, CommitMode::kSync,
+                static_cast<size_t>(state.range(0)));
+}
+BENCHMARK(BM_Concurrent_WriterScaling_BatchSweep)
+    ->ArgName("max_batch")
+    ->Arg(1)->Arg(4)->Arg(16)->Arg(64)
+    ->Threads(4)
+    ->UseRealTime();
+
 }  // namespace
 }  // namespace bench
 }  // namespace ode

@@ -26,6 +26,17 @@ std::string MakeIdentityDelta(uint64_t size) {
   return out;
 }
 
+/// Write transactions open on this thread, innermost last (a thread can hold
+/// transactions on several Databases, e.g. in migration tooling).  Replaces
+/// the old single active_txn_/owner pair, which could only describe ONE
+/// in-flight transaction — with concurrent writers there are several, each
+/// visible only to its own thread.
+thread_local std::vector<std::pair<const Database*, Txn*>> tls_open_txns;
+
+/// Marks a Database::Begin that is still blocked in engine Begin; rejects a
+/// concurrent user-scoped Begin without holding a mutex across the block.
+Txn* const kBeginPending = reinterpret_cast<Txn*>(1);
+
 }  // namespace
 
 void Database::CoreMetrics::Attach(MetricsRegistry* registry) {
@@ -63,6 +74,19 @@ Status DatabaseOptions::Validate() const {
   if (!IsZeroOrPowerOfTwo(storage.buffer_pool_shards)) {
     return Status::InvalidArgument(
         "storage.buffer_pool_shards must be 0 (auto) or a power of two");
+  }
+  if (storage.write_latch_stripes < 1 ||
+      !IsZeroOrPowerOfTwo(storage.write_latch_stripes)) {
+    return Status::InvalidArgument(
+        "storage.write_latch_stripes must be a power of two >= 1");
+  }
+  if (storage.group_commit_max_batch < 1) {
+    return Status::InvalidArgument(
+        "storage.group_commit_max_batch must be >= 1");
+  }
+  if (storage.group_commit_max_wait_us > 1'000'000) {
+    return Status::InvalidArgument(
+        "storage.group_commit_max_wait_us must be <= 1'000'000 (one second)");
   }
   if (delta_keyframe_interval < 1) {
     return Status::InvalidArgument("delta_keyframe_interval must be >= 1");
@@ -117,6 +141,29 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
   StorageOptions storage = options.storage;
   if (storage.metrics == nullptr) storage.metrics = db->registry_;
   if (storage.tracer == nullptr) storage.tracer = db->tracer_.get();
+  // Drive the cache epochs from the engine's apply hooks: they run under the
+  // exclusive apply latch, where apply sections are strictly serialized even
+  // though durable-commit waits overlap — the single-writer discipline the
+  // caches' epoch protocol assumes.  Caller-supplied hooks are chained
+  // after ours.
+  {
+    Database* raw = db.get();
+    auto user_begin = std::move(storage.on_apply_begin);
+    storage.on_apply_begin = [raw, user_begin = std::move(user_begin)] {
+      raw->BeginCacheEpoch();
+      if (user_begin) user_begin();
+    };
+    auto user_end = std::move(storage.on_apply_end);
+    storage.on_apply_end = [raw,
+                            user_end = std::move(user_end)](bool committed) {
+      if (committed) {
+        raw->CommitCacheEpoch();
+      } else {
+        raw->AbortCacheEpoch();
+      }
+      if (user_end) user_end(committed);
+    };
+  }
   auto engine = StorageEngine::Open(storage);
   if (!engine.ok()) return engine.status();
   db->engine_ = std::move(*engine);
@@ -135,7 +182,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
 }
 
 Database::~Database() {
-  if (txn_ != nullptr) {
+  if (user_txn_.load(std::memory_order_acquire) != nullptr) {
     Status s = Abort();
     if (!s.ok()) { ODE_LOG_WARN << "abort on close failed: " << s; }
   }
@@ -146,36 +193,40 @@ Database::~Database() {
 // ---------------------------------------------------------------------------
 
 Txn* Database::CurrentThreadTxn() const {
-  Txn* txn = active_txn_.load(std::memory_order_acquire);
-  if (txn == nullptr) return nullptr;
-  if (active_txn_owner_.load(std::memory_order_relaxed) !=
-      std::this_thread::get_id()) {
-    return nullptr;  // Another thread's transaction; not ours to join.
+  // Innermost first: a thread can hold transactions on several Databases.
+  for (auto it = tls_open_txns.rbegin(); it != tls_open_txns.rend(); ++it) {
+    if (it->first == this) return it->second;
   }
-  return txn;
+  return nullptr;
 }
 
 Status Database::RunInTxn(const std::function<Status(Txn&)>& body) {
   // Nested calls (triggers, policies, grouped operations) join the
   // in-flight transaction.
   if (Txn* open = CurrentThreadTxn(); open != nullptr) return body(*open);
-  BeginCacheEpoch();
-  Status s = engine_->WithTxn([&](Txn& txn) {
-    active_txn_owner_.store(std::this_thread::get_id(),
-                            std::memory_order_relaxed);
-    active_txn_.store(&txn, std::memory_order_release);
+  // Cache epochs are driven by the engine's apply hooks (see Open): they
+  // bracket the apply section, under the latch, exactly once per engine
+  // transaction.
+  return engine_->WithTxn([&](Txn& txn) {
+    tls_open_txns.emplace_back(this, &txn);
     Status body_status = body(txn);
-    active_txn_.store(nullptr, std::memory_order_release);
+    // Popped before the engine's commit/abort runs: once the body is done,
+    // nothing on this thread may join the closing transaction.
+    tls_open_txns.pop_back();
     return body_status;
   });
-  // Cache installs made inside the transaction may capture state that only
-  // existed inside it; keep them only once the engine committed.
-  if (s.ok()) {
-    CommitCacheEpoch();
-  } else {
-    AbortCacheEpoch();
+}
+
+Status Database::MutateObject(ObjectId oid,
+                              const std::function<Status(Txn&)>& body) {
+  if (CurrentThreadTxn() != nullptr) {
+    // Joining an open transaction: its apply latch already serializes every
+    // writer, and acquiring a stripe while holding the latch would invert
+    // the stripe -> apply-latch order (deadlock).
+    return RunInTxn(body);
   }
-  return s;
+  WriteLatchGuard guard(engine_->write_latches(), oid.value);
+  return RunInTxn(body);
 }
 
 Status Database::RunInRead(const std::function<Status(PageIO&)>& body) {
@@ -202,50 +253,87 @@ void Database::AbortCacheEpoch() {
 }
 
 Status Database::Begin() {
-  if (txn_ != nullptr) {
+  // Claim the user-transaction slot with a sentinel first: engine Begin may
+  // block for the apply latch, and nothing may hold a Database mutex across
+  // that (a committer's apply hooks would deadlock against it).
+  Txn* expected = nullptr;
+  if (!user_txn_.compare_exchange_strong(expected, kBeginPending,
+                                         std::memory_order_acq_rel)) {
     return Status::FailedPrecondition("transaction already open");
   }
   auto txn = engine_->Begin();
-  if (!txn.ok()) return txn.status();
-  txn_ = *txn;
-  active_txn_owner_.store(std::this_thread::get_id(),
-                          std::memory_order_relaxed);
-  active_txn_.store(*txn, std::memory_order_release);
-  BeginCacheEpoch();
+  if (!txn.ok()) {
+    user_txn_.store(nullptr, std::memory_order_release);
+    return txn.status();
+  }
+  tls_open_txns.emplace_back(this, *txn);
+  user_txn_.store(*txn, std::memory_order_release);
   return Status::OK();
 }
 
-Status Database::Commit() {
-  if (txn_ == nullptr) return Status::FailedPrecondition("no open transaction");
-  Txn* txn = txn_;
-  txn_ = nullptr;
-  active_txn_.store(nullptr, std::memory_order_release);
-  Status s = engine_->Commit(txn);
-  if (s.ok()) {
-    CommitCacheEpoch();
-  } else {
-    // The engine's post-failure state is unknown; drop everything rather
-    // than risk serving bytes from a half-committed transaction.
-    payload_cache_->Clear();
-    latest_cache_->Clear();
+namespace {
+
+/// Removes the innermost registry entry for (db, txn); false if absent.
+bool PopThreadTxn(const Database* db, Txn* txn) {
+  for (auto it = tls_open_txns.rbegin(); it != tls_open_txns.rend(); ++it) {
+    if (it->first == db && it->second == txn) {
+      tls_open_txns.erase(std::next(it).base());
+      return true;
+    }
   }
-  return s;
+  return false;
+}
+
+}  // namespace
+
+Status Database::Commit() {
+  Txn* txn = user_txn_.load(std::memory_order_acquire);
+  if (txn == nullptr || txn == kBeginPending) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  if (!PopThreadTxn(this, txn)) {
+    // Open, but on another thread: committing it here would hand the apply
+    // latch release to the wrong thread.
+    return Status::FailedPrecondition(
+        "transaction is open on another thread");
+  }
+  user_txn_.store(nullptr, std::memory_order_release);
+  // Cache promotion/discard rides the engine's apply hooks.  If the commit
+  // later fails its fsync, the engine poisons itself and refuses further
+  // writes; the caches then match the in-memory pages (both retain the
+  // applied-but-not-durable state), so no clearing is needed.
+  return engine_->Commit(txn);
 }
 
 Status Database::Abort() {
-  if (txn_ == nullptr) return Status::FailedPrecondition("no open transaction");
-  Txn* txn = txn_;
-  txn_ = nullptr;
-  active_txn_.store(nullptr, std::memory_order_release);
+  Txn* txn = user_txn_.load(std::memory_order_acquire);
+  if (txn == nullptr || txn == kBeginPending) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  if (!PopThreadTxn(this, txn)) {
+    return Status::FailedPrecondition(
+        "transaction is open on another thread");
+  }
+  user_txn_.store(nullptr, std::memory_order_release);
   // Type registrations made inside the aborted transaction are rolled back;
-  // drop the cache so stale ids cannot leak.  Same for cache entries
-  // installed during the transaction.
-  type_cache_.clear();
-  AbortCacheEpoch();
+  // drop the cache so stale ids cannot leak.  (The payload/latest caches
+  // roll back through the engine's abort hook.)
+  {
+    MutexLock lock(type_cache_mu_);
+    type_cache_.clear();
+  }
   return engine_->Abort(txn);
 }
 
+bool Database::InTransaction() const {
+  return user_txn_.load(std::memory_order_acquire) != nullptr;
+}
+
 Status Database::Checkpoint() { return engine_->Checkpoint(); }
+
+Status Database::WaitForDurable() {
+  return engine_->WaitForDurable(UINT64_MAX);
+}
 
 // ---------------------------------------------------------------------------
 // Small helpers
@@ -590,7 +678,7 @@ Status Database::DoNewVersion(Txn& txn, ObjectId oid,
 
 StatusOr<VersionId> Database::NewVersionOf(ObjectId oid) {
   VersionId result;
-  Status s = RunInTxn([&](Txn& txn) {
+  Status s = MutateObject(oid, [&](Txn& txn) {
     return DoNewVersion(txn, oid, std::nullopt, &result);
   });
   if (!s.ok()) return s;
@@ -600,7 +688,7 @@ StatusOr<VersionId> Database::NewVersionOf(ObjectId oid) {
 StatusOr<VersionId> Database::NewDetachedVersion(ObjectId oid,
                                                  const Slice& payload) {
   VersionId result;
-  Status s = RunInTxn([&](Txn& txn) -> Status {
+  Status s = MutateObject(oid, [&](Txn& txn) -> Status {
     ObjectHeader header;
     ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
     auto ts = NextTimestamp(txn);
@@ -628,7 +716,7 @@ StatusOr<VersionId> Database::NewDetachedVersion(ObjectId oid,
 
 StatusOr<VersionId> Database::NewVersionFrom(VersionId vid) {
   VersionId result;
-  Status s = RunInTxn([&](Txn& txn) {
+  Status s = MutateObject(vid.oid, [&](Txn& txn) {
     return DoNewVersion(txn, vid.oid, vid.vnum, &result);
   });
   if (!s.ok()) return s;
@@ -660,11 +748,12 @@ Status Database::DoUpdate(Txn& txn, VersionId vid, const Slice& payload) {
 }
 
 Status Database::UpdateVersion(VersionId vid, const Slice& payload) {
-  return RunInTxn([&](Txn& txn) { return DoUpdate(txn, vid, payload); });
+  return MutateObject(vid.oid,
+                      [&](Txn& txn) { return DoUpdate(txn, vid, payload); });
 }
 
 Status Database::UpdateLatest(ObjectId oid, const Slice& payload) {
-  return RunInTxn([&](Txn& txn) -> Status {
+  return MutateObject(oid, [&](Txn& txn) -> Status {
     ObjectHeader header;
     ODE_RETURN_IF_ERROR(GetHeader(txn, oid, &header));
     return DoUpdate(txn, VersionId{oid, header.latest}, payload);
@@ -827,7 +916,8 @@ Status Database::DoDeleteVersion(Txn& txn, VersionId vid) {
 }
 
 Status Database::PdeleteVersion(VersionId vid) {
-  return RunInTxn([&](Txn& txn) { return DoDeleteVersion(txn, vid); });
+  return MutateObject(
+      vid.oid, [&](Txn& txn) { return DoDeleteVersion(txn, vid); });
 }
 
 Status Database::DoDeleteObject(Txn& txn, ObjectId oid) {
@@ -875,7 +965,8 @@ Status Database::DoDeleteObject(Txn& txn, ObjectId oid) {
 }
 
 Status Database::PdeleteObject(ObjectId oid) {
-  return RunInTxn([&](Txn& txn) { return DoDeleteObject(txn, oid); });
+  return MutateObject(oid,
+                      [&](Txn& txn) { return DoDeleteObject(txn, oid); });
 }
 
 // ---------------------------------------------------------------------------
@@ -1055,9 +1146,20 @@ StatusOr<VersionMeta> Database::Meta(VersionId vid) {
 // Types & clusters
 // ---------------------------------------------------------------------------
 
+std::optional<uint32_t> Database::LookupTypeCache(std::string_view name) const {
+  MutexLock lock(type_cache_mu_);
+  auto it = type_cache_.find(std::string(name));
+  if (it == type_cache_.end()) return std::nullopt;
+  return it->second;
+}
+
+void Database::InsertTypeCache(std::string_view name, uint32_t id) {
+  MutexLock lock(type_cache_mu_);
+  type_cache_.emplace(std::string(name), id);
+}
+
 StatusOr<uint32_t> Database::RegisterType(std::string_view name) {
-  auto cached = type_cache_.find(std::string(name));
-  if (cached != type_cache_.end()) return cached->second;
+  if (auto cached = LookupTypeCache(name); cached.has_value()) return *cached;
   uint32_t result = 0;
   Status s = RunInTxn([&](Txn& txn) -> Status {
     auto tree = BTree::Open(&txn, kNamesTreeSlot);
@@ -1072,7 +1174,7 @@ StatusOr<uint32_t> Database::RegisterType(std::string_view name) {
     return tree->Put(Slice(name), Slice(EncodeTypeId(result)));
   });
   if (!s.ok()) return s;
-  type_cache_.emplace(std::string(name), result);
+  InsertTypeCache(name, result);
   return result;
 }
 
@@ -1241,6 +1343,11 @@ VersionStats Database::stats() const {
   snapshot.buffer_pool_evictions = engine_->cache_stats().evictions;
   snapshot.txn_commits = storage->txn_commits->value();
   snapshot.txn_aborts = storage->txn_aborts->value();
+  snapshot.group_commit_batches = storage->gc_batches->value();
+  snapshot.group_commit_commits = storage->gc_commits->value();
+  snapshot.group_commit_fsyncs = storage->gc_fsyncs->value();
+  snapshot.async_pending =
+      static_cast<uint64_t>(storage->gc_async_pending->value());
   return snapshot;
 }
 
@@ -1271,12 +1378,14 @@ MetricsRegistry::Snapshot Database::MetricsSnapshot() const {
 // ---------------------------------------------------------------------------
 
 uint64_t Database::RegisterTrigger(TriggerEvent event, TriggerFn fn) {
+  MutexLock lock(triggers_mu_);
   const uint64_t handle = next_trigger_handle_++;
   triggers_.push_back(TriggerEntry{handle, event, std::move(fn)});
   return handle;
 }
 
 void Database::UnregisterTrigger(uint64_t handle) {
+  MutexLock lock(triggers_mu_);
   triggers_.erase(
       std::remove_if(triggers_.begin(), triggers_.end(),
                      [&](const TriggerEntry& e) { return e.handle == handle; }),
@@ -1284,9 +1393,15 @@ void Database::UnregisterTrigger(uint64_t handle) {
 }
 
 void Database::FireTriggers(const TriggerInfo& info) {
-  if (triggers_.empty()) return;
-  // Copy so triggers may (un)register triggers while firing.
-  std::vector<TriggerEntry> snapshot = triggers_;
+  // Copy under the mutex so triggers may (un)register triggers while firing
+  // and concurrent mutators may fire without racing on the vector; run the
+  // callbacks unlocked.
+  std::vector<TriggerEntry> snapshot;
+  {
+    MutexLock lock(triggers_mu_);
+    if (triggers_.empty()) return;
+    snapshot = triggers_;
+  }
   for (const TriggerEntry& entry : snapshot) {
     if (entry.event == info.event) entry.fn(*this, info);
   }

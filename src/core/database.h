@@ -19,7 +19,9 @@
 #include "storage/storage_engine.h"
 #include "util/clock.h"
 #include "util/metrics.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 #include "util/statusor.h"
 #include "util/trace.h"
 
@@ -33,7 +35,11 @@ namespace ode {
 /// time rather than running with surprise behavior.
 struct DatabaseOptions {
   /// Storage-engine knobs.  Legal ranges enforced by Validate():
-  /// buffer_pool_pages >= 1; buffer_pool_shards 0 (auto) or a power of two.
+  /// buffer_pool_pages >= 1; buffer_pool_shards 0 (auto) or a power of two;
+  /// write_latch_stripes a power of two >= 1; group_commit_max_batch >= 1;
+  /// group_commit_max_wait_us <= 1'000'000 (one second).  commit_mode picks
+  /// the durability contract (CommitMode::kSync default; kAsync acknowledges
+  /// after the WAL append — pair with Database::WaitForDurable).
   StorageOptions storage;
 
   /// Physical strategy for version payloads:
@@ -158,6 +164,13 @@ struct VersionStats {
   uint64_t buffer_pool_evictions = 0;
   uint64_t txn_commits = 0;  ///< Engine commits, incl. internal bootstrap.
   uint64_t txn_aborts = 0;
+  /// Group-commit counters: commits/fsyncs > 1 means concurrent writers are
+  /// amortizing fsyncs (the whole point of the group-commit WAL).
+  uint64_t group_commit_batches = 0;
+  uint64_t group_commit_commits = 0;
+  uint64_t group_commit_fsyncs = 0;
+  /// Commits acknowledged (kAsync) or queued but not yet fsync-covered.
+  uint64_t async_pending = 0;
 };
 
 /// The Ode object-versioning database: the paper's model (§3) and constructs
@@ -183,14 +196,26 @@ struct VersionStats {
 /// Transactions: every operation is atomic.  By default each call runs in
 /// its own transaction; Begin()/Commit()/Abort() group several calls.
 ///
-/// Concurrency: single-writer / multi-reader.  All mutators (and
-/// Begin/Commit/Abort, RegisterType, Vacuum, trigger registration) must stay
-/// on one thread at a time; the read-only surface (ReadLatest/ReadVersion,
-/// the traversals, the ForEach* scans, the typed getters) may be called from
-/// any number of threads in parallel.  Reads run under the storage engine's
-/// shared lock against committed state; a thread holding an open write
-/// transaction sees its own uncommitted writes (its reads join the
-/// transaction).
+/// Concurrency: multi-writer / multi-reader.  Mutators may be called from
+/// any number of threads: each one-shot mutator takes the write-latch stripe
+/// of the object it touches (ordering logically conflicting writers), then
+/// queues for the engine's exclusive apply latch; the engine's group-commit
+/// WAL lets independent writers share one fsync (see StorageEngine).  A
+/// transaction opened with Begin() is thread-affine — every operation inside
+/// it, and the matching Commit()/Abort(), must run on the opening thread —
+/// and only one user-scoped transaction may be open per Database at a time.
+/// The read-only surface (ReadLatest/ReadVersion, the traversals, the
+/// ForEach* scans, the typed getters) may be called from any number of
+/// threads in parallel, under the engine's shared lock against applied
+/// state; a thread holding an open write transaction sees its own
+/// uncommitted writes (its reads join the transaction).  RegisterType,
+/// trigger (un)registration and stats() are thread-safe; Vacuum and
+/// Checkpoint may run from any thread but serialize behind writers.
+///
+/// Durability: with the default CommitMode::kSync a returned mutator call is
+/// fsync-durable.  With kAsync it is acknowledged after the WAL append;
+/// call WaitForDurable() to fence (a crash before the next group fsync can
+/// lose a suffix of acknowledged commits, never a non-prefix subset).
 class Database {
  public:
   static StatusOr<std::unique_ptr<Database>> Open(
@@ -338,22 +363,25 @@ class Database {
   Status Begin();
   Status Commit();
   Status Abort();
-  bool InTransaction() const { return txn_ != nullptr; }
+  bool InTransaction() const;
 
-  /// Flushes dirty pages and truncates the WAL.
+  /// Flushes dirty pages and truncates the WAL (draining the group-commit
+  /// queue first).
   Status Checkpoint();
+
+  /// Blocks until every mutation acknowledged so far is fsync-durable.  The
+  /// durability fence for CommitMode::kAsync; a no-op under kSync.
+  Status WaitForDurable();
 
   // -- Typed layer -------------------------------------------------------------
 
   /// Persistent type id of T (registered on first use, cached).
   template <Persistable T>
   StatusOr<uint32_t> TypeId() {
-    auto it = type_cache_.find(T::kTypeName);
-    if (it != type_cache_.end()) return it->second;
-    auto id = RegisterType(T::kTypeName);
-    if (!id.ok()) return id.status();
-    type_cache_.emplace(T::kTypeName, *id);
-    return *id;
+    if (auto cached = LookupTypeCache(T::kTypeName); cached.has_value()) {
+      return *cached;
+    }
+    return RegisterType(T::kTypeName);
   }
 
   /// pnew for a typed value.
@@ -428,6 +456,21 @@ class Database {
   /// Runs `body` in the open transaction if any, else in its own.
   Status RunInTxn(const std::function<Status(Txn&)>& body);
 
+  /// RunInTxn for a one-shot mutator keyed by one object: takes `oid`'s
+  /// write-latch stripe BEFORE queuing for the engine's apply latch, so
+  /// logically conflicting writers (same object) order themselves while
+  /// independent objects race to the group-commit queue freely.  Skipped
+  /// when this thread already has a transaction open: the apply latch it
+  /// holds already serializes everything, and acquiring a stripe while
+  /// holding the apply latch would invert the stripe -> apply-latch order
+  /// (deadlock).
+  Status MutateObject(ObjectId oid, const std::function<Status(Txn&)>& body);
+
+  /// Thread-safe probes of the in-memory type-name -> id cache (backs the
+  /// header-inline TypeId<T> fast path).
+  std::optional<uint32_t> LookupTypeCache(std::string_view name) const;
+  void InsertTypeCache(std::string_view name, uint32_t id);
+
   /// Runs read-only `body` under the engine's shared lock — in parallel with
   /// other readers.  If THIS thread has a write transaction open, `body`
   /// joins it instead (so a transaction reads its own writes); another
@@ -462,8 +505,12 @@ class Database {
   Status Materialize(PageIO& io, ObjectId oid, const VersionMeta& meta,
                      std::string* out, bool probe_cache = true);
 
-  // Cache epoch plumbing: every transaction (user-opened or per-call) brackets
-  // cache installs so uncommitted state never survives an abort.
+  // Cache epoch plumbing: every engine transaction brackets cache installs
+  // so uncommitted state never survives an abort.  Driven by the engine's
+  // on_apply_begin / on_apply_end hooks (wired in Open), which run under the
+  // exclusive apply latch — apply sections are strictly serialized even
+  // though durable-commit waits overlap, which is exactly the single-writer
+  // discipline the caches' epoch protocol assumes.
   void BeginCacheEpoch();
   void CommitCacheEpoch();
   void AbortCacheEpoch();
@@ -523,35 +570,44 @@ class Database {
   void RefreshMetricMirrors() const;
 
   DatabaseOptions options_;
-  // Declared before engine_: ~StorageEngine runs a final checkpoint that
-  // records into these, so they must outlive it.
+  // Declared before engine_: ~StorageEngine runs a final checkpoint (and a
+  // last-resort abort, which fires the cache-epoch hooks) that records into
+  // these, so they must outlive it.
   /// Fallback registry when DatabaseOptions::metrics is null.
   std::unique_ptr<MetricsRegistry> owned_registry_;
   MetricsRegistry* registry_ = nullptr;
   CoreMetrics metrics_;
   std::unique_ptr<Tracer> tracer_;
   Sampler deref_sampler_{64};
-  std::unique_ptr<StorageEngine> engine_;
-  Txn* txn_ = nullptr;  // User-opened transaction, if any (writer thread).
-  /// Whatever write transaction is in flight right now, plus the thread that
-  /// owns it.  Atomic because reader threads probe it (to decide whether to
-  /// join or take the shared lock): the owner id is stored before the
-  /// release-store of the pointer, so an acquire-load that sees the pointer
-  /// also sees the right owner.
-  std::atomic<Txn*> active_txn_{nullptr};
-  std::atomic<std::thread::id> active_txn_owner_{};
+  // Also before engine_ — the engine's apply hooks touch both caches.
   std::unique_ptr<VersionPayloadCache> payload_cache_;
   std::unique_ptr<LatestVersionCache> latest_cache_;
+  std::unique_ptr<StorageEngine> engine_;
+  /// The user-scoped transaction (Begin/Commit/Abort), if any.  Holds a
+  /// begin-pending sentinel while engine_->Begin() blocks for the apply
+  /// latch, so a concurrent Database::Begin is rejected without holding any
+  /// mutex across that blocking call.  Which thread owns it is tracked in
+  /// the thread-local open-transaction registry (see CurrentThreadTxn);
+  /// per-call transactions never touch this field.
+  std::atomic<Txn*> user_txn_{nullptr};
 
   struct TriggerEntry {
     uint64_t handle;
     TriggerEvent event;
     TriggerFn fn;
   };
-  std::vector<TriggerEntry> triggers_;
-  uint64_t next_trigger_handle_ = 1;
+  /// Guards trigger (un)registration; FireTriggers snapshots the matching
+  /// entries under the mutex and invokes them unlocked, so triggers may
+  /// themselves (un)register triggers.
+  mutable Mutex triggers_mu_;
+  std::vector<TriggerEntry> triggers_ ODE_GUARDED_BY(triggers_mu_);
+  uint64_t next_trigger_handle_ ODE_GUARDED_BY(triggers_mu_) = 1;
 
-  std::unordered_map<std::string, uint32_t> type_cache_;
+  /// Guards the type-name cache (probed by any thread via TypeId<T> /
+  /// RegisterType; cleared by Abort).
+  mutable Mutex type_cache_mu_;
+  std::unordered_map<std::string, uint32_t> type_cache_
+      ODE_GUARDED_BY(type_cache_mu_);
 };
 
 }  // namespace ode

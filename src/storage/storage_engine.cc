@@ -1,6 +1,8 @@
 #include "storage/storage_engine.h"
 
+#include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cstring>
 #include <vector>
 
@@ -24,6 +26,16 @@ bool ThisThreadHoldsReadLock(const StorageEngine* engine) {
   }
   return false;
 }
+
+size_t RoundUpToPowerOfTwo(size_t v) {
+  size_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Background checkpointer heartbeat: threshold checks ride on commit
+/// signals, so the timed tick only bounds the kAsync durability window.
+constexpr std::chrono::milliseconds kCheckpointerTick{50};
 
 }  // namespace
 
@@ -219,13 +231,35 @@ StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     engine->wal_bytes_at_truncate_ = engine->wal_->bytes_appended();
   }
 
+  StorageEngine* raw = engine.get();
+  engine->write_latches_ = std::make_unique<WriteLatchSet>(
+      RoundUpToPowerOfTwo(std::max<size_t>(1, options.write_latch_stripes)),
+      engine->metrics_.write_latch_wait_ns);
+  engine->group_commit_ = std::make_unique<GroupCommit>(
+      engine->wal_.get(), options.group_commit_max_batch,
+      options.group_commit_max_wait_us, &engine->metrics_);
+  engine->group_commit_->set_more_expected_probe([raw] {
+    return raw->writers_in_flight_.load(std::memory_order_relaxed) > 0;
+  });
+  engine->group_commit_->set_on_failure([raw](const Status& cause) {
+    // The WAL may hold an unsynced (possibly torn) batch whose commit
+    // records a later successful fsync would make durable; recovery would
+    // then resurrect transactions nobody acknowledged.  Refuse all further
+    // writes: the caller must discard this engine and re-open (recovery
+    // discards the unsynced tail).
+    raw->Poison(Status::FailedPrecondition(
+        "engine poisoned by failed group-commit append/fsync: " +
+        cause.ToString()));
+  });
+
   engine->pool_ = std::make_unique<BufferPool>(engine->disk_.get(),
                                                options.buffer_pool_pages,
                                                options.buffer_pool_shards);
   engine->pool_->set_metrics(&engine->metrics_);
-  StorageEngine* raw = engine.get();
   engine->pool_->set_pre_dirty_hook(
       [raw](PageId id, const char* data, bool was_dirty) {
+        // Pages are only dirtied inside the apply latch, so txn_open_ and
+        // the undo map are stable for the duration of this hook.
         if (!raw->txn_open_) return;
         auto& undo = raw->txn_.undo_;
         if (undo.find(id) == undo.end()) {
@@ -235,6 +269,9 @@ StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
       });
 
   ODE_RETURN_IF_ERROR(engine->InitSuperblockIfNeeded());
+
+  // Started last so the loop never observes a half-built engine.
+  engine->checkpointer_ = std::thread([raw] { raw->CheckpointerLoop(); });
   return engine;
 }
 
@@ -250,18 +287,51 @@ Status StorageEngine::InitSuperblockIfNeeded() {
 }
 
 StorageEngine::~StorageEngine() {
+  // Stop the checkpointer before touching any state it might read.
+  if (checkpointer_.joinable()) {
+    {
+      MutexLock lock(ckpt_mu_);
+      ckpt_stop_ = true;
+    }
+    ckpt_cv_.NotifyAll();
+    checkpointer_.join();
+  }
+  // Destruction requires all user threads to be done with the engine, so an
+  // open transaction can only belong to the destroying thread.
   if (txn_open_) {
-    Status s = Abort(&txn_);
-    if (!s.ok()) { ODE_LOG_WARN << "abort on close failed: " << s; }
+    if (applying_owner_.load(std::memory_order_relaxed) ==
+        std::this_thread::get_id()) {
+      Status s = Abort(&txn_);
+      if (!s.ok()) { ODE_LOG_WARN << "abort on close failed: " << s; }
+    } else {
+      ODE_LOG_WARN << "engine destroyed with a transaction open on another "
+                      "thread; skipping abort";
+    }
   }
   if (poisoned()) {
     // Flushing pages that may disagree with the durable WAL would persist a
     // rolled-back transaction; leave the files for recovery instead.
-    ODE_LOG_WARN << "closing poisoned engine without checkpoint: " << poison_;
+    ODE_LOG_WARN << "closing poisoned engine without checkpoint: "
+                 << poison_status();
     return;
   }
+  // Checkpoint drains the group-commit queue (fsyncing any async tail)
+  // before flushing pages, so nothing acknowledged is lost on a clean close.
   Status s = Checkpoint();
   if (!s.ok()) { ODE_LOG_WARN << "checkpoint on close failed: " << s; }
+}
+
+void StorageEngine::Poison(const Status& cause) {
+  MutexLock lock(poison_mu_);
+  if (!poison_.ok()) return;  // First cause wins; later ones are echoes.
+  poison_ = cause;
+  poisoned_.store(true, std::memory_order_release);
+}
+
+Status StorageEngine::poison_status() const {
+  if (!poisoned_.load(std::memory_order_acquire)) return Status::OK();
+  MutexLock lock(poison_mu_);
+  return poison_;
 }
 
 // Begin acquires rw_mutex_ exclusively and *returns still holding it*; the
@@ -271,91 +341,118 @@ StorageEngine::~StorageEngine() {
 // every caller), so these three opt out; the crash matrix and TSan suites
 // cover this protocol at runtime.
 StatusOr<Txn*> StorageEngine::Begin() ODE_NO_THREAD_SAFETY_ANALYSIS {
-  // txn_open_ is writer-thread state: with a single writer this read cannot
-  // race another Begin, and readers never touch it.
-  if (txn_open_) {
-    return Status::FailedPrecondition("a transaction is already open");
+  // A second Begin from the thread that already holds the apply latch would
+  // self-deadlock on rw_mutex_; reject it up front.  Begins from *other*
+  // threads queue on the latch below — that is the multi-writer path.
+  if (applying_owner_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
+    return Status::FailedPrecondition(
+        "a transaction is already open on this thread");
   }
-  if (poisoned()) return poison_;
-  rw_mutex_.Lock();  // Held until Commit/Abort closes the transaction.
+  if (poisoned()) return poison_status();
+  // Count ourselves before queuing for the latch so a lingering group-commit
+  // leader knows another commit is imminent (see the probe in Open).
+  writers_in_flight_.fetch_add(1, std::memory_order_relaxed);
+  rw_mutex_.Lock();  // Held until Commit's enqueue or the whole of Abort.
+  if (poisoned()) {
+    // Poisoned while we queued (a concurrent commit's fsync failed).
+    writers_in_flight_.fetch_sub(1, std::memory_order_relaxed);
+    rw_mutex_.Unlock();
+    return poison_status();
+  }
+  applying_owner_.store(std::this_thread::get_id(), std::memory_order_relaxed);
   txn_.engine_ = this;
   txn_.id_ = next_txn_id_++;
   txn_.active_ = true;
   txn_.undo_.clear();
   txn_open_ = true;
   pool_->BeginEpoch();
+  if (options_.on_apply_begin) options_.on_apply_begin();
   metrics_.txn_begins->Increment();
   return &txn_;
 }
 
-// Releases the exclusive lock Begin acquired; see the note on Begin.
+// Releases the exclusive latch Begin acquired — after the apply section but
+// BEFORE the durability wait; see the note on Begin.
 Status StorageEngine::Commit(Txn* txn) ODE_NO_THREAD_SAFETY_ANALYSIS {
-  if (!txn_open_ || txn != &txn_ || !txn->active_) {
+  if (applying_owner_.load(std::memory_order_relaxed) !=
+          std::this_thread::get_id() ||
+      !txn_open_ || txn != &txn_ || !txn->active_) {
     return Status::FailedPrecondition("no such open transaction");
   }
+  const bool sync_mode = options_.commit_mode == CommitMode::kSync;
+  Status wait_status;
   {
-    // The timing scope ends before the auto-checkpoint below, so
-    // txn.commit_ns measures only the durable-commit path.
+    // The timing scope covers apply + enqueue + the durability wait (but not
+    // checkpoint signaling), so txn.commit_ns measures what the caller
+    // experiences for the chosen commit mode.
     TraceSpan span(metrics_.tracer, "txn.commit", "storage");
     ScopedLatency timer(metrics_.txn_commit_ns);
+    uint64_t ticket = 0;
+    bool enqueued = false;
     const auto& dirtied = pool_->EpochDirtyPages();
     if (!dirtied.empty()) {
-      // If any step of making the transaction durable fails, roll it back so
-      // the in-memory state matches what recovery would reconstruct (the
-      // commit record never became durable).
+      // Serialize the whole record sequence into one pre-framed blob while
+      // still under the latch: enqueue order = apply order, which is what
+      // makes a crash-surviving WAL prefix a prefix of applied transactions.
+      std::string blob;
       Status s = [&]() -> Status {
-        ODE_RETURN_IF_ERROR(wal_->AppendBegin(txn->id_));
+        Wal::EncodeBegin(txn->id_, &blob);
         for (PageId pid : dirtied) {
           auto handle = pool_->Fetch(pid);
           if (!handle.ok()) return handle.status();
-          ODE_RETURN_IF_ERROR(
-              wal_->AppendPageImage(txn->id_, pid, handle->data()));
+          Wal::EncodePageImage(txn->id_, pid, handle->data(), &blob);
         }
-        ODE_RETURN_IF_ERROR(wal_->AppendCommit(txn->id_));
-        return wal_->Sync();
+        Wal::EncodeCommit(txn->id_, &blob);
+        return Status::OK();
       }();
       if (!s.ok()) {
-        // The WAL may now hold unsynced records of this failed transaction
-        // (possibly including its commit record).  A later successful Sync
-        // would make them durable and recovery would resurrect the
-        // rolled-back transaction, so refuse all further writes: the caller
-        // must discard this engine and re-open (recovery discards the
-        // uncommitted / unsynced WAL tail).
-        poison_ = Status::FailedPrecondition(
-            "engine poisoned by failed durable commit: " + s.ToString());
-        // Abort closes the transaction and releases the exclusive lock.
+        // Nothing reached the WAL yet, so a plain abort fully undoes the
+        // transaction — no need to poison (unlike an append/fsync failure).
         Status abort_status = Abort(txn);
         if (!abort_status.ok()) {
-          ODE_LOG_ERROR << "abort after failed commit also failed: "
-                        << abort_status;
+          ODE_LOG_ERROR << "abort after failed commit serialization also "
+                        << "failed: " << abort_status;
+          return abort_status;
         }
         return s;
       }
+      ticket = group_commit_->Enqueue(std::move(blob), txn->id_,
+                                      /*record_count=*/2 + dirtied.size(),
+                                      /*needs_sync=*/sync_mode);
+      last_enqueued_txn_.store(txn->id_, std::memory_order_release);
+      enqueued = true;
     }
     pool_->CommitEpoch();
     txn->active_ = false;
+    txn->undo_.clear();
     txn_open_ = false;
+    if (options_.on_apply_end) options_.on_apply_end(/*committed=*/true);
     commit_count_.fetch_add(1, std::memory_order_relaxed);
     metrics_.txn_commits->Increment();
+    applying_owner_.store(std::thread::id(), std::memory_order_relaxed);
+    // Past the enqueue: stop telling the leader more work is imminent.
+    writers_in_flight_.fetch_sub(1, std::memory_order_relaxed);
     rw_mutex_.Unlock();
-  }
 
-  // The auto-checkpoint runs outside the transaction's exclusive section;
-  // Checkpoint re-acquires the lock itself.  Its failure must NOT fail this
-  // Commit: the transaction is already durable (the WAL sync above
-  // succeeded), so reporting an error here would tell the caller a committed
-  // transaction didn't happen.  Checkpointing retries on a later commit, and
-  // recovery replays the un-truncated WAL either way.
-  if (wal_bytes() > options_.checkpoint_wal_bytes) {
-    Status s = Checkpoint();
-    if (!s.ok()) { ODE_LOG_WARN << "auto-checkpoint failed: " << s; }
+    // Early lock release: the latch is free for the next writer while we
+    // wait (or lead a batch) here.  A read-only transaction skips the queue
+    // entirely — it has nothing to make durable.
+    if (enqueued) {
+      wait_status = sync_mode ? group_commit_->WaitDurable(ticket)
+                              : group_commit_->WaitAppended(ticket);
+    }
   }
-  return Status::OK();
+  if (wal_bytes() > options_.checkpoint_wal_bytes) SignalCheckpointer();
+  return wait_status;
 }
 
-// Releases the exclusive lock Begin acquired; see the note on Begin.
+// Runs entirely under the latch Begin acquired, then releases it; nothing of
+// an aborted transaction was ever enqueued, so nothing can become durable.
 Status StorageEngine::Abort(Txn* txn) ODE_NO_THREAD_SAFETY_ANALYSIS {
-  if (!txn_open_ || txn != &txn_ || !txn->active_) {
+  if (applying_owner_.load(std::memory_order_relaxed) !=
+          std::this_thread::get_id() ||
+      !txn_open_ || txn != &txn_ || !txn->active_) {
     return Status::FailedPrecondition("no such open transaction");
   }
   Status restore_status = Status::OK();
@@ -368,14 +465,17 @@ Status StorageEngine::Abort(Txn* txn) ODE_NO_THREAD_SAFETY_ANALYSIS {
   txn->undo_.clear();
   txn_open_ = false;
   heap_.InvalidateCache();
+  if (options_.on_apply_end) options_.on_apply_end(/*committed=*/false);
   metrics_.txn_aborts->Increment();
-  if (!restore_status.ok() && poison_.ok()) {
+  if (!restore_status.ok()) {
     // Some pages still carry the aborted transaction's changes; writing on
     // top of them would corrupt committed state.
-    poison_ = Status::FailedPrecondition(
+    Poison(Status::FailedPrecondition(
         "engine poisoned by failed abort restore: " +
-        restore_status.ToString());
+        restore_status.ToString()));
   }
+  applying_owner_.store(std::thread::id(), std::memory_order_relaxed);
+  writers_in_flight_.fetch_sub(1, std::memory_order_relaxed);
   rw_mutex_.Unlock();
   return restore_status;
 }
@@ -418,13 +518,22 @@ Status StorageEngine::WithReadTxn(const std::function<Status(ReadTxn&)>& body) {
 }
 
 Status StorageEngine::Checkpoint() {
-  if (txn_open_) {
+  // A checkpoint from the thread that holds the apply latch would
+  // self-deadlock on WriterMutexLock below; other threads' transactions
+  // just delay us until they release.
+  if (applying_owner_.load(std::memory_order_relaxed) ==
+      std::this_thread::get_id()) {
     return Status::FailedPrecondition("cannot checkpoint mid-transaction");
   }
-  if (poisoned()) return poison_;
+  if (poisoned()) return poison_status();
   TraceSpan span(metrics_.tracer, "storage.checkpoint", "storage");
   ScopedLatency timer(metrics_.checkpoint_ns);
   WriterMutexLock lock(rw_mutex_);
+  // WAL-before-data: every queued/appended commit must be fsynced before its
+  // dirty pages may reach the data file (and before Truncate drops the only
+  // redo copy).  Holding the latch guarantees no new enqueues race the
+  // drain.
+  ODE_RETURN_IF_ERROR(group_commit_->Flush());
   ODE_RETURN_IF_ERROR(pool_->FlushAll());
   ODE_RETURN_IF_ERROR(wal_->Truncate());
   wal_bytes_at_truncate_.store(wal_->bytes_appended(),
@@ -432,6 +541,53 @@ Status StorageEngine::Checkpoint() {
   checkpoint_count_.fetch_add(1, std::memory_order_relaxed);
   metrics_.checkpoints->Increment();
   return Status::OK();
+}
+
+Status StorageEngine::WaitForDurable(uint64_t txn_id) {
+  // Clamp to the highest id that ever entered the queue: read-only
+  // transactions consume ids without enqueuing, and UINT64_MAX means
+  // "everything acknowledged so far".
+  const uint64_t target =
+      std::min(txn_id, last_enqueued_txn_.load(std::memory_order_acquire));
+  if (target == 0) return Status::OK();
+  return group_commit_->WaitDurableTxn(target);
+}
+
+void StorageEngine::SignalCheckpointer() {
+  {
+    MutexLock lock(ckpt_mu_);
+    ckpt_signal_ = true;
+  }
+  ckpt_cv_.NotifyAll();
+}
+
+void StorageEngine::CheckpointerLoop() {
+  for (;;) {
+    {
+      MutexLock lock(ckpt_mu_);
+      if (!ckpt_stop_ && !ckpt_signal_) {
+        (void)ckpt_cv_.WaitFor(ckpt_mu_, kCheckpointerTick);
+      }
+      if (ckpt_stop_) return;
+      ckpt_signal_ = false;
+    }
+    if (poisoned()) continue;
+    if (wal_bytes() > options_.checkpoint_wal_bytes) {
+      // Failure must not kill the loop: the WAL keeps growing but stays
+      // replayable, and the next signal retries.
+      Status s = Checkpoint();
+      if (!s.ok()) { ODE_LOG_WARN << "background checkpoint failed: " << s; }
+    } else if (options_.commit_mode == CommitMode::kAsync) {
+      // Bound the async durability window: fsync the appended-but-unsynced
+      // tail even when writers have gone idle.
+      const uint64_t tail =
+          last_enqueued_txn_.load(std::memory_order_acquire);
+      if (tail > group_commit_->durable_txn_id()) {
+        Status s = group_commit_->WaitDurableTxn(tail);
+        if (!s.ok()) { ODE_LOG_WARN << "async tail fsync failed: " << s; }
+      }
+    }
+  }
 }
 
 uint64_t StorageEngine::wal_bytes() const {

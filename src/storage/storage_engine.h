@@ -7,14 +7,17 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
 #include "storage/env.h"
+#include "storage/group_commit.h"
 #include "storage/heap_file.h"
 #include "storage/page_io.h"
 #include "storage/storage_metrics.h"
 #include "storage/wal.h"
+#include "storage/write_latch.h"
 #include "util/mutex.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -35,8 +38,23 @@ struct StorageOptions {
   size_t buffer_pool_pages = 1024;
   /// Buffer pool latch shards; 0 = auto (collapses to 1 for small pools).
   size_t buffer_pool_shards = 0;
-  /// Automatic checkpoint once the WAL exceeds this many bytes.
+  /// Background checkpoint once the WAL exceeds this many bytes.
   uint64_t checkpoint_wal_bytes = 8ull << 20;
+  /// Stripes in the write-latch set exposed via write_latches() (must be a
+  /// power of two >= 1).  The engine itself never takes these; the Database
+  /// layer keys them by object id to order same-object writers ahead of the
+  /// apply latch.
+  size_t write_latch_stripes = 64;
+  /// Most transactions one group-commit leader batches into a single
+  /// append+fsync cycle (>= 1).
+  size_t group_commit_max_batch = 64;
+  /// Longest a leader lingers for more commits while another writer is
+  /// mid-apply, in microseconds (0 disables lingering; a solo writer never
+  /// lingers regardless).
+  uint32_t group_commit_max_wait_us = 100;
+  /// When Commit returns: after the fsync (kSync, full durability) or after
+  /// the WAL append (kAsync, prefix durability — see CommitMode).
+  CommitMode commit_mode = CommitMode::kSync;
   /// Registry the engine records its instruments into; nullptr means the
   /// engine owns a private registry (instruments always exist either way,
   /// so hot paths never null-check individual counters).
@@ -44,9 +62,16 @@ struct StorageOptions {
   /// Event tracer for storage spans (commit, fsync, checkpoint); nullptr
   /// disables span recording entirely.
   Tracer* tracer = nullptr;
+  /// Called under the exclusive apply latch as a write transaction opens /
+  /// closes (`committed` tells which way).  The Database layer drives its
+  /// cache epochs from these: within the latch, apply sections are strictly
+  /// serialized even though durable-commit waits overlap.  Either may be
+  /// null.  Must not call back into the engine.
+  std::function<void()> on_apply_begin;
+  std::function<void(bool committed)> on_apply_end;
 };
 
-/// One open (single-writer) transaction.
+/// One open write transaction.
 ///
 /// Implements PageIO so data structures running inside the transaction
 /// automatically get: undo capture on first modification of each page
@@ -91,7 +116,7 @@ class Txn : public PageIO {
 ///
 /// ReadTxns are created by StorageEngine::WithReadTxn, which holds the
 /// engine's shared lock for the duration: any number of ReadTxns run in
-/// parallel, all excluded from the (single) write transaction.
+/// parallel, all excluded from the (single) apply section.
 class ReadTxn : public PageIO {
  public:
   StatusOr<PageHandle> Fetch(PageId id) override;
@@ -116,16 +141,34 @@ class ReadTxn : public PageIO {
 /// for indexes — the role of the "persistence library for C++" [10] in the
 /// paper's implementation section.
 ///
-/// Concurrency: single-writer / multi-reader.  Write transactions
-/// (Begin/Commit/Abort, WithTxn) hold an engine-level exclusive lock, so at
-/// most one runs at a time and must stay on one thread from Begin to
-/// Commit/Abort.  Read-only work runs through WithReadTxn under the shared
-/// side of the same lock, from any number of threads in parallel.  Because
-/// the pool is no-steal (dirty pages are never flushed mid-transaction) and
-/// the exclusive lock covers the whole write transaction, a shared-lock
-/// reader always observes a consistent committed state.  (The paper sets
-/// aside concurrency control; this is the minimal model that lets reads
-/// scale with cores.)
+/// Concurrency: multi-writer through an exclusive APPLY latch plus a shared
+/// GROUP-COMMIT queue; multi-reader through the shared side of the same
+/// latch.  A write transaction holds the apply latch (rw_mutex_, exclusive)
+/// only from Begin through the in-memory apply and the enqueue of its
+/// serialized WAL records; Commit then RELEASES the latch and blocks in the
+/// group-commit queue, where the first waiter elects itself leader and
+/// batches every queued transaction into one WAL append sequence and a
+/// single fsync.  Since the fsync dominates commit cost, independent writers
+/// overlap where it matters: many transactions per fsync
+/// (groupcommit.commits / groupcommit.fsyncs > 1 under concurrent load).
+/// Enqueue order equals apply order, so any crash-surviving WAL prefix is a
+/// prefix of the applied transactions — the classic early-lock-release
+/// group-commit design.
+///
+/// Writers may call Begin from any number of threads: each blocks until the
+/// apply latch frees (a second Begin on a thread that already holds an open
+/// transaction fails instead of self-deadlocking).  A transaction must stay
+/// on one thread from Begin to Commit/Abort.  Read-only work runs through
+/// WithReadTxn under the shared side of the latch, so readers see only
+/// fully applied states.  Because the pool is no-steal (dirty pages are
+/// never flushed mid-transaction) and aborts restore undo images before the
+/// latch releases, a shared-lock reader always observes a consistent state.
+///
+/// Dirty-page flushing is the background checkpointer's job: a dedicated
+/// thread checkpoints once the WAL passes checkpoint_wal_bytes (commits just
+/// signal it) and, in kAsync mode, periodically fsyncs the un-synced WAL
+/// tail so the async durability window stays bounded even when writers go
+/// idle.
 class StorageEngine {
  public:
   static StatusOr<std::unique_ptr<StorageEngine>> Open(
@@ -135,17 +178,20 @@ class StorageEngine {
   StorageEngine(const StorageEngine&) = delete;
   StorageEngine& operator=(const StorageEngine&) = delete;
 
-  /// Starts the (single) write transaction, taking the exclusive lock.
-  /// Fails if one is already open.
+  /// Starts a write transaction, blocking until the exclusive apply latch is
+  /// free.  Fails if this thread already has one open (cross-thread callers
+  /// queue instead).
   StatusOr<Txn*> Begin();
 
-  /// Durably commits: logs after-images of every dirtied page, then the
-  /// commit record, then syncs the WAL.  Releases the exclusive lock; may
-  /// trigger an automatic checkpoint.
+  /// Commits: serializes Begin/PageImage/Commit records for every dirtied
+  /// page into one blob, enqueues it on the group-commit queue, releases the
+  /// apply latch, then blocks until the records are fsynced (kSync) or
+  /// appended (kAsync) — see CommitMode for the durability contract.
   Status Commit(Txn* txn);
 
-  /// Rolls back: restores every dirtied page from its undo image.  Releases
-  /// the exclusive lock.
+  /// Rolls back: restores every dirtied page from its undo image, entirely
+  /// under the apply latch (nothing was enqueued, so nothing can become
+  /// durable).  Releases the latch.
   Status Abort(Txn* txn);
 
   /// Runs `body` inside a write transaction; commits on OK, aborts on error
@@ -158,12 +204,26 @@ class StorageEngine {
   /// lock instead of re-acquiring, which std::shared_mutex forbids).
   Status WithReadTxn(const std::function<Status(ReadTxn&)>& body);
 
-  /// Flushes all dirty pages to the data file and truncates the WAL.  Must
-  /// not be called with an open transaction.  Takes the exclusive lock.
+  /// Drains the group-commit queue, fsyncs, flushes all dirty pages to the
+  /// data file and truncates the WAL.  Must not be called from a thread with
+  /// an open transaction; blocks until concurrent writers drain.
   Status Checkpoint();
+
+  /// Blocks until every transaction with id <= txn_id whose commit was
+  /// acknowledged is fsync-durable (the kAsync catch-up path; a no-op in
+  /// kSync mode or for read-only transactions).  Pass UINT64_MAX to cover
+  /// everything acknowledged so far.
+  Status WaitForDurable(uint64_t txn_id);
 
   /// Record storage shared by all higher layers.
   HeapFile& heap() { return heap_; }
+
+  /// Object-keyed stripe latches for callers that must order logically
+  /// conflicting writers BEFORE they queue for the apply latch (see
+  /// WriteLatchSet; the engine itself never acquires these).
+  WriteLatchSet& write_latches() { return *write_latches_; }
+
+  CommitMode commit_mode() const { return options_.commit_mode; }
 
   /// Snapshot of the buffer pool counters.  Thread-safe.
   BufferPoolStats cache_stats() const { return pool_->stats(); }
@@ -184,16 +244,20 @@ class StorageEngine {
   StorageMetrics* metrics() { return &metrics_; }
 
   /// True once a durability failure has poisoned the engine (see
-  /// poison_status()).  Reads stay allowed; Begin/Commit/Checkpoint refuse.
-  bool poisoned() const { return !poison_.ok(); }
+  /// poison_status()).  Reads stay allowed; Begin/Checkpoint refuse.
+  bool poisoned() const {
+    return poisoned_.load(std::memory_order_acquire);
+  }
 
   /// Why the engine is poisoned (OK when healthy).  The engine poisons
-  /// itself when a failed durable-commit leaves unsynced transaction records
-  /// in the WAL — a later successful Sync would make the rolled-back
-  /// transaction durable and resurrect it at recovery — or when an abort
-  /// cannot restore all undo images.  The only safe continuation is to
-  /// discard this engine and re-open (recovery ignores uncommitted tails).
-  const Status& poison_status() const { return poison_; }
+  /// itself when a group-commit append/fsync failure leaves unsynced
+  /// transaction records in the WAL — a later successful Sync would make an
+  /// unacknowledged transaction durable and resurrect it at recovery — or
+  /// when an abort cannot restore all undo images.  The only safe
+  /// continuation is to discard this engine and re-open (recovery ignores
+  /// uncommitted tails).  Returned by value: the poison record is written
+  /// once under its own mutex, so taking a reference would race the writer.
+  Status poison_status() const;
 
  private:
   friend class Txn;
@@ -202,6 +266,12 @@ class StorageEngine {
   StorageEngine() = default;
 
   Status InitSuperblockIfNeeded();
+  /// Marks the engine permanently failed (first cause wins).
+  void Poison(const Status& cause);
+  /// Wakes the background checkpointer for a WAL-threshold check.
+  void SignalCheckpointer();
+  /// Body of the background checkpointer thread.
+  void CheckpointerLoop();
 
   StorageOptions options_;
   /// Fallback registry when StorageOptions::metrics is null.
@@ -210,31 +280,54 @@ class StorageEngine {
   std::unique_ptr<DiskManager> disk_;
   std::unique_ptr<Wal> wal_;
   std::unique_ptr<BufferPool> pool_;
+  std::unique_ptr<GroupCommit> group_commit_;
+  std::unique_ptr<WriteLatchSet> write_latches_;
   HeapFile heap_;
-  // --- Writer-thread state ------------------------------------------------
-  // txn_, txn_open_, next_txn_id_, poison_ and recovery_ are only touched by
-  // the (single) writer thread: Begin reads txn_open_ *before* taking the
-  // exclusive lock (taking it first would deadlock a double-Begin), so these
-  // fields cannot carry ODE_GUARDED_BY(rw_mutex_) — the discipline is the
-  // single-writer contract, enforced by the TSan Concurrent suite.
+  // --- Apply-section state ------------------------------------------------
+  // txn_, txn_open_ and next_txn_id_ are touched only between a successful
+  // rw_mutex_.Lock() in Begin and the matching Unlock in Commit/Abort, so
+  // the latch orders all access — but the lock lifetime spans three
+  // functions, which ODE_GUARDED_BY cannot express (see the rw_mutex_
+  // comment).  The TSan Concurrent suite covers the discipline at runtime.
   Txn txn_;
   bool txn_open_ = false;
   uint64_t next_txn_id_ = 1;
-  Status poison_;  ///< Non-OK after an unrecoverable durability failure.
   RecoveryStats recovery_;
+  /// Thread currently holding the apply latch for a write transaction
+  /// (default-constructed id when none).  Lets Begin reject a same-thread
+  /// double Begin without touching latch-protected state, and Checkpoint
+  /// reject a self-deadlocking mid-transaction call.
+  std::atomic<std::thread::id> applying_owner_{};
+  /// Writers between Begin-intent and their group-commit enqueue: the
+  /// lingering leader's "more commits are imminent" probe.
+  std::atomic<uint64_t> writers_in_flight_{0};
+  /// Highest transaction id ever handed to the group-commit queue
+  /// (WaitForDurable clamps to it so read-only txn ids don't wait forever).
+  std::atomic<uint64_t> last_enqueued_txn_{0};
+  // --- Poison record ------------------------------------------------------
+  mutable Mutex poison_mu_;
+  Status poison_ ODE_GUARDED_BY(poison_mu_);
+  std::atomic<bool> poisoned_{false};  ///< Fast-path mirror of !poison_.ok().
+  // --- Background checkpointer --------------------------------------------
+  Mutex ckpt_mu_;
+  CondVar ckpt_cv_;
+  bool ckpt_stop_ ODE_GUARDED_BY(ckpt_mu_) = false;
+  bool ckpt_signal_ ODE_GUARDED_BY(ckpt_mu_) = false;
+  std::thread checkpointer_;  // Started last in Open, joined first in dtor.
   // --- Monitoring counters ------------------------------------------------
-  // Written by the writer thread (under the exclusive lock), but read by
-  // *any* thread through the public accessors (stats paths run concurrently
-  // with a committing writer), so they must be atomic.
+  // Written by committing writers (under the apply latch), but read by *any*
+  // thread through the public accessors (stats paths run concurrently with a
+  // committing writer), so they must be atomic.
   std::atomic<uint64_t> wal_bytes_at_truncate_{0};
   std::atomic<uint64_t> commit_count_{0};
   std::atomic<uint64_t> checkpoint_count_{0};
-  /// Writers exclusive, readers shared.  Held across the whole write
-  /// transaction (Begin to Commit/Abort) and the whole of WithReadTxn —
-  /// a lock lifetime that spans function boundaries, which is why Begin/
-  /// Commit/Abort opt out of the static analysis (see the .cc).  For the
-  /// same reason no field can carry ODE_GUARDED_BY(rw_mutex_): the fields
-  /// it protects (the entire on-disk/buffered state reachable through
+  /// The apply latch: writers exclusive, readers shared.  Held from Begin
+  /// through Commit's enqueue (NOT through the fsync wait) or through the
+  /// whole of Abort, and across the whole of WithReadTxn — a lock lifetime
+  /// that spans function boundaries, which is why Begin/Commit/Abort opt
+  /// out of the static analysis (see the .cc).  For the same reason no
+  /// field can carry ODE_GUARDED_BY(rw_mutex_): the fields it protects
+  /// (the entire on-disk/buffered state reachable through
   /// disk_/wal_/pool_/heap_) are touched by functions that receive the
   /// lock from their caller rather than taking it themselves.
   // ode_lint: allow(mutex-guard): lock lifetime spans Begin..Commit.

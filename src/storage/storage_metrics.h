@@ -34,6 +34,19 @@ struct StorageMetrics {
   Histogram* txn_commit_ns = nullptr;
   /// Shared-lock acquisition wait in WithReadTxn (lock contention signal).
   Histogram* read_lock_wait_ns = nullptr;
+  /// Contended stripe-latch acquisition wait (WriteLatchSet; writer-vs-writer
+  /// conflict signal, same convention as read_lock_wait_ns).
+  Histogram* write_latch_wait_ns = nullptr;
+
+  // Group commit (storage/group_commit.h).  commits/fsyncs > 1 is the whole
+  // point: many transactions amortizing one fsync.
+  Counter* gc_batches = nullptr;      ///< Leader batches written.
+  Counter* gc_commits = nullptr;      ///< Transactions committed via batches.
+  Counter* gc_fsyncs = nullptr;       ///< Fsyncs issued by group commit.
+  Histogram* gc_batch_size = nullptr; ///< Commits per batch.
+  /// Commits queued or appended but not yet fsync-covered (the async-mode
+  /// durability lag; returns to zero when sync batches drain the queue).
+  Gauge* gc_async_pending = nullptr;
 
   // Catalog B+tree.
   Counter* btree_descents = nullptr;
@@ -69,6 +82,12 @@ struct StorageMetrics {
     txn_aborts = registry->GetCounter("txn.aborts");
     txn_commit_ns = registry->GetHistogram("txn.commit_ns");
     read_lock_wait_ns = registry->GetHistogram("txn.read_lock_wait_ns");
+    write_latch_wait_ns = registry->GetHistogram("txn.write_latch_wait_ns");
+    gc_batches = registry->GetCounter("groupcommit.batches");
+    gc_commits = registry->GetCounter("groupcommit.commits");
+    gc_fsyncs = registry->GetCounter("groupcommit.fsyncs");
+    gc_batch_size = registry->GetHistogram("groupcommit.batch_size");
+    gc_async_pending = registry->GetGauge("groupcommit.async_pending");
     btree_descents = registry->GetCounter("btree.descents");
     btree_descend_ns = registry->GetHistogram("btree.descend_ns");
     checkpoints = registry->GetCounter("storage.checkpoints");

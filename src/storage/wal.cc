@@ -17,35 +17,28 @@ StatusOr<std::unique_ptr<Wal>> Wal::Open(Env* env, const std::string& path) {
   return std::unique_ptr<Wal>(new Wal(std::move(*file)));
 }
 
-Status Wal::AppendRecord(const std::string& payload) {
-  std::string framed;
-  framed.reserve(8 + payload.size());
-  PutFixed32(&framed, static_cast<uint32_t>(payload.size()));
-  PutFixed32(&framed,
+namespace {
+
+/// Wraps `payload` in the on-disk frame (u32 length | u32 masked CRC32C)
+/// and appends the framed bytes to `*out`.
+void Frame(const std::string& payload, std::string* out) {
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  PutFixed32(out,
              crc32c::Mask(crc32c::Value(payload.data(), payload.size())));
-  framed.append(payload);
-  {
-    ScopedLatency timer(metrics_ != nullptr ? metrics_->wal_append_ns
-                                            : nullptr);
-    ODE_RETURN_IF_ERROR(file_->Append(Slice(framed)));
-  }
-  bytes_appended_.fetch_add(framed.size(), std::memory_order_relaxed);
-  if (metrics_ != nullptr) {
-    metrics_->wal_appends->Increment();
-    metrics_->wal_append_bytes->Add(framed.size());
-  }
-  return Status::OK();
+  out->append(payload);
 }
 
-Status Wal::AppendBegin(uint64_t txn_id) {
+}  // namespace
+
+void Wal::EncodeBegin(uint64_t txn_id, std::string* out) {
   std::string payload;
   payload.push_back(static_cast<char>(WalRecordType::kBegin));
   PutVarint64(&payload, txn_id);
-  return AppendRecord(payload);
+  Frame(payload, out);
 }
 
-Status Wal::AppendPageImage(uint64_t txn_id, PageId page_id,
-                            const char* image) {
+void Wal::EncodePageImage(uint64_t txn_id, PageId page_id, const char* image,
+                          std::string* out) {
   // Trailing zeros are suppressed: pages are often half-empty (fresh
   // slotted pages, short B+tree nodes), and recovery pads them back.
   size_t effective = kPageSize;
@@ -58,14 +51,47 @@ Status Wal::AppendPageImage(uint64_t txn_id, PageId page_id,
   PutFixed32(&payload, page_id);
   PutVarint64(&payload, effective);
   payload.append(image, effective);
-  return AppendRecord(payload);
+  Frame(payload, out);
 }
 
-Status Wal::AppendCommit(uint64_t txn_id) {
+void Wal::EncodeCommit(uint64_t txn_id, std::string* out) {
   std::string payload;
   payload.push_back(static_cast<char>(WalRecordType::kCommit));
   PutVarint64(&payload, txn_id);
-  return AppendRecord(payload);
+  Frame(payload, out);
+}
+
+Status Wal::AppendBlob(const std::string& framed, uint64_t record_count) {
+  {
+    ScopedLatency timer(metrics_ != nullptr ? metrics_->wal_append_ns
+                                            : nullptr);
+    ODE_RETURN_IF_ERROR(file_->Append(Slice(framed)));
+  }
+  bytes_appended_.fetch_add(framed.size(), std::memory_order_relaxed);
+  if (metrics_ != nullptr) {
+    metrics_->wal_appends->Add(record_count);
+    metrics_->wal_append_bytes->Add(framed.size());
+  }
+  return Status::OK();
+}
+
+Status Wal::AppendBegin(uint64_t txn_id) {
+  std::string framed;
+  EncodeBegin(txn_id, &framed);
+  return AppendBlob(framed, 1);
+}
+
+Status Wal::AppendPageImage(uint64_t txn_id, PageId page_id,
+                            const char* image) {
+  std::string framed;
+  EncodePageImage(txn_id, page_id, image, &framed);
+  return AppendBlob(framed, 1);
+}
+
+Status Wal::AppendCommit(uint64_t txn_id) {
+  std::string framed;
+  EncodeCommit(txn_id, &framed);
+  return AppendBlob(framed, 1);
 }
 
 Status Wal::Sync() {

@@ -62,6 +62,24 @@ class Wal {
   Status AppendPageImage(uint64_t txn_id, PageId page_id, const char* image);
   Status AppendCommit(uint64_t txn_id);
 
+  // -- Group-commit support --------------------------------------------------
+  //
+  // A committing transaction serializes its whole record sequence (Begin,
+  // PageImages, Commit) into one pre-framed blob under the engine's apply
+  // latch, then hands the blob to the group-commit queue; the leader writes
+  // many blobs with one Append each and a single fsync.  Each Encode* call
+  // appends one fully framed record (identical wire format to the Append*
+  // methods above) to `*out`, so a recovered log cannot tell batched and
+  // unbatched commits apart.
+
+  static void EncodeBegin(uint64_t txn_id, std::string* out);
+  static void EncodePageImage(uint64_t txn_id, PageId page_id,
+                              const char* image, std::string* out);
+  static void EncodeCommit(uint64_t txn_id, std::string* out);
+
+  /// Appends a pre-framed blob of `record_count` records in one file write.
+  Status AppendBlob(const std::string& framed, uint64_t record_count);
+
   /// Durably flushes appended records.
   Status Sync();
 
@@ -89,7 +107,6 @@ class Wal {
  private:
   explicit Wal(std::unique_ptr<File> file) : file_(std::move(file)) {}
 
-  Status AppendRecord(const std::string& payload);
   /// Scans the log; fills `records`.  Sets `tail_truncated` if a torn tail
   /// was found.
   Status Scan(std::vector<WalRecord>* records, bool* tail_truncated);

@@ -1,0 +1,88 @@
+#include "storage/write_latch.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace ode {
+
+namespace {
+
+/// splitmix64 finalizer: object ids are sequential, so without mixing,
+/// neighboring oids would always collide into neighboring stripes.
+uint64_t Mix(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+WriteLatchSet::WriteLatchSet(size_t stripes, Histogram* wait_ns)
+    : wait_ns_(wait_ns) {
+  assert(stripes >= 1 && (stripes & (stripes - 1)) == 0);
+  mask_ = stripes - 1;
+  stripes_.reserve(stripes);
+  for (size_t i = 0; i < stripes; ++i) {
+    stripes_.push_back(std::make_unique<Stripe>());
+  }
+}
+
+size_t WriteLatchSet::StripeOf(uint64_t key) const {
+  return static_cast<size_t>(Mix(key)) & mask_;
+}
+
+// LockStripe leaves the stripe mutex held for the guard's lifetime and
+// UnlockStripe releases a mutex acquired elsewhere — lock lifetimes the
+// capability analysis cannot follow (same situation as the engine's
+// Begin..Commit protocol), so both opt out.
+void WriteLatchSet::LockStripe(size_t index) ODE_NO_THREAD_SAFETY_ANALYSIS {
+  Stripe& stripe = *stripes_[index];
+  // Like WithReadTxn's shared path: only a contended acquisition pays for
+  // clock reads and a histogram record.
+  if (!stripe.mu.TryLock()) {
+    const uint64_t t0 = Histogram::NowNanos();
+    stripe.mu.Lock();
+    if (wait_ns_ != nullptr) {
+      wait_ns_->Record(Histogram::NowNanos() - t0);
+    }
+  }
+  ++stripe.acquisitions;
+}
+
+void WriteLatchSet::UnlockStripe(size_t index) ODE_NO_THREAD_SAFETY_ANALYSIS {
+  stripes_[index]->mu.Unlock();
+}
+
+void WriteLatchSet::Lock(uint64_t key) { LockStripe(StripeOf(key)); }
+
+void WriteLatchSet::Unlock(uint64_t key) { UnlockStripe(StripeOf(key)); }
+
+uint64_t WriteLatchSet::acquisitions() const {
+  uint64_t total = 0;
+  for (const auto& stripe : stripes_) {
+    MutexLock lock(stripe->mu);
+    total += stripe->acquisitions;
+  }
+  return total;
+}
+
+WriteLatchGuard::WriteLatchGuard(WriteLatchSet& set, uint64_t key)
+    : set_(set), stripe_a_(set.StripeOf(key)), stripe_b_(stripe_a_) {
+  set_.LockStripe(stripe_a_);
+}
+
+WriteLatchGuard::WriteLatchGuard(WriteLatchSet& set, uint64_t key_a,
+                                 uint64_t key_b)
+    : set_(set), stripe_a_(set.StripeOf(key_a)), stripe_b_(set.StripeOf(key_b)) {
+  if (stripe_a_ > stripe_b_) std::swap(stripe_a_, stripe_b_);
+  set_.LockStripe(stripe_a_);
+  if (stripe_b_ != stripe_a_) set_.LockStripe(stripe_b_);
+}
+
+WriteLatchGuard::~WriteLatchGuard() {
+  if (stripe_b_ != stripe_a_) set_.UnlockStripe(stripe_b_);
+  set_.UnlockStripe(stripe_a_);
+}
+
+}  // namespace ode

@@ -1,6 +1,8 @@
 #ifndef ODE_UTIL_MUTEX_H_
 #define ODE_UTIL_MUTEX_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 #include <shared_mutex>
 
@@ -56,6 +58,50 @@ class ODE_CAPABILITY("shared_mutex") SharedMutex {
 
  private:
   std::shared_mutex mu_;
+};
+
+/// Condition variable usable with ode::Mutex (the annotated wrapper above
+/// cannot feed a std::condition_variable directly).  Wait/WaitFor must be
+/// called with `mu` held; both release it while blocked and reacquire before
+/// returning, exactly like the std equivalents.  As always, guard against
+/// spurious wakeups by re-checking the predicate in a loop.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void Wait(Mutex& mu) ODE_REQUIRES(mu) {
+    LockAdapter adapter(mu);
+    cv_.wait(adapter);
+  }
+
+  /// Returns false if the wait timed out without a notification.
+  template <class Rep, class Period>
+  bool WaitFor(Mutex& mu, const std::chrono::duration<Rep, Period>& timeout)
+      ODE_REQUIRES(mu) {
+    LockAdapter adapter(mu);
+    return cv_.wait_for(adapter, timeout) == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  /// BasicLockable view of a Mutex for std::condition_variable_any.  The
+  /// lock/unlock pair happens inside cv_.wait, where the analysis cannot
+  /// follow; ODE_REQUIRES on Wait/WaitFor keeps callers honest instead.
+  class LockAdapter {
+   public:
+    explicit LockAdapter(Mutex& mu) : mu_(mu) {}
+    void lock() ODE_NO_THREAD_SAFETY_ANALYSIS { mu_.Lock(); }
+    void unlock() ODE_NO_THREAD_SAFETY_ANALYSIS { mu_.Unlock(); }
+
+   private:
+    Mutex& mu_;
+  };
+
+  std::condition_variable_any cv_;
 };
 
 /// RAII exclusive lock on a Mutex (the annotated std::lock_guard).

@@ -276,6 +276,61 @@ TEST_F(DatabaseTest, StatsTrackOperations) {
   EXPECT_GT(stats.wal_fsyncs, 0u);
 }
 
+TEST_F(DatabaseTest, StatsExposeGroupCommitCounters) {
+  const VersionStats before = db_->stats();
+  constexpr int kCommits = 8;
+  VersionId vid = MustPnew("gc");
+  for (int i = 1; i < kCommits; ++i) {
+    ASSERT_OK(db_->UpdateLatest(vid.oid, Slice("gc" + std::to_string(i))));
+  }
+  const VersionStats after = db_->stats();
+  // Every autocommit above went through the group-commit queue: one commit
+  // per call, each in its own batch (a solo writer never lingers), all
+  // durable by the time the call returned.
+  EXPECT_EQ(after.group_commit_commits - before.group_commit_commits,
+            static_cast<uint64_t>(kCommits));
+  EXPECT_EQ(after.group_commit_batches - before.group_commit_batches,
+            static_cast<uint64_t>(kCommits));
+  EXPECT_GE(after.group_commit_fsyncs, before.group_commit_fsyncs + kCommits);
+  EXPECT_EQ(after.async_pending, 0u);
+  // The fence is a no-op when everything is already durable.
+  ASSERT_OK(db_->WaitForDurable());
+}
+
+class AsyncCommitDatabaseTest : public DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+  }
+  DatabaseOptions MakeOptions() override {
+    DatabaseOptions options = DatabaseFixture::MakeOptions();
+    options.storage.commit_mode = CommitMode::kAsync;
+    return options;
+  }
+};
+
+TEST_F(AsyncCommitDatabaseTest, AsyncCommitsAckEarlyAndFenceDrains) {
+  const VersionStats before = db_->stats();
+  constexpr int kCommits = 50;
+  VersionId vid = MustPnew("async");
+  for (int i = 1; i < kCommits; ++i) {
+    ASSERT_OK(db_->UpdateLatest(vid.oid, Slice("async" + std::to_string(i))));
+  }
+  // Async commits ack at append time, so far fewer fsyncs than commits have
+  // happened (only open/bootstrap syncs and background catch-up ticks).
+  const VersionStats acked = db_->stats();
+  EXPECT_EQ(acked.group_commit_commits - before.group_commit_commits,
+            static_cast<uint64_t>(kCommits));
+  EXPECT_LT(acked.group_commit_fsyncs - before.group_commit_fsyncs,
+            static_cast<uint64_t>(kCommits));
+  // The durability fence flushes the tail; afterwards nothing is pending
+  // and the data is still there.
+  ASSERT_OK(db_->WaitForDurable());
+  EXPECT_EQ(db_->stats().async_pending, 0u);
+  EXPECT_EQ(MustReadLatest(vid.oid), "async" + std::to_string(kCommits - 1));
+}
+
 // A pool far smaller than the data forces evictions once pages are clean
 // again; read caches are off so reads actually touch pages.
 class SmallPoolDatabaseTest : public DatabaseFixture {

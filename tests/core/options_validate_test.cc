@@ -106,6 +106,42 @@ TEST(OptionsValidateTest, SamplingKnobsMustBeZeroOrPowerOfTwo) {
   EXPECT_OK(options.Validate());
 }
 
+TEST(OptionsValidateTest, WriteLatchStripesMustBePowerOfTwo) {
+  MemEnv env;
+  DatabaseOptions options = BaseOptions(&env);
+  options.storage.write_latch_stripes = 0;
+  ExpectInvalid(options, "write_latch_stripes");
+
+  options.storage.write_latch_stripes = 3;
+  ExpectInvalid(options, "write_latch_stripes");
+
+  // 1 (a single global write latch) and any power of two are legal.
+  options.storage.write_latch_stripes = 1;
+  EXPECT_OK(options.Validate());
+  options.storage.write_latch_stripes = 256;
+  EXPECT_OK(options.Validate());
+}
+
+TEST(OptionsValidateTest, GroupCommitKnobsHaveDocumentedRanges) {
+  MemEnv env;
+  DatabaseOptions options = BaseOptions(&env);
+  options.storage.group_commit_max_batch = 0;
+  ExpectInvalid(options, "group_commit_max_batch");
+
+  options = BaseOptions(&env);
+  options.storage.group_commit_max_wait_us = 2'000'000;  // > one second.
+  ExpectInvalid(options, "group_commit_max_wait_us");
+
+  // Zero linger (pure opportunistic batching) is legal, as is a second.
+  options = BaseOptions(&env);
+  options.storage.group_commit_max_wait_us = 0;
+  EXPECT_OK(options.Validate());
+  options.storage.group_commit_max_wait_us = 1'000'000;
+  options.storage.group_commit_max_batch = 1;
+  options.storage.commit_mode = CommitMode::kAsync;
+  EXPECT_OK(options.Validate());
+}
+
 TEST(OptionsValidateTest, TraceBufferMustHoldAtLeastOneEvent) {
   MemEnv env;
   DatabaseOptions options = BaseOptions(&env);

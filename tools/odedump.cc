@@ -357,6 +357,25 @@ int Caches(ode::Database& db) {
 // gauges, and histogram percentiles, sorted by name.
 int Stats(ode::Database& db) {
   if (ode::Status s = ReadPass(db); !s.ok()) return Fail(s);
+  // Group-commit health up front: the commits/fsync ratio is THE number
+  // that says whether concurrent writers are actually sharing fsyncs
+  // (1.00 = solo-writer discipline; higher = batching is working), and a
+  // non-zero async-pending gauge means acked-but-not-yet-durable commits
+  // are still in flight.
+  {
+    const ode::VersionStats vs = db.stats();
+    const double ratio =
+        vs.group_commit_fsyncs == 0
+            ? 0.0
+            : static_cast<double>(vs.group_commit_commits) /
+                  static_cast<double>(vs.group_commit_fsyncs);
+    std::printf("--- group commit ---\n");
+    std::printf("batches:        %" PRIu64 "\n", vs.group_commit_batches);
+    std::printf("commits:        %" PRIu64 "\n", vs.group_commit_commits);
+    std::printf("fsyncs:         %" PRIu64 " (%.2f commits/fsync)\n",
+                vs.group_commit_fsyncs, ratio);
+    std::printf("async pending:  %" PRIu64 "\n", vs.async_pending);
+  }
   const ode::MetricsRegistry::Snapshot snap = db.MetricsSnapshot();
   std::printf("--- counters ---\n");
   for (const auto& [name, value] : snap.counters) {
