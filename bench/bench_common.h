@@ -35,7 +35,9 @@ enum class CacheMode { kWarm, kCold };
 inline BenchDb OpenBenchDb(PayloadKind strategy = PayloadKind::kFull,
                            uint32_t keyframe_interval = 16,
                            size_t pool_pages = 4096,
-                           CacheMode cache_mode = CacheMode::kWarm) {
+                           CacheMode cache_mode = CacheMode::kWarm,
+                           DeltaTopology topology = DeltaTopology::kSkip,
+                           bool content_addressed = true) {
   BenchDb handle;
   handle.env = std::make_unique<MemEnv>();
   DatabaseOptions options;
@@ -44,6 +46,8 @@ inline BenchDb OpenBenchDb(PayloadKind strategy = PayloadKind::kFull,
   options.storage.buffer_pool_pages = pool_pages;
   options.payload_strategy = strategy;
   options.delta_keyframe_interval = keyframe_interval;
+  options.delta_topology = topology;
+  options.content_addressed_payloads = content_addressed;
   if (cache_mode == CacheMode::kCold) {
     options.payload_cache_bytes = 0;
     options.latest_cache_entries = 0;

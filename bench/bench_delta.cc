@@ -122,6 +122,84 @@ void BM_Materialize_FullCopy(benchmark::State& state) {
 }
 BENCHMARK(BM_Materialize_FullCopy)->Arg(2)->Arg(16)->Arg(128);
 
+// Topology ablation: cold dereference cost vs chain depth for linear vs
+// skip delta-base selection, with NO keyframe forcing (the topology alone
+// determines how many deltas a read applies).  Linear applies depth-1
+// deltas; skip applies at most popcount(depth) ~ log2(depth), so the sweep
+// shows reads flattening while stored_bytes reports the space cost of the
+// longer-range deltas.
+void TopologyBenchmark(benchmark::State& state, DeltaTopology topology) {
+  const int chain = static_cast<int>(state.range(0));
+  BenchDb handle = OpenBenchDb(PayloadKind::kDelta, /*keyframe_interval=*/
+                               1u << 20, 4096, CacheMode::kCold, topology);
+  const uint32_t type = RawType(*handle);
+  VersionId newest = BuildChain(*handle, type, chain, 16384);
+  for (auto _ : state) {
+    auto bytes = handle->ReadVersion(newest);
+    ODE_CHECK(bytes.ok());
+    benchmark::DoNotOptimize(bytes->data());
+  }
+  ReportOps(state);
+  auto meta = handle->Meta(newest);
+  ODE_CHECK(meta.ok());
+  state.counters["chain_len"] = meta->delta_chain_len;
+  const auto& stats = handle->stats();
+  state.counters["stored_bytes"] = benchmark::Counter(static_cast<double>(
+      stats.full_bytes_written + stats.delta_bytes_written));
+  state.counters["delta_applications"] =
+      static_cast<double>(stats.delta_applications);
+}
+
+void BM_ColdDeref_Linear(benchmark::State& state) {
+  TopologyBenchmark(state, DeltaTopology::kLinear);
+}
+BENCHMARK(BM_ColdDeref_Linear)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ColdDeref_Skip(benchmark::State& state) {
+  TopologyBenchmark(state, DeltaTopology::kSkip);
+}
+BENCHMARK(BM_ColdDeref_Skip)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+// Content-addressed dedupe: write the SAME payload into range(0) objects
+// and report physical vs logical bytes.  With dedupe one blob is stored and
+// every further pnew is a refcount bump; the plain run rewrites the bytes
+// every time.
+void DedupeWriteBenchmark(benchmark::State& state, bool content_addressed) {
+  const int objects = static_cast<int>(state.range(0));
+  const std::string payload = MakePayload(16384);
+  for (auto _ : state) {
+    state.PauseTiming();
+    BenchDb handle =
+        OpenBenchDb(PayloadKind::kFull, 16, 4096, CacheMode::kWarm,
+                    DeltaTopology::kSkip, content_addressed);
+    const uint32_t type = RawType(*handle);
+    state.ResumeTiming();
+    for (int i = 0; i < objects; ++i) {
+      ODE_CHECK(handle->PnewRaw(type, Slice(payload)).ok());
+    }
+    state.PauseTiming();
+    const auto& stats = handle->stats();
+    state.counters["logical_bytes"] = static_cast<double>(
+        stats.full_bytes_written + stats.delta_bytes_written);
+    state.counters["dedupe_bytes_saved"] =
+        static_cast<double>(stats.payload_dedupe_bytes_saved);
+    state.counters["blobs_created"] =
+        static_cast<double>(stats.payload_blobs_created);
+    state.ResumeTiming();
+  }
+  ReportOps(state, objects);
+}
+
+void BM_DuplicateWrites_Dedupe(benchmark::State& state) {
+  DedupeWriteBenchmark(state, /*content_addressed=*/true);
+}
+BENCHMARK(BM_DuplicateWrites_Dedupe)->Arg(64);
+
+void BM_DuplicateWrites_Plain(benchmark::State& state) {
+  DedupeWriteBenchmark(state, /*content_addressed=*/false);
+}
+BENCHMARK(BM_DuplicateWrites_Plain)->Arg(64);
+
 // The raw differ itself: encode cost vs payload size for a small edit.
 void BM_DeltaEncode(benchmark::State& state) {
   const size_t size = static_cast<size_t>(state.range(0));

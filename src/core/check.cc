@@ -4,6 +4,8 @@
 #include <set>
 #include <sstream>
 
+#include "storage/payload_store.h"
+
 namespace ode {
 
 namespace {
@@ -13,6 +15,12 @@ std::string Describe(VersionId vid) {
   os << vid;
   return os.str();
 }
+
+/// Expected references to one content-addressed blob, tallied over pass 1.
+struct RefTally {
+  uint64_t count = 0;
+  RecordId rid;  ///< The record every referencing meta must agree on.
+};
 
 }  // namespace
 
@@ -24,6 +32,7 @@ StatusOr<CheckReport> CheckDatabase(Database& db) {
 
   // Pass 1: every object and its versions.
   std::map<uint64_t, uint32_t> object_types;  // oid -> type (for clusters).
+  std::map<Hash128, RefTally> expected_refs;  // For the pass-3 store audit.
   Status iter_status = db.ForEachObject([&](ObjectId oid,
                                             const ObjectHeader& header) {
     ++report.objects_checked;
@@ -40,6 +49,17 @@ StatusOr<CheckReport> CheckDatabase(Database& db) {
           metas[vid.vnum] = meta;
           if (meta.vnum != vid.vnum) {
             complain("version key/meta vnum mismatch at " + Describe(vid));
+          }
+          if (!meta.content_hash.IsZero()) {
+            RefTally& tally = expected_refs[meta.content_hash];
+            if (tally.count == 0) {
+              tally.rid = meta.payload;
+            } else if (!(tally.rid == meta.payload)) {
+              complain(Describe(vid) + ": blob " + meta.content_hash.ToHex() +
+                       " referenced through a different record id than other "
+                       "versions");
+            }
+            ++tally.count;
           }
           return true;
         });
@@ -148,6 +168,51 @@ StatusOr<CheckReport> CheckDatabase(Database& db) {
     (void)type;
     if (seen_in_clusters.count(oid) == 0) {
       complain("object " + std::to_string(oid) + " missing from its cluster");
+    }
+  }
+
+  // Pass 3: content-addressed payload store audit.  Every index entry must
+  // be justified by exactly `refcount` version metas naming its hash (an
+  // unreferenced entry is an orphan / leaked blob; an over-counted one means
+  // a missed unref; an under-counted one is a latent double free), and every
+  // meta's hash must resolve in the index.
+  std::map<Hash128, PayloadStoreEntry> store_entries;
+  Status store_status =
+      db.storage().WithReadTxn([&](ReadTxn& txn) -> Status {
+        return db.storage().payload_store().ForEach(
+            &txn,
+            [&](const Hash128& hash, const PayloadStoreEntry& entry) {
+              store_entries[hash] = entry;
+              return true;
+            });
+      });
+  if (!store_status.ok()) return store_status;
+  for (const auto& [hash, entry] : store_entries) {
+    ++report.payload_blobs_checked;
+    auto it = expected_refs.find(hash);
+    if (it == expected_refs.end()) {
+      complain("payload store: orphan blob " + hash.ToHex() + " (refcount " +
+               std::to_string(entry.refcount) +
+               ") has no referencing version");
+      continue;
+    }
+    if (entry.refcount != it->second.count) {
+      complain("payload store: blob " + hash.ToHex() + " has refcount " +
+               std::to_string(entry.refcount) + " but " +
+               std::to_string(it->second.count) +
+               " versions reference it");
+    }
+    if (!(entry.rid == it->second.rid)) {
+      complain("payload store: blob " + hash.ToHex() +
+               " record id disagrees with the referencing versions");
+    }
+  }
+  for (const auto& [hash, tally] : expected_refs) {
+    report.payload_refs_checked += tally.count;
+    if (store_entries.find(hash) == store_entries.end()) {
+      complain("payload store: blob " + hash.ToHex() + " referenced by " +
+               std::to_string(tally.count) +
+               " versions is missing from the store");
     }
   }
 

@@ -15,6 +15,9 @@ struct CheckReport {
   uint64_t objects_checked = 0;
   uint64_t versions_checked = 0;
   uint64_t payload_bytes = 0;
+  /// Content-addressed payload store audit (pass 3).
+  uint64_t payload_blobs_checked = 0;  ///< Index entries examined.
+  uint64_t payload_refs_checked = 0;   ///< Version references tallied.
   /// Human-readable invariant violations; empty means the database is
   /// consistent.
   std::vector<std::string> errors;
@@ -32,7 +35,11 @@ struct CheckReport {
 ///    to a live version of the same object (or none); delta payloads name a
 ///    live, older base with a consistent chain length; every payload
 ///    materializes to its recorded logical size;
-///  - per cluster entry: the member object exists and has that type.
+///  - per cluster entry: the member object exists and has that type;
+///  - per content-addressed blob: its refcount equals the number of version
+///    metas naming its hash, the record id matches, and there is neither an
+///    orphan blob (no referencing version) nor a dangling reference (version
+///    names a hash absent from the store).
 ///
 /// Used after crash-recovery and randomized-workload tests, and available
 /// to applications as a fsck-style facility.

@@ -167,13 +167,21 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
   auto engine = StorageEngine::Open(storage);
   if (!engine.ok()) return engine.status();
   db->engine_ = std::move(*engine);
-  // Materialize the four catalog trees so their root slots are claimed
-  // deterministically.
+  // Materialize the catalog trees (and the payload index) so their root
+  // slots are claimed deterministically, and free any shadow tree a crash
+  // left half-built in the vacuum scratch slot.
   Status s = db->RunInTxn([](Txn& txn) -> Status {
     for (int slot : {kObjectsTreeSlot, kVersionsTreeSlot, kClustersTreeSlot,
-                     kNamesTreeSlot}) {
+                     kNamesTreeSlot, kPayloadsTreeSlot}) {
       auto tree = BTree::Open(&txn, slot);
       if (!tree.ok()) return tree.status();
+    }
+    auto scratch_root = txn.GetRoot(kVacuumScratchSlot);
+    if (!scratch_root.ok()) return scratch_root.status();
+    if (*scratch_root != 0) {
+      auto scratch = BTree::Open(&txn, kVacuumScratchSlot);
+      if (!scratch.ok()) return scratch.status();
+      ODE_RETURN_IF_ERROR(scratch->Drop());
     }
     return Status::OK();
   });
@@ -455,6 +463,31 @@ Status Database::Materialize(PageIO& io, ObjectId oid, const VersionMeta& meta,
   return Status::OK();
 }
 
+Status Database::StoreBlob(Txn& txn, const Slice& bytes, VersionMeta* meta) {
+  if (options_.content_addressed_payloads) {
+    Hash128 hash;
+    auto rid = engine_->payload_store().Ref(&txn, engine_->heap(), bytes,
+                                            &hash);
+    if (!rid.ok()) return rid.status();
+    meta->payload = *rid;
+    meta->content_hash = hash;
+    return Status::OK();
+  }
+  auto rid = engine_->heap().Insert(&txn, bytes);
+  if (!rid.ok()) return rid.status();
+  meta->payload = *rid;
+  meta->content_hash = Hash128{};
+  return Status::OK();
+}
+
+Status Database::ReleasePayload(Txn& txn, const VersionMeta& meta) {
+  if (!meta.content_hash.IsZero()) {
+    return engine_->payload_store().Unref(&txn, engine_->heap(),
+                                          meta.content_hash, meta.payload);
+  }
+  return engine_->heap().Delete(&txn, meta.payload);
+}
+
 Status Database::StorePayload(Txn& txn, ObjectId oid, VersionMeta* meta,
                               const Slice& payload) {
   meta->logical_size = payload.size();
@@ -463,32 +496,57 @@ Status Database::StorePayload(Txn& txn, ObjectId oid, VersionMeta* meta,
     VersionMeta base;
     Status base_status =
         GetMeta(txn, VersionId{oid, meta->derived_from}, &base);
-    if (base_status.ok() &&
-        base.delta_chain_len + 1 <= options_.delta_keyframe_interval) {
-      std::string base_bytes;
-      ODE_RETURN_IF_ERROR(Materialize(txn, oid, base, &base_bytes));
-      std::string encoded = delta::Encode(Slice(base_bytes), payload);
-      if (!payload.empty() &&
-          static_cast<double>(encoded.size()) <=
-              options_.delta_max_ratio * static_cast<double>(payload.size())) {
-        auto rid = engine_->heap().Insert(&txn, Slice(encoded));
-        if (!rid.ok()) return rid.status();
-        meta->payload = *rid;
-        meta->kind = PayloadKind::kDelta;
-        meta->delta_base = meta->derived_from;
-        meta->delta_chain_len = base.delta_chain_len + 1;
-        metrics_.delta_payloads_written->Increment();
-        metrics_.delta_bytes_written->Add(encoded.size());
-        return Status::OK();
+    if (base_status.ok()) {
+      // The new version's chain position: one past its derivation parent
+      // (parents that are keyframes sit at position 0).
+      const uint32_t pos = base.kind == PayloadKind::kDelta
+                               ? base.delta_pos + 1
+                               : 1;
+      if (options_.delta_topology == DeltaTopology::kSkip) {
+        // Skip topology: delta against the ancestor at position
+        // pos & (pos - 1) instead of the parent.  Walking delta_base links
+        // from the parent reaches it (clearing trailing one-bits passes
+        // through p & (p - 1)); any keyframe met earlier — including
+        // rematerialized ones with stale positions — just becomes the base,
+        // which costs delta size, never correctness.
+        const uint32_t target_pos = pos & (pos - 1);
+        uint32_t guard = 0;
+        while (base.kind == PayloadKind::kDelta &&
+               base.delta_pos > target_pos) {
+          VersionMeta next;
+          ODE_RETURN_IF_ERROR(
+              GetMeta(txn, VersionId{oid, base.delta_base}, &next));
+          base = next;
+          if (++guard > 100000) {
+            return Status::Corruption("delta base walk does not terminate");
+          }
+        }
+      }
+      if (base.delta_chain_len + 1 <= options_.delta_keyframe_interval) {
+        std::string base_bytes;
+        ODE_RETURN_IF_ERROR(Materialize(txn, oid, base, &base_bytes));
+        std::string encoded = delta::Encode(Slice(base_bytes), payload);
+        if (!payload.empty() &&
+            static_cast<double>(encoded.size()) <=
+                options_.delta_max_ratio *
+                    static_cast<double>(payload.size())) {
+          ODE_RETURN_IF_ERROR(StoreBlob(txn, Slice(encoded), meta));
+          meta->kind = PayloadKind::kDelta;
+          meta->delta_base = base.vnum;
+          meta->delta_chain_len = base.delta_chain_len + 1;
+          meta->delta_pos = pos;
+          metrics_.delta_payloads_written->Increment();
+          metrics_.delta_bytes_written->Add(encoded.size());
+          return Status::OK();
+        }
       }
     }
   }
-  auto rid = engine_->heap().Insert(&txn, payload);
-  if (!rid.ok()) return rid.status();
-  meta->payload = *rid;
+  ODE_RETURN_IF_ERROR(StoreBlob(txn, payload, meta));
   meta->kind = PayloadKind::kFull;
   meta->delta_base = kNoVersion;
   meta->delta_chain_len = 0;
+  meta->delta_pos = 0;
   metrics_.full_payloads_written->Increment();
   metrics_.full_bytes_written->Add(payload.size());
   return Status::OK();
@@ -497,27 +555,76 @@ Status Database::StorePayload(Txn& txn, ObjectId oid, VersionMeta* meta,
 Status Database::StoreCopyOfBase(Txn& txn, ObjectId oid,
                                  const VersionMeta& base, VersionMeta* meta) {
   meta->logical_size = base.logical_size;
-  if (options_.payload_strategy == PayloadKind::kDelta &&
-      base.delta_chain_len + 1 <= options_.delta_keyframe_interval) {
-    const std::string encoded = MakeIdentityDelta(base.logical_size);
-    auto rid = engine_->heap().Insert(&txn, Slice(encoded));
+  if (options_.payload_strategy == PayloadKind::kDelta) {
+    if (base.kind == PayloadKind::kDelta) {
+      // Share the base's stored delta blob outright: same delta_base, same
+      // bytes, same materialized contents — and the chain gets NO longer
+      // (the copy sits at the base's own chain position), so repeated
+      // newversion never forces a keyframe by itself.
+      uint64_t blob_size = 0;
+      if (options_.content_addressed_payloads &&
+          !base.content_hash.IsZero()) {
+        auto rid =
+            engine_->payload_store().RefExisting(&txn, base.content_hash);
+        if (!rid.ok()) return rid.status();
+        meta->payload = *rid;
+        meta->content_hash = base.content_hash;
+        auto entry =
+            engine_->payload_store().Lookup(&txn, base.content_hash);
+        if (!entry.ok()) return entry.status();
+        blob_size = entry->size;
+      } else {
+        auto blob = engine_->heap().Read(&txn, base.payload);
+        if (!blob.ok()) return blob.status();
+        blob_size = blob->size();
+        ODE_RETURN_IF_ERROR(StoreBlob(txn, Slice(*blob), meta));
+      }
+      meta->kind = PayloadKind::kDelta;
+      meta->delta_base = base.delta_base;
+      meta->delta_chain_len = base.delta_chain_len;
+      meta->delta_pos = base.delta_pos;
+      metrics_.delta_payloads_written->Increment();
+      metrics_.delta_bytes_written->Add(blob_size);
+      return Status::OK();
+    }
+    if (base.delta_chain_len + 1 <= options_.delta_keyframe_interval) {
+      // The base is a keyframe: store an identity delta against it (still no
+      // materialization needed).  Identity deltas of equal size are
+      // byte-identical, so the content-addressed store collapses them.
+      const std::string encoded = MakeIdentityDelta(base.logical_size);
+      ODE_RETURN_IF_ERROR(StoreBlob(txn, Slice(encoded), meta));
+      meta->kind = PayloadKind::kDelta;
+      meta->delta_base = base.vnum;
+      meta->delta_chain_len = base.delta_chain_len + 1;
+      meta->delta_pos = base.delta_pos + 1;
+      metrics_.delta_payloads_written->Increment();
+      metrics_.delta_bytes_written->Add(encoded.size());
+      return Status::OK();
+    }
+  }
+  if (options_.content_addressed_payloads &&
+      base.kind == PayloadKind::kFull && !base.content_hash.IsZero()) {
+    // Full-copy strategy over a content-addressed full blob: share it
+    // directly, no materialization, no byte copy.
+    auto rid = engine_->payload_store().RefExisting(&txn, base.content_hash);
     if (!rid.ok()) return rid.status();
     meta->payload = *rid;
-    meta->kind = PayloadKind::kDelta;
-    meta->delta_base = base.vnum;
-    meta->delta_chain_len = base.delta_chain_len + 1;
-    metrics_.delta_payloads_written->Increment();
-    metrics_.delta_bytes_written->Add(encoded.size());
+    meta->content_hash = base.content_hash;
+    meta->kind = PayloadKind::kFull;
+    meta->delta_base = kNoVersion;
+    meta->delta_chain_len = 0;
+    meta->delta_pos = 0;
+    metrics_.full_payloads_written->Increment();
+    metrics_.full_bytes_written->Add(base.logical_size);
     return Status::OK();
   }
   std::string bytes;
   ODE_RETURN_IF_ERROR(Materialize(txn, oid, base, &bytes));
-  auto rid = engine_->heap().Insert(&txn, Slice(bytes));
-  if (!rid.ok()) return rid.status();
-  meta->payload = *rid;
+  ODE_RETURN_IF_ERROR(StoreBlob(txn, Slice(bytes), meta));
   meta->kind = PayloadKind::kFull;
   meta->delta_base = kNoVersion;
   meta->delta_chain_len = 0;
+  meta->delta_pos = 0;
   metrics_.full_payloads_written->Increment();
   metrics_.full_bytes_written->Add(bytes.size());
   return Status::OK();
@@ -547,13 +654,16 @@ Status Database::RematerializeDeltaChildren(Txn& txn, VersionId vid) {
   for (VersionMeta& child : children) {
     std::string bytes;
     ODE_RETURN_IF_ERROR(Materialize(txn, vid.oid, child, &bytes));
-    ODE_RETURN_IF_ERROR(engine_->heap().Delete(&txn, child.payload));
-    auto rid = engine_->heap().Insert(&txn, Slice(bytes));
-    if (!rid.ok()) return rid.status();
-    child.payload = *rid;
+    // Insert the full payload BEFORE releasing the delta blob: if both hash
+    // to the same stored content the refcount dips to 1, never to 0 (which
+    // would free the record out from under the new reference).
+    const VersionMeta old_child = child;
+    ODE_RETURN_IF_ERROR(StoreBlob(txn, Slice(bytes), &child));
+    ODE_RETURN_IF_ERROR(ReleasePayload(txn, old_child));
     child.kind = PayloadKind::kFull;
     child.delta_base = kNoVersion;
     child.delta_chain_len = 0;
+    child.delta_pos = 0;
     metrics_.full_payloads_written->Increment();
     metrics_.full_bytes_written->Add(bytes.size());
     ODE_RETURN_IF_ERROR(PutMeta(txn, VersionId{vid.oid, child.vnum}, child));
@@ -734,9 +844,12 @@ Status Database::DoUpdate(Txn& txn, VersionId vid, const Slice& payload) {
   // materialized contents change; pin them down as full payloads first.
   ODE_RETURN_IF_ERROR(RematerializeDeltaChildren(txn, vid));
 
-  const RecordId old_payload = meta.payload;
+  // StorePayload inserts the replacement BEFORE the old blob is released:
+  // an update that stores identical bytes (content-addressed) moves the
+  // shared refcount 2 -> 1 instead of through 0.
+  const VersionMeta old_meta = meta;
   ODE_RETURN_IF_ERROR(StorePayload(txn, vid.oid, &meta, payload));
-  ODE_RETURN_IF_ERROR(engine_->heap().Delete(&txn, old_payload));
+  ODE_RETURN_IF_ERROR(ReleasePayload(txn, old_meta));
   ODE_RETURN_IF_ERROR(PutMeta(txn, vid, meta));
   // The cached materialization is stale now.  (Delta children keep their
   // entries: they were pinned down as full payloads above, byte-identical.)
@@ -864,7 +977,7 @@ Status Database::DoDeleteVersion(Txn& txn, VersionId vid) {
     }
   }
 
-  ODE_RETURN_IF_ERROR(engine_->heap().Delete(&txn, meta.payload));
+  ODE_RETURN_IF_ERROR(ReleasePayload(txn, meta));
   {
     auto tree = BTree::Open(&txn, kVersionsTreeSlot);
     if (!tree.ok()) return tree.status();
@@ -941,7 +1054,7 @@ Status Database::DoDeleteObject(Txn& txn, ObjectId oid) {
     ODE_RETURN_IF_ERROR(it.status());
   }
   for (const VersionMeta& m : metas) {
-    ODE_RETURN_IF_ERROR(engine_->heap().Delete(&txn, m.payload));
+    ODE_RETURN_IF_ERROR(ReleasePayload(txn, m));
     auto tree = BTree::Open(&txn, kVersionsTreeSlot);
     if (!tree.ok()) return tree.status();
     ODE_RETURN_IF_ERROR(tree->Delete(VersionKey(VersionId{oid, m.vnum})));
@@ -1258,18 +1371,158 @@ Status Database::ForEachType(
   return c.status();
 }
 
+namespace {
+
+/// Root slots the incremental vacuum rebuilds, in pass order.
+constexpr int kVacuumSlots[] = {kObjectsTreeSlot, kVersionsTreeSlot,
+                                kClustersTreeSlot, kNamesTreeSlot,
+                                kPayloadsTreeSlot};
+constexpr size_t kNumVacuumSlots =
+    sizeof(kVacuumSlots) / sizeof(kVacuumSlots[0]);
+
+}  // namespace
+
 Status Database::Vacuum() {
   // No cache invalidation: vacuum rebuilds the catalog trees physically but
   // every key/value — and every payload record — is logically unchanged.
-  return RunInTxn([&](Txn& txn) -> Status {
-    for (int slot : {kObjectsTreeSlot, kVersionsTreeSlot, kClustersTreeSlot,
-                     kNamesTreeSlot}) {
-      auto tree = BTree::Open(&txn, slot);
+  while (true) {
+    auto done = VacuumStep();
+    if (!done.ok()) return done.status();
+    if (*done) return Status::OK();
+  }
+}
+
+Status Database::VacuumTreeStep(Txn& txn, int slot, uint64_t max_entries,
+                                VacuumState* st, bool* tree_done) {
+  *tree_done = false;
+  auto source_root = txn.GetRoot(slot);
+  if (!source_root.ok()) return source_root.status();
+  if (*source_root == 0) {  // Unclaimed slot: nothing to rebuild.
+    *tree_done = true;
+    return Status::OK();
+  }
+  if (!st->shadow_active) {
+    // Clear any stale shadow (left by an aborted pass) before claiming the
+    // scratch slot for this tree.
+    auto scratch_root = txn.GetRoot(kVacuumScratchSlot);
+    if (!scratch_root.ok()) return scratch_root.status();
+    if (*scratch_root != 0) {
+      auto stale = BTree::Open(&txn, kVacuumScratchSlot);
+      if (!stale.ok()) return stale.status();
+      ODE_RETURN_IF_ERROR(stale->Drop());
+    }
+    st->shadow_active = true;
+    st->resume_key.clear();
+  }
+  auto shadow = BTree::Open(&txn, kVacuumScratchSlot);
+  if (!shadow.ok()) return shadow.status();
+  auto source = BTree::Open(&txn, slot);
+  if (!source.ok()) return source.status();
+  // Snapshot the next batch first: Put() into the shadow must not run while
+  // an iterator is live (mutation invalidates cursors — different tree, but
+  // keep the discipline uniform and the copies cheap).
+  std::vector<std::pair<std::string, std::string>> batch;
+  bool exhausted = false;
+  {
+    auto it = source->NewIterator();
+    if (st->resume_key.empty()) {
+      it.SeekToFirst();
+    } else {
+      it.Seek(Slice(st->resume_key));
+      if (it.Valid() && it.key() == st->resume_key) it.Next();
+    }
+    while (it.Valid() && batch.size() < max_entries) {
+      batch.emplace_back(it.key(), it.value());
+      it.Next();
+    }
+    ODE_RETURN_IF_ERROR(it.status());
+    exhausted = !it.Valid();
+  }
+  for (const auto& [key, value] : batch) {
+    ODE_RETURN_IF_ERROR(shadow->Put(Slice(key), Slice(value)));
+  }
+  if (!batch.empty()) st->resume_key = batch.back().first;
+  if (exhausted) {
+    // Swap the compact shadow in: free the source tree's pages, point the
+    // source slot at the shadow's root, release the scratch slot.  All in
+    // this step's transaction, so a crash either keeps the old tree (with
+    // the shadow discoverable at the scratch slot for Open to free) or sees
+    // the swap complete — never a torn mix.
+    const PageId shadow_root = shadow->root();
+    ODE_RETURN_IF_ERROR(source->Drop());
+    ODE_RETURN_IF_ERROR(txn.SetRoot(slot, shadow_root));
+    ODE_RETURN_IF_ERROR(txn.SetRoot(kVacuumScratchSlot, 0));
+    *tree_done = true;
+  }
+  return Status::OK();
+}
+
+StatusOr<bool> Database::VacuumStep(uint64_t max_entries) {
+  if (max_entries < 1) {
+    return Status::InvalidArgument("max_entries must be >= 1");
+  }
+  if (CurrentThreadTxn() != nullptr) {
+    return Status::FailedPrecondition(
+        "VacuumStep must run outside any open transaction (each step is its "
+        "own transaction)");
+  }
+  MutexLock lock(vacuum_mu_);
+  if (!vacuum_state_.has_value()) vacuum_state_.emplace();
+  // Work on a local copy: the lambda below runs in another stack frame where
+  // the thread-safety analysis can't see vacuum_mu_ is held.  The mutex IS
+  // held throughout; the copy is written back (or the state dropped) after
+  // the transaction resolves.
+  VacuumState st = *vacuum_state_;
+  bool pass_done = false;
+  Status s = RunInTxn([&](Txn& txn) -> Status {
+    // Interference detection.  The engine bumps commit_count under the
+    // exclusive apply latch — which this transaction body holds — so the
+    // read is exact: anything beyond what the previous step predicted means
+    // a foreign writer committed in between and the shadow may be missing
+    // its edits.
+    const uint64_t commits_now = engine_->commit_count();
+    if (st.shadow_active && commits_now != st.expected_commits) {
+      auto shadow = BTree::Open(&txn, kVacuumScratchSlot);
+      if (!shadow.ok()) return shadow.status();
+      ODE_RETURN_IF_ERROR(shadow->Drop());
+      st.shadow_active = false;
+      st.resume_key.clear();
+      // Fall back to rebuilding this tree atomically within this step (the
+      // pre-incremental behavior, already safe against concurrent writers
+      // because the whole rebuild sits in one transaction).
+      auto tree = BTree::Open(&txn, kVacuumSlots[st.tree_index]);
       if (!tree.ok()) return tree.status();
       ODE_RETURN_IF_ERROR(tree->Vacuum());
+      ++st.tree_index;
+    } else {
+      bool tree_done = false;
+      ODE_RETURN_IF_ERROR(VacuumTreeStep(txn, kVacuumSlots[st.tree_index],
+                                         max_entries, &st, &tree_done));
+      if (tree_done) {
+        st.shadow_active = false;
+        st.resume_key.clear();
+        ++st.tree_index;
+      }
     }
+    if (st.tree_index >= kNumVacuumSlots) pass_done = true;
+    // This transaction's own commit will take the count to exactly +1.
+    st.expected_commits = commits_now + 1;
     return Status::OK();
   });
+  if (!s.ok()) {
+    // The step's transaction aborted: its page edits rolled back, so the
+    // in-memory progress no longer matches storage.  Drop the pass; any
+    // surviving shadow is cleared when the next pass claims the scratch
+    // slot (or by Database::Open after a crash).
+    vacuum_state_.reset();
+    return s;
+  }
+  if (pass_done) {
+    vacuum_state_.reset();
+    return true;
+  }
+  *vacuum_state_ = st;
+  return false;
 }
 
 StatusOr<Database::StorageStats> Database::GatherStorageStats() {
@@ -1331,6 +1584,11 @@ VersionStats Database::stats() const {
   snapshot.delta_payloads_written = metrics_.delta_payloads_written->value();
   snapshot.full_bytes_written = metrics_.full_bytes_written->value();
   snapshot.delta_bytes_written = metrics_.delta_bytes_written->value();
+  const PayloadStore& payloads = engine_->payload_store();
+  snapshot.payload_dedupe_hits = payloads.dedupe_hits()->value();
+  snapshot.payload_dedupe_bytes_saved = payloads.dedupe_bytes_saved()->value();
+  snapshot.payload_blobs_created = payloads.blobs_created()->value();
+  snapshot.payload_blobs_freed = payloads.blobs_freed()->value();
   const PayloadCacheStats payload = payload_cache_->stats();
   snapshot.payload_cache_hits = payload.hits;
   snapshot.payload_cache_misses = payload.misses;

@@ -27,6 +27,20 @@
 
 namespace ode {
 
+/// Shape of the delta graph the kDelta payload strategy builds.
+enum class DeltaTopology : uint8_t {
+  /// Every delta targets its derivation parent: cold dereference at chain
+  /// depth n applies n deltas (the pre-skip behavior, kept for comparison
+  /// benchmarks and as a fallback).
+  kLinear = 0,
+  /// Skip-deltas (the monotone/SVN scheme): the version at chain position p
+  /// stores its delta against the ancestor at position p & (p - 1), so any
+  /// dereference applies at most popcount(p) <= log2(n) + 1 deltas.  Deltas
+  /// get somewhat larger (the base is farther away) but cold-deref latency
+  /// is bounded logarithmically instead of linearly.
+  kSkip = 1,
+};
+
 /// Configuration of an Ode database.
 ///
 /// Every knob documents its legal range; Validate() checks them all and
@@ -56,6 +70,22 @@ struct DatabaseOptions {
   /// If an encoded delta exceeds this fraction of the payload, store a full
   /// copy instead.  Legal range: (0, 1] (NaN rejected).
   double delta_max_ratio = 0.75;
+
+  /// Delta-base selection under kDelta (see DeltaTopology).  kSkip bounds
+  /// cold dereference to O(log chain) delta applications; kLinear preserves
+  /// the smallest possible per-version deltas.
+  DeltaTopology delta_topology = DeltaTopology::kSkip;
+
+  /// Store payload blobs content-addressed (storage/payload_store.h):
+  /// identical payloads — common across alternatives, newversion copies and
+  /// duplicate objects — share ONE physical heap record, tracked by
+  /// refcounts keyed on a 128-bit content hash.  Refcount edits ride the
+  /// ordinary page-image WAL, so the crash matrix covers them.  Turning
+  /// this off affects only NEW writes; blobs already stored
+  /// content-addressed keep their refcounts and are released correctly
+  /// either way (release routes on the per-version content hash, not on
+  /// this option).
+  bool content_addressed_payloads = true;
 
   /// Timestamp source for the temporal relationship.  nullptr uses the
   /// database's crash-safe persisted logical clock; tests may inject a
@@ -152,6 +182,13 @@ struct VersionStats {
   uint64_t delta_payloads_written = 0;
   uint64_t full_bytes_written = 0;
   uint64_t delta_bytes_written = 0;
+  /// Content-addressed payload store (physical sharing).  The *_written
+  /// counters above are LOGICAL — a deduplicated write still counts its
+  /// bytes there; these report what physically happened underneath.
+  uint64_t payload_dedupe_hits = 0;        ///< Writes that shared a blob.
+  uint64_t payload_dedupe_bytes_saved = 0; ///< Bytes NOT rewritten thanks to sharing.
+  uint64_t payload_blobs_created = 0;      ///< Distinct blobs inserted.
+  uint64_t payload_blobs_freed = 0;        ///< Blobs freed at refcount zero.
   /// Read-path cache outcomes, counted once per payload-read request (the
   /// caches' own stats additionally count chain-internal probes).
   uint64_t payload_cache_hits = 0;
@@ -335,9 +372,29 @@ class Database {
   Status ForEachType(
       const std::function<bool(const std::string&, uint32_t)>& fn);
 
-  /// Rebuilds the four catalog B+trees compactly, returning pages emptied
-  /// by past deletions to the allocator.  Call during quiet periods.
+  /// Rebuilds the catalog B+trees (and the payload index) compactly,
+  /// returning pages emptied by past deletions to the allocator.
+  ///
+  /// Runs INCREMENTALLY: a loop of bounded VacuumStep() calls, each its own
+  /// transaction, so writers and the background checkpointer interleave
+  /// between steps instead of stalling for the whole rebuild.  Concurrency
+  /// contract: vacuum is logically content-preserving — it never changes
+  /// what any read observes — so the read caches stay valid; each step
+  /// brackets the usual cache epoch like any other transaction.  If a
+  /// foreign commit lands between two steps of a tree's shadow rebuild, the
+  /// half-built shadow is discarded and that tree falls back to a single
+  /// atomic rebuild (the pre-incremental behavior).  Safe to call from any
+  /// thread; concurrent calls serialize step-by-step on an internal mutex.
   Status Vacuum();
+
+  /// One bounded unit of vacuum work: copies at most `max_entries` catalog
+  /// entries into the shadow tree being built (rooted at kVacuumScratchSlot),
+  /// swapping it in when a tree completes.  Returns true when a full vacuum
+  /// pass has finished, false when more steps remain.  Fails with
+  /// FailedPrecondition inside an open user transaction (each step must be
+  /// its own transaction).  Designed to interleave with the background
+  /// checkpointer: call from a maintenance thread between batches.
+  StatusOr<bool> VacuumStep(uint64_t max_entries = 512);
 
   /// Physical storage statistics (full scan of the page file).
   struct StorageStats {
@@ -515,9 +572,21 @@ class Database {
   void CommitCacheEpoch();
   void AbortCacheEpoch();
 
+  /// Inserts blob bytes via the content-addressed store when enabled (sets
+  /// meta->payload and meta->content_hash), else as a plain heap record
+  /// (zero hash).  Does NOT touch kind/delta fields.
+  Status StoreBlob(Txn& txn, const Slice& bytes, VersionMeta* meta);
+
+  /// Releases the stored blob of `meta`: PayloadStore::Unref when it has a
+  /// content hash, plain heap Delete otherwise.  Routing on the meta (not
+  /// the current option) keeps mixed databases correct.
+  Status ReleasePayload(Txn& txn, const VersionMeta& meta);
+
   /// Stores `payload` for version `vnum` of `oid`, choosing full vs delta
-  /// per options (delta is computed against `derived_from` when eligible).
-  /// Fills payload/kind/delta_base/delta_chain_len/logical_size of `meta`.
+  /// per options (delta is computed against a base along the derived-from
+  /// chain: the parent under DeltaTopology::kLinear, the skip-delta ancestor
+  /// under kSkip).  Fills payload/kind/delta_base/delta_chain_len/delta_pos/
+  /// logical_size/content_hash of `meta`.
   Status StorePayload(Txn& txn, ObjectId oid, VersionMeta* meta,
                       const Slice& payload);
 
@@ -536,6 +605,27 @@ class Database {
   Status RecomputeChainLengths(Txn& txn, VersionId base, uint32_t base_chain);
 
   void FireTriggers(const TriggerInfo& info);
+
+  /// Progress of the incremental vacuum pass (guarded by vacuum_mu_).  The
+  /// pass walks vacuum-eligible root slots in order; within a tree it
+  /// shadow-copies key ranges, resuming after `resume_key`.
+  struct VacuumState {
+    size_t tree_index = 0;      ///< Index into the eligible-slot list.
+    bool shadow_active = false; ///< A shadow tree is rooted at the scratch slot.
+    std::string resume_key;     ///< Last key copied into the shadow.
+    /// Engine commit count observed inside the previous step's transaction
+    /// body.  Read again inside the next step (still under the exclusive
+    /// apply latch, where the engine increments it): any difference beyond
+    /// our own commit means a foreign writer ran between steps and the
+    /// shadow may be stale.
+    uint64_t expected_commits = 0;
+  };
+
+  /// One bounded vacuum step over the tree at root slot `slot` (see
+  /// VacuumStep); runs inside `txn`, advancing `st`.  Sets *tree_done when
+  /// the tree has been swapped for its compact shadow.
+  Status VacuumTreeStep(Txn& txn, int slot, uint64_t max_entries,
+                        VacuumState* st, bool* tree_done);
 
   /// Pre-resolved core-layer instruments (looked up once at Open; recording
   /// through the pointers is lock-free).  Cache hit/miss counts are NOT
@@ -608,6 +698,11 @@ class Database {
   mutable Mutex type_cache_mu_;
   std::unordered_map<std::string, uint32_t> type_cache_
       ODE_GUARDED_BY(type_cache_mu_);
+
+  /// Serializes vacuum steps and guards the pass state.  Held across the
+  /// step's transaction; safe because no transaction path takes it.
+  mutable Mutex vacuum_mu_;
+  std::optional<VacuumState> vacuum_state_ ODE_GUARDED_BY(vacuum_mu_);
 };
 
 }  // namespace ode

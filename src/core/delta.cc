@@ -1,6 +1,7 @@
 #include "core/delta.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cstring>
 #include <unordered_map>
 #include <vector>
@@ -54,14 +55,30 @@ std::string EncodeWithStats(const Slice& base, const Slice& target,
   std::string out;
   PutVarint64(&out, target.size());
   if (target.empty()) return out;
+  // For the conservation checks below (stats may be accumulated across
+  // calls, so assert on the bytes THIS call produced).
+  [[maybe_unused]] const uint64_t produced_before =
+      stats != nullptr ? stats->copied_bytes + stats->added_bytes : 0;
+
+  // Literal fast path: a base shorter than one block can never produce a
+  // COPY (the matcher needs a full block to anchor on), so the result is
+  // exactly one ADD of the whole target.  Emitting it directly skips the
+  // pointless per-position hash scan below AND makes the degenerate case
+  // explicit in DeltaStats (one add op, zero copies) — skip-delta base
+  // selection relies on those stats being trustworthy.
+  if (base.size() < kBlockSize) {
+    EmitAdd(&out, target.data(), target.size(), stats);
+    assert(stats == nullptr || stats->copied_bytes + stats->added_bytes -
+                                       produced_before ==
+                                   target.size());
+    return out;
+  }
 
   // Index block-aligned positions of the base.
   std::unordered_map<uint64_t, std::vector<size_t>> index;
-  if (base.size() >= kBlockSize) {
-    index.reserve(base.size() / kBlockSize * 2);
-    for (size_t pos = 0; pos + kBlockSize <= base.size(); pos += kBlockSize) {
-      index[HashBlock(base.data() + pos)].push_back(pos);
-    }
+  index.reserve(base.size() / kBlockSize * 2);
+  for (size_t pos = 0; pos + kBlockSize <= base.size(); pos += kBlockSize) {
+    index[HashBlock(base.data() + pos)].push_back(pos);
   }
 
   size_t t = 0;            // Scan position in target.
@@ -105,6 +122,11 @@ std::string EncodeWithStats(const Slice& base, const Slice& target,
     }
   }
   EmitAdd(&out, target.data() + pending, target.size() - pending, stats);
+  // Conservation check: every target byte is produced exactly once, by a
+  // COPY or an ADD.
+  assert(stats == nullptr ||
+         stats->copied_bytes + stats->added_bytes - produced_before ==
+             target.size());
   return out;
 }
 

@@ -60,6 +60,9 @@ std::string VersionMeta::Encode() const {
   w.WriteU32(delta_base);
   w.WriteU32(delta_chain_len);
   w.WriteU64(logical_size);
+  w.WriteU64(content_hash.hi);
+  w.WriteU64(content_hash.lo);
+  w.WriteU32(delta_pos);
   return w.Release();
 }
 
@@ -80,6 +83,9 @@ Status VersionMeta::Decode(const Slice& bytes, VersionMeta* out) {
   ODE_RETURN_IF_ERROR(r.ReadU32(&out->delta_base));
   ODE_RETURN_IF_ERROR(r.ReadU32(&out->delta_chain_len));
   ODE_RETURN_IF_ERROR(r.ReadU64(&out->logical_size));
+  ODE_RETURN_IF_ERROR(r.ReadU64(&out->content_hash.hi));
+  ODE_RETURN_IF_ERROR(r.ReadU64(&out->content_hash.lo));
+  ODE_RETURN_IF_ERROR(r.ReadU32(&out->delta_pos));
   return Status::OK();
 }
 

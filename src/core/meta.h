@@ -7,6 +7,7 @@
 #include "core/ids.h"
 #include "storage/heap_file.h"
 #include "util/byte_buffer.h"
+#include "util/hash128.h"
 #include "util/slice.h"
 #include "util/status.h"
 
@@ -36,6 +37,13 @@ inline constexpr int kNamesTreeSlot = 3;
 /// Secondary-index entries (see core/index.h): all indexes share one tree,
 /// with per-index id prefixes.
 inline constexpr int kIndexesTreeSlot = 4;
+// Slot 5 is the content-addressed payload index
+// (storage/payload_store.h: kPayloadsTreeSlot); slot 6 is free.
+/// Scratch slot for incremental vacuum: while a catalog tree is being
+/// shadow-rebuilt, the half-built replacement is rooted here so a crash
+/// leaves it discoverable (Database::Open frees any leftover and zeroes the
+/// slot).  Never holds live data across a clean sequence of operations.
+inline constexpr int kVacuumScratchSlot = 7;
 
 /// Superblock counter indexes used by the core layer.
 inline constexpr int kNextOidCounter = 0;
@@ -78,6 +86,18 @@ struct VersionMeta {
   uint32_t delta_chain_len = 0;
   /// Size of the materialized payload in bytes.
   uint64_t logical_size = 0;
+  /// Content hash of the STORED blob (the delta bytes for kDelta, the full
+  /// payload for kFull) when it lives in the content-addressed payload
+  /// store; the zero hash when the blob is a plain (unshared) heap record.
+  /// Routes release: non-zero -> PayloadStore::Unref, zero -> heap Delete.
+  Hash128 content_hash;
+  /// Position in the skip-delta numbering: 0 for a keyframe (kFull), else
+  /// the derivation distance to the nearest keyframe at write time.  The
+  /// skip topology deltas position p against the ancestor at p & (p - 1),
+  /// so materialization applies at most popcount(p) deltas.  Stale values
+  /// (after a base was rematerialized to kFull) only cost optimality; base
+  /// selection walks delta_base links and stops at any keyframe.
+  uint32_t delta_pos = 0;
 
   std::string Encode() const;
   static Status Decode(const Slice& bytes, VersionMeta* out);

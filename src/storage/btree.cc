@@ -489,6 +489,17 @@ Status BTree::Vacuum() {
   return Status::OK();
 }
 
+Status BTree::Drop() {
+  std::vector<PageId> pages;
+  ODE_RETURN_IF_ERROR(CollectPages(io_, root_, &pages));
+  for (PageId pid : pages) {
+    ODE_RETURN_IF_ERROR(io_->FreePage(pid));
+  }
+  ODE_RETURN_IF_ERROR(io_->SetRoot(root_slot_, 0));
+  root_ = kInvalidPageId;
+  return Status::OK();
+}
+
 StatusOr<uint32_t> BTree::Height() {
   uint32_t height = 1;
   PageId current = root_;

@@ -65,6 +65,11 @@ class BTree {
   /// are returned to the allocator.  Invalidates outstanding iterators.
   Status Vacuum();
 
+  /// Frees EVERY page of the tree and zeroes its root slot, unclaiming it.
+  /// The object is unusable afterwards (reopen the slot to get a fresh
+  /// tree).  Used by incremental vacuum to abandon or retire a shadow tree.
+  Status Drop();
+
   /// Height of the tree (1 = just a root leaf).
   StatusOr<uint32_t> Height();
 

@@ -1,0 +1,167 @@
+#include "storage/payload_store.h"
+
+#include "storage/btree.h"
+#include "util/byte_buffer.h"
+
+namespace ode {
+
+namespace {
+
+std::string EncodeEntry(const PayloadStoreEntry& entry) {
+  BufferWriter w;
+  w.WriteVarint64(entry.refcount);
+  w.WriteVarint64(entry.size);
+  w.WriteU64(entry.rid.Encode());
+  return w.Release();
+}
+
+Status DecodeEntry(const Slice& bytes, PayloadStoreEntry* out) {
+  BufferReader r(bytes);
+  ODE_RETURN_IF_ERROR(r.ReadVarint64(&out->refcount));
+  ODE_RETURN_IF_ERROR(r.ReadVarint64(&out->size));
+  uint64_t rid = 0;
+  ODE_RETURN_IF_ERROR(r.ReadU64(&rid));
+  out->rid = RecordId::Decode(rid);
+  return Status::OK();
+}
+
+}  // namespace
+
+void PayloadStore::AttachMetrics(MetricsRegistry* registry) {
+  dedupe_hits_ = registry->GetCounter("payload_store.dedupe_hits");
+  dedupe_bytes_saved_ =
+      registry->GetCounter("payload_store.dedupe_bytes_saved");
+  blobs_created_ = registry->GetCounter("payload_store.blobs_created");
+  blobs_freed_ = registry->GetCounter("payload_store.blobs_freed");
+}
+
+Status PayloadStore::PutEntry(PageIO* io, const Hash128& hash,
+                              const PayloadStoreEntry& entry) {
+  auto tree = BTree::Open(io, kPayloadsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  return tree->Put(Slice(hash.Encode()), Slice(EncodeEntry(entry)));
+}
+
+StatusOr<RecordId> PayloadStore::Ref(PageIO* io, HeapFile& heap,
+                                     const Slice& payload, Hash128* hash_out) {
+  const Hash128 hash = HashPayload128(payload);
+  if (hash_out != nullptr) *hash_out = hash;
+  auto tree = BTree::Open(io, kPayloadsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  const std::string key = hash.Encode();
+  auto existing = tree->Get(Slice(key));
+  if (existing.ok()) {
+    PayloadStoreEntry entry;
+    ODE_RETURN_IF_ERROR(DecodeEntry(Slice(*existing), &entry));
+    if (entry.size != payload.size()) {
+      return Status::Corruption("payload store: content hash collision (" +
+                                hash.ToHex() + ")");
+    }
+    entry.refcount += 1;
+    ODE_RETURN_IF_ERROR(tree->Put(Slice(key), Slice(EncodeEntry(entry))));
+    if (dedupe_hits_ != nullptr) {
+      dedupe_hits_->Increment();
+      dedupe_bytes_saved_->Add(payload.size());
+    }
+    return entry.rid;
+  }
+  if (!existing.status().IsNotFound()) return existing.status();
+  auto rid = heap.Insert(io, payload);
+  if (!rid.ok()) return rid.status();
+  PayloadStoreEntry entry;
+  entry.refcount = 1;
+  entry.size = payload.size();
+  entry.rid = *rid;
+  ODE_RETURN_IF_ERROR(tree->Put(Slice(key), Slice(EncodeEntry(entry))));
+  if (blobs_created_ != nullptr) blobs_created_->Increment();
+  return *rid;
+}
+
+StatusOr<RecordId> PayloadStore::RefExisting(PageIO* io, const Hash128& hash) {
+  auto tree = BTree::Open(io, kPayloadsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  const std::string key = hash.Encode();
+  auto existing = tree->Get(Slice(key));
+  if (!existing.ok()) return existing.status();
+  PayloadStoreEntry entry;
+  ODE_RETURN_IF_ERROR(DecodeEntry(Slice(*existing), &entry));
+  entry.refcount += 1;
+  ODE_RETURN_IF_ERROR(tree->Put(Slice(key), Slice(EncodeEntry(entry))));
+  if (dedupe_hits_ != nullptr) {
+    dedupe_hits_->Increment();
+    dedupe_bytes_saved_->Add(entry.size);
+  }
+  return entry.rid;
+}
+
+Status PayloadStore::Unref(PageIO* io, HeapFile& heap, const Hash128& hash,
+                           RecordId expected_rid) {
+  auto tree = BTree::Open(io, kPayloadsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  const std::string key = hash.Encode();
+  auto existing = tree->Get(Slice(key));
+  if (!existing.ok()) {
+    if (existing.status().IsNotFound()) {
+      return Status::Corruption("payload store: unref of missing blob " +
+                                hash.ToHex());
+    }
+    return existing.status();
+  }
+  PayloadStoreEntry entry;
+  ODE_RETURN_IF_ERROR(DecodeEntry(Slice(*existing), &entry));
+  if (!(entry.rid == expected_rid)) {
+    return Status::Corruption(
+        "payload store: record id mismatch on unref of " + hash.ToHex());
+  }
+  if (entry.refcount == 0) {
+    return Status::Corruption("payload store: double unref of " +
+                              hash.ToHex());
+  }
+  entry.refcount -= 1;
+  if (entry.refcount == 0) {
+    ODE_RETURN_IF_ERROR(heap.Delete(io, entry.rid));
+    ODE_RETURN_IF_ERROR(tree->Delete(Slice(key)));
+    if (blobs_freed_ != nullptr) blobs_freed_->Increment();
+    return Status::OK();
+  }
+  return tree->Put(Slice(key), Slice(EncodeEntry(entry)));
+}
+
+StatusOr<PayloadStoreEntry> PayloadStore::Lookup(PageIO* io,
+                                                 const Hash128& hash) {
+  // Probe the slot first: BTree::Open would CREATE the tree when the slot is
+  // unclaimed, which a read-only PageIO must never do.
+  auto root = io->GetRoot(kPayloadsTreeSlot);
+  if (!root.ok()) return root.status();
+  if (*root == 0) return Status::NotFound("payload store is empty");
+  auto tree = BTree::Open(io, kPayloadsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  auto value = tree->Get(Slice(hash.Encode()));
+  if (!value.ok()) return value.status();
+  PayloadStoreEntry entry;
+  ODE_RETURN_IF_ERROR(DecodeEntry(Slice(*value), &entry));
+  return entry;
+}
+
+Status PayloadStore::ForEach(
+    PageIO* io,
+    const std::function<bool(const Hash128&, const PayloadStoreEntry&)>& fn) {
+  auto root = io->GetRoot(kPayloadsTreeSlot);
+  if (!root.ok()) return root.status();
+  if (*root == 0) return Status::OK();  // Never claimed: nothing stored.
+  auto tree = BTree::Open(io, kPayloadsTreeSlot);
+  if (!tree.ok()) return tree.status();
+  auto it = tree->NewIterator();
+  for (it.SeekToFirst(); it.Valid(); it.Next()) {
+    Hash128 hash;
+    if (!Hash128::Decode(Slice(it.key()), &hash)) {
+      return Status::Corruption("payload store: malformed index key");
+    }
+    PayloadStoreEntry entry;
+    ODE_RETURN_IF_ERROR(DecodeEntry(Slice(it.value()), &entry));
+    if (!fn(hash, entry)) break;
+  }
+  return it.status();
+}
+
+}  // namespace ode

@@ -1,0 +1,104 @@
+#ifndef ODE_STORAGE_PAYLOAD_STORE_H_
+#define ODE_STORAGE_PAYLOAD_STORE_H_
+
+#include <cstdint>
+#include <functional>
+
+#include "storage/heap_file.h"
+#include "storage/page_io.h"
+#include "util/hash128.h"
+#include "util/metrics.h"
+#include "util/slice.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+
+/// Superblock root slot of the content-addressed payload index.  Slots 0-4
+/// belong to the core catalog trees (core/meta.h); slot 7 is the core
+/// layer's vacuum scratch slot.
+inline constexpr int kPayloadsTreeSlot = 5;
+
+/// One entry of the content-addressed index: hash -> (refcount, size, rid).
+struct PayloadStoreEntry {
+  uint64_t refcount = 0;
+  /// Byte length of the stored blob; checked on every dedupe hit so a hash
+  /// collision surfaces as Corruption instead of silently aliasing payloads.
+  uint64_t size = 0;
+  /// Heap record holding the blob bytes.
+  RecordId rid;
+};
+
+/// Content-addressed blob store: payload bytes are keyed by their 128-bit
+/// content hash, with refcounts, so identical payloads anywhere in the
+/// database share ONE physical heap record.
+///
+/// Layout: the blob bytes live in the shared HeapFile; an index B+tree at
+/// superblock slot kPayloadsTreeSlot maps Hash128::Encode() -> entry
+/// (refcount, size, record id).  Like HeapFile, this class is a stateless
+/// façade — every call runs against the caller's PageIO (the current
+/// transaction), so ref/unref mutations are covered by the engine's
+/// physical page-image WAL exactly like any other tree or heap edit: no new
+/// logical record types, and crash recovery replays or discards a whole
+/// transaction's refcount changes atomically with the metadata that
+/// justified them.
+///
+/// Concurrency: mutating calls take a Txn's PageIO and therefore run under
+/// the engine's exclusive apply latch; read-only calls (Lookup/ForEach) are
+/// safe under the shared latch.  The metrics counters are atomic.
+class PayloadStore {
+ public:
+  PayloadStore() = default;
+  PayloadStore(const PayloadStore&) = delete;
+  PayloadStore& operator=(const PayloadStore&) = delete;
+
+  /// Resolves the store's instruments out of `registry` (called once by
+  /// StorageEngine::Open; recording through the pointers is lock-free).
+  void AttachMetrics(MetricsRegistry* registry);
+
+  /// Stores `payload` under its content hash.  If an identical blob already
+  /// exists its refcount is bumped and the existing record id is returned
+  /// (a dedupe hit: no payload bytes are written); otherwise the bytes are
+  /// inserted into `heap` and a fresh entry with refcount 1 is created.
+  /// Reports the content hash through `hash_out` (never the zero hash).
+  StatusOr<RecordId> Ref(PageIO* io, HeapFile& heap, const Slice& payload,
+                         Hash128* hash_out);
+
+  /// Bumps the refcount of the existing blob `hash` (the blob-sharing path:
+  /// the caller already knows the bytes are present).  Returns the record id
+  /// holding the bytes; NotFound if no such blob exists.
+  StatusOr<RecordId> RefExisting(PageIO* io, const Hash128& hash);
+
+  /// Drops one reference from blob `hash`.  At zero the index entry is
+  /// removed and the heap record freed.  `expected_rid` cross-checks the
+  /// caller's metadata against the index (mismatch = Corruption).
+  Status Unref(PageIO* io, HeapFile& heap, const Hash128& hash,
+               RecordId expected_rid);
+
+  /// Index lookup; NotFound if `hash` has no entry.
+  StatusOr<PayloadStoreEntry> Lookup(PageIO* io, const Hash128& hash);
+
+  /// Scans every index entry in hash order.  `fn` returns false to stop.
+  Status ForEach(
+      PageIO* io,
+      const std::function<bool(const Hash128&, const PayloadStoreEntry&)>& fn);
+
+  // Session counters (monotonic; see AttachMetrics).
+  Counter* dedupe_hits() const { return dedupe_hits_; }
+  Counter* dedupe_bytes_saved() const { return dedupe_bytes_saved_; }
+  Counter* blobs_created() const { return blobs_created_; }
+  Counter* blobs_freed() const { return blobs_freed_; }
+
+ private:
+  Status PutEntry(PageIO* io, const Hash128& hash,
+                  const PayloadStoreEntry& entry);
+
+  Counter* dedupe_hits_ = nullptr;
+  Counter* dedupe_bytes_saved_ = nullptr;
+  Counter* blobs_created_ = nullptr;
+  Counter* blobs_freed_ = nullptr;
+};
+
+}  // namespace ode
+
+#endif  // ODE_STORAGE_PAYLOAD_STORE_H_

@@ -209,6 +209,7 @@ StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     registry = engine->owned_registry_.get();
   }
   engine->metrics_.Attach(registry, options.tracer);
+  engine->payload_store_.AttachMetrics(registry);
 
   {
     auto disk = DiskManager::Open(env, options.path + "/data.odb");

@@ -15,6 +15,7 @@
 #include "storage/group_commit.h"
 #include "storage/heap_file.h"
 #include "storage/page_io.h"
+#include "storage/payload_store.h"
 #include "storage/storage_metrics.h"
 #include "storage/wal.h"
 #include "storage/write_latch.h"
@@ -218,6 +219,11 @@ class StorageEngine {
   /// Record storage shared by all higher layers.
   HeapFile& heap() { return heap_; }
 
+  /// Content-addressed blob index over heap(): identical payloads share one
+  /// physical record, with refcounts (see payload_store.h).  Like heap(),
+  /// stateless per-call — pass the current transaction's PageIO.
+  PayloadStore& payload_store() { return payload_store_; }
+
   /// Object-keyed stripe latches for callers that must order logically
   /// conflicting writers BEFORE they queue for the apply latch (see
   /// WriteLatchSet; the engine itself never acquires these).
@@ -283,6 +289,7 @@ class StorageEngine {
   std::unique_ptr<GroupCommit> group_commit_;
   std::unique_ptr<WriteLatchSet> write_latches_;
   HeapFile heap_;
+  PayloadStore payload_store_;
   // --- Apply-section state ------------------------------------------------
   // txn_, txn_open_ and next_txn_id_ are touched only between a successful
   // rw_mutex_.Lock() in Begin and the matching Unlock in Commit/Abort, so

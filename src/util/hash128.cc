@@ -1,0 +1,149 @@
+#include "util/hash128.h"
+
+namespace ode {
+
+namespace {
+
+/// Explicit little-endian load so the hash is identical on any host
+/// endianness (the value is persisted as a store key).
+uint64_t LoadLE64(const char* p) {
+  uint64_t v = 0;
+  for (int i = 7; i >= 0; --i) v = (v << 8) | static_cast<uint8_t>(p[i]);
+  return v;
+}
+
+uint64_t Rotl64(uint64_t v, int r) { return (v << r) | (v >> (64 - r)); }
+
+/// 64 -> 64 bit finalizer with full avalanche (the xxhash/murmur "fmix"
+/// family): every input bit flips ~half the output bits.
+uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdull;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+constexpr uint64_t kC1 = 0x87c37b91114253d5ull;
+constexpr uint64_t kC2 = 0x4cf5ad432745937full;
+
+}  // namespace
+
+Hash128 HashPayload128(const Slice& data) {
+  // Murmur3-style x64 128-bit construction: two 64-bit lanes absorbing
+  // 16-byte blocks with independent odd multipliers and cross-lane rotation,
+  // then a length-keyed finalization.  Not cryptographic — the store's
+  // threat model is accidental collision, which this family's avalanche
+  // quality covers — but strong enough that 2^64 blobs are needed for a
+  // birthday collision.
+  const char* p = data.data();
+  const size_t len = data.size();
+  const size_t nblocks = len / 16;
+
+  uint64_t h1 = 0x9368e53c2f6af274ull ^ len;
+  uint64_t h2 = 0x586dcd208f7cd3fdull ^ len;
+
+  for (size_t i = 0; i < nblocks; ++i) {
+    uint64_t k1 = LoadLE64(p + i * 16);
+    uint64_t k2 = LoadLE64(p + i * 16 + 8);
+    k1 *= kC1;
+    k1 = Rotl64(k1, 31);
+    k1 *= kC2;
+    h1 ^= k1;
+    h1 = Rotl64(h1, 27);
+    h1 += h2;
+    h1 = h1 * 5 + 0x52dce729;
+    k2 *= kC2;
+    k2 = Rotl64(k2, 33);
+    k2 *= kC1;
+    h2 ^= k2;
+    h2 = Rotl64(h2, 31);
+    h2 += h1;
+    h2 = h2 * 5 + 0x38495ab5;
+  }
+
+  // Tail: up to 15 remaining bytes, absorbed via fixed-width loads of the
+  // byte-padded remainder (branch ladder mirrors the reference scheme).
+  const char* tail = p + nblocks * 16;
+  const size_t rem = len & 15;
+  uint64_t k1 = 0, k2 = 0;
+  if (rem > 8) {
+    k1 = LoadLE64(tail);
+    for (size_t i = rem; i > 8; --i) {
+      k2 = (k2 << 8) | static_cast<uint8_t>(tail[i - 1]);
+    }
+  } else {
+    for (size_t i = rem; i > 0; --i) {
+      k1 = (k1 << 8) | static_cast<uint8_t>(tail[i - 1]);
+    }
+  }
+  if (rem > 8) {
+    k2 *= kC2;
+    k2 = Rotl64(k2, 33);
+    k2 *= kC1;
+    h2 ^= k2;
+  }
+  if (rem > 0) {
+    k1 *= kC1;
+    k1 = Rotl64(k1, 31);
+    k1 *= kC2;
+    h1 ^= k1;
+  }
+
+  h1 ^= len;
+  h2 ^= len;
+  h1 += h2;
+  h2 += h1;
+  h1 = Mix64(h1);
+  h2 = Mix64(h2);
+  h1 += h2;
+  h2 += h1;
+
+  Hash128 out{h1, h2};
+  // The all-zero value is VersionMeta's "no hash recorded" sentinel; map the
+  // (one in 2^128) genuine zero away from it deterministically.
+  if (out.IsZero()) out.lo = 1;
+  return out;
+}
+
+std::string Hash128::Encode() const {
+  std::string out;
+  out.reserve(16);
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((hi >> shift) & 0xff));
+  }
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    out.push_back(static_cast<char>((lo >> shift) & 0xff));
+  }
+  return out;
+}
+
+bool Hash128::Decode(const Slice& bytes, Hash128* out) {
+  if (bytes.size() != 16) return false;
+  uint64_t hi = 0, lo = 0;
+  for (int i = 0; i < 8; ++i) {
+    hi = (hi << 8) | static_cast<uint8_t>(bytes[i]);
+  }
+  for (int i = 8; i < 16; ++i) {
+    lo = (lo << 8) | static_cast<uint8_t>(bytes[i]);
+  }
+  out->hi = hi;
+  out->lo = lo;
+  return true;
+}
+
+std::string Hash128::ToHex() const {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(32);
+  const std::string encoded = Encode();
+  for (char c : encoded) {
+    const auto b = static_cast<uint8_t>(c);
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace ode

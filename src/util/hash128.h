@@ -1,0 +1,57 @@
+#ifndef ODE_UTIL_HASH128_H_
+#define ODE_UTIL_HASH128_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/slice.h"
+
+namespace ode {
+
+/// A 128-bit content hash (see hash128.cc for the construction).
+///
+/// Used by the content-addressed payload store (storage/payload_store.h) to
+/// key physical blobs: two payloads with equal bytes hash equal and share one
+/// stored copy.  128 bits makes an accidental collision astronomically
+/// unlikely (~2^-64 at a billion blobs); the store still verifies sizes on
+/// every dedupe hit so a collision surfaces as Corruption, never as silent
+/// payload aliasing.
+struct Hash128 {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+
+  friend bool operator==(const Hash128& a, const Hash128& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+  friend bool operator!=(const Hash128& a, const Hash128& b) {
+    return !(a == b);
+  }
+  /// Byte order follows the encoded form, so sorting hashes sorts their
+  /// store keys identically.
+  friend bool operator<(const Hash128& a, const Hash128& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// True for the all-zero value, which VersionMeta uses as "no hash
+  /// recorded" (a content-addressed write never produces it: the finalizer
+  /// maps an all-zero result away from zero).
+  bool IsZero() const { return lo == 0 && hi == 0; }
+
+  /// 16-byte big-endian encoding (hi first) — memcmp order on the encoded
+  /// form equals operator< order, so B+tree keys sort like hashes.
+  std::string Encode() const;
+  /// Inverse of Encode; false if `bytes` is not exactly 16 bytes.
+  static bool Decode(const Slice& bytes, Hash128* out);
+
+  /// 32-hex-digit rendering for tooling / diagnostics.
+  std::string ToHex() const;
+};
+
+/// Hashes `data` to 128 bits.  Deterministic across platforms, processes and
+/// endiannesses (the on-disk payload store depends on that); never returns
+/// the all-zero value.
+Hash128 HashPayload128(const Slice& data);
+
+}  // namespace ode
+
+#endif  // ODE_UTIL_HASH128_H_

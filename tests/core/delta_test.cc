@@ -98,6 +98,73 @@ TEST(DeltaTest, StatsCountOps) {
   EXPECT_EQ(*applied, target);
 }
 
+TEST(DeltaTest, ShortBaseTakesLiteralPath) {
+  // A base below kBlockSize cannot seed the block index; the encoder must
+  // fall back to one literal ADD instead of degenerate per-byte matching.
+  Random rng(7);
+  std::string base = rng.NextBytes(delta::kBlockSize - 1);
+  std::string target = rng.NextBytes(4096);
+  delta::DeltaStats stats;
+  std::string encoded =
+      delta::EncodeWithStats(Slice(base), Slice(target), &stats);
+  EXPECT_EQ(stats.copy_ops, 0u);
+  EXPECT_EQ(stats.add_ops, 1u);
+  EXPECT_EQ(stats.copied_bytes, 0u);
+  EXPECT_EQ(stats.added_bytes, target.size());
+  // Literal encoding overhead is a handful of varints, not per-block ops.
+  EXPECT_LT(encoded.size(), target.size() + 16);
+  auto applied = delta::Apply(Slice(base), Slice(encoded));
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_EQ(*applied, target);
+}
+
+TEST(DeltaTest, IdenticalPayloadHasZeroAddBytes) {
+  Random rng(8);
+  std::string data = rng.NextBytes(4096);
+  delta::DeltaStats stats;
+  std::string encoded =
+      delta::EncodeWithStats(Slice(data), Slice(data), &stats);
+  EXPECT_EQ(stats.added_bytes, 0u);
+  EXPECT_EQ(stats.copied_bytes, data.size());
+  auto applied = delta::Apply(Slice(data), Slice(encoded));
+  ASSERT_TRUE(applied.ok()) << applied.status();
+  EXPECT_EQ(*applied, data);
+}
+
+TEST(DeltaTest, StatsConserveBytesAcrossEdgeCases) {
+  Random rng(9);
+  const std::string cases_base[] = {"", "x", std::string(16, 'a'),
+                                    rng.NextBytes(1000)};
+  const std::string cases_target[] = {"", "y", std::string(16, 'a'),
+                                      rng.NextBytes(1000)};
+  for (const std::string& base : cases_base) {
+    for (const std::string& target : cases_target) {
+      delta::DeltaStats stats;
+      std::string encoded =
+          delta::EncodeWithStats(Slice(base), Slice(target), &stats);
+      EXPECT_EQ(stats.copied_bytes + stats.added_bytes, target.size())
+          << "base=" << base.size() << " target=" << target.size();
+      auto applied = delta::Apply(Slice(base), Slice(encoded));
+      ASSERT_TRUE(applied.ok()) << applied.status();
+      EXPECT_EQ(*applied, target);
+    }
+  }
+}
+
+TEST(DeltaTest, AdversarialRepetitivePayloads) {
+  // Highly self-similar payloads historically trip rolling-hash encoders
+  // (every block hashes identically).  They must still round-trip and stay
+  // compact when base == target.
+  const std::string page(delta::kBlockSize, '\0');
+  std::string base;
+  for (int i = 0; i < 64; ++i) base += page;
+  std::string target = base;
+  target.insert(target.size() / 2, "spike");
+  EXPECT_EQ(RoundTrip(base, target), target);
+  std::string same = delta::Encode(Slice(base), Slice(base));
+  EXPECT_LT(same.size(), 32u);
+}
+
 TEST(DeltaTest, ApplyRejectsTruncatedDelta) {
   std::string base = "base content here";
   std::string encoded = delta::Encode(Slice(base), Slice(base));

@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/check.h"
+#include "core/database.h"
+#include "tests/testing/db_fixture.h"
+#include "util/random.h"
+
+namespace ode {
+namespace {
+
+using testing_internal::DatabaseFixture;
+
+/// Chain length of the version at chain position `pos` under the skip
+/// topology: each delta targets the ancestor at pos & (pos - 1), so the
+/// number of links back to the keyframe is the population count.
+uint32_t SkipChainBound(uint32_t pos) {
+  uint32_t bits = 0;
+  for (uint32_t v = pos; v != 0; v &= v - 1) ++bits;
+  return bits;
+}
+
+/// Worst-case skip-chain length over any position < `depth`: the widest
+/// popcount a position of that magnitude can have, i.e. the bit width.
+uint32_t WorstChainBelow(uint32_t depth) {
+  uint32_t bits = 0;
+  for (uint32_t v = depth; v != 0; v >>= 1) ++bits;
+  return bits;
+}
+
+class SkipDeltaTest : public DatabaseFixture {
+ protected:
+  DatabaseOptions MakeOptions() override {
+    DatabaseOptions options = DatabaseFixture::MakeOptions();
+    options.payload_strategy = PayloadKind::kDelta;
+    options.delta_topology = DeltaTopology::kSkip;
+    // No keyframe forcing: the topology alone must bound dereference cost.
+    options.delta_keyframe_interval = 1u << 20;
+    options.payload_cache_bytes = 0;  // Every read walks the real chain.
+    return options;
+  }
+
+  /// Builds a `depth`-version history by successive small edits; returns the
+  /// version ids in chain order (index 0 = initial full version).
+  std::vector<VersionId> BuildChain(int depth, std::string* final_payload) {
+    std::vector<VersionId> chain;
+    Random rng(42);
+    std::string payload = rng.NextBytes(2048);
+    chain.push_back(MustPnew(payload));
+    payloads_.push_back(payload);
+    for (int i = 1; i < depth; ++i) {
+      const size_t at = rng.Uniform(payload.size());
+      payload[at] = static_cast<char>(payload[at] ^ (1 + rng.Uniform(255)));
+      payload += "edit " + std::to_string(i) + ";";
+      auto vid = db_->NewVersionOf(chain.front().oid);
+      EXPECT_TRUE(vid.ok()) << vid.status();
+      EXPECT_OK(db_->UpdateVersion(*vid, Slice(payload)));
+      chain.push_back(*vid);
+      payloads_.push_back(payload);
+    }
+    if (final_payload != nullptr) *final_payload = payload;
+    return chain;
+  }
+
+  std::vector<std::string> payloads_;
+};
+
+TEST_F(SkipDeltaTest, ChainLengthIsLogarithmicInDepth) {
+  SetUpRawType();
+  constexpr int kDepth = 300;
+  std::vector<VersionId> chain = BuildChain(kDepth, nullptr);
+
+  uint32_t max_chain = 0;
+  uint64_t delta_versions = 0;
+  for (int i = 0; i < kDepth; ++i) {
+    auto meta = db_->Meta(chain[i]);
+    ASSERT_TRUE(meta.ok()) << meta.status();
+    if (meta->kind == PayloadKind::kDelta) {
+      ++delta_versions;
+      // Position p sits popcount(p) links from its keyframe; a delta forced
+      // full (delta_max_ratio) only SHORTENS descendants' chains.
+      EXPECT_LE(meta->delta_chain_len, SkipChainBound(meta->delta_pos))
+          << "version " << i;
+    } else {
+      EXPECT_EQ(meta->delta_chain_len, 0u) << "version " << i;
+    }
+    max_chain = std::max(max_chain, meta->delta_chain_len);
+  }
+  // The topology must actually be storing deltas...
+  EXPECT_GT(delta_versions, static_cast<uint64_t>(kDepth) / 2);
+  // ...and the deepest chain must be logarithmic, not linear.
+  EXPECT_LE(max_chain, WorstChainBelow(kDepth));  // <= 9 for depth 300.
+  EXPECT_GT(max_chain, 1u);
+}
+
+TEST_F(SkipDeltaTest, ColdReadsMaterializeEveryDepthCorrectly) {
+  SetUpRawType();
+  constexpr int kDepth = 128;
+  std::vector<VersionId> chain = BuildChain(kDepth, nullptr);
+  ReopenDb();  // Drop all caches: reads below walk real skip chains.
+  for (int i = 0; i < kDepth; ++i) {
+    EXPECT_EQ(MustRead(chain[i]), payloads_[i]) << "depth " << i;
+  }
+  auto report = CheckDatabase(*db_);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+}
+
+TEST_F(SkipDeltaTest, DeletingSkipAncestorRematerializesDependents) {
+  SetUpRawType();
+  constexpr int kDepth = 48;
+  std::vector<VersionId> chain = BuildChain(kDepth, nullptr);
+  // Delete versions other chains delta against, including the keyframe's
+  // immediate successors and a power-of-two position (a popular skip base).
+  for (int victim : {1, 16, 32, 33}) {
+    ASSERT_OK(db_->PdeleteVersion(chain[victim]));
+  }
+  for (int i = 0; i < kDepth; ++i) {
+    if (i == 1 || i == 16 || i == 32 || i == 33) continue;
+    EXPECT_EQ(MustRead(chain[i]), payloads_[i]) << "depth " << i;
+  }
+  auto report = CheckDatabase(*db_);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+}
+
+/// Same workload under the linear topology: chains grow with depth, which is
+/// exactly the behaviour kSkip exists to avoid.
+class LinearDeltaTest : public SkipDeltaTest {
+ protected:
+  DatabaseOptions MakeOptions() override {
+    DatabaseOptions options = SkipDeltaTest::MakeOptions();
+    options.delta_topology = DeltaTopology::kLinear;
+    options.delta_keyframe_interval = 64;
+    return options;
+  }
+};
+
+TEST_F(LinearDeltaTest, ChainsGrowLinearlyBetweenKeyframes) {
+  SetUpRawType();
+  constexpr int kDepth = 200;
+  std::vector<VersionId> chain = BuildChain(kDepth, nullptr);
+  uint32_t max_chain = 0;
+  for (const VersionId& vid : chain) {
+    auto meta = db_->Meta(vid);
+    ASSERT_TRUE(meta.ok()) << meta.status();
+    max_chain = std::max(max_chain, meta->delta_chain_len);
+  }
+  // Deep linear chains (up to the keyframe interval), where skip stays ~log.
+  EXPECT_GT(max_chain, WorstChainBelow(kDepth));
+  EXPECT_LE(max_chain, 64u);
+  for (int i = 0; i < kDepth; ++i) {
+    EXPECT_EQ(MustRead(chain[i]), payloads_[i]) << "depth " << i;
+  }
+  auto report = CheckDatabase(*db_);
+  ASSERT_TRUE(report.ok()) << report.status();
+  EXPECT_TRUE(report->ok()) << report->errors.front();
+}
+
+}  // namespace
+}  // namespace ode

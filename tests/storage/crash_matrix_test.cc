@@ -187,6 +187,71 @@ TEST(CrashMatrixTest, VacuumInterruptedMidRebuild) {
   RunWithFloor(w, /*min_injections=*/90);
 }
 
+// Content-addressed ref/unref churn: duplicate payloads across objects make
+// every pnew/update/delete a refcount edit in the payload store, so the
+// sweep crashes between blob insertion, refcount bumps and frees.  Each
+// recovery runs the full fsck, whose pass 3 audits every blob's refcount
+// against the referencing versions — a torn ref/unref surfaces as an orphan
+// blob, a dangling reference, or a count mismatch.
+TEST(CrashMatrixTest, DedupedPayloadRefcountChurn) {
+  Workload w;
+  w.name = "dedupe_refs";
+  const std::string shared_a(120, 'A');
+  const std::string shared_b(96, 'B');
+  // Objects 1-4 all share blob A; objects 5-6 share blob B.
+  for (int i = 0; i < 4; ++i) w.ops.push_back(Pnew("doc", shared_a));
+  for (int i = 0; i < 2; ++i) w.ops.push_back(Pnew("doc", shared_b));
+  // newversion shares the base's blob (pure ref); updates move references
+  // between blobs (insert-before-release ordering under crash).
+  w.ops.push_back(NewVersion(1));
+  w.ops.push_back(Update(1, shared_b));   // A loses a ref, B gains one.
+  w.ops.push_back(Update(2, shared_a));   // Same-content rewrite: rc 2->1->2.
+  w.ops.push_back(NewVersion(5));
+  w.ops.push_back(Update(5, shared_a));
+  // Deletes walk refcounts down; the LAST unref frees the heap record.
+  w.ops.push_back(PdeleteObject(3));
+  w.ops.push_back(PdeleteObject(4));
+  w.ops.push_back(PdeleteVersion(1, 2));
+  w.ops.push_back(PdeleteObject(2));
+  w.ops.push_back(PdeleteObject(1));      // Blob A's refs head toward zero.
+  w.ops.push_back(PdeleteObject(6));
+  w.ops.push_back(Update(5, "unique payload, last blob standing"));
+  RunWithFloor(w, /*min_injections=*/150);
+}
+
+// The incremental vacuum path driven step by step: crashes land between
+// bounded shadow-copy transactions and inside the final swap, with ordinary
+// commits interleaved so the interference fallback is swept too.
+TEST(CrashMatrixTest, IncrementalVacuumStepsInterleavedWithWrites) {
+  Workload w;
+  w.name = "vacuum_steps";
+  const auto steps_until_done = [](Database& db) -> Status {
+    while (true) {
+      auto done = db.VacuumStep(4);
+      if (!done.ok()) return done.status();
+      if (*done) return Status::OK();
+    }
+  };
+  w.ops = {
+      Pnew("doc", std::string(100, 'v')),
+      Pnew("doc", std::string(100, 'w')),
+      Pnew("doc", std::string(100, 'v')),  // Duplicate: refcounted blob.
+      NewVersion(1),
+      PdeleteObject(2),
+      [](Database& db) -> Status {
+        // A lone bounded step (copies at most 4 entries, commits, leaves
+        // the shadow parked in the scratch slot)...
+        return db.VacuumStep(4).status();
+      },
+      Update(1, std::string(90, 'u')),  // ...then a foreign commit...
+      [steps_until_done](Database& db) -> Status {
+        return steps_until_done(db);  // ...forcing the fallback mid-pass.
+      },
+      Pnew("doc", "post-vacuum"),
+  };
+  RunWithFloor(w, /*min_injections=*/150);
+}
+
 // Acceptance criterion: a failed fsync during Commit must surface as a
 // non-OK Status from the mutating call, and the engine must refuse further
 // transactions (the unsynced WAL tail could otherwise become durable later,

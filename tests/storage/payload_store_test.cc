@@ -1,0 +1,208 @@
+#include "storage/payload_store.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "storage/storage_engine.h"
+#include "tests/testing/util.h"
+#include "util/hash128.h"
+
+namespace ode {
+namespace {
+
+class PayloadStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Open(); }
+
+  void Open() {
+    StorageOptions options;
+    options.env = &env_;
+    options.path = "/db";
+    auto engine = StorageEngine::Open(options);
+    ASSERT_TRUE(engine.ok()) << engine.status();
+    engine_ = std::move(*engine);
+  }
+
+  void Reopen() {
+    engine_.reset();
+    Open();
+  }
+
+  PayloadStore& store() { return engine_->payload_store(); }
+  HeapFile& heap() { return engine_->heap(); }
+
+  /// Ref inside its own transaction; returns (rid, hash).
+  std::pair<RecordId, Hash128> MustRef(const std::string& payload) {
+    RecordId rid;
+    Hash128 hash;
+    EXPECT_OK(engine_->WithTxn([&](Txn& txn) -> Status {
+      auto r = store().Ref(&txn, heap(), Slice(payload), &hash);
+      if (!r.ok()) return r.status();
+      rid = *r;
+      return Status::OK();
+    }));
+    return {rid, hash};
+  }
+
+  MemEnv env_;
+  std::unique_ptr<StorageEngine> engine_;
+};
+
+TEST_F(PayloadStoreTest, FirstRefInsertsSecondRefShares) {
+  const std::string payload(300, 'p');
+  auto [rid1, hash1] = MustRef(payload);
+  auto [rid2, hash2] = MustRef(payload);
+  EXPECT_EQ(hash1, hash2);
+  EXPECT_TRUE(rid1 == rid2);  // One physical record.
+  EXPECT_EQ(store().blobs_created()->value(), 1u);
+  EXPECT_EQ(store().dedupe_hits()->value(), 1u);
+  EXPECT_EQ(store().dedupe_bytes_saved()->value(), payload.size());
+  ASSERT_OK(engine_->WithReadTxn([&](ReadTxn& txn) -> Status {
+    auto entry = store().Lookup(&txn, hash1);
+    if (!entry.ok()) return entry.status();
+    EXPECT_EQ(entry->refcount, 2u);
+    EXPECT_EQ(entry->size, payload.size());
+    return Status::OK();
+  }));
+}
+
+TEST_F(PayloadStoreTest, DistinctPayloadsGetDistinctBlobs) {
+  auto [rid_a, hash_a] = MustRef("payload A");
+  auto [rid_b, hash_b] = MustRef("payload B");
+  EXPECT_NE(hash_a, hash_b);
+  EXPECT_FALSE(rid_a == rid_b);
+  EXPECT_EQ(store().blobs_created()->value(), 2u);
+  EXPECT_EQ(store().dedupe_hits()->value(), 0u);
+}
+
+TEST_F(PayloadStoreTest, UnrefFreesAtZero) {
+  const std::string payload = "ephemeral";
+  auto [rid, hash] = MustRef(payload);
+  MustRef(payload);  // refcount 2
+  ASSERT_OK(engine_->WithTxn([&](Txn& txn) -> Status {
+    return store().Unref(&txn, heap(), hash, rid);
+  }));
+  // Still present at refcount 1: the bytes must remain readable.
+  ASSERT_OK(engine_->WithReadTxn([&](ReadTxn& txn) -> Status {
+    auto entry = store().Lookup(&txn, hash);
+    if (!entry.ok()) return entry.status();
+    EXPECT_EQ(entry->refcount, 1u);
+    auto bytes = heap().Read(&txn, entry->rid);
+    if (!bytes.ok()) return bytes.status();
+    EXPECT_EQ(*bytes, payload);
+    return Status::OK();
+  }));
+  ASSERT_OK(engine_->WithTxn([&](Txn& txn) -> Status {
+    return store().Unref(&txn, heap(), hash, rid);
+  }));
+  EXPECT_EQ(store().blobs_freed()->value(), 1u);
+  ASSERT_OK(engine_->WithReadTxn([&](ReadTxn& txn) -> Status {
+    EXPECT_TRUE(store().Lookup(&txn, hash).status().IsNotFound());
+    return Status::OK();
+  }));
+}
+
+TEST_F(PayloadStoreTest, UnrefOfMissingBlobIsCorruption) {
+  const Hash128 bogus = HashPayload128(Slice("never stored"));
+  Status s = engine_->WithTxn([&](Txn& txn) -> Status {
+    return store().Unref(&txn, heap(), bogus, RecordId{});
+  });
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(PayloadStoreTest, UnrefWithWrongRecordIdIsCorruption) {
+  auto [rid, hash] = MustRef("guarded");
+  RecordId wrong = rid;
+  wrong.slot = rid.slot + 1;
+  Status s = engine_->WithTxn([&](Txn& txn) -> Status {
+    return store().Unref(&txn, heap(), hash, wrong);
+  });
+  EXPECT_TRUE(s.IsCorruption()) << s.ToString();
+}
+
+TEST_F(PayloadStoreTest, RefExistingRequiresPresence) {
+  const Hash128 bogus = HashPayload128(Slice("absent"));
+  Status s = engine_->WithTxn([&](Txn& txn) -> Status {
+    return store().RefExisting(&txn, bogus).status();
+  });
+  EXPECT_TRUE(s.IsNotFound()) << s.ToString();
+  auto [rid, hash] = MustRef("present");
+  ASSERT_OK(engine_->WithTxn([&](Txn& txn) -> Status {
+    auto r = store().RefExisting(&txn, hash);
+    if (!r.ok()) return r.status();
+    EXPECT_TRUE(*r == rid);
+    return Status::OK();
+  }));
+  ASSERT_OK(engine_->WithReadTxn([&](ReadTxn& txn) -> Status {
+    auto entry = store().Lookup(&txn, hash);
+    if (!entry.ok()) return entry.status();
+    EXPECT_EQ(entry->refcount, 2u);
+    return Status::OK();
+  }));
+}
+
+TEST_F(PayloadStoreTest, EmptyStoreReadsAreSafe) {
+  // Lookup/ForEach on a database whose payload index was never created must
+  // not try to create the tree under a read-only transaction.
+  ASSERT_OK(engine_->WithReadTxn([&](ReadTxn& txn) -> Status {
+    EXPECT_TRUE(
+        store().Lookup(&txn, HashPayload128(Slice("x"))).status().IsNotFound());
+    uint64_t seen = 0;
+    ODE_RETURN_IF_ERROR(store().ForEach(
+        &txn, [&](const Hash128&, const PayloadStoreEntry&) {
+          ++seen;
+          return true;
+        }));
+    EXPECT_EQ(seen, 0u);
+    return Status::OK();
+  }));
+}
+
+TEST_F(PayloadStoreTest, RefcountsSurviveReopen) {
+  const std::string payload(128, 'd');
+  auto [rid, hash] = MustRef(payload);
+  MustRef(payload);
+  MustRef(payload);
+  Reopen();
+  ASSERT_OK(engine_->WithReadTxn([&](ReadTxn& txn) -> Status {
+    auto entry = store().Lookup(&txn, hash);
+    if (!entry.ok()) return entry.status();
+    EXPECT_EQ(entry->refcount, 3u);
+    EXPECT_TRUE(entry->rid == rid);
+    auto bytes = heap().Read(&txn, entry->rid);
+    if (!bytes.ok()) return bytes.status();
+    EXPECT_EQ(*bytes, payload);
+    return Status::OK();
+  }));
+}
+
+TEST_F(PayloadStoreTest, ForEachVisitsEveryEntryInHashOrder) {
+  std::map<Hash128, std::string> expected;
+  for (int i = 0; i < 20; ++i) {
+    const std::string payload = "blob-" + std::to_string(i);
+    auto [rid, hash] = MustRef(payload);
+    (void)rid;
+    expected[hash] = payload;
+  }
+  ASSERT_OK(engine_->WithReadTxn([&](ReadTxn& txn) -> Status {
+    Hash128 prev{};
+    uint64_t seen = 0;
+    ODE_RETURN_IF_ERROR(store().ForEach(
+        &txn, [&](const Hash128& hash, const PayloadStoreEntry& entry) {
+          EXPECT_TRUE(seen == 0 || prev < hash);  // Hash order.
+          EXPECT_EQ(entry.refcount, 1u);
+          EXPECT_TRUE(expected.count(hash) == 1);
+          prev = hash;
+          ++seen;
+          return true;
+        }));
+    EXPECT_EQ(seen, expected.size());
+    return Status::OK();
+  }));
+}
+
+}  // namespace
+}  // namespace ode

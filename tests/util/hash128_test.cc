@@ -1,0 +1,100 @@
+#include "util/hash128.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+namespace ode {
+namespace {
+
+TEST(Hash128Test, DeterministicAcrossCalls) {
+  const std::string payload = "the quick brown fox jumps over the lazy dog";
+  const Hash128 a = HashPayload128(Slice(payload));
+  const Hash128 b = HashPayload128(Slice(payload));
+  EXPECT_EQ(a, b);
+}
+
+TEST(Hash128Test, GoldenVectors) {
+  // Pinned outputs: the hash keys PERSISTED index entries, so any change to
+  // the function is a disk-format change and must fail loudly here.
+  struct Vector {
+    const char* input;
+    uint64_t lo;
+    uint64_t hi;
+  };
+  const Vector vectors[] = {
+      {"", 0x94031e01d8b84f36ull, 0x07bb2ffd0801feb5ull},
+      {"a", 0xab5865433c3bc62cull, 0x72a75dc52caac619ull},
+      {"abc", 0x2dfcc3b4f21d252aull, 0x3fc96d020658f628ull},
+      {"hello world", 0x6e4e6a950b4c0838ull, 0xda3924c9e0dafa6dull},
+      {"The quick brown fox jumps over the lazy dog",
+       0x298b39ff72199a66ull, 0x7ca6927c50acda7dull},
+  };
+  for (const Vector& v : vectors) {
+    const Hash128 h = HashPayload128(Slice(v.input));
+    EXPECT_EQ(h.lo, v.lo) << "input: \"" << v.input << "\"";
+    EXPECT_EQ(h.hi, v.hi) << "input: \"" << v.input << "\"";
+  }
+}
+
+TEST(Hash128Test, NeverReturnsZero) {
+  // The zero hash is VersionMeta's "not content-addressed" sentinel; the
+  // hash function maps any accidental all-zero digest away from it.
+  EXPECT_FALSE(HashPayload128(Slice("")).IsZero());
+  EXPECT_FALSE(HashPayload128(Slice("x")).IsZero());
+  std::string zeros(4096, '\0');
+  EXPECT_FALSE(HashPayload128(Slice(zeros)).IsZero());
+}
+
+TEST(Hash128Test, SmallPerturbationsChangeEverything) {
+  std::string base(1024, 'q');
+  const Hash128 h0 = HashPayload128(Slice(base));
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  seen.insert({h0.lo, h0.hi});
+  for (size_t i = 0; i < base.size(); i += 37) {
+    std::string flipped = base;
+    flipped[i] ^= 1;
+    const Hash128 h = HashPayload128(Slice(flipped));
+    EXPECT_NE(h, h0) << "flip at " << i;
+    EXPECT_TRUE(seen.insert({h.lo, h.hi}).second) << "collision at " << i;
+  }
+}
+
+TEST(Hash128Test, LengthExtensionDistinct) {
+  // Same prefix, different lengths must not collide (length is mixed into
+  // the seed).
+  const std::string payload(64, 'z');
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (size_t len = 0; len <= payload.size(); ++len) {
+    const Hash128 h = HashPayload128(Slice(payload.data(), len));
+    EXPECT_TRUE(seen.insert({h.lo, h.hi}).second) << "collision at len " << len;
+  }
+}
+
+TEST(Hash128Test, EncodeDecodeRoundTrip) {
+  const Hash128 h = HashPayload128(Slice("roundtrip"));
+  const std::string encoded = h.Encode();
+  ASSERT_EQ(encoded.size(), 16u);
+  Hash128 decoded;
+  ASSERT_TRUE(Hash128::Decode(Slice(encoded), &decoded));
+  EXPECT_EQ(decoded, h);
+  EXPECT_FALSE(Hash128::Decode(Slice("short"), &decoded));
+}
+
+TEST(Hash128Test, EncodedOrderMatchesComparison) {
+  // The B+tree stores Encode() and orders by memcmp; operator< must agree so
+  // in-memory reasoning about index order holds.
+  const Hash128 a = HashPayload128(Slice("a"));
+  const Hash128 b = HashPayload128(Slice("b"));
+  EXPECT_EQ(a < b, a.Encode() < b.Encode());
+  EXPECT_EQ(b < a, b.Encode() < a.Encode());
+}
+
+TEST(Hash128Test, ToHexIsStable) {
+  const Hash128 h{0x0123456789abcdefull, 0xfedcba9876543210ull};
+  EXPECT_EQ(h.ToHex(), "fedcba98765432100123456789abcdef");
+}
+
+}  // namespace
+}  // namespace ode

@@ -26,11 +26,15 @@
 #include <optional>
 #include <string>
 
+#include <algorithm>
+#include <map>
+
 #include "core/check.h"
 #include "core/cursor.h"
 #include "core/database.h"
 #include "policy/history.h"
 #include "storage/env.h"
+#include "storage/payload_store.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -250,12 +254,17 @@ int Verify(ode::Database& db) {
               " versions cross-checked\n",
               objects, versions);
 
-  // The payload/cluster half of the story: materialize everything.
+  // The payload/cluster half of the story: materialize everything.  The
+  // check includes the content-addressed store audit (pass 3): refcounts
+  // against referencing metas, no orphan blobs, no dangling references.
   auto report = ode::CheckDatabase(db);
   if (!report.ok()) return Fail(report.status());
   for (const std::string& error : report->errors) violation(error);
   std::printf("payloads: %" PRIu64 " bytes materialized\n",
               report->payload_bytes);
+  std::printf("refcounts: %" PRIu64 " blobs audited against %" PRIu64
+              " version references\n",
+              report->payload_blobs_checked, report->payload_refs_checked);
 
   if (violations > 0) {
     std::printf("verify FAILED: %" PRIu64 " violations\n", violations);
@@ -353,10 +362,79 @@ int Caches(ode::Database& db) {
   return 0;
 }
 
+// Physical payload topology: dedupe effectiveness of the content-addressed
+// store plus the shape of the delta graph.
+int PrintPayloadSection(ode::Database& db) {
+  // Version-side tally: chain depths and how many metas reference the store.
+  uint64_t versions = 0, delta_versions = 0, hashed_refs = 0;
+  uint64_t chain_depth_sum = 0, chain_depth_max = 0;
+  uint64_t logical_bytes = 0;
+  ode::Status inner = ode::Status::OK();
+  ode::Status s =
+      db.ForEachObject([&](ode::ObjectId oid, const ode::ObjectHeader&) {
+        inner = db.ForEachVersion(
+            oid, [&](ode::VersionId, const ode::VersionMeta& meta) {
+              ++versions;
+              logical_bytes += meta.logical_size;
+              if (meta.kind == ode::PayloadKind::kDelta) {
+                ++delta_versions;
+                chain_depth_sum += meta.delta_chain_len;
+                chain_depth_max =
+                    std::max<uint64_t>(chain_depth_max, meta.delta_chain_len);
+              }
+              if (!meta.content_hash.IsZero()) ++hashed_refs;
+              return true;
+            });
+        return inner.ok();
+      });
+  if (!inner.ok()) return Fail(inner);
+  if (!s.ok()) return Fail(s);
+  // Store-side tally: unique blobs, stored bytes, refcount distribution.
+  uint64_t blobs = 0, stored_bytes = 0, total_refs = 0;
+  std::map<uint64_t, uint64_t> refcount_histogram;
+  s = db.storage().WithReadTxn([&](ode::ReadTxn& txn) -> ode::Status {
+    return db.storage().payload_store().ForEach(
+        &txn,
+        [&](const ode::Hash128&, const ode::PayloadStoreEntry& entry) {
+          ++blobs;
+          stored_bytes += entry.size;
+          total_refs += entry.refcount;
+          ++refcount_histogram[entry.refcount];
+          return true;
+        });
+  });
+  if (!s.ok()) return Fail(s);
+  std::printf("--- payloads ---\n");
+  std::printf("versions:       %" PRIu64 " (%" PRIu64 " delta, %" PRIu64
+              " content-addressed)\n",
+              versions, delta_versions, hashed_refs);
+  std::printf("unique blobs:   %" PRIu64 " holding %" PRIu64
+              " bytes (logical %" PRIu64 " bytes)\n",
+              blobs, stored_bytes, logical_bytes);
+  std::printf("dedupe ratio:   %.2f references/blob\n",
+              blobs == 0 ? 0.0 : static_cast<double>(total_refs) /
+                                     static_cast<double>(blobs));
+  std::printf("chain depth:    mean %.2f, max %" PRIu64 "\n",
+              delta_versions == 0
+                  ? 0.0
+                  : static_cast<double>(chain_depth_sum) /
+                        static_cast<double>(delta_versions),
+              chain_depth_max);
+  std::printf("refcounts:      ");
+  bool first = true;
+  for (const auto& [refcount, count] : refcount_histogram) {
+    std::printf("%s%" PRIu64 "x%" PRIu64, first ? "" : ", ", count, refcount);
+    first = false;
+  }
+  std::printf("%s\n", first ? "(store empty)" : "");
+  return 0;
+}
+
 // Runs one read pass, then renders the whole metrics registry: counters,
 // gauges, and histogram percentiles, sorted by name.
 int Stats(ode::Database& db) {
   if (ode::Status s = ReadPass(db); !s.ok()) return Fail(s);
+  if (int rc = PrintPayloadSection(db); rc != 0) return rc;
   // Group-commit health up front: the commits/fsync ratio is THE number
   // that says whether concurrent writers are actually sharing fsyncs
   // (1.00 = solo-writer discipline; higher = batching is working), and a
