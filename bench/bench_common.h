@@ -124,14 +124,26 @@ class LatencyRecorder {
 #ifdef BENCHMARK_BENCHMARK_H_
 
 /// Adds run-provenance keys to the benchmark JSON "context" object:
-/// hardware_concurrency (how parallel the host is — interprets the
-/// _Concurrent suites) and git_sha (which commit produced the numbers;
-/// tools/run_bench.sh exports ODE_GIT_SHA).  Must run before
-/// benchmark::Initialize.
-inline void AddStandardContext() {
-  benchmark::AddCustomContext(
-      "hardware_concurrency",
-      std::to_string(std::thread::hardware_concurrency()));
+/// cpu_count / hardware_concurrency (how parallel the host is — interprets
+/// the _Concurrent suites) and git_sha (which commit produced the numbers;
+/// tools/run_bench.sh exports ODE_GIT_SHA).  `max_threads` is the widest
+/// ->Threads(N) the suite configures; when it exceeds the host's CPU count
+/// the context records an explicit oversubscription warning, so a
+/// BENCH_*.json from a small container is never mistaken for a scaling
+/// measurement.  Must run before benchmark::Initialize.
+inline void AddStandardContext(unsigned max_threads = 1) {
+  const unsigned cpu_count = std::thread::hardware_concurrency();
+  benchmark::AddCustomContext("cpu_count", std::to_string(cpu_count));
+  benchmark::AddCustomContext("hardware_concurrency",
+                              std::to_string(cpu_count));
+  if (max_threads > cpu_count && cpu_count > 0) {
+    benchmark::AddCustomContext(
+        "warning_cpu_oversubscribed",
+        "suite configures up to " + std::to_string(max_threads) +
+            " threads on a " + std::to_string(cpu_count) +
+            "-cpu host; multi-thread results measure contention, not "
+            "parallel scaling");
+  }
   const char* sha = std::getenv("ODE_GIT_SHA");
   benchmark::AddCustomContext("git_sha", sha != nullptr ? sha : "unknown");
 }
@@ -142,10 +154,14 @@ inline void AddStandardContext() {
 }  // namespace ode
 
 /// Drop-in replacement for BENCHMARK_MAIN() that stamps the standard
-/// context keys into the JSON output first.
-#define ODE_BENCH_MAIN()                                      \
+/// context keys into the JSON output first.  Suites that register
+/// ->Threads(N) must use ODE_BENCH_MAIN_THREADS with their widest N so the
+/// context can flag CPU oversubscription.
+#define ODE_BENCH_MAIN() ODE_BENCH_MAIN_THREADS(1)
+
+#define ODE_BENCH_MAIN_THREADS(max_threads)                   \
   int main(int argc, char** argv) {                           \
-    ode::bench::AddStandardContext();                         \
+    ode::bench::AddStandardContext(max_threads);              \
     benchmark::Initialize(&argc, argv);                       \
     if (benchmark::ReportUnrecognizedArguments(argc, argv)) { \
       return 1;                                               \

@@ -389,4 +389,4 @@ BENCHMARK(BM_Concurrent_WriterScaling_BatchSweep)
 }  // namespace bench
 }  // namespace ode
 
-ODE_BENCH_MAIN()
+ODE_BENCH_MAIN_THREADS(8)

@@ -7,6 +7,7 @@
 #include "bench/bench_common.h"
 #include "storage/btree.h"
 #include "storage/storage_engine.h"
+#include "util/event_log.h"
 
 namespace ode {
 namespace bench {
@@ -18,13 +19,15 @@ struct BenchEngine {
   StorageEngine* operator->() { return engine.get(); }
 };
 
-BenchEngine OpenEngine(size_t pool_pages = 4096) {
+BenchEngine OpenEngine(size_t pool_pages = 4096,
+                       EventLog* event_log = nullptr) {
   BenchEngine handle;
   handle.env = std::make_unique<MemEnv>();
   StorageOptions options;
   options.env = handle.env.get();
   options.path = "/bench";
   options.buffer_pool_pages = pool_pages;
+  options.event_log = event_log;
   auto engine = StorageEngine::Open(options);
   ODE_CHECK(engine.ok());
   handle.engine = std::move(*engine);
@@ -141,6 +144,30 @@ void BM_TxnBatchedWrites(benchmark::State& state) {
 }
 BENCHMARK(BM_TxnBatchedWrites)->Arg(1)->Arg(16)->Arg(256);
 
+// Flight-recorder overhead on the commit hot path: the same single-Put
+// commit loop with the event journal detached (Arg 0) vs attached (Arg 1).
+// The ISSUE budget is <= 2% — the journaled run records one fixed-size ring
+// append per commit (plus the group-commit batch record on the leader), no
+// allocation, no shared lock.  Compare the two rows' real_time directly.
+void BM_TxnCommitEventLog(benchmark::State& state) {
+  const bool journaled = state.range(0) != 0;
+  EventLog log;  // Outlives (declared before) the engine that records to it.
+  BenchEngine engine = OpenEngine(4096, journaled ? &log : nullptr);
+  uint64_t counter = 0;
+  for (auto _ : state) {
+    Status s = engine->WithTxn([&](Txn& txn) -> Status {
+      auto tree = BTree::Open(&txn, 4);
+      if (!tree.ok()) return tree.status();
+      return tree->Put(Slice("key" + std::to_string(counter++)),
+                       Slice("value"));
+    });
+    ODE_CHECK(s.ok());
+  }
+  state.SetLabel(journaled ? "event_log_on" : "event_log_off");
+  ReportOps(state);
+}
+BENCHMARK(BM_TxnCommitEventLog)->Arg(0)->Arg(1);
+
 // Buffer-pool hit ratio: random point reads over a working set larger or
 // smaller than the pool.
 void BM_PoolHitRatio(benchmark::State& state) {
@@ -183,4 +210,4 @@ BENCHMARK(BM_PoolHitRatio)->Arg(64)->Arg(512)->Arg(2048)->Arg(8192);
 }  // namespace bench
 }  // namespace ode
 
-BENCHMARK_MAIN();
+ODE_BENCH_MAIN()

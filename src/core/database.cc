@@ -1,6 +1,7 @@
 #include "core/database.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "core/cursor.h"
 #include "core/delta.h"
@@ -11,6 +12,39 @@
 namespace ode {
 
 namespace {
+
+/// Deadline watcher for the read path: journals + force-traces a dereference
+/// that blew its threshold.  A zero threshold (the default) costs one branch
+/// and reads no clock.
+class SlowOpGuard {
+ public:
+  SlowOpGuard(EventLog* log, Tracer* tracer, const char* op,
+              uint32_t threshold_us)
+      : log_(log),
+        tracer_(tracer),
+        op_(op),
+        threshold_us_(threshold_us),
+        start_ns_(threshold_us == 0 ? 0 : Histogram::NowNanos()) {}
+
+  ~SlowOpGuard() {
+    if (threshold_us_ == 0) return;
+    const uint64_t end_ns = Histogram::NowNanos();
+    const uint64_t duration_us = (end_ns - start_ns_) / 1000;
+    if (duration_us < threshold_us_) return;
+    log_->Record(EventType::kSlowOp, EventSeverity::kWarn, duration_us,
+                 threshold_us_, 0, op_);
+    // Unconditional span — the one operation that blew its deadline must be
+    // visible regardless of the sampling rate.
+    if (tracer_ != nullptr) tracer_->Record(op_, "slow", start_ns_, end_ns);
+  }
+
+ private:
+  EventLog* log_;
+  Tracer* tracer_;
+  const char* op_;
+  uint32_t threshold_us_;
+  uint64_t start_ns_;
+};
 
 /// Identity delta: COPY the whole base.  Lets newversion run without
 /// materializing the base payload (the "small changes have small impact"
@@ -114,6 +148,15 @@ Status DatabaseOptions::Validate() const {
     return Status::InvalidArgument(
         "trace_sample_every must be 0 (off) or a power of two");
   }
+  if (event_log_buffer_events < 1) {
+    return Status::InvalidArgument("event_log_buffer_events must be >= 1");
+  }
+  if (event_log_ring_events < 1) {
+    return Status::InvalidArgument("event_log_ring_events must be >= 1");
+  }
+  if (diagnostics_retain < 1) {
+    return Status::InvalidArgument("diagnostics_retain must be >= 1");
+  }
   return Status::OK();
 }
 
@@ -132,6 +175,10 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
   db->deref_sampler_ = Sampler(options.metrics_sample_every);
   db->tracer_ = std::make_unique<Tracer>(options.trace_buffer_events);
   db->tracer_->set_sample_every(options.trace_sample_every);
+  db->event_log_ = std::make_unique<EventLog>(options.event_log_buffer_events,
+                                              options.event_log_ring_events,
+                                              options.clock);
+  db->event_log_->set_enabled(options.event_log_enabled);
   db->payload_cache_ = std::make_unique<VersionPayloadCache>(
       options.payload_cache_bytes, options.payload_cache_shards);
   db->latest_cache_ = std::make_unique<LatestVersionCache>(
@@ -141,6 +188,24 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
   StorageOptions storage = options.storage;
   if (storage.metrics == nullptr) storage.metrics = db->registry_;
   if (storage.tracer == nullptr) storage.tracer = db->tracer_.get();
+  if (storage.event_log == nullptr) storage.event_log = db->event_log_.get();
+  // Flight recorder: when the engine poisons itself, its background thread
+  // fires this hook — dump everything while the evidence is fresh.  A
+  // caller-supplied hook chains after the dump.
+  {
+    Database* raw = db.get();
+    auto user_diag = std::move(storage.on_diagnostics);
+    storage.on_diagnostics = [raw, user_diag = std::move(user_diag)](
+                                 const char* trigger) {
+      auto dump = raw->DumpDiagnostics(trigger);
+      if (!dump.ok()) {
+        // Best-effort by design: the usual cause is that the same disk
+        // failure that poisoned the engine also refuses the dump write.
+        ODE_LOG_WARN << "diagnostics dump failed: " << dump.status();
+      }
+      if (user_diag) user_diag(trigger);
+    };
+  }
   // Drive the cache epochs from the engine's apply hooks: they run under the
   // exclusive apply latch, where apply sections are strictly serialized even
   // though durable-commit waits overlap — the single-writer discipline the
@@ -186,6 +251,14 @@ StatusOr<std::unique_ptr<Database>> Database::Open(
     return Status::OK();
   });
   if (!s.ok()) return s;
+  if (options.stats_export_interval_ms > 0) {
+    // First export synchronously so a misconfigured directory fails the open
+    // (and short-lived databases still leave a file behind), then refresh in
+    // the background.
+    ODE_RETURN_IF_ERROR(db->ExportMetricsFile());
+    Database* raw = db.get();
+    db->stats_exporter_ = std::thread([raw] { raw->StatsExporterLoop(); });
+  }
   return db;
 }
 
@@ -193,6 +266,40 @@ Database::~Database() {
   if (user_txn_.load(std::memory_order_acquire) != nullptr) {
     Status s = Abort();
     if (!s.ok()) { ODE_LOG_WARN << "abort on close failed: " << s; }
+  }
+  if (stats_exporter_.joinable()) {
+    {
+      MutexLock lock(exporter_mu_);
+      exporter_stop_ = true;
+      exporter_cv_.NotifyAll();
+    }
+    stats_exporter_.join();
+    // Final export: the file reflects the session's closing totals.
+    Status s = ExportMetricsFile();
+    if (!s.ok()) { ODE_LOG_WARN << "final metrics export failed: " << s; }
+  }
+  // Shut the engine's background work down while engine_ is still set: the
+  // poison-diagnostics hook re-enters DumpDiagnostics, which walks engine_,
+  // and unique_ptr::reset nulls engine_ BEFORE ~StorageEngine would fire the
+  // hook.  Then destroy the engine from the destructor body, NOT via member
+  // order: the hook also reads members (diag_mu_, vacuum_mu_, triggers)
+  // declared after engine_ and therefore already gone once default member
+  // destruction reaches the engine.
+  if (engine_ != nullptr) engine_->Shutdown();
+  engine_.reset();
+}
+
+void Database::StatsExporterLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.stats_export_interval_ms);
+  for (;;) {
+    {
+      MutexLock lock(exporter_mu_);
+      if (!exporter_stop_) (void)exporter_cv_.WaitFor(exporter_mu_, interval);
+      if (exporter_stop_) return;
+    }
+    Status s = ExportMetricsFile();
+    if (!s.ok()) { ODE_LOG_WARN << "metrics export failed: " << s; }
   }
 }
 
@@ -884,6 +991,8 @@ StatusOr<std::string> Database::ReadVersion(VersionId vid) {
   ScopedLatency timer(sampled ? metrics_.deref_version_ns : nullptr);
   TraceSpan span(sampled ? tracer_.get() : nullptr, "core.deref_version",
                  "core");
+  SlowOpGuard slow(event_log_.get(), tracer_.get(), "slow.deref_version",
+                   options_.slow_deref_us);
   // Hot path: a resident payload needs no transaction and no catalog lookup.
   // Safe even inside an open transaction: mutators invalidate immediately,
   // so residency implies the entry reflects the current (possibly
@@ -909,6 +1018,8 @@ StatusOr<std::string> Database::ReadLatest(ObjectId oid, VersionId* resolved) {
   ScopedLatency timer(sampled ? metrics_.deref_latest_ns : nullptr);
   TraceSpan span(sampled ? tracer_.get() : nullptr, "core.deref_latest",
                  "core");
+  SlowOpGuard slow(event_log_.get(), tracer_.get(), "slow.deref_latest",
+                   options_.slow_deref_us);
   // Hot path for the generic (late-bound) dereference: resolve oid -> latest
   // through the resolution cache, then the payload through the payload cache;
   // a double hit touches neither the catalog nor the heap.
@@ -1393,8 +1504,10 @@ Status Database::Vacuum() {
 }
 
 Status Database::VacuumTreeStep(Txn& txn, int slot, uint64_t max_entries,
-                                VacuumState* st, bool* tree_done) {
+                                VacuumState* st, bool* tree_done,
+                                uint64_t* copied) {
   *tree_done = false;
+  *copied = 0;
   auto source_root = txn.GetRoot(slot);
   if (!source_root.ok()) return source_root.status();
   if (*source_root == 0) {  // Unclaimed slot: nothing to rebuild.
@@ -1441,6 +1554,7 @@ Status Database::VacuumTreeStep(Txn& txn, int slot, uint64_t max_entries,
   for (const auto& [key, value] : batch) {
     ODE_RETURN_IF_ERROR(shadow->Put(Slice(key), Slice(value)));
   }
+  *copied = batch.size();
   if (!batch.empty()) st->resume_key = batch.back().first;
   if (exhausted) {
     // Swap the compact shadow in: free the source tree's pages, point the
@@ -1474,6 +1588,8 @@ StatusOr<bool> Database::VacuumStep(uint64_t max_entries) {
   // the transaction resolves.
   VacuumState st = *vacuum_state_;
   bool pass_done = false;
+  uint64_t entries_copied = 0;
+  const uint64_t step_tree = st.tree_index;
   Status s = RunInTxn([&](Txn& txn) -> Status {
     // Interference detection.  The engine bumps commit_count under the
     // exclusive apply latch — which this transaction body holds — so the
@@ -1497,13 +1613,15 @@ StatusOr<bool> Database::VacuumStep(uint64_t max_entries) {
     } else {
       bool tree_done = false;
       ODE_RETURN_IF_ERROR(VacuumTreeStep(txn, kVacuumSlots[st.tree_index],
-                                         max_entries, &st, &tree_done));
+                                         max_entries, &st, &tree_done,
+                                         &entries_copied));
       if (tree_done) {
         st.shadow_active = false;
         st.resume_key.clear();
         ++st.tree_index;
       }
     }
+    ++st.steps_done;
     if (st.tree_index >= kNumVacuumSlots) pass_done = true;
     // This transaction's own commit will take the count to exactly +1.
     st.expected_commits = commits_now + 1;
@@ -1517,6 +1635,11 @@ StatusOr<bool> Database::VacuumStep(uint64_t max_entries) {
     vacuum_state_.reset();
     return s;
   }
+  // Journal the step and tick the maintenance heartbeat (health gauges).
+  engine_->metrics()->hb_vacuum_us->Set(
+      static_cast<int64_t>(Histogram::NowNanos() / 1000));
+  engine_->metrics()->RecordEvent(EventType::kVacuumStep, EventSeverity::kDebug,
+                                  step_tree, entries_copied, st.steps_done);
   if (pass_done) {
     vacuum_state_.reset();
     return true;

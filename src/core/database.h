@@ -18,6 +18,7 @@
 #include "core/payload_cache.h"
 #include "storage/storage_engine.h"
 #include "util/clock.h"
+#include "util/event_log.h"
 #include "util/metrics.h"
 #include "util/mutex.h"
 #include "util/status.h"
@@ -132,6 +133,34 @@ struct DatabaseOptions {
   /// of two (1 = every span).  Can be changed at run time via
   /// Database::tracer().set_sample_every().
   uint32_t trace_sample_every = 0;
+
+  /// Structured event journal (util/event_log.h): the flight recorder's
+  /// memory.  On by default — recording is lock-free per thread and a
+  /// disabled journal still exists (Database::event_log() never dangles),
+  /// so benches A/B the cost by flipping this, not by rebuilding.
+  bool event_log_enabled = true;
+  /// Per-thread journal ring capacity, in records.  Legal range: >= 1.
+  size_t event_log_buffer_events = 1024;
+  /// Newest records a journal snapshot/drain retains across all threads.
+  /// Legal range: >= 1.
+  size_t event_log_ring_events = 8192;
+
+  /// Slow-op threshold for the dereference read path (ReadLatest /
+  /// ReadVersion), microseconds; 0 (default) disables.  A dereference
+  /// exceeding it emits a kSlowOp journal record plus an unconditional trace
+  /// span.  Engine-side thresholds (commit, checkpoint) live in
+  /// storage.slow_commit_us / storage.slow_checkpoint_us.
+  uint32_t slow_deref_us = 0;
+
+  /// Diagnostics dumps retained in the database directory: writing
+  /// DIAGNOSTICS-<seq>.json number retain+1 deletes the oldest.  Legal
+  /// range: >= 1.
+  size_t diagnostics_retain = 8;
+
+  /// Re-export METRICS.json (every instrument as JSON, atomically replaced)
+  /// into the database directory this often; 0 (default) disables.  Feeds
+  /// ode_top and any external poller without linking against the library.
+  uint32_t stats_export_interval_ms = 0;
 
   /// Checks every knob against its documented legal range.  Returns the
   /// first violation as InvalidArgument (naming the field), or OK.
@@ -493,6 +522,23 @@ class Database {
   /// sampling is enabled via options or set_sample_every).
   Tracer& tracer() const { return *tracer_; }
 
+  /// The structured event journal (always present; see
+  /// DatabaseOptions::event_log_enabled).
+  EventLog& event_log() const { return *event_log_; }
+
+  /// Writes a flight-recorder dump — DIAGNOSTICS-<seq>.json in the database
+  /// directory: event journal, metrics, WAL watermarks, cache/latch/pool
+  /// stats, vacuum progress, recovery summary, health verdict.  Returns the
+  /// path written.  Retention per DatabaseOptions::diagnostics_retain.
+  /// Thread-safe; also fired automatically (from the engine's background
+  /// thread) when the engine poisons itself.  Implementation in
+  /// core/diagnostics.cc.
+  StatusOr<std::string> DumpDiagnostics(std::string_view trigger = "manual");
+
+  /// Point-in-time health verdict of the underlying engine (see
+  /// StorageEngine::HealthCheck).  Thread-safe.
+  HealthReport HealthCheck() const { return engine_->HealthCheck(); }
+
   StorageEngine& storage() { return *engine_; }
   const DatabaseOptions& options() const { return options_; }
 
@@ -619,13 +665,16 @@ class Database {
     /// our own commit means a foreign writer ran between steps and the
     /// shadow may be stale.
     uint64_t expected_commits = 0;
+    /// Steps completed this pass (journal/diagnostics bookkeeping).
+    uint64_t steps_done = 0;
   };
 
   /// One bounded vacuum step over the tree at root slot `slot` (see
   /// VacuumStep); runs inside `txn`, advancing `st`.  Sets *tree_done when
-  /// the tree has been swapped for its compact shadow.
+  /// the tree has been swapped for its compact shadow and *copied to the
+  /// entries moved this step.
   Status VacuumTreeStep(Txn& txn, int slot, uint64_t max_entries,
-                        VacuumState* st, bool* tree_done);
+                        VacuumState* st, bool* tree_done, uint64_t* copied);
 
   /// Pre-resolved core-layer instruments (looked up once at Open; recording
   /// through the pointers is lock-free).  Cache hit/miss counts are NOT
@@ -668,6 +717,10 @@ class Database {
   MetricsRegistry* registry_ = nullptr;
   CoreMetrics metrics_;
   std::unique_ptr<Tracer> tracer_;
+  /// Also before engine_: the engine journals into it through its very last
+  /// breath (the destructor's final checkpoint and the poison-triggered
+  /// diagnostics hook).
+  std::unique_ptr<EventLog> event_log_;
   Sampler deref_sampler_{64};
   // Also before engine_ — the engine's apply hooks touch both caches.
   std::unique_ptr<VersionPayloadCache> payload_cache_;
@@ -703,6 +756,22 @@ class Database {
   /// step's transaction; safe because no transaction path takes it.
   mutable Mutex vacuum_mu_;
   std::optional<VacuumState> vacuum_state_ ODE_GUARDED_BY(vacuum_mu_);
+
+  // -- Diagnostics & metrics export (core/diagnostics.cc) -------------------
+
+  /// Writes METRICS.json atomically (the periodic exporter's unit of work;
+  /// also runs once at open and once at close when exporting is enabled).
+  Status ExportMetricsFile();
+  /// Body of the periodic exporter thread (stats_export_interval_ms > 0).
+  void StatsExporterLoop();
+
+  /// Serializes dumps: seq allocation scans the directory and the retention
+  /// sweep must not race a concurrent writer.
+  mutable Mutex diag_mu_;
+  Mutex exporter_mu_;
+  CondVar exporter_cv_;
+  bool exporter_stop_ ODE_GUARDED_BY(exporter_mu_) = false;
+  std::thread stats_exporter_;  ///< Joined (then final export) in ~Database.
 };
 
 }  // namespace ode

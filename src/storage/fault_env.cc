@@ -5,6 +5,8 @@
 #include <map>
 #include <optional>
 
+#include "util/event_log.h"
+
 namespace ode {
 
 namespace {
@@ -80,6 +82,9 @@ struct FaultState {
   CrashTear crash_tear = CrashTear::kLoseAll;
   bool crash_fired = false;
 
+  // Optional journal for fired injections (see set_event_log).
+  EventLog* events = nullptr;
+
   void CrashNow(CrashTear tear) {
     for (auto& [name, state] : files) {
       (void)name;
@@ -103,6 +108,11 @@ struct FaultState {
       if (crash_armed) {
         if (ops_since_arm == crash_at_op) {
           CrashNow(crash_tear);
+          if (events != nullptr) {
+            events->Record(EventType::kFaultInjection, EventSeverity::kWarn,
+                           static_cast<uint64_t>(op), /*b=*/1, crash_at_op,
+                           "simulated crash");
+          }
           return Status::IOError("simulated crash");
         }
         ++ops_since_arm;
@@ -116,6 +126,11 @@ struct FaultState {
           failing_error = error;
         }
         plan.reset();
+        if (events != nullptr) {
+          events->Record(EventType::kFaultInjection, EventSeverity::kWarn,
+                         static_cast<uint64_t>(op), /*b=*/0, 0,
+                         error.ToString());
+        }
         return error;
       }
       --plan->remaining;
@@ -304,6 +319,10 @@ void FaultInjectionEnv::ClearFaults() {
   s.plan.reset();
   s.crash_armed = false;
   s.crash_fired = false;
+}
+
+void FaultInjectionEnv::set_event_log(EventLog* log) {
+  impl_->state.events = log;
 }
 
 IoCounts FaultInjectionEnv::counts() const { return impl_->state.counts; }

@@ -12,6 +12,8 @@
 
 namespace ode {
 
+class EventLog;
+
 /// Classes of I/O operation the fault injector can count and target.
 enum class FaultOp : uint8_t {
   kRead = 0,
@@ -136,6 +138,12 @@ class FaultInjectionEnv : public Env {
   /// Disarms every failure plan and scheduled crash and clears the sticky
   /// failing state (file contents are untouched; crash_fired() resets).
   void ClearFaults();
+
+  /// Journals every fired injection (scheduled crash, FailNth trigger) as a
+  /// kFaultInjection record, so diagnostics dumps show *which* simulated
+  /// fault preceded a poison.  Null disables (the default).  The log must
+  /// outlive this env or be cleared with set_event_log(nullptr).
+  void set_event_log(EventLog* log);
 
   // -- Accounting ------------------------------------------------------------
 

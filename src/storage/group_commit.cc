@@ -118,6 +118,11 @@ uint64_t GroupCommit::durable_txn_id() const {
   return durable_txn_;
 }
 
+uint64_t GroupCommit::appended_txn_id() const {
+  MutexLock lock(mu_);
+  return appended_txn_;
+}
+
 void GroupCommit::FailLocked(const Status& error) {
   if (!error_.ok()) return;  // First failure wins; later ones are echoes.
   error_ = error;
@@ -184,6 +189,8 @@ void GroupCommit::LeadBatch(bool want_sync,
                                   : 0;
       if (metrics_ != nullptr) metrics_->gc_fsyncs->Increment();
     }
+    leader_heartbeat_us_.store(Histogram::NowNanos() / 1000,
+                               std::memory_order_relaxed);
     UpdatePendingGauge();
     leader_active_ = false;
     cv_.NotifyAll();
@@ -193,6 +200,8 @@ void GroupCommit::LeadBatch(bool want_sync,
   const uint64_t last_seq = batch.back().seq;
   const uint64_t last_txn = batch.back().txn_id;
   const uint64_t batch_commits = batch.size();
+  uint64_t batch_bytes = 0;
+  for (const Pending& p : batch) batch_bytes += p.framed.size();
 
   mu_.Unlock();
   Status s = Status::OK();
@@ -223,8 +232,13 @@ void GroupCommit::LeadBatch(bool want_sync,
       metrics_->gc_batches->Increment();
       metrics_->gc_commits->Add(batch_commits);
       metrics_->gc_batch_size->Record(batch_commits);
+      metrics_->RecordEvent(EventType::kGroupCommitBatch,
+                            EventSeverity::kDebug, batch_commits, batch_bytes,
+                            durable_txn_);
     }
   }
+  leader_heartbeat_us_.store(Histogram::NowNanos() / 1000,
+                             std::memory_order_relaxed);
   UpdatePendingGauge();
   leader_active_ = false;
   cv_.NotifyAll();

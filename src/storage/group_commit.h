@@ -1,6 +1,7 @@
 #ifndef ODE_STORAGE_GROUP_COMMIT_H_
 #define ODE_STORAGE_GROUP_COMMIT_H_
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -103,6 +104,16 @@ class GroupCommit {
   /// Highest txn id made durable so far.  Thread-safe.
   uint64_t durable_txn_id() const;
 
+  /// Highest txn id appended to the WAL file so far.  Thread-safe.
+  uint64_t appended_txn_id() const;
+
+  /// Steady-clock microseconds of the last completed leader batch (0 before
+  /// the first batch).  Thread-safe; the liveness signal for HealthCheck and
+  /// diagnostics dumps.
+  uint64_t leader_heartbeat_us() const {
+    return leader_heartbeat_us_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Pending {
     uint64_t seq = 0;
@@ -143,6 +154,7 @@ class GroupCommit {
   /// Commits appended to the WAL file but not yet covered by an fsync.
   uint64_t appended_not_durable_ ODE_GUARDED_BY(mu_) = 0;
   Status error_ ODE_GUARDED_BY(mu_);  // Sticky; OK while healthy.
+  std::atomic<uint64_t> leader_heartbeat_us_{0};
 };
 
 }  // namespace ode

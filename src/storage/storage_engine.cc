@@ -209,6 +209,7 @@ StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     registry = engine->owned_registry_.get();
   }
   engine->metrics_.Attach(registry, options.tracer);
+  engine->metrics_.events = options.event_log;
   engine->payload_store_.AttachMetrics(registry);
 
   {
@@ -230,6 +231,10 @@ StatusOr<std::unique_ptr<StorageEngine>> StorageEngine::Open(
     engine->recovery_ = *recovery;
     ODE_RETURN_IF_ERROR(engine->wal_->Truncate());
     engine->wal_bytes_at_truncate_ = engine->wal_->bytes_appended();
+    engine->metrics_.RecordEvent(
+        EventType::kRecovery, EventSeverity::kInfo,
+        engine->recovery_.committed_txns, engine->recovery_.discarded_txns,
+        engine->recovery_.pages_replayed);
   }
 
   StorageEngine* raw = engine.get();
@@ -287,7 +292,7 @@ Status StorageEngine::InitSuperblockIfNeeded() {
   });
 }
 
-StorageEngine::~StorageEngine() {
+void StorageEngine::Shutdown() {
   // Stop the checkpointer before touching any state it might read.
   if (checkpointer_.joinable()) {
     {
@@ -297,6 +302,15 @@ StorageEngine::~StorageEngine() {
     ckpt_cv_.NotifyAll();
     checkpointer_.join();
   }
+  // A poison immediately before close can beat the checkpointer's next
+  // tick; the flight recorder still owes a dump (no locks held here).
+  if (diagnostics_pending_.exchange(false, std::memory_order_acq_rel)) {
+    if (options_.on_diagnostics) options_.on_diagnostics("poison");
+  }
+}
+
+StorageEngine::~StorageEngine() {
+  Shutdown();
   // Destruction requires all user threads to be done with the engine, so an
   // open transaction can only belong to the destroying thread.
   if (txn_open_) {
@@ -316,6 +330,11 @@ StorageEngine::~StorageEngine() {
                  << poison_status();
     return;
   }
+  // A partially-constructed engine (Open returned an error before the
+  // WAL / group commit / pool came up) has nothing to checkpoint.
+  if (wal_ == nullptr || group_commit_ == nullptr || pool_ == nullptr) {
+    return;
+  }
   // Checkpoint drains the group-commit queue (fsyncing any async tail)
   // before flushing pages, so nothing acknowledged is lost on a clean close.
   Status s = Checkpoint();
@@ -323,10 +342,21 @@ StorageEngine::~StorageEngine() {
 }
 
 void StorageEngine::Poison(const Status& cause) {
-  MutexLock lock(poison_mu_);
-  if (!poison_.ok()) return;  // First cause wins; later ones are echoes.
-  poison_ = cause;
-  poisoned_.store(true, std::memory_order_release);
+  {
+    MutexLock lock(poison_mu_);
+    if (!poison_.ok()) return;  // First cause wins; later ones are echoes.
+    poison_ = cause;
+    poisoned_.store(true, std::memory_order_release);
+  }
+  metrics_.RecordEvent(EventType::kPoison, EventSeverity::kError, 0, 0, 0,
+                       cause.ToString());
+  // Flight recorder: hand the dump to the checkpointer thread.  Poison can
+  // fire under the group-commit mutex or the apply latch, and the dump
+  // reads both subsystems' snapshot state — running it here would deadlock.
+  if (options_.on_diagnostics) {
+    diagnostics_pending_.store(true, std::memory_order_release);
+    SignalCheckpointer();
+  }
 }
 
 Status StorageEngine::poison_status() const {
@@ -370,6 +400,7 @@ StatusOr<Txn*> StorageEngine::Begin() ODE_NO_THREAD_SAFETY_ANALYSIS {
   pool_->BeginEpoch();
   if (options_.on_apply_begin) options_.on_apply_begin();
   metrics_.txn_begins->Increment();
+  metrics_.RecordEvent(EventType::kTxnBegin, EventSeverity::kDebug, txn_.id_);
   return &txn_;
 }
 
@@ -382,6 +413,9 @@ Status StorageEngine::Commit(Txn* txn) ODE_NO_THREAD_SAFETY_ANALYSIS {
     return Status::FailedPrecondition("no such open transaction");
   }
   const bool sync_mode = options_.commit_mode == CommitMode::kSync;
+  const uint64_t txn_id = txn->id_;
+  const uint64_t commit_t0_ns = Histogram::NowNanos();
+  size_t dirty_pages = 0;
   Status wait_status;
   {
     // The timing scope covers apply + enqueue + the durability wait (but not
@@ -392,6 +426,7 @@ Status StorageEngine::Commit(Txn* txn) ODE_NO_THREAD_SAFETY_ANALYSIS {
     uint64_t ticket = 0;
     bool enqueued = false;
     const auto& dirtied = pool_->EpochDirtyPages();
+    dirty_pages = dirtied.size();
     if (!dirtied.empty()) {
       // Serialize the whole record sequence into one pre-framed blob while
       // still under the latch: enqueue order = apply order, which is what
@@ -444,6 +479,10 @@ Status StorageEngine::Commit(Txn* txn) ODE_NO_THREAD_SAFETY_ANALYSIS {
                               : group_commit_->WaitAppended(ticket);
     }
   }
+  metrics_.RecordEvent(EventType::kTxnCommit, EventSeverity::kDebug, txn_id,
+                       dirty_pages,
+                       (Histogram::NowNanos() - commit_t0_ns) / 1000);
+  NoteSlowOp("slow.commit", commit_t0_ns, options_.slow_commit_us);
   if (wal_bytes() > options_.checkpoint_wal_bytes) SignalCheckpointer();
   return wait_status;
 }
@@ -461,6 +500,7 @@ Status StorageEngine::Abort(Txn* txn) ODE_NO_THREAD_SAFETY_ANALYSIS {
     Status s = pool_->RestorePage(pid, undo.image.data(), undo.was_dirty);
     if (!s.ok() && restore_status.ok()) restore_status = s;
   }
+  metrics_.RecordEvent(EventType::kTxnAbort, EventSeverity::kDebug, txn->id_);
   pool_->CommitEpoch();  // Clears epoch bookkeeping; pages already restored.
   txn->active_ = false;
   txn->undo_.clear();
@@ -529,6 +569,8 @@ Status StorageEngine::Checkpoint() {
   if (poisoned()) return poison_status();
   TraceSpan span(metrics_.tracer, "storage.checkpoint", "storage");
   ScopedLatency timer(metrics_.checkpoint_ns);
+  const uint64_t ckpt_t0_ns = Histogram::NowNanos();
+  const uint64_t wal_backlog = wal_bytes();
   WriterMutexLock lock(rw_mutex_);
   // WAL-before-data: every queued/appended commit must be fsynced before its
   // dirty pages may reach the data file (and before Truncate drops the only
@@ -541,7 +583,26 @@ Status StorageEngine::Checkpoint() {
                                std::memory_order_relaxed);
   checkpoint_count_.fetch_add(1, std::memory_order_relaxed);
   metrics_.checkpoints->Increment();
+  metrics_.RecordEvent(EventType::kCheckpoint, EventSeverity::kInfo,
+                       checkpoint_count_.load(std::memory_order_relaxed),
+                       wal_backlog);
+  NoteSlowOp("slow.checkpoint", ckpt_t0_ns, options_.slow_checkpoint_us);
   return Status::OK();
+}
+
+void StorageEngine::NoteSlowOp(const char* op, uint64_t start_ns,
+                               uint32_t threshold_us) {
+  if (threshold_us == 0) return;
+  const uint64_t end_ns = Histogram::NowNanos();
+  const uint64_t duration_us = (end_ns - start_ns) / 1000;
+  if (duration_us <= threshold_us) return;
+  metrics_.RecordEvent(EventType::kSlowOp, EventSeverity::kWarn, duration_us,
+                       threshold_us, 0, op);
+  // Bypass sampling: the one operation that blew its deadline must appear
+  // in the trace even when the tracer would have sampled it out.
+  if (metrics_.tracer != nullptr) {
+    metrics_.tracer->Record(op, "slow", start_ns, end_ns);
+  }
 }
 
 Status StorageEngine::WaitForDurable(uint64_t txn_id) {
@@ -563,6 +624,8 @@ void StorageEngine::SignalCheckpointer() {
 }
 
 void StorageEngine::CheckpointerLoop() {
+  ckpt_heartbeat_us_.store(Histogram::NowNanos() / 1000,
+                           std::memory_order_relaxed);
   for (;;) {
     {
       MutexLock lock(ckpt_mu_);
@@ -571,6 +634,13 @@ void StorageEngine::CheckpointerLoop() {
       }
       if (ckpt_stop_) return;
       ckpt_signal_ = false;
+    }
+    ckpt_heartbeat_us_.store(Histogram::NowNanos() / 1000,
+                             std::memory_order_relaxed);
+    // Flight recorder: fire the poison dump here, outside every engine
+    // lock, so the hook can safely read watermarks/stats/health.
+    if (diagnostics_pending_.exchange(false, std::memory_order_acq_rel)) {
+      if (options_.on_diagnostics) options_.on_diagnostics("poison");
     }
     if (poisoned()) continue;
     if (wal_bytes() > options_.checkpoint_wal_bytes) {
@@ -589,6 +659,73 @@ void StorageEngine::CheckpointerLoop() {
       }
     }
   }
+}
+
+const char* HealthStateName(HealthState s) {
+  switch (s) {
+    case HealthState::kOk:
+      return "ok";
+    case HealthState::kDegraded:
+      return "degraded";
+    case HealthState::kPoisoned:
+      return "poisoned";
+  }
+  return "unknown";
+}
+
+WalWatermarks StorageEngine::wal_watermarks() const {
+  WalWatermarks w;
+  w.enqueued_txn = last_enqueued_txn_.load(std::memory_order_acquire);
+  w.appended_txn = group_commit_->appended_txn_id();
+  w.durable_txn = group_commit_->durable_txn_id();
+  w.acked_txn = options_.commit_mode == CommitMode::kSync ? w.durable_txn
+                                                          : w.appended_txn;
+  return w;
+}
+
+HealthReport StorageEngine::HealthCheck() const {
+  HealthReport report;
+  const uint64_t now_us = Histogram::NowNanos() / 1000;
+  const uint64_t heartbeat =
+      ckpt_heartbeat_us_.load(std::memory_order_relaxed);
+  report.checkpointer_lag_us =
+      (heartbeat == 0 || heartbeat > now_us) ? 0 : now_us - heartbeat;
+  report.wal_backlog_bytes = wal_bytes();
+  report.async_pending = metrics_.gc_async_pending->value();
+  if (poisoned()) {
+    report.state = HealthState::kPoisoned;
+    report.reasons.push_back("engine poisoned: " +
+                             poison_status().ToString());
+  } else {
+    const uint64_t backlog_limit =
+        options_.health_max_wal_backlog_bytes != 0
+            ? options_.health_max_wal_backlog_bytes
+            : 4 * options_.checkpoint_wal_bytes;
+    if (report.wal_backlog_bytes > backlog_limit) {
+      report.state = HealthState::kDegraded;
+      report.reasons.push_back(
+          "wal backlog " + std::to_string(report.wal_backlog_bytes) +
+          " bytes exceeds " + std::to_string(backlog_limit) +
+          " (checkpointer falling behind)");
+    }
+    if (heartbeat != 0 &&
+        report.checkpointer_lag_us > options_.health_max_checkpointer_lag_us) {
+      report.state = HealthState::kDegraded;
+      report.reasons.push_back(
+          "checkpointer heartbeat " +
+          std::to_string(report.checkpointer_lag_us) +
+          "us old (limit " +
+          std::to_string(options_.health_max_checkpointer_lag_us) + "us)");
+    }
+  }
+  // Refresh the health gauges so scrapes see what this verdict saw.
+  metrics_.hb_checkpointer_us->Set(static_cast<int64_t>(heartbeat));
+  metrics_.hb_gc_leader_us->Set(
+      static_cast<int64_t>(group_commit_->leader_heartbeat_us()));
+  metrics_.checkpointer_lag_us->Set(
+      static_cast<int64_t>(report.checkpointer_lag_us));
+  metrics_.health_state->Set(static_cast<int64_t>(report.state));
+  return report;
 }
 
 uint64_t StorageEngine::wal_bytes() const {

@@ -8,6 +8,7 @@
 #include <memory>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "storage/buffer_pool.h"
 #include "storage/disk_manager.h"
@@ -27,6 +28,37 @@
 namespace ode {
 
 class StorageEngine;
+
+/// The engine's durability frontier, for diagnostics dumps and invariant
+/// checks.  Monotone under the group-commit contract:
+/// durable_txn <= appended_txn <= enqueued_txn, and acked_txn (the highest
+/// id whose Commit call may have returned OK) is durable_txn in kSync mode,
+/// appended_txn in kAsync mode.
+struct WalWatermarks {
+  uint64_t enqueued_txn = 0;  ///< Handed to the group-commit queue.
+  uint64_t appended_txn = 0;  ///< Written into the WAL file.
+  uint64_t durable_txn = 0;   ///< Covered by an fsync.
+  uint64_t acked_txn = 0;     ///< Acknowledged to callers (mode-dependent).
+};
+
+/// Summary verdict of StorageEngine::HealthCheck().  Ordered by badness so
+/// callers (odedump health) can use the numeric value as an exit code.
+enum class HealthState : int {
+  kOk = 0,
+  kDegraded = 1,
+  kPoisoned = 2,
+};
+
+struct HealthReport {
+  HealthState state = HealthState::kOk;
+  /// Human-readable reason per degradation/poison (empty when ok).
+  std::vector<std::string> reasons;
+  uint64_t checkpointer_lag_us = 0;  ///< Now minus last checkpointer tick.
+  uint64_t wal_backlog_bytes = 0;    ///< WAL bytes since last checkpoint.
+  int64_t async_pending = 0;         ///< Acked-not-yet-durable commits.
+};
+
+const char* HealthStateName(HealthState s);
 
 /// Tuning and environment knobs for a storage engine instance.
 struct StorageOptions {
@@ -63,6 +95,29 @@ struct StorageOptions {
   /// Event tracer for storage spans (commit, fsync, checkpoint); nullptr
   /// disables span recording entirely.
   Tracer* tracer = nullptr;
+  /// Structured event journal the engine records into (txn lifecycle,
+  /// group-commit batches, checkpoints, poison, slow ops); nullptr disables
+  /// journaling entirely.  Not owned.
+  EventLog* event_log = nullptr;
+  /// Slow-op thresholds in microseconds (0 = off).  A commit / checkpoint
+  /// exceeding its threshold emits a kSlowOp journal record and an
+  /// unconditional trace span (bypassing sampling), so the one operation
+  /// that blew its deadline is always visible.
+  uint32_t slow_commit_us = 0;
+  uint32_t slow_checkpoint_us = 0;
+  /// HealthCheck degrades when the WAL backlog exceeds this many bytes
+  /// (the checkpointer is falling behind); 0 = auto, 4x
+  /// checkpoint_wal_bytes.
+  uint64_t health_max_wal_backlog_bytes = 0;
+  /// HealthCheck degrades when the background checkpointer's heartbeat is
+  /// older than this (it ticks every ~50ms when healthy).
+  uint64_t health_max_checkpointer_lag_us = 10'000'000;
+  /// Flight-recorder hook: fired at most once, from the background
+  /// checkpointer thread, after the engine poisons itself (`trigger` is
+  /// "poison").  The Database layer installs its diagnostics dump here.
+  /// Must not call back into mutating engine APIs; the snapshot accessors
+  /// (watermarks, stats, HealthCheck) are safe.
+  std::function<void(const char* trigger)> on_diagnostics;
   /// Called under the exclusive apply latch as a write transaction opens /
   /// closes (`committed` tells which way).  The Database layer drives its
   /// cache epochs from these: within the latch, apply sections are strictly
@@ -176,6 +231,15 @@ class StorageEngine {
       const StorageOptions& options);
   ~StorageEngine();
 
+  /// Joins the background checkpointer and fires any still-pending
+  /// diagnostics dump.  Idempotent; ~StorageEngine calls it, but an owner
+  /// whose on_diagnostics hook walks the owner's own state must call it
+  /// BEFORE tearing that state down — in particular, unique_ptr::reset
+  /// nulls the owner's engine pointer before ~StorageEngine runs, so a
+  /// dump fired from the destructor would re-enter the owner through a
+  /// null pointer.
+  void Shutdown();
+
   StorageEngine(const StorageEngine&) = delete;
   StorageEngine& operator=(const StorageEngine&) = delete;
 
@@ -255,6 +319,19 @@ class StorageEngine {
     return poisoned_.load(std::memory_order_acquire);
   }
 
+  /// The engine's durability frontier (see WalWatermarks).  Thread-safe;
+  /// the fields are sampled individually, so a concurrent commit may advance
+  /// one watermark between reads — the documented ordering still holds
+  /// because each watermark only moves forward.
+  WalWatermarks wal_watermarks() const;
+
+  /// Point-in-time health verdict: poisoned beats degraded beats ok.
+  /// Degradations: WAL backlog over health_max_wal_backlog_bytes, or the
+  /// background checkpointer heartbeat older than
+  /// health_max_checkpointer_lag_us.  Also refreshes the health.* gauges.
+  /// Thread-safe, takes no engine locks.
+  HealthReport HealthCheck() const;
+
   /// Why the engine is poisoned (OK when healthy).  The engine poisons
   /// itself when a group-commit append/fsync failure leaves unsynced
   /// transaction records in the WAL — a later successful Sync would make an
@@ -274,6 +351,9 @@ class StorageEngine {
   Status InitSuperblockIfNeeded();
   /// Marks the engine permanently failed (first cause wins).
   void Poison(const Status& cause);
+  /// Journals + force-traces an operation that exceeded its deadline
+  /// (no-op when `threshold_us` is 0).
+  void NoteSlowOp(const char* op, uint64_t start_ns, uint32_t threshold_us);
   /// Wakes the background checkpointer for a WAL-threshold check.
   void SignalCheckpointer();
   /// Body of the background checkpointer thread.
@@ -315,6 +395,11 @@ class StorageEngine {
   mutable Mutex poison_mu_;
   Status poison_ ODE_GUARDED_BY(poison_mu_);
   std::atomic<bool> poisoned_{false};  ///< Fast-path mirror of !poison_.ok().
+  /// Set by Poison, consumed by the checkpointer thread: fire the
+  /// on_diagnostics flight-recorder hook outside every engine lock.
+  std::atomic<bool> diagnostics_pending_{false};
+  /// Last checkpointer-loop tick, steady-clock microseconds (heartbeat).
+  std::atomic<uint64_t> ckpt_heartbeat_us_{0};
   // --- Background checkpointer --------------------------------------------
   Mutex ckpt_mu_;
   CondVar ckpt_cv_;

@@ -1,6 +1,7 @@
 #ifndef ODE_STORAGE_STORAGE_METRICS_H_
 #define ODE_STORAGE_STORAGE_METRICS_H_
 
+#include "util/event_log.h"
 #include "util/metrics.h"
 #include "util/trace.h"
 
@@ -64,8 +65,30 @@ struct StorageMetrics {
   Counter* pool_flushes = nullptr;
   Gauge* pool_resident_pages = nullptr;
 
+  // Background-task health heartbeats (steady-clock microseconds, written
+  // by the task itself via Gauge::Set — lock-free) and the lag gauges
+  // HealthCheck() derives from them.  A heartbeat of 0 means the task has
+  // not run yet this session.
+  Gauge* hb_checkpointer_us = nullptr;
+  Gauge* hb_gc_leader_us = nullptr;
+  Gauge* hb_vacuum_us = nullptr;
+  Gauge* checkpointer_lag_us = nullptr;
+  Gauge* health_state = nullptr;  ///< 0 ok / 1 degraded / 2 poisoned.
+
   /// Event tracer for this engine's spans; may be null (tracing not set up).
   Tracer* tracer = nullptr;
+
+  /// Structured event journal (util/event_log.h); may be null (journaling
+  /// not set up).  Set by the engine from StorageOptions::event_log, not by
+  /// Attach — the journal is owned above the registry.
+  EventLog* events = nullptr;
+
+  /// Null-safe journal append, so instrumented components need no checks.
+  void RecordEvent(EventType type, EventSeverity severity, uint64_t a = 0,
+                   uint64_t b = 0, uint64_t c = 0,
+                   std::string_view detail = {}) const {
+    if (events != nullptr) events->Record(type, severity, a, b, c, detail);
+  }
 
   void Attach(MetricsRegistry* registry, Tracer* trace) {
     page_reads = registry->GetCounter("storage.page_reads");
@@ -97,6 +120,11 @@ struct StorageMetrics {
     pool_evictions = registry->GetCounter("bufferpool.evictions");
     pool_flushes = registry->GetCounter("bufferpool.flushes");
     pool_resident_pages = registry->GetGauge("bufferpool.resident_pages");
+    hb_checkpointer_us = registry->GetGauge("health.checkpointer_heartbeat_us");
+    hb_gc_leader_us = registry->GetGauge("health.gc_leader_heartbeat_us");
+    hb_vacuum_us = registry->GetGauge("health.vacuum_heartbeat_us");
+    checkpointer_lag_us = registry->GetGauge("health.checkpointer_lag_us");
+    health_state = registry->GetGauge("health.state");
     tracer = trace;
   }
 };

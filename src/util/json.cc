@@ -1,0 +1,124 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ode {
+
+void JsonAppendEscaped(std::string* out, std::string_view s) {
+  out->push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\r':
+        out->append("\\r");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out->append(buf);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  JsonAppendEscaped(&out, s);
+  return out;
+}
+
+void JsonWriter::Comma() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;  // Value directly follows "key": — no comma.
+  }
+  if (!need_comma_.empty()) {
+    if (need_comma_.back()) out_.push_back(',');
+    need_comma_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  Comma();
+  out_.push_back('{');
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  if (!need_comma_.empty()) need_comma_.pop_back();
+  out_.push_back('}');
+}
+
+void JsonWriter::BeginArray() {
+  Comma();
+  out_.push_back('[');
+  need_comma_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  if (!need_comma_.empty()) need_comma_.pop_back();
+  out_.push_back(']');
+}
+
+void JsonWriter::Value(std::string_view s) {
+  Comma();
+  JsonAppendEscaped(&out_, s);
+}
+
+void JsonWriter::Value(uint64_t v) {
+  Comma();
+  out_.append(std::to_string(v));
+}
+
+void JsonWriter::Value(int64_t v) {
+  Comma();
+  out_.append(std::to_string(v));
+}
+
+void JsonWriter::Value(double v) {
+  Comma();
+  if (!std::isfinite(v)) {
+    out_.push_back('0');
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out_.append(buf);
+}
+
+void JsonWriter::Value(bool v) {
+  Comma();
+  out_.append(v ? "true" : "false");
+}
+
+void JsonWriter::Null() {
+  Comma();
+  out_.append("null");
+}
+
+void JsonWriter::Key(std::string_view k) {
+  Comma();
+  JsonAppendEscaped(&out_, k);
+  out_.push_back(':');
+  pending_key_ = true;
+}
+
+}  // namespace ode

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 #include <bit>
+#include <cctype>
+#include <cstdio>
+
+#include "util/json.h"
 
 namespace ode {
 
@@ -150,6 +154,99 @@ MetricsRegistry::Snapshot MetricsRegistry::SnapshotAll() const {
     snap.histograms.emplace_back(name, h->Snapshot());
   }
   return snap;
+}
+
+// ---------------------------------------------------------------------------
+// Export renderers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Prometheus metric names admit [a-zA-Z0-9_:]; our dotted instrument names
+/// ("wal.appends") become underscored, prefixed with the project namespace.
+std::string PromName(const std::string& name) {
+  std::string out = "ode_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) {
+    const bool ok = (std::isalnum(static_cast<unsigned char>(c)) != 0) ||
+                    c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+void AppendPromDouble(std::string* out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out->append(buf);
+}
+
+}  // namespace
+
+std::string MetricsRegistry::RenderPrometheusText(const Snapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+  for (const auto& [name, value] : snap.counters) {
+    const std::string n = PromName(name);
+    out.append("# TYPE ").append(n).append(" counter\n");
+    out.append(n).append(" ").append(std::to_string(value)).push_back('\n');
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string n = PromName(name);
+    out.append("# TYPE ").append(n).append(" gauge\n");
+    out.append(n).append(" ").append(std::to_string(value)).push_back('\n');
+  }
+  for (const auto& [name, h] : snap.histograms) {
+    const std::string n = PromName(name);
+    out.append("# TYPE ").append(n).append(" summary\n");
+    const std::pair<const char*, double> quantiles[] = {
+        {"0.5", h.p50}, {"0.9", h.p90}, {"0.99", h.p99}};
+    for (const auto& [q, v] : quantiles) {
+      out.append(n).append("{quantile=\"").append(q).append("\"} ");
+      AppendPromDouble(&out, v);
+      out.push_back('\n');
+    }
+    out.append(n).append("_sum ").append(std::to_string(h.sum));
+    out.push_back('\n');
+    out.append(n).append("_count ").append(std::to_string(h.count));
+    out.push_back('\n');
+  }
+  return out;
+}
+
+void MetricsRegistry::AppendJson(JsonWriter* w, const Snapshot& snap) {
+  w->BeginObject();
+  w->Key("counters");
+  w->BeginObject();
+  for (const auto& [name, value] : snap.counters) w->KV(name, value);
+  w->EndObject();
+  w->Key("gauges");
+  w->BeginObject();
+  for (const auto& [name, value] : snap.gauges) w->KV(name, value);
+  w->EndObject();
+  w->Key("histograms");
+  w->BeginObject();
+  for (const auto& [name, h] : snap.histograms) {
+    w->Key(name);
+    w->BeginObject();
+    w->KV("count", h.count);
+    w->KV("sum", h.sum);
+    w->KV("min", h.min);
+    w->KV("max", h.max);
+    w->KV("mean", h.mean());
+    w->KV("p50", h.p50);
+    w->KV("p90", h.p90);
+    w->KV("p99", h.p99);
+    w->EndObject();
+  }
+  w->EndObject();
+  w->EndObject();
+}
+
+std::string MetricsRegistry::RenderJson(const Snapshot& snap) {
+  JsonWriter w;
+  AppendJson(&w, snap);
+  return w.Take();
 }
 
 }  // namespace ode

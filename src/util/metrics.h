@@ -16,6 +16,8 @@
 
 namespace ode {
 
+class JsonWriter;
+
 // ---------------------------------------------------------------------------
 // Metrics substrate
 // ---------------------------------------------------------------------------
@@ -202,6 +204,30 @@ class MetricsRegistry {
     std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
   };
   Snapshot SnapshotAll() const;
+
+  // --- Export renderers (the diagnostics / scrape surface) ---
+
+  /// Prometheus text exposition format (version 0.0.4): counters and gauges
+  /// one sample each, histograms as summaries (quantile="0.5|0.9|0.99" plus
+  /// `_sum`/`_count`).  Instrument names are prefixed `ode_` and sanitized
+  /// (every char outside [a-zA-Z0-9_:] becomes '_', so "wal.appends" scrapes
+  /// as ode_wal_appends).  Static overloads render an already-taken
+  /// snapshot; the members snapshot first.
+  static std::string RenderPrometheusText(const Snapshot& snap);
+  std::string RenderPrometheusText() const {
+    return RenderPrometheusText(SnapshotAll());
+  }
+
+  /// JSON object {"counters":{name:value},"gauges":{...},"histograms":
+  /// {name:{count,sum,min,max,mean,p50,p90,p99}}} — the schema odedump
+  /// `stats --format=json`, METRICS.json exports, and diagnostics dumps
+  /// embed.
+  static std::string RenderJson(const Snapshot& snap);
+  std::string RenderJson() const { return RenderJson(SnapshotAll()); }
+
+  /// Appends the RenderJson object to an in-progress document (diagnostics
+  /// dumps nest the metrics snapshot inside a larger JSON file).
+  static void AppendJson(JsonWriter* w, const Snapshot& snap);
 
  private:
   mutable Mutex mu_;

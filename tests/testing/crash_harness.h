@@ -15,8 +15,11 @@
 #include "core/check.h"
 #include "core/cursor.h"
 #include "core/database.h"
+#include "core/diagnostics.h"
 #include "storage/fault_env.h"
+#include "tests/testing/json_util.h"
 #include "tests/testing/util.h"
+#include "util/event_log.h"
 
 namespace ode {
 namespace testing {
@@ -192,6 +195,74 @@ inline void RecordFailingInjection(const std::string& workload,
   out << workload << " " << TearName(tear) << " " << step << "\n";
 }
 
+/// Saves a failing injection's diagnostics dump next to
+/// failing_injections.txt so CI uploads the flight-recorder evidence, not
+/// just the (workload, tear, step) coordinates.
+inline void SaveFailingDump(const std::string& workload, CrashTear tear,
+                            uint64_t step, const std::string& dump_json) {
+  const char* dir = std::getenv("ODE_CRASH_ARTIFACT_DIR");
+  if (dir == nullptr || dir[0] == '\0') return;
+  std::ofstream out(std::string(dir) + "/" + workload + "-" +
+                    TearName(tear) + "-" + std::to_string(step) +
+                    ".diagnostics.json");
+  out << dump_json;
+}
+
+/// Flight-recorder contract after a recovered injection: the dump the
+/// recovered database exports must be well-formed JSON whose WAL watermarks
+/// are internally ordered (durable <= appended <= enqueued, acked <=
+/// enqueued) and whose recovery section matches the engine's own recovery
+/// stats for this reopen.  Returns human-readable violations (empty = ok).
+inline std::vector<std::string> VerifyDiagnosticsDump(
+    const std::string& dump_json, const RecoveryStats& recovery) {
+  std::vector<std::string> violations;
+  std::string parse_error;
+  if (!testing::IsWellFormedJson(dump_json, &parse_error)) {
+    violations.push_back("diagnostics dump is not well-formed JSON: " +
+                         parse_error);
+    return violations;  // Field probes on a broken doc prove nothing.
+  }
+  const auto number = [&](const char* key) -> double {
+    const auto v = testing::FindJsonNumber(dump_json, key);
+    if (!v.has_value()) {
+      violations.push_back(std::string("diagnostics dump lacks \"") + key +
+                           "\"");
+      return 0.0;
+    }
+    return *v;
+  };
+  const double enqueued = number("enqueued_txn");
+  const double appended = number("appended_txn");
+  const double durable = number("durable_txn");
+  const double acked = number("acked_txn");
+  if (!(durable <= appended && appended <= enqueued)) {
+    violations.push_back("watermarks out of order: durable=" +
+                         std::to_string(durable) + " appended=" +
+                         std::to_string(appended) + " enqueued=" +
+                         std::to_string(enqueued));
+  }
+  if (acked > enqueued) {
+    violations.push_back("acked watermark beyond enqueued: acked=" +
+                         std::to_string(acked) + " enqueued=" +
+                         std::to_string(enqueued));
+  }
+  const auto expect_eq = [&](const char* key, uint64_t want) {
+    const double got = number(key);
+    if (got != static_cast<double>(want)) {
+      violations.push_back(std::string("recovery.") + key + " = " +
+                           std::to_string(got) + ", engine reported " +
+                           std::to_string(want));
+    }
+  };
+  expect_eq("committed_txns", recovery.committed_txns);
+  expect_eq("discarded_txns", recovery.discarded_txns);
+  const auto trigger = testing::FindJsonString(dump_json, "trigger");
+  if (!trigger.has_value() || *trigger != "crash_matrix") {
+    violations.push_back("dump trigger is not \"crash_matrix\"");
+  }
+  return violations;
+}
+
 /// Runs the full (step x tear) crash matrix for one workload.  Reports
 /// failures through gtest; fills `stats` for coverage assertions.
 inline void RunCrashMatrix(const Workload& workload, CrashMatrixStats* stats) {
@@ -233,6 +304,9 @@ inline void RunCrashMatrix(const Workload& workload, CrashMatrixStats* stats) {
         auto db = Database::Open(opts);
         ASSERT_OK(db.status());  // No crash armed yet: must open cleanly.
         opened = true;
+        // Journal fired injections into the victim's flight recorder so a
+        // poison-time dump names the fault that felled it.
+        env.set_event_log(&(*db)->event_log());
         env.ScheduleCrash(step, tear);
         for (const WorkloadOp& op : workload.ops) {
           Status s = op(**db);
@@ -240,6 +314,7 @@ inline void RunCrashMatrix(const Workload& workload, CrashMatrixStats* stats) {
           ++committed;
         }
       }  // Close (and attempt the close-time checkpoint) while still armed.
+      env.set_event_log(nullptr);  // The victim's journal died with it.
       (void)opened;
       if (!env.crash_fired()) {
         // This step is past the last mutating op of the whole run: every
@@ -258,6 +333,7 @@ inline void RunCrashMatrix(const Workload& workload, CrashMatrixStats* stats) {
       {
         auto recovered = Database::Open(opts);
         ASSERT_OK(recovered.status());  // Recovery must cope with any tear.
+        env.set_event_log(&(*recovered)->event_log());
 
         for (const std::string& v : VerifyChains(**recovered)) {
           ADD_FAILURE() << v;
@@ -284,7 +360,24 @@ inline void RunCrashMatrix(const Workload& workload, CrashMatrixStats* stats) {
                         << dump << "--- expected:\n" << expected[committed];
           injection_ok = false;
         }
+
+        // Flight-recorder contract: every injected crash must yield a
+        // parseable diagnostics dump from the recovered database, with WAL
+        // watermarks and recovery stats that agree with the engine.
+        auto dump_path = (*recovered)->DumpDiagnostics("crash_matrix");
+        ASSERT_OK(dump_path.status());
+        auto dump_json = ReadDiagnosticsFile(&env, *dump_path);
+        ASSERT_OK(dump_json.status());
+        for (const std::string& v : VerifyDiagnosticsDump(
+                 *dump_json, (*recovered)->storage().last_recovery())) {
+          ADD_FAILURE() << "diagnostics: " << v;
+          injection_ok = false;
+        }
+        if (!injection_ok) {
+          SaveFailingDump(workload.name, tear, step, *dump_json);
+        }
       }
+      env.set_event_log(nullptr);
       if (!injection_ok) RecordFailingInjection(workload.name, tear, step);
     }
   }

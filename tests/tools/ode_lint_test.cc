@@ -122,6 +122,45 @@ TEST(RawIoTest, IgnoresSuffixMatchesCommentsAndStrings) {
 }
 
 // ---------------------------------------------------------------------------
+// raw-clock
+// ---------------------------------------------------------------------------
+
+TEST(RawClockTest, FiresOnSystemClockOutsideUtil) {
+  const std::string code =
+      "uint64_t Now() {\n"
+      "  return std::chrono::system_clock::now().time_since_epoch().count();\n"
+      "}\n";
+  auto issues = RunRule("src/core/database.cc", code, "raw-clock");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 2);
+  EXPECT_NE(issues[0].message.find("ode::Clock"), std::string::npos);
+
+  EXPECT_EQ(RunRule("tools/mytool.cc", code, "raw-clock").size(), 1u);
+  EXPECT_EQ(RunRule("tests/core/foo_test.cc", code, "raw-clock").size(), 1u);
+}
+
+TEST(RawClockTest, UtilClockImplementationsAreExempt) {
+  const std::string code = "auto t = std::chrono::system_clock::now();\n";
+  EXPECT_TRUE(RunRule("src/util/clock.cc", code, "raw-clock").empty());
+  EXPECT_TRUE(RunRule("src/util/event_log.cc", code, "raw-clock").empty());
+}
+
+TEST(RawClockTest, IgnoresCommentsStringsAndSteadyClock) {
+  const std::string code =
+      "// system_clock would break determinism\n"
+      "Log(\"system_clock\");\n"
+      "auto t = std::chrono::steady_clock::now();\n";
+  EXPECT_TRUE(RunRule("src/core/foo.cc", code, "raw-clock").empty());
+}
+
+TEST(RawClockTest, AllowMarkerSilences) {
+  const std::string code =
+      "auto t = std::chrono::system_clock::now();"
+      "  // ode_lint: allow(raw-clock): wall time for log banner\n";
+  EXPECT_TRUE(RunRule("src/core/foo.cc", code, "raw-clock").empty());
+}
+
+// ---------------------------------------------------------------------------
 // todo-date
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,232 @@
+// Tests for the structured event journal: ring bounds, severity filtering,
+// Snapshot-vs-Drain semantics, drop accounting, multi-threaded sequencing,
+// and the JSON / binary wire formats.
+
+#include "util/event_log.h"
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tests/testing/json_util.h"
+#include "util/clock.h"
+#include "util/json.h"
+
+namespace ode {
+namespace {
+
+TEST(EventLogTest, RecordsCarrySequenceTimestampAndArgs) {
+  LogicalClock clock;
+  EventLog log(64, 256, &clock);
+  log.Record(EventType::kTxnCommit, EventSeverity::kDebug, 7, 3, 950);
+  log.Record(EventType::kCheckpoint, EventSeverity::kInfo, 12, 4096);
+
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].seq, 0u);
+  EXPECT_EQ(events[0].type, EventType::kTxnCommit);
+  EXPECT_EQ(events[0].a, 7u);
+  EXPECT_EQ(events[0].b, 3u);
+  EXPECT_EQ(events[0].c, 950u);
+  EXPECT_EQ(events[1].seq, 1u);
+  EXPECT_EQ(events[1].type, EventType::kCheckpoint);
+  // LogicalClock ticks once per record: strictly increasing stamps.
+  EXPECT_LT(events[0].ts_micros, events[1].ts_micros);
+  EXPECT_EQ(log.total_recorded(), 2u);
+}
+
+TEST(EventLogTest, DetailIsCopiedAndTruncated) {
+  EventLog log(64, 256);
+  log.Record(EventType::kPoison, EventSeverity::kError, 0, 0, 0,
+             "IO error: sync failed");
+  const std::string long_detail(200, 'x');
+  log.Record(EventType::kSlowOp, EventSeverity::kWarn, 1, 2, 0, long_detail);
+
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_STREQ(events[0].detail, "IO error: sync failed");
+  EXPECT_EQ(std::strlen(events[1].detail), EventRecord::kDetailBytes - 1);
+}
+
+TEST(EventLogTest, SeverityFilterDropsAtCallSite) {
+  EventLog log(64, 256);
+  log.set_min_severity(EventSeverity::kWarn);
+  log.Record(EventType::kTxnBegin, EventSeverity::kDebug, 1);
+  log.Record(EventType::kCheckpoint, EventSeverity::kInfo, 2);
+  log.Record(EventType::kSlowOp, EventSeverity::kWarn, 3);
+  log.Record(EventType::kPoison, EventSeverity::kError, 4);
+
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0].type, EventType::kSlowOp);
+  EXPECT_EQ(events[1].type, EventType::kPoison);
+  // Filtered records never consumed a sequence number.
+  EXPECT_EQ(log.total_recorded(), 2u);
+}
+
+TEST(EventLogTest, DisabledRecordingIsANoOp) {
+  EventLog log(64, 256);
+  log.set_enabled(false);
+  log.Record(EventType::kTxnCommit, EventSeverity::kDebug, 1);
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+  EXPECT_TRUE(events.empty());
+  EXPECT_EQ(log.total_recorded(), 0u);
+
+  log.set_enabled(true);
+  log.Record(EventType::kTxnCommit, EventSeverity::kDebug, 2);
+  log.Snapshot(&events);
+  EXPECT_EQ(events.size(), 1u);
+}
+
+TEST(EventLogTest, SnapshotDoesNotConsumeDrainDoes) {
+  EventLog log(64, 256);
+  log.Record(EventType::kTxnBegin, EventSeverity::kDebug, 1);
+  log.Record(EventType::kTxnCommit, EventSeverity::kDebug, 1);
+
+  std::vector<EventRecord> first, second, drained, after;
+  log.Snapshot(&first);
+  log.Snapshot(&second);
+  EXPECT_EQ(first.size(), 2u);
+  EXPECT_EQ(second.size(), 2u);  // Snapshot left the journal intact.
+
+  log.Drain(&drained);
+  EXPECT_EQ(drained.size(), 2u);
+  log.Drain(&after);
+  EXPECT_TRUE(after.empty());  // Drain consumed.
+  EXPECT_EQ(log.pending_events(), 0u);
+}
+
+TEST(EventLogTest, RingWrapKeepsNewestAndCountsDropped) {
+  EventLog log(/*buffer_events=*/8, /*ring_events=*/256);
+  for (uint64_t i = 0; i < 20; ++i) {
+    log.Record(EventType::kTxnCommit, EventSeverity::kDebug, i);
+  }
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+  ASSERT_EQ(events.size(), 8u);  // Per-thread ring capacity.
+  // The survivors are the newest 8, in order.
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].a, 12 + i);
+  }
+  EXPECT_EQ(log.dropped_events(), 12u);
+}
+
+TEST(EventLogTest, GlobalRingBoundsMergedJournal) {
+  // Per-thread buffers are big enough to hold everything; the merged view
+  // must still be capped to ring_events, keeping the newest.
+  EventLog log(/*buffer_events=*/64, /*ring_events=*/16);
+  for (uint64_t i = 0; i < 40; ++i) {
+    log.Record(EventType::kTxnCommit, EventSeverity::kDebug, i);
+  }
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+  ASSERT_EQ(events.size(), 16u);
+  EXPECT_EQ(events.front().a, 24u);
+  EXPECT_EQ(events.back().a, 39u);
+}
+
+TEST(EventLogTest, ThreadsGetDistinctTidsAndUniqueSeqs) {
+  EventLog log(1024, 8192);
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 100;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&log] {
+      for (int i = 0; i < kPerThread; ++i) {
+        log.Record(EventType::kTxnBegin, EventSeverity::kDebug, 1);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+  ASSERT_EQ(events.size(),
+            static_cast<size_t>(kThreads) * kPerThread);
+  // Merged output is ascending and duplicate-free in seq.
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_LT(events[i - 1].seq, events[i].seq);
+  }
+  EXPECT_EQ(log.dropped_events(), 0u);
+}
+
+TEST(EventLogTest, JsonIsWellFormedAndNamed) {
+  LogicalClock clock;
+  EventLog log(64, 256, &clock);
+  log.Record(EventType::kGroupCommitBatch, EventSeverity::kInfo, 3, 4096, 17);
+  log.Record(EventType::kPoison, EventSeverity::kError, 0, 0, 0,
+             "wal: \"torn\"\n");
+
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+  const std::string json = EventLog::ToJson(events);
+  std::string error;
+  EXPECT_TRUE(testing::IsWellFormedJson(json, &error)) << error << "\n"
+                                                       << json;
+  EXPECT_NE(json.find("\"type\":\"group_commit_batch\""), std::string::npos)
+      << json;
+  EXPECT_NE(json.find("\"severity\":\"error\""), std::string::npos) << json;
+  // The detail's quote and newline must have been escaped.
+  EXPECT_NE(json.find("wal: \\\"torn\\\"\\n"), std::string::npos) << json;
+}
+
+TEST(EventLogTest, BinaryRoundTrip) {
+  LogicalClock clock;
+  EventLog log(64, 256, &clock);
+  log.Record(EventType::kTxnCommit, EventSeverity::kDebug, 7, 3, 950,
+             "commit");
+  log.Record(EventType::kVacuumStep, EventSeverity::kDebug, 2, 128, 5);
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+
+  std::string wire;
+  EventLog::EncodeBinary(events, &wire);
+  std::vector<EventRecord> decoded;
+  ASSERT_TRUE(EventLog::DecodeBinary(wire, &decoded));
+  ASSERT_EQ(decoded.size(), events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(decoded[i].seq, events[i].seq);
+    EXPECT_EQ(decoded[i].ts_micros, events[i].ts_micros);
+    EXPECT_EQ(decoded[i].a, events[i].a);
+    EXPECT_EQ(decoded[i].b, events[i].b);
+    EXPECT_EQ(decoded[i].c, events[i].c);
+    EXPECT_EQ(decoded[i].type, events[i].type);
+    EXPECT_EQ(decoded[i].severity, events[i].severity);
+    EXPECT_EQ(decoded[i].tid, events[i].tid);
+    EXPECT_STREQ(decoded[i].detail, events[i].detail);
+  }
+}
+
+TEST(EventLogTest, BinaryDecodeRejectsGarbage) {
+  std::vector<EventRecord> out;
+  EXPECT_FALSE(EventLog::DecodeBinary("", &out));
+  EXPECT_FALSE(EventLog::DecodeBinary("NOTJ\x01\x00\x00\x00", &out));
+
+  EventLog log(64, 256);
+  log.Record(EventType::kTxnBegin, EventSeverity::kDebug, 1);
+  std::vector<EventRecord> events;
+  log.Snapshot(&events);
+  std::string wire;
+  EventLog::EncodeBinary(events, &wire);
+  // Truncated frame: header promises more records than the bytes hold.
+  EXPECT_FALSE(
+      EventLog::DecodeBinary(std::string_view(wire).substr(0, wire.size() - 1),
+                             &out));
+}
+
+TEST(EventLogTest, TypeAndSeverityNamesAreStable) {
+  EXPECT_STREQ(EventLog::TypeName(EventType::kTxnCommit), "txn_commit");
+  EXPECT_STREQ(EventLog::TypeName(EventType::kFaultInjection),
+               "fault_injection");
+  EXPECT_STREQ(EventLog::SeverityName(EventSeverity::kWarn), "warn");
+}
+
+}  // namespace
+}  // namespace ode

@@ -7,6 +7,9 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <cstdlib>
+#include <map>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -314,6 +317,121 @@ TEST(MetricsConcurrentTest, SnapshotDuringRecordingIsSane) {
   const HistogramSnapshot s = h->Snapshot();
   EXPECT_GT(s.count, 0u);
   EXPECT_LE(s.max, 4096u);
+}
+
+// --- Export renderers -----------------------------------------------------
+
+// Minimal parser for the Prometheus text exposition format (the subset the
+// renderer emits): "# TYPE name kind" declarations followed by samples
+// `name value`, `name{quantile="q"} value`, `name_sum v`, `name_count v`.
+// The acceptance bar is a round trip: every instrument in the snapshot must
+// come back out with its declared type and value.
+struct PromDoc {
+  std::map<std::string, std::string> types;    // name -> counter/gauge/summary
+  std::map<std::string, double> samples;       // full sample key -> value
+  bool parse_error = false;
+
+  static PromDoc Parse(const std::string& text) {
+    PromDoc doc;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) {
+        doc.parse_error = true;  // Renderer always ends lines with '\n'.
+        break;
+      }
+      const std::string line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.empty()) continue;
+      if (line[0] == '#') {
+        // "# TYPE <name> <kind>"
+        std::istringstream in(line);
+        std::string hash, type_word, name, kind;
+        in >> hash >> type_word >> name >> kind;
+        if (hash != "#" || type_word != "TYPE" || name.empty() ||
+            kind.empty()) {
+          doc.parse_error = true;
+        } else {
+          doc.types[name] = kind;
+        }
+        continue;
+      }
+      const size_t space = line.rfind(' ');
+      if (space == std::string::npos) {
+        doc.parse_error = true;
+        continue;
+      }
+      const std::string key = line.substr(0, space);
+      char* end = nullptr;
+      const std::string value_text = line.substr(space + 1);
+      const double value = std::strtod(value_text.c_str(), &end);
+      if (end == value_text.c_str() || *end != '\0') {
+        doc.parse_error = true;
+        continue;
+      }
+      doc.samples[key] = value;
+    }
+    return doc;
+  }
+};
+
+TEST(MetricsRenderTest, PrometheusTextRoundTrips) {
+  MetricsRegistry reg;
+  reg.GetCounter("wal.appends")->Add(42);
+  reg.GetCounter("commits")->Add(7);
+  reg.GetGauge("pool.resident_pages")->Set(-3);
+  Histogram* h = reg.GetHistogram("commit.latency_ns");
+  for (uint64_t v = 1; v <= 100; ++v) h->Record(v);
+
+  const MetricsRegistry::Snapshot snap = reg.SnapshotAll();
+  const PromDoc doc = PromDoc::Parse(reg.RenderPrometheusText());
+  ASSERT_FALSE(doc.parse_error);
+
+  // Counters: dots sanitized to underscores, ode_ prefix, exact values.
+  EXPECT_EQ(doc.types.at("ode_wal_appends"), "counter");
+  EXPECT_EQ(doc.samples.at("ode_wal_appends"), 42.0);
+  EXPECT_EQ(doc.types.at("ode_commits"), "counter");
+  EXPECT_EQ(doc.samples.at("ode_commits"), 7.0);
+
+  // Gauges keep their sign.
+  EXPECT_EQ(doc.types.at("ode_pool_resident_pages"), "gauge");
+  EXPECT_EQ(doc.samples.at("ode_pool_resident_pages"), -3.0);
+
+  // Histograms render as summaries: three quantiles plus _sum/_count, all
+  // agreeing with the snapshot the text was rendered from.
+  EXPECT_EQ(doc.types.at("ode_commit_latency_ns"), "summary");
+  const HistogramSnapshot& hs = snap.histograms.at(0).second;
+  ASSERT_EQ(snap.histograms.at(0).first, "commit.latency_ns");
+  EXPECT_EQ(doc.samples.at("ode_commit_latency_ns_count"),
+            static_cast<double>(hs.count));
+  EXPECT_EQ(doc.samples.at("ode_commit_latency_ns_sum"),
+            static_cast<double>(hs.sum));
+  EXPECT_DOUBLE_EQ(
+      doc.samples.at("ode_commit_latency_ns{quantile=\"0.5\"}"), hs.p50);
+  EXPECT_DOUBLE_EQ(
+      doc.samples.at("ode_commit_latency_ns{quantile=\"0.9\"}"), hs.p90);
+  EXPECT_DOUBLE_EQ(
+      doc.samples.at("ode_commit_latency_ns{quantile=\"0.99\"}"), hs.p99);
+
+  // Nothing extra leaked into the exposition.
+  EXPECT_EQ(doc.types.size(), 4u);
+  EXPECT_EQ(doc.samples.size(), 3u + 5u);
+}
+
+TEST(MetricsRenderTest, PrometheusTextOfEmptyRegistryIsEmpty) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.RenderPrometheusText(), "");
+}
+
+TEST(MetricsRenderTest, JsonCarriesAllInstruments) {
+  MetricsRegistry reg;
+  reg.GetCounter("ops")->Add(5);
+  reg.GetGauge("depth")->Set(9);
+  reg.GetHistogram("lat")->Record(1000);
+  const std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"counters\":{\"ops\":5}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"gauges\":{\"depth\":9}"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"lat\":{\"count\":1"), std::string::npos) << json;
 }
 
 }  // namespace

@@ -70,6 +70,30 @@ void CheckRawIo(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// raw-clock
+// ---------------------------------------------------------------------------
+
+// Direct std::chrono::system_clock reads outside util/ bypass the injectable
+// Clock (util/clock.h), so fault-injection and crash-matrix runs lose their
+// deterministic timeline.  The two sanctioned readers — util/clock.cc and
+// the event log's lock-free wall-micros source — live under src/util/.
+void CheckRawClock(const std::string& path,
+                   const std::vector<std::string>& stripped_lines,
+                   std::vector<Issue>* issues) {
+  if (StartsWith(path, "src/util/")) return;
+  static const std::regex kSystemClock(R"(\bsystem_clock\b)");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    if (std::regex_search(stripped_lines[i], kSystemClock)) {
+      issues->push_back(Issue{
+          path, static_cast<int>(i + 1), "raw-clock",
+          "direct system_clock use outside src/util/; take timestamps from "
+          "ode::Clock / EventLog::NowMicros() so injected clocks and the "
+          "crash matrix stay deterministic"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // todo-date
 // ---------------------------------------------------------------------------
 
@@ -447,6 +471,7 @@ std::vector<Issue> LintSource(const std::string& path,
       SplitLines(StripImpl(content, /*keep_comments=*/true));
 
   CheckRawIo(path, stripped_lines, &issues);
+  CheckRawClock(path, stripped_lines, &issues);
   CheckTodoDate(path, comment_lines, &issues);
   CheckMutexMembers(path, stripped, &issues);
   CheckForEachCallers(path, stripped_lines, &issues);

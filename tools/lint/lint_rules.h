@@ -16,6 +16,10 @@ namespace lint {
 //                 storage/fault_env*.cc.  Everything must go through
 //                 ode::Env, or the fault-injection and crash-matrix
 //                 machinery silently loses coverage of that I/O.
+//  raw-clock      Direct std::chrono::system_clock use outside src/util/.
+//                 Timestamps must come from the injectable ode::Clock
+//                 (util/clock.h) or EventLog::NowMicros(), or fault- and
+//                 crash-injection runs lose their deterministic timeline.
 //  todo-date      A TODO must carry an ISO date — `TODO(2026-08-07: ...)` or
 //                 `TODO(name, 2026-08-07: ...)` — so stale intentions are
 //                 identifiable instead of immortal.

@@ -16,8 +16,14 @@
 //   storage   physical page/record statistics + cache counters
 //   caches    read every version twice, report read-cache hit rates
 //   stats     read every version once, dump the full metrics registry
+//             (--format=text|json|prom selects the rendering)
 //   trace     read every version once, emit Chrome trace_event JSON
 //             (--out <file> writes to a file instead of stdout)
+//   diag      list the flight-recorder dumps (DIAGNOSTICS-<seq>.json) and
+//             pretty-print the newest (or --file <name>); works without
+//             opening the database, so it runs even when opening cannot
+//   health    health verdict; exit code IS the state (0 ok, 1 degraded,
+//             2 poisoned/unopenable)
 
 #include <cinttypes>
 #include <cstdio>
@@ -32,6 +38,7 @@
 #include "core/check.h"
 #include "core/cursor.h"
 #include "core/database.h"
+#include "core/diagnostics.h"
 #include "policy/history.h"
 #include "storage/env.h"
 #include "storage/payload_store.h"
@@ -43,7 +50,8 @@ namespace {
 constexpr char kUsage[] =
     "usage: odedump <db-path> "
     "[summary|objects|graph|types|check|verify|vacuum|storage|caches"
-    "|stats|trace [--out <file>]]\n"
+    "|stats [--format=text|json|prom]|trace [--out <file>]"
+    "|diag [--file <name>]|health]\n"
     "<db-path> must be an existing Ode database directory (containing "
     "data.odb)\n";
 
@@ -431,9 +439,24 @@ int PrintPayloadSection(ode::Database& db) {
 }
 
 // Runs one read pass, then renders the whole metrics registry: counters,
-// gauges, and histogram percentiles, sorted by name.
-int Stats(ode::Database& db) {
+// gauges, and histogram percentiles, sorted by name.  `format` selects
+// "text" (the human table below), "json" (MetricsRegistry::RenderJson), or
+// "prom" (Prometheus text exposition) — the latter two reuse the library
+// renderers, so scraping odedump and scraping a live process agree.
+int Stats(ode::Database& db, const std::string& format) {
   if (ode::Status s = ReadPass(db); !s.ok()) return Fail(s);
+  if (format == "json") {
+    std::printf("%s\n", ode::MetricsRegistry::RenderJson(db.MetricsSnapshot())
+                            .c_str());
+    return 0;
+  }
+  if (format == "prom") {
+    std::fputs(
+        ode::MetricsRegistry::RenderPrometheusText(db.MetricsSnapshot())
+            .c_str(),
+        stdout);
+    return 0;
+  }
   if (int rc = PrintPayloadSection(db); rc != 0) return rc;
   // Group-commit health up front: the commits/fsync ratio is THE number
   // that says whether concurrent writers are actually sharing fsyncs
@@ -502,6 +525,121 @@ int Trace(ode::Database& db, const std::string& out_path) {
   return 0;
 }
 
+// Structural JSON re-indenter (no parse, no validation): newline + indent
+// after every container open and comma, matching un-indent before close.
+// String contents (with escapes) pass through untouched.
+std::string PrettyPrintJson(const std::string& json) {
+  std::string out;
+  out.reserve(json.size() * 2);
+  int depth = 0;
+  bool in_string = false;
+  bool escaped = false;
+  const auto newline = [&] {
+    out.push_back('\n');
+    out.append(static_cast<size_t>(depth) * 2, ' ');
+  };
+  for (char c : json) {
+    if (in_string) {
+      out.push_back(c);
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        in_string = true;
+        out.push_back(c);
+        break;
+      case '{':
+      case '[':
+        out.push_back(c);
+        ++depth;
+        newline();
+        break;
+      case '}':
+      case ']':
+        --depth;
+        newline();
+        out.push_back(c);
+        break;
+      case ',':
+        out.push_back(c);
+        newline();
+        break;
+      case ':':
+        out.append(": ");
+        break;
+      default:
+        out.push_back(c);
+        break;
+    }
+  }
+  return out;
+}
+
+// Lists the flight-recorder dumps and pretty-prints one (the newest, or
+// --file <name>).  Deliberately does NOT open the database: the dumps are
+// post-mortem artifacts and must stay readable when opening cannot.
+int Diag(const std::string& path, const std::string& file) {
+  ode::Env* env = ode::Env::Posix();
+  auto dumps = ode::ListDiagnosticsDumps(env, path);
+  if (!dumps.ok()) return Fail(dumps.status());
+  if (dumps->empty() && file.empty()) {
+    std::printf("no diagnostics dumps in %s\n", path.c_str());
+    return 0;
+  }
+  std::printf("--- dumps ---\n");
+  for (const auto& [seq, name] : *dumps) {
+    uint64_t size = 0;
+    if (auto f = env->OpenFile(path + "/" + name); f.ok()) {
+      if (auto sz = (*f)->Size(); sz.ok()) size = *sz;
+    }
+    std::printf("seq %-6" PRIu64 " %-28s %8" PRIu64 " bytes\n", seq,
+                name.c_str(), size);
+  }
+  const std::string chosen = file.empty() ? dumps->back().second : file;
+  auto contents = ode::ReadDiagnosticsFile(env, path + "/" + chosen);
+  if (!contents.ok()) return Fail(contents.status());
+  std::printf("--- %s ---\n%s\n", chosen.c_str(),
+              PrettyPrintJson(*contents).c_str());
+  return 0;
+}
+
+// Health verdict with the state as the exit code (0 ok / 1 degraded /
+// 2 poisoned; main() returns 2 itself when the database cannot be opened).
+// Poison is runtime state — a freshly opened database is never poisoned —
+// so a dump whose trigger was "poison" reports the PREVIOUS run's failure
+// as a degradation until the dumps are cleared.
+int Health(ode::Database& db, const std::string& path) {
+  ode::HealthReport report = db.HealthCheck();
+  ode::Env* env = ode::Env::Posix();
+  if (auto dumps = ode::ListDiagnosticsDumps(env, path); dumps.ok()) {
+    for (const auto& [seq, name] : *dumps) {
+      auto contents = ode::ReadDiagnosticsFile(env, path + "/" + name);
+      if (contents.ok() &&
+          contents->find("\"trigger\":\"poison\"") != std::string::npos) {
+        if (report.state == ode::HealthState::kOk) {
+          report.state = ode::HealthState::kDegraded;
+        }
+        report.reasons.push_back("previous run poisoned (see " + name + ")");
+      }
+    }
+  }
+  std::printf("state:           %s\n", ode::HealthStateName(report.state));
+  std::printf("checkpointer lag: %" PRIu64 " us\n", report.checkpointer_lag_us);
+  std::printf("wal backlog:     %" PRIu64 " bytes\n", report.wal_backlog_bytes);
+  std::printf("async pending:   %" PRId64 "\n", report.async_pending);
+  for (const std::string& reason : report.reasons) {
+    std::printf("reason: %s\n", reason.c_str());
+  }
+  return static_cast<int>(report.state);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -517,17 +655,33 @@ int main(int argc, char** argv) {
       command == "summary" || command == "objects" || command == "graph" ||
       command == "types" || command == "check" || command == "verify" ||
       command == "vacuum" || command == "storage" || command == "caches" ||
-      command == "stats" || command == "trace";
+      command == "stats" || command == "trace" || command == "diag" ||
+      command == "health";
   if (!known_command) {
     std::fprintf(stderr, "odedump: unknown command '%s'\n", command.c_str());
     std::fputs(kUsage, stderr);
     return 2;
   }
   std::string trace_out;
+  std::string stats_format = "text";
+  std::string diag_file;
   for (int i = 3; i < argc; ++i) {
     if (command == "trace" && std::strcmp(argv[i], "--out") == 0 &&
         i + 1 < argc) {
       trace_out = argv[++i];
+    } else if (command == "stats" &&
+               std::strncmp(argv[i], "--format=", 9) == 0) {
+      stats_format = argv[i] + 9;
+      if (stats_format != "text" && stats_format != "json" &&
+          stats_format != "prom") {
+        std::fprintf(stderr, "odedump: unknown format '%s'\n",
+                     stats_format.c_str());
+        std::fputs(kUsage, stderr);
+        return 2;
+      }
+    } else if (command == "diag" && std::strcmp(argv[i], "--file") == 0 &&
+               i + 1 < argc) {
+      diag_file = argv[++i];
     } else {
       std::fprintf(stderr, "odedump: unknown flag '%s'\n", argv[i]);
       std::fputs(kUsage, stderr);
@@ -535,6 +689,8 @@ int main(int argc, char** argv) {
     }
   }
   const std::string path = argv[1];
+  // diag never opens the database: dumps must stay readable post-mortem.
+  if (command == "diag") return Diag(path, diag_file);
   if (!ode::Env::Posix()->FileExists(path + "/data.odb")) {
     std::fprintf(stderr, "odedump: no Ode database at '%s' (missing %s)\n",
                  path.c_str(), (path + "/data.odb").c_str());
@@ -557,8 +713,17 @@ int main(int argc, char** argv) {
     options.metrics_sample_every = 1;
   }
   auto db = ode::Database::Open(options);
-  if (!db.ok()) return Fail(db.status());
+  if (!db.ok()) {
+    // For the health verdict an unopenable database is the worst state.
+    if (command == "health") {
+      std::fprintf(stderr, "odedump: %s\n", db.status().ToString().c_str());
+      std::printf("state:           unopenable\n");
+      return 2;
+    }
+    return Fail(db.status());
+  }
 
+  if (command == "health") return Health(**db, path);
   if (command == "summary") return Summary(**db);
   if (command == "objects") return Objects(**db);
   if (command == "graph") return Graph(**db);
@@ -568,6 +733,6 @@ int main(int argc, char** argv) {
   if (command == "vacuum") return Vacuum(**db);
   if (command == "storage") return Storage(**db);
   if (command == "caches") return Caches(**db);
-  if (command == "stats") return Stats(**db);
+  if (command == "stats") return Stats(**db, stats_format);
   return Trace(**db, trace_out);
 }
