@@ -4,6 +4,7 @@
 #include <set>
 #include <sstream>
 
+#include "core/cursor.h"
 #include "storage/payload_store.h"
 
 namespace ode {
@@ -33,40 +34,44 @@ StatusOr<CheckReport> CheckDatabase(Database& db) {
   // Pass 1: every object and its versions.
   std::map<uint64_t, uint32_t> object_types;  // oid -> type (for clusters).
   std::map<Hash128, RefTally> expected_refs;  // For the pass-3 store audit.
-  Status iter_status = db.ForEachObject([&](ObjectId oid,
-                                            const ObjectHeader& header) {
+  ObjectCursor objects(db);
+  for (; objects.Valid(); objects.Next()) {
+    const ObjectId oid = objects.oid();
+    const ObjectHeader header = objects.header();
     ++report.objects_checked;
     object_types[oid.value] = header.type_id;
 
     std::set<VersionNum> live;
     VersionNum max_vnum = 0;
     std::map<VersionNum, VersionMeta> metas;
-    Status versions_status = db.ForEachVersion(
-        oid, [&](VersionId vid, const VersionMeta& meta) {
-          ++report.versions_checked;
-          live.insert(vid.vnum);
-          max_vnum = std::max(max_vnum, vid.vnum);
-          metas[vid.vnum] = meta;
-          if (meta.vnum != vid.vnum) {
-            complain("version key/meta vnum mismatch at " + Describe(vid));
-          }
-          if (!meta.content_hash.IsZero()) {
-            RefTally& tally = expected_refs[meta.content_hash];
-            if (tally.count == 0) {
-              tally.rid = meta.payload;
-            } else if (!(tally.rid == meta.payload)) {
-              complain(Describe(vid) + ": blob " + meta.content_hash.ToHex() +
-                       " referenced through a different record id than other "
-                       "versions");
-            }
-            ++tally.count;
-          }
-          return true;
-        });
-    if (!versions_status.ok()) {
+    VersionCursor versions(db, oid);
+    for (; versions.Valid(); versions.Next()) {
+      const VersionId vid = versions.vid();
+      const VersionMeta& meta = versions.meta();
+      ++report.versions_checked;
+      live.insert(vid.vnum);
+      max_vnum = std::max(max_vnum, vid.vnum);
+      metas[vid.vnum] = meta;
+      if (meta.vnum != vid.vnum) {
+        complain("version key/meta vnum mismatch at " + Describe(vid));
+      }
+      if (!meta.content_hash.IsZero()) {
+        RefTally& tally = expected_refs[meta.content_hash];
+        if (tally.count == 0) {
+          tally.rid = meta.payload;
+        } else if (!(tally.rid == meta.payload)) {
+          complain(Describe(vid) + ": blob " + meta.content_hash.ToHex() +
+                   " referenced through a different record id than other "
+                   "versions");
+        }
+        ++tally.count;
+      }
+    }
+    if (!versions.status().ok()) {
       complain("version scan failed for object " +
-               std::to_string(oid.value) + ": " + versions_status.ToString());
-      return true;
+               std::to_string(oid.value) + ": " +
+               versions.status().ToString());
+      continue;
     }
 
     if (live.size() != header.version_count) {
@@ -76,7 +81,7 @@ StatusOr<CheckReport> CheckDatabase(Database& db) {
     }
     if (live.empty()) {
       complain("object " + std::to_string(oid.value) + " has no versions");
-      return true;
+      continue;
     }
     if (live.count(header.latest) == 0) {
       complain("object " + std::to_string(oid.value) + ": latest v" +
@@ -135,34 +140,34 @@ StatusOr<CheckReport> CheckDatabase(Database& db) {
         }
       }
     }
-    return true;
-  });
-  if (!iter_status.ok()) return iter_status;
+  }
+  if (!objects.status().ok()) return objects.status();
 
   // Pass 2: cluster membership is exactly the object set, per type.
   std::set<uint64_t> seen_in_clusters;
-  Status type_status =
-      db.ForEachType([&](const std::string& name, uint32_t type_id) {
-        Status cluster_status =
-            db.ForEachInCluster(type_id, [&](ObjectId oid) {
-              auto it = object_types.find(oid.value);
-              if (it == object_types.end()) {
-                complain("cluster '" + name + "' lists missing object " +
-                         std::to_string(oid.value));
-              } else if (it->second != type_id) {
-                complain("cluster '" + name + "' lists object " +
-                         std::to_string(oid.value) + " of another type");
-              }
-              seen_in_clusters.insert(oid.value);
-              return true;
-            });
-        if (!cluster_status.ok()) {
-          complain("cluster scan failed for '" + name +
-                   "': " + cluster_status.ToString());
-        }
-        return true;
-      });
-  if (!type_status.ok()) return type_status;
+  TypeCursor types(db);
+  for (; types.Valid(); types.Next()) {
+    const std::string name = types.name();
+    const uint32_t type_id = types.id();
+    ClusterCursor cluster(db, type_id);
+    for (; cluster.Valid(); cluster.Next()) {
+      const ObjectId oid = cluster.oid();
+      auto it = object_types.find(oid.value);
+      if (it == object_types.end()) {
+        complain("cluster '" + name + "' lists missing object " +
+                 std::to_string(oid.value));
+      } else if (it->second != type_id) {
+        complain("cluster '" + name + "' lists object " +
+                 std::to_string(oid.value) + " of another type");
+      }
+      seen_in_clusters.insert(oid.value);
+    }
+    if (!cluster.status().ok()) {
+      complain("cluster scan failed for '" + name +
+               "': " + cluster.status().ToString());
+    }
+  }
+  if (!types.status().ok()) return types.status();
 
   for (const auto& [oid, type] : object_types) {
     (void)type;

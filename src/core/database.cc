@@ -1421,65 +1421,20 @@ StatusOr<std::optional<uint32_t>> Database::LookupType(std::string_view name) {
   return result;
 }
 
-Status Database::ForEachInCluster(uint32_t type_id,
-                                  const std::function<bool(ObjectId)>& fn) {
-  ClusterCursor c(*this, type_id);
-  for (; c.Valid(); c.Next()) {
-    if (!fn(c.oid())) break;
-  }
-  return c.status();
-}
-
 StatusOr<std::vector<ObjectId>> Database::ClusterScan(uint32_t type_id) {
   std::vector<ObjectId> result;
-  Status s = ForEachInCluster(type_id, [&](ObjectId oid) {
-    result.push_back(oid);
-    return true;
-  });
-  if (!s.ok()) return s;
+  ClusterCursor c(*this, type_id);
+  for (; c.Valid(); c.Next()) result.push_back(c.oid());
+  ODE_RETURN_IF_ERROR(c.status());
   return result;
 }
 
 StatusOr<uint64_t> Database::ClusterSize(uint32_t type_id) {
   uint64_t count = 0;
-  Status s = ForEachInCluster(type_id, [&](ObjectId) {
-    ++count;
-    return true;
-  });
-  if (!s.ok()) return s;
+  ClusterCursor c(*this, type_id);
+  for (; c.Valid(); c.Next()) ++count;
+  ODE_RETURN_IF_ERROR(c.status());
   return count;
-}
-
-// ---------------------------------------------------------------------------
-// Whole-database enumeration
-// ---------------------------------------------------------------------------
-
-Status Database::ForEachObject(
-    const std::function<bool(ObjectId, const ObjectHeader&)>& fn) {
-  ObjectCursor c(*this);
-  for (; c.Valid(); c.Next()) {
-    if (!fn(c.oid(), c.header())) break;
-  }
-  return c.status();
-}
-
-Status Database::ForEachVersion(
-    ObjectId oid,
-    const std::function<bool(VersionId, const VersionMeta&)>& fn) {
-  VersionCursor c(*this, oid);
-  for (; c.Valid(); c.Next()) {
-    if (!fn(c.vid(), c.meta())) break;
-  }
-  return c.status();
-}
-
-Status Database::ForEachType(
-    const std::function<bool(const std::string&, uint32_t)>& fn) {
-  TypeCursor c(*this);
-  for (; c.Valid(); c.Next()) {
-    if (!fn(c.name(), c.id())) break;
-  }
-  return c.status();
 }
 
 namespace {

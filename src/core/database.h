@@ -368,38 +368,19 @@ class Database {
   /// Looks up a type id without creating it.
   StatusOr<std::optional<uint32_t>> LookupType(std::string_view name);
 
-  /// DEPRECATED: prefer ClusterCursor (core/cursor.h).  Iterates the cluster
-  /// (per-type extent) of `type_id`; `fn` returns false to stop.  Thin
-  /// wrapper over ClusterCursor, kept so existing callers compile.
-  Status ForEachInCluster(uint32_t type_id,
-                          const std::function<bool(ObjectId)>& fn);
-
+  /// Materializes the cluster (per-type extent) of `type_id` as an oid
+  /// vector.  The streaming form is ClusterCursor (core/cursor.h) — the one
+  /// traversal API; these two are convenience reductions over it.
   StatusOr<std::vector<ObjectId>> ClusterScan(uint32_t type_id);
   StatusOr<uint64_t> ClusterSize(uint32_t type_id);
 
   // -- Whole-database enumeration (catalog scans) ---------------------------
   //
-  // The first-class scan API is the cursor family in core/cursor.h
-  // (ObjectCursor/VersionCursor/TypeCursor/ClusterCursor): Status-first
-  // Next()/Valid()/status() iterators that don't hold the engine lock across
-  // user code.  The ForEach* callback forms below are DEPRECATED thin
-  // wrappers over those cursors, kept so existing callers compile.
-
-  /// DEPRECATED: prefer ObjectCursor (core/cursor.h).  Iterates every object
-  /// (ascending oid); `fn` returns false to stop.
-  Status ForEachObject(
-      const std::function<bool(ObjectId, const ObjectHeader&)>& fn);
-
-  /// DEPRECATED: prefer VersionCursor (core/cursor.h).  Iterates every
-  /// version of `oid` in temporal order with its metadata.
-  Status ForEachVersion(
-      ObjectId oid,
-      const std::function<bool(VersionId, const VersionMeta&)>& fn);
-
-  /// DEPRECATED: prefer TypeCursor (core/cursor.h).  Iterates every
-  /// registered type (name -> id).
-  Status ForEachType(
-      const std::function<bool(const std::string&, uint32_t)>& fn);
+  // The scan API is the cursor family in core/cursor.h (ObjectCursor /
+  // VersionCursor / TypeCursor / ClusterCursor): Status-first
+  // Next()/Valid()/status() iterators that don't hold the engine lock
+  // across user code.  The ForEach* callback wrappers deprecated in PR 4
+  // are gone; tools/lint (foreach-caller rule) keeps them from coming back.
 
   /// Rebuilds the catalog B+trees (and the payload index) compactly,
   /// returning pages emptied by past deletions to the allocator.

@@ -2,6 +2,7 @@
 
 #include <set>
 
+#include "core/cursor.h"
 #include "core/meta.h"
 #include "storage/btree.h"
 #include "util/logging.h"
@@ -183,10 +184,13 @@ Status RawSecondaryIndex::ReconcileAll() {
       }
       ODE_RETURN_IF_ERROR(it.status());
     }
-    ODE_RETURN_IF_ERROR(db_->ForEachInCluster(type_id_, [&](ObjectId oid) {
-      candidates.insert(oid.value);
-      return true;
-    }));
+    {
+      ClusterCursor cluster(*db_, type_id_);
+      for (; cluster.Valid(); cluster.Next()) {
+        candidates.insert(cluster.oid().value);
+      }
+      ODE_RETURN_IF_ERROR(cluster.status());
+    }
     for (uint64_t oid : candidates) {
       ODE_RETURN_IF_ERROR(Reconcile(ObjectId{oid}));
     }

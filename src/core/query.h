@@ -4,6 +4,7 @@
 #include <functional>
 #include <vector>
 
+#include "core/cursor.h"
 #include "core/database.h"
 #include "core/version_ptr.h"
 #include "util/statusor.h"
@@ -24,18 +25,14 @@ Status ForEachLatest(Database& db,
                      const std::function<bool(const Ref<T>&, const T&)>& fn) {
   auto type_id = db.TypeId<T>();
   if (!type_id.ok()) return type_id.status();
-  Status inner = Status::OK();
-  Status scan = db.ForEachInCluster(*type_id, [&](ObjectId oid) {
-    Ref<T> ref(&db, oid);
+  ClusterCursor cluster(db, *type_id);
+  for (; cluster.Valid(); cluster.Next()) {
+    Ref<T> ref(&db, cluster.oid());
     auto value = ref.Load();
-    if (!value.ok()) {
-      inner = value.status();
-      return false;
-    }
-    return fn(ref, *value);
-  });
-  ODE_RETURN_IF_ERROR(scan);
-  return inner;
+    if (!value.ok()) return value.status();
+    if (!fn(ref, *value)) break;
+  }
+  return cluster.status();
 }
 
 /// All objects of type T whose latest version satisfies `predicate`.
@@ -76,18 +73,13 @@ StatusOr<std::vector<VersionPtr<T>>> SelectAllVersions(
   auto type_id = db.TypeId<T>();
   if (!type_id.ok()) return type_id.status();
   std::vector<VersionPtr<T>> result;
-  Status inner = Status::OK();
-  Status scan = db.ForEachInCluster(*type_id, [&](ObjectId oid) {
-    auto versions = SelectVersions<T>(db, oid, predicate);
-    if (!versions.ok()) {
-      inner = versions.status();
-      return false;
-    }
+  ClusterCursor cluster(db, *type_id);
+  for (; cluster.Valid(); cluster.Next()) {
+    auto versions = SelectVersions<T>(db, cluster.oid(), predicate);
+    if (!versions.ok()) return versions.status();
     result.insert(result.end(), versions->begin(), versions->end());
-    return true;
-  });
-  ODE_RETURN_IF_ERROR(scan);
-  if (!inner.ok()) return inner;
+  }
+  ODE_RETURN_IF_ERROR(cluster.status());
   return result;
 }
 

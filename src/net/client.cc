@@ -1,0 +1,254 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace ode {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
+                                                  uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("not an IPv4 address: " + host);
+  }
+  const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Errno("socket");
+  if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
+      0) {
+    Status s = Errno("connect " + host + ":" + std::to_string(port));
+    close(fd);
+    return s;
+  }
+  const int one = 1;
+  // Request/response traffic; Nagle only delays small frames (best-effort).
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return std::unique_ptr<Client>(new Client(fd));
+}
+
+Client::~Client() {
+  if (fd_ >= 0) close(fd_);
+}
+
+Status Client::Send(Request& req, uint64_t* id) {
+  req.request_id = next_id_++;
+  if (id != nullptr) *id = req.request_id;
+  EncodeRequestFrame(req, &wbuf_);
+  return Status::OK();
+}
+
+Status Client::Flush() {
+  size_t off = 0;
+  while (off < wbuf_.size()) {
+    const ssize_t wrote =
+        write(fd_, wbuf_.data() + off, wbuf_.size() - off);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      return Errno("write");
+    }
+    off += static_cast<size_t>(wrote);
+  }
+  wbuf_.clear();
+  return Status::OK();
+}
+
+Status Client::Recv(Response* resp) {
+  char buf[64 * 1024];
+  while (true) {
+    Slice input(rbuf_);
+    Slice frame;
+    std::string frame_error;
+    const FrameResult r =
+        ExtractFrame(&input, &frame, kDefaultMaxFrameBytes, &frame_error);
+    if (r == FrameResult::kError) {
+      return Status::InvalidArgument("server sent garbage: " + frame_error);
+    }
+    if (r == FrameResult::kFrame) {
+      Status decoded = DecodeResponse(frame, resp);
+      rbuf_.erase(0, rbuf_.size() - input.size());
+      return decoded;
+    }
+    const ssize_t got = read(fd_, buf, sizeof(buf));
+    if (got < 0) {
+      if (errno == EINTR) continue;
+      return Errno("read");
+    }
+    if (got == 0) {
+      return Status::IOError("server closed the connection");
+    }
+    rbuf_.append(buf, static_cast<size_t>(got));
+  }
+}
+
+Status Client::Call(Request& req, Response* resp) {
+  ODE_RETURN_IF_ERROR(Send(req));
+  ODE_RETURN_IF_ERROR(Flush());
+  ODE_RETURN_IF_ERROR(Recv(resp));
+  if (resp->request_id != req.request_id) {
+    return Status::Internal(
+        "response id " + std::to_string(resp->request_id) +
+        " does not match request id " + std::to_string(req.request_id) +
+        " (mixing Call with unconsumed pipelined Sends?)");
+  }
+  return Status::OK();
+}
+
+Status Client::SimpleCall(Request& req, Response* resp) {
+  ODE_RETURN_IF_ERROR(Call(req, resp));
+  if (resp->status != WireStatus::kOk) {
+    return FromWireStatus(resp->status, resp->message);
+  }
+  return Status::OK();
+}
+
+Status Client::Ping() {
+  Request req;
+  req.op = OpCode::kPing;
+  Response resp;
+  return SimpleCall(req, &resp);
+}
+
+StatusOr<uint32_t> Client::RegisterType(const std::string& name) {
+  Request req;
+  req.op = OpCode::kRegisterType;
+  req.payload = name;
+  Response resp;
+  ODE_RETURN_IF_ERROR(SimpleCall(req, &resp));
+  return resp.type_id;
+}
+
+StatusOr<VersionId> Client::Pnew(uint32_t type_id, const std::string& payload) {
+  Request req;
+  req.op = OpCode::kPnew;
+  req.type_id = type_id;
+  req.payload = payload;
+  Response resp;
+  ODE_RETURN_IF_ERROR(SimpleCall(req, &resp));
+  return VersionId{ObjectId{resp.oid}, resp.vnum};
+}
+
+StatusOr<VersionId> Client::NewVersionOf(ObjectId oid) {
+  Request req;
+  req.op = OpCode::kNewVersionOf;
+  req.oid = oid.value;
+  Response resp;
+  ODE_RETURN_IF_ERROR(SimpleCall(req, &resp));
+  return VersionId{ObjectId{resp.oid}, resp.vnum};
+}
+
+Status Client::UpdateLatest(ObjectId oid, const std::string& payload) {
+  Request req;
+  req.op = OpCode::kUpdateLatest;
+  req.oid = oid.value;
+  req.payload = payload;
+  Response resp;
+  return SimpleCall(req, &resp);
+}
+
+Status Client::UpdateVersion(VersionId vid, const std::string& payload) {
+  Request req;
+  req.op = OpCode::kUpdateVersion;
+  req.oid = vid.oid.value;
+  req.vnum = vid.vnum;
+  req.payload = payload;
+  Response resp;
+  return SimpleCall(req, &resp);
+}
+
+StatusOr<std::string> Client::DerefLatest(ObjectId oid, VersionId* resolved) {
+  Request req;
+  req.op = OpCode::kDerefLatest;
+  req.oid = oid.value;
+  Response resp;
+  ODE_RETURN_IF_ERROR(SimpleCall(req, &resp));
+  if (resolved != nullptr) {
+    *resolved = VersionId{ObjectId{resp.oid}, resp.vnum};
+  }
+  return std::move(resp.payload);
+}
+
+StatusOr<std::string> Client::DerefVersion(VersionId vid) {
+  Request req;
+  req.op = OpCode::kDerefVersion;
+  req.oid = vid.oid.value;
+  req.vnum = vid.vnum;
+  Response resp;
+  ODE_RETURN_IF_ERROR(SimpleCall(req, &resp));
+  return std::move(resp.payload);
+}
+
+StatusOr<std::vector<DerefResult>> Client::DerefBatch(
+    const std::vector<DerefItem>& items) {
+  Request req;
+  req.op = OpCode::kDerefBatch;
+  req.batch = items;
+  Response resp;
+  ODE_RETURN_IF_ERROR(SimpleCall(req, &resp));
+  return std::move(resp.batch);
+}
+
+Status Client::DeleteObject(ObjectId oid) {
+  Request req;
+  req.op = OpCode::kDeleteObject;
+  req.oid = oid.value;
+  Response resp;
+  return SimpleCall(req, &resp);
+}
+
+StatusOr<std::vector<VersionNum>> Client::VersionsOf(ObjectId oid) {
+  Request req;
+  req.op = OpCode::kVersionsOf;
+  req.oid = oid.value;
+  Response resp;
+  ODE_RETURN_IF_ERROR(SimpleCall(req, &resp));
+  return std::move(resp.vnums);
+}
+
+Status Client::TxnBegin() {
+  Request req;
+  req.op = OpCode::kTxnBegin;
+  Response resp;
+  return SimpleCall(req, &resp);
+}
+
+Status Client::TxnCommit() {
+  Request req;
+  req.op = OpCode::kTxnCommit;
+  Response resp;
+  return SimpleCall(req, &resp);
+}
+
+Status Client::TxnAbort() {
+  Request req;
+  req.op = OpCode::kTxnAbort;
+  Response resp;
+  return SimpleCall(req, &resp);
+}
+
+StatusOr<std::string> Client::Stats() {
+  Request req;
+  req.op = OpCode::kStats;
+  Response resp;
+  ODE_RETURN_IF_ERROR(SimpleCall(req, &resp));
+  return std::move(resp.payload);
+}
+
+}  // namespace net
+}  // namespace ode

@@ -1,0 +1,103 @@
+#ifndef ODE_NET_CLIENT_H_
+#define ODE_NET_CLIENT_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/ids.h"
+#include "net/wire.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace ode {
+namespace net {
+
+/// Blocking TCP client for ode_server.  Two usage styles over one socket:
+///
+///   Sync:      Response r; client->Call(req, &r);
+///   Pipelined: client->Send(a); client->Send(b); client->Flush();
+///              client->Recv(&ra); client->Recv(&rb);
+///
+/// Send() assigns monotonically increasing request ids; the server answers
+/// strictly in order, so Recv() returns responses in Send() order.  Convenience
+/// wrappers cover the common operations and translate wire errors back into
+/// the same Status a local Database caller would see.
+///
+/// Not thread-safe: one Client per thread (open several for parallel load —
+/// that is what bench_server does).
+class Client {
+ public:
+  static StatusOr<std::unique_ptr<Client>> Connect(const std::string& host,
+                                                   uint16_t port);
+  ~Client();
+
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  // -- Pipelined surface -----------------------------------------------------
+
+  /// Stamps a fresh request id into `req` (reported back via *id if non-null)
+  /// and buffers the encoded frame.  Nothing hits the socket until Flush().
+  Status Send(Request& req, uint64_t* id = nullptr);
+  /// Writes every buffered frame.
+  Status Flush();
+  /// Blocks for the next response frame.  Non-OK only for transport-level
+  /// trouble (EOF, garbage from the server); application errors come back
+  /// inside *resp as a WireStatus.
+  Status Recv(Response* resp);
+
+  // -- Sync surface ----------------------------------------------------------
+
+  /// Send + Flush + Recv, checking that the response matches the request id.
+  Status Call(Request& req, Response* resp);
+
+  // -- Convenience wrappers (sync; wire errors become library Status) --------
+
+  Status Ping();
+  StatusOr<uint32_t> RegisterType(const std::string& name);
+  StatusOr<VersionId> Pnew(uint32_t type_id, const std::string& payload);
+  StatusOr<VersionId> NewVersionOf(ObjectId oid);
+  Status UpdateLatest(ObjectId oid, const std::string& payload);
+  Status UpdateVersion(VersionId vid, const std::string& payload);
+  /// Returns the payload; *resolved (optional) receives the version the
+  /// "latest" ref bound to.
+  StatusOr<std::string> DerefLatest(ObjectId oid, VersionId* resolved = nullptr);
+  StatusOr<std::string> DerefVersion(VersionId vid);
+  /// One round trip, n answers (per-item status inside each DerefResult).
+  StatusOr<std::vector<DerefResult>> DerefBatch(
+      const std::vector<DerefItem>& items);
+  Status DeleteObject(ObjectId oid);
+  StatusOr<std::vector<VersionNum>> VersionsOf(ObjectId oid);
+  Status TxnBegin();
+  Status TxnCommit();
+  Status TxnAbort();
+  /// Server metrics snapshot as JSON (the same shape odedump stats prints).
+  StatusOr<std::string> Stats();
+
+  uint64_t requests_sent() const { return next_id_ - 1; }
+
+  /// Test hook: replaces the buffered (unsent) bytes wholesale, letting
+  /// protocol tests push deliberately hostile frames through Flush().
+  void TestOnlyReplaceSendBuffer(std::string bytes) {
+    wbuf_ = std::move(bytes);
+  }
+
+ private:
+  explicit Client(int fd) : fd_(fd) {}
+
+  /// Shared tail of the convenience wrappers: Call(), then lift a non-kOk
+  /// WireStatus into the equivalent library Status.
+  Status SimpleCall(Request& req, Response* resp);
+
+  int fd_;
+  uint64_t next_id_ = 1;
+  std::string wbuf_;
+  std::string rbuf_;
+};
+
+}  // namespace net
+}  // namespace ode
+
+#endif  // ODE_NET_CLIENT_H_

@@ -1,0 +1,334 @@
+#include "net/dispatcher.h"
+
+#include <utility>
+
+namespace ode {
+namespace net {
+
+namespace {
+
+/// Library status -> wire response (echoing `req`), with the library
+/// message carried verbatim so the client sees the same diagnostics a local
+/// caller would.
+Response FromStatus(const Request& req, const Status& s) {
+  Response resp = ResponseFor(req);
+  resp.status = ToWireStatus(s.code());
+  resp.message = s.message();
+  return resp;
+}
+
+VersionId Vid(const Request& req) {
+  return VersionId{ObjectId{req.oid}, req.vnum};
+}
+
+void SetVid(Response* resp, VersionId vid) {
+  resp->oid = vid.oid.value;
+  resp->vnum = vid.vnum;
+}
+
+}  // namespace
+
+Dispatcher::Dispatcher(Database& db) : db_(&db) {
+  MetricsRegistry& registry = db.metrics_registry();
+  requests_ = registry.GetCounter("net.requests");
+  request_errors_ = registry.GetCounter("net.request_errors");
+  deref_ns_ = registry.GetHistogram("net.deref_ns");
+  mutate_ns_ = registry.GetHistogram("net.mutate_ns");
+  cursor_ns_ = registry.GetHistogram("net.cursor_ns");
+  txn_ns_ = registry.GetHistogram("net.txn_ns");
+  admin_ns_ = registry.GetHistogram("net.admin_ns");
+}
+
+Response Dispatcher::Dispatch(const Request& req, Session& session) {
+  const uint64_t start_ns = Histogram::NowNanos();
+  requests_->Increment();
+  ++session.requests;
+
+  Response resp = ResponseFor(req);
+  Histogram* family = admin_ns_;
+  switch (req.op) {
+    case OpCode::kPing:
+      break;
+
+    case OpCode::kPnew: {
+      family = mutate_ns_;
+      auto vid = db_->PnewRaw(req.type_id, Slice(req.payload));
+      if (!vid.ok()) { resp = FromStatus(req, vid.status()); break; }
+      SetVid(&resp, *vid);
+      break;
+    }
+    case OpCode::kNewVersionOf: {
+      family = mutate_ns_;
+      auto vid = db_->NewVersionOf(ObjectId{req.oid});
+      if (!vid.ok()) { resp = FromStatus(req, vid.status()); break; }
+      SetVid(&resp, *vid);
+      break;
+    }
+    case OpCode::kNewVersionFrom: {
+      family = mutate_ns_;
+      auto vid = db_->NewVersionFrom(Vid(req));
+      if (!vid.ok()) { resp = FromStatus(req, vid.status()); break; }
+      SetVid(&resp, *vid);
+      break;
+    }
+    case OpCode::kUpdateLatest:
+      family = mutate_ns_;
+      resp = FromStatus(req, db_->UpdateLatest(ObjectId{req.oid},
+                                               Slice(req.payload)));
+      break;
+    case OpCode::kUpdateVersion:
+      family = mutate_ns_;
+      resp = FromStatus(req, db_->UpdateVersion(Vid(req), Slice(req.payload)));
+      break;
+
+    case OpCode::kDerefLatest: {
+      family = deref_ns_;
+      VersionId resolved;
+      auto bytes = db_->ReadLatest(ObjectId{req.oid}, &resolved);
+      if (!bytes.ok()) { resp = FromStatus(req, bytes.status()); break; }
+      SetVid(&resp, resolved);
+      resp.payload = std::move(*bytes);
+      break;
+    }
+    case OpCode::kDerefVersion: {
+      family = deref_ns_;
+      auto bytes = db_->ReadVersion(Vid(req));
+      if (!bytes.ok()) { resp = FromStatus(req, bytes.status()); break; }
+      resp.payload = std::move(*bytes);
+      break;
+    }
+    case OpCode::kDerefBatch: {
+      family = deref_ns_;
+      resp.batch.reserve(req.batch.size());
+      for (const DerefItem& item : req.batch) {
+        DerefResult result;
+        if (item.vnum == kNoVersion) {
+          VersionId resolved;
+          auto bytes = db_->ReadLatest(ObjectId{item.oid}, &resolved);
+          if (bytes.ok()) {
+            result.oid = resolved.oid.value;
+            result.vnum = resolved.vnum;
+            result.payload = std::move(*bytes);
+          } else {
+            result.status = ToWireStatus(bytes.status().code());
+          }
+        } else {
+          auto bytes = db_->ReadVersion(VersionId{ObjectId{item.oid},
+                                                  item.vnum});
+          if (bytes.ok()) {
+            result.oid = item.oid;
+            result.vnum = item.vnum;
+            result.payload = std::move(*bytes);
+          } else {
+            result.status = ToWireStatus(bytes.status().code());
+          }
+        }
+        resp.batch.push_back(std::move(result));
+      }
+      break;
+    }
+
+    case OpCode::kDeleteObject:
+      family = mutate_ns_;
+      resp = FromStatus(req, db_->PdeleteObject(ObjectId{req.oid}));
+      break;
+    case OpCode::kDeleteVersion:
+      family = mutate_ns_;
+      resp = FromStatus(req, db_->PdeleteVersion(Vid(req)));
+      break;
+
+    case OpCode::kLatest: {
+      family = deref_ns_;
+      auto vid = db_->Latest(ObjectId{req.oid});
+      if (!vid.ok()) { resp = FromStatus(req, vid.status()); break; }
+      SetVid(&resp, *vid);
+      break;
+    }
+    case OpCode::kVersionsOf: {
+      auto vids = db_->VersionsOf(ObjectId{req.oid});
+      if (!vids.ok()) { resp = FromStatus(req, vids.status()); break; }
+      resp.vnums.reserve(vids->size());
+      for (VersionId vid : *vids) resp.vnums.push_back(vid.vnum);
+      break;
+    }
+
+    case OpCode::kRegisterType: {
+      auto id = db_->RegisterType(req.payload);
+      if (!id.ok()) { resp = FromStatus(req, id.status()); break; }
+      resp.type_id = *id;
+      break;
+    }
+    case OpCode::kLookupType: {
+      auto id = db_->LookupType(req.payload);
+      if (!id.ok()) { resp = FromStatus(req, id.status()); break; }
+      resp.found = id->has_value();
+      resp.type_id = id->value_or(0);
+      break;
+    }
+
+    case OpCode::kCursorOpen:
+      family = cursor_ns_;
+      resp = DoCursorOpen(req, session);
+      break;
+    case OpCode::kCursorNext:
+      family = cursor_ns_;
+      resp = DoCursorNext(req, session);
+      break;
+    case OpCode::kCursorClose:
+      family = cursor_ns_;
+      if (session.cursors_.erase(req.cursor_id) == 0) {
+        resp = ErrorResponseFor(req, WireStatus::kNotFound,
+                                "no cursor " + std::to_string(req.cursor_id));
+      }
+      break;
+
+    case OpCode::kTxnBegin: {
+      family = txn_ns_;
+      if (session.in_txn_) {
+        resp = ErrorResponseFor(req, WireStatus::kFailedPrecondition,
+                                "session already holds a transaction");
+        break;
+      }
+      Status s = db_->Begin();
+      if (s.ok()) session.in_txn_ = true;
+      resp = FromStatus(req, s);
+      break;
+    }
+    case OpCode::kTxnCommit: {
+      family = txn_ns_;
+      if (!session.in_txn_) {
+        resp = ErrorResponseFor(req, WireStatus::kFailedPrecondition,
+                                "session holds no transaction");
+        break;
+      }
+      session.in_txn_ = false;
+      resp = FromStatus(req, db_->Commit());
+      break;
+    }
+    case OpCode::kTxnAbort: {
+      family = txn_ns_;
+      if (!session.in_txn_) {
+        resp = ErrorResponseFor(req, WireStatus::kFailedPrecondition,
+                                "session holds no transaction");
+        break;
+      }
+      session.in_txn_ = false;
+      resp = FromStatus(req, db_->Abort());
+      break;
+    }
+
+    case OpCode::kStats:
+      resp.payload = MetricsRegistry::RenderJson(db_->MetricsSnapshot());
+      break;
+  }
+
+  if (resp.status != WireStatus::kOk) {
+    request_errors_->Increment();
+    ++session.errors;
+  }
+  family->Record(Histogram::NowNanos() - start_ns);
+  return resp;
+}
+
+Response Dispatcher::DoCursorOpen(const Request& req, Session& session) {
+  Response resp = ResponseFor(req);
+  if (session.cursors_.size() >= Session::kMaxCursors) {
+    return ErrorResponseFor(req, WireStatus::kFailedPrecondition,
+                            "session cursor cap (" +
+                                std::to_string(Session::kMaxCursors) +
+                                ") reached; close cursors first");
+  }
+  Session::AnyCursor cursor;
+  switch (static_cast<CursorKind>(req.cursor_kind)) {
+    case CursorKind::kObjects:
+      cursor = std::make_unique<ObjectCursor>(*db_);
+      break;
+    case CursorKind::kVersions:
+      cursor = std::make_unique<VersionCursor>(*db_, ObjectId{req.cursor_arg});
+      break;
+    case CursorKind::kTypes:
+      cursor = std::make_unique<TypeCursor>(*db_);
+      break;
+    case CursorKind::kCluster:
+      cursor = std::make_unique<ClusterCursor>(
+          *db_, static_cast<uint32_t>(req.cursor_arg));
+      break;
+    default:
+      // DecodeRequest already range-checks; defensive for loopback callers
+      // that build Requests by hand.
+      return ErrorResponseFor(req, WireStatus::kInvalidArgument,
+                              "unknown cursor kind " +
+                                  std::to_string(req.cursor_kind));
+  }
+  const uint64_t id = session.next_cursor_id_++;
+  session.cursors_.emplace(id, std::move(cursor));
+  resp.cursor_id = id;
+  return resp;
+}
+
+Response Dispatcher::DoCursorNext(const Request& req, Session& session) {
+  Response resp = ResponseFor(req);
+  auto it = session.cursors_.find(req.cursor_id);
+  if (it == session.cursors_.end()) {
+    return ErrorResponseFor(req, WireStatus::kNotFound,
+                            "no cursor " + std::to_string(req.cursor_id));
+  }
+
+  // Pull up to max_entries from whichever cursor family is open, mapping
+  // each position to the kind's documented CursorEntry shape.
+  Status cursor_status;
+  bool done = false;
+  auto pump = [&](auto& cursor, auto&& to_entry) {
+    for (uint32_t i = 0; i < req.max_entries && cursor->Valid(); ++i) {
+      resp.entries.push_back(to_entry(*cursor));
+      cursor->Next();
+    }
+    done = !cursor->Valid();
+    cursor_status = cursor->status();
+  };
+  std::visit(
+      [&](auto& cursor) {
+        using T = std::decay_t<decltype(*cursor)>;
+        if constexpr (std::is_same_v<T, ObjectCursor>) {
+          pump(cursor, [](ObjectCursor& c) {
+            return CursorEntry{c.oid().value, c.header().latest,
+                               c.header().type_id, {}};
+          });
+        } else if constexpr (std::is_same_v<T, VersionCursor>) {
+          pump(cursor, [](VersionCursor& c) {
+            return CursorEntry{c.vid().oid.value, c.vid().vnum,
+                               c.meta().derived_from, {}};
+          });
+        } else if constexpr (std::is_same_v<T, TypeCursor>) {
+          pump(cursor, [](TypeCursor& c) {
+            return CursorEntry{c.id(), 0, 0, c.name()};
+          });
+        } else {
+          pump(cursor, [](ClusterCursor& c) {
+            return CursorEntry{c.oid().value, 0, 0, {}};
+          });
+        }
+      },
+      it->second);
+
+  if (!cursor_status.ok()) {
+    session.cursors_.erase(it);
+    return FromStatus(req, cursor_status);
+  }
+  resp.done = done;
+  if (done) session.cursors_.erase(it);  // Exhausted cursors self-close.
+  return resp;
+}
+
+void Dispatcher::CloseSession(Session& session) {
+  if (session.in_txn_) {
+    session.in_txn_ = false;
+    // Best-effort: the client is gone, there is nobody to report to; a
+    // failed abort poisons the engine, which the health check surfaces.
+    db_->Abort().IgnoreError();
+  }
+  session.cursors_.clear();
+}
+
+}  // namespace net
+}  // namespace ode

@@ -1,0 +1,536 @@
+#include "net/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace ode {
+namespace net {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status SetNonBlocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Errno("fcntl(O_NONBLOCK)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ServerOptions::Validate() const {
+  if (workers < 1) {
+    return Status::InvalidArgument("ServerOptions::workers must be >= 1");
+  }
+  if (max_frame_bytes < kFrameMinPayload) {
+    return Status::InvalidArgument(
+        "ServerOptions::max_frame_bytes must be >= " +
+        std::to_string(kFrameMinPayload));
+  }
+  if (max_pipeline < 1) {
+    return Status::InvalidArgument("ServerOptions::max_pipeline must be >= 1");
+  }
+  if (max_outbox_bytes < 1) {
+    return Status::InvalidArgument(
+        "ServerOptions::max_outbox_bytes must be >= 1");
+  }
+  if (listen_backlog < 1) {
+    return Status::InvalidArgument(
+        "ServerOptions::listen_backlog must be >= 1");
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Server>> Server::Start(Database& db,
+                                                const ServerOptions& options) {
+  ODE_RETURN_IF_ERROR(options.Validate());
+  std::unique_ptr<Server> server(new Server());
+  Status s = server->Init(db, options);
+  if (!s.ok()) {
+    server->Stop();
+    return s;
+  }
+  return server;
+}
+
+Status Server::Init(Database& db, const ServerOptions& options) {
+  options_ = options;
+  db_ = &db;
+  dispatcher_ = std::make_unique<Dispatcher>(db);
+
+  MetricsRegistry& registry = db.metrics_registry();
+  accepted_ = registry.GetCounter("server.connections_accepted");
+  closed_count_ = registry.GetCounter("server.connections_closed");
+  bytes_in_ = registry.GetCounter("server.bytes_in");
+  bytes_out_ = registry.GetCounter("server.bytes_out");
+  protocol_errors_ = registry.GetCounter("server.protocol_errors");
+  shed_pipeline_ = registry.GetCounter("server.shed_backpressure");
+  shed_slow_consumer_ = registry.GetCounter("server.shed_slow_consumer");
+  open_gauge_ = registry.GetGauge("server.open_connections");
+
+  listen_fd_ = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Errno("socket");
+  const int one = 1;
+  // Best-effort: without REUSEADDR a quick restart fails in TIME_WAIT, but
+  // the bind below still reports the real error if it matters.
+  setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options_.port);
+  if (inet_pton(AF_INET, options_.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("ServerOptions::host is not an IPv4 "
+                                   "address: " + options_.host);
+  }
+  if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    return Errno("bind " + options_.host + ":" + std::to_string(options_.port));
+  }
+  socklen_t addr_len = sizeof(addr);
+  if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
+      0) {
+    return Errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  if (listen(listen_fd_, options_.listen_backlog) < 0) return Errno("listen");
+  ODE_RETURN_IF_ERROR(SetNonBlocking(listen_fd_));
+
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  if (epoll_fd_ < 0) return Errno("epoll_create1");
+  wake_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+  if (wake_fd_ < 0) return Errno("eventfd");
+
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.fd = listen_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, listen_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(listen)");
+  }
+  ev.data.fd = wake_fd_;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) < 0) {
+    return Errno("epoll_ctl(wake)");
+  }
+
+  workers_.reserve(static_cast<size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+  }
+  for (int i = 0; i < options_.workers; ++i) {
+    workers_[static_cast<size_t>(i)]->thread =
+        std::thread([this, i] { WorkerLoop(static_cast<size_t>(i)); });
+  }
+  io_thread_ = std::thread([this] { IoLoop(); });
+  return Status::OK();
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Stop() {
+  if (stopped_.exchange(true)) return;
+  stopping_.store(true);
+  WakeIo();
+  if (io_thread_.joinable()) io_thread_.join();
+
+  // The IO loop's epilogue enqueued a teardown for every live connection;
+  // now drain the workers (they answer still-queued requests with
+  // kShuttingDown and abort session transactions on their own threads).
+  for (auto& worker : workers_) {
+    {
+      MutexLock lock(worker->mu);
+      worker->stop = true;
+    }
+    worker->cv.NotifyAll();
+  }
+  for (auto& worker : workers_) {
+    if (worker->thread.joinable()) worker->thread.join();
+  }
+
+  // Best-effort final flush (shutdown errors, half-written responses), then
+  // release the sockets.
+  for (auto& [fd, conn] : conns_) {
+    TryFlush(conn);
+    if (!conn->closed.exchange(true)) {
+      close(conn->fd);
+      closed_count_->Increment();
+      open_gauge_->Add(-1);
+      open_conns_.fetch_sub(1);
+    }
+  }
+  conns_.clear();
+  if (wake_fd_ >= 0) close(wake_fd_);
+  if (epoll_fd_ >= 0) close(epoll_fd_);
+  if (listen_fd_ >= 0) close(listen_fd_);
+  wake_fd_ = epoll_fd_ = listen_fd_ = -1;
+}
+
+// ---------------------------------------------------------------------------
+// IO thread
+// ---------------------------------------------------------------------------
+
+void Server::IoLoop() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  while (!stopping_.load()) {
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents, 100);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ODE_LOG_ERROR << "ode_server epoll_wait: " << std::strerror(errno);
+      break;
+    }
+    for (int i = 0; i < n; ++i) {
+      const int fd = events[i].data.fd;
+      if (fd == listen_fd_) {
+        HandleAccept();
+        continue;
+      }
+      if (fd == wake_fd_) {
+        uint64_t drained = 0;
+        while (read(wake_fd_, &drained, sizeof(drained)) > 0) {
+        }
+        continue;
+      }
+      auto it = conns_.find(fd);
+      if (it == conns_.end()) continue;  // Raced with a close.
+      ConnPtr conn = it->second;
+      if ((events[i].events & (EPOLLHUP | EPOLLERR)) != 0) {
+        CloseConn(conn);
+        continue;
+      }
+      if ((events[i].events & EPOLLIN) != 0) HandleReadable(conn);
+      if ((events[i].events & EPOLLOUT) != 0) HandleWritable(conn);
+    }
+    // Flush outboxes the workers filled since the last pass.
+    std::vector<ConnPtr> dirty;
+    {
+      MutexLock lock(dirty_mu_);
+      dirty.swap(dirty_);
+    }
+    for (const ConnPtr& conn : dirty) {
+      if (!conn->closed.load()) TryFlush(conn);
+    }
+  }
+
+  // Epilogue: hand every live session to its worker for teardown (txn
+  // aborts must run on the session's thread) with a shutdown notice for
+  // anything still unanswered.
+  for (auto& [fd, conn] : conns_) {
+    Task task;
+    task.conn = conn;
+    task.teardown = true;
+    Enqueue(conn->worker, std::move(task));
+  }
+}
+
+void Server::HandleAccept() {
+  while (true) {
+    sockaddr_in peer{};
+    socklen_t peer_len = sizeof(peer);
+    const int fd = accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
+                           &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      if (errno == EINTR) continue;
+      ODE_LOG_ERROR << "ode_server accept: " << std::strerror(errno);
+      return;
+    }
+    const int one = 1;
+    // Pipelined request/response traffic is latency-bound; Nagle only adds
+    // stalls.  Best-effort (the connection works without it).
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    conn->id = next_conn_id_++;
+    conn->worker = conn->id % workers_.size();
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+      ODE_LOG_ERROR << "ode_server epoll_ctl(add conn): "
+                    << std::strerror(errno);
+      close(fd);
+      continue;
+    }
+    conns_.emplace(fd, conn);
+    accepted_->Increment();
+    open_gauge_->Add(1);
+    open_conns_.fetch_add(1);
+  }
+}
+
+void Server::HandleReadable(const ConnPtr& conn) {
+  if (conn->shed.load()) {
+    // A shed connection's input no longer matters; swallow it so the peer's
+    // sends don't stall while the shutdown error drains toward it.
+    char discard[4096];
+    while (read(conn->fd, discard, sizeof(discard)) > 0) {
+    }
+    return;
+  }
+  char buf[64 * 1024];
+  while (true) {
+    const ssize_t got = read(conn->fd, buf, sizeof(buf));
+    if (got > 0) {
+      conn->rbuf.append(buf, static_cast<size_t>(got));
+      conn->bytes_in += static_cast<uint64_t>(got);
+      bytes_in_->Add(static_cast<uint64_t>(got));
+      continue;
+    }
+    if (got == 0) {  // Orderly EOF.
+      CloseConn(conn);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseConn(conn);
+    return;
+  }
+  DrainReadBuffer(conn);
+}
+
+void Server::DrainReadBuffer(const ConnPtr& conn) {
+  Slice input(conn->rbuf);
+  while (!conn->shed.load()) {
+    Slice frame;
+    std::string frame_error;
+    const FrameResult r =
+        ExtractFrame(&input, &frame, options_.max_frame_bytes, &frame_error);
+    if (r == FrameResult::kNeedMore) break;
+    if (r == FrameResult::kError) {
+      protocol_errors_->Increment();
+      ShedConn(conn, Request{}, WireStatus::kProtocolError, frame_error);
+      break;
+    }
+    Request req;
+    Status decoded = DecodeRequest(frame, &req);
+    if (!decoded.ok()) {
+      protocol_errors_->Increment();
+      ShedConn(conn, req, WireStatus::kProtocolError, decoded.message());
+      break;
+    }
+    if (conn->pending.load() >= options_.max_pipeline) {
+      shed_pipeline_->Increment();
+      ShedConn(conn, req, WireStatus::kBackpressure,
+               "pipeline cap (" + std::to_string(options_.max_pipeline) +
+                   " unanswered requests) exceeded");
+      break;
+    }
+    conn->pending.fetch_add(1);
+    Task task;
+    task.conn = conn;
+    task.req = std::move(req);
+    Enqueue(conn->worker, std::move(task));
+  }
+  conn->rbuf.erase(0, conn->rbuf.size() - input.size());
+  if (conn->shed.load()) conn->rbuf.clear();
+}
+
+void Server::ShedConn(const ConnPtr& conn, const Request& req, WireStatus ws,
+                      const std::string& message) {
+  conn->shed.store(true);
+  {
+    MutexLock lock(conn->mu);
+    EncodeResponseFrame(ErrorResponseFor(req, ws, message), &conn->outbox);
+    conn->close_after_flush = true;
+  }
+  TryFlush(conn);
+}
+
+void Server::HandleWritable(const ConnPtr& conn) { TryFlush(conn); }
+
+void Server::TryFlush(const ConnPtr& conn) {
+  if (conn->closed.load()) return;
+  bool close_now = false;
+  bool want_write = false;
+  {
+    MutexLock lock(conn->mu);
+    while (!conn->outbox.empty()) {
+      const ssize_t wrote = write(conn->fd, conn->outbox.data(),
+                                  conn->outbox.size());
+      if (wrote > 0) {
+        bytes_out_->Add(static_cast<uint64_t>(wrote));
+        conn->outbox.erase(0, static_cast<size_t>(wrote));
+        continue;
+      }
+      if (wrote < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        want_write = true;
+        break;
+      }
+      if (wrote < 0 && errno == EINTR) continue;
+      close_now = true;  // Peer is gone; drop the rest.
+      break;
+    }
+    if (conn->outbox.empty() && conn->close_after_flush) close_now = true;
+  }
+  if (close_now) {
+    CloseConn(conn);
+    return;
+  }
+  ArmWrite(conn, want_write);
+}
+
+void Server::ArmWrite(const ConnPtr& conn, bool enable) {
+  epoll_event ev{};
+  ev.events = EPOLLIN | (enable ? EPOLLOUT : 0u);
+  ev.data.fd = conn->fd;
+  if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, conn->fd, &ev) < 0 &&
+      errno != ENOENT && errno != EBADF) {
+    ODE_LOG_ERROR << "ode_server epoll_ctl(mod): " << std::strerror(errno);
+  }
+}
+
+void Server::CloseConn(const ConnPtr& conn) {
+  if (conn->closed.exchange(true)) return;
+  epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, conn->fd, nullptr);
+  close(conn->fd);
+  conns_.erase(conn->fd);
+  closed_count_->Increment();
+  open_gauge_->Add(-1);
+  open_conns_.fetch_sub(1);
+  // The session (cursors, possibly an open transaction) dies on its own
+  // worker thread, after any requests already queued for it.
+  Task task;
+  task.conn = conn;
+  task.teardown = true;
+  Enqueue(conn->worker, std::move(task));
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+void Server::Enqueue(size_t worker, Task task) {
+  Worker& w = *workers_[worker];
+  {
+    MutexLock lock(w.mu);
+    w.queue.push_back(std::move(task));
+  }
+  w.cv.NotifyOne();
+}
+
+void Server::WorkerLoop(size_t index) {
+  Worker& w = *workers_[index];
+  while (true) {
+    Task task;
+    bool draining = false;
+    {
+      MutexLock lock(w.mu);
+      while (w.queue.empty() && !w.stop) w.cv.Wait(w.mu);
+      draining = w.stop;
+      if (w.queue.empty()) {
+        // Drain mode with an empty queue: unpark anything still deferred
+        // behind a transaction and answer it below.
+        if (w.parked.empty()) break;
+        w.queue.insert(w.queue.end(),
+                       std::make_move_iterator(w.parked.begin()),
+                       std::make_move_iterator(w.parked.end()));
+        w.parked.clear();
+      }
+      task = std::move(w.queue.front());
+      w.queue.pop_front();
+    }
+
+    if (task.teardown) {
+      if (w.txn_owner == task.conn.get()) {
+        w.txn_owner = nullptr;
+        // Whatever was parked behind the transaction can run now.
+        MutexLock lock(w.mu);
+        w.queue.insert(w.queue.begin(),
+                       std::make_move_iterator(w.parked.begin()),
+                       std::make_move_iterator(w.parked.end()));
+        w.parked.clear();
+      }
+      dispatcher_->CloseSession(task.conn->session);
+      continue;
+    }
+
+    // Transaction gate: while one session holds the (thread-affine)
+    // transaction, other sessions' tasks must not run on this thread — they
+    // would join the foreign transaction through the thread-local txn
+    // registry.  Park them; they resume the moment the transaction ends.
+    if (w.txn_owner != nullptr && task.conn.get() != w.txn_owner &&
+        !draining) {
+      w.parked.push_back(std::move(task));
+      continue;
+    }
+
+    Response resp;
+    if (draining) {
+      resp = ErrorResponseFor(task.req, WireStatus::kShuttingDown,
+                              "server stopping");
+    } else {
+      resp = dispatcher_->Dispatch(task.req, task.conn->session);
+      if (task.conn->session.in_txn()) {
+        w.txn_owner = task.conn.get();
+      } else if (w.txn_owner == task.conn.get()) {
+        w.txn_owner = nullptr;
+        MutexLock lock(w.mu);
+        w.queue.insert(w.queue.begin(),
+                       std::make_move_iterator(w.parked.begin()),
+                       std::make_move_iterator(w.parked.end()));
+        w.parked.clear();
+      }
+    }
+    task.conn->pending.fetch_sub(1);
+    PushResponse(task.conn, resp);
+  }
+}
+
+void Server::PushResponse(const ConnPtr& conn, const Response& resp) {
+  std::string encoded;
+  EncodeResponseFrame(resp, &encoded);
+  {
+    MutexLock lock(conn->mu);
+    if (conn->outbox.size() + encoded.size() > options_.max_outbox_bytes &&
+        !conn->close_after_flush) {
+      // Slow consumer: it requested more than it is reading.  Replace the
+      // overflowing response with a typed shed error and close after the
+      // buffered bytes drain.
+      shed_slow_consumer_->Increment();
+      conn->shed.store(true);
+      conn->close_after_flush = true;
+      Request as_requested;
+      as_requested.op = resp.op;
+      as_requested.request_id = resp.request_id;
+      EncodeResponseFrame(
+          ErrorResponseFor(as_requested, WireStatus::kBackpressure,
+                           "outbox cap (" +
+                               std::to_string(options_.max_outbox_bytes) +
+                               " bytes) exceeded; read faster"),
+          &conn->outbox);
+    } else {
+      conn->outbox.append(encoded);
+    }
+  }
+  {
+    MutexLock lock(dirty_mu_);
+    dirty_.push_back(conn);
+  }
+  WakeIo();
+}
+
+void Server::WakeIo() {
+  if (wake_fd_ < 0) return;
+  const uint64_t one = 1;
+  // A full eventfd counter already guarantees a wakeup; nothing to handle.
+  ssize_t ignored = write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+}  // namespace net
+}  // namespace ode

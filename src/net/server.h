@@ -1,0 +1,207 @@
+#ifndef ODE_NET_SERVER_H_
+#define ODE_NET_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/database.h"
+#include "net/dispatcher.h"
+#include "net/wire.h"
+#include "util/metrics.h"
+#include "util/mutex.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/thread_annotations.h"
+
+namespace ode {
+namespace net {
+
+/// Configuration of one ode_server instance.
+struct ServerOptions {
+  /// Address to bind.  Tests use 127.0.0.1 with port 0 (ephemeral; read the
+  /// bound port back via Server::port()).
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+
+  /// Worker threads executing requests against the Database.  Legal: >= 1.
+  /// Each connection is pinned to one worker for its whole life — that
+  /// affinity is what makes sessions (cursors, transactions) sound, see
+  /// Session.
+  int workers = 4;
+
+  /// Hard cap on one frame's length prefix; larger prefixes are a protocol
+  /// error and the connection is closed (never buffered toward a hostile
+  /// 4-GiB "frame").
+  size_t max_frame_bytes = kDefaultMaxFrameBytes;
+
+  /// Pipelining bound: unanswered requests one connection may have in
+  /// flight.  The request that overflows the cap is answered with
+  /// kBackpressure and the connection is shed.  Legal: >= 1.
+  size_t max_pipeline = 256;
+
+  /// Bound on one connection's buffered response bytes.  A client that
+  /// stops reading while requesting more (the classic slow-consumer attack
+  /// on a pipelined server) is shed with kBackpressure when its outbox
+  /// would exceed this.  Legal: >= 1.
+  size_t max_outbox_bytes = 32u << 20;
+
+  /// listen(2) backlog.
+  int listen_backlog = 128;
+
+  /// Checks every knob; InvalidArgument naming the first bad field.
+  Status Validate() const;
+};
+
+/// The Ode network front end: one epoll IO thread multiplexing every
+/// connection, a pool of worker threads executing requests through the
+/// shared Dispatcher, per-connection sessions pinned to workers.
+///
+/// Lifecycle: Start() binds/listens and spins up threads; Stop() (or the
+/// destructor) sheds every connection — queued requests are answered with
+/// kShuttingDown, open transactions aborted, buffered responses flushed
+/// best-effort — then joins.  The Database must outlive the Server.
+///
+/// DESIGN.md §4i documents the threading and backpressure model.
+class Server {
+ public:
+  static StatusOr<std::unique_ptr<Server>> Start(Database& db,
+                                                 const ServerOptions& options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Idempotent; blocks until every thread is joined.
+  void Stop();
+
+  /// The bound TCP port (the ephemeral pick when options.port was 0).
+  uint16_t port() const { return port_; }
+
+  /// Live connection count (also exported as gauge server.open_connections).
+  uint64_t open_connections() const { return open_conns_.load(); }
+
+ private:
+  /// One accepted connection.  Field ownership is split by thread:
+  /// `rbuf`/`bytes_in` belong to the IO thread, `session` to the pinned
+  /// worker, the outbox to whoever holds `mu`.
+  struct Conn {
+    int fd = -1;
+    uint64_t id = 0;
+    size_t worker = 0;
+    std::string rbuf;  ///< IO thread only.
+    Session session;   ///< Pinned worker thread only.
+    uint64_t bytes_in = 0;  ///< IO thread only.
+
+    /// Requests handed to the worker and not yet answered.
+    std::atomic<uint32_t> pending{0};
+    /// Set once the connection stops accepting input (shed / EOF / error);
+    /// the IO thread discards any buffered or future reads.
+    std::atomic<bool> shed{false};
+    /// Guards the close(2) + teardown-enqueue transition.
+    std::atomic<bool> closed{false};
+
+    Mutex mu;
+    std::string outbox ODE_GUARDED_BY(mu);
+    bool close_after_flush ODE_GUARDED_BY(mu) = false;
+  };
+  using ConnPtr = std::shared_ptr<Conn>;
+
+  /// Unit of worker work: one decoded request, or a session teardown.
+  struct Task {
+    ConnPtr conn;
+    Request req;
+    bool teardown = false;
+  };
+
+  struct Worker {
+    Mutex mu;
+    CondVar cv;
+    std::deque<Task> queue ODE_GUARDED_BY(mu);
+    bool stop ODE_GUARDED_BY(mu) = false;      ///< Drain-and-exit.
+    std::thread thread;
+
+    // Worker-thread-private transaction gate (no lock: only the worker
+    // thread touches these).  While `txn_owner` is set, tasks from other
+    // connections are parked in `parked` — a Database transaction is
+    // thread-local state, so running another session's request on this
+    // thread meanwhile would silently join it to the foreign transaction.
+    Conn* txn_owner = nullptr;
+    std::deque<Task> parked;
+  };
+
+  Server() = default;
+
+  Status Init(Database& db, const ServerOptions& options);
+  void IoLoop();
+  void WorkerLoop(size_t index);
+
+  // -- IO-thread helpers -----------------------------------------------------
+  void HandleAccept();
+  void HandleReadable(const ConnPtr& conn);
+  void HandleWritable(const ConnPtr& conn);
+  /// Parses conn->rbuf, enqueueing complete requests; applies the pipeline
+  /// cap and protocol-error shedding.
+  void DrainReadBuffer(const ConnPtr& conn);
+  /// Appends an error frame and schedules close-after-flush.
+  void ShedConn(const ConnPtr& conn, const Request& req, WireStatus ws,
+                const std::string& message);
+  /// Non-blocking flush; closes the fd when drained and close_after_flush.
+  void TryFlush(const ConnPtr& conn);
+  void CloseConn(const ConnPtr& conn);
+  void ArmWrite(const ConnPtr& conn, bool enable);
+
+  // -- Worker helpers --------------------------------------------------------
+  void Enqueue(size_t worker, Task task);
+  /// Appends an encoded response to the conn's outbox and wakes the IO
+  /// thread to flush it.  `shed_slow_consumer` handling lives here: a
+  /// response that would blow the outbox cap is replaced by a typed error.
+  void PushResponse(const ConnPtr& conn, const Response& resp);
+  void WakeIo();
+
+  ServerOptions options_;
+  Database* db_ = nullptr;
+  std::unique_ptr<Dispatcher> dispatcher_;
+
+  int listen_fd_ = -1;
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;  ///< eventfd the workers signal after PushResponse.
+  uint16_t port_ = 0;
+
+  std::thread io_thread_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  /// Connections by fd.  IO thread only (workers reach conns through the
+  /// shared_ptr in their tasks, never through this map).
+  std::unordered_map<int, ConnPtr> conns_;
+  uint64_t next_conn_id_ = 1;
+
+  /// Connections with fresh outbox bytes, handed from workers to the IO
+  /// thread (paired with a wake_fd_ signal).
+  Mutex dirty_mu_;
+  std::vector<ConnPtr> dirty_ ODE_GUARDED_BY(dirty_mu_);
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<uint64_t> open_conns_{0};
+
+  // Server-level instruments (the dispatcher owns the per-op histograms).
+  Counter* accepted_ = nullptr;
+  Counter* closed_count_ = nullptr;
+  Counter* bytes_in_ = nullptr;
+  Counter* bytes_out_ = nullptr;
+  Counter* protocol_errors_ = nullptr;
+  Counter* shed_pipeline_ = nullptr;
+  Counter* shed_slow_consumer_ = nullptr;
+  Gauge* open_gauge_ = nullptr;
+};
+
+}  // namespace net
+}  // namespace ode
+
+#endif  // ODE_NET_SERVER_H_

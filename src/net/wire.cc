@@ -1,0 +1,543 @@
+#include "net/wire.h"
+
+#include "util/coding.h"
+
+namespace ode {
+namespace net {
+
+namespace {
+
+/// Every opcode this protocol version understands, for IsKnownOpCode.
+constexpr uint8_t kMinOpCode = static_cast<uint8_t>(OpCode::kPing);
+constexpr uint8_t kMaxOpCode = static_cast<uint8_t>(OpCode::kStats);
+
+Status Truncated(const char* what) {
+  return Status::InvalidArgument(std::string("wire: truncated ") + what);
+}
+
+/// Shared request/response prefix: version, opcode, request id.  Leaves
+/// *input positioned at the status byte (responses) or body (requests).
+Status DecodePrefix(Slice* input, OpCode* op, uint64_t* request_id) {
+  if (input->size() < kFrameMinPayload) {
+    return Status::InvalidArgument("wire: frame shorter than header");
+  }
+  const uint8_t version = static_cast<uint8_t>((*input)[0]);
+  const uint8_t opcode = static_cast<uint8_t>((*input)[1]);
+  input->remove_prefix(2);
+  if (version != kWireVersion) {
+    return Status::InvalidArgument("wire: unsupported protocol version " +
+                                   std::to_string(version));
+  }
+  if (!IsKnownOpCode(opcode)) {
+    return Status::InvalidArgument("wire: unknown opcode " +
+                                   std::to_string(opcode));
+  }
+  uint64_t id = 0;
+  if (!GetFixed64(input, &id)) return Truncated("request id");
+  *op = static_cast<OpCode>(opcode);
+  *request_id = id;
+  return Status::OK();
+}
+
+void PutPrefix(std::string* out, OpCode op, uint64_t request_id) {
+  out->push_back(static_cast<char>(kWireVersion));
+  out->push_back(static_cast<char>(op));
+  PutFixed64(out, request_id);
+}
+
+/// The decoded body must end exactly at the frame boundary: a frame with
+/// trailing bytes is malformed (torn pipelining, host bug, or hostile).
+Status RequireExhausted(const Slice& input) {
+  if (!input.empty()) {
+    return Status::InvalidArgument("wire: " + std::to_string(input.size()) +
+                                   " trailing bytes after message body");
+  }
+  return Status::OK();
+}
+
+Status GetCount(Slice* input, uint32_t* count, const char* what) {
+  if (!GetVarint32(input, count)) return Truncated(what);
+  if (*count > kMaxBatchItems) {
+    return Status::InvalidArgument("wire: " + std::string(what) + " count " +
+                                   std::to_string(*count) + " exceeds cap " +
+                                   std::to_string(kMaxBatchItems));
+  }
+  return Status::OK();
+}
+
+Status GetString(Slice* input, std::string* out, const char* what) {
+  Slice s;
+  if (!GetLengthPrefixedSlice(input, &s)) return Truncated(what);
+  out->assign(s.data(), s.size());
+  return Status::OK();
+}
+
+bool IsKnownWireStatus(uint8_t v) {
+  return v <= static_cast<uint8_t>(WireStatus::kInternal) ||
+         (v >= static_cast<uint8_t>(WireStatus::kProtocolError) &&
+          v <= static_cast<uint8_t>(WireStatus::kShuttingDown));
+}
+
+}  // namespace
+
+std::string_view OpCodeName(OpCode op) {
+  switch (op) {
+    case OpCode::kPing: return "ping";
+    case OpCode::kPnew: return "pnew";
+    case OpCode::kNewVersionOf: return "newversion-of";
+    case OpCode::kNewVersionFrom: return "newversion-from";
+    case OpCode::kUpdateLatest: return "update-latest";
+    case OpCode::kUpdateVersion: return "update-version";
+    case OpCode::kDerefLatest: return "deref-latest";
+    case OpCode::kDerefVersion: return "deref-version";
+    case OpCode::kDerefBatch: return "deref-batch";
+    case OpCode::kDeleteObject: return "delete-object";
+    case OpCode::kDeleteVersion: return "delete-version";
+    case OpCode::kLatest: return "latest";
+    case OpCode::kVersionsOf: return "versions-of";
+    case OpCode::kRegisterType: return "register-type";
+    case OpCode::kLookupType: return "lookup-type";
+    case OpCode::kCursorOpen: return "cursor-open";
+    case OpCode::kCursorNext: return "cursor-next";
+    case OpCode::kCursorClose: return "cursor-close";
+    case OpCode::kTxnBegin: return "txn-begin";
+    case OpCode::kTxnCommit: return "txn-commit";
+    case OpCode::kTxnAbort: return "txn-abort";
+    case OpCode::kStats: return "stats";
+  }
+  return "?";
+}
+
+bool IsKnownOpCode(uint8_t op) {
+  return op >= kMinOpCode && op <= kMaxOpCode;
+}
+
+WireStatus ToWireStatus(StatusCode code) {
+  // The first 11 values correspond numerically (pinned by
+  // tests/net/wire_enum_test.cc), so the cast IS the mapping.
+  return static_cast<WireStatus>(static_cast<uint8_t>(code));
+}
+
+Status FromWireStatus(WireStatus ws, std::string message) {
+  switch (ws) {
+    case WireStatus::kOk:
+      return Status::OK();
+    case WireStatus::kProtocolError:
+      return Status::InvalidArgument("protocol error: " + message);
+    case WireStatus::kBackpressure:
+      return Status::Aborted("server backpressure: " + message);
+    case WireStatus::kShuttingDown:
+      return Status::FailedPrecondition("server shutting down: " + message);
+    default:
+      return Status(static_cast<StatusCode>(ws), std::move(message));
+  }
+}
+
+Response ResponseFor(const Request& req) {
+  Response resp;
+  resp.op = req.op;
+  resp.request_id = req.request_id;
+  resp.status = WireStatus::kOk;
+  return resp;
+}
+
+Response ErrorResponseFor(const Request& req, WireStatus ws,
+                          std::string message) {
+  Response resp = ResponseFor(req);
+  resp.status = ws;
+  resp.message = std::move(message);
+  return resp;
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void EncodeRequestBody(const Request& req, std::string* out) {
+  switch (req.op) {
+    case OpCode::kPing:
+    case OpCode::kTxnBegin:
+    case OpCode::kTxnCommit:
+    case OpCode::kTxnAbort:
+    case OpCode::kStats:
+      break;
+    case OpCode::kPnew:
+      PutVarint32(out, req.type_id);
+      PutLengthPrefixedSlice(out, Slice(req.payload));
+      break;
+    case OpCode::kNewVersionOf:
+    case OpCode::kDerefLatest:
+    case OpCode::kDeleteObject:
+    case OpCode::kLatest:
+    case OpCode::kVersionsOf:
+      PutFixed64(out, req.oid);
+      break;
+    case OpCode::kNewVersionFrom:
+    case OpCode::kDerefVersion:
+    case OpCode::kDeleteVersion:
+      PutFixed64(out, req.oid);
+      PutVarint32(out, req.vnum);
+      break;
+    case OpCode::kUpdateLatest:
+      PutFixed64(out, req.oid);
+      PutLengthPrefixedSlice(out, Slice(req.payload));
+      break;
+    case OpCode::kUpdateVersion:
+      PutFixed64(out, req.oid);
+      PutVarint32(out, req.vnum);
+      PutLengthPrefixedSlice(out, Slice(req.payload));
+      break;
+    case OpCode::kDerefBatch:
+      PutVarint32(out, static_cast<uint32_t>(req.batch.size()));
+      for (const DerefItem& item : req.batch) {
+        PutFixed64(out, item.oid);
+        PutVarint32(out, item.vnum);
+      }
+      break;
+    case OpCode::kRegisterType:
+    case OpCode::kLookupType:
+      PutLengthPrefixedSlice(out, Slice(req.payload));
+      break;
+    case OpCode::kCursorOpen:
+      out->push_back(static_cast<char>(req.cursor_kind));
+      PutFixed64(out, req.cursor_arg);
+      break;
+    case OpCode::kCursorNext:
+      PutFixed64(out, req.cursor_id);
+      PutVarint32(out, req.max_entries);
+      break;
+    case OpCode::kCursorClose:
+      PutFixed64(out, req.cursor_id);
+      break;
+  }
+}
+
+void EncodeResponseBody(const Response& resp, std::string* out) {
+  switch (resp.op) {
+    case OpCode::kPing:
+    case OpCode::kUpdateLatest:
+    case OpCode::kUpdateVersion:
+    case OpCode::kDeleteObject:
+    case OpCode::kDeleteVersion:
+    case OpCode::kCursorClose:
+    case OpCode::kTxnBegin:
+    case OpCode::kTxnCommit:
+    case OpCode::kTxnAbort:
+      break;
+    case OpCode::kPnew:
+    case OpCode::kNewVersionOf:
+    case OpCode::kNewVersionFrom:
+    case OpCode::kLatest:
+      PutFixed64(out, resp.oid);
+      PutVarint32(out, resp.vnum);
+      break;
+    case OpCode::kDerefLatest:
+      PutFixed64(out, resp.oid);
+      PutVarint32(out, resp.vnum);
+      PutLengthPrefixedSlice(out, Slice(resp.payload));
+      break;
+    case OpCode::kDerefVersion:
+      PutLengthPrefixedSlice(out, Slice(resp.payload));
+      break;
+    case OpCode::kDerefBatch:
+      PutVarint32(out, static_cast<uint32_t>(resp.batch.size()));
+      for (const DerefResult& item : resp.batch) {
+        out->push_back(static_cast<char>(item.status));
+        if (item.status == WireStatus::kOk) {
+          PutFixed64(out, item.oid);
+          PutVarint32(out, item.vnum);
+          PutLengthPrefixedSlice(out, Slice(item.payload));
+        }
+      }
+      break;
+    case OpCode::kVersionsOf:
+      PutVarint32(out, static_cast<uint32_t>(resp.vnums.size()));
+      for (uint32_t vnum : resp.vnums) PutVarint32(out, vnum);
+      break;
+    case OpCode::kRegisterType:
+      PutVarint32(out, resp.type_id);
+      break;
+    case OpCode::kLookupType:
+      out->push_back(resp.found ? 1 : 0);
+      PutVarint32(out, resp.type_id);
+      break;
+    case OpCode::kCursorOpen:
+      PutFixed64(out, resp.cursor_id);
+      break;
+    case OpCode::kCursorNext:
+      out->push_back(resp.done ? 1 : 0);
+      PutVarint32(out, static_cast<uint32_t>(resp.entries.size()));
+      for (const CursorEntry& e : resp.entries) {
+        PutFixed64(out, e.a);
+        PutVarint32(out, e.b);
+        PutVarint32(out, e.c);
+        PutLengthPrefixedSlice(out, Slice(e.s));
+      }
+      break;
+    case OpCode::kStats:
+      PutLengthPrefixedSlice(out, Slice(resp.payload));
+      break;
+  }
+}
+
+/// Wraps `payload` (already holding version..body) in the length prefix.
+void AppendFrame(std::string* out, const std::string& payload) {
+  PutFixed32(out, static_cast<uint32_t>(payload.size()));
+  out->append(payload);
+}
+
+}  // namespace
+
+void EncodeRequestFrame(const Request& req, std::string* out) {
+  std::string payload;
+  PutPrefix(&payload, req.op, req.request_id);
+  EncodeRequestBody(req, &payload);
+  AppendFrame(out, payload);
+}
+
+void EncodeResponseFrame(const Response& resp, std::string* out) {
+  std::string payload;
+  PutPrefix(&payload, resp.op, resp.request_id);
+  payload.push_back(static_cast<char>(resp.status));
+  PutLengthPrefixedSlice(&payload, Slice(resp.message));
+  if (resp.status == WireStatus::kOk) EncodeResponseBody(resp, &payload);
+  AppendFrame(out, payload);
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+FrameResult ExtractFrame(Slice* input, Slice* frame, size_t max_frame_bytes,
+                         std::string* error) {
+  if (input->size() < kFrameLenBytes) return FrameResult::kNeedMore;
+  const uint32_t len = DecodeFixed32(input->data());
+  if (len < kFrameMinPayload) {
+    *error = "frame length " + std::to_string(len) + " below minimum " +
+             std::to_string(kFrameMinPayload);
+    return FrameResult::kError;
+  }
+  if (len > max_frame_bytes) {
+    *error = "frame length " + std::to_string(len) + " exceeds cap " +
+             std::to_string(max_frame_bytes);
+    return FrameResult::kError;
+  }
+  if (input->size() < kFrameLenBytes + len) return FrameResult::kNeedMore;
+  *frame = Slice(input->data() + kFrameLenBytes, len);
+  input->remove_prefix(kFrameLenBytes + len);
+  return FrameResult::kFrame;
+}
+
+Status DecodeRequest(const Slice& frame, Request* out) {
+  Slice input = frame;
+  Request req;
+  ODE_RETURN_IF_ERROR(DecodePrefix(&input, &req.op, &req.request_id));
+  switch (req.op) {
+    case OpCode::kPing:
+    case OpCode::kTxnBegin:
+    case OpCode::kTxnCommit:
+    case OpCode::kTxnAbort:
+    case OpCode::kStats:
+      break;
+    case OpCode::kPnew:
+      if (!GetVarint32(&input, &req.type_id)) return Truncated("type id");
+      ODE_RETURN_IF_ERROR(GetString(&input, &req.payload, "payload"));
+      break;
+    case OpCode::kNewVersionOf:
+    case OpCode::kDerefLatest:
+    case OpCode::kDeleteObject:
+    case OpCode::kLatest:
+    case OpCode::kVersionsOf:
+      if (!GetFixed64(&input, &req.oid)) return Truncated("object id");
+      break;
+    case OpCode::kNewVersionFrom:
+    case OpCode::kDerefVersion:
+    case OpCode::kDeleteVersion:
+      if (!GetFixed64(&input, &req.oid)) return Truncated("object id");
+      if (!GetVarint32(&input, &req.vnum)) return Truncated("version number");
+      break;
+    case OpCode::kUpdateLatest:
+      if (!GetFixed64(&input, &req.oid)) return Truncated("object id");
+      ODE_RETURN_IF_ERROR(GetString(&input, &req.payload, "payload"));
+      break;
+    case OpCode::kUpdateVersion:
+      if (!GetFixed64(&input, &req.oid)) return Truncated("object id");
+      if (!GetVarint32(&input, &req.vnum)) return Truncated("version number");
+      ODE_RETURN_IF_ERROR(GetString(&input, &req.payload, "payload"));
+      break;
+    case OpCode::kDerefBatch: {
+      uint32_t count = 0;
+      ODE_RETURN_IF_ERROR(GetCount(&input, &count, "deref batch"));
+      req.batch.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        DerefItem item;
+        if (!GetFixed64(&input, &item.oid)) return Truncated("batch item oid");
+        if (!GetVarint32(&input, &item.vnum)) {
+          return Truncated("batch item vnum");
+        }
+        req.batch.push_back(item);
+      }
+      break;
+    }
+    case OpCode::kRegisterType:
+    case OpCode::kLookupType:
+      ODE_RETURN_IF_ERROR(GetString(&input, &req.payload, "type name"));
+      break;
+    case OpCode::kCursorOpen: {
+      if (input.empty()) return Truncated("cursor kind");
+      req.cursor_kind = static_cast<uint8_t>(input[0]);
+      input.remove_prefix(1);
+      if (req.cursor_kind > static_cast<uint8_t>(CursorKind::kCluster)) {
+        return Status::InvalidArgument("wire: unknown cursor kind " +
+                                       std::to_string(req.cursor_kind));
+      }
+      if (!GetFixed64(&input, &req.cursor_arg)) {
+        return Truncated("cursor argument");
+      }
+      break;
+    }
+    case OpCode::kCursorNext:
+      if (!GetFixed64(&input, &req.cursor_id)) return Truncated("cursor id");
+      if (!GetVarint32(&input, &req.max_entries)) {
+        return Truncated("cursor batch bound");
+      }
+      if (req.max_entries == 0 || req.max_entries > kMaxBatchItems) {
+        return Status::InvalidArgument(
+            "wire: cursor batch bound " + std::to_string(req.max_entries) +
+            " outside [1, " + std::to_string(kMaxBatchItems) + "]");
+      }
+      break;
+    case OpCode::kCursorClose:
+      if (!GetFixed64(&input, &req.cursor_id)) return Truncated("cursor id");
+      break;
+  }
+  ODE_RETURN_IF_ERROR(RequireExhausted(input));
+  *out = std::move(req);
+  return Status::OK();
+}
+
+Status DecodeResponse(const Slice& frame, Response* out) {
+  Slice input = frame;
+  Response resp;
+  ODE_RETURN_IF_ERROR(DecodePrefix(&input, &resp.op, &resp.request_id));
+  if (input.empty()) return Truncated("status byte");
+  const uint8_t status = static_cast<uint8_t>(input[0]);
+  input.remove_prefix(1);
+  if (!IsKnownWireStatus(status)) {
+    return Status::InvalidArgument("wire: unknown status code " +
+                                   std::to_string(status));
+  }
+  resp.status = static_cast<WireStatus>(status);
+  ODE_RETURN_IF_ERROR(GetString(&input, &resp.message, "status message"));
+  if (resp.status != WireStatus::kOk) {
+    ODE_RETURN_IF_ERROR(RequireExhausted(input));
+    *out = std::move(resp);
+    return Status::OK();
+  }
+  switch (resp.op) {
+    case OpCode::kPing:
+    case OpCode::kUpdateLatest:
+    case OpCode::kUpdateVersion:
+    case OpCode::kDeleteObject:
+    case OpCode::kDeleteVersion:
+    case OpCode::kCursorClose:
+    case OpCode::kTxnBegin:
+    case OpCode::kTxnCommit:
+    case OpCode::kTxnAbort:
+      break;
+    case OpCode::kPnew:
+    case OpCode::kNewVersionOf:
+    case OpCode::kNewVersionFrom:
+    case OpCode::kLatest:
+      if (!GetFixed64(&input, &resp.oid)) return Truncated("result oid");
+      if (!GetVarint32(&input, &resp.vnum)) return Truncated("result vnum");
+      break;
+    case OpCode::kDerefLatest:
+      if (!GetFixed64(&input, &resp.oid)) return Truncated("result oid");
+      if (!GetVarint32(&input, &resp.vnum)) return Truncated("result vnum");
+      ODE_RETURN_IF_ERROR(GetString(&input, &resp.payload, "payload"));
+      break;
+    case OpCode::kDerefVersion:
+      ODE_RETURN_IF_ERROR(GetString(&input, &resp.payload, "payload"));
+      break;
+    case OpCode::kDerefBatch: {
+      uint32_t count = 0;
+      ODE_RETURN_IF_ERROR(GetCount(&input, &count, "deref batch"));
+      resp.batch.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        DerefResult item;
+        if (input.empty()) return Truncated("batch item status");
+        const uint8_t item_status = static_cast<uint8_t>(input[0]);
+        input.remove_prefix(1);
+        if (!IsKnownWireStatus(item_status)) {
+          return Status::InvalidArgument("wire: unknown batch item status " +
+                                         std::to_string(item_status));
+        }
+        item.status = static_cast<WireStatus>(item_status);
+        if (item.status == WireStatus::kOk) {
+          if (!GetFixed64(&input, &item.oid)) {
+            return Truncated("batch item oid");
+          }
+          if (!GetVarint32(&input, &item.vnum)) {
+            return Truncated("batch item vnum");
+          }
+          ODE_RETURN_IF_ERROR(
+              GetString(&input, &item.payload, "batch item payload"));
+        }
+        resp.batch.push_back(std::move(item));
+      }
+      break;
+    }
+    case OpCode::kVersionsOf: {
+      uint32_t count = 0;
+      ODE_RETURN_IF_ERROR(GetCount(&input, &count, "version list"));
+      resp.vnums.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        uint32_t vnum = 0;
+        if (!GetVarint32(&input, &vnum)) return Truncated("version number");
+        resp.vnums.push_back(vnum);
+      }
+      break;
+    }
+    case OpCode::kRegisterType:
+      if (!GetVarint32(&input, &resp.type_id)) return Truncated("type id");
+      break;
+    case OpCode::kLookupType:
+      if (input.empty()) return Truncated("found flag");
+      resp.found = input[0] != 0;
+      input.remove_prefix(1);
+      if (!GetVarint32(&input, &resp.type_id)) return Truncated("type id");
+      break;
+    case OpCode::kCursorOpen:
+      if (!GetFixed64(&input, &resp.cursor_id)) return Truncated("cursor id");
+      break;
+    case OpCode::kCursorNext: {
+      if (input.empty()) return Truncated("done flag");
+      resp.done = input[0] != 0;
+      input.remove_prefix(1);
+      uint32_t count = 0;
+      ODE_RETURN_IF_ERROR(GetCount(&input, &count, "cursor batch"));
+      resp.entries.reserve(count);
+      for (uint32_t i = 0; i < count; ++i) {
+        CursorEntry e;
+        if (!GetFixed64(&input, &e.a)) return Truncated("cursor entry");
+        if (!GetVarint32(&input, &e.b)) return Truncated("cursor entry");
+        if (!GetVarint32(&input, &e.c)) return Truncated("cursor entry");
+        ODE_RETURN_IF_ERROR(GetString(&input, &e.s, "cursor entry string"));
+        resp.entries.push_back(std::move(e));
+      }
+      break;
+    }
+    case OpCode::kStats:
+      ODE_RETURN_IF_ERROR(GetString(&input, &resp.payload, "stats document"));
+      break;
+  }
+  ODE_RETURN_IF_ERROR(RequireExhausted(input));
+  *out = std::move(resp);
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace ode

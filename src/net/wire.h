@@ -1,0 +1,236 @@
+#ifndef ODE_NET_WIRE_H_
+#define ODE_NET_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ids.h"
+#include "util/slice.h"
+#include "util/status.h"
+
+namespace ode {
+namespace net {
+
+// ---------------------------------------------------------------------------
+// The Ode wire protocol, version 1
+// ---------------------------------------------------------------------------
+//
+// Every message travels in one length-prefixed frame:
+//
+//   [u32 LE length][u8 version][u8 opcode][u64 LE request_id][body...]
+//
+// `length` counts everything after itself (version byte through body end).
+// Requests and responses share the framing; a response echoes the request's
+// opcode and request_id and inserts a status byte + detail message before
+// the op-specific body.  All integers are little-endian fixed-width or
+// LEB128 varints (util/coding.h) — the same codecs every on-disk structure
+// uses, so the garbage-rejection discipline is identical: every decoder
+// consumes from a Slice, fails loudly on truncation or overflow, and never
+// reads past the frame.
+//
+// Compatibility contract: the numeric values of OpCode, WireStatus and
+// CursorKind are FROZEN — they are the wire format.  Add new values at the
+// end with explicit numbers; never renumber or reuse (enforced by
+// tests/net/wire_enum_test.cc).
+
+/// Protocol version stamped into every frame.  A peer speaking a different
+/// version is rejected with kProtocolError before any body decoding.
+inline constexpr uint8_t kWireVersion = 1;
+
+/// Frame length prefix is a u32; `length` excludes the prefix itself.
+inline constexpr size_t kFrameLenBytes = 4;
+/// version + opcode + request_id: the smallest legal `length`.
+inline constexpr size_t kFrameMinPayload = 1 + 1 + 8;
+
+/// Default cap on one frame's `length`.  A length prefix above the
+/// transport's configured cap is a protocol error (the peer is shed, not
+/// buffered): this is the over-read guard for hostile length prefixes.
+inline constexpr size_t kDefaultMaxFrameBytes = 16u << 20;
+
+/// Cap on counted repetitions inside one message (batched-deref items,
+/// cursor batch entries, version lists).  Bounds decoder allocation even
+/// when the frame length itself is legal.
+inline constexpr uint32_t kMaxBatchItems = 65536;
+
+/// Operation selectors.  FROZEN numeric values (see above).
+enum class OpCode : uint8_t {
+  kPing = 1,            ///< Liveness probe; echoes.
+  kPnew = 2,            ///< Create object (type_id, payload) -> VersionId.
+  kNewVersionOf = 3,    ///< Derive from latest of oid -> VersionId.
+  kNewVersionFrom = 4,  ///< Derive from specific (oid, vnum) -> VersionId.
+  kUpdateLatest = 5,    ///< Replace latest payload of oid.
+  kUpdateVersion = 6,   ///< Replace payload of (oid, vnum).
+  kDerefLatest = 7,     ///< Generic dereference -> (resolved vid, payload).
+  kDerefVersion = 8,    ///< Specific dereference -> payload.
+  kDerefBatch = 9,      ///< Many derefs in one frame, per-item status.
+  kDeleteObject = 10,   ///< pdelete(oid): object and all versions.
+  kDeleteVersion = 11,  ///< pdelete(oid, vnum): splice one version.
+  kLatest = 12,         ///< Resolve generic ref -> VersionId (no payload).
+  kVersionsOf = 13,     ///< All live vnums of oid, temporal order.
+  kRegisterType = 14,   ///< name -> type id (creating on first use).
+  kLookupType = 15,     ///< name -> type id (never creates).
+  kCursorOpen = 16,     ///< Open a server-side catalog cursor.
+  kCursorNext = 17,     ///< Fetch the next batch of cursor entries.
+  kCursorClose = 18,    ///< Drop a cursor (also implicit at disconnect).
+  kTxnBegin = 19,       ///< Open the session-scoped transaction.
+  kTxnCommit = 20,
+  kTxnAbort = 21,
+  kStats = 22,          ///< Server + database metrics as a JSON document.
+};
+
+/// Human-readable opcode name ("pnew", "cursor-next", ...); "?" if unknown.
+std::string_view OpCodeName(OpCode op);
+
+/// True if `op` is a value this protocol version understands.
+bool IsKnownOpCode(uint8_t op);
+
+/// Outcome codes on the wire.  Values 0..10 mirror ode::StatusCode one to
+/// one (frozen on both sides; wire_enum_test.cc pins the correspondence).
+/// Values >= 32 are transport-level conditions that have no library-Status
+/// origin.  FROZEN numeric values.
+enum class WireStatus : uint8_t {
+  kOk = 0,
+  kNotFound = 1,
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  kIOError = 4,
+  kAlreadyExists = 5,
+  kNotSupported = 6,
+  kFailedPrecondition = 7,
+  kAborted = 8,
+  kOutOfRange = 9,
+  kInternal = 10,
+  /// Malformed frame: bad version, unknown opcode, truncated or oversized
+  /// body, trailing garbage.  The server answers once, then closes.
+  kProtocolError = 32,
+  /// The client overran the server's pipeline or outbox bound and is being
+  /// shed (DESIGN.md §4i).  Retry against a fresh connection, more slowly.
+  kBackpressure = 33,
+  /// The server is shutting down; in-flight requests get this, not silence.
+  kShuttingDown = 34,
+};
+
+/// Library status -> wire code (exact for all 11 StatusCode values).
+WireStatus ToWireStatus(StatusCode code);
+
+/// Wire code -> client-side Status.  The net-only codes map onto library
+/// categories a caller can dispatch on: kProtocolError -> kInvalidArgument,
+/// kBackpressure -> kAborted (retryable), kShuttingDown ->
+/// kFailedPrecondition; the message always carries the wire-level name.
+Status FromWireStatus(WireStatus ws, std::string message);
+
+/// Catalog cursor families a client can open.  FROZEN numeric values.
+enum class CursorKind : uint8_t {
+  kObjects = 0,   ///< Every object: entry {a=oid, b=latest, c=type_id}.
+  kVersions = 1,  ///< Versions of `arg` oid: {a=oid, b=vnum, c=derived_from}.
+  kTypes = 2,     ///< Registered types: {a=type_id, s=name}.
+  kCluster = 3,   ///< Objects of type `arg`: {a=oid}.
+};
+
+/// One item of a batched dereference.  vnum == kNoVersion (0) means the
+/// generic (latest) form; any other vnum is a specific dereference.
+struct DerefItem {
+  uint64_t oid = 0;
+  uint32_t vnum = 0;
+};
+
+/// Decoded request: a tagged union in flat form — `op` selects which fields
+/// are meaningful (the codec encodes exactly those, nothing else).
+struct Request {
+  OpCode op = OpCode::kPing;
+  uint64_t request_id = 0;
+
+  uint64_t oid = 0;          ///< Object operand.
+  uint32_t vnum = 0;         ///< Version operand (specific forms).
+  uint32_t type_id = 0;      ///< kPnew.
+  std::string payload;       ///< Payload bytes, or the type name.
+  std::vector<DerefItem> batch;  ///< kDerefBatch.
+  uint8_t cursor_kind = 0;   ///< kCursorOpen (a CursorKind value).
+  uint64_t cursor_arg = 0;   ///< kCursorOpen: oid / type id operand.
+  uint64_t cursor_id = 0;    ///< kCursorNext / kCursorClose.
+  uint32_t max_entries = 0;  ///< kCursorNext batch bound (1..kMaxBatchItems).
+};
+
+/// One entry of a cursor batch.  Field meaning depends on the CursorKind
+/// (documented per kind above); unused fields encode as zero/empty.
+struct CursorEntry {
+  uint64_t a = 0;
+  uint32_t b = 0;
+  uint32_t c = 0;
+  std::string s;
+};
+
+/// Per-item outcome of a batched dereference.
+struct DerefResult {
+  WireStatus status = WireStatus::kOk;
+  uint64_t oid = 0;      ///< Resolved id (generic items report the vnum hit).
+  uint32_t vnum = 0;
+  std::string payload;   ///< Present when status == kOk.
+};
+
+/// Decoded response.  `op`/`request_id` echo the request; `status` gates the
+/// body (a non-OK response encodes no op-specific fields, only `message`).
+struct Response {
+  OpCode op = OpCode::kPing;
+  uint64_t request_id = 0;
+  WireStatus status = WireStatus::kOk;
+  std::string message;
+
+  uint64_t oid = 0;       ///< Resolved VersionId (creation ops, kLatest...).
+  uint32_t vnum = 0;
+  uint32_t type_id = 0;   ///< kRegisterType / kLookupType.
+  bool found = false;     ///< kLookupType.
+  std::string payload;    ///< Dereference bytes / kStats JSON.
+  std::vector<uint32_t> vnums;       ///< kVersionsOf.
+  std::vector<DerefResult> batch;    ///< kDerefBatch.
+  uint64_t cursor_id = 0;            ///< kCursorOpen.
+  bool done = false;                 ///< kCursorNext: cursor exhausted.
+  std::vector<CursorEntry> entries;  ///< kCursorNext.
+};
+
+/// Response skeleton echoing `req`'s opcode and id, status kOk.
+Response ResponseFor(const Request& req);
+
+/// Error-response helper: echoes `req`, carries (`ws`, `message`), no body.
+Response ErrorResponseFor(const Request& req, WireStatus ws,
+                          std::string message);
+
+// -- Encoding ---------------------------------------------------------------
+
+/// Appends one complete frame (length prefix included) to *out.
+void EncodeRequestFrame(const Request& req, std::string* out);
+void EncodeResponseFrame(const Response& resp, std::string* out);
+
+// -- Decoding ---------------------------------------------------------------
+
+/// Outcome of trying to slice one frame off a byte stream.
+enum class FrameResult : uint8_t {
+  kFrame,     ///< *frame holds one complete frame payload (length stripped).
+  kNeedMore,  ///< The stream ends mid-frame; read more bytes and retry.
+  kError,     ///< The stream is unrecoverable (oversized/undersized length).
+};
+
+/// Attempts to extract one frame from the front of `*input` (which aliases
+/// the connection's receive buffer).  On kFrame, `*frame` aliases the frame
+/// payload and `*input` advances past it.  On kNeedMore, `*input` is
+/// unchanged.  On kError, `*error` names the violation; the connection
+/// cannot be resynchronized and must be closed (a torn or hostile length
+/// prefix poisons everything after it).
+FrameResult ExtractFrame(Slice* input, Slice* frame, size_t max_frame_bytes,
+                         std::string* error);
+
+/// Decodes a frame payload (from ExtractFrame) as a request.  Rejects: bad
+/// protocol version, unknown opcode, truncated body, oversized counts, and
+/// trailing bytes after the body (every request shape is fixed, so trailing
+/// garbage means a framing bug or an attack — never silently ignored).
+Status DecodeRequest(const Slice& frame, Request* out);
+
+/// Decodes a frame payload as a response (same strictness).
+Status DecodeResponse(const Slice& frame, Response* out);
+
+}  // namespace net
+}  // namespace ode
+
+#endif  // ODE_NET_WIRE_H_

@@ -3,6 +3,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/cursor.h"
 #include "util/byte_buffer.h"
 
 namespace ode {
@@ -22,14 +23,14 @@ struct ExportedVersion {
 /// Reverse type lookup: id -> name (the names tree maps name -> id).
 StatusOr<std::string> TypeNameOf(Database& db, uint32_t type_id) {
   std::optional<std::string> found;
-  ODE_RETURN_IF_ERROR(
-      db.ForEachType([&](const std::string& name, uint32_t id) {
-        if (id == type_id) {
-          found = name;
-          return false;
-        }
-        return true;
-      }));
+  TypeCursor types(db);
+  for (; types.Valid(); types.Next()) {
+    if (types.id() == type_id) {
+      found = types.name();
+      break;
+    }
+  }
+  ODE_RETURN_IF_ERROR(types.status());
   if (!found.has_value()) {
     return Status::NotFound("type id " + std::to_string(type_id) +
                             " has no registered name");
@@ -46,13 +47,13 @@ StatusOr<std::string> ExportObject(Database& db, ObjectId oid) {
   if (!type_name.ok()) return type_name.status();
 
   std::vector<ExportedVersion> versions;
-  Status scan = db.ForEachVersion(
-      oid, [&](VersionId vid, const VersionMeta& meta) {
-        versions.push_back(ExportedVersion{vid.vnum, meta.derived_from,
-                                           meta.created_ts, std::string()});
-        return true;
-      });
-  ODE_RETURN_IF_ERROR(scan);
+  VersionCursor scan(db, oid);
+  for (; scan.Valid(); scan.Next()) {
+    versions.push_back(ExportedVersion{scan.vid().vnum,
+                                       scan.meta().derived_from,
+                                       scan.meta().created_ts, std::string()});
+  }
+  ODE_RETURN_IF_ERROR(scan.status());
   for (ExportedVersion& version : versions) {
     auto payload = db.ReadVersion(VersionId{oid, version.vnum});
     if (!payload.ok()) return payload.status();

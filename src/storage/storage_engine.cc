@@ -15,9 +15,9 @@ namespace ode {
 namespace {
 
 /// Engines this thread currently holds a shared (reader) lock on.  Nested
-/// WithReadTxn calls on the same engine (e.g. ReadVersion inside a
-/// ForEachObject callback) reuse the outer lock: recursively acquiring a
-/// std::shared_mutex on one thread is undefined behavior.
+/// WithReadTxn calls on the same engine (e.g. ReadVersion while an
+/// ObjectCursor scan is refilling) reuse the outer lock: recursively
+/// acquiring a std::shared_mutex on one thread is undefined behavior.
 thread_local std::vector<const StorageEngine*> tls_read_locked_engines;
 
 bool ThisThreadHoldsReadLock(const StorageEngine* engine) {

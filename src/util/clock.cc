@@ -6,11 +6,16 @@ namespace ode {
 
 uint64_t WallClock::Now() {
   const auto now = std::chrono::system_clock::now().time_since_epoch();
-  uint64_t us = static_cast<uint64_t>(
+  const uint64_t us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(now).count());
-  if (us <= last_) us = last_ + 1;
-  last_ = us;
-  return us;
+  uint64_t prev = last_.load(std::memory_order_relaxed);
+  for (;;) {
+    const uint64_t candidate = us > prev ? us : prev + 1;
+    if (last_.compare_exchange_weak(prev, candidate,
+                                    std::memory_order_relaxed)) {
+      return candidate;
+    }
+  }
 }
 
 }  // namespace ode

@@ -1,6 +1,7 @@
 #ifndef ODE_UTIL_CLOCK_H_
 #define ODE_UTIL_CLOCK_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace ode {
@@ -11,10 +12,13 @@ namespace ode {
 /// creation time".  The library only requires the timestamp source to be
 /// monotonically non-decreasing per database, so tests inject a
 /// LogicalClock for full determinism while production uses WallClock.
+/// Concurrent writers (striped write latches, the server's worker pool)
+/// tick the clock from many threads, so Now() must be thread-safe.
 class Clock {
  public:
   virtual ~Clock() = default;
-  /// Returns a timestamp >= every previously returned timestamp.
+  /// Returns a timestamp >= every previously returned timestamp.  Safe to
+  /// call from any thread.
   virtual uint64_t Now() = 0;
 };
 
@@ -22,15 +26,20 @@ class Clock {
 class LogicalClock : public Clock {
  public:
   explicit LogicalClock(uint64_t start = 0) : next_(start) {}
-  uint64_t Now() override { return ++next_; }
+  uint64_t Now() override {
+    return next_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
   /// Fast-forwards so the next tick is at least `t` (used after recovery so
   /// restored timestamps stay monotone).
   void AdvanceTo(uint64_t t) {
-    if (t > next_) next_ = t;
+    uint64_t prev = next_.load(std::memory_order_relaxed);
+    while (t > prev &&
+           !next_.compare_exchange_weak(prev, t, std::memory_order_relaxed)) {
+    }
   }
 
  private:
-  uint64_t next_;
+  std::atomic<uint64_t> next_;
 };
 
 /// Microseconds since the Unix epoch, forced monotone.
@@ -39,7 +48,7 @@ class WallClock : public Clock {
   uint64_t Now() override;
 
  private:
-  uint64_t last_ = 0;
+  std::atomic<uint64_t> last_{0};
 };
 
 }  // namespace ode

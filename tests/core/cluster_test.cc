@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "core/cursor.h"
 #include "core/database.h"
 #include "tests/testing/db_fixture.h"
 
@@ -79,16 +80,18 @@ TEST_F(ClusterTest, VersioningDoesNotDuplicateClusterEntries) {
   EXPECT_EQ(*size, 1u);
 }
 
-TEST_F(ClusterTest, ForEachEarlyStop) {
+TEST_F(ClusterTest, CursorEarlyStop) {
   auto type = db_->RegisterType("T");
   ASSERT_TRUE(type.ok());
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(db_->PnewRaw(*type, Slice("x")).ok());
   }
   int visited = 0;
-  ASSERT_OK(db_->ForEachInCluster(*type, [&](ObjectId) {
-    return ++visited < 4;
-  }));
+  ClusterCursor cluster(*db_, *type);
+  for (; cluster.Valid(); cluster.Next()) {
+    if (++visited == 4) break;
+  }
+  ASSERT_OK(cluster.status());
   EXPECT_EQ(visited, 4);
 }
 

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include "core/check.h"
+#include "core/cursor.h"
 #include "core/database.h"
 #include "core/version_ptr.h"
 #include "tests/testing/db_fixture.h"
@@ -101,10 +102,9 @@ TEST_F(EdgeCasesTest, ManyObjectsSingleVersionEach) {
   }
   ASSERT_OK(db_->Commit());
   uint64_t count = 0;
-  ASSERT_OK(db_->ForEachObject([&](ObjectId, const ObjectHeader&) {
-    ++count;
-    return true;
-  }));
+  ObjectCursor objects(*db_);
+  for (; objects.Valid(); objects.Next()) ++count;
+  ASSERT_OK(objects.status());
   EXPECT_EQ(count, static_cast<uint64_t>(kObjects));
 }
 

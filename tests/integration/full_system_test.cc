@@ -3,6 +3,7 @@
 #include <map>
 
 #include "core/check.h"
+#include "core/cursor.h"
 #include "storage/fault_env.h"
 #include "core/index.h"
 #include "core/query.h"
@@ -157,11 +158,11 @@ TEST_P(FullSystemTest, SoakWithCrashes) {
       open_all();
       // Rebuild the live list from the database itself.
       live.clear();
-      ASSERT_TRUE(db->ForEachObject([&](ObjectId oid, const ObjectHeader& h) {
-        auto type_id = db->TypeId<Module>();
-        if (type_id.ok() && h.type_id == *type_id) live.push_back(oid);
-        return true;
-      }).ok());
+      auto type_id = db->TypeId<Module>();
+      ASSERT_TRUE(type_id.ok());
+      ClusterCursor cluster(*db, *type_id);
+      for (; cluster.Valid(); cluster.Next()) live.push_back(cluster.oid());
+      ASSERT_TRUE(cluster.status().ok());
     }
   }
 

@@ -1,0 +1,353 @@
+// Dispatcher semantics through the loopback transport: every request type
+// lands on the one Database entry point, responses carry the same outcomes
+// a local caller sees, sessions own cursors and the transaction, and a
+// poisoned byte stream kills the connection the way the socket server
+// would.
+
+#include "net/dispatcher.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/loopback.h"
+#include "util/coding.h"
+#include "net/wire.h"
+#include "tests/testing/db_fixture.h"
+#include "tests/testing/util.h"
+
+namespace ode {
+namespace net {
+namespace {
+
+class DispatcherTest : public testing_internal::DatabaseFixture {
+ protected:
+  void SetUp() override {
+    DatabaseFixture::SetUp();
+    SetUpRawType();
+    loop_ = std::make_unique<LoopbackTransport>(*db_);
+  }
+
+  Response Call(OpCode op, const std::function<void(Request&)>& fill = {}) {
+    Request req;
+    req.op = op;
+    req.request_id = next_id_++;
+    if (fill) fill(req);
+    Response resp = loop_->Call(req);
+    EXPECT_EQ(resp.request_id, req.request_id);
+    EXPECT_EQ(resp.op, op);
+    return resp;
+  }
+
+  /// Creates one object over the wire; returns its oid.
+  uint64_t WirePnew(const std::string& payload) {
+    Response resp = Call(OpCode::kPnew, [&](Request& r) {
+      r.type_id = type_id_;
+      r.payload = payload;
+    });
+    EXPECT_EQ(resp.status, WireStatus::kOk) << resp.message;
+    return resp.oid;
+  }
+
+  std::unique_ptr<LoopbackTransport> loop_;
+  uint64_t next_id_ = 1;
+};
+
+TEST_F(DispatcherTest, PingEchoes) {
+  Response resp = Call(OpCode::kPing);
+  EXPECT_EQ(resp.status, WireStatus::kOk);
+}
+
+TEST_F(DispatcherTest, CreateDerefUpdateDeleteLifecycle) {
+  const uint64_t oid = WirePnew("v1");
+
+  Response deref = Call(OpCode::kDerefLatest,
+                        [&](Request& r) { r.oid = oid; });
+  ASSERT_EQ(deref.status, WireStatus::kOk) << deref.message;
+  EXPECT_EQ(deref.payload, "v1");
+  EXPECT_EQ(deref.oid, oid);
+  EXPECT_EQ(deref.vnum, kFirstVersion);
+
+  Response newv = Call(OpCode::kNewVersionOf,
+                       [&](Request& r) { r.oid = oid; });
+  ASSERT_EQ(newv.status, WireStatus::kOk);
+  EXPECT_EQ(newv.vnum, kFirstVersion + 1);
+
+  Response update = Call(OpCode::kUpdateLatest, [&](Request& r) {
+    r.oid = oid;
+    r.payload = "v2";
+  });
+  ASSERT_EQ(update.status, WireStatus::kOk) << update.message;
+  EXPECT_EQ(Call(OpCode::kDerefLatest, [&](Request& r) { r.oid = oid; })
+                .payload,
+            "v2");
+
+  Response versions = Call(OpCode::kVersionsOf,
+                           [&](Request& r) { r.oid = oid; });
+  ASSERT_EQ(versions.status, WireStatus::kOk);
+  EXPECT_EQ(versions.vnums.size(), 2u);
+
+  Response specific = Call(OpCode::kDerefVersion, [&](Request& r) {
+    r.oid = oid;
+    r.vnum = kFirstVersion;
+  });
+  ASSERT_EQ(specific.status, WireStatus::kOk);
+  EXPECT_EQ(specific.payload, "v1");
+
+  Response del = Call(OpCode::kDeleteObject,
+                      [&](Request& r) { r.oid = oid; });
+  EXPECT_EQ(del.status, WireStatus::kOk);
+  EXPECT_EQ(Call(OpCode::kDerefLatest, [&](Request& r) { r.oid = oid; })
+                .status,
+            WireStatus::kNotFound);
+}
+
+TEST_F(DispatcherTest, ErrorsCarryTheLibraryMessage) {
+  Response resp = Call(OpCode::kDerefLatest, [](Request& r) { r.oid = 999; });
+  EXPECT_EQ(resp.status, WireStatus::kNotFound);
+  EXPECT_FALSE(resp.message.empty());
+}
+
+TEST_F(DispatcherTest, BatchDerefReportsPerItemStatus) {
+  const uint64_t a = WirePnew("alpha");
+  const uint64_t b = WirePnew("beta");
+
+  Response resp = Call(OpCode::kDerefBatch, [&](Request& r) {
+    r.batch = {{a, 0},          // generic
+               {b, 1},          // specific
+               {424242, 0},     // missing object
+               {a, 99}};        // missing version
+  });
+  ASSERT_EQ(resp.status, WireStatus::kOk);
+  ASSERT_EQ(resp.batch.size(), 4u);
+  EXPECT_EQ(resp.batch[0].status, WireStatus::kOk);
+  EXPECT_EQ(resp.batch[0].payload, "alpha");
+  EXPECT_EQ(resp.batch[0].vnum, kFirstVersion);  // resolved by generic form
+  EXPECT_EQ(resp.batch[1].status, WireStatus::kOk);
+  EXPECT_EQ(resp.batch[1].payload, "beta");
+  EXPECT_EQ(resp.batch[2].status, WireStatus::kNotFound);
+  EXPECT_EQ(resp.batch[3].status, WireStatus::kNotFound);
+}
+
+TEST_F(DispatcherTest, TypeRegistryOverTheWire) {
+  Response reg = Call(OpCode::kRegisterType,
+                      [](Request& r) { r.payload = "wire.type"; });
+  ASSERT_EQ(reg.status, WireStatus::kOk);
+  EXPECT_GT(reg.type_id, 0u);
+
+  Response hit = Call(OpCode::kLookupType,
+                      [](Request& r) { r.payload = "wire.type"; });
+  ASSERT_EQ(hit.status, WireStatus::kOk);
+  EXPECT_TRUE(hit.found);
+  EXPECT_EQ(hit.type_id, reg.type_id);
+
+  Response miss = Call(OpCode::kLookupType,
+                       [](Request& r) { r.payload = "no.such.type"; });
+  ASSERT_EQ(miss.status, WireStatus::kOk);
+  EXPECT_FALSE(miss.found);
+}
+
+TEST_F(DispatcherTest, ObjectCursorPaginatesAndSelfCloses) {
+  std::vector<uint64_t> oids;
+  for (int i = 0; i < 10; ++i) oids.push_back(WirePnew("o"));
+
+  Response open = Call(OpCode::kCursorOpen, [](Request& r) {
+    r.cursor_kind = static_cast<uint8_t>(CursorKind::kObjects);
+  });
+  ASSERT_EQ(open.status, WireStatus::kOk);
+  const uint64_t cursor = open.cursor_id;
+
+  size_t seen = 0;
+  bool done = false;
+  while (!done) {
+    Response next = Call(OpCode::kCursorNext, [&](Request& r) {
+      r.cursor_id = cursor;
+      r.max_entries = 3;  // Forces pagination.
+    });
+    ASSERT_EQ(next.status, WireStatus::kOk) << next.message;
+    EXPECT_LE(next.entries.size(), 3u);
+    seen += next.entries.size();
+    done = next.done;
+  }
+  EXPECT_EQ(seen, oids.size());
+
+  // Exhausted cursors self-close: the id is gone.
+  Response after = Call(OpCode::kCursorNext, [&](Request& r) {
+    r.cursor_id = cursor;
+    r.max_entries = 3;
+  });
+  EXPECT_EQ(after.status, WireStatus::kNotFound);
+}
+
+TEST_F(DispatcherTest, VersionAndTypeAndClusterCursors) {
+  const uint64_t oid = WirePnew("first");
+  Call(OpCode::kNewVersionOf, [&](Request& r) { r.oid = oid; });
+
+  Response vopen = Call(OpCode::kCursorOpen, [&](Request& r) {
+    r.cursor_kind = static_cast<uint8_t>(CursorKind::kVersions);
+    r.cursor_arg = oid;
+  });
+  ASSERT_EQ(vopen.status, WireStatus::kOk);
+  Response vnext = Call(OpCode::kCursorNext, [&](Request& r) {
+    r.cursor_id = vopen.cursor_id;
+    r.max_entries = 100;
+  });
+  ASSERT_EQ(vnext.status, WireStatus::kOk);
+  EXPECT_EQ(vnext.entries.size(), 2u);
+  EXPECT_TRUE(vnext.done);
+
+  Response topen = Call(OpCode::kCursorOpen, [](Request& r) {
+    r.cursor_kind = static_cast<uint8_t>(CursorKind::kTypes);
+  });
+  ASSERT_EQ(topen.status, WireStatus::kOk);
+  Response tnext = Call(OpCode::kCursorNext, [&](Request& r) {
+    r.cursor_id = topen.cursor_id;
+    r.max_entries = 100;
+  });
+  ASSERT_EQ(tnext.status, WireStatus::kOk);
+  ASSERT_GE(tnext.entries.size(), 1u);
+  bool saw_raw = false;
+  for (const CursorEntry& e : tnext.entries) saw_raw |= (e.s == "raw");
+  EXPECT_TRUE(saw_raw);
+
+  Response copen = Call(OpCode::kCursorOpen, [&](Request& r) {
+    r.cursor_kind = static_cast<uint8_t>(CursorKind::kCluster);
+    r.cursor_arg = type_id_;
+  });
+  ASSERT_EQ(copen.status, WireStatus::kOk);
+  Response cnext = Call(OpCode::kCursorNext, [&](Request& r) {
+    r.cursor_id = copen.cursor_id;
+    r.max_entries = 100;
+  });
+  ASSERT_EQ(cnext.status, WireStatus::kOk);
+  EXPECT_EQ(cnext.entries.size(), 1u);
+  EXPECT_EQ(cnext.entries[0].a, oid);
+}
+
+TEST_F(DispatcherTest, CursorCapBoundsLeakyClients) {
+  for (size_t i = 0; i < Session::kMaxCursors; ++i) {
+    Response open = Call(OpCode::kCursorOpen, [](Request& r) {
+      r.cursor_kind = static_cast<uint8_t>(CursorKind::kObjects);
+    });
+    ASSERT_EQ(open.status, WireStatus::kOk) << "cursor " << i;
+  }
+  Response over = Call(OpCode::kCursorOpen, [](Request& r) {
+    r.cursor_kind = static_cast<uint8_t>(CursorKind::kObjects);
+  });
+  EXPECT_EQ(over.status, WireStatus::kFailedPrecondition);
+
+  // kCursorClose frees a slot.
+  Response close = Call(OpCode::kCursorClose,
+                        [](Request& r) { r.cursor_id = 1; });
+  EXPECT_EQ(close.status, WireStatus::kOk);
+  Response retry = Call(OpCode::kCursorOpen, [](Request& r) {
+    r.cursor_kind = static_cast<uint8_t>(CursorKind::kObjects);
+  });
+  EXPECT_EQ(retry.status, WireStatus::kOk);
+}
+
+TEST_F(DispatcherTest, TransactionLifecycleAndDoubleBegin) {
+  EXPECT_EQ(Call(OpCode::kTxnCommit).status, WireStatus::kFailedPrecondition);
+
+  ASSERT_EQ(Call(OpCode::kTxnBegin).status, WireStatus::kOk);
+  EXPECT_TRUE(loop_->session().in_txn());
+  EXPECT_EQ(Call(OpCode::kTxnBegin).status, WireStatus::kFailedPrecondition);
+
+  const uint64_t oid = WirePnew("txn payload");
+  ASSERT_EQ(Call(OpCode::kTxnCommit).status, WireStatus::kOk);
+  EXPECT_FALSE(loop_->session().in_txn());
+  EXPECT_EQ(Call(OpCode::kDerefLatest, [&](Request& r) { r.oid = oid; })
+                .status,
+            WireStatus::kOk);
+
+  // Abort path: the object created inside never becomes visible.
+  ASSERT_EQ(Call(OpCode::kTxnBegin).status, WireStatus::kOk);
+  const uint64_t doomed = WirePnew("doomed");
+  ASSERT_EQ(Call(OpCode::kTxnAbort).status, WireStatus::kOk);
+  EXPECT_EQ(Call(OpCode::kDerefLatest, [&](Request& r) { r.oid = doomed; })
+                .status,
+            WireStatus::kNotFound);
+}
+
+TEST_F(DispatcherTest, SessionTeardownAbortsItsTransaction) {
+  ASSERT_EQ(Call(OpCode::kTxnBegin).status, WireStatus::kOk);
+  const uint64_t doomed = WirePnew("gone with the session");
+  loop_.reset();  // Destructor == disconnect == CloseSession.
+
+  LoopbackTransport fresh(*db_);
+  Request req;
+  req.op = OpCode::kDerefLatest;
+  req.oid = doomed;
+  EXPECT_EQ(fresh.Call(req).status, WireStatus::kNotFound);
+}
+
+TEST_F(DispatcherTest, StatsReturnsTheMetricsDocument) {
+  WirePnew("x");
+  Response resp = Call(OpCode::kStats);
+  ASSERT_EQ(resp.status, WireStatus::kOk);
+  // Dispatcher instruments live in the same registry the snapshot renders.
+  EXPECT_NE(resp.payload.find("net.requests"), std::string::npos);
+}
+
+TEST_F(DispatcherTest, GarbageOnTheWireKillsTheConnectionTyped) {
+  std::string responses;
+  // A length prefix past the frame cap: answered once, then dead.
+  std::string garbage;
+  PutFixed32(&garbage, 0xffffffffu);
+  garbage.append("junk");
+  Status fed = loop_->Feed(Slice(garbage), &responses);
+  EXPECT_FALSE(fed.ok());
+  EXPECT_TRUE(loop_->dead());
+  EXPECT_FALSE(responses.empty()) << "must answer before closing";
+
+  // The answer is a decodable kProtocolError response.
+  Slice stream(responses);
+  Slice frame;
+  std::string error;
+  ASSERT_EQ(ExtractFrame(&stream, &frame, kDefaultMaxFrameBytes, &error),
+            FrameResult::kFrame);
+  Response resp;
+  ASSERT_OK(DecodeResponse(frame, &resp));
+  EXPECT_EQ(resp.status, WireStatus::kProtocolError);
+
+  // Dead is dead.
+  std::string more;
+  EXPECT_FALSE(loop_->Feed(Slice("anything"), &more).ok());
+}
+
+TEST_F(DispatcherTest, PipelinedFeedAnswersInOrder) {
+  const uint64_t oid = WirePnew("pipelined");
+  std::string stream;
+  for (uint64_t id = 100; id < 105; ++id) {
+    Request req;
+    req.op = OpCode::kDerefLatest;
+    req.request_id = id;
+    req.oid = oid;
+    EncodeRequestFrame(req, &stream);
+  }
+  std::string responses;
+  // Feed in two torn halves.
+  ASSERT_OK(loop_->Feed(Slice(stream.data(), stream.size() / 2), &responses));
+  ASSERT_OK(loop_->Feed(Slice(stream.data() + stream.size() / 2,
+                              stream.size() - stream.size() / 2),
+                        &responses));
+  Slice in(responses);
+  for (uint64_t id = 100; id < 105; ++id) {
+    Slice frame;
+    std::string error;
+    ASSERT_EQ(ExtractFrame(&in, &frame, kDefaultMaxFrameBytes, &error),
+              FrameResult::kFrame);
+    Response resp;
+    ASSERT_OK(DecodeResponse(frame, &resp));
+    EXPECT_EQ(resp.request_id, id);
+    EXPECT_EQ(resp.payload, "pipelined");
+  }
+  EXPECT_TRUE(in.empty());
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ode

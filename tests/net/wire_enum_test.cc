@@ -1,0 +1,185 @@
+// The wire-compatibility freeze: OpCode, WireStatus and CursorKind numeric
+// values ARE the protocol, and StatusCode feeds WireStatus one to one, so
+// all four enums are pinned here value by value.  If an edit renumbers,
+// reuses, or silently drops a value, this file fails to compile or fails at
+// run time — either way the change cannot land unnoticed.  Adding NEW
+// values (at the end, with fresh numbers) only requires extending the
+// tables below.
+
+#include "net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include "util/status.h"
+
+namespace ode {
+namespace net {
+namespace {
+
+// -- StatusCode: the library side of the correspondence ----------------------
+
+static_assert(static_cast<int>(StatusCode::kOk) == 0);
+static_assert(static_cast<int>(StatusCode::kNotFound) == 1);
+static_assert(static_cast<int>(StatusCode::kCorruption) == 2);
+static_assert(static_cast<int>(StatusCode::kInvalidArgument) == 3);
+static_assert(static_cast<int>(StatusCode::kIOError) == 4);
+static_assert(static_cast<int>(StatusCode::kAlreadyExists) == 5);
+static_assert(static_cast<int>(StatusCode::kNotSupported) == 6);
+static_assert(static_cast<int>(StatusCode::kFailedPrecondition) == 7);
+static_assert(static_cast<int>(StatusCode::kAborted) == 8);
+static_assert(static_cast<int>(StatusCode::kOutOfRange) == 9);
+static_assert(static_cast<int>(StatusCode::kInternal) == 10);
+
+// -- OpCode ------------------------------------------------------------------
+
+static_assert(static_cast<int>(OpCode::kPing) == 1);
+static_assert(static_cast<int>(OpCode::kPnew) == 2);
+static_assert(static_cast<int>(OpCode::kNewVersionOf) == 3);
+static_assert(static_cast<int>(OpCode::kNewVersionFrom) == 4);
+static_assert(static_cast<int>(OpCode::kUpdateLatest) == 5);
+static_assert(static_cast<int>(OpCode::kUpdateVersion) == 6);
+static_assert(static_cast<int>(OpCode::kDerefLatest) == 7);
+static_assert(static_cast<int>(OpCode::kDerefVersion) == 8);
+static_assert(static_cast<int>(OpCode::kDerefBatch) == 9);
+static_assert(static_cast<int>(OpCode::kDeleteObject) == 10);
+static_assert(static_cast<int>(OpCode::kDeleteVersion) == 11);
+static_assert(static_cast<int>(OpCode::kLatest) == 12);
+static_assert(static_cast<int>(OpCode::kVersionsOf) == 13);
+static_assert(static_cast<int>(OpCode::kRegisterType) == 14);
+static_assert(static_cast<int>(OpCode::kLookupType) == 15);
+static_assert(static_cast<int>(OpCode::kCursorOpen) == 16);
+static_assert(static_cast<int>(OpCode::kCursorNext) == 17);
+static_assert(static_cast<int>(OpCode::kCursorClose) == 18);
+static_assert(static_cast<int>(OpCode::kTxnBegin) == 19);
+static_assert(static_cast<int>(OpCode::kTxnCommit) == 20);
+static_assert(static_cast<int>(OpCode::kTxnAbort) == 21);
+static_assert(static_cast<int>(OpCode::kStats) == 22);
+
+// -- WireStatus --------------------------------------------------------------
+
+static_assert(static_cast<int>(WireStatus::kOk) == 0);
+static_assert(static_cast<int>(WireStatus::kNotFound) == 1);
+static_assert(static_cast<int>(WireStatus::kCorruption) == 2);
+static_assert(static_cast<int>(WireStatus::kInvalidArgument) == 3);
+static_assert(static_cast<int>(WireStatus::kIOError) == 4);
+static_assert(static_cast<int>(WireStatus::kAlreadyExists) == 5);
+static_assert(static_cast<int>(WireStatus::kNotSupported) == 6);
+static_assert(static_cast<int>(WireStatus::kFailedPrecondition) == 7);
+static_assert(static_cast<int>(WireStatus::kAborted) == 8);
+static_assert(static_cast<int>(WireStatus::kOutOfRange) == 9);
+static_assert(static_cast<int>(WireStatus::kInternal) == 10);
+static_assert(static_cast<int>(WireStatus::kProtocolError) == 32);
+static_assert(static_cast<int>(WireStatus::kBackpressure) == 33);
+static_assert(static_cast<int>(WireStatus::kShuttingDown) == 34);
+
+// -- CursorKind --------------------------------------------------------------
+
+static_assert(static_cast<int>(CursorKind::kObjects) == 0);
+static_assert(static_cast<int>(CursorKind::kVersions) == 1);
+static_assert(static_cast<int>(CursorKind::kTypes) == 2);
+static_assert(static_cast<int>(CursorKind::kCluster) == 3);
+
+// Exhaustive value lists for the runtime checks.  A NEW enum value must be
+// added here too — the Name/IsKnown coverage tests below catch an OpCode
+// that exists in the enum but not in this list (its name would be "?").
+const std::vector<OpCode> kAllOps = {
+    OpCode::kPing,         OpCode::kPnew,          OpCode::kNewVersionOf,
+    OpCode::kNewVersionFrom, OpCode::kUpdateLatest, OpCode::kUpdateVersion,
+    OpCode::kDerefLatest,  OpCode::kDerefVersion,  OpCode::kDerefBatch,
+    OpCode::kDeleteObject, OpCode::kDeleteVersion, OpCode::kLatest,
+    OpCode::kVersionsOf,   OpCode::kRegisterType,  OpCode::kLookupType,
+    OpCode::kCursorOpen,   OpCode::kCursorNext,    OpCode::kCursorClose,
+    OpCode::kTxnBegin,     OpCode::kTxnCommit,     OpCode::kTxnAbort,
+    OpCode::kStats,
+};
+
+const std::vector<WireStatus> kAllWireStatuses = {
+    WireStatus::kOk,
+    WireStatus::kNotFound,
+    WireStatus::kCorruption,
+    WireStatus::kInvalidArgument,
+    WireStatus::kIOError,
+    WireStatus::kAlreadyExists,
+    WireStatus::kNotSupported,
+    WireStatus::kFailedPrecondition,
+    WireStatus::kAborted,
+    WireStatus::kOutOfRange,
+    WireStatus::kInternal,
+    WireStatus::kProtocolError,
+    WireStatus::kBackpressure,
+    WireStatus::kShuttingDown,
+};
+
+const std::vector<StatusCode> kAllStatusCodes = {
+    StatusCode::kOk,           StatusCode::kNotFound,
+    StatusCode::kCorruption,   StatusCode::kInvalidArgument,
+    StatusCode::kIOError,      StatusCode::kAlreadyExists,
+    StatusCode::kNotSupported, StatusCode::kFailedPrecondition,
+    StatusCode::kAborted,      StatusCode::kOutOfRange,
+    StatusCode::kInternal,
+};
+
+TEST(WireEnumTest, NoOpCodeValueReuse) {
+  std::set<uint8_t> seen;
+  for (OpCode op : kAllOps) {
+    EXPECT_TRUE(seen.insert(static_cast<uint8_t>(op)).second)
+        << "opcode value " << static_cast<int>(op) << " used twice";
+  }
+  EXPECT_EQ(seen.size(), 22u) << "opcode added/removed: update this test";
+}
+
+TEST(WireEnumTest, NoWireStatusValueReuse) {
+  std::set<uint8_t> seen;
+  for (WireStatus ws : kAllWireStatuses) {
+    EXPECT_TRUE(seen.insert(static_cast<uint8_t>(ws)).second)
+        << "wire status value " << static_cast<int>(ws) << " used twice";
+  }
+  EXPECT_EQ(seen.size(), 14u);
+}
+
+TEST(WireEnumTest, EveryOpCodeIsKnownAndNamed) {
+  for (OpCode op : kAllOps) {
+    EXPECT_TRUE(IsKnownOpCode(static_cast<uint8_t>(op)));
+    EXPECT_NE(OpCodeName(op), "?") << static_cast<int>(op);
+  }
+  // Distinct ops have distinct names (a copy-pasted name is a freeze bug).
+  std::set<std::string_view> names;
+  for (OpCode op : kAllOps) names.insert(OpCodeName(op));
+  EXPECT_EQ(names.size(), kAllOps.size());
+}
+
+TEST(WireEnumTest, ValuesOutsideTheFreezeAreUnknown) {
+  EXPECT_FALSE(IsKnownOpCode(0));
+  EXPECT_FALSE(IsKnownOpCode(23));
+  EXPECT_FALSE(IsKnownOpCode(255));
+}
+
+TEST(WireEnumTest, StatusCodeRoundTripsThroughWireStatus) {
+  for (StatusCode code : kAllStatusCodes) {
+    const WireStatus ws = ToWireStatus(code);
+    // The first 11 wire values mirror StatusCode numerically.
+    EXPECT_EQ(static_cast<int>(ws), static_cast<int>(code));
+    const Status back = FromWireStatus(ws, "detail");
+    EXPECT_EQ(back.code(), code) << static_cast<int>(code);
+    if (code != StatusCode::kOk) {
+      EXPECT_NE(back.message().find("detail"), std::string::npos);
+    }
+  }
+}
+
+TEST(WireEnumTest, NetOnlyStatusesMapToDispatchableLibraryCodes) {
+  EXPECT_EQ(FromWireStatus(WireStatus::kProtocolError, "x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(FromWireStatus(WireStatus::kBackpressure, "x").code(),
+            StatusCode::kAborted);
+  EXPECT_EQ(FromWireStatus(WireStatus::kShuttingDown, "x").code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace ode

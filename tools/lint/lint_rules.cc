@@ -221,27 +221,13 @@ void CheckMutexMembers(const std::string& path, const std::string& stripped,
 // foreach-caller
 // ---------------------------------------------------------------------------
 
-/// Call sites that predate the cursor API (PR 4).  Do not add to this list:
-/// new code iterates with ObjectCursor/VersionCursor/TypeCursor/
+/// The ForEach* wrappers deprecated in PR 4 were removed outright in PR 9;
+/// this rule keeps them from growing back.  There is no grandfather list —
+/// every caller iterates with ObjectCursor/VersionCursor/TypeCursor/
 /// ClusterCursor (core/cursor.h).
-const std::set<std::string> kForEachGrandfathered = {
-    "src/core/check.cc",
-    "src/core/index.cc",
-    "src/core/query.h",
-    "src/policy/migrate.cc",
-    "tests/core/cluster_test.cc",
-    "tests/core/cursor_test.cc",  // Deliberately compares cursor vs ForEach.
-    "tests/core/edge_cases_test.cc",
-    "tests/integration/full_system_test.cc",
-    "tools/odedump.cc",
-};
-
 void CheckForEachCallers(const std::string& path,
                          const std::vector<std::string>& stripped_lines,
                          std::vector<Issue>* issues) {
-  // The declarations and deprecated wrapper bodies live here.
-  if (path == "src/core/database.h" || path == "src/core/database.cc") return;
-  if (kForEachGrandfathered.count(path) > 0) return;
   static const std::regex kForEach(
       R"(\bForEach(Object|Version|Type|InCluster)\s*\()");
   for (size_t i = 0; i < stripped_lines.size(); ++i) {
@@ -249,7 +235,7 @@ void CheckForEachCallers(const std::string& path,
     if (std::regex_search(stripped_lines[i], m, kForEach)) {
       issues->push_back(Issue{
           path, static_cast<int>(i + 1), "foreach-caller",
-          "new call to deprecated Database::ForEach" + m[1].str() +
+          "call to removed Database::ForEach" + m[1].str() +
               "; use the cursor API (core/cursor.h) instead"});
     }
   }

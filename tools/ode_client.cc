@@ -1,0 +1,154 @@
+// ode_client: command-line client for ode_server.
+//
+// Usage:
+//   ode_client [--host H] [--port P] <command> [args...]
+//
+// Commands:
+//   ping
+//   register-type <name>
+//   pnew <type-id> <payload>
+//   newversion <oid>
+//   update <oid> <payload>            update the latest version
+//   update-version <oid> <vnum> <payload>
+//   deref <oid>                       generic (latest) dereference
+//   deref-version <oid> <vnum>        specific dereference
+//   versions <oid>
+//   delete <oid>
+//   stats                             server metrics snapshot (JSON)
+//
+// Exit code 0 on success, 1 on any error (message on stderr).
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "net/client.h"
+
+namespace {
+
+constexpr char kUsage[] =
+    "usage: ode_client [--host H] [--port P] <command> [args...]\n"
+    "commands: ping | register-type <name> | pnew <type-id> <payload>\n"
+    "          | newversion <oid> | update <oid> <payload>\n"
+    "          | update-version <oid> <vnum> <payload> | deref <oid>\n"
+    "          | deref-version <oid> <vnum> | versions <oid>\n"
+    "          | delete <oid> | stats\n";
+
+int Fail(const ode::Status& status) {
+  std::fprintf(stderr, "ode_client: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  int i = 1;
+  for (; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--host" && i + 1 < argc) {
+      host = argv[++i];
+    } else if (arg == "--port" && i + 1 < argc) {
+      port = static_cast<uint16_t>(std::atoi(argv[++i]));
+    } else {
+      break;
+    }
+  }
+  if (i >= argc || port == 0) {
+    std::fputs(kUsage, stderr);
+    return 2;
+  }
+  const std::string command = argv[i++];
+  const int remaining = argc - i;
+  auto arg_u64 = [&](int k) {
+    return static_cast<uint64_t>(std::strtoull(argv[i + k], nullptr, 10));
+  };
+
+  auto client = ode::net::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status());
+  ode::net::Client& c = **client;
+
+  if (command == "ping" && remaining == 0) {
+    if (ode::Status s = c.Ping(); !s.ok()) return Fail(s);
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "register-type" && remaining == 1) {
+    auto id = c.RegisterType(argv[i]);
+    if (!id.ok()) return Fail(id.status());
+    std::printf("type %u\n", *id);
+    return 0;
+  }
+  if (command == "pnew" && remaining == 2) {
+    auto vid = c.Pnew(static_cast<uint32_t>(arg_u64(0)), argv[i + 1]);
+    if (!vid.ok()) return Fail(vid.status());
+    std::printf("oid %llu vnum %u\n",
+                static_cast<unsigned long long>(vid->oid.value), vid->vnum);
+    return 0;
+  }
+  if (command == "newversion" && remaining == 1) {
+    auto vid = c.NewVersionOf(ode::ObjectId{arg_u64(0)});
+    if (!vid.ok()) return Fail(vid.status());
+    std::printf("oid %llu vnum %u\n",
+                static_cast<unsigned long long>(vid->oid.value), vid->vnum);
+    return 0;
+  }
+  if (command == "update" && remaining == 2) {
+    if (ode::Status s = c.UpdateLatest(ode::ObjectId{arg_u64(0)}, argv[i + 1]);
+        !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "update-version" && remaining == 3) {
+    ode::VersionId vid{ode::ObjectId{arg_u64(0)},
+                       static_cast<ode::VersionNum>(arg_u64(1))};
+    if (ode::Status s = c.UpdateVersion(vid, argv[i + 2]); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "deref" && remaining == 1) {
+    ode::VersionId resolved;
+    auto payload = c.DerefLatest(ode::ObjectId{arg_u64(0)}, &resolved);
+    if (!payload.ok()) return Fail(payload.status());
+    std::fprintf(stderr, "resolved vnum %u\n", resolved.vnum);
+    std::fwrite(payload->data(), 1, payload->size(), stdout);
+    std::printf("\n");
+    return 0;
+  }
+  if (command == "deref-version" && remaining == 2) {
+    ode::VersionId vid{ode::ObjectId{arg_u64(0)},
+                       static_cast<ode::VersionNum>(arg_u64(1))};
+    auto payload = c.DerefVersion(vid);
+    if (!payload.ok()) return Fail(payload.status());
+    std::fwrite(payload->data(), 1, payload->size(), stdout);
+    std::printf("\n");
+    return 0;
+  }
+  if (command == "versions" && remaining == 1) {
+    auto vnums = c.VersionsOf(ode::ObjectId{arg_u64(0)});
+    if (!vnums.ok()) return Fail(vnums.status());
+    for (ode::VersionNum v : *vnums) std::printf("%u\n", v);
+    return 0;
+  }
+  if (command == "delete" && remaining == 1) {
+    if (ode::Status s = c.DeleteObject(ode::ObjectId{arg_u64(0)}); !s.ok()) {
+      return Fail(s);
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+  if (command == "stats" && remaining == 0) {
+    auto json = c.Stats();
+    if (!json.ok()) return Fail(json.status());
+    std::printf("%s\n", json->c_str());
+    return 0;
+  }
+
+  std::fputs(kUsage, stderr);
+  return 2;
+}

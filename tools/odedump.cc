@@ -63,30 +63,29 @@ int Fail(const ode::Status& status) {
 int Summary(ode::Database& db) {
   uint64_t objects = 0, versions = 0, full = 0, deltas = 0;
   uint64_t logical_bytes = 0;
-  ode::Status s = db.ForEachObject(
-      [&](ode::ObjectId oid, const ode::ObjectHeader& header) {
-        ++objects;
-        versions += header.version_count;
-        ode::Status vs = db.ForEachVersion(
-            oid, [&](ode::VersionId, const ode::VersionMeta& meta) {
-              if (meta.kind == ode::PayloadKind::kFull) {
-                ++full;
-              } else {
-                ++deltas;
-              }
-              logical_bytes += meta.logical_size;
-              return true;
-            });
-        if (!vs.ok()) std::fprintf(stderr, "warning: %s\n", vs.ToString().c_str());
-        return true;
-      });
-  if (!s.ok()) return Fail(s);
+  ode::ObjectCursor objs(db);
+  for (; objs.Valid(); objs.Next()) {
+    ++objects;
+    versions += objs.header().version_count;
+    ode::VersionCursor vers(db, objs.oid());
+    for (; vers.Valid(); vers.Next()) {
+      if (vers.meta().kind == ode::PayloadKind::kFull) {
+        ++full;
+      } else {
+        ++deltas;
+      }
+      logical_bytes += vers.meta().logical_size;
+    }
+    if (!vers.status().ok()) {
+      std::fprintf(stderr, "warning: %s\n",
+                   vers.status().ToString().c_str());
+    }
+  }
+  if (!objs.status().ok()) return Fail(objs.status());
   uint64_t types = 0;
-  s = db.ForEachType([&](const std::string&, uint32_t) {
-    ++types;
-    return true;
-  });
-  if (!s.ok()) return Fail(s);
+  ode::TypeCursor type_cursor(db);
+  for (; type_cursor.Valid(); type_cursor.Next()) ++types;
+  if (!type_cursor.status().ok()) return Fail(type_cursor.status());
   std::printf("objects:        %" PRIu64 "\n", objects);
   std::printf("versions:       %" PRIu64 "\n", versions);
   std::printf("  full:         %" PRIu64 "\n", full);
@@ -97,38 +96,38 @@ int Summary(ode::Database& db) {
 }
 
 int Objects(ode::Database& db) {
-  ode::Status s = db.ForEachObject(
-      [&](ode::ObjectId oid, const ode::ObjectHeader& header) {
-        std::printf("object %-8" PRIu64 " type=%-4u versions=%-4u latest=v%-4u"
-                    " created_ts=%" PRIu64 "\n",
-                    oid.value, header.type_id, header.version_count,
-                    header.latest, header.created_ts);
-        return true;
-      });
-  return s.ok() ? 0 : Fail(s);
+  ode::ObjectCursor objs(db);
+  for (; objs.Valid(); objs.Next()) {
+    const ode::ObjectHeader& header = objs.header();
+    std::printf("object %-8" PRIu64 " type=%-4u versions=%-4u latest=v%-4u"
+                " created_ts=%" PRIu64 "\n",
+                objs.oid().value, header.type_id, header.version_count,
+                header.latest, header.created_ts);
+  }
+  return objs.status().ok() ? 0 : Fail(objs.status());
 }
 
 int Graph(ode::Database& db) {
-  ode::Status s =
-      db.ForEachObject([&](ode::ObjectId oid, const ode::ObjectHeader&) {
-        auto rendered = ode::history::RenderGraph(db, oid);
-        if (rendered.ok()) {
-          std::printf("%s\n", rendered->c_str());
-        } else {
-          std::fprintf(stderr, "object %" PRIu64 ": %s\n", oid.value,
-                       rendered.status().ToString().c_str());
-        }
-        return true;
-      });
-  return s.ok() ? 0 : Fail(s);
+  ode::ObjectCursor objs(db);
+  for (; objs.Valid(); objs.Next()) {
+    const ode::ObjectId oid = objs.oid();
+    auto rendered = ode::history::RenderGraph(db, oid);
+    if (rendered.ok()) {
+      std::printf("%s\n", rendered->c_str());
+    } else {
+      std::fprintf(stderr, "object %" PRIu64 ": %s\n", oid.value,
+                   rendered.status().ToString().c_str());
+    }
+  }
+  return objs.status().ok() ? 0 : Fail(objs.status());
 }
 
 int Types(ode::Database& db) {
-  ode::Status s = db.ForEachType([&](const std::string& name, uint32_t id) {
-    std::printf("type %-4u %s\n", id, name.c_str());
-    return true;
-  });
-  return s.ok() ? 0 : Fail(s);
+  ode::TypeCursor types(db);
+  for (; types.Valid(); types.Next()) {
+    std::printf("type %-4u %s\n", types.id(), types.name().c_str());
+  }
+  return types.status().ok() ? 0 : Fail(types.status());
 }
 
 int Check(ode::Database& db) {
@@ -342,22 +341,24 @@ int Storage(ode::Database& db) {
 // Dereferences every version of every object once, so the metrics and trace
 // commands have representative read traffic to report on.
 ode::Status ReadPass(ode::Database& db) {
-  return db.ForEachObject([&](ode::ObjectId oid, const ode::ObjectHeader&) {
-    ode::Status vs = db.ForEachVersion(
-        oid, [&](ode::VersionId vid, const ode::VersionMeta&) {
-          auto bytes = db.ReadVersion(vid);
-          if (!bytes.ok()) {
-            std::fprintf(stderr, "warning: v%u of object %" PRIu64 ": %s\n",
-                         vid.vnum, vid.oid.value,
-                         bytes.status().ToString().c_str());
-          }
-          return true;
-        });
-    if (!vs.ok()) {
-      std::fprintf(stderr, "warning: %s\n", vs.ToString().c_str());
+  ode::ObjectCursor objs(db);
+  for (; objs.Valid(); objs.Next()) {
+    ode::VersionCursor vers(db, objs.oid());
+    for (; vers.Valid(); vers.Next()) {
+      const ode::VersionId vid = vers.vid();
+      auto bytes = db.ReadVersion(vid);
+      if (!bytes.ok()) {
+        std::fprintf(stderr, "warning: v%u of object %" PRIu64 ": %s\n",
+                     vid.vnum, vid.oid.value,
+                     bytes.status().ToString().c_str());
+      }
     }
-    return true;
-  });
+    if (!vers.status().ok()) {
+      std::fprintf(stderr, "warning: %s\n",
+                   vers.status().ToString().c_str());
+    }
+  }
+  return objs.status();
 }
 
 // Reads every version once, then again, and reports the cache counters —
@@ -377,30 +378,28 @@ int PrintPayloadSection(ode::Database& db) {
   uint64_t versions = 0, delta_versions = 0, hashed_refs = 0;
   uint64_t chain_depth_sum = 0, chain_depth_max = 0;
   uint64_t logical_bytes = 0;
-  ode::Status inner = ode::Status::OK();
-  ode::Status s =
-      db.ForEachObject([&](ode::ObjectId oid, const ode::ObjectHeader&) {
-        inner = db.ForEachVersion(
-            oid, [&](ode::VersionId, const ode::VersionMeta& meta) {
-              ++versions;
-              logical_bytes += meta.logical_size;
-              if (meta.kind == ode::PayloadKind::kDelta) {
-                ++delta_versions;
-                chain_depth_sum += meta.delta_chain_len;
-                chain_depth_max =
-                    std::max<uint64_t>(chain_depth_max, meta.delta_chain_len);
-              }
-              if (!meta.content_hash.IsZero()) ++hashed_refs;
-              return true;
-            });
-        return inner.ok();
-      });
-  if (!inner.ok()) return Fail(inner);
-  if (!s.ok()) return Fail(s);
+  ode::ObjectCursor objs(db);
+  for (; objs.Valid(); objs.Next()) {
+    ode::VersionCursor vers(db, objs.oid());
+    for (; vers.Valid(); vers.Next()) {
+      const ode::VersionMeta& meta = vers.meta();
+      ++versions;
+      logical_bytes += meta.logical_size;
+      if (meta.kind == ode::PayloadKind::kDelta) {
+        ++delta_versions;
+        chain_depth_sum += meta.delta_chain_len;
+        chain_depth_max =
+            std::max<uint64_t>(chain_depth_max, meta.delta_chain_len);
+      }
+      if (!meta.content_hash.IsZero()) ++hashed_refs;
+    }
+    if (!vers.status().ok()) return Fail(vers.status());
+  }
+  if (!objs.status().ok()) return Fail(objs.status());
   // Store-side tally: unique blobs, stored bytes, refcount distribution.
   uint64_t blobs = 0, stored_bytes = 0, total_refs = 0;
   std::map<uint64_t, uint64_t> refcount_histogram;
-  s = db.storage().WithReadTxn([&](ode::ReadTxn& txn) -> ode::Status {
+  ode::Status s = db.storage().WithReadTxn([&](ode::ReadTxn& txn) -> ode::Status {
     return db.storage().payload_store().ForEach(
         &txn,
         [&](const ode::Hash128&, const ode::PayloadStoreEntry& entry) {

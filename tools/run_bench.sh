@@ -41,4 +41,16 @@ for suite in "${suites[@]}"; do
     ${BENCH_ARGS:-}
 done
 
-echo "done: ${suites[*]/#/BENCH_} written to $out_dir"
+# bench_server is a plain binary (it drives real sockets against an
+# in-process ode_server and writes its JSON itself); SERVER_BENCH_ARGS
+# passes extra knobs, e.g. SERVER_BENCH_ARGS='--connections 8'.
+server_bin="$build_dir/bench/bench_server"
+if [[ ! -x "$server_bin" ]]; then
+  echo "error: $server_bin not found or not executable; build first" >&2
+  exit 1
+fi
+echo "== bench_server -> $out_dir/BENCH_server.json"
+# shellcheck disable=SC2086
+"$server_bin" --out "$out_dir/BENCH_server.json" ${SERVER_BENCH_ARGS:-}
+
+echo "done: ${suites[*]/#/BENCH_} BENCH_server written to $out_dir"
