@@ -69,6 +69,7 @@ thread_local std::vector<std::pair<const Database*, Txn*>> tls_open_txns;
 
 /// Marks a Database::Begin that is still blocked in engine Begin; rejects a
 /// concurrent user-scoped Begin without holding a mutex across the block.
+// ode_lint: allow(unchecked-cast) sentinel pointer value, never dereferenced.
 Txn* const kBeginPending = reinterpret_cast<Txn*>(1);
 
 }  // namespace

@@ -1,0 +1,76 @@
+#ifndef ODE_FUZZ_FUZZ_H_
+#define ODE_FUZZ_FUZZ_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+// Unified fuzz-target registry: one harness per untrusted-input decoder.
+//
+// Every byte sequence that crosses a trust boundary — wire frames off a
+// socket, WAL bytes off disk, page images, superblocks, catalog values,
+// deltas, payload-index entries, journal exports — has exactly one
+// registered FuzzTarget whose contract is:
+//
+//   typed error or valid object; never a crash, leak, or out-of-bounds
+//   access, for ANY input.
+//
+// Targets are pure functions of (data, size) with no global state, so the
+// same entry point serves three drivers:
+//   - tests/fuzz/fuzz_replay_main.cc: replays the checked-in seed corpus
+//     plus deterministic mutation rounds under ctest (label "fuzz"),
+//   - tests/fuzz/libfuzzer_shim.cc: LLVMFuzzerTestOneInput for the clang
+//     libFuzzer CI job (-DODE_LIBFUZZER=ON),
+//   - tests/net/wire_codec_test.cc: unit tests drive the wire targets
+//     directly instead of hand-rolling decode loops.
+//
+// Registration is explicit (RegisterAllFuzzTargets) rather than via static
+// initializers: the targets live in a static library, where unreferenced
+// initializer objects are legally dropped by the linker.
+
+namespace ode {
+namespace fuzz {
+
+/// Entry point of one fuzz target.  Must return 0 (libFuzzer convention;
+/// nonzero is reserved) and must not crash for any input.  Invariant
+/// violations abort via ODE_FUZZ_REQUIRE so the sanitizer run fails loudly.
+using FuzzEntry = int (*)(const uint8_t* data, size_t size);
+
+struct FuzzTarget {
+  std::string name;         ///< Stable id; also the corpus directory name.
+  std::string description;  ///< The decoder / trust boundary it covers.
+  FuzzEntry entry = nullptr;
+};
+
+/// Adds one target.  Duplicate names abort (they would split the corpus).
+void RegisterFuzzTarget(const char* name, const char* description,
+                        FuzzEntry entry);
+
+/// Registers every built-in target.  Idempotent; call before any lookup.
+void RegisterAllFuzzTargets();
+
+/// All registered targets, in registration order.
+const std::vector<FuzzTarget>& AllFuzzTargets();
+
+/// Looks up a target by name; nullptr if unknown.
+const FuzzTarget* FindFuzzTarget(const std::string& name);
+
+}  // namespace fuzz
+}  // namespace ode
+
+/// Asserts a decoder invariant inside a fuzz target.  Unlike assert(), it
+/// survives NDEBUG builds: a violated invariant must fail the fuzz run in
+/// every configuration.
+#define ODE_FUZZ_REQUIRE(cond)                                       \
+  do {                                                               \
+    if (!(cond)) {                                                   \
+      std::fprintf(stderr, "ODE_FUZZ_REQUIRE failed: %s at %s:%d\n", \
+                   #cond, __FILE__, __LINE__);                       \
+      std::abort();                                                  \
+    }                                                                \
+  } while (0)
+
+#endif  // ODE_FUZZ_FUZZ_H_

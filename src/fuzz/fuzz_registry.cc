@@ -1,0 +1,54 @@
+#include "fuzz/fuzz.h"
+
+namespace ode {
+namespace fuzz {
+
+// Per-translation-unit registration hooks (defined in targets_*.cc).
+// Explicit calls instead of static initializers: see fuzz.h.
+void RegisterNetTargets();
+void RegisterStorageTargets();
+void RegisterCoreTargets();
+void RegisterUtilTargets();
+
+namespace {
+
+std::vector<FuzzTarget>& Registry() {
+  static std::vector<FuzzTarget> targets;
+  return targets;
+}
+
+}  // namespace
+
+void RegisterFuzzTarget(const char* name, const char* description,
+                        FuzzEntry entry) {
+  for (const FuzzTarget& t : Registry()) {
+    if (t.name == name) {
+      std::fprintf(stderr, "duplicate fuzz target: %s\n", name);
+      std::abort();
+    }
+  }
+  Registry().push_back(FuzzTarget{name, description, entry});
+}
+
+void RegisterAllFuzzTargets() {
+  static const bool done = [] {
+    RegisterNetTargets();
+    RegisterStorageTargets();
+    RegisterCoreTargets();
+    RegisterUtilTargets();
+    return true;
+  }();
+  (void)done;
+}
+
+const std::vector<FuzzTarget>& AllFuzzTargets() { return Registry(); }
+
+const FuzzTarget* FindFuzzTarget(const std::string& name) {
+  for (const FuzzTarget& t : Registry()) {
+    if (t.name == name) return &t;
+  }
+  return nullptr;
+}
+
+}  // namespace fuzz
+}  // namespace ode

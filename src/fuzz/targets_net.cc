@@ -1,0 +1,114 @@
+#include <cstring>
+
+#include "fuzz/fuzz.h"
+#include "net/wire.h"
+#include "util/slice.h"
+
+// Harnesses for the network trust boundary: bytes arriving from a peer
+// socket.  Framing and body decoding are separate targets because they see
+// different shapes of hostility — ExtractFrame fights length prefixes,
+// DecodeRequest/DecodeResponse fight body structure.
+
+namespace ode {
+namespace fuzz {
+namespace {
+
+/// Streams the input through ExtractFrame as a receive buffer, decoding
+/// every extracted frame both ways (a hostile peer can send either role's
+/// bytes).  kError must terminate the connection; kNeedMore must leave the
+/// buffer untouched.
+int WireExtractFrame(const uint8_t* data, size_t size) {
+  Slice input(reinterpret_cast<const char*>(data), size);
+  // A tight cap keeps hostile length prefixes interesting without letting
+  // the harness buffer 16MB per iteration.
+  constexpr size_t kMaxFrame = 1u << 16;
+  while (true) {
+    Slice frame;
+    std::string error;
+    const size_t before = input.size();
+    const net::FrameResult r =
+        net::ExtractFrame(&input, &frame, kMaxFrame, &error);
+    if (r == net::FrameResult::kError) {
+      ODE_FUZZ_REQUIRE(!error.empty());
+      break;
+    }
+    if (r == net::FrameResult::kNeedMore) {
+      ODE_FUZZ_REQUIRE(input.size() == before);
+      break;
+    }
+    ODE_FUZZ_REQUIRE(frame.size() >= net::kFrameMinPayload);
+    ODE_FUZZ_REQUIRE(frame.size() <= kMaxFrame);
+    ODE_FUZZ_REQUIRE(input.size() < before);
+    net::Request req;
+    (void)net::DecodeRequest(frame, &req);
+    net::Response resp;
+    (void)net::DecodeResponse(frame, &resp);
+  }
+  return 0;
+}
+
+/// Treats the whole input as one frame payload.  A decode that succeeds
+/// must survive an encode/extract/decode round trip (the codec pair is the
+/// server's only contract with itself).
+int WireDecodeRequest(const uint8_t* data, size_t size) {
+  net::Request req;
+  const Status s =
+      net::DecodeRequest(Slice(reinterpret_cast<const char*>(data), size),
+                         &req);
+  if (!s.ok()) return 0;
+  std::string encoded;
+  net::EncodeRequestFrame(req, &encoded);
+  Slice stream(encoded);
+  Slice frame;
+  std::string error;
+  ODE_FUZZ_REQUIRE(net::ExtractFrame(&stream, &frame,
+                                     net::kDefaultMaxFrameBytes, &error) ==
+                   net::FrameResult::kFrame);
+  net::Request again;
+  ODE_FUZZ_REQUIRE(net::DecodeRequest(frame, &again).ok());
+  ODE_FUZZ_REQUIRE(again.op == req.op);
+  ODE_FUZZ_REQUIRE(again.request_id == req.request_id);
+  ODE_FUZZ_REQUIRE(again.payload == req.payload);
+  ODE_FUZZ_REQUIRE(again.batch.size() == req.batch.size());
+  return 0;
+}
+
+int WireDecodeResponse(const uint8_t* data, size_t size) {
+  net::Response resp;
+  const Status s =
+      net::DecodeResponse(Slice(reinterpret_cast<const char*>(data), size),
+                          &resp);
+  if (!s.ok()) return 0;
+  std::string encoded;
+  net::EncodeResponseFrame(resp, &encoded);
+  Slice stream(encoded);
+  Slice frame;
+  std::string error;
+  ODE_FUZZ_REQUIRE(net::ExtractFrame(&stream, &frame,
+                                     net::kDefaultMaxFrameBytes, &error) ==
+                   net::FrameResult::kFrame);
+  net::Response again;
+  ODE_FUZZ_REQUIRE(net::DecodeResponse(frame, &again).ok());
+  ODE_FUZZ_REQUIRE(again.op == resp.op);
+  ODE_FUZZ_REQUIRE(again.status == resp.status);
+  ODE_FUZZ_REQUIRE(again.payload == resp.payload);
+  ODE_FUZZ_REQUIRE(again.batch.size() == resp.batch.size());
+  ODE_FUZZ_REQUIRE(again.entries.size() == resp.entries.size());
+  return 0;
+}
+
+}  // namespace
+
+void RegisterNetTargets() {
+  RegisterFuzzTarget("wire_extract_frame",
+                     "frame extraction from a hostile byte stream",
+                     WireExtractFrame);
+  RegisterFuzzTarget("wire_decode_request",
+                     "request body decoding + round-trip", WireDecodeRequest);
+  RegisterFuzzTarget("wire_decode_response",
+                     "response body decoding + round-trip",
+                     WireDecodeResponse);
+}
+
+}  // namespace fuzz
+}  // namespace ode

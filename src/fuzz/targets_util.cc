@@ -1,0 +1,56 @@
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "fuzz/fuzz.h"
+#include "tests/testing/json_util.h"
+#include "util/event_log.h"
+
+// Harnesses for the diagnostics trust boundary: ODEJ journal exports read
+// back by tooling, and the JSON checker the test layer trusts to validate
+// exported documents.
+
+namespace ode {
+namespace fuzz {
+namespace {
+
+/// ODEJ binary journal codec.  An accepted decode must re-encode to the
+/// same record count and decode again identically.
+int EventCodec(const uint8_t* data, size_t size) {
+  std::vector<EventRecord> records;
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  if (!EventLog::DecodeBinary(input, &records)) return 0;
+  std::string encoded;
+  EventLog::EncodeBinary(records, &encoded);
+  std::vector<EventRecord> again;
+  ODE_FUZZ_REQUIRE(EventLog::DecodeBinary(encoded, &again));
+  ODE_FUZZ_REQUIRE(again.size() == records.size());
+  for (size_t i = 0; i < again.size(); ++i) {
+    ODE_FUZZ_REQUIRE(again[i].seq == records[i].seq);
+    ODE_FUZZ_REQUIRE(again[i].ts_micros == records[i].ts_micros);
+    ODE_FUZZ_REQUIRE(again[i].tid == records[i].tid);
+  }
+  return 0;
+}
+
+/// Strict JSON checker + lexical probes over arbitrary bytes.
+int JsonTarget(const uint8_t* data, size_t size) {
+  const std::string_view input(reinterpret_cast<const char*>(data), size);
+  std::string error;
+  (void)testing::IsWellFormedJson(input, &error);
+  (void)testing::FindJsonNumber(input, "a");
+  (void)testing::FindJsonString(input, "a");
+  (void)testing::FindJsonNumber(input, "");
+  return 0;
+}
+
+}  // namespace
+
+void RegisterUtilTargets() {
+  RegisterFuzzTarget("event_codec", "ODEJ binary journal codec", EventCodec);
+  RegisterFuzzTarget("json", "JSON well-formedness checker + probes",
+                     JsonTarget);
+}
+
+}  // namespace fuzz
+}  // namespace ode

@@ -31,6 +31,7 @@ StatusOr<std::unique_ptr<Client>> Client::Connect(const std::string& host,
   }
   const int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) return Errno("socket");
+  // ode_lint: allow(unchecked-cast) POSIX sockaddr idiom, sizeof-bounded.
   if (connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) <
       0) {
     Status s = Errno("connect " + host + ":" + std::to_string(port));

@@ -98,10 +98,12 @@ Status Server::Init(Database& db, const ServerOptions& options) {
     return Status::InvalidArgument("ServerOptions::host is not an IPv4 "
                                    "address: " + options_.host);
   }
+  // ode_lint: allow(unchecked-cast) POSIX sockaddr idiom, sizeof-bounded.
   if (bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
     return Errno("bind " + options_.host + ":" + std::to_string(options_.port));
   }
   socklen_t addr_len = sizeof(addr);
+  // ode_lint: allow(unchecked-cast) POSIX sockaddr idiom, sizeof-bounded.
   if (getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &addr_len) <
       0) {
     return Errno("getsockname");
@@ -240,6 +242,7 @@ void Server::HandleAccept() {
   while (true) {
     sockaddr_in peer{};
     socklen_t peer_len = sizeof(peer);
+    // ode_lint: allow(unchecked-cast) POSIX sockaddr idiom, sizeof-bounded.
     const int fd = accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer),
                            &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {

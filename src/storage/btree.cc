@@ -57,11 +57,39 @@ uint16_t DirLength(const char* p, int i) {
   return DecodeFixed16(p + kDirStart + 4 * i + 2);
 }
 
+/// Most directory entries a page can physically hold; an entry count above
+/// this cannot have come from WriteNode and would walk the directory reads
+/// past the page end.
+constexpr int kMaxDirEntries = static_cast<int>((kPageSize - kDirStart) / 4);
+
+/// Resolves directory entry `i` to its cell bytes, treating every field as
+/// untrusted: the count, the directory slot, and the cell's [offset, length)
+/// must all stay inside the page, or a corrupt page would read out of
+/// bounds.
+Status CheckedCell(const char* p, int i, Slice* cell) {
+  const int count = GetCount(p);
+  if (count > kMaxDirEntries) {
+    return Status::Corruption("btree entry count exceeds page capacity");
+  }
+  if (i < 0 || i >= count) {
+    return Status::Corruption("btree cell index out of range");
+  }
+  const uint32_t off = DirOffset(p, i);
+  const uint32_t len = DirLength(p, i);
+  if (off < kDirStart || off + len > kPageSize) {
+    return Status::Corruption("btree cell outside page bounds");
+  }
+  *cell = Slice(p + off, len);
+  return Status::OK();
+}
+
 Status DecodeLeafCell(const char* p, int i, Slice* key, Slice* value) {
-  Slice cell(p + DirOffset(p, i), DirLength(p, i));
+  Slice cell;
+  ODE_RETURN_IF_ERROR(CheckedCell(p, i, &cell));
   uint32_t klen = 0, vlen = 0;
+  // Sum in 64 bits: klen + vlen can wrap uint32_t, faking a fit.
   if (!GetVarint32(&cell, &klen) || !GetVarint32(&cell, &vlen) ||
-      cell.size() != klen + vlen) {
+      cell.size() != static_cast<uint64_t>(klen) + vlen) {
     return Status::Corruption("bad leaf cell");
   }
   *key = Slice(cell.data(), klen);
@@ -70,9 +98,11 @@ Status DecodeLeafCell(const char* p, int i, Slice* key, Slice* value) {
 }
 
 Status DecodeInternalCell(const char* p, int i, Slice* key, PageId* child) {
-  Slice cell(p + DirOffset(p, i), DirLength(p, i));
+  Slice cell;
+  ODE_RETURN_IF_ERROR(CheckedCell(p, i, &cell));
   uint32_t klen = 0;
-  if (!GetVarint32(&cell, &klen) || cell.size() != klen + 4) {
+  if (!GetVarint32(&cell, &klen) ||
+      cell.size() != static_cast<uint64_t>(klen) + 4) {
     return Status::Corruption("bad internal cell");
   }
   *key = Slice(cell.data(), klen);
@@ -114,6 +144,7 @@ bool WriteNode(char* page, PageType type, uint32_t link, uint32_t prev,
   uint32_t write_pos = kPageSize;
   for (size_t i = 0; i < cells.size(); ++i) {
     write_pos -= static_cast<uint32_t>(cells[i].size());
+    // ode_lint: allow(unchecked-cast) WriteNode pre-checked needed <= kPageSize.
     std::memcpy(page + write_pos, cells[i].data(), cells[i].size());
     EncodeFixed16(page + kDirStart + 4 * i, static_cast<uint16_t>(write_pos));
     EncodeFixed16(page + kDirStart + 4 * i + 2,
@@ -542,8 +573,24 @@ void BTree::Iterator::LoadCurrent() {
 void BTree::Iterator::StepLeaf(int direction) {
   // Moves off the current leaf in `direction`, skipping empty leaves, and
   // positions at that leaf's first (forward) or last (backward) entry.
+  //
+  // `leaf_steps_` accumulates across the iterator's whole scan (reset by
+  // the Seek* entry points): a legitimate leaf chain can never be longer
+  // than the database has pages, so exceeding that bound means the sibling
+  // links cycle — corrupted pages, surfaced as a typed error.  Bounding
+  // only this call would not suffice: a cycle through NON-empty leaves
+  // returns successfully each step and loops at the caller instead.
+  uint64_t bound = 1u << 24;
+  if (auto pages = io_->PageCount(); pages.ok()) {
+    bound = std::min<uint64_t>(bound, static_cast<uint64_t>(*pages) + 1);
+  }
   PageId current = leaf_;
-  for (int guard = 0; guard < (1 << 24); ++guard) {
+  while (true) {
+    if (++leaf_steps_ > bound) {
+      status_ = Status::Corruption("leaf chain cycle");
+      valid_ = false;
+      return;
+    }
     auto handle = io_->Fetch(current);
     if (!handle.ok()) {
       status_ = handle.status();
@@ -572,8 +619,6 @@ void BTree::Iterator::StepLeaf(int direction) {
     }
     current = next;
   }
-  status_ = Status::Corruption("leaf chain cycle");
-  valid_ = false;
 }
 
 namespace {
@@ -626,6 +671,7 @@ Status IterDescendEdge(PageIO* io, PageId root, int direction, PageId* leaf) {
 
 void BTree::Iterator::Seek(const Slice& target) {
   status_ = Status::OK();
+  leaf_steps_ = 0;
   Status s = IterDescend(io_, root_, target, &leaf_);
   if (!s.ok()) {
     status_ = s;
@@ -666,6 +712,7 @@ void BTree::Iterator::Seek(const Slice& target) {
 
 void BTree::Iterator::SeekForPrev(const Slice& target) {
   status_ = Status::OK();
+  leaf_steps_ = 0;
   Status s = IterDescend(io_, root_, target, &leaf_);
   if (!s.ok()) {
     status_ = s;
@@ -709,6 +756,7 @@ void BTree::Iterator::SeekForPrev(const Slice& target) {
 
 void BTree::Iterator::SeekToFirst() {
   status_ = Status::OK();
+  leaf_steps_ = 0;
   Status s = IterDescendEdge(io_, root_, -1, &leaf_);
   if (!s.ok()) {
     status_ = s;
@@ -731,6 +779,7 @@ void BTree::Iterator::SeekToFirst() {
 
 void BTree::Iterator::SeekToLast() {
   status_ = Status::OK();
+  leaf_steps_ = 0;
   Status s = IterDescendEdge(io_, root_, +1, &leaf_);
   if (!s.ok()) {
     status_ = s;

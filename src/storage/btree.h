@@ -105,6 +105,11 @@ class BTree {
     PageId root_;
     PageId leaf_ = kInvalidPageId;
     int index_ = 0;
+    /// Leaf transitions since the last Seek*.  A chain longer than the
+    /// database has pages means the sibling links cycle (corruption); the
+    /// bound makes a full scan over a corrupted tree terminate with a typed
+    /// error instead of looping forever.
+    uint64_t leaf_steps_ = 0;
     bool valid_ = false;
     std::string key_;
     std::string value_;

@@ -78,6 +78,8 @@ StatusOr<RecordId> HeapFile::Insert(PageIO* io, const Slice& payload) {
       data[0] = static_cast<char>(PageType::kOverflow);
       EncodeFixed32(data + 4, next);
       EncodeFixed32(data + 8, static_cast<uint32_t>(chunk_len));
+      // Offset math is chunk-aligned within payload.
+      // ode_lint: allow(unchecked-cast) chunk_len <= kOverflowCapacity (min above)
       std::memcpy(data + kOverflowDataOffset, payload.data() + chunk_off,
                   chunk_len);
       next = *pid;
@@ -120,7 +122,17 @@ StatusOr<std::string> HeapFile::Read(PageIO* io, RecordId rid) {
   PageId next = DecodeFixed32(data.data() + 4);
   std::string out;
   out.reserve(total_len);
+  // A corrupt chain can loop (a zero-length cycle would otherwise spin
+  // forever; a fat one would allocate without bound), so walk at most the
+  // number of chunks the declared length legitimately needs.
+  const uint64_t max_chunks =
+      (static_cast<uint64_t>(total_len) + kOverflowCapacity - 1) /
+      kOverflowCapacity;
+  uint64_t chunks = 0;
   while (next != kInvalidPageId) {
+    if (++chunks > max_chunks) {
+      return Status::Corruption("overflow chain longer than declared length");
+    }
     auto oh = io->Fetch(next);
     if (!oh.ok()) return oh.status();
     const char* page = oh->data();

@@ -5,9 +5,7 @@
 
 namespace ode {
 
-namespace {
-
-std::string EncodeEntry(const PayloadStoreEntry& entry) {
+std::string EncodePayloadStoreEntry(const PayloadStoreEntry& entry) {
   BufferWriter w;
   w.WriteVarint64(entry.refcount);
   w.WriteVarint64(entry.size);
@@ -15,14 +13,27 @@ std::string EncodeEntry(const PayloadStoreEntry& entry) {
   return w.Release();
 }
 
-Status DecodeEntry(const Slice& bytes, PayloadStoreEntry* out) {
+Status DecodePayloadStoreEntry(const Slice& bytes, PayloadStoreEntry* out) {
   BufferReader r(bytes);
   ODE_RETURN_IF_ERROR(r.ReadVarint64(&out->refcount));
   ODE_RETURN_IF_ERROR(r.ReadVarint64(&out->size));
   uint64_t rid = 0;
   ODE_RETURN_IF_ERROR(r.ReadU64(&rid));
   out->rid = RecordId::Decode(rid);
+  if (!r.AtEnd()) {
+    return Status::Corruption("payload store entry has trailing bytes");
+  }
   return Status::OK();
+}
+
+namespace {
+
+std::string EncodeEntry(const PayloadStoreEntry& entry) {
+  return EncodePayloadStoreEntry(entry);
+}
+
+Status DecodeEntry(const Slice& bytes, PayloadStoreEntry* out) {
+  return DecodePayloadStoreEntry(bytes, out);
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 
 #include "storage/heap_file.h"
 #include "storage/page_io.h"
@@ -28,6 +29,13 @@ struct PayloadStoreEntry {
   /// Heap record holding the blob bytes.
   RecordId rid;
 };
+
+/// Wire form of one index entry: varint refcount | varint size | u64 rid.
+std::string EncodePayloadStoreEntry(const PayloadStoreEntry& entry);
+
+/// Decodes an index entry read from the tree.  The bytes are disk input:
+/// truncation, varint overrun, and trailing garbage all fail as Corruption.
+Status DecodePayloadStoreEntry(const Slice& bytes, PayloadStoreEntry* out);
 
 /// Content-addressed blob store: payload bytes are keyed by their 128-bit
 /// content hash, with refcounts, so identical payloads anywhere in the

@@ -1,5 +1,6 @@
 #include "storage/slotted_page.h"
 
+#include <algorithm>
 #include <cstring>
 #include <vector>
 
@@ -28,9 +29,22 @@ bool SlottedPage::IsHeapPage() const {
          PageType::kHeap;
 }
 
+uint16_t SlottedPage::checked_slot_count() const {
+  const uint16_t n = slot_count();
+  return n > kMaxSlots ? kMaxSlots : n;
+}
+
+bool SlottedPage::CellInBounds(uint16_t slot) const {
+  const uint32_t off = SlotCellOffset(slot);
+  const uint32_t len = SlotCellLength(slot);
+  return off >= kSlotDirStart && off + len <= kPageSize;
+}
+
 uint32_t SlottedPage::ContiguousFree() const {
-  const uint32_t dir_end = kSlotDirStart + 4u * slot_count();
-  const uint32_t start = cell_start();
+  const uint32_t dir_end = kSlotDirStart + 4u * checked_slot_count();
+  // Clamp: a corrupt cell-start above the page end must not inflate the
+  // reported free space (Insert sizes its memcpy from it).
+  const uint32_t start = std::min<uint32_t>(cell_start(), kPageSize);
   return start > dir_end ? start - dir_end : 0;
 }
 
@@ -44,25 +58,34 @@ uint32_t SlottedPage::FreeSpace() const {
 
 uint16_t SlottedPage::LiveSlots() const {
   uint16_t live = 0;
-  for (uint16_t i = 0; i < slot_count(); ++i) {
+  for (uint16_t i = 0; i < checked_slot_count(); ++i) {
     if (SlotCellOffset(i) != 0) ++live;
   }
   return live;
 }
 
-uint16_t SlottedPage::SlotCount() const { return slot_count(); }
+uint16_t SlottedPage::SlotCount() const { return checked_slot_count(); }
 
 void SlottedPage::Compact() {
-  // Collect live cells, rewrite them right-justified.
+  // Collect live cells, rewrite them right-justified.  Every directory
+  // field is untrusted disk input: out-of-bounds cells are dropped (their
+  // slot is freed) rather than copied from memory outside the page — a
+  // well-formed page never has any, so this only changes corrupt-page
+  // behavior from UB to data-loss-with-typed-errors downstream.
   struct LiveCell {
     uint16_t slot;
     uint16_t length;
     std::vector<char> bytes;
   };
+  const uint16_t n = checked_slot_count();
   std::vector<LiveCell> cells;
-  for (uint16_t i = 0; i < slot_count(); ++i) {
+  for (uint16_t i = 0; i < n; ++i) {
     const uint16_t off = SlotCellOffset(i);
     if (off == 0) continue;
+    if (!CellInBounds(i)) {
+      SetSlot(i, 0, 0);
+      continue;
+    }
     const uint16_t len = SlotCellLength(i);
     LiveCell cell;
     cell.slot = i;
@@ -70,10 +93,18 @@ void SlottedPage::Compact() {
     cell.bytes.assign(data_ + off, data_ + off + len);
     cells.push_back(std::move(cell));
   }
+  const uint32_t dir_end = kSlotDirStart + 4u * n;
   uint32_t write_pos = kPageSize;
   for (const LiveCell& cell : cells) {
+    if (cell.length > write_pos - dir_end) {
+      // Overlapping corrupt cells can sum past the free area; dropping the
+      // overflow keeps the rewrite inside the page.
+      SetSlot(cell.slot, 0, 0);
+      continue;
+    }
     write_pos -= cell.length;
     if (cell.length > 0) {
+      // ode_lint: allow(unchecked-cast) bounds proven by the checks above.
       std::memcpy(data_ + write_pos, cell.bytes.data(), cell.length);
     }
     SetSlot(cell.slot, static_cast<uint16_t>(write_pos), cell.length);
@@ -85,6 +116,11 @@ void SlottedPage::Compact() {
 StatusOr<uint16_t> SlottedPage::Insert(const Slice& record) {
   if (record.size() > kMaxCellSize) {
     return Status::InvalidArgument("record too large for one page");
+  }
+  if (slot_count() > kMaxSlots || cell_start() > kPageSize) {
+    // The write below derives its target address from these fields; a
+    // corrupt header must fail typed instead of writing out of bounds.
+    return Status::Corruption("slotted page header out of bounds");
   }
   const uint16_t len = static_cast<uint16_t>(record.size());
 
@@ -112,6 +148,7 @@ StatusOr<uint16_t> SlottedPage::Insert(const Slice& record) {
 
   if (!reuse) set_slot_count(static_cast<uint16_t>(slot_count() + 1));
   const uint16_t new_start = static_cast<uint16_t>(cell_start() - len);
+  // ode_lint: allow(unchecked-cast) Insert pre-checked len against free space.
   if (len > 0) std::memcpy(data_ + new_start, record.data(), len);
   set_cell_start(new_start);
   // Zero-length records still need a nonzero offset to read as live; point
@@ -122,14 +159,17 @@ StatusOr<uint16_t> SlottedPage::Insert(const Slice& record) {
 }
 
 StatusOr<Slice> SlottedPage::Get(uint16_t slot) const {
-  if (slot >= slot_count() || SlotCellOffset(slot) == 0) {
+  if (slot >= checked_slot_count() || SlotCellOffset(slot) == 0) {
     return Status::NotFound("no record in slot");
+  }
+  if (!CellInBounds(slot)) {
+    return Status::Corruption("slotted page cell outside page bounds");
   }
   return Slice(data_ + SlotCellOffset(slot), SlotCellLength(slot));
 }
 
 Status SlottedPage::Delete(uint16_t slot) {
-  if (slot >= slot_count() || SlotCellOffset(slot) == 0) {
+  if (slot >= checked_slot_count() || SlotCellOffset(slot) == 0) {
     return Status::NotFound("no record in slot");
   }
   const uint16_t len = SlotCellLength(slot);
@@ -145,17 +185,23 @@ Status SlottedPage::Delete(uint16_t slot) {
 }
 
 Status SlottedPage::Update(uint16_t slot, const Slice& record) {
-  if (slot >= slot_count() || SlotCellOffset(slot) == 0) {
+  if (slot >= checked_slot_count() || SlotCellOffset(slot) == 0) {
     return Status::NotFound("no record in slot");
   }
   if (record.size() > kMaxCellSize) {
     return Status::OutOfRange("record too large for one page");
+  }
+  if (!CellInBounds(slot) || cell_start() > kPageSize) {
+    // Both the shrink-in-place write and the grow path's re-insert derive
+    // addresses from these fields.
+    return Status::Corruption("slotted page cell outside page bounds");
   }
   const uint16_t old_len = SlotCellLength(slot);
   const uint16_t new_len = static_cast<uint16_t>(record.size());
   if (new_len <= old_len) {
     // Shrink in place; tail bytes become fragmentation.
     const uint16_t off = SlotCellOffset(slot);
+    // ode_lint: allow(unchecked-cast) shrink in place: new_len <= old cell.
     if (new_len > 0) std::memcpy(data_ + off, record.data(), new_len);
     set_frag_bytes(static_cast<uint16_t>(frag_bytes() + (old_len - new_len)));
     SetSlot(slot, off, new_len);
@@ -178,6 +224,7 @@ Status SlottedPage::Update(uint16_t slot, const Slice& record) {
     Compact();
   }
   const uint16_t new_start = static_cast<uint16_t>(cell_start() - new_len);
+  // ode_lint: allow(unchecked-cast) ContiguousFree() >= new_len ensured above.
   std::memcpy(data_ + new_start, record.data(), new_len);
   set_cell_start(new_start);
   SetSlot(slot, new_start, new_len);

@@ -73,6 +73,21 @@ class SlottedPage {
   uint16_t ReadU16At(uint32_t off) const;
   void WriteU16At(uint32_t off, uint16_t v);
 
+  /// Most slots the directory can physically hold.  A stored slot count
+  /// above this is corruption: trusting it would read the "directory"
+  /// beyond the page end.
+  static constexpr uint16_t kMaxSlots =
+      static_cast<uint16_t>((kPageSize - 14) / 4);
+
+  /// Stored slot count clamped to what the page can hold; every loop and
+  /// directory-offset computation uses this, so a hostile count cannot
+  /// drive reads past the page.
+  uint16_t checked_slot_count() const;
+
+  /// True if `slot`'s directory entry describes a cell fully inside the
+  /// page (offset past the header, end within kPageSize).
+  bool CellInBounds(uint16_t slot) const;
+
   uint16_t slot_count() const { return ReadU16At(8); }
   uint16_t cell_start() const { return ReadU16At(10); }
   uint16_t frag_bytes() const { return ReadU16At(12); }

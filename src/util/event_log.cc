@@ -98,6 +98,7 @@ void EventLog::Record(EventType type, EventSeverity severity, uint64_t a,
   slot.b = b;
   slot.c = c;
   const size_t n = std::min(detail.size(), EventRecord::kDetailBytes - 1);
+  // ode_lint: allow(unchecked-cast) n is min()-clamped to the detail buffer.
   std::memcpy(slot.detail, detail.data(), n);
   slot.detail[n] = '\0';
   ++buf->next;
@@ -258,6 +259,10 @@ bool EventLog::DecodeBinary(std::string_view in,
   uint64_t count = 0;
   if (!GetFixed32(&s, &version) || version != kBinaryVersion) return false;
   if (!GetFixed64(&s, &count)) return false;
+  // Divide, don't multiply: `count * kBinaryRecordBytes` wraps uint64_t for
+  // hostile counts, and a wrapped product that happens to equal s.size()
+  // would drive a giant reserve() and reads past the buffer below.
+  if (count > s.size() / kBinaryRecordBytes) return false;
   if (s.size() != count * kBinaryRecordBytes) return false;
   out->reserve(out->size() + count);
   for (uint64_t i = 0; i < count; ++i) {
@@ -273,6 +278,8 @@ bool EventLog::DecodeBinary(std::string_view in,
     uint32_t tid = 0;
     GetFixed32(&s, &tid);
     e.tid = tid;
+    // Record size (incl. detail) was checked against the remaining buffer.
+    // ode_lint: allow(unchecked-cast) fixed-size copy from a sized record
     std::memcpy(e.detail, s.data(), EventRecord::kDetailBytes);
     e.detail[EventRecord::kDetailBytes - 1] = '\0';
     s.remove_prefix(EventRecord::kDetailBytes);

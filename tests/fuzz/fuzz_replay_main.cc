@@ -1,0 +1,195 @@
+// Standalone corpus-replay driver for the fuzz-target registry (src/fuzz/).
+//
+// Registered as `ctest -L fuzz`: replays every checked-in seed corpus entry
+// through its target, then runs deterministic seeded mutation rounds
+// (bitflips, truncations, splices, random inputs) on top.  Run under
+// ASan/UBSan this is the regression leg of the fuzzing story: every input
+// that ever crashed a decoder is committed to the corpus and replayed here
+// forever.  Exploratory fuzzing lives in the libFuzzer shim
+// (libfuzzer_shim.cc) on the clang CI job.
+//
+// Usage:
+//   fuzz_replay --list
+//   fuzz_replay --expect N              # registry completeness check
+//   fuzz_replay [--target NAME] [--corpus DIR] [--rounds N] [--quiet]
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "fuzz/fuzz.h"
+#include "util/random.h"
+
+namespace {
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+std::vector<std::filesystem::path> ListCorpus(
+    const std::filesystem::path& dir) {
+  std::vector<std::filesystem::path> files;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+void RunOne(const ode::fuzz::FuzzTarget& target, const std::string& input) {
+  const int rc = target.entry(
+      reinterpret_cast<const uint8_t*>(input.data()), input.size());
+  if (rc != 0) {
+    std::fprintf(stderr, "target %s returned %d (must be 0)\n",
+                 target.name.c_str(), rc);
+    std::exit(1);
+  }
+}
+
+/// One deterministic mutation of `seed` (classic byte-level fuzz moves).
+std::string Mutate(const std::string& seed, ode::Random* rng) {
+  std::string out = seed;
+  switch (rng->Uniform(5)) {
+    case 0: {  // Bit flips.
+      if (out.empty()) return rng->NextBytes(1 + rng->Uniform(64));
+      const uint64_t flips = 1 + rng->Uniform(8);
+      for (uint64_t i = 0; i < flips; ++i) {
+        out[rng->Uniform(out.size())] ^=
+            static_cast<char>(1 + rng->Uniform(255));
+      }
+      return out;
+    }
+    case 1:  // Truncation.
+      if (out.empty()) return out;
+      out.resize(rng->Uniform(out.size() + 1));
+      return out;
+    case 2: {  // Extension with random bytes.
+      out += rng->NextBytes(1 + rng->Uniform(128));
+      return out;
+    }
+    case 3: {  // Splice a random block over a random position.
+      if (out.empty()) return rng->NextBytes(1 + rng->Uniform(64));
+      const uint64_t pos = rng->Uniform(out.size());
+      const std::string block = rng->NextBytes(1 + rng->Uniform(32));
+      out.replace(pos, std::min<size_t>(block.size(), out.size() - pos),
+                  block);
+      return out;
+    }
+    default:  // Fresh random input.
+      return rng->NextBytes(rng->Uniform(1024));
+  }
+}
+
+uint64_t NameSeed(const std::string& name) {
+  uint64_t h = 0x6f64652d66757a7aull;  // "ode-fuzz"
+  for (const char c : name) h = h * 1099511628211ull + static_cast<uint8_t>(c);
+  return h;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ode::fuzz::RegisterAllFuzzTargets();
+
+  std::string target_name;
+  std::string corpus_root;
+  int expect = -1;
+  uint64_t rounds = 32;
+  bool list = false;
+  bool quiet = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--target") {
+      target_name = next();
+    } else if (arg == "--corpus") {
+      corpus_root = next();
+    } else if (arg == "--expect") {
+      expect = std::atoi(next());
+    } else if (arg == "--rounds") {
+      rounds = static_cast<uint64_t>(std::atoll(next()));
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  const auto& targets = ode::fuzz::AllFuzzTargets();
+  if (list) {
+    for (const auto& t : targets) {
+      std::printf("%-20s %s\n", t.name.c_str(), t.description.c_str());
+    }
+  }
+  if (expect >= 0) {
+    if (static_cast<int>(targets.size()) < expect) {
+      std::fprintf(stderr,
+                   "registry has %zu targets, expected at least %d\n",
+                   targets.size(), expect);
+      return 1;
+    }
+    std::printf("registry complete: %zu targets (>= %d)\n", targets.size(),
+                expect);
+  }
+  if (list || (expect >= 0 && target_name.empty())) return 0;
+
+  std::vector<const ode::fuzz::FuzzTarget*> selected;
+  if (!target_name.empty()) {
+    const auto* t = ode::fuzz::FindFuzzTarget(target_name);
+    if (t == nullptr) {
+      std::fprintf(stderr, "unknown fuzz target: %s\n", target_name.c_str());
+      return 2;
+    }
+    selected.push_back(t);
+  } else {
+    for (const auto& t : targets) selected.push_back(&t);
+  }
+
+  for (const auto* t : selected) {
+    std::vector<std::string> seeds;
+    if (!corpus_root.empty()) {
+      for (const auto& path :
+           ListCorpus(std::filesystem::path(corpus_root) / t->name)) {
+        seeds.push_back(ReadFile(path));
+        RunOne(*t, seeds.back());
+      }
+    }
+    // Deterministic mutation rounds on top of the corpus (and from
+    // scratch when a target has no corpus yet).
+    ode::Random rng(NameSeed(t->name));
+    if (seeds.empty()) seeds.push_back(std::string());
+    for (const std::string& seed : seeds) {
+      for (uint64_t r = 0; r < rounds; ++r) {
+        RunOne(*t, Mutate(seed, &rng));
+      }
+    }
+    for (uint64_t r = 0; r < rounds; ++r) {
+      RunOne(*t, rng.NextBytes(rng.Uniform(2048)));
+    }
+    if (!quiet) {
+      std::printf("%-20s corpus=%zu mutations=%llu ok\n", t->name.c_str(),
+                  seeds.size(),
+                  static_cast<unsigned long long>(seeds.size() * rounds +
+                                                  rounds));
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+// libFuzzer entry point for one registry target (clang CI fuzz job only;
+// built when -DODE_LIBFUZZER=ON).  Each fuzz_<name> binary is this file
+// compiled with -DODE_FUZZ_TARGET_NAME="<name>" and linked with
+// -fsanitize=fuzzer, so libFuzzer's mutation engine drives the same entry
+// point the ctest corpus-replay leg replays.  Crashers found here get
+// committed into tests/fuzz/corpus/<name>/ as permanent regressions.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+#include "fuzz/fuzz.h"
+
+#ifndef ODE_FUZZ_TARGET_NAME
+#error "compile with -DODE_FUZZ_TARGET_NAME=\"<registered target name>\""
+#endif
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  static const ode::fuzz::FuzzTarget* target = [] {
+    ode::fuzz::RegisterAllFuzzTargets();
+    const auto* t = ode::fuzz::FindFuzzTarget(ODE_FUZZ_TARGET_NAME);
+    if (t == nullptr) {
+      std::fprintf(stderr, "unknown fuzz target: %s\n", ODE_FUZZ_TARGET_NAME);
+      std::abort();
+    }
+    return t;
+  }();
+  return target->entry(data, size);
+}

@@ -339,6 +339,75 @@ TEST(ForEachTest, IgnoresUnrelatedForEachNames) {
 }
 
 // ---------------------------------------------------------------------------
+// unchecked-cast
+// ---------------------------------------------------------------------------
+
+TEST(UncheckedCastTest, FiresOnReinterpretCastInSrc) {
+  auto issues = RunRule(
+      "src/core/decoder.cc",
+      "void F(const char* p) { auto* h = reinterpret_cast<const H*>(p); }\n",
+      "unchecked-cast");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 1);
+  EXPECT_NE(issues[0].message.find("reinterpret_cast"), std::string::npos);
+}
+
+TEST(UncheckedCastTest, FiresOnRawMemcpyInSrcAndTools) {
+  const std::string code = "void F(char* d, const char* s, size_t n) {\n"
+                           "  std::memcpy(d, s, n);\n"
+                           "}\n";
+  auto issues = RunRule("src/storage/thing.cc", code, "unchecked-cast");
+  ASSERT_EQ(issues.size(), 1u);
+  EXPECT_EQ(issues[0].line, 2);
+  EXPECT_EQ(RunRule("tools/mytool.cc", "void F() { memcpy(a, b, n); }\n",
+                    "unchecked-cast")
+                .size(),
+            1u);
+}
+
+TEST(UncheckedCastTest, TestsAndFuzzHarnessesAreExempt) {
+  const std::string code = "void F() { memcpy(a, reinterpret_cast<char*>(b), "
+                           "n); }\n";
+  EXPECT_TRUE(RunRule("tests/core/foo_test.cc", code, "unchecked-cast").empty());
+  EXPECT_TRUE(RunRule("bench/micro.cc", code, "unchecked-cast").empty());
+  EXPECT_TRUE(
+      RunRule("src/fuzz/targets_core.cc", code, "unchecked-cast").empty());
+}
+
+TEST(UncheckedCastTest, AllowlistedHelpersAreExempt) {
+  const std::string code = "void F() { std::memcpy(dst, src, sizeof(v)); }\n";
+  EXPECT_TRUE(RunRule("src/util/coding.h", code, "unchecked-cast").empty());
+  EXPECT_TRUE(
+      RunRule("src/storage/disk_manager.cc", code, "unchecked-cast").empty());
+  EXPECT_TRUE(
+      RunRule("src/storage/buffer_pool.cc", code, "unchecked-cast").empty());
+}
+
+TEST(UncheckedCastTest, AllowMarkerSilences) {
+  const std::string code =
+      "// ode_lint: allow(unchecked-cast) length checked two lines up.\n"
+      "std::memcpy(dst, src, n);\n";
+  EXPECT_TRUE(RunRule("src/core/foo.cc", code, "unchecked-cast").empty());
+  const std::string cast_code =
+      "Txn* s = reinterpret_cast<Txn*>(1);  "
+      "// ode_lint: allow(unchecked-cast) sentinel\n";
+  EXPECT_TRUE(RunRule("src/core/foo.cc", cast_code, "unchecked-cast").empty());
+}
+
+TEST(UncheckedCastTest, IgnoresNamesContainingMemcpy) {
+  const std::string code =
+      "void F() { safe_memcpy(d, s, n); MemcpyStats(); wal::memcpy_count++; }\n";
+  EXPECT_TRUE(RunRule("src/core/foo.cc", code, "unchecked-cast").empty());
+}
+
+TEST(UncheckedCastTest, IgnoresCommentsAndStrings) {
+  const std::string code =
+      "// reinterpret_cast is banned here\n"
+      "const char* kMsg = \"use memcpy( carefully\";\n";
+  EXPECT_TRUE(RunRule("src/core/foo.cc", code, "unchecked-cast").empty());
+}
+
+// ---------------------------------------------------------------------------
 // include-guard
 // ---------------------------------------------------------------------------
 

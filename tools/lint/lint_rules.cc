@@ -242,6 +242,51 @@ void CheckForEachCallers(const std::string& path,
 }
 
 // ---------------------------------------------------------------------------
+// unchecked-cast
+// ---------------------------------------------------------------------------
+
+/// Files whose casts/copies ARE the audited byte-access primitive: the rest
+/// of the tree reaches bytes through these, so flagging them would just
+/// force suppressions onto every line of the helper itself.
+const std::set<std::string> kUncheckedCastAllowed = {
+    "src/util/byte_buffer.h",       // Float<->bits punning, sizeof-bounded.
+    "src/util/coding.h",            // Fixed-width codecs, sizeof-bounded.
+    "src/storage/env.cc",           // Whole-buffer file I/O primitives.
+    "src/storage/fault_env.cc",
+    "src/storage/disk_manager.cc",  // kPageSize-bounded page transfer.
+    "src/storage/buffer_pool.cc",   // kPageSize-bounded frame copy.
+};
+
+void CheckUncheckedCast(const std::string& path,
+                        const std::vector<std::string>& stripped_lines,
+                        std::vector<Issue>* issues) {
+  // Production code only: tests and benches build hostile bytes on purpose.
+  if (!StartsWith(path, "src/") && !StartsWith(path, "tools/")) return;
+  // The fuzz harnesses' whole job is handing raw attacker bytes to
+  // decoders; their casts of the input buffer are the harness idiom.
+  if (StartsWith(path, "src/fuzz/")) return;
+  if (kUncheckedCastAllowed.count(path) > 0) return;
+  static const std::regex kCast(R"(\breinterpret_cast\s*<)");
+  static const std::regex kMemcpy(R"((^|[^A-Za-z0-9_:])(std::)?memcpy\s*\()");
+  for (size_t i = 0; i < stripped_lines.size(); ++i) {
+    if (std::regex_search(stripped_lines[i], kCast)) {
+      issues->push_back(Issue{
+          path, static_cast<int>(i + 1), "unchecked-cast",
+          "reinterpret_cast in a decode-capable path; consume bytes through "
+          "BufferReader / coding.h / Slice (bounds-checked), or state why "
+          "this cast cannot read out of bounds with an allow marker"});
+    }
+    if (std::regex_search(stripped_lines[i], kMemcpy)) {
+      issues->push_back(Issue{
+          path, static_cast<int>(i + 1), "unchecked-cast",
+          "raw memcpy in a decode-capable path; copy through the "
+          "bounds-checked helpers, or state why the length was just "
+          "validated with an allow marker"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // include-guard
 // ---------------------------------------------------------------------------
 
@@ -461,6 +506,7 @@ std::vector<Issue> LintSource(const std::string& path,
   CheckTodoDate(path, comment_lines, &issues);
   CheckMutexMembers(path, stripped, &issues);
   CheckForEachCallers(path, stripped_lines, &issues);
+  CheckUncheckedCast(path, stripped_lines, &issues);
   CheckIncludeGuard(path, raw_lines, &issues);
 
   // Per-site suppression: `// ode_lint: allow(<rule>)` on the flagged line

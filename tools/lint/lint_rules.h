@@ -38,6 +38,16 @@ namespace lint {
 //  include-guard  Headers under src/ must open with the canonical
 //                 `#ifndef ODE_<PATH>_H_` / `#define` pair (no #pragma
 //                 once), so guards never collide.
+//  unchecked-cast `reinterpret_cast` or raw `memcpy` in production code
+//                 (src/, tools/) outside the allowlisted bounds-checked
+//                 helpers (byte_buffer.h, env/disk/buffer-pool internals,
+//                 the fuzz harnesses).  Decoders must consume untrusted
+//                 bytes through BufferReader / coding.h / Slice, which
+//                 check bounds; an ad-hoc cast or copy is exactly where
+//                 corrupt input turns into an out-of-bounds read.  The few
+//                 legitimate sites (sockaddr casts, copies whose length
+//                 was just bounds-checked) carry `ode_lint:
+//                 allow(unchecked-cast)` with a stated reason.
 //
 // The checker is intentionally lexical (comments and string literals are
 // stripped first): it runs in milliseconds over the whole tree, has no
